@@ -1,0 +1,452 @@
+//! Decoupled per-relation baselines: DecGCN and DeepR.
+//!
+//! Both decompose the heterogeneous graph into one sub-graph per relation
+//! type and learn *relation-specific* POI embeddings — the design the paper
+//! argues against (Issue 1). A triple `(p_i, r, p_j)` is scored with the
+//! embeddings of relation `r`'s sub-graph; the φ type, which has no
+//! sub-graph, is scored against the mean of the per-relation embeddings.
+//!
+//! * **DecGCN** (Liu et al., CIKM'20): GCN per sub-graph, with a sigmoid
+//!   co-attention gate that injects supplementary information from the
+//!   other relations' embeddings after every layer.
+//! * **DeepR** (Li et al., KDD'20): neighbours are partitioned into compass
+//!   sectors by bearing and mean-aggregated per sector; the concatenated
+//!   sector summaries plus the self representation pass through a linear
+//!   transform.
+
+use crate::common::{BaselineConfig, InitialFeatures, PairModel};
+use prim_core::ModelInputs;
+use prim_geo::sector_of;
+use prim_nn::{init, Binding, ParamId, ParamStore};
+use prim_tensor::{Graph, Matrix, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Forward output: one embedding matrix per relation plus their mean
+/// (used for φ), plus the relation table.
+pub struct DecoupledFwd {
+    per_rel: Vec<Var>,
+    mean: Var,
+    rel_table: Var,
+}
+
+/// Scores triples against per-relation embeddings by masking: triples of
+/// relation `r` use `H_r`, φ triples use the mean embedding.
+fn decoupled_score(
+    g: &mut Graph,
+    fwd: &DecoupledFwd,
+    src: &[usize],
+    rel: &[usize],
+    dst: &[usize],
+) -> Var {
+    let n = src.len();
+    let n_rel = fwd.per_rel.len();
+    let mut total: Option<Var> = None;
+    for r in 0..=n_rel {
+        let h = if r < n_rel { fwd.per_rel[r] } else { fwd.mean };
+        let mask = Matrix::from_fn(n, 1, |i, _| if rel[i] == r { 1.0 } else { 0.0 });
+        if mask.sum() == 0.0 {
+            continue;
+        }
+        let h_src = g.gather_rows(h, src);
+        let h_dst = g.gather_rows(h, dst);
+        let hr = g.gather_rows(fwd.rel_table, &vec![r; n]);
+        let lhs = g.mul(h_src, hr);
+        let scores = g.rows_dot(lhs, h_dst);
+        let mask_c = g.constant(mask);
+        let masked = g.mul(scores, mask_c);
+        total = Some(match total {
+            Some(acc) => g.add(acc, masked),
+            None => masked,
+        });
+    }
+    total.expect("score called with empty triple batch")
+}
+
+/// Per-relation edge arrays extracted once per forward.
+struct RelEdges {
+    src: Vec<usize>,
+    dst: Vec<usize>,
+    /// Edge position in the underlying adjacency (for sector lookups).
+    pos: Vec<usize>,
+}
+
+fn split_edges_by_relation(inputs: &ModelInputs) -> Vec<RelEdges> {
+    let mut out: Vec<RelEdges> = (0..inputs.n_relations)
+        .map(|_| RelEdges { src: Vec::new(), dst: Vec::new(), pos: Vec::new() })
+        .collect();
+    let adj = &inputs.adjacency;
+    for k in 0..adj.num_directed_edges() {
+        let r = adj.rel()[k] as usize;
+        out[r].src.push(adj.src()[k] as usize);
+        out[r].dst.push(adj.dst()[k] as usize);
+        out[r].pos.push(k);
+    }
+    out
+}
+
+fn mean_of(g: &mut Graph, parts: &[Var]) -> Var {
+    let mut acc = parts[0];
+    for &p in &parts[1..] {
+        acc = g.add(acc, p);
+    }
+    g.scale(acc, 1.0 / parts.len() as f32)
+}
+
+// ---------------------------------------------------------------------------
+// DecGCN
+// ---------------------------------------------------------------------------
+
+/// DecGCN: per-relation GCN with co-attention fusion.
+pub struct DecGcnModel {
+    store: ParamStore,
+    cfg: BaselineConfig,
+    feats: InitialFeatures,
+    rel_table: ParamId,
+    /// Per layer, per relation: (W_msg, W_self); plus per layer W_gate.
+    layers: Vec<(Vec<(ParamId, ParamId)>, ParamId)>,
+    n_relations: usize,
+}
+
+impl DecGcnModel {
+    /// Builds the model.
+    pub fn new(cfg: BaselineConfig, inputs: &ModelInputs) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let feats = InitialFeatures::new(
+            &mut store,
+            &mut rng,
+            inputs.attr_dim(),
+            inputs.n_categories,
+            inputs.n_pois,
+            cfg.dim,
+        );
+        let rel_table =
+            store.add_no_decay("rel", init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim));
+        let layers = (0..cfg.n_layers)
+            .map(|l| {
+                let rels = (0..inputs.n_relations)
+                    .map(|r| {
+                        (
+                            store.add(
+                                format!("decgcn.l{l}.r{r}.w"),
+                                init::xavier_uniform(&mut rng, cfg.dim, cfg.dim),
+                            ),
+                            store.add(
+                                format!("decgcn.l{l}.r{r}.w0"),
+                                init::xavier_uniform(&mut rng, cfg.dim, cfg.dim),
+                            ),
+                        )
+                    })
+                    .collect();
+                let gate = store.add(
+                    format!("decgcn.l{l}.gate"),
+                    init::xavier_uniform(&mut rng, 2 * cfg.dim, cfg.dim),
+                );
+                (rels, gate)
+            })
+            .collect();
+        DecGcnModel { store, cfg, feats, rel_table, layers, n_relations: inputs.n_relations }
+    }
+}
+
+impl PairModel for DecGcnModel {
+    type Fwd = DecoupledFwd;
+
+    fn name(&self) -> &'static str {
+        "DecGCN"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn config(&self) -> &BaselineConfig {
+        &self.cfg
+    }
+
+    fn n_relations(&self) -> usize {
+        self.n_relations
+    }
+
+    fn forward(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs) -> Self::Fwd {
+        let by_rel = split_edges_by_relation(inputs);
+        let h0 = self.feats.features(g, bind, inputs, self.cfg.use_node_embeddings);
+        let mut hs: Vec<Var> = vec![h0; self.n_relations];
+        for (rels, gate) in &self.layers {
+            // Per-relation GCN step over its own sub-graph.
+            let mut next: Vec<Var> = Vec::with_capacity(self.n_relations);
+            for (r, &(w, w0)) in rels.iter().enumerate() {
+                let h = hs[r];
+                let agg = if by_rel[r].src.is_empty() {
+                    g.matmul(h, bind.var(w0))
+                } else {
+                    let msgs = g.gather_rows(h, &by_rel[r].src);
+                    let summed = g.segment_sum(msgs, &by_rel[r].dst, inputs.n_pois);
+                    let deg = {
+                        let mut counts = vec![0usize; inputs.n_pois];
+                        for &d in &by_rel[r].dst {
+                            counts[d] += 1;
+                        }
+                        Matrix::from_fn(inputs.n_pois, 1, |i, _| {
+                            1.0 / counts[i].max(1) as f32
+                        })
+                    };
+                    let deg_c = g.constant(deg);
+                    let normed = g.scale_rows(summed, deg_c);
+                    let proj = g.matmul(normed, bind.var(w));
+                    let self_p = g.matmul(h, bind.var(w0));
+                    g.add(proj, self_p)
+                };
+                next.push(g.elu(agg));
+            }
+            // Co-attention gate: z_r ← g ⊙ z_r + (1-g) ⊙ mean(others).
+            let mut fused = Vec::with_capacity(self.n_relations);
+            for r in 0..self.n_relations {
+                let others: Vec<Var> = (0..self.n_relations)
+                    .filter(|&o| o != r)
+                    .map(|o| next[o])
+                    .collect();
+                if others.is_empty() {
+                    fused.push(next[r]);
+                    continue;
+                }
+                let other_mean = mean_of(g, &others);
+                let cat = g.concat_cols(&[next[r], other_mean]);
+                let gate_in = g.matmul(cat, bind.var(*gate));
+                let gate_v = g.sigmoid(gate_in);
+                let own = g.mul(next[r], gate_v);
+                let ones = g.constant(Matrix::ones(inputs.n_pois, self.cfg.dim));
+                let inv = g.sub(ones, gate_v);
+                let borrowed = g.mul(other_mean, inv);
+                fused.push(g.add(own, borrowed));
+            }
+            hs = fused;
+        }
+        let mean = mean_of(g, &hs);
+        DecoupledFwd { per_rel: hs, mean, rel_table: bind.var(self.rel_table) }
+    }
+
+    fn score(
+        &self,
+        g: &mut Graph,
+        _bind: &Binding,
+        fwd: &Self::Fwd,
+        src: &[usize],
+        rel: &[usize],
+        dst: &[usize],
+    ) -> Var {
+        decoupled_score(g, fwd, src, rel, dst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DeepR
+// ---------------------------------------------------------------------------
+
+/// DeepR: sector-based aggregation per relation sub-graph.
+pub struct DeepRModel {
+    store: ParamStore,
+    cfg: BaselineConfig,
+    feats: InitialFeatures,
+    rel_table: ParamId,
+    /// Per layer, per relation: W mapping `(n_sectors+1)·dim → dim`.
+    layers: Vec<Vec<ParamId>>,
+    n_relations: usize,
+}
+
+impl DeepRModel {
+    /// Builds the model.
+    pub fn new(cfg: BaselineConfig, inputs: &ModelInputs) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let feats = InitialFeatures::new(
+            &mut store,
+            &mut rng,
+            inputs.attr_dim(),
+            inputs.n_categories,
+            inputs.n_pois,
+            cfg.dim,
+        );
+        let rel_table =
+            store.add_no_decay("rel", init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim));
+        let in_dim = (cfg.n_sectors + 1) * cfg.dim;
+        let layers = (0..cfg.n_layers)
+            .map(|l| {
+                (0..inputs.n_relations)
+                    .map(|r| {
+                        store.add(
+                            format!("deepr.l{l}.r{r}.w"),
+                            init::xavier_uniform(&mut rng, in_dim, cfg.dim),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        DeepRModel { store, cfg, feats, rel_table, layers, n_relations: inputs.n_relations }
+    }
+}
+
+impl PairModel for DeepRModel {
+    type Fwd = DecoupledFwd;
+
+    fn name(&self) -> &'static str {
+        "DeepR"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn config(&self) -> &BaselineConfig {
+        &self.cfg
+    }
+
+    fn n_relations(&self) -> usize {
+        self.n_relations
+    }
+
+    fn forward(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs) -> Self::Fwd {
+        let by_rel = split_edges_by_relation(inputs);
+        let n_sectors = self.cfg.n_sectors;
+        // Sector of each directed edge by compass bearing.
+        let sectors: Vec<usize> = inputs
+            .adjacency
+            .bearing()
+            .iter()
+            .map(|&b| sector_of(b as f64, n_sectors))
+            .collect();
+
+        let h0 = self.feats.features(g, bind, inputs, self.cfg.use_node_embeddings);
+        let mut hs: Vec<Var> = vec![h0; self.n_relations];
+        for rels in &self.layers {
+            let mut next = Vec::with_capacity(self.n_relations);
+            for (r, &w) in rels.iter().enumerate() {
+                let h = hs[r];
+                let mut parts = Vec::with_capacity(n_sectors + 1);
+                for s in 0..n_sectors {
+                    // Mean aggregation of relation-r neighbours in sector s.
+                    let idx: Vec<usize> = by_rel[r]
+                        .pos
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &k)| sectors[k] == s)
+                        .map(|(i, _)| i)
+                        .collect();
+                    if idx.is_empty() {
+                        parts.push(g.constant(Matrix::zeros(inputs.n_pois, self.cfg.dim)));
+                        continue;
+                    }
+                    let src_s: Vec<usize> = idx.iter().map(|&i| by_rel[r].src[i]).collect();
+                    let dst_s: Vec<usize> = idx.iter().map(|&i| by_rel[r].dst[i]).collect();
+                    let msgs = g.gather_rows(h, &src_s);
+                    let summed = g.segment_sum(msgs, &dst_s, inputs.n_pois);
+                    let mut counts = vec![0usize; inputs.n_pois];
+                    for &d in &dst_s {
+                        counts[d] += 1;
+                    }
+                    let inv = g.constant(Matrix::from_fn(inputs.n_pois, 1, |i, _| {
+                        1.0 / counts[i].max(1) as f32
+                    }));
+                    parts.push(g.scale_rows(summed, inv));
+                }
+                parts.push(h); // self representation
+                let cat = g.concat_cols(&parts);
+                let proj = g.matmul(cat, bind.var(w));
+                next.push(g.elu(proj));
+            }
+            hs = next;
+        }
+        let mean = mean_of(g, &hs);
+        DecoupledFwd { per_rel: hs, mean, rel_table: bind.var(self.rel_table) }
+    }
+
+    fn score(
+        &self,
+        g: &mut Graph,
+        _bind: &Binding,
+        fwd: &Self::Fwd,
+        src: &[usize],
+        rel: &[usize],
+        dst: &[usize],
+    ) -> Var {
+        decoupled_score(g, fwd, src, rel, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{predict_pairs, train_pair_model};
+    use prim_core::PrimConfig;
+    use prim_data::{Dataset, Scale};
+    use prim_graph::PoiId;
+
+    fn small_inputs() -> (Dataset, ModelInputs) {
+        let ds = Dataset::beijing(Scale::Quick).subsample(0.18, 31);
+        let cfg = PrimConfig::quick();
+        let inputs =
+            ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        (ds, inputs)
+    }
+
+    #[test]
+    fn decgcn_trains_and_predicts() {
+        let (ds, inputs) = small_inputs();
+        let cfg = BaselineConfig { epochs: 12, dim: 12, n_layers: 2, ..BaselineConfig::quick() };
+        let mut model = DecGcnModel::new(cfg, &inputs);
+        let report = train_pair_model(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
+        assert!(report.losses[11] < report.losses[0]);
+        let preds = predict_pairs(&model, &inputs, &[(PoiId(0), PoiId(1)), (PoiId(2), PoiId(3))]);
+        assert!(preds.iter().all(|&p| p <= inputs.n_relations));
+    }
+
+    #[test]
+    fn deepr_trains_and_predicts() {
+        let (ds, inputs) = small_inputs();
+        let cfg = BaselineConfig { epochs: 12, dim: 12, n_layers: 2, ..BaselineConfig::quick() };
+        let mut model = DeepRModel::new(cfg, &inputs);
+        let report = train_pair_model(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
+        assert!(report.losses[11] < report.losses[0]);
+        let preds = predict_pairs(&model, &inputs, &[(PoiId(0), PoiId(1))]);
+        assert!(preds[0] <= inputs.n_relations);
+    }
+
+    #[test]
+    fn decoupled_relations_get_distinct_embeddings() {
+        let (_, inputs) = small_inputs();
+        let cfg = BaselineConfig { epochs: 1, dim: 8, n_layers: 1, ..BaselineConfig::quick() };
+        let model = DeepRModel::new(cfg, &inputs);
+        let mut g = Graph::new();
+        let bind = model.store().bind(&mut g);
+        let fwd = model.forward(&mut g, &bind, &inputs);
+        assert_eq!(fwd.per_rel.len(), inputs.n_relations);
+        // The two relations' sub-graphs differ, so embeddings must differ.
+        assert_ne!(g.value(fwd.per_rel[0]).row(0), g.value(fwd.per_rel[1]).row(0));
+        assert!(g.value(fwd.mean).all_finite());
+    }
+
+    #[test]
+    fn deepr_sector_partition_covers_all_edges() {
+        let (_, inputs) = small_inputs();
+        let sectors: Vec<usize> = inputs
+            .adjacency
+            .bearing()
+            .iter()
+            .map(|&b| sector_of(b as f64, 4))
+            .collect();
+        assert_eq!(sectors.len(), inputs.adjacency.num_directed_edges());
+        assert!(sectors.iter().all(|&s| s < 4));
+        // A city-wide edge set should populate several sectors.
+        let used: std::collections::HashSet<usize> = sectors.into_iter().collect();
+        assert!(used.len() >= 3, "sectors collapsed: {used:?}");
+    }
+}

@@ -1,0 +1,634 @@
+//! GNN encoder baselines producing a single node-embedding matrix:
+//! GCN, GAT (homogeneous), R-GCN, CompGCN, HGT, HAN (heterogeneous).
+//!
+//! Each implements [`Encoder`]; the [`EncoderModel`] wrapper pairs an
+//! encoder with the shared initial features and a DistMult relation table
+//! (with a φ row) so the generic trainer/predictor in [`crate::common`]
+//! applies. All encoders add a self-transform term, ELU activations, and
+//! follow the paper's setting of equal depth and width across methods.
+
+use crate::common::{
+    distmult_score, edges_by_relation, segment_mean_coeffs, BaselineConfig, InitialFeatures,
+    PairModel,
+};
+use prim_core::ModelInputs;
+use prim_nn::{init, Binding, ParamId, ParamStore};
+use prim_tensor::{Graph, Matrix, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// What an encoder produces.
+pub enum EncOut {
+    /// Node embeddings only; the wrapper supplies relation embeddings.
+    Nodes(Var),
+    /// Node embeddings plus relation embeddings learned by the encoder
+    /// itself (CompGCN).
+    NodesAndRelations(Var, Var),
+}
+
+/// A graph encoder.
+pub trait Encoder {
+    /// Display name.
+    const NAME: &'static str;
+
+    /// Registers parameters.
+    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, inputs: &ModelInputs) -> Self;
+
+    /// Encodes initial features `h0` into final node embeddings.
+    fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut;
+}
+
+/// Wraps an [`Encoder`] into a [`PairModel`].
+pub struct EncoderModel<E: Encoder> {
+    store: ParamStore,
+    cfg: BaselineConfig,
+    feats: InitialFeatures,
+    rel_table: ParamId,
+    encoder: E,
+    n_relations: usize,
+}
+
+impl<E: Encoder> EncoderModel<E> {
+    /// Builds the model for a dataset.
+    pub fn new(cfg: BaselineConfig, inputs: &ModelInputs) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let feats = InitialFeatures::new(
+            &mut store,
+            &mut rng,
+            inputs.attr_dim(),
+            inputs.n_categories,
+            inputs.n_pois,
+            cfg.dim,
+        );
+        let rel_table =
+            store.add_no_decay("rel", init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim));
+        let encoder = E::new(&mut store, &mut rng, &cfg, inputs);
+        EncoderModel { store, cfg, feats, rel_table, encoder, n_relations: inputs.n_relations }
+    }
+}
+
+impl<E: Encoder> PairModel for EncoderModel<E> {
+    type Fwd = (Var, Var);
+
+    fn name(&self) -> &'static str {
+        E::NAME
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn config(&self) -> &BaselineConfig {
+        &self.cfg
+    }
+
+    fn n_relations(&self) -> usize {
+        self.n_relations
+    }
+
+    fn forward(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs) -> Self::Fwd {
+        let h0 = self.feats.features(g, bind, inputs, self.cfg.use_node_embeddings);
+        match self.encoder.encode(g, bind, inputs, h0) {
+            EncOut::Nodes(h) => (h, bind.var(self.rel_table)),
+            EncOut::NodesAndRelations(h, rel) => (h, rel),
+        }
+    }
+
+    fn score(
+        &self,
+        g: &mut Graph,
+        _bind: &Binding,
+        fwd: &Self::Fwd,
+        src: &[usize],
+        rel: &[usize],
+        dst: &[usize],
+    ) -> Var {
+        distmult_score(g, fwd.0, fwd.1, src, rel, dst)
+    }
+}
+
+/// Symmetric GCN normalisation coefficients `1/√((d_i+1)(d_j+1))` over the
+/// union (relation-agnostic) adjacency.
+fn gcn_coeffs(inputs: &ModelInputs) -> Matrix {
+    let deg = inputs.adjacency.in_degrees();
+    Matrix::from_fn(inputs.adjacency.num_directed_edges(), 1, |k, _| {
+        let s = inputs.adjacency.src()[k] as usize;
+        let d = inputs.adjacency.dst()[k] as usize;
+        1.0 / (((deg[s] + 1) * (deg[d] + 1)) as f32).sqrt()
+    })
+}
+
+/// One GAT-style attention aggregation over an edge subset.
+///
+/// Returns the per-node aggregation `(n_pois × out_dim)` of
+/// `softmax_dst(LeakyReLU(aᵀ[Wh_dst ‖ Wh_src])) · Wh_src`.
+#[allow(clippy::too_many_arguments)]
+fn gat_aggregate(
+    g: &mut Graph,
+    h_proj: Var,
+    att_vec: Var,
+    src: &[usize],
+    dst: &[usize],
+    n_pois: usize,
+) -> Var {
+    let h_dst = g.gather_rows(h_proj, dst);
+    let h_src = g.gather_rows(h_proj, src);
+    let feats = g.concat_cols(&[h_dst, h_src]);
+    let a_rows = g.gather_rows(att_vec, &vec![0usize; src.len()]);
+    let raw = g.rows_dot(feats, a_rows);
+    let logits = g.leaky_relu(raw, 0.2);
+    let alpha = g.segment_softmax(logits, dst);
+    let weighted = g.scale_rows(h_src, alpha);
+    // `dst` ids double as segment ids (arbitrary segment maps are allowed).
+    g.segment_sum(weighted, dst, n_pois)
+}
+
+// ---------------------------------------------------------------------------
+// GCN
+// ---------------------------------------------------------------------------
+
+/// Vanilla GCN (Kipf & Welling): relation-agnostic normalised aggregation.
+pub struct GcnEncoder {
+    layers: Vec<(ParamId, ParamId)>, // (W_msg, W_self)
+}
+
+impl Encoder for GcnEncoder {
+    const NAME: &'static str = "GCN";
+
+    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, _inputs: &ModelInputs) -> Self {
+        let layers = (0..cfg.n_layers)
+            .map(|l| {
+                (
+                    store.add(format!("gcn.l{l}.w"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
+                    store.add(format!("gcn.l{l}.w0"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
+                )
+            })
+            .collect();
+        GcnEncoder { layers }
+    }
+
+    fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
+        let src = inputs.adjacency.src_usize();
+        let dst = inputs.adjacency.dst_usize();
+        let coeffs = g.constant(gcn_coeffs(inputs));
+        let mut h = h0;
+        for &(w, w0) in &self.layers {
+            let msgs = g.gather_rows(h, &src);
+            let scaled = g.scale_rows(msgs, coeffs);
+            let agg = g.segment_sum(scaled, &dst, inputs.n_pois);
+            let agg_p = g.matmul(agg, bind.var(w));
+            let self_p = g.matmul(h, bind.var(w0));
+            let sum = g.add(agg_p, self_p);
+            h = g.elu(sum);
+        }
+        EncOut::Nodes(h)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GAT
+// ---------------------------------------------------------------------------
+
+/// Vanilla multi-head GAT: relation-agnostic attention aggregation.
+pub struct GatEncoder {
+    /// Per layer: per head (W_proj, a), plus W_self.
+    layers: Vec<(Vec<(ParamId, ParamId)>, ParamId)>,
+}
+
+impl Encoder for GatEncoder {
+    const NAME: &'static str = "GAT";
+
+    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, _inputs: &ModelInputs) -> Self {
+        let head_dim = cfg.dim / cfg.n_heads;
+        assert!(head_dim * cfg.n_heads == cfg.dim, "dim must divide n_heads");
+        let layers = (0..cfg.n_layers)
+            .map(|l| {
+                let heads = (0..cfg.n_heads)
+                    .map(|k| {
+                        (
+                            store.add(
+                                format!("gat.l{l}.h{k}.w"),
+                                init::xavier_uniform(rng, cfg.dim, head_dim),
+                            ),
+                            store.add(
+                                format!("gat.l{l}.h{k}.a"),
+                                init::xavier_uniform(rng, 1, 2 * head_dim),
+                            ),
+                        )
+                    })
+                    .collect();
+                let w_self =
+                    store.add(format!("gat.l{l}.w0"), init::xavier_uniform(rng, cfg.dim, cfg.dim));
+                (heads, w_self)
+            })
+            .collect();
+        GatEncoder { layers }
+    }
+
+    fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
+        let src = inputs.adjacency.src_usize();
+        let dst = inputs.adjacency.dst_usize();
+        let mut h = h0;
+        for (heads, w_self) in &self.layers {
+            let mut outs = Vec::with_capacity(heads.len());
+            for &(w, a) in heads {
+                let proj = g.matmul(h, bind.var(w));
+                outs.push(gat_aggregate(g, proj, bind.var(a), &src, &dst, inputs.n_pois));
+            }
+            let agg = g.concat_cols(&outs);
+            let self_p = g.matmul(h, bind.var(*w_self));
+            let sum = g.add(agg, self_p);
+            h = g.elu(sum);
+        }
+        EncOut::Nodes(h)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R-GCN
+// ---------------------------------------------------------------------------
+
+/// R-GCN (Schlichtkrull et al.): one weight matrix per relation type,
+/// mean-normalised within each `(target, relation)` neighbourhood.
+pub struct RgcnEncoder {
+    /// Per layer: per relation W_r, plus W_self.
+    layers: Vec<(Vec<ParamId>, ParamId)>,
+}
+
+impl Encoder for RgcnEncoder {
+    const NAME: &'static str = "R-GCN";
+
+    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, inputs: &ModelInputs) -> Self {
+        let layers = (0..cfg.n_layers)
+            .map(|l| {
+                let rels = (0..inputs.n_relations)
+                    .map(|r| {
+                        store.add(
+                            format!("rgcn.l{l}.w{r}"),
+                            init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                        )
+                    })
+                    .collect();
+                let w_self = store
+                    .add(format!("rgcn.l{l}.w0"), init::xavier_uniform(rng, cfg.dim, cfg.dim));
+                (rels, w_self)
+            })
+            .collect();
+        RgcnEncoder { layers }
+    }
+
+    fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
+        let by_rel = edges_by_relation(inputs);
+        let coeffs = segment_mean_coeffs(inputs);
+        let src = inputs.adjacency.src();
+        let dst = inputs.adjacency.dst();
+        let mut h = h0;
+        for (rels, w_self) in &self.layers {
+            let mut total = g.matmul(h, bind.var(*w_self));
+            for (r, w_r) in rels.iter().enumerate() {
+                let edges = &by_rel[r];
+                if edges.is_empty() {
+                    continue;
+                }
+                let src_r: Vec<usize> = edges.iter().map(|&k| src[k] as usize).collect();
+                let dst_r: Vec<usize> = edges.iter().map(|&k| dst[k] as usize).collect();
+                let coeff_r = g.constant(Matrix::from_fn(edges.len(), 1, |i, _| {
+                    coeffs[edges[i]]
+                }));
+                let msgs = g.gather_rows(h, &src_r);
+                let proj = g.matmul(msgs, bind.var(*w_r));
+                let scaled = g.scale_rows(proj, coeff_r);
+                let agg = g.segment_sum(scaled, &dst_r, inputs.n_pois);
+                total = g.add(total, agg);
+            }
+            h = g.elu(total);
+        }
+        EncOut::Nodes(h)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CompGCN
+// ---------------------------------------------------------------------------
+
+/// CompGCN (Vashishth et al.): composition `h_j ⊙ h_r` messages with jointly
+/// learned relation embeddings, updated per layer and used for scoring.
+pub struct CompGcnEncoder {
+    rel_emb: ParamId,
+    /// Per layer: (W_msg, W_self, W_rel).
+    layers: Vec<(ParamId, ParamId, ParamId)>,
+}
+
+impl Encoder for CompGcnEncoder {
+    const NAME: &'static str = "CompGCN";
+
+    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, inputs: &ModelInputs) -> Self {
+        let rel_emb =
+            store.add_no_decay("compgcn.rel", init::embedding(rng, inputs.n_relations + 1, cfg.dim));
+        let layers = (0..cfg.n_layers)
+            .map(|l| {
+                (
+                    store.add(format!("compgcn.l{l}.w"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
+                    store.add(format!("compgcn.l{l}.w0"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
+                    store.add(format!("compgcn.l{l}.wr"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
+                )
+            })
+            .collect();
+        CompGcnEncoder { rel_emb, layers }
+    }
+
+    fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
+        let src = inputs.adjacency.src_usize();
+        let dst = inputs.adjacency.dst_usize();
+        let rel_idx = inputs.adjacency.rel_usize();
+        let deg = inputs.adjacency.in_degrees();
+        let coeffs = g.constant(Matrix::from_fn(
+            inputs.adjacency.num_directed_edges(),
+            1,
+            |k, _| 1.0 / (deg[inputs.adjacency.dst()[k] as usize].max(1)) as f32,
+        ));
+        let mut h = h0;
+        let mut rel = bind.var(self.rel_emb);
+        for &(w, w0, wr) in &self.layers {
+            let h_src = g.gather_rows(h, &src);
+            let r_edge = g.gather_rows(rel, &rel_idx);
+            let msg = g.mul(h_src, r_edge);
+            let proj = g.matmul(msg, bind.var(w));
+            let scaled = g.scale_rows(proj, coeffs);
+            let agg = g.segment_sum(scaled, &dst, inputs.n_pois);
+            let self_p = g.matmul(h, bind.var(w0));
+            let sum = g.add(agg, self_p);
+            h = g.elu(sum);
+            rel = g.matmul(rel, bind.var(wr));
+        }
+        EncOut::NodesAndRelations(h, rel)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HGT
+// ---------------------------------------------------------------------------
+
+/// Simplified HGT (Hu et al.): relation-specific key/value projections with
+/// scaled-dot attention normalised across *all* neighbours of a target.
+/// Per layer: `W_q`, per-relation `(W_k, W_v)`, `W_self`.
+type HgtLayer = (ParamId, Vec<(ParamId, ParamId)>, ParamId);
+
+/// Simplified HGT (Hu et al.): relation-specific key/value projections with
+/// scaled-dot attention normalised across *all* neighbours of a target.
+pub struct HgtEncoder {
+    layers: Vec<HgtLayer>,
+    dim: usize,
+}
+
+impl Encoder for HgtEncoder {
+    const NAME: &'static str = "HGT";
+
+    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, inputs: &ModelInputs) -> Self {
+        let layers = (0..cfg.n_layers)
+            .map(|l| {
+                let wq =
+                    store.add(format!("hgt.l{l}.wq"), init::xavier_uniform(rng, cfg.dim, cfg.dim));
+                let rels = (0..inputs.n_relations)
+                    .map(|r| {
+                        (
+                            store.add(
+                                format!("hgt.l{l}.wk{r}"),
+                                init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                            ),
+                            store.add(
+                                format!("hgt.l{l}.wv{r}"),
+                                init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                            ),
+                        )
+                    })
+                    .collect();
+                let w_self =
+                    store.add(format!("hgt.l{l}.w0"), init::xavier_uniform(rng, cfg.dim, cfg.dim));
+                (wq, rels, w_self)
+            })
+            .collect();
+        HgtEncoder { layers, dim: cfg.dim }
+    }
+
+    fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
+        let dst = inputs.adjacency.dst_usize();
+        let n = inputs.n_pois;
+        // Per-edge row index into the vertically stacked per-relation
+        // projections: row = rel·n + src.
+        let stacked_idx: Vec<usize> = inputs
+            .adjacency
+            .rel()
+            .iter()
+            .zip(inputs.adjacency.src().iter())
+            .map(|(&r, &s)| r as usize * n + s as usize)
+            .collect();
+        let mut h = h0;
+        for (wq, rels, w_self) in &self.layers {
+            let q = g.matmul(h, bind.var(*wq));
+            let k_parts: Vec<Var> =
+                rels.iter().map(|&(wk, _)| g.matmul(h, bind.var(wk))).collect();
+            let v_parts: Vec<Var> =
+                rels.iter().map(|&(_, wv)| g.matmul(h, bind.var(wv))).collect();
+            let k_all = g.vstack(&k_parts);
+            let v_all = g.vstack(&v_parts);
+            let q_dst = g.gather_rows(q, &dst);
+            let k_edge = g.gather_rows(k_all, &stacked_idx);
+            let dots = g.rows_dot(q_dst, k_edge);
+            let scaled = g.scale(dots, 1.0 / (self.dim as f32).sqrt());
+            let alpha = g.segment_softmax(scaled, &dst);
+            let v_edge = g.gather_rows(v_all, &stacked_idx);
+            let weighted = g.scale_rows(v_edge, alpha);
+            let agg = g.segment_sum(weighted, &dst, n);
+            let self_p = g.matmul(h, bind.var(*w_self));
+            let sum = g.add(agg, self_p);
+            h = g.elu(sum);
+        }
+        EncOut::Nodes(h)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HAN
+// ---------------------------------------------------------------------------
+
+/// HAN (Wang et al.): per-relation (meta-path) node-level GAT attention,
+/// fused by semantic attention over the relation-specific embeddings.
+pub struct HanEncoder {
+    /// Per layer: per relation (W_proj, a), plus semantic (W_s, b_s, q_s)
+    /// and W_self.
+    layers: Vec<HanLayer>,
+}
+
+struct HanLayer {
+    rel_heads: Vec<(ParamId, ParamId)>,
+    w_sem: ParamId,
+    b_sem: ParamId,
+    q_sem: ParamId,
+    w_self: ParamId,
+}
+
+impl Encoder for HanEncoder {
+    const NAME: &'static str = "HAN";
+
+    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, inputs: &ModelInputs) -> Self {
+        let layers = (0..cfg.n_layers)
+            .map(|l| HanLayer {
+                rel_heads: (0..inputs.n_relations)
+                    .map(|r| {
+                        (
+                            store.add(
+                                format!("han.l{l}.r{r}.w"),
+                                init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                            ),
+                            store.add(
+                                format!("han.l{l}.r{r}.a"),
+                                init::xavier_uniform(rng, 1, 2 * cfg.dim),
+                            ),
+                        )
+                    })
+                    .collect(),
+                w_sem: store
+                    .add(format!("han.l{l}.ws"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
+                b_sem: store.add(format!("han.l{l}.bs"), Matrix::zeros(1, cfg.dim)),
+                q_sem: store
+                    .add(format!("han.l{l}.qs"), init::xavier_uniform(rng, cfg.dim, 1)),
+                w_self: store
+                    .add(format!("han.l{l}.w0"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
+            })
+            .collect();
+        HanEncoder { layers }
+    }
+
+    fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
+        let by_rel = edges_by_relation(inputs);
+        let src = inputs.adjacency.src();
+        let dst = inputs.adjacency.dst();
+        let mut h = h0;
+        for layer in &self.layers {
+            let mut z_rels = Vec::with_capacity(layer.rel_heads.len());
+            let mut sem_scores = Vec::with_capacity(layer.rel_heads.len());
+            for (r, &(w, a)) in layer.rel_heads.iter().enumerate() {
+                let proj = g.matmul(h, bind.var(w));
+                let z = if by_rel[r].is_empty() {
+                    proj
+                } else {
+                    let src_r: Vec<usize> =
+                        by_rel[r].iter().map(|&k| src[k] as usize).collect();
+                    let dst_r: Vec<usize> =
+                        by_rel[r].iter().map(|&k| dst[k] as usize).collect();
+                    gat_aggregate(g, proj, bind.var(a), &src_r, &dst_r, inputs.n_pois)
+                };
+                // Semantic importance: mean over nodes of qᵀ tanh(W z + b).
+                let t0 = g.matmul(z, bind.var(layer.w_sem));
+                let t1 = g.add_row_broadcast(t0, bind.var(layer.b_sem));
+                let t = g.tanh(t1);
+                let s = g.matmul(t, bind.var(layer.q_sem));
+                sem_scores.push(g.mean_all(s));
+                z_rels.push(z);
+            }
+            let stacked = g.vstack(&sem_scores);
+            let beta = g.segment_softmax(stacked, &vec![0usize; sem_scores.len()]);
+            let mut fused: Option<Var> = None;
+            for (r, &z) in z_rels.iter().enumerate() {
+                let b_r = g.gather_rows(beta, &[r]);
+                let weighted = g.mul_scalar_var(z, b_r);
+                fused = Some(match fused {
+                    Some(acc) => g.add(acc, weighted),
+                    None => weighted,
+                });
+            }
+            let agg = fused.expect("at least one relation");
+            let self_p = g.matmul(h, bind.var(layer.w_self));
+            let sum = g.add(agg, self_p);
+            h = g.elu(sum);
+        }
+        EncOut::Nodes(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{predict_pairs, train_pair_model};
+    use prim_core::PrimConfig;
+    use prim_data::{Dataset, Scale};
+    use prim_graph::PoiId;
+
+    fn small_inputs() -> (Dataset, ModelInputs) {
+        let ds = Dataset::beijing(Scale::Quick).subsample(0.18, 21);
+        let cfg = PrimConfig::quick();
+        let inputs =
+            ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        (ds, inputs)
+    }
+
+    fn check_encoder<E: Encoder>() {
+        let (ds, inputs) = small_inputs();
+        let cfg = BaselineConfig { epochs: 12, dim: 12, n_layers: 2, ..BaselineConfig::quick() };
+        let mut model = EncoderModel::<E>::new(cfg, &inputs);
+        // Forward produces finite embeddings of the right shape.
+        {
+            let mut g = Graph::new();
+            let bind = model.store().bind(&mut g);
+            let (h, rel) = model.forward(&mut g, &bind, &inputs);
+            assert_eq!(g.shape(h), (inputs.n_pois, 12));
+            assert_eq!(g.shape(rel), (inputs.n_relations + 1, 12));
+            assert!(g.value(h).all_finite(), "{} produced non-finite output", E::NAME);
+        }
+        // A few epochs reduce the loss.
+        let report = train_pair_model(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
+        assert!(
+            report.losses[11] < report.losses[0],
+            "{}: loss {:?} → {:?}",
+            E::NAME,
+            report.losses[0],
+            report.losses[11]
+        );
+        // Predictions are valid class ids.
+        let preds = predict_pairs(&model, &inputs, &[(PoiId(0), PoiId(1))]);
+        assert!(preds[0] <= inputs.n_relations);
+    }
+
+    #[test]
+    fn gcn_trains() {
+        check_encoder::<GcnEncoder>();
+    }
+
+    #[test]
+    fn gat_trains() {
+        check_encoder::<GatEncoder>();
+    }
+
+    #[test]
+    fn rgcn_trains() {
+        check_encoder::<RgcnEncoder>();
+    }
+
+    #[test]
+    fn compgcn_trains() {
+        check_encoder::<CompGcnEncoder>();
+    }
+
+    #[test]
+    fn hgt_trains() {
+        check_encoder::<HgtEncoder>();
+    }
+
+    #[test]
+    fn han_trains() {
+        check_encoder::<HanEncoder>();
+    }
+
+    #[test]
+    fn gcn_coeffs_positive_and_bounded() {
+        let (_, inputs) = small_inputs();
+        let c = gcn_coeffs(&inputs);
+        assert!(c.data().iter().all(|&v| v > 0.0 && v <= 1.0));
+    }
+}

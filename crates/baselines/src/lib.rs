@@ -1,0 +1,27 @@
+//! # prim-baselines
+//!
+//! All twelve comparison methods from the PRIM paper (Section 5.1.2),
+//! implemented from scratch on the shared [`prim_tensor`] /
+//! [`prim_nn`] substrate and trained with the *same* objective as PRIM so
+//! Table 2's comparison is apples-to-apples:
+//!
+//! * rules — CAT, CAT-D ([`rules`]);
+//! * random-walk embeddings — DeepWalk, node2vec with hand-rolled SGNS
+//!   ([`walks`]);
+//! * homogeneous GNNs — GCN, GAT ([`encoders`]);
+//! * heterogeneous GNNs — HAN, HGT, R-GCN, CompGCN ([`encoders`]);
+//! * decoupled per-relation models — DecGCN, DeepR ([`decoupled`]);
+//! * the [`registry`] exposes every method (plus PRIM and its ablation
+//!   variants) behind one [`registry::run_method`] call.
+
+pub mod common;
+pub mod decoupled;
+pub mod encoders;
+pub mod registry;
+pub mod rules;
+pub mod walks;
+
+pub use common::{BaselineConfig, PairModel};
+pub use registry::{run_method, time_training_epochs, Method, MethodRun, RunConfig};
+pub use rules::{fit_rules, RuleModel};
+pub use walks::{sgns_embeddings, WalkConfig, WalkModel};

@@ -1,0 +1,386 @@
+//! Unified method registry: every method of the paper's Tables 2–3 behind
+//! one `run` entry point, so experiment harnesses iterate over
+//! [`Method`] values instead of hand-wiring thirteen training pipelines.
+
+use crate::common::{predict_pairs, train_pair_model, BaselineConfig, PairModel};
+use crate::decoupled::{DecGcnModel, DeepRModel};
+use crate::encoders::{
+    CompGcnEncoder, EncoderModel, GatEncoder, GcnEncoder, HanEncoder, HgtEncoder, RgcnEncoder,
+};
+use crate::rules::fit_rules;
+use crate::walks::{sgns_embeddings, WalkConfig, WalkModel};
+use prim_core::{fit, ModelInputs, PrimConfig, PrimModel, Variant};
+use prim_data::Dataset;
+use prim_eval::Task;
+use prim_graph::{sample_non_relation_pairs, PoiId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A method under evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Method {
+    /// Category-distance threshold rule.
+    Cat,
+    /// Category + geographic distance threshold rule.
+    CatD,
+    /// DeepWalk + DistMult scorer.
+    DeepWalk,
+    /// node2vec + DistMult scorer.
+    Node2Vec,
+    /// Vanilla GCN.
+    Gcn,
+    /// Vanilla GAT.
+    Gat,
+    /// Heterogeneous graph attention network.
+    Han,
+    /// Heterogeneous graph transformer.
+    Hgt,
+    /// Relational GCN.
+    RGcn,
+    /// Composition-based multi-relational GCN.
+    CompGcn,
+    /// Decoupled GCN (per-relation sub-graphs + co-attention).
+    DecGcn,
+    /// Sector-based competitive analysis GNN.
+    DeepR,
+    /// The paper's model, optionally ablated.
+    Prim(Variant),
+}
+
+impl Method {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Method::Cat => "CAT".into(),
+            Method::CatD => "CAT-D".into(),
+            Method::DeepWalk => "Deepwalk".into(),
+            Method::Node2Vec => "node2vec".into(),
+            Method::Gcn => "GCN".into(),
+            Method::Gat => "GAT".into(),
+            Method::Han => "HAN".into(),
+            Method::Hgt => "HGT".into(),
+            Method::RGcn => "R-GCN".into(),
+            Method::CompGcn => "CompGCN".into(),
+            Method::DecGcn => "DecGCN".into(),
+            Method::DeepR => "DeepR".into(),
+            Method::Prim(v) => v.name(),
+        }
+    }
+
+    /// The 13 methods of Table 2, in column order.
+    pub fn table2() -> Vec<Method> {
+        vec![
+            Method::Cat,
+            Method::CatD,
+            Method::DeepWalk,
+            Method::Node2Vec,
+            Method::Gcn,
+            Method::Gat,
+            Method::Han,
+            Method::Hgt,
+            Method::RGcn,
+            Method::CompGcn,
+            Method::DecGcn,
+            Method::DeepR,
+            Method::Prim(Variant::full()),
+        ]
+    }
+
+    /// The 10 GNN/embedding methods of Table 3 (rules and DecGCN excluded,
+    /// as in the paper).
+    pub fn table3() -> Vec<Method> {
+        vec![
+            Method::DeepWalk,
+            Method::Node2Vec,
+            Method::Gcn,
+            Method::Gat,
+            Method::Han,
+            Method::Hgt,
+            Method::RGcn,
+            Method::CompGcn,
+            Method::DeepR,
+            Method::Prim(Variant::full()),
+        ]
+    }
+
+    /// The GNN methods compared in the Figure 4 scalability study.
+    pub fn scalability_set() -> Vec<Method> {
+        vec![
+            Method::Gcn,
+            Method::Gat,
+            Method::Han,
+            Method::Hgt,
+            Method::RGcn,
+            Method::CompGcn,
+            Method::DeepR,
+            Method::Prim(Variant::full()),
+        ]
+    }
+
+    /// The four strongest baselines used in the sparse/unseen analyses.
+    pub fn best_baselines() -> Vec<Method> {
+        vec![Method::Han, Method::Hgt, Method::CompGcn, Method::DeepR]
+    }
+}
+
+/// Hyper-parameter bundle for a full run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// PRIM hyper-parameters.
+    pub prim: PrimConfig,
+    /// Shared baseline hyper-parameters.
+    pub baseline: BaselineConfig,
+    /// DeepWalk walk settings.
+    pub deepwalk: WalkConfig,
+    /// node2vec walk settings.
+    pub node2vec: WalkConfig,
+}
+
+impl RunConfig {
+    /// Laptop-scale defaults.
+    pub fn quick() -> Self {
+        RunConfig {
+            prim: PrimConfig::quick(),
+            baseline: BaselineConfig::quick(),
+            deepwalk: WalkConfig::deepwalk_quick(),
+            node2vec: WalkConfig::node2vec_quick(),
+        }
+    }
+
+    /// Paper-faithful sizes (slow).
+    pub fn paper() -> Self {
+        RunConfig {
+            prim: PrimConfig::paper(),
+            baseline: BaselineConfig::paper(),
+            ..Self::quick()
+        }
+    }
+}
+
+/// Outcome of training + predicting one method on one task.
+#[derive(Clone, Debug)]
+pub struct MethodRun {
+    /// Predicted class per eval pair.
+    pub predictions: Vec<usize>,
+    /// Total training wall-clock seconds.
+    pub train_seconds: f64,
+    /// Mean seconds per training epoch (Figure 4's quantity).
+    pub mean_epoch_seconds: f64,
+}
+
+fn run_pair_model<M: PairModel>(
+    mut model: M,
+    inputs: &ModelInputs,
+    dataset: &Dataset,
+    task: &Task,
+) -> MethodRun {
+    let t0 = std::time::Instant::now();
+    let report = train_pair_model(
+        &mut model,
+        inputs,
+        &dataset.graph,
+        &task.train,
+        task.visible.as_ref(),
+        Some(&task.val),
+    );
+    let train_seconds = t0.elapsed().as_secs_f64();
+    let predictions = predict_pairs(&model, inputs, &task.eval_pairs);
+    MethodRun { predictions, train_seconds, mean_epoch_seconds: report.mean_epoch_seconds() }
+}
+
+/// Trains `method` on `task` and predicts its evaluation pairs.
+pub fn run_method(method: Method, dataset: &Dataset, task: &Task, cfg: &RunConfig) -> MethodRun {
+    let inputs = ModelInputs::build(
+        &dataset.graph,
+        &dataset.taxonomy,
+        &dataset.attrs,
+        &task.train,
+        task.visible.as_ref(),
+        &cfg.prim,
+    );
+    match method {
+        Method::Cat | Method::CatD => {
+            let t0 = std::time::Instant::now();
+            // Tune thresholds on validation edges + φ pairs.
+            let mut rng = StdRng::seed_from_u64(task.seed.wrapping_add(0xCA7));
+            let mut val_pairs: Vec<(PoiId, PoiId)> =
+                task.val.iter().map(|e| (e.src, e.dst)).collect();
+            let mut val_expected: Vec<usize> =
+                task.val.iter().map(|e| e.rel.0 as usize).collect();
+            for (a, b) in sample_non_relation_pairs(&dataset.graph, task.val.len(), &mut rng) {
+                val_pairs.push((a, b));
+                val_expected.push(task.phi);
+            }
+            let model =
+                fit_rules(dataset, &val_pairs, &val_expected, method == Method::CatD);
+            let train_seconds = t0.elapsed().as_secs_f64();
+            MethodRun {
+                predictions: model.predict(dataset, &task.eval_pairs),
+                train_seconds,
+                mean_epoch_seconds: train_seconds,
+            }
+        }
+        Method::DeepWalk | Method::Node2Vec => {
+            let wcfg = if method == Method::DeepWalk { &cfg.deepwalk } else { &cfg.node2vec };
+            let t0 = std::time::Instant::now();
+            let emb = sgns_embeddings(dataset.graph.num_pois(), &task.train, wcfg);
+            let name: &'static str =
+                if method == Method::DeepWalk { "Deepwalk" } else { "node2vec" };
+            let model = WalkModel::new(name, emb, &inputs, cfg.baseline.clone());
+            let mut run = run_pair_model(model, &inputs, dataset, task);
+            run.train_seconds = t0.elapsed().as_secs_f64();
+            run
+        }
+        Method::Gcn => run_pair_model(
+            EncoderModel::<GcnEncoder>::new(cfg.baseline.clone(), &inputs),
+            &inputs,
+            dataset,
+            task,
+        ),
+        Method::Gat => run_pair_model(
+            EncoderModel::<GatEncoder>::new(cfg.baseline.clone(), &inputs),
+            &inputs,
+            dataset,
+            task,
+        ),
+        Method::Han => run_pair_model(
+            EncoderModel::<HanEncoder>::new(cfg.baseline.clone(), &inputs),
+            &inputs,
+            dataset,
+            task,
+        ),
+        Method::Hgt => run_pair_model(
+            EncoderModel::<HgtEncoder>::new(cfg.baseline.clone(), &inputs),
+            &inputs,
+            dataset,
+            task,
+        ),
+        Method::RGcn => run_pair_model(
+            EncoderModel::<RgcnEncoder>::new(cfg.baseline.clone(), &inputs),
+            &inputs,
+            dataset,
+            task,
+        ),
+        Method::CompGcn => run_pair_model(
+            EncoderModel::<CompGcnEncoder>::new(cfg.baseline.clone(), &inputs),
+            &inputs,
+            dataset,
+            task,
+        ),
+        Method::DecGcn => run_pair_model(
+            DecGcnModel::new(cfg.baseline.clone(), &inputs),
+            &inputs,
+            dataset,
+            task,
+        ),
+        Method::DeepR => run_pair_model(
+            DeepRModel::new(cfg.baseline.clone(), &inputs),
+            &inputs,
+            dataset,
+            task,
+        ),
+        Method::Prim(variant) => {
+            let prim_cfg = cfg.prim.clone().with_variant(variant);
+            let mut model = PrimModel::new(prim_cfg, &inputs);
+            let t0 = std::time::Instant::now();
+            let report = fit(
+                &mut model,
+                &inputs,
+                &dataset.graph,
+                &task.train,
+                task.visible.as_ref(),
+                Some(&task.val),
+            );
+            let train_seconds = t0.elapsed().as_secs_f64();
+            let table = model.embed(&inputs);
+            let predictions = model.predict_pairs(&table, &inputs, &task.eval_pairs);
+            MethodRun {
+                predictions,
+                train_seconds,
+                mean_epoch_seconds: report.mean_epoch_seconds(),
+            }
+        }
+    }
+}
+
+/// Trains `method` for a fixed number of epochs on the full edge set of a
+/// dataset and reports mean seconds per epoch — the Figure 4 measurement
+/// (no evaluation, matching the paper's randomly-related Singapore set).
+pub fn time_training_epochs(
+    method: Method,
+    dataset: &Dataset,
+    epochs: usize,
+    cfg: &RunConfig,
+) -> f64 {
+    let mut cfg = cfg.clone();
+    cfg.prim.epochs = epochs;
+    cfg.prim.val_check_every = 0;
+    cfg.baseline.epochs = epochs;
+    cfg.baseline.val_check_every = 0;
+    let task = Task {
+        train: dataset.graph.edges().to_vec(),
+        val: Vec::new(),
+        eval_pairs: Vec::new(),
+        expected: Vec::new(),
+        phi: dataset.graph.num_relations(),
+        visible: None,
+        seed: 7,
+    };
+    let run = run_method(method, dataset, &task, &cfg);
+    run.mean_epoch_seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prim_data::Scale;
+    use prim_eval::transductive_task;
+
+    fn quick_cfg() -> RunConfig {
+        let mut cfg = RunConfig::quick();
+        cfg.prim.epochs = 10;
+        cfg.prim.dim = 12;
+        cfg.prim.cat_dim = 6;
+        cfg.baseline.epochs = 10;
+        cfg.baseline.dim = 12;
+        cfg
+    }
+
+    #[test]
+    fn every_method_runs_end_to_end() {
+        let ds = Dataset::beijing(Scale::Quick).subsample(0.15, 41);
+        let task = transductive_task(&ds, 0.5, 5);
+        let cfg = quick_cfg();
+        for method in Method::table2() {
+            let run = run_method(method, &ds, &task, &cfg);
+            assert_eq!(
+                run.predictions.len(),
+                task.eval_pairs.len(),
+                "{} produced wrong prediction count",
+                method.name()
+            );
+            assert!(
+                run.predictions.iter().all(|&p| p <= task.phi),
+                "{} produced out-of-range class",
+                method.name()
+            );
+            let f1 = task.score(&run.predictions);
+            assert!(f1.micro_f1 >= 0.0 && f1.micro_f1 <= 1.0);
+        }
+    }
+
+    #[test]
+    fn method_lists_have_expected_sizes() {
+        assert_eq!(Method::table2().len(), 13);
+        assert_eq!(Method::table3().len(), 10);
+        assert_eq!(Method::scalability_set().len(), 8);
+        assert_eq!(Method::best_baselines().len(), 4);
+    }
+
+    #[test]
+    fn timing_runs_for_a_gnn() {
+        let ds = Dataset::scalability(300, 4, 2);
+        let secs = time_training_epochs(Method::Gcn, &ds, 2, &quick_cfg());
+        assert!(secs > 0.0 && secs < 60.0);
+    }
+}

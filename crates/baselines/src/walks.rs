@@ -1,0 +1,389 @@
+//! Random-walk embedding baselines: DeepWalk and node2vec
+//! (paper Section 5.1.2).
+//!
+//! Both learn node embeddings with skip-gram negative sampling (SGNS) over
+//! random walks on the union relationship graph (relation types ignored —
+//! the paper lists them as homogeneous methods). node2vec uses p/q-biased
+//! second-order walks. The frozen embeddings are then fed to a learned
+//! DistMult pair scorer through the shared [`crate::common`] trainer, so the
+//! evaluation protocol matches every other method.
+
+use crate::common::{distmult_score, BaselineConfig, PairModel};
+use prim_core::ModelInputs;
+use prim_graph::Edge;
+use prim_nn::{init, Binding, ParamId, ParamStore};
+use prim_tensor::{Graph, Matrix, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Walk and skip-gram hyper-parameters (paper: window 5, walk length 30,
+/// 20 walks per node; the quick preset halves the walk budget).
+#[derive(Clone, Debug)]
+pub struct WalkConfig {
+    /// Walks started per node.
+    pub walks_per_node: usize,
+    /// Steps per walk.
+    pub walk_length: usize,
+    /// Skip-gram window.
+    pub window: usize,
+    /// Negative samples per skip-gram pair.
+    pub negatives: usize,
+    /// Embedding width.
+    pub dim: usize,
+    /// SGNS epochs over the walk corpus.
+    pub epochs: usize,
+    /// Initial SGNS learning rate (linearly decayed).
+    pub lr: f32,
+    /// node2vec return parameter `p` (1 = DeepWalk).
+    pub p: f64,
+    /// node2vec in-out parameter `q` (1 = DeepWalk).
+    pub q: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WalkConfig {
+    /// DeepWalk: unbiased walks.
+    pub fn deepwalk_quick() -> Self {
+        WalkConfig {
+            walks_per_node: 10,
+            walk_length: 20,
+            window: 5,
+            negatives: 5,
+            dim: 24,
+            epochs: 2,
+            lr: 0.025,
+            p: 1.0,
+            q: 1.0,
+            seed: 23,
+        }
+    }
+
+    /// node2vec: biased walks (p = 1, q = 0.5 favours exploration).
+    pub fn node2vec_quick() -> Self {
+        WalkConfig { p: 1.0, q: 0.5, ..Self::deepwalk_quick() }
+    }
+}
+
+/// Union adjacency list (relation types ignored), neighbours sorted for
+/// O(log n) membership checks during node2vec transitions.
+struct UnionGraph {
+    neighbors: Vec<Vec<u32>>,
+}
+
+impl UnionGraph {
+    fn build(n_pois: usize, edges: &[Edge]) -> Self {
+        let mut neighbors = vec![Vec::new(); n_pois];
+        for e in edges {
+            neighbors[e.src.0 as usize].push(e.dst.0);
+            neighbors[e.dst.0 as usize].push(e.src.0);
+        }
+        for list in neighbors.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        UnionGraph { neighbors }
+    }
+
+    fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.neighbors[a as usize].binary_search(&b).is_ok()
+    }
+}
+
+/// Generates the walk corpus.
+fn generate_walks(graph: &UnionGraph, cfg: &WalkConfig, rng: &mut StdRng) -> Vec<Vec<u32>> {
+    let n = graph.neighbors.len();
+    let mut walks = Vec::new();
+    for start in 0..n as u32 {
+        if graph.neighbors[start as usize].is_empty() {
+            continue;
+        }
+        for _ in 0..cfg.walks_per_node {
+            let mut walk = Vec::with_capacity(cfg.walk_length);
+            walk.push(start);
+            let mut prev: Option<u32> = None;
+            let mut cur = start;
+            for _ in 1..cfg.walk_length {
+                let nbrs = &graph.neighbors[cur as usize];
+                if nbrs.is_empty() {
+                    break;
+                }
+                let next = match prev {
+                    // node2vec second-order transition via rejection
+                    // sampling: weight 1/p to return, 1 for common
+                    // neighbours, 1/q otherwise.
+                    Some(p_node) if cfg.p != 1.0 || cfg.q != 1.0 => {
+                        let max_w = (1.0 / cfg.p).max(1.0).max(1.0 / cfg.q);
+                        loop {
+                            let cand = nbrs[rng.gen_range(0..nbrs.len())];
+                            let w = if cand == p_node {
+                                1.0 / cfg.p
+                            } else if graph.has_edge(cand, p_node) {
+                                1.0
+                            } else {
+                                1.0 / cfg.q
+                            };
+                            if rng.gen_range(0.0..max_w) < w {
+                                break cand;
+                            }
+                        }
+                    }
+                    _ => nbrs[rng.gen_range(0..nbrs.len())],
+                };
+                walk.push(next);
+                prev = Some(cur);
+                cur = next;
+            }
+            walks.push(walk);
+        }
+    }
+    walks
+}
+
+/// Trains SGNS over the walks, returning `n_pois × dim` embeddings.
+/// Isolated nodes keep their small random initialisation.
+pub fn sgns_embeddings(n_pois: usize, edges: &[Edge], cfg: &WalkConfig) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let graph = UnionGraph::build(n_pois, edges);
+    let walks = generate_walks(&graph, cfg, &mut rng);
+
+    let bound = 0.5 / cfg.dim as f32;
+    let mut emb_in =
+        Matrix::from_fn(n_pois, cfg.dim, |_, _| rng.gen_range(-bound..bound));
+    let mut emb_out = Matrix::zeros(n_pois, cfg.dim);
+
+    // Unigram^0.75 negative table over walk occurrences.
+    let mut freq = vec![0usize; n_pois];
+    for w in &walks {
+        for &v in w {
+            freq[v as usize] += 1;
+        }
+    }
+    let mut neg_table = Vec::with_capacity(n_pois * 4);
+    for (v, &f) in freq.iter().enumerate() {
+        let slots = (f as f64).powf(0.75).ceil() as usize;
+        for _ in 0..slots {
+            neg_table.push(v as u32);
+        }
+    }
+    if neg_table.is_empty() {
+        return emb_in;
+    }
+
+    let total_steps = (cfg.epochs * walks.len()).max(1);
+    let mut step = 0usize;
+    for _epoch in 0..cfg.epochs {
+        for walk in &walks {
+            let lr = cfg.lr * (1.0 - step as f32 / total_steps as f32).max(0.05);
+            step += 1;
+            for (i, &center) in walk.iter().enumerate() {
+                let lo = i.saturating_sub(cfg.window);
+                let hi = (i + cfg.window + 1).min(walk.len());
+                for (j, &context) in walk.iter().enumerate().take(hi).skip(lo) {
+                    if j == i {
+                        continue;
+                    }
+                    // One positive + negatives, classic SGNS update.
+                    let mut grad_center = vec![0.0f32; cfg.dim];
+                    {
+                        let c_in: Vec<f32> = emb_in.row(center as usize).to_vec();
+                        for k in 0..=cfg.negatives {
+                            let (target, label) = if k == 0 {
+                                (context, 1.0f32)
+                            } else {
+                                (neg_table[rng.gen_range(0..neg_table.len())], 0.0)
+                            };
+                            if k > 0 && target == context {
+                                continue;
+                            }
+                            let t_out = emb_out.row_mut(target as usize);
+                            let dot: f32 =
+                                c_in.iter().zip(t_out.iter()).map(|(a, b)| a * b).sum();
+                            let g = (prim_tensor::stable_sigmoid(dot) - label) * lr;
+                            for d in 0..cfg.dim {
+                                grad_center[d] += g * t_out[d];
+                                t_out[d] -= g * c_in[d];
+                            }
+                        }
+                    }
+                    let c_in = emb_in.row_mut(center as usize);
+                    for d in 0..cfg.dim {
+                        c_in[d] -= grad_center[d];
+                    }
+                }
+            }
+        }
+    }
+    emb_in
+}
+
+/// Frozen-embedding DistMult scorer: the [`PairModel`] wrapper that puts
+/// DeepWalk/node2vec embeddings through the shared evaluation pipeline.
+pub struct WalkModel {
+    name: &'static str,
+    store: ParamStore,
+    cfg: BaselineConfig,
+    embeddings: Matrix,
+    /// Learned alignment `W : d_emb → dim`.
+    w_align: ParamId,
+    rel_table: ParamId,
+    n_relations: usize,
+}
+
+impl WalkModel {
+    /// Builds the model from precomputed walk embeddings.
+    pub fn new(
+        name: &'static str,
+        embeddings: Matrix,
+        inputs: &ModelInputs,
+        cfg: BaselineConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let w_align =
+            store.add("w_align", init::xavier_uniform(&mut rng, embeddings.cols(), cfg.dim));
+        let rel_table =
+            store.add_no_decay("rel", init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim));
+        WalkModel {
+            name,
+            store,
+            cfg,
+            embeddings,
+            w_align,
+            rel_table,
+            n_relations: inputs.n_relations,
+        }
+    }
+}
+
+impl PairModel for WalkModel {
+    type Fwd = (Var, Var);
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn config(&self) -> &BaselineConfig {
+        &self.cfg
+    }
+
+    fn n_relations(&self) -> usize {
+        self.n_relations
+    }
+
+    fn forward(&self, g: &mut Graph, bind: &Binding, _inputs: &ModelInputs) -> Self::Fwd {
+        let emb = g.constant(self.embeddings.clone());
+        let h = g.matmul(emb, bind.var(self.w_align));
+        (h, bind.var(self.rel_table))
+    }
+
+    fn score(
+        &self,
+        g: &mut Graph,
+        _bind: &Binding,
+        fwd: &Self::Fwd,
+        src: &[usize],
+        rel: &[usize],
+        dst: &[usize],
+    ) -> Var {
+        distmult_score(g, fwd.0, fwd.1, src, rel, dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prim_graph::{PoiId, RelationId};
+
+    /// Two disjoint cliques: walk embeddings must separate them.
+    fn two_cliques(size: usize) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        for block in 0..2u32 {
+            let base = block * size as u32;
+            for a in 0..size as u32 {
+                for b in a + 1..size as u32 {
+                    edges.push(Edge::new(
+                        PoiId(base + a),
+                        PoiId(base + b),
+                        RelationId(0),
+                    ));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn embeddings_separate_communities() {
+        let edges = two_cliques(8);
+        let cfg = WalkConfig { dim: 8, ..WalkConfig::deepwalk_quick() };
+        let emb = sgns_embeddings(16, &edges, &cfg);
+        // Mean within-clique cosine similarity must beat across-clique.
+        let cos = |a: usize, b: usize| {
+            let (ra, rb) = (emb.row(a), emb.row(b));
+            let dot: f32 = ra.iter().zip(rb).map(|(x, y)| x * y).sum();
+            dot / (emb.row_norm(a) * emb.row_norm(b)).max(1e-9)
+        };
+        let mut within = 0.0;
+        let mut across = 0.0;
+        let mut nw = 0;
+        let mut na = 0;
+        for a in 0..16 {
+            for b in 0..16 {
+                if a >= b {
+                    continue;
+                }
+                if (a < 8) == (b < 8) {
+                    within += cos(a, b);
+                    nw += 1;
+                } else {
+                    across += cos(a, b);
+                    na += 1;
+                }
+            }
+        }
+        let (within, across) = (within / nw as f32, across / na as f32);
+        assert!(
+            within > across + 0.2,
+            "communities not separated: within {within}, across {across}"
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_keep_finite_embeddings() {
+        let edges = two_cliques(4);
+        let cfg = WalkConfig { dim: 8, ..WalkConfig::deepwalk_quick() };
+        // 4 extra isolated nodes.
+        let emb = sgns_embeddings(12, &edges, &cfg);
+        assert_eq!(emb.rows(), 12);
+        assert!(emb.all_finite());
+    }
+
+    #[test]
+    fn node2vec_differs_from_deepwalk() {
+        let edges = two_cliques(6);
+        let dw = sgns_embeddings(12, &edges, &WalkConfig::deepwalk_quick());
+        let n2v = sgns_embeddings(12, &edges, &WalkConfig::node2vec_quick());
+        assert_ne!(dw.row(0), n2v.row(0));
+    }
+
+    #[test]
+    fn walks_stay_within_components() {
+        let edges = two_cliques(5);
+        let graph = UnionGraph::build(10, &edges);
+        let cfg = WalkConfig::deepwalk_quick();
+        let mut rng = StdRng::seed_from_u64(1);
+        for walk in generate_walks(&graph, &cfg, &mut rng) {
+            let first_block = walk[0] < 5;
+            assert!(walk.iter().all(|&v| (v < 5) == first_block));
+        }
+    }
+}

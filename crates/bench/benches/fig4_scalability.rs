@@ -1,0 +1,77 @@
+//! Figure 4 — training scalability: mean seconds per training epoch versus
+//! POI count on a Singapore-style dataset with 8 random relations per POI
+//! (paper Section 5.3; the paper sweeps 50K–250K POIs, quick mode sweeps a
+//! 10× smaller range with 4 relations per POI).
+//!
+//! Shape checks: training time grows roughly linearly with the input size
+//! for PRIM (the paper's O(Lmd) claim), and the homogeneous models (GCN,
+//! GAT) are the fastest family.
+
+use prim_baselines::{time_training_epochs, Method};
+use prim_bench::{assert_shape, emit, BenchScale};
+use prim_data::{Dataset, Scale};
+use prim_eval::Table;
+
+fn main() {
+    let bench = BenchScale::from_env();
+    let (sizes, rels_per_poi, epochs): (Vec<usize>, usize, usize) = match bench.scale {
+        Scale::Quick => (vec![1000, 2000, 3000, 4000, 5000], 4, 2),
+        Scale::Full => (vec![50_000, 100_000, 150_000, 200_000, 250_000], 8, 2),
+    };
+
+    let methods = Method::scalability_set();
+    let mut header: Vec<String> = vec!["#POIs".to_string()];
+    header.extend(methods.iter().map(|m| m.name()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Figure 4: seconds per training epoch", &header_refs);
+
+    let mut prim_times: Vec<(usize, f64)> = Vec::new();
+    let mut gcn_times: Vec<f64> = Vec::new();
+    let mut hetero_times: Vec<f64> = Vec::new();
+    for &n in &sizes {
+        let dataset = Dataset::scalability(n, rels_per_poi, 2);
+        let mut row = vec![n.to_string()];
+        for &method in &methods {
+            let secs = time_training_epochs(method, &dataset, epochs, &bench.config);
+            row.push(format!("{secs:.3}"));
+            match method {
+                Method::Prim(_) => prim_times.push((n, secs)),
+                Method::Gcn | Method::Gat => gcn_times.push(secs),
+                Method::Han | Method::Hgt | Method::RGcn | Method::CompGcn => {
+                    hetero_times.push(secs)
+                }
+                _ => {}
+            }
+        }
+        t.row(&row);
+    }
+    emit(&t);
+
+    // Linearity: time per POI at the largest size within 2.5× of the
+    // smallest (superlinear growth would blow far past that).
+    let (n0, t0) = prim_times.first().copied().unwrap();
+    let (n1, t1) = prim_times.last().copied().unwrap();
+    let per_poi_0 = t0 / n0 as f64;
+    let per_poi_1 = t1 / n1 as f64;
+    println!(
+        "PRIM per-POI epoch time: {:.2}µs at {}k vs {:.2}µs at {}k",
+        per_poi_0 * 1e6,
+        n0 / 1000,
+        per_poi_1 * 1e6,
+        n1 / 1000
+    );
+    assert!(
+        per_poi_1 < per_poi_0 * 2.5,
+        "PRIM training time grows superlinearly: {per_poi_0} → {per_poi_1} s/POI"
+    );
+
+    // Homogeneous models are fastest on average (paper's first observation).
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert_shape(
+        "homogeneous GNNs are faster than heterogeneous ones",
+        -mean(&gcn_times),
+        -mean(&hetero_times),
+        0.0,
+    );
+    println!("fig4_scalability: shape checks passed");
+}

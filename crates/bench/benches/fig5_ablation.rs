@@ -1,0 +1,81 @@
+//! Figure 5 — ablation study: PRIM against its seven ablated variants
+//! (-T taxonomy, -S spatial context, -D distance projection, and all
+//! combinations) plus the best baseline, on both cities across training
+//! fractions.
+//!
+//! Shape checks (paper Section 5.4): the full model beats every variant;
+//! removing more components hurts more on average; the bare WRGNN (-DST)
+//! stays in the vicinity of the best baseline.
+
+use prim_baselines::Method;
+use prim_bench::{assert_shape, emit, BenchScale};
+use prim_core::Variant;
+use prim_data::Dataset;
+use prim_eval::{fmt3, transductive_task, Table};
+
+fn main() {
+    let bench = BenchScale::from_env();
+    let (bj, sh) = Dataset::city_pair(bench.scale);
+    // The paper plots 40-70%; quick mode sweeps the two endpoints to keep
+    // 8 variants × datasets × fractions tractable.
+    let fracs: Vec<f64> = match bench.scale {
+        prim_data::Scale::Quick => vec![0.4, 0.7],
+        prim_data::Scale::Full => bench.fracs.clone(),
+    };
+
+    for dataset in [&bj, &sh] {
+        for (fi, &frac) in fracs.iter().enumerate() {
+            let pct = (frac * 100.0).round() as usize;
+            let task = transductive_task(dataset, frac, 500 + fi as u64);
+            let mut t = Table::new(
+                format!("Figure 5: ablations on {} train {}%", dataset.name, pct),
+                &["Variant", "Macro-F1", "Micro-F1"],
+            );
+            let mut scores: Vec<(String, f64)> = Vec::new();
+            for variant in Variant::all() {
+                let run = prim_bench::score_method(
+                    Method::Prim(variant),
+                    dataset,
+                    &task,
+                    &bench.config,
+                );
+                t.row(&[run.method.clone(), fmt3(run.f1.macro_f1), fmt3(run.f1.micro_f1)]);
+                scores.push((run.method, run.f1.macro_f1));
+            }
+            // Best baseline for the "Base" bar of the figure.
+            let base = prim_bench::score_method(Method::Han, dataset, &task, &bench.config);
+            t.row(&["Base (HAN)".into(), fmt3(base.f1.macro_f1), fmt3(base.f1.micro_f1)]);
+            emit(&t);
+
+            let get = |name: &str| scores.iter().find(|(n, _)| n == name).unwrap().1;
+            let full = get("PRIM");
+            for (name, v) in &scores {
+                if name != "PRIM" {
+                    assert_shape(
+                        &format!("{} {}%: PRIM >= {}", dataset.name, pct, name),
+                        full,
+                        *v,
+                        0.04,
+                    );
+                }
+            }
+            // More removals hurt more (on average).
+            let singles = (get("-T") + get("-S") + get("-D")) / 3.0;
+            let triple = get("-DST");
+            assert_shape(
+                &format!("{} {}%: single removals beat -DST", dataset.name, pct),
+                singles,
+                triple,
+                0.03,
+            );
+            // WRGNN alone stays near the best baseline.
+            assert_shape(
+                &format!("{} {}%: WRGNN (-DST) is near the best baseline", dataset.name, pct),
+                triple,
+                base.f1.macro_f1,
+                0.08,
+            );
+        }
+    }
+    println!("fig5_ablation: shape checks passed");
+}

@@ -1,0 +1,59 @@
+//! Figure 7 — datasets with different characteristics: random 40%/60%/80%
+//! POI subsets of Beijing (sparser subsets have lower density and larger
+//! spatial gaps), split 60/20/20, PRIM vs the four best baselines
+//! (paper Section 5.5.4).
+//!
+//! Shape check: PRIM wins on every subset.
+
+use prim_baselines::Method;
+use prim_bench::{assert_shape, emit, BenchScale};
+use prim_core::Variant;
+use prim_data::Dataset;
+use prim_eval::{fmt3, transductive_task, Table};
+
+fn main() {
+    let bench = BenchScale::from_env();
+    let bj = Dataset::beijing(bench.scale);
+
+    let mut methods = Method::best_baselines();
+    methods.push(Method::Prim(Variant::full()));
+
+    for (si, keep) in [0.4, 0.6, 0.8].into_iter().enumerate() {
+        let sub = bj.subsample(keep, 1000 + si as u64);
+        let stats = sub.stats();
+        println!(
+            "subset {:.0}%: {} POIs, {} edges ({:.1} edges/POI)",
+            keep * 100.0,
+            stats.n_pois,
+            stats.n_edges,
+            stats.n_edges as f64 / stats.n_pois as f64
+        );
+        // The paper splits these sets 60/20/20 (train fraction 0.6).
+        let task = transductive_task(&sub, 0.6, 1100 + si as u64);
+        let mut t = Table::new(
+            format!("Figure 7: Beijing subset keeping {:.0}% of POIs", keep * 100.0),
+            &["Method", "Macro-F1", "Micro-F1"],
+        );
+        let mut prim = f64::NAN;
+        let mut baselines: Vec<(String, f64)> = Vec::new();
+        for &method in &methods {
+            let run = prim_bench::score_method(method, &sub, &task, &bench.config);
+            t.row(&[run.method.clone(), fmt3(run.f1.macro_f1), fmt3(run.f1.micro_f1)]);
+            if run.method == "PRIM" {
+                prim = run.f1.macro_f1;
+            } else {
+                baselines.push((run.method, run.f1.macro_f1));
+            }
+        }
+        emit(&t);
+        for (name, v) in &baselines {
+            assert_shape(
+                &format!("subset {:.0}%: PRIM beats {}", keep * 100.0, name),
+                prim,
+                *v,
+                0.03,
+            );
+        }
+    }
+    println!("fig7_characteristics: shape checks passed");
+}

@@ -1,0 +1,58 @@
+//! Design-choice ablation: the relation-specific operator γ (paper
+//! Section 4.2). The paper picks element-wise multiplication "due to its
+//! efficiency and comparable results to other options" — this harness
+//! verifies both halves of that claim: accuracy is comparable across
+//! operators while multiplication trains fastest.
+
+use prim_baselines::Method;
+use prim_bench::{emit, BenchScale};
+use prim_core::{GammaOp, Variant};
+use prim_data::Dataset;
+use prim_eval::{fmt3, transductive_task, Table};
+
+fn main() {
+    let bench = BenchScale::from_env();
+    let ds = Dataset::beijing(bench.scale);
+    let task = transductive_task(&ds, bench.single_frac(), 1300);
+
+    let mut t = Table::new(
+        "γ-operator ablation (Beijing, 60% train)",
+        &["γ", "Macro-F1", "Micro-F1", "train s"],
+    );
+    let mut results = Vec::new();
+    for gamma in [GammaOp::Multiply, GammaOp::Subtract, GammaOp::CircularCorrelation] {
+        let mut cfg = bench.config.clone();
+        cfg.prim.gamma = gamma;
+        let run = prim_bench::score_method(Method::Prim(Variant::full()), &ds, &task, &cfg);
+        t.row(&[
+            format!("{gamma:?}"),
+            fmt3(run.f1.macro_f1),
+            fmt3(run.f1.micro_f1),
+            format!("{:.1}", run.train_seconds),
+        ]);
+        results.push((gamma, run.f1.macro_f1, run.train_seconds));
+    }
+    emit(&t);
+
+    // Multiplication is the fastest operator (the paper's efficiency claim).
+    let mult = results.iter().find(|(g, ..)| *g == GammaOp::Multiply).unwrap();
+    let circ = results
+        .iter()
+        .find(|(g, ..)| *g == GammaOp::CircularCorrelation)
+        .unwrap();
+    assert!(
+        mult.2 < circ.2,
+        "multiplication should be faster than circular correlation: {:.1}s vs {:.1}s",
+        mult.2,
+        circ.2
+    );
+    // And at least competitive in accuracy (within 0.08 of the best).
+    let best = results.iter().map(|r| r.1).fold(f64::MIN, f64::max);
+    assert!(
+        mult.1 > best - 0.08,
+        "multiplication not competitive: {:.3} vs best {:.3}",
+        mult.1,
+        best
+    );
+    println!("gamma_ablation: shape checks passed");
+}

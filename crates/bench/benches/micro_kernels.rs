@@ -1,0 +1,93 @@
+//! Criterion microbenchmarks for the hot kernels underneath every model:
+//! dense matmul, the GNN segment primitives, attention assembly, and the
+//! eager pair-scoring path. These back the per-component cost claims in
+//! DESIGN.md §5 and guard against performance regressions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use prim_core::{ModelInputs, PrimConfig, PrimModel};
+use prim_data::{Dataset, Scale};
+use prim_graph::PoiId;
+use prim_tensor::{check::TestRng, Graph, Matrix};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = TestRng::new(1);
+    let a = rng.matrix(256, 128);
+    let b = rng.matrix(128, 64);
+    c.bench_function("matmul_256x128x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+    c.bench_function("matmul_tn_256x128x64", |bench| {
+        bench.iter(|| black_box(a.matmul_tn(&rng_matrix_clone(&a))))
+    });
+}
+
+fn rng_matrix_clone(a: &Matrix) -> Matrix {
+    a.clone()
+}
+
+fn bench_segment_ops(c: &mut Criterion) {
+    let mut rng = TestRng::new(2);
+    let n_edges = 20_000;
+    let n_nodes = 1_000;
+    let x = rng.matrix(n_edges, 32);
+    let seg: Vec<usize> = (0..n_edges).map(|_| rng.below(n_nodes)).collect();
+    c.bench_function("segment_sum_20k_edges_d32", |bench| {
+        bench.iter_batched(
+            Graph::new,
+            |mut g| {
+                let v = g.leaf(x.clone());
+                black_box(g.segment_sum(v, &seg, n_nodes))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let logits = rng.matrix(n_edges, 1);
+    c.bench_function("segment_softmax_20k_edges", |bench| {
+        bench.iter_batched(
+            Graph::new,
+            |mut g| {
+                let v = g.leaf(logits.clone());
+                black_box(g.segment_softmax(v, &seg))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("gather_rows_20k", |bench| {
+        let table = rng.matrix(n_nodes, 32);
+        bench.iter_batched(
+            Graph::new,
+            |mut g| {
+                let v = g.leaf(table.clone());
+                black_box(g.gather_rows(v, &seg))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_forward_and_scoring(c: &mut Criterion) {
+    let ds = Dataset::beijing(Scale::Quick).subsample(0.4, 5);
+    let cfg = PrimConfig::quick();
+    let inputs =
+        ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+    let model = PrimModel::new(cfg, &inputs);
+
+    c.bench_function("prim_forward_quick_city", |bench| {
+        bench.iter(|| black_box(model.embed(&inputs)))
+    });
+
+    let table = model.embed(&inputs);
+    c.bench_function("prim_score_pair_eager", |bench| {
+        bench.iter(|| {
+            black_box(model.score_pair_eager(&table, PoiId(3), 0, PoiId(17), 1))
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_segment_ops, bench_forward_and_scoring
+}
+criterion_main!(kernels);

@@ -1,0 +1,92 @@
+//! Section 5.3 prediction efficiency — the paper reports 1.57 ms per query
+//! with the distance-specific hyperplane projection and 0.61 ms without
+//! (10K queries over precomputed embeddings).
+//!
+//! Shape checks: scoring a query from cached embeddings is fast (well under
+//! a millisecond on modern hardware at quick scale), and the projection
+//! costs a measurable multiple of the plain DistMult path — the trade-off
+//! the paper quantifies.
+
+use prim_bench::{emit, BenchScale};
+use prim_core::{fit, ModelInputs, PrimConfig, PrimModel, Variant};
+use prim_data::Dataset;
+use prim_eval::Table;
+use prim_graph::PoiId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn measure(model: &PrimModel, inputs: &ModelInputs, queries: &[(PoiId, PoiId)]) -> f64 {
+    let table = model.embed(inputs);
+    let phi = model.phi();
+    let start = Instant::now();
+    let mut sink = 0.0f32;
+    for &(a, b) in queries {
+        let bin = inputs.pair_bin(a, b, model.config());
+        for r in 0..=phi {
+            sink += model.score_pair_eager(&table, a, r, b, bin);
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(sink.is_finite());
+    elapsed / queries.len() as f64
+}
+
+fn main() {
+    let bench = BenchScale::from_env();
+    let ds = Dataset::beijing(bench.scale);
+    let n_queries = 10_000usize;
+
+    let mut rng = StdRng::seed_from_u64(9);
+    let n = ds.graph.num_pois() as u32;
+    let queries: Vec<(PoiId, PoiId)> = (0..n_queries)
+        .map(|_| (PoiId(rng.gen_range(0..n)), PoiId(rng.gen_range(0..n))))
+        .collect();
+
+    // Short training: latency does not depend on model quality.
+    let mut cfg = bench.config.prim.clone();
+    cfg.epochs = 5;
+    cfg.val_check_every = 0;
+    let run_case = |cfg: PrimConfig| -> f64 {
+        let inputs = ModelInputs::build(
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            ds.graph.edges(),
+            None,
+            &cfg,
+        );
+        let mut model = PrimModel::new(cfg, &inputs);
+        fit(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
+        measure(&model, &inputs, &queries)
+    };
+
+    let with_proj = run_case(cfg.clone());
+    let without_proj = run_case(cfg.with_variant(Variant::from_name("-D")));
+
+    let mut t = Table::new(
+        "Section 5.3: prediction latency per query (10K queries)",
+        &["Variant", "paper (ms)", "measured (ms)"],
+    );
+    t.row(&[
+        "with distance projection".into(),
+        "1.57".into(),
+        format!("{:.4}", with_proj * 1e3),
+    ]);
+    t.row(&[
+        "without projection".into(),
+        "0.61".into(),
+        format!("{:.4}", without_proj * 1e3),
+    ]);
+    emit(&t);
+
+    // Shape: the projection adds measurable cost; both paths stay in the
+    // practical regime the paper describes (well under ~2 ms/query even on
+    // our unoptimised scalar kernels).
+    assert!(
+        with_proj > without_proj,
+        "distance projection should cost extra: {with_proj} vs {without_proj}"
+    );
+    assert!(with_proj * 1e3 < 2.0, "query latency too high: {} ms", with_proj * 1e3);
+    println!("pred_latency: shape checks passed");
+}

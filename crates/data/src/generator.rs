@@ -1,0 +1,591 @@
+//! The latent generative model behind the synthetic cities.
+//!
+//! Three stages: a category taxonomy with complementary-partner structure,
+//! a clustered city layout with latent commercial/residential context, and
+//! relationship sampling driven by taxonomy distance, geographic decay and
+//! context (see DESIGN.md §3 for the paper-calibration rationale).
+
+use crate::config::{CityConfig, RelationConfig, TaxonomyConfig};
+use prim_geo::{GridIndex, Location};
+use prim_graph::{CategoryId, Edge, PoiId, RelationId, Taxonomy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// A generated taxonomy plus the latent structure used by the relation model.
+#[derive(Clone, Debug)]
+pub struct GeneratedTaxonomy {
+    /// The tree itself.
+    pub taxonomy: Taxonomy,
+    /// Top-level group of each leaf category.
+    pub group_of: Vec<usize>,
+    /// Global sub-group index of each leaf category.
+    pub subgroup_of: Vec<usize>,
+    /// Complementary partner of each sub-group (symmetric pairing).
+    pub partner_of: Vec<usize>,
+    /// Number of top-level groups.
+    pub n_groups: usize,
+}
+
+/// Generates a three-level taxonomy: root → groups → sub-groups → leaves.
+pub fn generate_taxonomy(cfg: &TaxonomyConfig) -> GeneratedTaxonomy {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut taxonomy = Taxonomy::new("root");
+    let mut group_of = Vec::new();
+    let mut subgroup_of = Vec::new();
+    let mut subgroup_group = Vec::new();
+
+    for gi in 0..cfg.n_groups {
+        let group = taxonomy.add_hypernym(taxonomy.root(), format!("group-{gi}"));
+        for si in 0..cfg.n_subgroups {
+            let sub = taxonomy.add_hypernym(group, format!("sub-{gi}-{si}"));
+            subgroup_group.push(gi);
+            let sub_id = subgroup_group.len() - 1;
+            for li in 0..cfg.n_leaves {
+                let _cat = taxonomy.add_category(sub, format!("cat-{gi}-{si}-{li}"));
+                group_of.push(gi);
+                subgroup_of.push(sub_id);
+            }
+        }
+    }
+
+    // Complementary partner pairing between sub-groups: ~35% of partners sit
+    // in the same group (bar ↔ nightclub-adjacent), the rest across groups
+    // (cinema ↔ restaurant). Cross-group partners are the pairs taxonomy
+    // *distance* cannot identify (they look like unrelated pairs to the CAT
+    // rules), while bilinear models can learn the partner map from subgroup
+    // features — this is what separates learned methods from rules.
+    let n_sub = subgroup_group.len();
+    let mut partner_of: Vec<usize> = (0..n_sub).collect();
+    let mut unpaired: Vec<usize> = (0..n_sub).collect();
+    while unpaired.len() >= 2 {
+        let a = unpaired.swap_remove(rng.gen_range(0..unpaired.len()));
+        let same_group: Vec<usize> = unpaired
+            .iter()
+            .copied()
+            .filter(|&s| subgroup_group[s] == subgroup_group[a])
+            .collect();
+        let b = if !same_group.is_empty() && rng.gen_bool(0.2) {
+            same_group[rng.gen_range(0..same_group.len())]
+        } else {
+            unpaired[rng.gen_range(0..unpaired.len())]
+        };
+        unpaired.retain(|&s| s != b);
+        partner_of[a] = b;
+        partner_of[b] = a;
+    }
+
+    GeneratedTaxonomy {
+        taxonomy,
+        group_of,
+        subgroup_of,
+        partner_of,
+        n_groups: cfg.n_groups,
+    }
+}
+
+/// Latent land-use context of a POI's surroundings. Exposed for analysis
+/// and attribute generation only — models never see it directly; the spatial
+/// context extractor must recover it from neighbouring category mixtures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContextKind {
+    /// Shopping centres, office districts, entertainment streets.
+    Commercial,
+    /// Residential blocks and neighbourhood services.
+    Residential,
+}
+
+/// Core-vs-suburb region tag (Table 5 analysis).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// Dense central area.
+    Core,
+    /// Everything else.
+    Suburb,
+}
+
+/// A generated city layout.
+#[derive(Clone, Debug)]
+pub struct GeneratedCity {
+    /// POI locations.
+    pub locations: Vec<Location>,
+    /// POI leaf categories.
+    pub categories: Vec<CategoryId>,
+    /// Core/suburb tag per POI.
+    pub regions: Vec<Region>,
+    /// Latent context per POI.
+    pub context: Vec<ContextKind>,
+}
+
+const KM_PER_DEG_LAT: f64 = 111.195;
+
+fn offset_km(center: Location, dx_km: f64, dy_km: f64) -> Location {
+    let lat = center.lat + dy_km / KM_PER_DEG_LAT;
+    let lon = center.lon + dx_km / (KM_PER_DEG_LAT * center.lat.to_radians().cos());
+    Location::new(lon, lat)
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates a clustered city: cluster centres concentrate toward the core
+/// (commercial) with residential blocks spread wider; POI categories are
+/// drawn from context-dependent group mixtures so the latent context is
+/// recoverable from spatial neighbourhoods.
+pub fn generate_city(
+    cfg: &CityConfig,
+    tax: &GeneratedTaxonomy,
+    rng: &mut StdRng,
+) -> GeneratedCity {
+    // Cluster centres: biased toward the core by sampling radius as r² ~ U.
+    let mut cluster_center = Vec::with_capacity(cfg.n_clusters);
+    let mut cluster_kind = Vec::with_capacity(cfg.n_clusters);
+    for _ in 0..cfg.n_clusters {
+        let r = cfg.city_radius_km * rng.gen_range(0.0f64..1.0).powf(1.9);
+        let phi = rng.gen_range(0.0..std::f64::consts::TAU);
+        let center = offset_km(cfg.center, r * phi.cos(), r * phi.sin());
+        let in_core = r < cfg.core_radius_km;
+        let commercial = rng.gen_bool(if in_core { 0.75 } else { 0.3 });
+        cluster_center.push(center);
+        cluster_kind.push(if commercial {
+            ContextKind::Commercial
+        } else {
+            ContextKind::Residential
+        });
+    }
+
+    // Context-dependent category mixtures: commercial areas skew toward the
+    // first half of the groups, residential toward the second half.
+    let n_cats = tax.taxonomy.num_categories();
+    let half = (tax.n_groups / 2).max(1);
+    let sample_category = |context: ContextKind, rng: &mut StdRng| -> CategoryId {
+        loop {
+            let cat = rng.gen_range(0..n_cats);
+            let group = tax.group_of[cat];
+            let preferred = match context {
+                ContextKind::Commercial => group < half,
+                ContextKind::Residential => group >= half,
+            };
+            // Preferred groups are ~3× more likely.
+            if preferred || rng.gen_bool(0.33) {
+                return CategoryId(cat as u32);
+            }
+        }
+    };
+
+    let mut locations = Vec::with_capacity(cfg.n_pois);
+    let mut categories = Vec::with_capacity(cfg.n_pois);
+    let mut regions = Vec::with_capacity(cfg.n_pois);
+    let mut context = Vec::with_capacity(cfg.n_pois);
+    for _ in 0..cfg.n_pois {
+        let (loc, ctx) = if rng.gen_bool(cfg.clustered_frac) && !cluster_center.is_empty() {
+            let c = rng.gen_range(0..cluster_center.len());
+            let loc = offset_km(
+                cluster_center[c],
+                gaussian(rng) * cfg.cluster_sigma_km,
+                gaussian(rng) * cfg.cluster_sigma_km,
+            );
+            (loc, cluster_kind[c])
+        } else {
+            let x = rng.gen_range(-cfg.city_radius_km..cfg.city_radius_km);
+            let y = rng.gen_range(-cfg.city_radius_km..cfg.city_radius_km);
+            let kind = if rng.gen_bool(0.8) {
+                ContextKind::Residential
+            } else {
+                ContextKind::Commercial
+            };
+            (offset_km(cfg.center, x, y), kind)
+        };
+        let dist_center = loc.equirect_km(&cfg.center);
+        regions.push(if dist_center < cfg.core_radius_km { Region::Core } else { Region::Suburb });
+        categories.push(sample_category(ctx, rng));
+        locations.push(loc);
+        context.push(ctx);
+    }
+
+    GeneratedCity { locations, categories, regions, context }
+}
+
+/// Relationship family before intensity tiering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Interchangeable services (competitive).
+    Competitive,
+    /// Jointly visited services (complementary).
+    Complementary,
+}
+
+/// Taxonomy affinity of a candidate pair for the competitive family.
+fn competitive_category_weight(tax: &GeneratedTaxonomy, a: usize, b: usize) -> f64 {
+    if a == b {
+        1.0
+    } else if tax.subgroup_of[a] == tax.subgroup_of[b] {
+        0.55
+    } else if tax.group_of[a] == tax.group_of[b] {
+        0.1
+    } else {
+        0.015
+    }
+}
+
+/// Taxonomy affinity of a candidate pair for the complementary family.
+fn complementary_category_weight(tax: &GeneratedTaxonomy, a: usize, b: usize) -> f64 {
+    let (sa, sb) = (tax.subgroup_of[a], tax.subgroup_of[b]);
+    if sa != sb && tax.partner_of[sa] == sb {
+        1.0
+    } else if sa == sb {
+        0.06
+    } else if tax.group_of[a] == tax.group_of[b] {
+        0.3
+    } else {
+        0.05
+    }
+}
+
+/// Context multiplier for competitiveness: residential areas amplify direct
+/// competition, dense commercial footfall dampens it (the paper's
+/// KFC/McDonald's shopping-centre example).
+fn context_factor(a: ContextKind, b: ContextKind) -> f64 {
+    match (a, b) {
+        (ContextKind::Residential, ContextKind::Residential) => 1.8,
+        (ContextKind::Commercial, ContextKind::Commercial) => 0.55,
+        _ => 1.0,
+    }
+}
+
+/// A scored candidate pair.
+struct Candidate {
+    a: u32,
+    b: u32,
+    score: f64,
+}
+
+/// Generates the relationship edge set plus relation names.
+///
+/// Edge selection is score-proportional sampling without replacement
+/// (Gumbel top-k), which hits the configured edge counts exactly while
+/// preferring high-affinity pairs.
+pub fn generate_relations(
+    city: &GeneratedCity,
+    tax: &GeneratedTaxonomy,
+    cfg: &RelationConfig,
+    rng: &mut StdRng,
+) -> (Vec<Edge>, Vec<String>) {
+    let n = city.locations.len();
+    let index = GridIndex::build(&city.locations, cfg.candidate_radius_km.max(1.0));
+
+    // Latent affinity communities (brand circles): assigned independently of
+    // geography and taxonomy, with a partner pairing for complementarity.
+    // Observable only through the edges they generate.
+    let n_comm = cfg.n_communities.max(1);
+    let community: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n_comm)).collect();
+    let comm_partner: Vec<usize> = {
+        let mut p: Vec<usize> = (0..n_comm).collect();
+        // Pair 2k ↔ 2k+1 after a seeded shuffle.
+        use rand::seq::SliceRandom;
+        let mut order: Vec<usize> = (0..n_comm).collect();
+        order.shuffle(rng);
+        for pair in order.chunks(2) {
+            if pair.len() == 2 {
+                p[pair[0]] = pair[1];
+                p[pair[1]] = pair[0];
+            }
+        }
+        p
+    };
+    let community_factor = |family: Family, a: u32, b: u32| -> f64 {
+        let (ca, cb) = (community[a as usize], community[b as usize]);
+        let matched = match family {
+            Family::Competitive => ca == cb,
+            Family::Complementary => ca == cb || comm_partner[ca] == cb,
+        };
+        if matched {
+            cfg.community_boost
+        } else {
+            cfg.community_damp
+        }
+    };
+
+    // POIs per sub-group, for the category candidate channel.
+    let n_sub = tax.partner_of.len();
+    let mut by_subgroup: Vec<Vec<u32>> = vec![Vec::new(); n_sub];
+    for (i, cat) in city.categories.iter().enumerate() {
+        by_subgroup[tax.subgroup_of[cat.0 as usize]].push(i as u32);
+    }
+
+    // Collect unique candidate pairs from three channels: spatial
+    // neighbours, same/partner-subgroup POIs anywhere in the city, and a
+    // few uniformly random long-range pairs.
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    let mut pairs: Vec<(u32, u32, f64)> = Vec::new(); // (a, b, distance_km)
+    let push_pair = |seen: &mut HashSet<(u32, u32)>,
+                         pairs: &mut Vec<(u32, u32, f64)>,
+                         i: usize,
+                         j: usize,
+                         d: Option<f64>| {
+        if i == j {
+            return;
+        }
+        let key = if i < j { (i as u32, j as u32) } else { (j as u32, i as u32) };
+        if seen.insert(key) {
+            let d = d.unwrap_or_else(|| index.distance_km(i, j));
+            pairs.push((key.0, key.1, d));
+        }
+    };
+    for i in 0..n {
+        for (j, d) in index.k_nearest_within(i, cfg.candidate_radius_km, cfg.max_candidates) {
+            push_pair(&mut seen, &mut pairs, i, j, Some(d));
+        }
+        let sub = tax.subgroup_of[city.categories[i].0 as usize];
+        for &channel_sub in &[sub, tax.partner_of[sub]] {
+            let pool = &by_subgroup[channel_sub];
+            if pool.len() < 2 {
+                continue;
+            }
+            for _ in 0..cfg.category_candidates {
+                let j = pool[rng.gen_range(0..pool.len())] as usize;
+                push_pair(&mut seen, &mut pairs, i, j, None);
+            }
+        }
+        for _ in 0..cfg.random_candidates {
+            let j = rng.gen_range(0..n);
+            push_pair(&mut seen, &mut pairs, i, j, None);
+        }
+    }
+    drop(seen);
+
+    let total_edges = (cfg.edges_per_poi * n as f64).round() as usize;
+    let n_comp = (total_edges as f64 * cfg.competitive_share).round() as usize;
+    let n_compl = total_edges - n_comp;
+
+    let score_pair = |family: Family, a: u32, b: u32, d: f64| -> f64 {
+        let (ca, cb) = (city.categories[a as usize].0 as usize, city.categories[b as usize].0 as usize);
+        let base = match family {
+            Family::Competitive => {
+                competitive_category_weight(tax, ca, cb)
+                    * (-d / cfg.competitive_decay_km).exp()
+                    * context_factor(city.context[a as usize], city.context[b as usize])
+            }
+            Family::Complementary => {
+                complementary_category_weight(tax, ca, cb)
+                    * (-d / cfg.complementary_decay_km).exp()
+            }
+        };
+        base * community_factor(family, a, b)
+    };
+
+    // Gumbel top-k for the competitive family.
+    let select = |family: Family,
+                  k: usize,
+                  exclude: &HashSet<(u32, u32)>,
+                  rng: &mut StdRng|
+     -> Vec<(u32, u32, f64)> {
+        let mut cands: Vec<Candidate> = pairs
+            .iter()
+            .filter(|(a, b, _)| !exclude.contains(&(*a, *b)))
+            .map(|&(a, b, d)| {
+                let s = score_pair(family, a, b, d).max(1e-12);
+                let gumbel: f64 = {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    -(-u.ln()).ln()
+                };
+                Candidate { a, b, score: s.ln() + gumbel }
+            })
+            .collect();
+        let k = k.min(cands.len());
+        cands.select_nth_unstable_by(k.saturating_sub(1), |x, y| y.score.total_cmp(&x.score));
+        cands.truncate(k);
+        cands
+            .into_iter()
+            .map(|c| {
+                let raw = score_pair(family, c.a, c.b, index.distance_km(c.a as usize, c.b as usize));
+                (c.a, c.b, raw)
+            })
+            .collect()
+    };
+
+    let comp = select(Family::Competitive, n_comp, &HashSet::new(), rng);
+    let comp_keys: HashSet<(u32, u32)> = comp.iter().map(|&(a, b, _)| (a, b)).collect();
+    let compl = select(Family::Complementary, n_compl, &comp_keys, rng);
+
+    // Tier each family by raw score into `intensity_tiers` relation ids.
+    let tiers = cfg.intensity_tiers.max(1);
+    let tier_edges = |mut selected: Vec<(u32, u32, f64)>, base_rel: usize| -> Vec<Edge> {
+        selected.sort_by(|x, y| y.2.total_cmp(&x.2));
+        let per = selected.len().div_ceil(tiers).max(1);
+        selected
+            .into_iter()
+            .enumerate()
+            .map(|(k, (a, b, _))| {
+                let tier = (k / per).min(tiers - 1);
+                Edge::new(PoiId(a), PoiId(b), RelationId((base_rel + tier) as u8))
+            })
+            .collect()
+    };
+
+    let mut edges = tier_edges(comp, 0);
+    edges.extend(tier_edges(compl, tiers));
+
+    let names: Vec<String> = if tiers == 1 {
+        vec!["competitive".into(), "complementary".into()]
+    } else {
+        let mut v = Vec::new();
+        for fam in ["competitive", "complementary"] {
+            for t in 0..tiers {
+                v.push(format!("{fam}-{}", t + 1));
+            }
+        }
+        v
+    };
+    (edges, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scale;
+
+    fn setup() -> (GeneratedTaxonomy, GeneratedCity, StdRng) {
+        let tax = generate_taxonomy(&TaxonomyConfig::preset(Scale::Quick));
+        let cfg = CityConfig {
+            n_pois: 400,
+            ..CityConfig::beijing(Scale::Quick)
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        let city = generate_city(&cfg, &tax, &mut rng);
+        (tax, city, rng)
+    }
+
+    #[test]
+    fn taxonomy_shape_matches_config() {
+        let cfg = TaxonomyConfig::preset(Scale::Quick);
+        let tax = generate_taxonomy(&cfg);
+        assert_eq!(tax.taxonomy.num_categories(), cfg.expected_categories());
+        assert_eq!(tax.taxonomy.num_non_leaf(), cfg.expected_non_leaf());
+        assert_eq!(tax.group_of.len(), tax.taxonomy.num_categories());
+    }
+
+    #[test]
+    fn partner_pairing_is_symmetric_mostly() {
+        let tax = generate_taxonomy(&TaxonomyConfig::preset(Scale::Quick));
+        let n_sub = tax.partner_of.len();
+        let sym = (0..n_sub)
+            .filter(|&s| tax.partner_of[tax.partner_of[s]] == s)
+            .count();
+        assert_eq!(sym, n_sub, "partner pairing must be an involution");
+    }
+
+    #[test]
+    fn city_pois_within_bounds() {
+        let (_, city, _) = setup();
+        assert_eq!(city.locations.len(), 400);
+        let center = CityConfig::beijing(Scale::Quick).center;
+        // Clusters have Gaussian tails; allow generous slack.
+        for loc in &city.locations {
+            assert!(loc.equirect_km(&center) < 18.0 * 1.5 + 5.0);
+        }
+    }
+
+    #[test]
+    fn core_region_is_denser() {
+        let (_, city, _) = setup();
+        let core = city.regions.iter().filter(|&&r| r == Region::Core).count();
+        // Core is <15% of area but should hold a disproportionate POI share.
+        let frac = core as f64 / city.regions.len() as f64;
+        assert!(frac > 0.25, "core fraction {frac}");
+    }
+
+    #[test]
+    fn commercial_context_prefers_low_groups() {
+        let (tax, city, _) = setup();
+        let half = tax.n_groups / 2;
+        let mut counts = [[0usize; 2]; 2]; // [context][low/high group]
+        for (cat, ctx) in city.categories.iter().zip(&city.context) {
+            let low = (tax.group_of[cat.0 as usize] < half) as usize;
+            let c = (*ctx == ContextKind::Commercial) as usize;
+            counts[c][low] += 1;
+        }
+        let comm_low_frac =
+            counts[1][1] as f64 / (counts[1][0] + counts[1][1]).max(1) as f64;
+        let resi_low_frac =
+            counts[0][1] as f64 / (counts[0][0] + counts[0][1]).max(1) as f64;
+        assert!(
+            comm_low_frac > resi_low_frac + 0.2,
+            "commercial {comm_low_frac} vs residential {resi_low_frac}"
+        );
+    }
+
+    #[test]
+    fn relations_calibration_shape() {
+        let (tax, city, mut rng) = setup();
+        let cfg = RelationConfig::binary();
+        let (edges, names) = generate_relations(&city, &tax, &cfg, &mut rng);
+        assert_eq!(names.len(), 2);
+        let expected = (cfg.edges_per_poi * 400.0).round() as usize;
+        assert!((edges.len() as i64 - expected as i64).abs() <= 2);
+
+        // Distance calibration: competitive pairs concentrate within 2 km.
+        let index = GridIndex::build(&city.locations, 2.0);
+        let mut within = [0usize; 2];
+        let mut total = [0usize; 2];
+        let mut path_sum = [0usize; 2];
+        for e in &edges {
+            let fam = e.rel.0 as usize;
+            total[fam] += 1;
+            if index.distance_km(e.src.0 as usize, e.dst.0 as usize) < 2.0 {
+                within[fam] += 1;
+            }
+            path_sum[fam] += tax.taxonomy.path_distance(
+                city.categories[e.src.0 as usize],
+                city.categories[e.dst.0 as usize],
+            );
+        }
+        let comp_2km = within[0] as f64 / total[0] as f64;
+        let compl_2km = within[1] as f64 / total[1] as f64;
+        assert!(comp_2km > compl_2km + 0.1, "2km shares: {comp_2km} vs {compl_2km}");
+        let comp_path = path_sum[0] as f64 / total[0] as f64;
+        let compl_path = path_sum[1] as f64 / total[1] as f64;
+        assert!(
+            comp_path + 1.0 < compl_path,
+            "taxonomy path means: {comp_path} vs {compl_path}"
+        );
+    }
+
+    #[test]
+    fn six_way_tiers_all_present() {
+        let (tax, city, mut rng) = setup();
+        let cfg = RelationConfig::six_way();
+        let (edges, names) = generate_relations(&city, &tax, &cfg, &mut rng);
+        assert_eq!(names.len(), 6);
+        let mut counts = [0usize; 6];
+        for e in &edges {
+            counts[e.rel.0 as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "empty tier: {counts:?}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let tax = generate_taxonomy(&TaxonomyConfig::preset(Scale::Quick));
+        let cfg = CityConfig { n_pois: 200, ..CityConfig::beijing(Scale::Quick) };
+        let city1 = generate_city(&cfg, &tax, &mut StdRng::seed_from_u64(9));
+        let city2 = generate_city(&cfg, &tax, &mut StdRng::seed_from_u64(9));
+        assert_eq!(city1.categories, city2.categories);
+        let (e1, _) = generate_relations(
+            &city1,
+            &tax,
+            &RelationConfig::binary(),
+            &mut StdRng::seed_from_u64(10),
+        );
+        let (e2, _) = generate_relations(
+            &city2,
+            &tax,
+            &RelationConfig::binary(),
+            &mut StdRng::seed_from_u64(10),
+        );
+        assert_eq!(e1, e2);
+    }
+}

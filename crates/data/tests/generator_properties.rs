@@ -1,0 +1,90 @@
+//! Property tests for the dataset generator: structural invariants that
+//! must hold for any configuration.
+
+use prim_data::{CityConfig, Dataset, RelationConfig, Scale, TaxonomyConfig};
+use prim_data::generator::{generate_city, generate_relations, generate_taxonomy};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Taxonomy shape always matches the configuration exactly.
+    #[test]
+    fn taxonomy_shape(groups in 2usize..6, subs in 2usize..5, leaves in 2usize..6, seed in 0u64..100) {
+        let cfg = TaxonomyConfig { n_groups: groups, n_subgroups: subs, n_leaves: leaves, seed };
+        let tax = generate_taxonomy(&cfg);
+        prop_assert_eq!(tax.taxonomy.num_categories(), groups * subs * leaves);
+        prop_assert_eq!(tax.taxonomy.num_non_leaf(), 1 + groups + groups * subs);
+        // Every leaf is at depth 3, and group/subgroup maps are consistent.
+        for c in 0..tax.taxonomy.num_categories() {
+            let cat = prim_graph::CategoryId(c as u32);
+            prop_assert_eq!(tax.taxonomy.path_to_root(cat).len(), 4);
+            prop_assert_eq!(tax.group_of[c], tax.subgroup_of[c] / subs);
+        }
+        // Partner pairing is an involution.
+        for s in 0..tax.partner_of.len() {
+            prop_assert_eq!(tax.partner_of[tax.partner_of[s]], s);
+        }
+    }
+
+    /// Generated edges reference valid POIs, use valid relation ids, and
+    /// hit the configured count.
+    #[test]
+    fn relations_structurally_valid(n_pois in 150usize..400, seed in 0u64..50, tiers in 1usize..4) {
+        let tax = generate_taxonomy(&TaxonomyConfig::preset(Scale::Quick));
+        let city_cfg = CityConfig { n_pois, seed, ..CityConfig::beijing(Scale::Quick) };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let city = generate_city(&city_cfg, &tax, &mut rng);
+        let rel_cfg = RelationConfig { intensity_tiers: tiers, ..RelationConfig::binary() };
+        let (edges, names) = generate_relations(&city, &tax, &rel_cfg, &mut rng);
+        prop_assert_eq!(names.len(), 2 * tiers);
+        let expected = (rel_cfg.edges_per_poi * n_pois as f64).round() as i64;
+        prop_assert!((edges.len() as i64 - expected).abs() <= 2);
+        for e in &edges {
+            prop_assert!((e.src.0 as usize) < n_pois);
+            prop_assert!((e.dst.0 as usize) < n_pois);
+            prop_assert!(e.src != e.dst);
+            prop_assert!((e.rel.0 as usize) < 2 * tiers);
+        }
+    }
+
+    /// Subsampling preserves structural consistency at any fraction.
+    #[test]
+    fn subsample_consistent(frac in 0.1f64..0.9, seed in 0u64..30) {
+        let ds = Dataset::beijing(Scale::Quick);
+        let sub = ds.subsample(frac, seed);
+        prop_assert_eq!(sub.attrs.rows(), sub.graph.num_pois());
+        prop_assert_eq!(sub.regions.len(), sub.graph.num_pois());
+        prop_assert_eq!(sub.context.len(), sub.graph.num_pois());
+        for e in sub.graph.edges() {
+            prop_assert!((e.src.0 as usize) < sub.graph.num_pois());
+            prop_assert!((e.dst.0 as usize) < sub.graph.num_pois());
+        }
+        // Fraction approximately respected.
+        let kept = sub.graph.num_pois() as f64 / ds.graph.num_pois() as f64;
+        prop_assert!((kept - frac).abs() < 0.12, "kept {kept} for frac {frac}");
+    }
+}
+
+/// Intensity tiers partition each family by score: tier populations are
+/// roughly equal within each family.
+#[test]
+fn six_way_tiers_roughly_balanced() {
+    let ds = Dataset::beijing_six(Scale::Quick);
+    let mut counts = [0usize; 6];
+    for e in ds.graph.edges() {
+        counts[e.rel.0 as usize] += 1;
+    }
+    for fam in 0..2 {
+        let total: usize = counts[fam * 3..fam * 3 + 3].iter().sum();
+        for t in 0..3 {
+            let share = counts[fam * 3 + t] as f64 / total as f64;
+            assert!(
+                (share - 1.0 / 3.0).abs() < 0.05,
+                "family {fam} tier {t} share {share:.3} (counts {counts:?})"
+            );
+        }
+    }
+}

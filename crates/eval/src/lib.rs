@@ -1,0 +1,19 @@
+//! # prim-eval
+//!
+//! Evaluation harness for the PRIM reproduction:
+//!
+//! * [`metrics`] — confusion matrices, per-class P/R/F1 and the paper's
+//!   Macro-F1 / Micro-F1;
+//! * [`task`] — the paper's evaluation protocols: transductive splits with
+//!   non-relation (φ) test pairs, sparse-POI restriction and the inductive
+//!   unseen-POI split;
+//! * [`report`] — aligned text tables interleaving paper-reported and
+//!   measured numbers.
+
+pub mod metrics;
+pub mod report;
+pub mod task;
+
+pub use metrics::{ClassificationReport, Confusion, F1Pair};
+pub use report::{fmt3, paper_vs, Table};
+pub use task::{inductive_task, sparse_task, transductive_task, Task};

@@ -1,0 +1,307 @@
+//! Classification metrics: the paper evaluates with Micro-F1 and Macro-F1
+//! over the relation classes `R* = R ∪ {φ}`.
+
+/// A confusion matrix over `n_classes` labels.
+#[derive(Clone, Debug)]
+pub struct Confusion {
+    n_classes: usize,
+    /// `counts[actual][predicted]`.
+    counts: Vec<usize>,
+}
+
+impl Confusion {
+    /// Builds a confusion matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or out-of-range labels.
+    pub fn from_predictions(predicted: &[usize], actual: &[usize], n_classes: usize) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+        let mut counts = vec![0usize; n_classes * n_classes];
+        for (&p, &a) in predicted.iter().zip(actual.iter()) {
+            assert!(p < n_classes && a < n_classes, "label out of range");
+            counts[a * n_classes + p] += 1;
+        }
+        Confusion { n_classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Count of samples with true class `actual` predicted as `predicted`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual * self.n_classes + predicted]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// True positives for a class.
+    pub fn tp(&self, class: usize) -> usize {
+        self.count(class, class)
+    }
+
+    /// False positives for a class.
+    pub fn fp(&self, class: usize) -> usize {
+        (0..self.n_classes)
+            .filter(|&a| a != class)
+            .map(|a| self.count(a, class))
+            .sum()
+    }
+
+    /// False negatives for a class.
+    pub fn fn_(&self, class: usize) -> usize {
+        (0..self.n_classes)
+            .filter(|&p| p != class)
+            .map(|p| self.count(class, p))
+            .sum()
+    }
+
+    /// Number of samples whose true label is `class`.
+    pub fn support(&self, class: usize) -> usize {
+        (0..self.n_classes).map(|p| self.count(class, p)).sum()
+    }
+
+    /// Precision for a class (0 when nothing was predicted as it).
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.tp(class);
+        let denom = tp + self.fp(class);
+        if denom == 0 {
+            0.0
+        } else {
+            tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall for a class (0 when the class has no support).
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.tp(class);
+        let denom = tp + self.fn_(class);
+        if denom == 0 {
+            0.0
+        } else {
+            tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 for a class.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-F1: unweighted mean F1 over classes *with support* (classes
+    /// absent from the ground truth are skipped, matching scikit-learn with
+    /// explicit labels).
+    pub fn macro_f1(&self) -> f64 {
+        let classes: Vec<usize> =
+            (0..self.n_classes).filter(|&c| self.support(c) > 0).collect();
+        if classes.is_empty() {
+            return 0.0;
+        }
+        classes.iter().map(|&c| self.f1(c)).sum::<f64>() / classes.len() as f64
+    }
+
+    /// Micro-F1: for single-label multi-class problems this equals accuracy.
+    pub fn micro_f1(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let tp: usize = (0..self.n_classes).map(|c| self.tp(c)).sum();
+        tp as f64 / total as f64
+    }
+
+    /// Plain accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.micro_f1()
+    }
+}
+
+/// Per-class report: precision, recall, F1 and support for each class,
+/// plus the macro/micro aggregates — the long-form view behind every
+/// headline F1 pair.
+#[derive(Clone, Debug)]
+pub struct ClassificationReport {
+    /// One row per class: `(precision, recall, f1, support)`.
+    pub per_class: Vec<(f64, f64, f64, usize)>,
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+    /// Micro-averaged F1 (accuracy).
+    pub micro_f1: f64,
+}
+
+impl ClassificationReport {
+    /// Builds the report from predictions.
+    pub fn compute(predicted: &[usize], actual: &[usize], n_classes: usize) -> Self {
+        let c = Confusion::from_predictions(predicted, actual, n_classes);
+        ClassificationReport {
+            per_class: (0..n_classes)
+                .map(|k| (c.precision(k), c.recall(k), c.f1(k), c.support(k)))
+                .collect(),
+            macro_f1: c.macro_f1(),
+            micro_f1: c.micro_f1(),
+        }
+    }
+
+    /// Renders the report with the given class names (padded/truncated to
+    /// the class count).
+    pub fn render(&self, class_names: &[&str]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>9} {:>9} {:>9} {:>9}
+",
+            "class", "precision", "recall", "f1", "support"
+        ));
+        for (k, &(p, r, f1, support)) in self.per_class.iter().enumerate() {
+            let name = class_names.get(k).copied().unwrap_or("?");
+            out.push_str(&format!(
+                "{name:<16} {p:>9.3} {r:>9.3} {f1:>9.3} {support:>9}
+"
+            ));
+        }
+        out.push_str(&format!(
+            "{:<16} {:>9} {:>9} {:>9.3}
+",
+            "macro avg", "", "", self.macro_f1
+        ));
+        out.push_str(&format!(
+            "{:<16} {:>9} {:>9} {:>9.3}
+",
+            "micro avg", "", "", self.micro_f1
+        ));
+        out
+    }
+}
+
+/// A macro/micro F1 pair, the unit every experiment table reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct F1Pair {
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+    /// Micro-averaged F1 (accuracy).
+    pub micro_f1: f64,
+}
+
+impl F1Pair {
+    /// Computes both metrics from predictions.
+    pub fn compute(predicted: &[usize], actual: &[usize], n_classes: usize) -> F1Pair {
+        let c = Confusion::from_predictions(predicted, actual, n_classes);
+        F1Pair { macro_f1: c.macro_f1(), micro_f1: c.micro_f1() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = vec![0, 1, 2, 0, 1, 2];
+        let c = Confusion::from_predictions(&y, &y, 3);
+        assert_eq!(c.macro_f1(), 1.0);
+        assert_eq!(c.micro_f1(), 1.0);
+        for class in 0..3 {
+            assert_eq!(c.precision(class), 1.0);
+            assert_eq!(c.recall(class), 1.0);
+        }
+    }
+
+    #[test]
+    fn all_wrong_predictions() {
+        let actual = vec![0, 0, 1, 1];
+        let predicted = vec![1, 1, 0, 0];
+        let c = Confusion::from_predictions(&predicted, &actual, 2);
+        assert_eq!(c.macro_f1(), 0.0);
+        assert_eq!(c.micro_f1(), 0.0);
+    }
+
+    #[test]
+    fn known_values_binary() {
+        // TP=2 (class1), FP=1, FN=1; class0: TP=2, FP=1, FN=1.
+        let actual = vec![1, 1, 1, 0, 0, 0];
+        let predicted = vec![1, 1, 0, 0, 0, 1];
+        let c = Confusion::from_predictions(&predicted, &actual, 2);
+        assert!((c.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.micro_f1() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((c.macro_f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_skips_unsupported_classes() {
+        // Class 2 never appears in ground truth; it must not dilute macro-F1.
+        let actual = vec![0, 0, 1, 1];
+        let predicted = vec![0, 0, 1, 1];
+        let c = Confusion::from_predictions(&predicted, &actual, 3);
+        assert_eq!(c.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn micro_equals_accuracy() {
+        let actual = vec![0, 1, 2, 2, 1, 0, 0];
+        let predicted = vec![0, 2, 2, 1, 1, 0, 1];
+        let c = Confusion::from_predictions(&predicted, &actual, 3);
+        let correct = actual
+            .iter()
+            .zip(predicted.iter())
+            .filter(|(a, p)| a == p)
+            .count();
+        assert!((c.micro_f1() - correct as f64 / actual.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalanced_classes_macro_below_micro() {
+        // 90 of class 0 all right, 10 of class 1 mostly wrong: micro high,
+        // macro pulled down by the minority class.
+        let mut actual = vec![0usize; 90];
+        actual.extend(vec![1usize; 10]);
+        let mut predicted = vec![0usize; 90];
+        predicted.extend(vec![0usize; 8]);
+        predicted.extend(vec![1usize; 2]);
+        let c = Confusion::from_predictions(&predicted, &actual, 2);
+        assert!(c.micro_f1() > 0.9);
+        assert!(c.macro_f1() < c.micro_f1());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = Confusion::from_predictions(&[0], &[0, 1], 2);
+    }
+
+    #[test]
+    fn classification_report_consistent_with_confusion() {
+        let actual = vec![0, 0, 1, 1, 2, 2];
+        let predicted = vec![0, 1, 1, 1, 2, 0];
+        let report = ClassificationReport::compute(&predicted, &actual, 3);
+        let c = Confusion::from_predictions(&predicted, &actual, 3);
+        for k in 0..3 {
+            assert_eq!(report.per_class[k].0, c.precision(k));
+            assert_eq!(report.per_class[k].1, c.recall(k));
+            assert_eq!(report.per_class[k].2, c.f1(k));
+            assert_eq!(report.per_class[k].3, 2);
+        }
+        assert_eq!(report.macro_f1, c.macro_f1());
+        let rendered = report.render(&["comp", "compl", "phi"]);
+        assert!(rendered.contains("comp"));
+        assert!(rendered.contains("macro avg"));
+        assert_eq!(rendered.lines().count(), 1 + 3 + 2);
+    }
+
+    #[test]
+    fn f1_pair_compute() {
+        let y = vec![0, 1, 0, 1];
+        let p = F1Pair::compute(&y, &y, 2);
+        assert_eq!(p, F1Pair { macro_f1: 1.0, micro_f1: 1.0 });
+    }
+}

@@ -1,0 +1,130 @@
+//! Text-table rendering for experiment reports.
+//!
+//! Every bench target prints a table whose rows interleave the paper's
+//! reported numbers with the measured ones, so the shape comparison is
+//! visible at a glance in `cargo bench` output and in EXPERIMENTS.md.
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extras are truncated.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Convenience: a row from string slices.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let n_cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(n_cols) {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[c] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an F1-style metric to three decimals.
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats paper-vs-measured with the delta, e.g. `0.845 / 0.812`.
+pub fn paper_vs(paper: f64, measured: f64) -> String {
+    format!("{paper:.3} / {measured:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_alignment() {
+        let mut t = Table::new("demo", &["method", "Macro-F1"]);
+        t.row_str(&["PRIM", "0.845"]);
+        t.row_str(&["a-very-long-method-name", "0.7"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        // Columns align: "0.845" and "0.7" start at the same offset.
+        let col = lines[3].find("0.845").unwrap();
+        assert_eq!(lines[4].find("0.7").unwrap(), col);
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["1".to_string()]);
+        t.row(&["1".to_string(), "2".to_string(), "3".to_string()]);
+        assert_eq!(t.len(), 2);
+        let s = t.render();
+        assert!(!s.contains('3'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt3(0.84512), "0.845");
+        assert_eq!(paper_vs(0.845, 0.812), "0.845 / 0.812");
+    }
+}

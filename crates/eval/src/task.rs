@@ -1,0 +1,229 @@
+//! Evaluation task construction following the paper's protocol
+//! (Section 5.1.3): 10% validation, 20% test, `train_frac` of the edges for
+//! training, plus sampled non-relation pairs added to the test set for the
+//! φ class (the paper samples 16 000; we scale with the dataset).
+
+use crate::metrics::F1Pair;
+use prim_data::Dataset;
+use prim_graph::{
+    inductive_split, sample_non_relation_pairs, sparse_subset, split_edges, Edge, PoiId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// A fully materialised evaluation task.
+pub struct Task {
+    /// Training edges.
+    pub train: Vec<Edge>,
+    /// Validation edges (model selection / rule threshold tuning).
+    pub val: Vec<Edge>,
+    /// Pairs to classify: test edges followed by non-relation pairs.
+    pub eval_pairs: Vec<(PoiId, PoiId)>,
+    /// Expected label per eval pair (`n_relations` = φ).
+    pub expected: Vec<usize>,
+    /// The φ label (= number of relation types).
+    pub phi: usize,
+    /// Visible POIs for inductive tasks (`None` = all visible).
+    pub visible: Option<HashSet<PoiId>>,
+    /// Task RNG seed (methods derive their own seeds from it).
+    pub seed: u64,
+}
+
+impl Task {
+    /// Number of classes including φ.
+    pub fn n_classes(&self) -> usize {
+        self.phi + 1
+    }
+
+    /// Scores predictions against the expected labels.
+    pub fn score(&self, predictions: &[usize]) -> F1Pair {
+        F1Pair::compute(predictions, &self.expected, self.n_classes())
+    }
+
+    /// Restricts the evaluation pairs by a predicate over (pair, expected),
+    /// keeping φ pairs; used for region-level analysis (Table 5).
+    pub fn filter_eval(&self, mut keep: impl FnMut(PoiId, PoiId, usize) -> bool) -> Task {
+        let mut eval_pairs = Vec::new();
+        let mut expected = Vec::new();
+        for (&(a, b), &e) in self.eval_pairs.iter().zip(self.expected.iter()) {
+            if keep(a, b, e) {
+                eval_pairs.push((a, b));
+                expected.push(e);
+            }
+        }
+        Task {
+            train: self.train.clone(),
+            val: self.val.clone(),
+            eval_pairs,
+            expected,
+            phi: self.phi,
+            visible: self.visible.clone(),
+            seed: self.seed,
+        }
+    }
+}
+
+/// Ratio of non-relation (φ) test pairs to test edges. The paper adds
+/// 16 000 φ pairs to ~24 000 test edges (Beijing) ≈ 0.65; we keep that ratio.
+const PHI_TEST_RATIO: f64 = 0.65;
+
+/// Builds the standard transductive task.
+pub fn transductive_task(dataset: &Dataset, train_frac: f64, seed: u64) -> Task {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let split = split_edges(&dataset.graph, train_frac, &mut rng);
+    let phi = dataset.graph.num_relations();
+
+    let n_phi = (split.test.len() as f64 * PHI_TEST_RATIO).round() as usize;
+    let phi_pairs = sample_non_relation_pairs(&dataset.graph, n_phi, &mut rng);
+
+    let mut eval_pairs: Vec<(PoiId, PoiId)> =
+        split.test.iter().map(|e| (e.src, e.dst)).collect();
+    let mut expected: Vec<usize> = split.test.iter().map(|e| e.rel.0 as usize).collect();
+    for (a, b) in phi_pairs {
+        eval_pairs.push((a, b));
+        expected.push(phi);
+    }
+
+    Task {
+        train: split.train,
+        val: split.val,
+        eval_pairs,
+        expected,
+        phi,
+        visible: None,
+        seed,
+    }
+}
+
+/// Builds the sparse-case task (Section 5.5.1): same training data as the
+/// transductive task, but evaluation restricted to test edges whose
+/// endpoints have fewer than `max_degree` training relationships (plus the
+/// φ pairs, which are kept).
+pub fn sparse_task(dataset: &Dataset, train_frac: f64, max_degree: usize, seed: u64) -> Task {
+    let base = transductive_task(dataset, train_frac, seed);
+    let n_test_edges = base.expected.iter().filter(|&&e| e != base.phi).count();
+    let test_edges: Vec<Edge> = base.eval_pairs[..n_test_edges]
+        .iter()
+        .zip(base.expected.iter())
+        .map(|(&(a, b), &r)| Edge::new(a, b, prim_graph::RelationId(r as u8)))
+        .collect();
+    let sparse =
+        sparse_subset(&base.train, &test_edges, dataset.graph.num_pois(), max_degree);
+    let sparse_keys: HashSet<(u32, u32)> = sparse.iter().map(|e| e.pair_key()).collect();
+
+    base.filter_eval(|a, b, e| {
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        e == dataset.graph.num_relations() || sparse_keys.contains(&key)
+    })
+}
+
+/// Builds the inductive (unseen POI) task of Section 5.5.2: 20% of POIs are
+/// hidden; training edges avoid them entirely, test edges touch them.
+pub fn inductive_task(dataset: &Dataset, hidden_frac: f64, seed: u64) -> Task {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ind = inductive_split(&dataset.graph, hidden_frac, &mut rng);
+    let phi = dataset.graph.num_relations();
+    let visible: HashSet<PoiId> = (0..dataset.graph.num_pois() as u32)
+        .map(PoiId)
+        .filter(|p| !ind.hidden.contains(p))
+        .collect();
+
+    // 10% of training edges act as validation.
+    let n_val = ind.train.len() / 10;
+    let (val, train) = ind.train.split_at(n_val);
+
+    let n_phi = (ind.test.len() as f64 * PHI_TEST_RATIO).round() as usize;
+    let phi_pairs = sample_non_relation_pairs(&dataset.graph, n_phi, &mut rng);
+
+    let mut eval_pairs: Vec<(PoiId, PoiId)> =
+        ind.test.iter().map(|e| (e.src, e.dst)).collect();
+    let mut expected: Vec<usize> = ind.test.iter().map(|e| e.rel.0 as usize).collect();
+    for (a, b) in phi_pairs {
+        eval_pairs.push((a, b));
+        expected.push(phi);
+    }
+
+    Task {
+        train: train.to_vec(),
+        val: val.to_vec(),
+        eval_pairs,
+        expected,
+        phi,
+        visible: Some(visible),
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prim_data::Scale;
+
+    fn small_ds() -> Dataset {
+        Dataset::beijing(Scale::Quick).subsample(0.35, 9)
+    }
+
+    #[test]
+    fn transductive_task_shapes() {
+        let ds = small_ds();
+        let task = transductive_task(&ds, 0.4, 1);
+        assert_eq!(task.eval_pairs.len(), task.expected.len());
+        assert_eq!(task.phi, 2);
+        let n_edges = ds.graph.num_edges() as f64;
+        assert!((task.train.len() as f64 - 0.4 * n_edges).abs() < 4.0);
+        assert!((task.val.len() as f64 - 0.1 * n_edges).abs() < 4.0);
+        // φ pairs present and labelled phi.
+        let n_phi = task.expected.iter().filter(|&&e| e == task.phi).count();
+        assert!(n_phi > 0);
+        let n_test_edges = task.expected.len() - n_phi;
+        assert!((n_phi as f64 / n_test_edges as f64 - 0.65).abs() < 0.05);
+    }
+
+    #[test]
+    fn score_of_oracle_is_one() {
+        let ds = small_ds();
+        let task = transductive_task(&ds, 0.5, 2);
+        let f1 = task.score(&task.expected);
+        assert_eq!(f1.macro_f1, 1.0);
+        assert_eq!(f1.micro_f1, 1.0);
+    }
+
+    #[test]
+    fn sparse_task_is_subset() {
+        let ds = small_ds();
+        let base = transductive_task(&ds, 0.4, 3);
+        let sparse = sparse_task(&ds, 0.4, 3, 3);
+        assert!(sparse.eval_pairs.len() <= base.eval_pairs.len());
+        // φ pairs are preserved.
+        let phi_base = base.expected.iter().filter(|&&e| e == base.phi).count();
+        let phi_sparse = sparse.expected.iter().filter(|&&e| e == sparse.phi).count();
+        assert_eq!(phi_base, phi_sparse);
+    }
+
+    #[test]
+    fn inductive_task_hides_pois_from_training() {
+        let ds = small_ds();
+        let task = inductive_task(&ds, 0.2, 4);
+        let visible = task.visible.as_ref().unwrap();
+        for e in &task.train {
+            assert!(visible.contains(&e.src) && visible.contains(&e.dst));
+        }
+        // Test pairs (non-φ) touch at least one hidden POI.
+        for (&(a, b), &e) in task.eval_pairs.iter().zip(task.expected.iter()) {
+            if e != task.phi {
+                assert!(!visible.contains(&a) || !visible.contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn tasks_are_deterministic() {
+        let ds = small_ds();
+        let t1 = transductive_task(&ds, 0.6, 7);
+        let t2 = transductive_task(&ds, 0.6, 7);
+        assert_eq!(t1.train, t2.train);
+        assert_eq!(t1.eval_pairs, t2.eval_pairs);
+        assert_eq!(t1.expected, t2.expected);
+    }
+}

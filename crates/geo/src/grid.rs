@@ -1,0 +1,264 @@
+//! A uniform-grid spatial index over point sets.
+//!
+//! Radius queries back two parts of the reproduction: the paper's *spatial
+//! neighbours* `S_p = {p' : dist(p, p') < d}` (Definition 3.1, `d` = 1.15 km)
+//! and the dataset generator's proximity-dependent relation sampling. Cells
+//! are sized to the query radius so a query touches at most 9 cells.
+
+use crate::location::Location;
+
+/// Spatial index with fixed-radius cell decomposition.
+///
+/// Coordinates are projected once with an equirectangular approximation
+/// centred on the data, so all internal distances are Euclidean km.
+pub struct GridIndex {
+    points_km: Vec<(f64, f64)>,
+    cell_km: f64,
+    min_x: f64,
+    min_y: f64,
+    n_cols: usize,
+    n_rows: usize,
+    /// CSR layout: `cell_start[c]..cell_start[c+1]` indexes into `cell_items`.
+    cell_start: Vec<usize>,
+    cell_items: Vec<u32>,
+}
+
+/// Projects locations to local km coordinates around their mean latitude.
+fn project(locations: &[Location]) -> Vec<(f64, f64)> {
+    if locations.is_empty() {
+        return Vec::new();
+    }
+    let mean_lat =
+        locations.iter().map(|l| l.lat).sum::<f64>() / locations.len() as f64;
+    let cos_lat = mean_lat.to_radians().cos();
+    const KM_PER_DEG: f64 = std::f64::consts::PI / 180.0 * crate::location::EARTH_RADIUS_KM;
+    locations
+        .iter()
+        .map(|l| (l.lon * KM_PER_DEG * cos_lat, l.lat * KM_PER_DEG))
+        .collect()
+}
+
+impl GridIndex {
+    /// Builds an index over `locations` with cells sized for radius queries
+    /// of about `cell_km` kilometres.
+    pub fn build(locations: &[Location], cell_km: f64) -> Self {
+        assert!(cell_km > 0.0, "GridIndex: cell size must be positive");
+        let points_km = project(locations);
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &points_km {
+            min_x = min_x.min(x);
+            min_y = min_y.min(y);
+            max_x = max_x.max(x);
+            max_y = max_y.max(y);
+        }
+        if points_km.is_empty() {
+            return GridIndex {
+                points_km,
+                cell_km,
+                min_x: 0.0,
+                min_y: 0.0,
+                n_cols: 1,
+                n_rows: 1,
+                cell_start: vec![0, 0],
+                cell_items: Vec::new(),
+            };
+        }
+        let n_cols = (((max_x - min_x) / cell_km).floor() as usize + 1).max(1);
+        let n_rows = (((max_y - min_y) / cell_km).floor() as usize + 1).max(1);
+        let n_cells = n_cols * n_rows;
+
+        // Counting sort into CSR.
+        let cell_of = |x: f64, y: f64| -> usize {
+            let cx = (((x - min_x) / cell_km) as usize).min(n_cols - 1);
+            let cy = (((y - min_y) / cell_km) as usize).min(n_rows - 1);
+            cy * n_cols + cx
+        };
+        let mut counts = vec![0usize; n_cells + 1];
+        for &(x, y) in &points_km {
+            counts[cell_of(x, y) + 1] += 1;
+        }
+        for c in 0..n_cells {
+            counts[c + 1] += counts[c];
+        }
+        let cell_start = counts.clone();
+        let mut fill = counts;
+        let mut cell_items = vec![0u32; points_km.len()];
+        for (i, &(x, y)) in points_km.iter().enumerate() {
+            let c = cell_of(x, y);
+            cell_items[fill[c]] = i as u32;
+            fill[c] += 1;
+        }
+
+        GridIndex { points_km, cell_km, min_x, min_y, n_cols, n_rows, cell_start, cell_items }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points_km.len()
+    }
+
+    /// True if the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points_km.is_empty()
+    }
+
+    /// Euclidean (projected) distance in km between two indexed points.
+    pub fn distance_km(&self, a: usize, b: usize) -> f64 {
+        let (ax, ay) = self.points_km[a];
+        let (bx, by) = self.points_km[b];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Indices of all points strictly within `radius_km` of point `query`
+    /// (excluding `query` itself), with their distances.
+    pub fn within_radius(&self, query: usize, radius_km: f64) -> Vec<(usize, f64)> {
+        let (qx, qy) = self.points_km[query];
+        let mut out = Vec::new();
+        self.for_cells_around(qx, qy, radius_km, |i| {
+            if i != query {
+                let d = self.distance_km(query, i);
+                if d < radius_km {
+                    out.push((i, d));
+                }
+            }
+        });
+        out
+    }
+
+    /// Like [`Self::within_radius`] but keeps only the `k` nearest, sorted by
+    /// ascending distance. Used to cap spatial-neighbour fan-out.
+    pub fn k_nearest_within(&self, query: usize, radius_km: f64, k: usize) -> Vec<(usize, f64)> {
+        let mut all = self.within_radius(query, radius_km);
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Brute-force reference implementation (used by tests and small inputs).
+    pub fn within_radius_brute(&self, query: usize, radius_km: f64) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.points_km.len() {
+            if i != query {
+                let d = self.distance_km(query, i);
+                if d < radius_km {
+                    out.push((i, d));
+                }
+            }
+        }
+        out
+    }
+
+    fn for_cells_around(&self, qx: f64, qy: f64, radius_km: f64, mut visit: impl FnMut(usize)) {
+        let span = (radius_km / self.cell_km).ceil() as isize;
+        let cx = (((qx - self.min_x) / self.cell_km) as isize).clamp(0, self.n_cols as isize - 1);
+        let cy = (((qy - self.min_y) / self.cell_km) as isize).clamp(0, self.n_rows as isize - 1);
+        for dy in -span..=span {
+            let yy = cy + dy;
+            if yy < 0 || yy >= self.n_rows as isize {
+                continue;
+            }
+            for dx in -span..=span {
+                let xx = cx + dx;
+                if xx < 0 || xx >= self.n_cols as isize {
+                    continue;
+                }
+                let c = yy as usize * self.n_cols + xx as usize;
+                for &i in &self.cell_items[self.cell_start[c]..self.cell_start[c + 1]] {
+                    visit(i as usize);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Vec<Location> {
+        // Deterministic pseudo-random points in a ~10 km square near Beijing.
+        let mut pts = Vec::with_capacity(n);
+        let mut s = 12345u64;
+        for _ in 0..n {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = ((s >> 33) as f64 / (1u64 << 31) as f64) * 0.1;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = ((s >> 33) as f64 / (1u64 << 31) as f64) * 0.1;
+            pts.push(Location::new(116.3 + a, 39.9 + b));
+        }
+        pts
+    }
+
+    #[test]
+    fn grid_matches_brute_force() {
+        let pts = cluster(300);
+        let idx = GridIndex::build(&pts, 1.15);
+        for q in [0, 17, 123, 299] {
+            let mut fast = idx.within_radius(q, 1.15);
+            let mut brute = idx.within_radius_brute(q, 1.15);
+            fast.sort_by_key(|a| a.0);
+            brute.sort_by_key(|a| a.0);
+            assert_eq!(fast.len(), brute.len(), "query {q}");
+            for (f, b) in fast.iter().zip(brute.iter()) {
+                assert_eq!(f.0, b.0);
+                assert!((f.1 - b.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn query_excludes_self() {
+        let pts = cluster(50);
+        let idx = GridIndex::build(&pts, 2.0);
+        for q in 0..50 {
+            assert!(idx.within_radius(q, 5.0).iter().all(|&(i, _)| i != q));
+        }
+    }
+
+    #[test]
+    fn k_nearest_sorted_and_truncated() {
+        let pts = cluster(200);
+        let idx = GridIndex::build(&pts, 1.0);
+        let nn = idx.k_nearest_within(5, 3.0, 10);
+        assert!(nn.len() <= 10);
+        assert!(nn.windows(2).all(|w| w[0].1 <= w[1].1));
+        // All must actually be within the radius.
+        assert!(nn.iter().all(|&(_, d)| d < 3.0));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::build(&[], 1.0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn single_point_has_no_neighbours() {
+        let idx = GridIndex::build(&[Location::new(116.0, 40.0)], 1.0);
+        assert!(idx.within_radius(0, 100.0).is_empty());
+    }
+
+    #[test]
+    fn distance_km_is_plausible() {
+        // Two points ~1.11 km apart in latitude (0.01°).
+        let idx = GridIndex::build(
+            &[Location::new(116.0, 40.0), Location::new(116.0, 40.01)],
+            1.0,
+        );
+        let d = idx.distance_km(0, 1);
+        assert!((d - 1.11).abs() < 0.02, "d = {d}");
+    }
+
+    #[test]
+    fn radius_larger_than_cell_still_correct() {
+        let pts = cluster(150);
+        let idx = GridIndex::build(&pts, 0.5); // cells much smaller than query
+        let mut fast = idx.within_radius(3, 4.0);
+        let mut brute = idx.within_radius_brute(3, 4.0);
+        fast.sort_by_key(|a| a.0);
+        brute.sort_by_key(|a| a.0);
+        assert_eq!(fast, brute);
+    }
+}

@@ -1,0 +1,18 @@
+//! # prim-geo
+//!
+//! Geospatial substrate for the PRIM reproduction:
+//!
+//! * [`Location`] with haversine/equirectangular distances and compass
+//!   bearings;
+//! * [`rbf_kernel`] — the RBF proximity weight of paper Eq. 8;
+//! * [`DistanceBins`] — the non-overlapping distance bins behind the
+//!   distance-specific scoring function (paper Section 4.5);
+//! * [`GridIndex`] — a uniform-grid spatial index answering the radius
+//!   queries that define spatial neighbours (paper Definition 3.1);
+//! * [`sector_of`] — compass sectors used by the DeepR baseline.
+
+pub mod grid;
+pub mod location;
+
+pub use grid::GridIndex;
+pub use location::{rbf_kernel, sector_of, DistanceBins, Location, EARTH_RADIUS_KM};

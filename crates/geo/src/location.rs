@@ -1,0 +1,212 @@
+//! Geographic locations and distance kernels.
+
+/// A longitude/latitude pair in degrees (WGS-84).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Location {
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Latitude in degrees.
+    pub lat: f64,
+}
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+impl Location {
+    /// Creates a location from longitude/latitude degrees.
+    pub fn new(lon: f64, lat: f64) -> Self {
+        Location { lon, lat }
+    }
+
+    /// Great-circle distance in kilometres (haversine formula).
+    pub fn haversine_km(&self, other: &Location) -> f64 {
+        let (lat1, lat2) = (self.lat.to_radians(), other.lat.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = (other.lon - self.lon).to_radians();
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
+    }
+
+    /// Fast equirectangular distance approximation in kilometres.
+    ///
+    /// Accurate to well under 1% at city scale (tens of km), which is all the
+    /// PRIM workloads need; roughly 5× cheaper than haversine.
+    pub fn equirect_km(&self, other: &Location) -> f64 {
+        let mean_lat = ((self.lat + other.lat) / 2.0).to_radians();
+        let dx = (other.lon - self.lon).to_radians() * mean_lat.cos();
+        let dy = (other.lat - self.lat).to_radians();
+        EARTH_RADIUS_KM * (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Initial compass bearing from `self` to `other`, in radians in
+    /// `[0, 2π)`. Used by the DeepR baseline's geographic sectors.
+    pub fn bearing_to(&self, other: &Location) -> f64 {
+        let (lat1, lat2) = (self.lat.to_radians(), other.lat.to_radians());
+        let dlon = (other.lon - self.lon).to_radians();
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        let b = y.atan2(x);
+        if b < 0.0 {
+            b + 2.0 * std::f64::consts::PI
+        } else {
+            b
+        }
+    }
+}
+
+/// Radial basis function kernel `exp(-θ · d²)` over a distance in km
+/// (paper Eq. 8, used to weight spatial neighbours by proximity).
+pub fn rbf_kernel(distance_km: f64, theta: f64) -> f64 {
+    (-theta * distance_km * distance_km).exp()
+}
+
+/// Maps a bearing in radians to one of `n_sectors` equal compass sectors.
+pub fn sector_of(bearing: f64, n_sectors: usize) -> usize {
+    assert!(n_sectors > 0, "sector_of: n_sectors must be positive");
+    let tau = 2.0 * std::f64::consts::PI;
+    let norm = bearing.rem_euclid(tau);
+    let s = (norm / tau * n_sectors as f64) as usize;
+    s.min(n_sectors - 1)
+}
+
+/// Distance bins for the paper's distance-specific scoring function
+/// (Section 4.5): non-overlapping ranges such as 0–1 km, 1–2 km, …, with a
+/// final open-ended bin.
+#[derive(Clone, Debug)]
+pub struct DistanceBins {
+    /// Upper edges (km) of each closed bin; anything above the last edge
+    /// falls into the trailing open bin.
+    edges: Vec<f64>,
+}
+
+impl DistanceBins {
+    /// Bins with the given upper edges, which must be strictly increasing.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(!edges.is_empty(), "DistanceBins: need at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "DistanceBins: edges must be strictly increasing"
+        );
+        DistanceBins { edges }
+    }
+
+    /// `count` uniform bins of `width` km each, plus the open tail
+    /// (the paper's 0–1 km, 1–2 km, … scheme).
+    pub fn uniform(width: f64, count: usize) -> Self {
+        assert!(width > 0.0 && count > 0);
+        Self::new((1..=count).map(|i| i as f64 * width).collect())
+    }
+
+    /// Total number of bins, including the open tail.
+    pub fn len(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    /// Always false: there is at least the open tail bin.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Bin index for a distance (the look-up function `g(d_ij)` in Eq. 11).
+    pub fn bin(&self, distance_km: f64) -> usize {
+        match self
+            .edges
+            .iter()
+            .position(|&e| distance_km < e)
+        {
+            Some(i) => i,
+            None => self.edges.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BEIJING: Location = Location { lon: 116.4074, lat: 39.9042 };
+    const SHANGHAI: Location = Location { lon: 121.4737, lat: 31.2304 };
+
+    #[test]
+    fn haversine_known_distance() {
+        // Beijing–Shanghai is ≈ 1067 km.
+        let d = BEIJING.haversine_km(&SHANGHAI);
+        assert!((d - 1067.0).abs() < 10.0, "distance {d}");
+    }
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        assert!(BEIJING.haversine_km(&BEIJING) < 1e-9);
+    }
+
+    #[test]
+    fn haversine_symmetry() {
+        let a = BEIJING.haversine_km(&SHANGHAI);
+        let b = SHANGHAI.haversine_km(&BEIJING);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equirect_close_to_haversine_at_city_scale() {
+        let a = Location::new(116.40, 39.90);
+        let b = Location::new(116.45, 39.93);
+        let h = a.haversine_km(&b);
+        let e = a.equirect_km(&b);
+        assert!((h - e).abs() / h < 0.01, "h={h} e={e}");
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let origin = Location::new(116.0, 40.0);
+        let north = Location::new(116.0, 40.1);
+        let east = Location::new(116.1, 40.0);
+        let south = Location::new(116.0, 39.9);
+        let west = Location::new(115.9, 40.0);
+        let pi = std::f64::consts::PI;
+        assert!(origin.bearing_to(&north).abs() < 0.05);
+        assert!((origin.bearing_to(&east) - pi / 2.0).abs() < 0.05);
+        assert!((origin.bearing_to(&south) - pi).abs() < 0.05);
+        assert!((origin.bearing_to(&west) - 3.0 * pi / 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sector_of_partitions_circle() {
+        let pi = std::f64::consts::PI;
+        assert_eq!(sector_of(0.0, 4), 0);
+        assert_eq!(sector_of(pi / 2.0, 4), 1);
+        assert_eq!(sector_of(pi, 4), 2);
+        assert_eq!(sector_of(3.0 * pi / 2.0, 4), 3);
+        // Wraps and clamps.
+        assert_eq!(sector_of(2.0 * pi + 0.01, 4), 0);
+        assert_eq!(sector_of(2.0 * pi - 1e-9, 4), 3);
+    }
+
+    #[test]
+    fn rbf_kernel_monotone_decreasing() {
+        let k0 = rbf_kernel(0.0, 2.0);
+        let k1 = rbf_kernel(0.5, 2.0);
+        let k2 = rbf_kernel(1.0, 2.0);
+        assert!((k0 - 1.0).abs() < 1e-12);
+        assert!(k0 > k1 && k1 > k2);
+        assert!(k2 > 0.0);
+    }
+
+    #[test]
+    fn distance_bins_lookup() {
+        let bins = DistanceBins::uniform(1.0, 4); // 0-1,1-2,2-3,3-4,4+
+        assert_eq!(bins.len(), 5);
+        assert_eq!(bins.bin(0.0), 0);
+        assert_eq!(bins.bin(0.99), 0);
+        assert_eq!(bins.bin(1.0), 1);
+        assert_eq!(bins.bin(3.5), 3);
+        assert_eq!(bins.bin(4.0), 4);
+        assert_eq!(bins.bin(100.0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn distance_bins_rejects_unsorted_edges() {
+        let _ = DistanceBins::new(vec![2.0, 1.0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the spatial index: the grid must agree exactly with
+//! brute force for arbitrary point clouds, radii and cell sizes.
+
+use prim_geo::{GridIndex, Location};
+use proptest::prelude::*;
+
+fn points(n: usize) -> impl Strategy<Value = Vec<Location>> {
+    prop::collection::vec((116.0f64..116.5, 39.7f64..40.2), 2..n)
+        .prop_map(|v| v.into_iter().map(|(lon, lat)| Location::new(lon, lat)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Grid radius queries equal brute force regardless of cell size.
+    #[test]
+    fn grid_equals_brute_force(
+        pts in points(60),
+        cell in 0.2f64..5.0,
+        radius in 0.1f64..8.0,
+        q in 0usize..60,
+    ) {
+        let q = q % pts.len();
+        let idx = GridIndex::build(&pts, cell);
+        let mut fast = idx.within_radius(q, radius);
+        let mut brute = idx.within_radius_brute(q, radius);
+        fast.sort_by_key(|a| a.0);
+        brute.sort_by_key(|a| a.0);
+        prop_assert_eq!(fast.len(), brute.len());
+        for (f, b) in fast.iter().zip(brute.iter()) {
+            prop_assert_eq!(f.0, b.0);
+            prop_assert!((f.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    /// k-nearest results are sorted, within radius, and a prefix of the
+    /// full neighbour set.
+    #[test]
+    fn k_nearest_is_sorted_prefix(
+        pts in points(50),
+        radius in 0.5f64..6.0,
+        k in 1usize..20,
+    ) {
+        let idx = GridIndex::build(&pts, 1.0);
+        let nn = idx.k_nearest_within(0, radius, k);
+        prop_assert!(nn.len() <= k);
+        prop_assert!(nn.windows(2).all(|w| w[0].1 <= w[1].1));
+        prop_assert!(nn.iter().all(|&(_, d)| d < radius));
+        let full = idx.within_radius(0, radius);
+        prop_assert!(nn.len() == full.len().min(k));
+    }
+
+    /// Haversine and equirectangular agree within 1% at city scale, and
+    /// both are symmetric.
+    #[test]
+    fn distance_functions_agree(
+        lon1 in 116.0f64..116.5, lat1 in 39.7f64..40.2,
+        lon2 in 116.0f64..116.5, lat2 in 39.7f64..40.2,
+    ) {
+        let a = Location::new(lon1, lat1);
+        let b = Location::new(lon2, lat2);
+        let h = a.haversine_km(&b);
+        let e = a.equirect_km(&b);
+        prop_assert!((a.haversine_km(&b) - b.haversine_km(&a)).abs() < 1e-9);
+        if h > 0.05 {
+            prop_assert!((h - e).abs() / h < 0.01, "h={h} e={e}");
+        }
+    }
+
+    /// Bearings map to sectors consistently: opposite bearings land in
+    /// opposite sectors for even sector counts.
+    #[test]
+    fn opposite_bearings_opposite_sectors(bearing in 0.0f64..std::f64::consts::TAU, n in 1usize..5) {
+        let sectors = 2 * n;
+        let s1 = prim_geo::sector_of(bearing, sectors);
+        let s2 = prim_geo::sector_of(bearing + std::f64::consts::PI, sectors);
+        prop_assert_eq!((s1 + sectors / 2) % sectors, s2);
+    }
+}

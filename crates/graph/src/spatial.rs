@@ -1,0 +1,232 @@
+//! Spatial neighbours (paper Definition 3.1) in edge-list form.
+//!
+//! The self-attentive spatial context extractor (Section 4.4) attends from
+//! each POI over its spatial neighbours `S_p = {p' : dist(p, p') < d}`,
+//! weighting attention logits by the RBF kernel `exp(-θ d²)`. This module
+//! materialises those neighbour lists once, with a fan-out cap to bound the
+//! cost on dense city centres.
+
+use crate::hetero::HeteroGraph;
+use prim_geo::{rbf_kernel, GridIndex};
+
+/// Precomputed spatial-neighbour lists as flat directed edges `j → i`,
+/// grouped by target `i` so each target forms a contiguous softmax segment.
+#[derive(Clone, Debug)]
+pub struct SpatialNeighbors {
+    /// Neighbour (key/value) POI per spatial edge.
+    src: Vec<u32>,
+    /// Target (query) POI per spatial edge.
+    dst: Vec<u32>,
+    /// RBF kernel weight `D(l_i, l_j)` per edge.
+    rbf: Vec<f32>,
+    /// Softmax segment per edge: dense index of the target group.
+    segment: Vec<usize>,
+    /// Target POI of each segment.
+    segment_dst: Vec<u32>,
+    radius_km: f64,
+}
+
+impl SpatialNeighbors {
+    /// Builds spatial neighbour lists for every POI.
+    ///
+    /// * `radius_km` — the distance threshold `d` (paper: 1.15 km);
+    /// * `theta` — RBF scaling factor (paper: 2);
+    /// * `max_neighbors` — fan-out cap; the nearest neighbours win.
+    pub fn build(
+        graph: &HeteroGraph,
+        radius_km: f64,
+        theta: f64,
+        max_neighbors: usize,
+    ) -> Self {
+        let locations: Vec<prim_geo::Location> =
+            graph.pois().iter().map(|p| p.location).collect();
+        let index = GridIndex::build(&locations, radius_km.max(1e-6));
+
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        let mut rbf = Vec::new();
+        let mut segment = Vec::new();
+        let mut segment_dst = Vec::new();
+        for i in 0..graph.num_pois() {
+            let neighbors = index.k_nearest_within(i, radius_km, max_neighbors);
+            if neighbors.is_empty() {
+                continue;
+            }
+            segment_dst.push(i as u32);
+            let seg = segment_dst.len() - 1;
+            for (j, d) in neighbors {
+                src.push(j as u32);
+                dst.push(i as u32);
+                rbf.push(rbf_kernel(d, theta) as f32);
+                segment.push(seg);
+            }
+        }
+        SpatialNeighbors { src, dst, rbf, segment, segment_dst, radius_km }
+    }
+
+    /// Number of spatial edges.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// True when no POI has any spatial neighbour.
+    pub fn is_empty(&self) -> bool {
+        self.src.is_empty()
+    }
+
+    /// Neighbour POI per edge.
+    pub fn src(&self) -> &[u32] {
+        &self.src
+    }
+
+    /// Target POI per edge.
+    pub fn dst(&self) -> &[u32] {
+        &self.dst
+    }
+
+    /// RBF kernel weight per edge.
+    pub fn rbf(&self) -> &[f32] {
+        &self.rbf
+    }
+
+    /// Softmax segment per edge.
+    pub fn segment(&self) -> &[usize] {
+        &self.segment
+    }
+
+    /// Target POI of each segment.
+    pub fn segment_dst(&self) -> &[u32] {
+        &self.segment_dst
+    }
+
+    /// Number of segments (POIs that have at least one spatial neighbour).
+    pub fn num_segments(&self) -> usize {
+        self.segment_dst.len()
+    }
+
+    /// The configured radius in km.
+    pub fn radius_km(&self) -> f64 {
+        self.radius_km
+    }
+
+    /// Source indices as `usize` for `gather_rows`.
+    pub fn src_usize(&self) -> Vec<usize> {
+        self.src.iter().map(|&v| v as usize).collect()
+    }
+
+    /// Returns a copy keeping only edges whose endpoints are both marked
+    /// `true` in `keep` (used by the inductive protocol, where hidden POIs
+    /// must not contribute spatial context during training).
+    pub fn retain_pois(&self, keep: &[bool]) -> SpatialNeighbors {
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        let mut rbf = Vec::new();
+        let mut segment = Vec::new();
+        let mut segment_dst = Vec::new();
+        let mut prev_dst = u32::MAX;
+        for k in 0..self.src.len() {
+            let (s, d) = (self.src[k], self.dst[k]);
+            if !keep[s as usize] || !keep[d as usize] {
+                continue;
+            }
+            if d != prev_dst {
+                segment_dst.push(d);
+                prev_dst = d;
+            }
+            src.push(s);
+            dst.push(d);
+            rbf.push(self.rbf[k]);
+            segment.push(segment_dst.len() - 1);
+        }
+        SpatialNeighbors { src, dst, rbf, segment, segment_dst, radius_km: self.radius_km }
+    }
+
+    /// Mean number of spatial neighbours per POI (the `S̃` of the paper's
+    /// complexity analysis).
+    pub fn mean_fanout(&self) -> f64 {
+        if self.segment_dst.is_empty() {
+            0.0
+        } else {
+            self.src.len() as f64 / self.segment_dst.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hetero::Poi;
+    use crate::taxonomy::CategoryId;
+    use prim_geo::Location;
+
+    /// 3 POIs clustered within ~150 m, one ~20 km away.
+    fn graph() -> HeteroGraph {
+        let pois = vec![
+            Poi { location: Location::new(116.300, 39.900), category: CategoryId(0) },
+            Poi { location: Location::new(116.301, 39.900), category: CategoryId(0) },
+            Poi { location: Location::new(116.300, 39.901), category: CategoryId(0) },
+            Poi { location: Location::new(116.500, 39.900), category: CategoryId(0) },
+        ];
+        HeteroGraph::new(pois, 1)
+    }
+
+    #[test]
+    fn neighbours_respect_radius() {
+        let g = graph();
+        let sn = SpatialNeighbors::build(&g, 1.15, 2.0, 30);
+        // POIs 0-2 are mutual neighbours; POI 3 is isolated.
+        assert_eq!(sn.num_segments(), 3);
+        assert_eq!(sn.num_edges(), 6);
+        assert!(!sn.dst().contains(&3));
+        assert!(!sn.src().contains(&3));
+    }
+
+    #[test]
+    fn rbf_weights_in_unit_interval_and_ordered() {
+        let g = graph();
+        let sn = SpatialNeighbors::build(&g, 5.0, 2.0, 30);
+        assert!(sn.rbf().iter().all(|&w| w > 0.0 && w <= 1.0));
+    }
+
+    #[test]
+    fn fanout_cap_enforced() {
+        let g = graph();
+        let sn = SpatialNeighbors::build(&g, 1.15, 2.0, 1);
+        // Each clustered POI keeps exactly its single nearest neighbour.
+        assert_eq!(sn.num_edges(), 3);
+        for seg in 0..sn.num_segments() {
+            let count = sn.segment().iter().filter(|&&s| s == seg).count();
+            assert_eq!(count, 1);
+        }
+    }
+
+    #[test]
+    fn segments_group_by_target() {
+        let g = graph();
+        let sn = SpatialNeighbors::build(&g, 1.15, 2.0, 30);
+        for k in 0..sn.num_edges() {
+            assert_eq!(sn.segment_dst()[sn.segment()[k]], sn.dst()[k]);
+        }
+    }
+
+    #[test]
+    fn retain_pois_drops_hidden_endpoints() {
+        let g = graph();
+        let sn = SpatialNeighbors::build(&g, 1.15, 2.0, 30);
+        let kept = sn.retain_pois(&[true, true, false, true]);
+        // POI 2 disappears both as source and target.
+        assert!(!kept.src().contains(&2));
+        assert!(!kept.dst().contains(&2));
+        assert_eq!(kept.num_edges(), 2); // 0↔1 both directions
+        for k in 0..kept.num_edges() {
+            assert_eq!(kept.segment_dst()[kept.segment()[k]], kept.dst()[k]);
+        }
+    }
+
+    #[test]
+    fn mean_fanout_consistent() {
+        let g = graph();
+        let sn = SpatialNeighbors::build(&g, 1.15, 2.0, 30);
+        assert!((sn.mean_fanout() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,198 @@
+//! Train/validation/test edge splits, including the paper's inductive
+//! (unseen-POI) and sparse-POI evaluation protocols (Sections 5.1.3, 5.5.1,
+//! 5.5.2).
+
+use crate::hetero::{Edge, HeteroGraph, PoiId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// An edge split.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeSplit {
+    /// Training edges (visible to the model).
+    pub train: Vec<Edge>,
+    /// Validation edges (threshold/hyper-parameter tuning).
+    pub val: Vec<Edge>,
+    /// Test edges.
+    pub test: Vec<Edge>,
+}
+
+impl EdgeSplit {
+    /// Total edges across all parts.
+    pub fn total(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+}
+
+/// Splits edges following the paper's protocol: 10% validation, 20% test,
+/// and `train_frac` *of all edges* (≤ 0.7) as training data.
+pub fn split_edges<R: Rng>(
+    graph: &HeteroGraph,
+    train_frac: f64,
+    rng: &mut R,
+) -> EdgeSplit {
+    assert!(
+        train_frac > 0.0 && train_frac <= 0.7 + 1e-9,
+        "train fraction must be in (0, 0.7], got {train_frac}"
+    );
+    let mut edges: Vec<Edge> = graph.edges().to_vec();
+    edges.shuffle(rng);
+    let n = edges.len();
+    let n_val = (n as f64 * 0.1).round() as usize;
+    let n_test = (n as f64 * 0.2).round() as usize;
+    let n_train = ((n as f64 * train_frac).round() as usize).min(n - n_val - n_test);
+
+    let val = edges[..n_val].to_vec();
+    let test = edges[n_val..n_val + n_test].to_vec();
+    let train = edges[n_val + n_test..n_val + n_test + n_train].to_vec();
+    EdgeSplit { train, val, test }
+}
+
+/// The paper's inductive protocol (Section 5.5.2): hide `hidden_frac` of the
+/// POIs; training edges are those between visible POIs, test edges are those
+/// touching at least one hidden POI.
+#[derive(Clone, Debug)]
+pub struct InductiveSplit {
+    /// Edges between visible POIs.
+    pub train: Vec<Edge>,
+    /// Edges touching a hidden POI.
+    pub test: Vec<Edge>,
+    /// The hidden POI set.
+    pub hidden: HashSet<PoiId>,
+}
+
+/// Builds an inductive split hiding `hidden_frac` of the POIs.
+pub fn inductive_split<R: Rng>(
+    graph: &HeteroGraph,
+    hidden_frac: f64,
+    rng: &mut R,
+) -> InductiveSplit {
+    assert!((0.0..1.0).contains(&hidden_frac));
+    let n = graph.num_pois();
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.shuffle(rng);
+    let n_hidden = (n as f64 * hidden_frac).round() as usize;
+    let hidden: HashSet<PoiId> = ids[..n_hidden].iter().map(|&i| PoiId(i)).collect();
+
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for &e in graph.edges() {
+        if hidden.contains(&e.src) || hidden.contains(&e.dst) {
+            test.push(e);
+        } else {
+            train.push(e);
+        }
+    }
+    InductiveSplit { train, test, hidden }
+}
+
+/// Restricts `test` to edges where at least one endpoint has fewer than
+/// `max_degree` training relationships (the sparse-case protocol of
+/// Section 5.5.1).
+pub fn sparse_subset(train: &[Edge], test: &[Edge], n_pois: usize, max_degree: usize) -> Vec<Edge> {
+    let mut degree = vec![0usize; n_pois];
+    for e in train {
+        degree[e.src.0 as usize] += 1;
+        degree[e.dst.0 as usize] += 1;
+    }
+    test.iter()
+        .copied()
+        .filter(|e| {
+            degree[e.src.0 as usize] < max_degree || degree[e.dst.0 as usize] < max_degree
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hetero::{Poi, RelationId};
+    use crate::taxonomy::CategoryId;
+    use prim_geo::Location;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain_graph(n: usize) -> HeteroGraph {
+        let pois: Vec<Poi> = (0..n)
+            .map(|i| Poi {
+                location: Location::new(116.0 + 0.001 * i as f64, 40.0),
+                category: CategoryId(0),
+            })
+            .collect();
+        let mut g = HeteroGraph::new(pois, 2);
+        for i in 0..n - 1 {
+            g.add_edge(PoiId(i as u32), PoiId(i as u32 + 1), RelationId((i % 2) as u8));
+        }
+        g
+    }
+
+    #[test]
+    fn split_fractions_respected() {
+        let g = chain_graph(1001);
+        let mut rng = StdRng::seed_from_u64(1);
+        let split = split_edges(&g, 0.4, &mut rng);
+        let n = g.num_edges() as f64;
+        assert!((split.val.len() as f64 - 0.1 * n).abs() <= 2.0);
+        assert!((split.test.len() as f64 - 0.2 * n).abs() <= 2.0);
+        assert!((split.train.len() as f64 - 0.4 * n).abs() <= 2.0);
+    }
+
+    #[test]
+    fn split_partitions_are_disjoint() {
+        let g = chain_graph(301);
+        let mut rng = StdRng::seed_from_u64(2);
+        let split = split_edges(&g, 0.7, &mut rng);
+        let mut seen = HashSet::new();
+        for e in split.train.iter().chain(&split.val).chain(&split.test) {
+            assert!(seen.insert((e.src, e.dst, e.rel)), "edge appears twice");
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let g = chain_graph(101);
+        let a = split_edges(&g, 0.5, &mut StdRng::seed_from_u64(3));
+        let b = split_edges(&g, 0.5, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn inductive_split_hides_pois() {
+        let g = chain_graph(200);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ind = inductive_split(&g, 0.2, &mut rng);
+        assert_eq!(ind.hidden.len(), 40);
+        for e in &ind.train {
+            assert!(!ind.hidden.contains(&e.src) && !ind.hidden.contains(&e.dst));
+        }
+        for e in &ind.test {
+            assert!(ind.hidden.contains(&e.src) || ind.hidden.contains(&e.dst));
+        }
+        assert_eq!(ind.train.len() + ind.test.len(), g.num_edges());
+    }
+
+    #[test]
+    fn sparse_subset_filters_by_train_degree() {
+        // Train on a hub around POI 0, test elsewhere.
+        let train: Vec<Edge> = (1..6)
+            .map(|i| Edge::new(PoiId(0), PoiId(i), RelationId(0)))
+            .collect();
+        let test = vec![
+            Edge::new(PoiId(0), PoiId(7), RelationId(0)), // 0 has degree 5 but 7 has 0 → kept
+            Edge::new(PoiId(1), PoiId(2), RelationId(0)), // both sparse → kept
+        ];
+        let sparse = sparse_subset(&train, &test, 10, 3);
+        assert_eq!(sparse.len(), 2);
+        // An edge whose endpoints both meet the degree threshold is dropped.
+        let extra_train: Vec<Edge> = train
+            .iter()
+            .copied()
+            .chain((4..7).map(|i| Edge::new(PoiId(1), PoiId(i), RelationId(0))))
+            .collect();
+        let dense_edge = vec![Edge::new(PoiId(0), PoiId(1), RelationId(0))];
+        let strict = sparse_subset(&extra_train, &dense_edge, 10, 2);
+        assert_eq!(strict.len(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Reusable layers: linear projections and embedding tables.
+
+use crate::init;
+use crate::params::{Binding, ParamId, ParamStore};
+use prim_tensor::{Graph, Var};
+use rand::Rng;
+
+/// A dense layer `y = x W (+ b)` with Xavier-initialised weights.
+pub struct Linear {
+    w: ParamId,
+    b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new linear layer in `store`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), init::xavier_uniform(rng, in_dim, out_dim));
+        let b = bias.then(|| {
+            store.add(format!("{name}.b"), prim_tensor::Matrix::zeros(1, out_dim))
+        });
+        Linear { w, b, in_dim, out_dim }
+    }
+
+    /// Applies the layer to `x` (shape `n × in_dim`).
+    pub fn forward(&self, g: &mut Graph, bind: &Binding, x: Var) -> Var {
+        debug_assert_eq!(g.shape(x).1, self.in_dim, "Linear input dim mismatch");
+        let y = g.matmul(x, bind.var(self.w));
+        match self.b {
+            Some(b) => g.add_row_broadcast(y, bind.var(b)),
+            None => y,
+        }
+    }
+
+    /// Weight parameter id.
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+
+    /// Bias parameter id, if the layer has one.
+    pub fn bias(&self) -> Option<ParamId> {
+        self.b
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// An embedding table: `n_items × dim` trainable matrix with row lookup.
+pub struct Embedding {
+    table: ParamId,
+    n_items: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers a new embedding table in `store`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        n_items: usize,
+        dim: usize,
+    ) -> Self {
+        let table = store.add(name, init::embedding(rng, n_items, dim));
+        Embedding { table, n_items, dim }
+    }
+
+    /// The whole table as a graph variable.
+    pub fn all(&self, bind: &Binding) -> Var {
+        bind.var(self.table)
+    }
+
+    /// Looks up rows by id.
+    pub fn lookup(&self, g: &mut Graph, bind: &Binding, ids: &[usize]) -> Var {
+        debug_assert!(ids.iter().all(|&i| i < self.n_items), "embedding id out of range");
+        let table = bind.var(self.table);
+        g.gather_rows(table, ids)
+    }
+
+    /// Table parameter id.
+    pub fn param(&self) -> ParamId {
+        self.table
+    }
+
+    /// Number of rows.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prim_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new(&mut store, &mut rng, "fc", 3, 5, true);
+        assert_eq!(store.len(), 2);
+
+        let mut g = Graph::new();
+        let bind = store.bind(&mut g);
+        let x = g.constant(Matrix::ones(4, 3));
+        let y = layer.forward(&mut g, &bind, x);
+        assert_eq!(g.shape(y), (4, 5));
+    }
+
+    #[test]
+    fn linear_without_bias_registers_one_param() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Linear::new(&mut store, &mut rng, "fc", 2, 2, false);
+        assert_eq!(store.len(), 1);
+        assert!(layer.bias().is_none());
+    }
+
+    #[test]
+    fn linear_learns_identity_map() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = Linear::new(&mut store, &mut rng, "fc", 2, 2, true);
+        let mut adam = crate::optim::Adam::new(0.05);
+        let x_data = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, -0.5]);
+        let mut last = f32::INFINITY;
+        for _ in 0..200 {
+            let mut g = Graph::new();
+            let bind = store.bind(&mut g);
+            let x = g.constant(x_data.clone());
+            let y = layer.forward(&mut g, &bind, x);
+            let target = g.constant(x_data.clone());
+            let diff = g.sub(y, target);
+            let sq = g.mul(diff, diff);
+            let loss = g.mean_all(sq);
+            last = g.value(loss).scalar();
+            let grads = g.backward(loss);
+            store.accumulate(&bind, &grads);
+            adam.step(&mut store);
+        }
+        assert!(last < 1e-3, "final loss {last}");
+    }
+
+    #[test]
+    fn embedding_lookup_matches_table() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let emb = Embedding::new(&mut store, &mut rng, "emb", 6, 3);
+        let mut g = Graph::new();
+        let bind = store.bind(&mut g);
+        let rows = emb.lookup(&mut g, &bind, &[5, 0, 5]);
+        let table = store.value(emb.param());
+        assert_eq!(g.value(rows).row(0), table.row(5));
+        assert_eq!(g.value(rows).row(1), table.row(0));
+        assert_eq!(g.value(rows).row(2), table.row(5));
+    }
+
+    #[test]
+    fn embedding_gradient_flows_only_to_used_rows() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let emb = Embedding::new(&mut store, &mut rng, "emb", 4, 2);
+        let mut g = Graph::new();
+        let bind = store.bind(&mut g);
+        let rows = emb.lookup(&mut g, &bind, &[1, 3]);
+        let loss = g.sum_all(rows);
+        let grads = g.backward(loss);
+        store.accumulate(&bind, &grads);
+        let grad = store.grad(emb.param());
+        assert_eq!(grad.row(0), &[0.0, 0.0]);
+        assert_eq!(grad.row(1), &[1.0, 1.0]);
+        assert_eq!(grad.row(2), &[0.0, 0.0]);
+        assert_eq!(grad.row(3), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,21 @@
+//! # prim-nn
+//!
+//! Neural-network building blocks for the PRIM reproduction, layered on the
+//! [`prim_tensor`] autodiff engine:
+//!
+//! * [`params::ParamStore`] — owns trainable matrices, binds them into a
+//!   per-step [`prim_tensor::Graph`], and accumulates gradients;
+//! * [`optim::Adam`] / [`optim::Sgd`] — optimisers (the paper uses Adam
+//!   with learning rate 0.001);
+//! * [`layers::Linear`] / [`layers::Embedding`] — the two layer types all
+//!   models here are assembled from;
+//! * [`init`] — Xavier/uniform/normal weight initialisation.
+
+pub mod init;
+pub mod layers;
+pub mod optim;
+pub mod params;
+
+pub use layers::{Embedding, Linear};
+pub use optim::{Adam, Sgd, StepDecay};
+pub use params::{Binding, ParamId, ParamStore};

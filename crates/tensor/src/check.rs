@@ -1,0 +1,139 @@
+//! Finite-difference gradient checking.
+//!
+//! Used by the test suites of every crate that builds differentiable models
+//! on top of [`crate::Graph`]: construct the loss twice per perturbed entry
+//! and compare the numeric slope against the analytic gradient.
+
+use crate::matrix::Matrix;
+
+/// Central-difference numeric gradient of `f` w.r.t. each input matrix.
+///
+/// `f` must be a pure function of the inputs returning a scalar loss.
+pub fn numeric_gradients(
+    f: impl Fn(&[Matrix]) -> f32,
+    inputs: &[Matrix],
+    eps: f32,
+) -> Vec<Matrix> {
+    let mut grads = Vec::with_capacity(inputs.len());
+    for i in 0..inputs.len() {
+        let (rows, cols) = inputs[i].shape();
+        let mut grad = Matrix::zeros(rows, cols);
+        for k in 0..rows * cols {
+            let mut plus: Vec<Matrix> = inputs.to_vec();
+            plus[i].data_mut()[k] += eps;
+            let mut minus: Vec<Matrix> = inputs.to_vec();
+            minus[i].data_mut()[k] -= eps;
+            grad.data_mut()[k] = (f(&plus) - f(&minus)) / (2.0 * eps);
+        }
+        grads.push(grad);
+    }
+    grads
+}
+
+/// Relative error between analytic and numeric gradients, suitable for
+/// asserting in tests: `‖a − n‖∞ / (1 + ‖n‖∞)`.
+pub fn max_relative_error(analytic: &Matrix, numeric: &Matrix) -> f32 {
+    assert_eq!(analytic.shape(), numeric.shape(), "gradient shape mismatch");
+    let mut worst = 0.0f32;
+    for (&a, &n) in analytic.data().iter().zip(numeric.data().iter()) {
+        let denom = 1.0 + a.abs().max(n.abs());
+        worst = worst.max((a - n).abs() / denom);
+    }
+    worst
+}
+
+/// Asserts that every analytic gradient matches its numeric counterpart
+/// within `tol` relative error.
+///
+/// # Panics
+/// Panics with a diagnostic message when a gradient disagrees.
+pub fn assert_gradients_match(analytic: &[Matrix], numeric: &[Matrix], tol: f32) {
+    assert_eq!(analytic.len(), numeric.len(), "gradient count mismatch");
+    for (i, (a, n)) in analytic.iter().zip(numeric.iter()).enumerate() {
+        let err = max_relative_error(a, n);
+        assert!(
+            err <= tol,
+            "gradient {i} mismatch: max relative error {err} > {tol}\nanalytic: {a:?}\nnumeric: {n:?}"
+        );
+    }
+}
+
+/// A tiny deterministic PRNG (SplitMix64) for test matrices, so `prim-tensor`
+/// itself stays dependency-free.
+#[derive(Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed.wrapping_add(0x9E3779B97F4A7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[-1, 1)`.
+    pub fn unit(&mut self) -> f32 {
+        (self.next_u64() >> 41) as f32 / (1u64 << 23) as f32 * 2.0 - 1.0
+    }
+
+    /// Uniform usize in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Random matrix with entries in `[-1, 1)`.
+    pub fn matrix(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| self.unit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_gradient_of_quadratic() {
+        // f(x) = Σ x², df/dx = 2x.
+        let x = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, 0.5]);
+        let grads = numeric_gradients(
+            |ins| ins[0].data().iter().map(|v| v * v).sum(),
+            &[x.clone()],
+            1e-3,
+        );
+        let expected = x.scale(2.0);
+        assert!(max_relative_error(&grads[0], &expected) < 1e-3);
+    }
+
+    #[test]
+    fn test_rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn test_rng_unit_in_range() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let v = rng.unit();
+            assert!((-1.0..1.0).contains(&v), "unit out of range: {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient 0 mismatch")]
+    fn assert_gradients_match_catches_mismatch() {
+        let a = Matrix::ones(1, 1);
+        let n = Matrix::zeros(1, 1);
+        assert_gradients_match(&[a], &[n], 1e-4);
+    }
+}

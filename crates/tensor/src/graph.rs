@@ -1,0 +1,991 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records every operation applied to [`Var`] handles; calling
+//! [`Graph::backward`] replays the tape in reverse, producing gradients for
+//! every leaf created with [`Graph::leaf`].
+//!
+//! The op set is tailored to graph neural networks: besides the usual dense
+//! ops (matmul, element-wise arithmetic, activations) it provides the
+//! message-passing primitives `gather_rows`, `segment_sum` and
+//! `segment_softmax`, plus row-wise kernels (`rows_dot`, `scale_rows`,
+//! `normalize_rows`) used by attention and the distance-specific scoring
+//! function of the PRIM paper.
+
+use crate::matrix::Matrix;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+impl Var {
+    /// Index of the node inside its graph (diagnostic use only).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Recorded operation for one tape node.
+enum Op {
+    /// Leaf node; `trainable` leaves receive gradients.
+    Leaf {
+        /// Whether [`Gradients::get`] should report a gradient for this leaf.
+        #[allow(dead_code)]
+        trainable: bool,
+    },
+    MatMul(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    /// `a (n×c) + b (1×c)` broadcast over rows.
+    AddRowBroadcast(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var, #[allow(dead_code)] f32),
+    /// `a × s` where `s` is a `1×1` variable.
+    MulScalarVar(Var, Var),
+    ConcatCols(Vec<Var>),
+    VStack(Vec<Var>),
+    GatherRows(Var, Vec<usize>),
+    /// Sums rows of the input into `n_segments` output rows keyed by
+    /// `segment_of_row`.
+    SegmentSum {
+        input: Var,
+        segment_of_row: Vec<usize>,
+        #[allow(dead_code)]
+        n_segments: usize,
+    },
+    /// Column-wise softmax within each segment.
+    SegmentSoftmax { input: Var, segment_of_row: Vec<usize> },
+    /// Row-wise dot product of two equal-shape matrices → `n×1`.
+    RowsDot(Var, Var),
+    /// Row-wise circular correlation `(a ⋆ b)_k = Σ_i a_i·b_{(k+i) mod d}`.
+    RowsCircCorr(Var, Var),
+    /// `a (n×c)` with row `i` scaled by `s[i]` where `s` is `n×1`.
+    ScaleRows(Var, Var),
+    /// Each row divided by its L2 norm (plus epsilon).
+    NormalizeRows(Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Elu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    /// Mean binary cross-entropy over `n×1` logits against fixed targets.
+    BceWithLogits { logits: Var, targets: Vec<f32> },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// Gradients produced by [`Graph::backward`].
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss w.r.t. `var`, if it participated in the loss.
+    pub fn get(&self, var: Var) -> Option<&Matrix> {
+        self.grads.get(var.0).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient of the loss w.r.t. `var`, or a zero matrix of the given shape.
+    pub fn get_or_zeros(&self, var: Var, rows: usize, cols: usize) -> Matrix {
+        match self.get(var) {
+            Some(g) => g.clone(),
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+}
+
+/// A computation tape.
+///
+/// Build a fresh graph per training step: register parameter matrices with
+/// [`Graph::leaf`], inputs with [`Graph::constant`], chain ops, then call
+/// [`Graph::backward`] on the scalar loss.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+const NORM_EPS: f32 = 1e-12;
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no node has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node { value, op, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Registers a non-trainable input (no gradient is computed for it).
+    pub fn constant(&mut self, m: Matrix) -> Var {
+        self.push(m, Op::Leaf { trainable: false }, false)
+    }
+
+    /// Registers a trainable leaf; [`Gradients::get`] will return its gradient.
+    pub fn leaf(&mut self, m: Matrix) -> Var {
+        self.push(m, Op::Leaf { trainable: true }, true)
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Shape of a node's value.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::MatMul(a, b), rg)
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Add(a, b), rg)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Sub(a, b), rg)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).hadamard(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::Mul(a, b), rg)
+    }
+
+    /// Adds a `1×c` row vector to every row of an `n×c` matrix.
+    pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
+        let (n, c) = self.shape(a);
+        assert_eq!(self.shape(b), (1, c), "add_row_broadcast: b must be 1x{c}");
+        let mut value = self.value(a).clone();
+        for r in 0..n {
+            let brow = self.nodes[b.0].value.row(0).to_vec();
+            for (x, y) in value.row_mut(r).iter_mut().zip(brow.iter()) {
+                *x += *y;
+            }
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::AddRowBroadcast(a, b), rg)
+    }
+
+    /// Multiplies every element by the constant `k`.
+    pub fn scale(&mut self, a: Var, k: f32) -> Var {
+        let value = self.value(a).scale(k);
+        let rg = self.rg(a);
+        self.push(value, Op::Scale(a, k), rg)
+    }
+
+    /// Adds the constant `k` to every element.
+    pub fn add_scalar(&mut self, a: Var, k: f32) -> Var {
+        let value = self.value(a).map(|v| v + k);
+        let rg = self.rg(a);
+        self.push(value, Op::AddScalar(a, k), rg)
+    }
+
+    /// Multiplies a matrix by a `1×1` variable.
+    pub fn mul_scalar_var(&mut self, a: Var, s: Var) -> Var {
+        assert_eq!(self.shape(s), (1, 1), "mul_scalar_var: s must be 1x1");
+        let k = self.value(s).scalar();
+        let value = self.value(a).scale(k);
+        let rg = self.rg(a) || self.rg(s);
+        self.push(value, Op::MulScalarVar(a, s), rg)
+    }
+
+    /// Horizontal concatenation of equally-tall matrices.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols of zero parts");
+        let mats: Vec<&Matrix> = parts.iter().map(|&v| self.value(v)).collect();
+        let value = Matrix::hstack(&mats);
+        let rg = parts.iter().any(|&v| self.rg(v));
+        self.push(value, Op::ConcatCols(parts.to_vec()), rg)
+    }
+
+    /// Vertical concatenation of equally-wide matrices.
+    pub fn vstack(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "vstack of zero parts");
+        let mats: Vec<&Matrix> = parts.iter().map(|&v| self.value(v)).collect();
+        let value = Matrix::vstack(&mats);
+        let rg = parts.iter().any(|&v| self.rg(v));
+        self.push(value, Op::VStack(parts.to_vec()), rg)
+    }
+
+    /// Gathers rows by index (rows may repeat). The backward pass
+    /// scatter-adds into the source.
+    pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
+        let value = self.value(a).gather_rows(indices);
+        let rg = self.rg(a);
+        self.push(value, Op::GatherRows(a, indices.to_vec()), rg)
+    }
+
+    /// Sums rows into segments: output row `s` is the sum of input rows `r`
+    /// with `segment_of_row[r] == s`.
+    pub fn segment_sum(&mut self, a: Var, segment_of_row: &[usize], n_segments: usize) -> Var {
+        let (n, c) = self.shape(a);
+        assert_eq!(segment_of_row.len(), n, "segment_sum: segment map length mismatch");
+        let mut value = Matrix::zeros(n_segments, c);
+        {
+            let input = &self.nodes[a.0].value;
+            for (r, &s) in segment_of_row.iter().enumerate() {
+                assert!(s < n_segments, "segment id {s} out of range {n_segments}");
+                for (o, &x) in value.row_mut(s).iter_mut().zip(input.row(r).iter()) {
+                    *o += x;
+                }
+            }
+        }
+        let rg = self.rg(a);
+        self.push(
+            value,
+            Op::SegmentSum { input: a, segment_of_row: segment_of_row.to_vec(), n_segments },
+            rg,
+        )
+    }
+
+    /// Softmax within each segment, applied independently per column.
+    ///
+    /// For every column `c` and segment `s`, the entries
+    /// `{a[r][c] : segment_of_row[r] == s}` are replaced by their softmax.
+    /// Numerically stabilised by subtracting the per-segment maximum.
+    pub fn segment_softmax(&mut self, a: Var, segment_of_row: &[usize]) -> Var {
+        let (n, c) = self.shape(a);
+        assert_eq!(segment_of_row.len(), n, "segment_softmax: segment map length mismatch");
+        let n_segments = segment_of_row.iter().copied().max().map_or(0, |m| m + 1);
+        let input = self.value(a).clone();
+        // Per-segment, per-column max for numerical stability.
+        let mut seg_max = Matrix::full(n_segments, c, f32::NEG_INFINITY);
+        for (r, &s) in segment_of_row.iter().enumerate() {
+            for col in 0..c {
+                let v = input[(r, col)];
+                if v > seg_max[(s, col)] {
+                    seg_max[(s, col)] = v;
+                }
+            }
+        }
+        let mut value = Matrix::zeros(n, c);
+        let mut seg_sum = Matrix::zeros(n_segments, c);
+        for (r, &s) in segment_of_row.iter().enumerate() {
+            for col in 0..c {
+                let e = (input[(r, col)] - seg_max[(s, col)]).exp();
+                value[(r, col)] = e;
+                seg_sum[(s, col)] += e;
+            }
+        }
+        for (r, &s) in segment_of_row.iter().enumerate() {
+            for col in 0..c {
+                value[(r, col)] /= seg_sum[(s, col)].max(NORM_EPS);
+            }
+        }
+        let rg = self.rg(a);
+        self.push(
+            value,
+            Op::SegmentSoftmax { input: a, segment_of_row: segment_of_row.to_vec() },
+            rg,
+        )
+    }
+
+    /// Row-wise dot product of two equal-shape matrices, yielding `n×1`.
+    pub fn rows_dot(&mut self, a: Var, b: Var) -> Var {
+        let (n, c) = self.shape(a);
+        assert_eq!(self.shape(b), (n, c), "rows_dot shape mismatch");
+        let mut value = Matrix::zeros(n, 1);
+        {
+            let (ma, mb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            for r in 0..n {
+                value[(r, 0)] = ma.row_dot(r, mb, r);
+            }
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::RowsDot(a, b), rg)
+    }
+
+    /// Row-wise circular correlation (Nickel et al.'s HolE composition,
+    /// one of the relation-specific operators the PRIM paper lists for
+    /// `γ(h_p, h_r)`): `out[r][k] = Σ_i a[r][i] · b[r][(k+i) mod d]`.
+    pub fn rows_circ_corr(&mut self, a: Var, b: Var) -> Var {
+        let (n, d) = self.shape(a);
+        assert_eq!(self.shape(b), (n, d), "rows_circ_corr shape mismatch");
+        let mut value = Matrix::zeros(n, d);
+        {
+            let (ma, mb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+            for r in 0..n {
+                let (ra, rb) = (ma.row(r), mb.row(r));
+                let out = value.row_mut(r);
+                for k in 0..d {
+                    let mut acc = 0.0f32;
+                    for i in 0..d {
+                        acc += ra[i] * rb[(k + i) % d];
+                    }
+                    out[k] = acc;
+                }
+            }
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(value, Op::RowsCircCorr(a, b), rg)
+    }
+
+    /// Scales row `i` of `a (n×c)` by `s[i]`, where `s` is `n×1`.
+    pub fn scale_rows(&mut self, a: Var, s: Var) -> Var {
+        let (n, c) = self.shape(a);
+        assert_eq!(self.shape(s), (n, 1), "scale_rows: scale must be {n}x1");
+        let mut value = self.value(a).clone();
+        for r in 0..n {
+            let k = self.nodes[s.0].value[(r, 0)];
+            for x in value.row_mut(r).iter_mut() {
+                *x *= k;
+            }
+        }
+        let _ = c;
+        let rg = self.rg(a) || self.rg(s);
+        self.push(value, Op::ScaleRows(a, s), rg)
+    }
+
+    /// L2-normalises each row (rows of zeros stay zero thanks to an epsilon).
+    pub fn normalize_rows(&mut self, a: Var) -> Var {
+        let (n, _) = self.shape(a);
+        let mut value = self.value(a).clone();
+        for r in 0..n {
+            let norm = value.row_norm(r).max(NORM_EPS);
+            for x in value.row_mut(r).iter_mut() {
+                *x /= norm;
+            }
+        }
+        let rg = self.rg(a);
+        self.push(value, Op::NormalizeRows(a), rg)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.max(0.0));
+        let rg = self.rg(a);
+        self.push(value, Op::Relu(a), rg)
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let value = self.value(a).map(|v| if v >= 0.0 { v } else { slope * v });
+        let rg = self.rg(a);
+        self.push(value, Op::LeakyRelu(a, slope), rg)
+    }
+
+    /// Exponential linear unit (α = 1).
+    pub fn elu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| if v >= 0.0 { v } else { v.exp() - 1.0 });
+        let rg = self.rg(a);
+        self.push(value, Op::Elu(a), rg)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(stable_sigmoid);
+        let rg = self.rg(a);
+        self.push(value, Op::Sigmoid(a), rg)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        let rg = self.rg(a);
+        self.push(value, Op::Tanh(a), rg)
+    }
+
+    /// Sum of all elements → `1×1`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(a).sum()]);
+        let rg = self.rg(a);
+        self.push(value, Op::SumAll(a), rg)
+    }
+
+    /// Mean of all elements → `1×1`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
+        let rg = self.rg(a);
+        self.push(value, Op::MeanAll(a), rg)
+    }
+
+    /// Numerically stable mean binary cross-entropy with logits.
+    ///
+    /// `logits` must be `n×1` and `targets` must have `n` entries in `[0, 1]`.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
+        let (n, c) = self.shape(logits);
+        assert_eq!(c, 1, "bce_with_logits expects n×1 logits");
+        assert_eq!(targets.len(), n, "bce_with_logits target length mismatch");
+        let mut total = 0.0f64;
+        for (r, &y) in targets.iter().enumerate() {
+            let x = self.value(logits)[(r, 0)];
+            // max(x,0) - x*y + ln(1 + exp(-|x|))
+            total += (x.max(0.0) - x * y + (-x.abs()).exp().ln_1p()) as f64;
+        }
+        let value = Matrix::from_vec(1, 1, vec![(total / n.max(1) as f64) as f32]);
+        let rg = self.rg(logits);
+        self.push(value, Op::BceWithLogits { logits, targets: targets.to_vec() }, rg)
+    }
+
+    /// Runs the reverse pass from `loss` (which must be `1×1`) and returns
+    /// gradients for every participating node.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(self.shape(loss), (1, 1), "backward: loss must be a 1×1 scalar");
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Matrix::ones(1, 1));
+
+        for idx in (0..=loss.0).rev() {
+            if !self.nodes[idx].requires_grad {
+                continue;
+            }
+            let g = match grads[idx].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            self.backprop_node(idx, &g, &mut grads);
+            grads[idx] = Some(g);
+        }
+        Gradients { grads }
+    }
+
+    fn accumulate(grads: &mut [Option<Matrix>], var: Var, delta: Matrix) {
+        match &mut grads[var.0] {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn backprop_node(&self, idx: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
+        let node = &self.nodes[idx];
+        match &node.op {
+            Op::Leaf { .. } => {}
+            Op::MatMul(a, b) => {
+                if self.rg(*a) {
+                    // dL/dA = G Bᵀ
+                    let da = g.matmul_nt(self.value(*b));
+                    Self::accumulate(grads, *a, da);
+                }
+                if self.rg(*b) {
+                    // dL/dB = Aᵀ G
+                    let db = self.value(*a).matmul_tn(g);
+                    Self::accumulate(grads, *b, db);
+                }
+            }
+            Op::Add(a, b) => {
+                if self.rg(*a) {
+                    Self::accumulate(grads, *a, g.clone());
+                }
+                if self.rg(*b) {
+                    Self::accumulate(grads, *b, g.clone());
+                }
+            }
+            Op::Sub(a, b) => {
+                if self.rg(*a) {
+                    Self::accumulate(grads, *a, g.clone());
+                }
+                if self.rg(*b) {
+                    Self::accumulate(grads, *b, g.scale(-1.0));
+                }
+            }
+            Op::Mul(a, b) => {
+                if self.rg(*a) {
+                    Self::accumulate(grads, *a, g.hadamard(self.value(*b)));
+                }
+                if self.rg(*b) {
+                    Self::accumulate(grads, *b, g.hadamard(self.value(*a)));
+                }
+            }
+            Op::AddRowBroadcast(a, b) => {
+                if self.rg(*a) {
+                    Self::accumulate(grads, *a, g.clone());
+                }
+                if self.rg(*b) {
+                    let (n, c) = g.shape();
+                    let mut db = Matrix::zeros(1, c);
+                    for r in 0..n {
+                        for (o, &x) in db.row_mut(0).iter_mut().zip(g.row(r).iter()) {
+                            *o += x;
+                        }
+                    }
+                    Self::accumulate(grads, *b, db);
+                }
+            }
+            Op::Scale(a, k) => {
+                if self.rg(*a) {
+                    Self::accumulate(grads, *a, g.scale(*k));
+                }
+            }
+            Op::AddScalar(a, _) => {
+                if self.rg(*a) {
+                    Self::accumulate(grads, *a, g.clone());
+                }
+            }
+            Op::MulScalarVar(a, s) => {
+                let k = self.value(*s).scalar();
+                if self.rg(*a) {
+                    Self::accumulate(grads, *a, g.scale(k));
+                }
+                if self.rg(*s) {
+                    let ds = g.hadamard(self.value(*a)).sum();
+                    Self::accumulate(grads, *s, Matrix::from_vec(1, 1, vec![ds]));
+                }
+            }
+            Op::ConcatCols(parts) => {
+                let mut offset = 0;
+                for &p in parts {
+                    let (rows, cols) = self.shape(p);
+                    if self.rg(p) {
+                        let mut dp = Matrix::zeros(rows, cols);
+                        for r in 0..rows {
+                            dp.row_mut(r)
+                                .copy_from_slice(&g.row(r)[offset..offset + cols]);
+                        }
+                        Self::accumulate(grads, p, dp);
+                    }
+                    offset += cols;
+                }
+            }
+            Op::VStack(parts) => {
+                let mut offset = 0;
+                for &p in parts {
+                    let (rows, cols) = self.shape(p);
+                    if self.rg(p) {
+                        let mut dp = Matrix::zeros(rows, cols);
+                        for r in 0..rows {
+                            dp.row_mut(r).copy_from_slice(g.row(offset + r));
+                        }
+                        Self::accumulate(grads, p, dp);
+                    }
+                    offset += rows;
+                }
+            }
+            Op::GatherRows(a, indices) => {
+                if self.rg(*a) {
+                    let (rows, cols) = self.shape(*a);
+                    let mut da = Matrix::zeros(rows, cols);
+                    for (k, &i) in indices.iter().enumerate() {
+                        for (o, &x) in da.row_mut(i).iter_mut().zip(g.row(k).iter()) {
+                            *o += x;
+                        }
+                    }
+                    Self::accumulate(grads, *a, da);
+                }
+            }
+            Op::SegmentSum { input, segment_of_row, .. } => {
+                if self.rg(*input) {
+                    let (rows, cols) = self.shape(*input);
+                    let mut da = Matrix::zeros(rows, cols);
+                    for (r, &s) in segment_of_row.iter().enumerate() {
+                        da.row_mut(r).copy_from_slice(g.row(s));
+                    }
+                    Self::accumulate(grads, *input, da);
+                }
+            }
+            Op::SegmentSoftmax { input, segment_of_row } => {
+                if self.rg(*input) {
+                    // dx = y ⊙ (g - Σ_seg g ⊙ y)
+                    let y = &node.value;
+                    let (n, c) = y.shape();
+                    let n_segments =
+                        segment_of_row.iter().copied().max().map_or(0, |m| m + 1);
+                    let mut seg_dot = Matrix::zeros(n_segments, c);
+                    for (r, &s) in segment_of_row.iter().enumerate() {
+                        for col in 0..c {
+                            seg_dot[(s, col)] += g[(r, col)] * y[(r, col)];
+                        }
+                    }
+                    let mut da = Matrix::zeros(n, c);
+                    for (r, &s) in segment_of_row.iter().enumerate() {
+                        for col in 0..c {
+                            da[(r, col)] = y[(r, col)] * (g[(r, col)] - seg_dot[(s, col)]);
+                        }
+                    }
+                    Self::accumulate(grads, *input, da);
+                }
+            }
+            Op::RowsDot(a, b) => {
+                let (n, _) = self.shape(*a);
+                if self.rg(*a) {
+                    let mut da = self.value(*b).clone();
+                    for r in 0..n {
+                        let k = g[(r, 0)];
+                        for x in da.row_mut(r).iter_mut() {
+                            *x *= k;
+                        }
+                    }
+                    Self::accumulate(grads, *a, da);
+                }
+                if self.rg(*b) {
+                    let mut db = self.value(*a).clone();
+                    for r in 0..n {
+                        let k = g[(r, 0)];
+                        for x in db.row_mut(r).iter_mut() {
+                            *x *= k;
+                        }
+                    }
+                    Self::accumulate(grads, *b, db);
+                }
+            }
+            Op::RowsCircCorr(a, b) => {
+                let (n, d) = self.shape(*a);
+                let (ma, mb) = (self.value(*a), self.value(*b));
+                if self.rg(*a) {
+                    // dL/da_i = Σ_k g_k b_{(k+i) mod d} = (g ⋆ b)_i.
+                    let mut da = Matrix::zeros(n, d);
+                    for r in 0..n {
+                        let (gr, rb) = (g.row(r), mb.row(r));
+                        let out = da.row_mut(r);
+                        for i in 0..d {
+                            let mut acc = 0.0f32;
+                            for k in 0..d {
+                                acc += gr[k] * rb[(k + i) % d];
+                            }
+                            out[i] = acc;
+                        }
+                    }
+                    Self::accumulate(grads, *a, da);
+                }
+                if self.rg(*b) {
+                    // dL/db_j = Σ_k g_k a_{(j-k) mod d} (circular convolution).
+                    let mut db = Matrix::zeros(n, d);
+                    for r in 0..n {
+                        let (gr, ra) = (g.row(r), ma.row(r));
+                        let out = db.row_mut(r);
+                        for j in 0..d {
+                            let mut acc = 0.0f32;
+                            for k in 0..d {
+                                acc += gr[k] * ra[(j + d - k % d) % d];
+                            }
+                            out[j] = acc;
+                        }
+                    }
+                    Self::accumulate(grads, *b, db);
+                }
+            }
+            Op::ScaleRows(a, s) => {
+                let (n, _) = self.shape(*a);
+                if self.rg(*a) {
+                    let mut da = g.clone();
+                    for r in 0..n {
+                        let k = self.value(*s)[(r, 0)];
+                        for x in da.row_mut(r).iter_mut() {
+                            *x *= k;
+                        }
+                    }
+                    Self::accumulate(grads, *a, da);
+                }
+                if self.rg(*s) {
+                    let mut ds = Matrix::zeros(n, 1);
+                    let ma = self.value(*a);
+                    for r in 0..n {
+                        ds[(r, 0)] = ma
+                            .row(r)
+                            .iter()
+                            .zip(g.row(r).iter())
+                            .map(|(&x, &gy)| x * gy)
+                            .sum();
+                    }
+                    Self::accumulate(grads, *s, ds);
+                }
+            }
+            Op::NormalizeRows(a) => {
+                if self.rg(*a) {
+                    // y = x / ‖x‖; dx = (g - y (y·g)) / ‖x‖
+                    let x = self.value(*a);
+                    let y = &node.value;
+                    let (n, c) = x.shape();
+                    let mut da = Matrix::zeros(n, c);
+                    for r in 0..n {
+                        let norm = x.row_norm(r).max(NORM_EPS);
+                        let ydotg: f32 = y
+                            .row(r)
+                            .iter()
+                            .zip(g.row(r).iter())
+                            .map(|(&yy, &gg)| yy * gg)
+                            .sum();
+                        for col in 0..c {
+                            da[(r, col)] = (g[(r, col)] - y[(r, col)] * ydotg) / norm;
+                        }
+                    }
+                    Self::accumulate(grads, *a, da);
+                }
+            }
+            Op::Relu(a) => {
+                if self.rg(*a) {
+                    let x = self.value(*a);
+                    let mut da = g.clone();
+                    for (d, &v) in da.data_mut().iter_mut().zip(x.data().iter()) {
+                        if v <= 0.0 {
+                            *d = 0.0;
+                        }
+                    }
+                    Self::accumulate(grads, *a, da);
+                }
+            }
+            Op::LeakyRelu(a, slope) => {
+                if self.rg(*a) {
+                    let x = self.value(*a);
+                    let mut da = g.clone();
+                    for (d, &v) in da.data_mut().iter_mut().zip(x.data().iter()) {
+                        if v < 0.0 {
+                            *d *= slope;
+                        }
+                    }
+                    Self::accumulate(grads, *a, da);
+                }
+            }
+            Op::Elu(a) => {
+                if self.rg(*a) {
+                    // y = eˣ - 1 for x < 0, so dy/dx = y + 1.
+                    let y = &node.value;
+                    let x = self.value(*a);
+                    let mut da = g.clone();
+                    for ((d, &v), &yy) in
+                        da.data_mut().iter_mut().zip(x.data().iter()).zip(y.data().iter())
+                    {
+                        if v < 0.0 {
+                            *d *= yy + 1.0;
+                        }
+                    }
+                    Self::accumulate(grads, *a, da);
+                }
+            }
+            Op::Sigmoid(a) => {
+                if self.rg(*a) {
+                    let y = &node.value;
+                    let mut da = g.clone();
+                    for (d, &yy) in da.data_mut().iter_mut().zip(y.data().iter()) {
+                        *d *= yy * (1.0 - yy);
+                    }
+                    Self::accumulate(grads, *a, da);
+                }
+            }
+            Op::Tanh(a) => {
+                if self.rg(*a) {
+                    let y = &node.value;
+                    let mut da = g.clone();
+                    for (d, &yy) in da.data_mut().iter_mut().zip(y.data().iter()) {
+                        *d *= 1.0 - yy * yy;
+                    }
+                    Self::accumulate(grads, *a, da);
+                }
+            }
+            Op::SumAll(a) => {
+                if self.rg(*a) {
+                    let (n, c) = self.shape(*a);
+                    Self::accumulate(grads, *a, Matrix::full(n, c, g.scalar()));
+                }
+            }
+            Op::MeanAll(a) => {
+                if self.rg(*a) {
+                    let (n, c) = self.shape(*a);
+                    let k = g.scalar() / (n * c).max(1) as f32;
+                    Self::accumulate(grads, *a, Matrix::full(n, c, k));
+                }
+            }
+            Op::BceWithLogits { logits, targets } => {
+                if self.rg(*logits) {
+                    let x = self.value(*logits);
+                    let n = targets.len();
+                    let k = g.scalar() / n.max(1) as f32;
+                    let mut da = Matrix::zeros(n, 1);
+                    for (r, &y) in targets.iter().enumerate() {
+                        da[(r, 0)] = (stable_sigmoid(x[(r, 0)]) - y) * k;
+                    }
+                    Self::accumulate(grads, *logits, da);
+                }
+            }
+        }
+    }
+}
+
+/// Overflow-safe logistic sigmoid.
+#[inline]
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_matmul_chain() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.constant(Matrix::identity(2));
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c), g.value(a));
+    }
+
+    #[test]
+    fn backward_through_matmul() {
+        // loss = sum(A B); dL/dA = 1 Bᵀ, dL/dB = Aᵀ 1.
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.leaf(Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let c = g.matmul(a, b);
+        let loss = g.sum_all(c);
+        let grads = g.backward(loss);
+        let da = grads.get(a).unwrap();
+        // Row sums of B: [11, 15] repeated per row of A.
+        assert_eq!(da.data(), &[11.0, 15.0, 11.0, 15.0]);
+        let db = grads.get(b).unwrap();
+        // Column sums of A: [4, 6] repeated per col of B.
+        assert_eq!(db.data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn constants_receive_no_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::ones(1, 2));
+        let b = g.constant(Matrix::ones(1, 2));
+        let c = g.mul(a, b);
+        let loss = g.sum_all(c);
+        let grads = g.backward(loss);
+        assert!(grads.get(a).is_some());
+        assert!(grads.get(b).is_none());
+    }
+
+    #[test]
+    fn segment_softmax_rows_sum_to_one() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(5, 1, vec![1.0, 2.0, 3.0, -1.0, 0.5]));
+        let seg = vec![0, 0, 1, 1, 1];
+        let y = g.segment_softmax(x, &seg);
+        let v = g.value(y);
+        let s0 = v[(0, 0)] + v[(1, 0)];
+        let s1 = v[(2, 0)] + v[(3, 0)] + v[(4, 0)];
+        assert!((s0 - 1.0).abs() < 1e-5);
+        assert!((s1 - 1.0).abs() < 1e-5);
+        // Larger logits get larger weights within a segment.
+        assert!(v[(1, 0)] > v[(0, 0)]);
+        assert!(v[(2, 0)] > v[(4, 0)] && v[(4, 0)] > v[(3, 0)]);
+    }
+
+    #[test]
+    fn segment_sum_forward() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]));
+        let y = g.segment_sum(x, &[0, 1, 0, 1], 2);
+        assert_eq!(g.value(y).row(0), &[6.0, 8.0]);
+        assert_eq!(g.value(y).row(1), &[10.0, 12.0]);
+    }
+
+    #[test]
+    fn gather_then_segment_sum_roundtrip_gradient() {
+        // sum(segment_sum(gather(X))) — every gathered row contributes once.
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32));
+        let gathered = g.gather_rows(x, &[0, 2, 2]);
+        let summed = g.segment_sum(gathered, &[0, 0, 1], 2);
+        let loss = g.sum_all(summed);
+        let grads = g.backward(loss);
+        let dx = grads.get(x).unwrap();
+        assert_eq!(dx.row(0), &[1.0, 1.0]);
+        assert_eq!(dx.row(1), &[0.0, 0.0]);
+        assert_eq!(dx.row(2), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn bce_matches_manual_computation() {
+        let mut g = Graph::new();
+        let logits = g.leaf(Matrix::from_vec(2, 1, vec![0.0, 2.0]));
+        let loss = g.bce_with_logits(logits, &[1.0, 0.0]);
+        // -ln σ(0) = ln 2; -ln(1-σ(2)) = ln(1+e²)... = 2 + ln(1+e⁻²)
+        let expected = ((2.0f32).ln() + (2.0 + (1.0f32 + (-2.0f32).exp()).ln())) / 2.0;
+        assert!((g.value(loss).scalar() - expected).abs() < 1e-5);
+        let grads = g.backward(loss);
+        let d = grads.get(logits).unwrap();
+        assert!((d[(0, 0)] - (0.5 - 1.0) / 2.0).abs() < 1e-5);
+        assert!((d[(1, 0)] - (stable_sigmoid(2.0) - 0.0) / 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_rows_produces_unit_rows() {
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]));
+        let y = g.normalize_rows(x);
+        assert!((g.value(y).row_norm(0) - 1.0).abs() < 1e-5);
+        // Zero row stays (numerically) zero rather than NaN.
+        assert!(g.value(y).row_norm(1) < 1e-3);
+        assert!(g.value(y).all_finite());
+    }
+
+    #[test]
+    fn vstack_and_concat_gradients_split() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::ones(1, 2));
+        let b = g.leaf(Matrix::ones(2, 2));
+        let v = g.vstack(&[a, b]);
+        assert_eq!(g.shape(v), (3, 2));
+        let weights = g.constant(Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let prod = g.mul(v, weights);
+        let loss = g.sum_all(prod);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[1.0, 2.0]);
+        assert_eq!(grads.get(b).unwrap().data(), &[3.0, 4.0, 5.0, 6.0]);
+
+        let mut g2 = Graph::new();
+        let a2 = g2.leaf(Matrix::ones(2, 1));
+        let b2 = g2.leaf(Matrix::ones(2, 2));
+        let cc = g2.concat_cols(&[a2, b2]);
+        assert_eq!(g2.shape(cc), (2, 3));
+        let w = g2.constant(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let prod2 = g2.mul(cc, w);
+        let loss2 = g2.sum_all(prod2);
+        let grads2 = g2.backward(loss2);
+        assert_eq!(grads2.get(a2).unwrap().data(), &[1.0, 4.0]);
+        assert_eq!(grads2.get(b2).unwrap().data(), &[2.0, 3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn mul_scalar_var_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::from_vec(1, 2, vec![2.0, 3.0]));
+        let s = g.leaf(Matrix::from_vec(1, 1, vec![4.0]));
+        let y = g.mul_scalar_var(a, s);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(a).unwrap().data(), &[4.0, 4.0]);
+        assert_eq!(grads.get(s).unwrap().scalar(), 5.0);
+    }
+
+    #[test]
+    fn stable_sigmoid_extremes() {
+        assert!(stable_sigmoid(100.0) > 0.999);
+        assert!(stable_sigmoid(-100.0) < 0.001);
+        assert!((stable_sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(stable_sigmoid(1000.0).is_finite());
+        assert!(stable_sigmoid(-1000.0).is_finite());
+    }
+}

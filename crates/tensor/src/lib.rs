@@ -1,0 +1,34 @@
+//! # prim-tensor
+//!
+//! Dense `f32` matrices plus a tape-based reverse-mode autodiff engine,
+//! built from scratch for the PRIM (VLDB 2021) reproduction. Rust has no
+//! mature GNN/autodiff stack we could depend on, so this crate is the
+//! numerical substrate for the whole workspace:
+//!
+//! * [`Matrix`] — row-major dense matrix with eager helper ops;
+//! * [`Graph`] / [`Var`] — the autodiff tape, with GNN-specific primitives
+//!   (`gather_rows`, `segment_sum`, `segment_softmax`, `rows_dot`,
+//!   `scale_rows`, `normalize_rows`);
+//! * [`check`] — finite-difference gradient checking used by every model's
+//!   test suite.
+//!
+//! ## Example
+//!
+//! ```
+//! use prim_tensor::{Graph, Matrix};
+//!
+//! let mut g = Graph::new();
+//! let w = g.leaf(Matrix::from_vec(2, 1, vec![0.5, -0.25]));
+//! let x = g.constant(Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+//! let logits = g.matmul(x, w);
+//! let loss = g.bce_with_logits(logits, &[1.0, 0.0, 1.0]);
+//! let grads = g.backward(loss);
+//! assert_eq!(grads.get(w).unwrap().shape(), (2, 1));
+//! ```
+
+pub mod check;
+pub mod graph;
+pub mod matrix;
+
+pub use graph::{stable_sigmoid, Gradients, Graph, Var};
+pub use matrix::Matrix;

@@ -1,0 +1,575 @@
+//! Dense row-major `f32` matrices.
+//!
+//! [`Matrix`] is the storage type underneath every tensor in the PRIM
+//! reproduction. It is deliberately simple: a shape plus a flat `Vec<f32>`.
+//! All differentiable operations live in [`crate::graph`]; the methods here
+//! are plain eager helpers used both by the autograd engine internally and by
+//! non-differentiable code (data generation, metrics, classical baselines).
+
+use std::fmt;
+
+/// A dense, row-major matrix of `f32` values.
+///
+/// Rows × columns are fixed at construction. Vectors are represented as
+/// `n × 1` (column vector) or `1 × n` (row vector) matrices.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for r in 0..max_rows {
+            let max_cols = 8.min(self.cols);
+            let row: Vec<String> = (0..max_cols)
+                .map(|c| format!("{:.4}", self[(r, c)]))
+                .collect();
+            let ellipsis = if self.cols > max_cols { ", ..." } else { "" };
+            writeln!(f, "  [{}{}]", row.join(", "), ellipsis)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix of the given shape filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix of the given shape filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Builds a matrix from a closure over `(row, col)` indices.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds an `n × 1` column vector from a slice.
+    pub fn column(values: &[f32]) -> Self {
+        Matrix::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Builds a `1 × n` row vector from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Matrix::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// Builds the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The value of a `1 × 1` matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not `1 × 1`.
+    pub fn scalar(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "Matrix::scalar on non-scalar matrix");
+        self.data[0]
+    }
+
+    /// Matrix product `self × other`.
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams rows of `other`,
+    /// which the compiler auto-vectorises.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × other` without materialising the transpose.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: {}x{} ᵀ× {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` without materialising the transpose.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} × {}x{} ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_assign(other);
+        out
+    }
+
+    /// Element-wise `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.data.iter_mut().zip(other.data.iter()) {
+            *a -= b;
+        }
+        out
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        let mut out = self.clone();
+        for (a, &b) in out.data.iter_mut().zip(other.data.iter()) {
+            *a *= b;
+        }
+        out
+    }
+
+    /// Multiplies every element by `k`.
+    pub fn scale(&self, k: f32) -> Matrix {
+        let mut out = self.clone();
+        for a in out.data.iter_mut() {
+            *a *= k;
+        }
+        out
+    }
+
+    /// In-place `self += k * other` (axpy).
+    pub fn axpy(&mut self, k: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += k * b;
+        }
+    }
+
+    /// Applies `f` element-wise, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let mut out = self.clone();
+        for a in out.data.iter_mut() {
+            *a = f(*a);
+        }
+        out
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|a| *a = 0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Largest absolute element (0 for an empty matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Stacks `mats` vertically (all must share a column count).
+    pub fn vstack(mats: &[&Matrix]) -> Matrix {
+        assert!(!mats.is_empty(), "vstack of zero matrices");
+        let cols = mats[0].cols;
+        let rows: usize = mats.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in mats {
+            assert_eq!(m.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Concatenates `mats` horizontally (all must share a row count).
+    pub fn hstack(mats: &[&Matrix]) -> Matrix {
+        assert!(!mats.is_empty(), "hstack of zero matrices");
+        let rows = mats[0].rows;
+        let cols: usize = mats.iter().map(|m| m.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for m in mats {
+                assert_eq!(m.rows, rows, "hstack row mismatch");
+                out.data[r * cols + offset..r * cols + offset + m.cols]
+                    .copy_from_slice(m.row(r));
+                offset += m.cols;
+            }
+        }
+        out
+    }
+
+    /// Gathers the given rows into a new matrix (row `k` of the output is
+    /// row `indices[k]` of `self`).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (k, &i) in indices.iter().enumerate() {
+            assert!(i < self.rows, "gather_rows index {i} out of bounds ({} rows)", self.rows);
+            out.row_mut(k).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Dot product between row `r` of `self` and row `r2` of `other`.
+    pub fn row_dot(&self, r: usize, other: &Matrix, r2: usize) -> f32 {
+        assert_eq!(self.cols, other.cols, "row_dot column mismatch");
+        self.row(r)
+            .iter()
+            .zip(other.row(r2).iter())
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// L2 norm of row `r`.
+    pub fn row_norm(&self, r: usize) -> f32 {
+        self.row(r).iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let o = Matrix::ones(3, 2);
+        assert!(o.data().iter().all(|&v| v == 1.0));
+        let f = Matrix::full(1, 4, 2.5);
+        assert!(f.data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn from_fn_indexing() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m[(2, 3)], 23.0);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert!(approx(c[(0, 0)], 58.0));
+        assert!(approx(c[(0, 1)], 64.0));
+        assert!(approx(c[(1, 0)], 139.0));
+        assert!(approx(c[(1, 1)], 154.0));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let i = Matrix::identity(4);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r + c) as f32 + 0.5);
+        let b = Matrix::from_fn(3, 4, |r, c| (r * c) as f32 - 1.0);
+        let expected = a.transpose().matmul(&b);
+        let got = a.matmul_tn(&b);
+        for (x, y) in expected.data().iter().zip(got.data().iter()) {
+            assert!(approx(*x, *y));
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32);
+        let b = Matrix::from_fn(5, 2, |r, c| (r + 2 * c) as f32);
+        let expected = a.matmul(&b.transpose());
+        let got = a.matmul_nt(&b);
+        for (x, y) in expected.data().iter().zip(got.data().iter()) {
+            assert!(approx(*x, *y));
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.hadamard(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+        let mut c = a.clone();
+        c.axpy(0.5, &b);
+        assert_eq!(c.data(), &[3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]);
+        assert!(approx(a.sum(), -2.0));
+        assert!(approx(a.mean(), -0.5));
+        assert!(approx(a.max_abs(), 4.0));
+        assert!(approx(a.frobenius_norm(), (30.0f32).sqrt()));
+    }
+
+    #[test]
+    fn stacking() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let v = Matrix::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+
+        let c = Matrix::from_vec(1, 3, vec![7.0, 8.0, 9.0]);
+        let h = Matrix::hstack(&[&a, &c]);
+        assert_eq!(h.shape(), (1, 5));
+        assert_eq!(h.data(), &[1.0, 2.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn gather_rows_basic() {
+        let a = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32);
+        let g = a.gather_rows(&[3, 0, 3]);
+        assert_eq!(g.shape(), (3, 2));
+        assert_eq!(g.row(0), &[6.0, 7.0]);
+        assert_eq!(g.row(1), &[0.0, 1.0]);
+        assert_eq!(g.row(2), &[6.0, 7.0]);
+    }
+
+    #[test]
+    fn row_helpers() {
+        let a = Matrix::from_vec(2, 3, vec![3.0, 4.0, 0.0, 1.0, 0.0, 0.0]);
+        assert!(approx(a.row_norm(0), 5.0));
+        assert!(approx(a.row_dot(0, &a, 1), 3.0));
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut a = Matrix::ones(2, 2);
+        assert!(a.all_finite());
+        a[(0, 1)] = f32::NAN;
+        assert!(!a.all_finite());
+    }
+}

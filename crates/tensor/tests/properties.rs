@@ -1,0 +1,189 @@
+//! Property-based tests (proptest) for the autodiff engine: algebraic
+//! identities of the eager ops and invariants of the GNN primitives.
+
+use prim_tensor::{Graph, Matrix};
+use proptest::prelude::*;
+
+fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-3 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn mats_close(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.data().iter().zip(b.data().iter()).all(|(&x, &y)| close(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (AB)C = A(BC) within float tolerance.
+    #[test]
+    fn matmul_associative(a in mat(4, 3), b in mat(3, 5), c in mat(5, 2)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(mats_close(&left, &right));
+    }
+
+    /// (A + B)C = AC + BC.
+    #[test]
+    fn matmul_distributes(a in mat(3, 4), b in mat(3, 4), c in mat(4, 2)) {
+        let left = a.add(&b).matmul(&c);
+        let right = a.matmul(&c).add(&b.matmul(&c));
+        prop_assert!(mats_close(&left, &right));
+    }
+
+    /// (AB)ᵀ = Bᵀ Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in mat(3, 4), b in mat(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(mats_close(&left, &right));
+    }
+
+    /// Hadamard product is commutative, scale is linear.
+    #[test]
+    fn elementwise_algebra(a in mat(4, 4), b in mat(4, 4), k in -5.0f32..5.0) {
+        prop_assert!(mats_close(&a.hadamard(&b), &b.hadamard(&a)));
+        prop_assert!(mats_close(&a.add(&b).scale(k), &a.scale(k).add(&b.scale(k))));
+    }
+
+    /// segment_softmax output sums to 1 per (segment, column) and lies in
+    /// (0, 1]; it is invariant to adding a constant to a segment's logits.
+    #[test]
+    fn segment_softmax_invariants(
+        x in mat(12, 2),
+        seg in prop::collection::vec(0usize..4, 12),
+        shift in -10.0f32..10.0,
+    ) {
+        let mut g = Graph::new();
+        let v = g.leaf(x.clone());
+        let y = g.segment_softmax(v, &seg);
+        let out = g.value(y).clone();
+        // Sums per segment per column.
+        let n_seg = seg.iter().copied().max().unwrap() + 1;
+        for s in 0..n_seg {
+            for c in 0..2 {
+                let total: f32 = (0..12).filter(|&r| seg[r] == s).map(|r| out[(r, c)]).sum();
+                let count = seg.iter().filter(|&&t| t == s).count();
+                if count > 0 {
+                    prop_assert!(close(total, 1.0), "segment {s} col {c} sums to {total}");
+                }
+            }
+        }
+        prop_assert!(out.data().iter().all(|&v| v > 0.0 && v <= 1.0 + 1e-6));
+
+        // Shift invariance.
+        let shifted = Matrix::from_fn(12, 2, |r, c| x[(r, c)] + shift);
+        let mut g2 = Graph::new();
+        let v2 = g2.leaf(shifted);
+        let y2 = g2.segment_softmax(v2, &seg);
+        prop_assert!(mats_close(&out, g2.value(y2)));
+    }
+
+    /// segment_sum is linear: seg(αx + y) = α·seg(x) + seg(y).
+    #[test]
+    fn segment_sum_linear(
+        x in mat(10, 3),
+        y in mat(10, 3),
+        seg in prop::collection::vec(0usize..5, 10),
+        alpha in -3.0f32..3.0,
+    ) {
+        let run = |m: &Matrix| {
+            let mut g = Graph::new();
+            let v = g.leaf(m.clone());
+            let s = g.segment_sum(v, &seg, 5);
+            g.value(s).clone()
+        };
+        let combined = run(&x.scale(alpha).add(&y));
+        let separate = run(&x).scale(alpha).add(&run(&y));
+        prop_assert!(mats_close(&combined, &separate));
+    }
+
+    /// gather then segment_sum by the same index is the "count-weighted"
+    /// identity: each row appears exactly as often as it was gathered.
+    #[test]
+    fn gather_scatter_counts(
+        x in mat(6, 2),
+        idx in prop::collection::vec(0usize..6, 1..20),
+    ) {
+        let mut g = Graph::new();
+        let v = g.leaf(x.clone());
+        let gathered = g.gather_rows(v, &idx);
+        let scattered = g.segment_sum(gathered, &idx, 6);
+        let out = g.value(scattered);
+        for r in 0..6 {
+            let count = idx.iter().filter(|&&i| i == r).count() as f32;
+            for c in 0..2 {
+                prop_assert!(close(out[(r, c)], x[(r, c)] * count));
+            }
+        }
+    }
+
+    /// normalize_rows produces unit rows (for non-degenerate input) and is
+    /// idempotent.
+    #[test]
+    fn normalize_rows_idempotent(x in mat(5, 4)) {
+        let mut g = Graph::new();
+        let v = g.leaf(x.clone());
+        let y1 = g.normalize_rows(v);
+        let y2 = g.normalize_rows(y1);
+        let (o1, o2) = (g.value(y1).clone(), g.value(y2).clone());
+        for r in 0..5 {
+            if x.row_norm(r) > 1e-3 {
+                prop_assert!(close(o1.row_norm(r), 1.0));
+            }
+        }
+        prop_assert!(mats_close(&o1, &o2));
+    }
+
+    /// The hyperplane projection used by distance-specific scoring strictly
+    /// reduces (or preserves) the norm and is idempotent: P(P(h)) = P(h).
+    #[test]
+    fn hyperplane_projection_contracts(h in mat(4, 6), w in mat(1, 6)) {
+        prop_assume!(w.row_norm(0) > 1e-2);
+        let mut g = Graph::new();
+        let hv = g.leaf(h.clone());
+        let wv = g.leaf(w.clone());
+        let wn = g.normalize_rows(wv);
+        let w_rows = g.gather_rows(wn, &[0usize; 4]);
+        let project = |g: &mut Graph, hv| {
+            let d = g.rows_dot(hv, w_rows);
+            let p = g.scale_rows(w_rows, d);
+            g.sub(hv, p)
+        };
+        let p1 = project(&mut g, hv);
+        let p2 = project(&mut g, p1);
+        let (o1, o2) = (g.value(p1).clone(), g.value(p2).clone());
+        for r in 0..4 {
+            prop_assert!(o1.row_norm(r) <= h.row_norm(r) + 1e-4);
+        }
+        prop_assert!(mats_close(&o1, &o2));
+    }
+
+    /// BCE with logits is non-negative and zero only for perfect confidence.
+    #[test]
+    fn bce_nonnegative(x in mat(6, 1), labels in prop::collection::vec(0u8..2, 6)) {
+        let targets: Vec<f32> = labels.iter().map(|&l| l as f32).collect();
+        let mut g = Graph::new();
+        let v = g.leaf(x);
+        let loss = g.bce_with_logits(v, &targets);
+        prop_assert!(g.value(loss).scalar() >= 0.0);
+    }
+
+    /// Backward accumulates: d(sum(x + x))/dx = 2.
+    #[test]
+    fn gradient_accumulation_through_fanout(x in mat(3, 3)) {
+        let mut g = Graph::new();
+        let v = g.leaf(x);
+        let doubled = g.add(v, v);
+        let loss = g.sum_all(doubled);
+        let grads = g.backward(loss);
+        let dv = grads.get(v).unwrap();
+        prop_assert!(dv.data().iter().all(|&d| close(d, 2.0)));
+    }
+}

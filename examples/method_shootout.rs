@@ -1,0 +1,37 @@
+//! Method shoot-out: a single-fraction version of the paper's Table 2 —
+//! every method on the same split, with timing. A fast way to eyeball the
+//! whole comparison without running the full benchmark sweep.
+//!
+//! Run with `cargo run --release --example method_shootout`.
+
+use prim_baselines::{run_method, Method, RunConfig};
+use prim_data::{Dataset, Scale};
+use prim_eval::{fmt3, transductive_task, Table};
+
+fn main() {
+    let dataset = Dataset::beijing(Scale::Quick);
+    let task = transductive_task(&dataset, 0.6, 3);
+    let cfg = RunConfig::quick();
+
+    let mut table = Table::new(
+        format!("{} @ 60% train — all methods", dataset.name),
+        &["Method", "Macro-F1", "Micro-F1", "train s"],
+    );
+    let mut best: (String, f64) = (String::new(), f64::NEG_INFINITY);
+    for method in Method::table2() {
+        let t0 = std::time::Instant::now();
+        let run = run_method(method, &dataset, &task, &cfg);
+        let f1 = task.score(&run.predictions);
+        table.row(&[
+            method.name(),
+            fmt3(f1.macro_f1),
+            fmt3(f1.micro_f1),
+            format!("{:.1}", t0.elapsed().as_secs_f64()),
+        ]);
+        if f1.macro_f1 > best.1 {
+            best = (method.name(), f1.macro_f1);
+        }
+    }
+    println!("{}", table.render());
+    println!("winner: {} (Macro-F1 {:.3})", best.0, best.1);
+}

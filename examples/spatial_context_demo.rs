@@ -1,0 +1,97 @@
+//! Spatial-context demo: the paper's KFC/McDonald's story (Section 4.1).
+//! Two POI pairs with identical categories and similar pairwise distance
+//! can have different competitive intensity depending on where they sit —
+//! residential areas amplify head-to-head competition, dense commercial
+//! districts dampen it. The latent land-use context is never observed; the
+//! self-attentive spatial context extractor must recover it from the
+//! category mixture of each POI's spatial neighbours.
+//!
+//! This example trains PRIM and its -S ablation and compares how strongly
+//! each model's competitive scores separate residential from commercial
+//! same-category pairs.
+//!
+//! Run with `cargo run --release --example spatial_context_demo`.
+
+use prim_core::{fit, ModelInputs, PrimConfig, PrimModel, Variant};
+use prim_data::{ContextKind, Dataset, Scale};
+use prim_eval::transductive_task;
+use prim_graph::PoiId;
+
+/// Collects same-subgroup, close-range pairs split by latent context.
+fn context_pairs(ds: &Dataset) -> (Vec<(PoiId, PoiId)>, Vec<(PoiId, PoiId)>) {
+    let mut residential = Vec::new();
+    let mut commercial = Vec::new();
+    let n = ds.graph.num_pois();
+    for a in 0..n {
+        for b in a + 1..n {
+            let (pa, pb) = (PoiId(a as u32), PoiId(b as u32));
+            let d = ds.graph.distance_km(pa, pb);
+            if d > 1.5 {
+                continue;
+            }
+            let ca = ds.graph.poi(pa).category;
+            let cb = ds.graph.poi(pb).category;
+            if ds.taxonomy.path_distance(ca, cb) > 2 {
+                continue;
+            }
+            match (ds.context[a], ds.context[b]) {
+                (ContextKind::Residential, ContextKind::Residential) => {
+                    residential.push((pa, pb))
+                }
+                (ContextKind::Commercial, ContextKind::Commercial) => {
+                    commercial.push((pa, pb))
+                }
+                _ => {}
+            }
+        }
+    }
+    (residential, commercial)
+}
+
+fn mean_competitive_score(
+    model: &PrimModel,
+    inputs: &ModelInputs,
+    pairs: &[(PoiId, PoiId)],
+) -> f64 {
+    let table = model.embed(inputs);
+    pairs
+        .iter()
+        .map(|&(a, b)| {
+            let bin = inputs.pair_bin(a, b, model.config());
+            model.score_pair_eager(&table, a, 0, b, bin) as f64
+        })
+        .sum::<f64>()
+        / pairs.len().max(1) as f64
+}
+
+fn main() {
+    let ds = Dataset::beijing(Scale::Quick);
+    let (residential, commercial) = context_pairs(&ds);
+    println!(
+        "same-category close pairs: {} residential, {} commercial",
+        residential.len(),
+        commercial.len()
+    );
+
+    let task = transductive_task(&ds, 0.6, 77);
+    for (label, variant) in [("PRIM", Variant::full()), ("-S (no spatial context)", Variant::from_name("-S"))]
+    {
+        let cfg = PrimConfig::quick().with_variant(variant);
+        let inputs =
+            ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, &task.train, None, &cfg);
+        let mut model = PrimModel::new(cfg, &inputs);
+        fit(&mut model, &inputs, &ds.graph, &task.train, None, Some(&task.val));
+        let res = mean_competitive_score(&model, &inputs, &residential);
+        let com = mean_competitive_score(&model, &inputs, &commercial);
+        println!(
+            "{label}: mean competitive score residential {res:.3} vs commercial {com:.3} \
+             (separation {:.3})",
+            res - com
+        );
+    }
+    println!(
+        "\nground truth plants residential same-category pairs as ~3x more likely to compete;\n\
+         a larger residential-minus-commercial separation means the model recovered the\n\
+         latent context — the spatial context extractor is the mechanism for doing so."
+    );
+}

@@ -1,0 +1,36 @@
+//! # prim — PRIM reproduction meta-crate
+//!
+//! Umbrella crate for the Rust reproduction of *"Points-of-Interest
+//! Relationship Inference with Spatial-enriched Graph Neural Networks"*
+//! (VLDB 2021). It re-exports the workspace crates under one roof so
+//! downstream users can depend on a single crate:
+//!
+//! * [`tensor`] — dense matrices + tape-based autodiff with GNN primitives;
+//! * [`nn`] — parameter store, initialisers, Adam/SGD, layers;
+//! * [`geo`] — distances, bearings, RBF kernel, grid spatial index;
+//! * [`graph`] — taxonomy, heterogeneous POI graph, splits, sampling;
+//! * [`data`] — calibrated synthetic city datasets (Meituan substitute);
+//! * [`model`] — the PRIM model itself (training, inference, ablations);
+//! * [`baselines`] — all twelve comparison methods behind one registry;
+//! * [`eval`] — Macro/Micro-F1, evaluation tasks, report tables.
+//!
+//! See the [README](https://example.com/prim) and `examples/` for usage;
+//! `cargo bench -p prim-bench` regenerates the paper's tables and figures.
+
+pub use prim_baselines as baselines;
+pub use prim_core as model;
+pub use prim_data as data;
+pub use prim_eval as eval;
+pub use prim_geo as geo;
+pub use prim_graph as graph;
+pub use prim_nn as nn;
+pub use prim_tensor as tensor;
+
+/// Convenience prelude importing the types most programs need.
+pub mod prelude {
+    pub use prim_baselines::{run_method, Method, RunConfig};
+    pub use prim_core::{fit, ModelInputs, PrimConfig, PrimModel, Variant};
+    pub use prim_data::{Dataset, Scale};
+    pub use prim_eval::{inductive_task, sparse_task, transductive_task, F1Pair, Task};
+    pub use prim_graph::{Edge, HeteroGraph, PoiId, RelationId};
+}

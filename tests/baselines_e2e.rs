@@ -1,0 +1,88 @@
+//! Integration tests for the baseline registry: every method of the
+//! paper's comparison runs end-to-end through the shared task pipeline,
+//! on both the binary and the six-relation scenarios.
+
+use prim_baselines::{run_method, Method, RunConfig};
+use prim_core::Variant;
+use prim_data::{Dataset, Scale};
+use prim_eval::{transductive_task, Confusion};
+
+fn tiny_cfg() -> RunConfig {
+    let mut cfg = RunConfig::quick();
+    cfg.prim.epochs = 12;
+    cfg.prim.dim = 12;
+    cfg.prim.cat_dim = 6;
+    cfg.baseline.epochs = 12;
+    cfg.baseline.dim = 12;
+    cfg.deepwalk.walks_per_node = 4;
+    cfg.deepwalk.walk_length = 10;
+    cfg.node2vec.walks_per_node = 4;
+    cfg.node2vec.walk_length = 10;
+    cfg
+}
+
+#[test]
+fn all_table2_methods_produce_valid_predictions() {
+    let dataset = Dataset::beijing(Scale::Quick).subsample(0.2, 77);
+    let task = transductive_task(&dataset, 0.5, 6);
+    let cfg = tiny_cfg();
+    for method in Method::table2() {
+        let run = run_method(method, &dataset, &task, &cfg);
+        assert_eq!(run.predictions.len(), task.eval_pairs.len(), "{}", method.name());
+        // Confusion matrix must be constructible (labels in range).
+        let c = Confusion::from_predictions(&run.predictions, &task.expected, task.n_classes());
+        assert_eq!(c.total(), task.eval_pairs.len());
+        assert!(run.train_seconds >= 0.0);
+    }
+}
+
+#[test]
+fn six_relation_scenario_runs_for_gnn_methods() {
+    let dataset = Dataset::beijing_six(Scale::Quick).subsample(0.2, 78);
+    assert_eq!(dataset.graph.num_relations(), 6);
+    let task = transductive_task(&dataset, 0.5, 8);
+    assert_eq!(task.n_classes(), 7);
+    let cfg = tiny_cfg();
+    for method in [Method::Hgt, Method::CompGcn, Method::DeepR, Method::Prim(Variant::full())] {
+        let run = run_method(method, &dataset, &task, &cfg);
+        assert!(
+            run.predictions.iter().all(|&p| p <= 6),
+            "{} produced an out-of-range class",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn learned_methods_beat_random_guessing() {
+    let dataset = Dataset::beijing(Scale::Quick).subsample(0.45, 79);
+    let task = transductive_task(&dataset, 0.6, 10);
+    let mut cfg = tiny_cfg();
+    cfg.prim.epochs = 40;
+    cfg.prim.dim = 24;
+    cfg.prim.cat_dim = 12;
+    cfg.baseline.epochs = 40;
+    cfg.baseline.dim = 24;
+    // Random over 3 classes ≈ 1/3 micro. Demand clear improvements.
+    for method in [Method::Gcn, Method::CompGcn, Method::Prim(Variant::full())] {
+        let run = run_method(method, &dataset, &task, &cfg);
+        let f1 = task.score(&run.predictions);
+        assert!(
+            f1.micro_f1 > 0.45,
+            "{} barely beats chance: micro {:.3}",
+            method.name(),
+            f1.micro_f1
+        );
+    }
+}
+
+#[test]
+fn rules_are_deterministic_and_fast() {
+    let dataset = Dataset::beijing(Scale::Quick).subsample(0.3, 80);
+    let task = transductive_task(&dataset, 0.5, 13);
+    let cfg = tiny_cfg();
+    let a = run_method(Method::CatD, &dataset, &task, &cfg);
+    let b = run_method(Method::CatD, &dataset, &task, &cfg);
+    assert_eq!(a.predictions, b.predictions);
+    assert!(a.train_seconds < 5.0, "rule fitting too slow: {}s", a.train_seconds);
+}

@@ -1,0 +1,106 @@
+//! Property-based cross-crate invariants (proptest): metrics bounds,
+//! taxonomy metric axioms on *generated* taxonomies, split conservation,
+//! spatial-neighbour symmetry, and distance-bin totality.
+
+use prim_data::{Dataset, Scale, TaxonomyConfig};
+use prim_data::generator::generate_taxonomy;
+use prim_eval::F1Pair;
+use prim_geo::DistanceBins;
+use prim_graph::{split_edges, CategoryId, SpatialNeighbors};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// F1 metrics are always within [0, 1] for arbitrary predictions.
+    #[test]
+    fn f1_bounded(preds in prop::collection::vec(0usize..4, 1..200), seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let actual: Vec<usize> = preds.iter().map(|_| rng.gen_range(0..4)).collect();
+        let f1 = F1Pair::compute(&preds, &actual, 4);
+        prop_assert!((0.0..=1.0).contains(&f1.macro_f1));
+        prop_assert!((0.0..=1.0).contains(&f1.micro_f1));
+    }
+
+    /// Taxonomy path distance is a metric on generated taxonomies:
+    /// identity, symmetry, triangle inequality, evenness.
+    #[test]
+    fn taxonomy_path_distance_is_a_metric(seed in 0u64..50, a in 0u32..100, b in 0u32..100, c in 0u32..100) {
+        let tax = generate_taxonomy(&TaxonomyConfig {
+            n_groups: 3, n_subgroups: 3, n_leaves: 12, seed,
+        });
+        let t = &tax.taxonomy;
+        let n = t.num_categories() as u32;
+        let (a, b, c) = (CategoryId(a % n), CategoryId(b % n), CategoryId(c % n));
+        prop_assert_eq!(t.path_distance(a, a), 0);
+        prop_assert_eq!(t.path_distance(a, b), t.path_distance(b, a));
+        prop_assert!(t.path_distance(a, c) <= t.path_distance(a, b) + t.path_distance(b, c));
+        // All leaves sit at the same depth, so leaf-to-leaf distances are even.
+        prop_assert_eq!(t.path_distance(a, b) % 2, 0);
+    }
+
+    /// Edge splits conserve edges and never overlap.
+    #[test]
+    fn splits_conserve_edges(frac in 0.1f64..0.7, seed in 0u64..100) {
+        let ds = Dataset::beijing(Scale::Quick).subsample(0.15, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = split_edges(&ds.graph, frac, &mut rng);
+        prop_assert!(split.total() <= ds.graph.num_edges());
+        let mut seen = std::collections::HashSet::new();
+        for e in split.train.iter().chain(&split.val).chain(&split.test) {
+            prop_assert!(seen.insert((e.src, e.dst, e.rel)));
+        }
+    }
+
+    /// Distance bins are total and monotone: every distance maps to exactly
+    /// one bin, and bins never decrease with distance.
+    #[test]
+    fn distance_bins_total_and_monotone(width in 0.2f64..3.0, count in 1usize..8, d1 in 0.0f64..50.0, d2 in 0.0f64..50.0) {
+        let bins = DistanceBins::uniform(width, count);
+        let (b1, b2) = (bins.bin(d1), bins.bin(d2));
+        prop_assert!(b1 < bins.len() && b2 < bins.len());
+        if d1 <= d2 {
+            prop_assert!(b1 <= b2);
+        }
+    }
+}
+
+/// Spatial neighbourhood relation is symmetric when no fan-out cap binds:
+/// if j ∈ S_i then i ∈ S_j.
+#[test]
+fn spatial_neighbours_symmetric_without_cap() {
+    let ds = Dataset::beijing(Scale::Quick).subsample(0.25, 9);
+    let sn = SpatialNeighbors::build(&ds.graph, 1.15, 2.0, usize::MAX);
+    let pairs: std::collections::HashSet<(u32, u32)> = sn
+        .src()
+        .iter()
+        .zip(sn.dst().iter())
+        .map(|(&s, &d)| (s, d))
+        .collect();
+    for &(s, d) in &pairs {
+        assert!(pairs.contains(&(d, s)), "asymmetric spatial pair ({s}, {d})");
+    }
+}
+
+/// RBF weights decrease with distance along each neighbour list.
+#[test]
+fn rbf_weights_reflect_proximity() {
+    let ds = Dataset::beijing(Scale::Quick).subsample(0.25, 10);
+    let sn = SpatialNeighbors::build(&ds.graph, 1.15, 2.0, 16);
+    // Within each segment, neighbours are sorted nearest-first, so their
+    // RBF weights must be non-increasing.
+    let mut prev_seg = usize::MAX;
+    let mut prev_w = f32::INFINITY;
+    for k in 0..sn.num_edges() {
+        let seg = sn.segment()[k];
+        let w = sn.rbf()[k];
+        if seg == prev_seg {
+            assert!(w <= prev_w + 1e-6, "RBF weights not sorted within segment");
+        }
+        prev_seg = seg;
+        prev_w = w;
+    }
+}

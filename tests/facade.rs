@@ -1,0 +1,36 @@
+//! Smoke test for the `prim` umbrella crate: the prelude must expose a
+//! complete, working pipeline.
+
+use prim::prelude::*;
+
+#[test]
+fn prelude_covers_the_whole_pipeline() {
+    let dataset = Dataset::beijing(Scale::Quick).subsample(0.12, 9);
+    let task = transductive_task(&dataset, 0.5, 1);
+    let mut cfg = RunConfig::quick();
+    cfg.prim.epochs = 6;
+    cfg.prim.dim = 12;
+    cfg.prim.cat_dim = 6;
+    let run = run_method(Method::Prim(Variant::full()), &dataset, &task, &cfg);
+    let f1: F1Pair = task.score(&run.predictions);
+    assert!(f1.micro_f1 >= 0.0 && f1.micro_f1 <= 1.0);
+    // Graph types round-trip through the facade too.
+    let e: Edge = dataset.graph.edges()[0];
+    assert!(dataset.graph.num_relations() > e.rel.0 as usize);
+    let _: &HeteroGraph = &dataset.graph;
+    let _: PoiId = e.src;
+    let _: RelationId = e.rel;
+}
+
+#[test]
+fn module_reexports_resolve() {
+    // One symbol per re-exported module proves the paths stay valid.
+    let _ = prim::tensor::Matrix::zeros(1, 1);
+    let _ = prim::nn::ParamStore::new();
+    let _ = prim::geo::Location::new(116.0, 40.0);
+    let _ = prim::graph::Taxonomy::new("root");
+    let _ = prim::eval::Table::new("t", &["a"]);
+    let _ = prim::model::PrimConfig::quick();
+    let _ = prim::baselines::Method::table2();
+    let _ = prim::data::Scale::Quick;
+}

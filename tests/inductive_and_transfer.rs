@@ -1,0 +1,97 @@
+//! Integration tests for the inductive (unseen POI) protocol and the
+//! cross-city transfer used by Tables 4 and 5.
+
+use prim_core::{fit, ModelInputs, PrimConfig, PrimModel};
+use prim_data::{Dataset, Scale};
+use prim_eval::{inductive_task, transductive_task};
+
+#[test]
+fn inductive_training_never_touches_hidden_pois() {
+    let dataset = Dataset::beijing(Scale::Quick).subsample(0.4, 501);
+    let task = inductive_task(&dataset, 0.2, 3);
+    let visible = task.visible.clone().unwrap();
+
+    let cfg = PrimConfig { epochs: 10, ..PrimConfig::quick() };
+    let inputs = ModelInputs::build(
+        &dataset.graph,
+        &dataset.taxonomy,
+        &dataset.attrs,
+        &task.train,
+        Some(&visible),
+        &cfg,
+    );
+    // Spatial graph excludes hidden POIs entirely.
+    for &s in inputs.spatial.src() {
+        assert!(visible.contains(&prim_graph::PoiId(s)));
+    }
+    for &d in inputs.spatial.dst() {
+        assert!(visible.contains(&prim_graph::PoiId(d)));
+    }
+    // Adjacency over training edges excludes them too.
+    for &s in inputs.adjacency.src() {
+        assert!(visible.contains(&prim_graph::PoiId(s)));
+    }
+}
+
+#[test]
+fn unseen_pois_get_useful_predictions() {
+    let dataset = Dataset::beijing(Scale::Quick);
+    let task = inductive_task(&dataset, 0.2, 4);
+    let visible = task.visible.clone().unwrap();
+
+    let cfg = PrimConfig { epochs: 60, ..PrimConfig::quick() };
+    let train_inputs = ModelInputs::build(
+        &dataset.graph,
+        &dataset.taxonomy,
+        &dataset.attrs,
+        &task.train,
+        Some(&visible),
+        &cfg,
+    );
+    let mut model = PrimModel::new(cfg.clone(), &train_inputs);
+    fit(&mut model, &train_inputs, &dataset.graph, &task.train, Some(&visible), Some(&task.val));
+
+    // Inference with the full spatial graph restored.
+    let infer_inputs = ModelInputs::build(
+        &dataset.graph,
+        &dataset.taxonomy,
+        &dataset.attrs,
+        &task.train,
+        None,
+        &cfg,
+    );
+    let table = model.embed(&infer_inputs);
+    let predictions = model.predict_pairs(&table, &infer_inputs, &task.eval_pairs);
+    let f1 = task.score(&predictions);
+    assert!(
+        f1.micro_f1 > 0.45,
+        "inductive inference collapsed: micro {:.3}",
+        f1.micro_f1
+    );
+}
+
+#[test]
+fn beijing_model_transfers_to_shanghai() {
+    let (bj, sh) = Dataset::city_pair(Scale::Quick);
+    // Same taxonomy → same attribute dimensionality → transferable weights.
+    assert_eq!(bj.attr_dim(), sh.attr_dim());
+
+    let cfg = PrimConfig { epochs: 60, ..PrimConfig::quick() };
+    let bj_task = transductive_task(&bj, 0.6, 21);
+    let bj_inputs =
+        ModelInputs::build(&bj.graph, &bj.taxonomy, &bj.attrs, &bj_task.train, None, &cfg);
+    let mut model = PrimModel::new(cfg.clone(), &bj_inputs);
+    fit(&mut model, &bj_inputs, &bj.graph, &bj_task.train, None, Some(&bj_task.val));
+
+    let sh_task = transductive_task(&sh, 0.6, 22);
+    let sh_inputs =
+        ModelInputs::build(&sh.graph, &sh.taxonomy, &sh.attrs, &sh_task.train, None, &cfg);
+    let sh_table = model.embed(&sh_inputs);
+    let preds = model.predict_pairs(&sh_table, &sh_inputs, &sh_task.eval_pairs);
+    let transfer = sh_task.score(&preds);
+    assert!(
+        transfer.micro_f1 > 0.4,
+        "cross-city transfer collapsed: micro {:.3}",
+        transfer.micro_f1
+    );
+}
