@@ -138,7 +138,10 @@ impl InitialFeatures {
     ) -> Self {
         InitialFeatures {
             w_in: store.add("w_in", prim_nn::init::xavier_uniform(rng, attr_dim, dim)),
-            cat_table: store.add_no_decay("cat_table", prim_nn::init::embedding(rng, n_categories, dim)),
+            cat_table: store.add_no_decay(
+                "cat_table",
+                prim_nn::init::embedding(rng, n_categories, dim),
+            ),
             node_emb: store.add_no_decay("node_emb", prim_nn::init::embedding(rng, n_pois, dim)),
         }
     }
@@ -262,7 +265,11 @@ fn val_accuracy<M: PairModel>(
     expected: &[usize],
 ) -> f64 {
     let preds = predict_pairs(model, inputs, pairs);
-    let hits = preds.iter().zip(expected.iter()).filter(|(p, e)| p == e).count();
+    let hits = preds
+        .iter()
+        .zip(expected.iter())
+        .filter(|(p, e)| p == e)
+        .count();
     hits as f64 / pairs.len().max(1) as f64
 }
 
@@ -283,15 +290,17 @@ pub fn train_pair_model<M: PairModel>(
     let phi = model.n_relations();
 
     // Validation set: held-out edges plus φ pairs.
-    let val = val_edges.filter(|v| !v.is_empty() && cfg.val_check_every > 0).map(|v| {
-        let mut pairs: Vec<(PoiId, PoiId)> = v.iter().map(|e| (e.src, e.dst)).collect();
-        let mut expected: Vec<usize> = v.iter().map(|e| e.rel.0 as usize).collect();
-        for (a, b) in prim_graph::sample_non_relation_pairs(graph, v.len(), &mut rng) {
-            pairs.push((a, b));
-            expected.push(phi);
-        }
-        (pairs, expected)
-    });
+    let val = val_edges
+        .filter(|v| !v.is_empty() && cfg.val_check_every > 0)
+        .map(|v| {
+            let mut pairs: Vec<(PoiId, PoiId)> = v.iter().map(|e| (e.src, e.dst)).collect();
+            let mut expected: Vec<usize> = v.iter().map(|e| e.rel.0 as usize).collect();
+            for (a, b) in prim_graph::sample_non_relation_pairs(graph, v.len(), &mut rng) {
+                pairs.push((a, b));
+                expected.push(phi);
+            }
+            (pairs, expected)
+        });
     let mut best_val = f64::NEG_INFINITY;
     let mut best_snapshot = None;
 
@@ -378,7 +387,9 @@ mod tests {
             self.n_relations
         }
         fn forward(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs) -> Self::Fwd {
-            let h = self.feats.features(g, bind, inputs, self.cfg.use_node_embeddings);
+            let h = self
+                .feats
+                .features(g, bind, inputs, self.cfg.use_node_embeddings);
             (h, bind.var(self.rel_table))
         }
         fn score(
@@ -396,21 +407,45 @@ mod tests {
     }
 
     fn dummy(inputs: &ModelInputs) -> Dummy {
-        let cfg = BaselineConfig { epochs: 30, dim: 12, ..BaselineConfig::quick() };
+        let cfg = BaselineConfig {
+            epochs: 30,
+            dim: 12,
+            ..BaselineConfig::quick()
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let mut store = ParamStore::new();
-        let feats =
-            InitialFeatures::new(&mut store, &mut rng, inputs.attr_dim(), inputs.n_categories, inputs.n_pois, cfg.dim);
-        let rel_table =
-            store.add("rel", init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim));
-        Dummy { store, cfg, feats, rel_table, n_relations: inputs.n_relations }
+        let feats = InitialFeatures::new(
+            &mut store,
+            &mut rng,
+            inputs.attr_dim(),
+            inputs.n_categories,
+            inputs.n_pois,
+            cfg.dim,
+        );
+        let rel_table = store.add(
+            "rel",
+            init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim),
+        );
+        Dummy {
+            store,
+            cfg,
+            feats,
+            rel_table,
+            n_relations: inputs.n_relations,
+        }
     }
 
     fn small_inputs() -> (Dataset, ModelInputs) {
         let ds = Dataset::beijing(Scale::Quick).subsample(0.2, 8);
         let cfg = PrimConfig::quick();
-        let inputs =
-            ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        let inputs = ModelInputs::build(
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            ds.graph.edges(),
+            None,
+            &cfg,
+        );
         (ds, inputs)
     }
 
@@ -418,10 +453,13 @@ mod tests {
     fn generic_trainer_reduces_loss() {
         let (ds, inputs) = small_inputs();
         let mut model = dummy(&inputs);
-        let report =
-            train_pair_model(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
+        let report = train_pair_model(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
         assert_eq!(report.losses.len(), 30);
-        assert!(report.losses[29] < report.losses[0] * 0.9, "{:?}", &report.losses[..3]);
+        assert!(
+            report.losses[29] < report.losses[0] * 0.9,
+            "{:?}",
+            &report.losses[..3]
+        );
     }
 
     #[test]

@@ -73,7 +73,11 @@ struct RelEdges {
 
 fn split_edges_by_relation(inputs: &ModelInputs) -> Vec<RelEdges> {
     let mut out: Vec<RelEdges> = (0..inputs.n_relations)
-        .map(|_| RelEdges { src: Vec::new(), dst: Vec::new(), pos: Vec::new() })
+        .map(|_| RelEdges {
+            src: Vec::new(),
+            dst: Vec::new(),
+            pos: Vec::new(),
+        })
         .collect();
     let adj = &inputs.adjacency;
     for k in 0..adj.num_directed_edges() {
@@ -121,8 +125,10 @@ impl DecGcnModel {
             inputs.n_pois,
             cfg.dim,
         );
-        let rel_table =
-            store.add_no_decay("rel", init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim));
+        let rel_table = store.add_no_decay(
+            "rel",
+            init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim),
+        );
         let layers = (0..cfg.n_layers)
             .map(|l| {
                 let rels = (0..inputs.n_relations)
@@ -146,7 +152,14 @@ impl DecGcnModel {
                 (rels, gate)
             })
             .collect();
-        DecGcnModel { store, cfg, feats, rel_table, layers, n_relations: inputs.n_relations }
+        DecGcnModel {
+            store,
+            cfg,
+            feats,
+            rel_table,
+            layers,
+            n_relations: inputs.n_relations,
+        }
     }
 }
 
@@ -175,7 +188,9 @@ impl PairModel for DecGcnModel {
 
     fn forward(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs) -> Self::Fwd {
         let by_rel = split_edges_by_relation(inputs);
-        let h0 = self.feats.features(g, bind, inputs, self.cfg.use_node_embeddings);
+        let h0 = self
+            .feats
+            .features(g, bind, inputs, self.cfg.use_node_embeddings);
         let mut hs: Vec<Var> = vec![h0; self.n_relations];
         for (rels, gate) in &self.layers {
             // Per-relation GCN step over its own sub-graph.
@@ -192,9 +207,7 @@ impl PairModel for DecGcnModel {
                         for &d in &by_rel[r].dst {
                             counts[d] += 1;
                         }
-                        Matrix::from_fn(inputs.n_pois, 1, |i, _| {
-                            1.0 / counts[i].max(1) as f32
-                        })
+                        Matrix::from_fn(inputs.n_pois, 1, |i, _| 1.0 / counts[i].max(1) as f32)
                     };
                     let deg_c = g.constant(deg);
                     let normed = g.scale_rows(summed, deg_c);
@@ -228,7 +241,11 @@ impl PairModel for DecGcnModel {
             hs = fused;
         }
         let mean = mean_of(g, &hs);
-        DecoupledFwd { per_rel: hs, mean, rel_table: bind.var(self.rel_table) }
+        DecoupledFwd {
+            per_rel: hs,
+            mean,
+            rel_table: bind.var(self.rel_table),
+        }
     }
 
     fn score(
@@ -272,8 +289,10 @@ impl DeepRModel {
             inputs.n_pois,
             cfg.dim,
         );
-        let rel_table =
-            store.add_no_decay("rel", init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim));
+        let rel_table = store.add_no_decay(
+            "rel",
+            init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim),
+        );
         let in_dim = (cfg.n_sectors + 1) * cfg.dim;
         let layers = (0..cfg.n_layers)
             .map(|l| {
@@ -287,7 +306,14 @@ impl DeepRModel {
                     .collect()
             })
             .collect();
-        DeepRModel { store, cfg, feats, rel_table, layers, n_relations: inputs.n_relations }
+        DeepRModel {
+            store,
+            cfg,
+            feats,
+            rel_table,
+            layers,
+            n_relations: inputs.n_relations,
+        }
     }
 }
 
@@ -325,7 +351,9 @@ impl PairModel for DeepRModel {
             .map(|&b| sector_of(b as f64, n_sectors))
             .collect();
 
-        let h0 = self.feats.features(g, bind, inputs, self.cfg.use_node_embeddings);
+        let h0 = self
+            .feats
+            .features(g, bind, inputs, self.cfg.use_node_embeddings);
         let mut hs: Vec<Var> = vec![h0; self.n_relations];
         for rels in &self.layers {
             let mut next = Vec::with_capacity(self.n_relations);
@@ -366,7 +394,11 @@ impl PairModel for DeepRModel {
             hs = next;
         }
         let mean = mean_of(g, &hs);
-        DecoupledFwd { per_rel: hs, mean, rel_table: bind.var(self.rel_table) }
+        DecoupledFwd {
+            per_rel: hs,
+            mean,
+            rel_table: bind.var(self.rel_table),
+        }
     }
 
     fn score(
@@ -393,26 +425,46 @@ mod tests {
     fn small_inputs() -> (Dataset, ModelInputs) {
         let ds = Dataset::beijing(Scale::Quick).subsample(0.18, 31);
         let cfg = PrimConfig::quick();
-        let inputs =
-            ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        let inputs = ModelInputs::build(
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            ds.graph.edges(),
+            None,
+            &cfg,
+        );
         (ds, inputs)
     }
 
     #[test]
     fn decgcn_trains_and_predicts() {
         let (ds, inputs) = small_inputs();
-        let cfg = BaselineConfig { epochs: 12, dim: 12, n_layers: 2, ..BaselineConfig::quick() };
+        let cfg = BaselineConfig {
+            epochs: 12,
+            dim: 12,
+            n_layers: 2,
+            ..BaselineConfig::quick()
+        };
         let mut model = DecGcnModel::new(cfg, &inputs);
         let report = train_pair_model(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
         assert!(report.losses[11] < report.losses[0]);
-        let preds = predict_pairs(&model, &inputs, &[(PoiId(0), PoiId(1)), (PoiId(2), PoiId(3))]);
+        let preds = predict_pairs(
+            &model,
+            &inputs,
+            &[(PoiId(0), PoiId(1)), (PoiId(2), PoiId(3))],
+        );
         assert!(preds.iter().all(|&p| p <= inputs.n_relations));
     }
 
     #[test]
     fn deepr_trains_and_predicts() {
         let (ds, inputs) = small_inputs();
-        let cfg = BaselineConfig { epochs: 12, dim: 12, n_layers: 2, ..BaselineConfig::quick() };
+        let cfg = BaselineConfig {
+            epochs: 12,
+            dim: 12,
+            n_layers: 2,
+            ..BaselineConfig::quick()
+        };
         let mut model = DeepRModel::new(cfg, &inputs);
         let report = train_pair_model(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
         assert!(report.losses[11] < report.losses[0]);
@@ -423,14 +475,22 @@ mod tests {
     #[test]
     fn decoupled_relations_get_distinct_embeddings() {
         let (_, inputs) = small_inputs();
-        let cfg = BaselineConfig { epochs: 1, dim: 8, n_layers: 1, ..BaselineConfig::quick() };
+        let cfg = BaselineConfig {
+            epochs: 1,
+            dim: 8,
+            n_layers: 1,
+            ..BaselineConfig::quick()
+        };
         let model = DeepRModel::new(cfg, &inputs);
         let mut g = Graph::new();
         let bind = model.store().bind(&mut g);
         let fwd = model.forward(&mut g, &bind, &inputs);
         assert_eq!(fwd.per_rel.len(), inputs.n_relations);
         // The two relations' sub-graphs differ, so embeddings must differ.
-        assert_ne!(g.value(fwd.per_rel[0]).row(0), g.value(fwd.per_rel[1]).row(0));
+        assert_ne!(
+            g.value(fwd.per_rel[0]).row(0),
+            g.value(fwd.per_rel[1]).row(0)
+        );
         assert!(g.value(fwd.mean).all_finite());
     }
 

@@ -32,7 +32,12 @@ pub trait Encoder {
     const NAME: &'static str;
 
     /// Registers parameters.
-    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, inputs: &ModelInputs) -> Self;
+    fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        cfg: &BaselineConfig,
+        inputs: &ModelInputs,
+    ) -> Self;
 
     /// Encodes initial features `h0` into final node embeddings.
     fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut;
@@ -61,10 +66,19 @@ impl<E: Encoder> EncoderModel<E> {
             inputs.n_pois,
             cfg.dim,
         );
-        let rel_table =
-            store.add_no_decay("rel", init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim));
+        let rel_table = store.add_no_decay(
+            "rel",
+            init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim),
+        );
         let encoder = E::new(&mut store, &mut rng, &cfg, inputs);
-        EncoderModel { store, cfg, feats, rel_table, encoder, n_relations: inputs.n_relations }
+        EncoderModel {
+            store,
+            cfg,
+            feats,
+            rel_table,
+            encoder,
+            n_relations: inputs.n_relations,
+        }
     }
 }
 
@@ -92,7 +106,9 @@ impl<E: Encoder> PairModel for EncoderModel<E> {
     }
 
     fn forward(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs) -> Self::Fwd {
-        let h0 = self.feats.features(g, bind, inputs, self.cfg.use_node_embeddings);
+        let h0 = self
+            .feats
+            .features(g, bind, inputs, self.cfg.use_node_embeddings);
         match self.encoder.encode(g, bind, inputs, h0) {
             EncOut::Nodes(h) => (h, bind.var(self.rel_table)),
             EncOut::NodesAndRelations(h, rel) => (h, rel),
@@ -160,12 +176,23 @@ pub struct GcnEncoder {
 impl Encoder for GcnEncoder {
     const NAME: &'static str = "GCN";
 
-    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, _inputs: &ModelInputs) -> Self {
+    fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        cfg: &BaselineConfig,
+        _inputs: &ModelInputs,
+    ) -> Self {
         let layers = (0..cfg.n_layers)
             .map(|l| {
                 (
-                    store.add(format!("gcn.l{l}.w"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
-                    store.add(format!("gcn.l{l}.w0"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
+                    store.add(
+                        format!("gcn.l{l}.w"),
+                        init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                    ),
+                    store.add(
+                        format!("gcn.l{l}.w0"),
+                        init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                    ),
                 )
             })
             .collect();
@@ -203,7 +230,12 @@ pub struct GatEncoder {
 impl Encoder for GatEncoder {
     const NAME: &'static str = "GAT";
 
-    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, _inputs: &ModelInputs) -> Self {
+    fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        cfg: &BaselineConfig,
+        _inputs: &ModelInputs,
+    ) -> Self {
         let head_dim = cfg.dim / cfg.n_heads;
         assert!(head_dim * cfg.n_heads == cfg.dim, "dim must divide n_heads");
         let layers = (0..cfg.n_layers)
@@ -222,8 +254,10 @@ impl Encoder for GatEncoder {
                         )
                     })
                     .collect();
-                let w_self =
-                    store.add(format!("gat.l{l}.w0"), init::xavier_uniform(rng, cfg.dim, cfg.dim));
+                let w_self = store.add(
+                    format!("gat.l{l}.w0"),
+                    init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                );
                 (heads, w_self)
             })
             .collect();
@@ -238,7 +272,14 @@ impl Encoder for GatEncoder {
             let mut outs = Vec::with_capacity(heads.len());
             for &(w, a) in heads {
                 let proj = g.matmul(h, bind.var(w));
-                outs.push(gat_aggregate(g, proj, bind.var(a), &src, &dst, inputs.n_pois));
+                outs.push(gat_aggregate(
+                    g,
+                    proj,
+                    bind.var(a),
+                    &src,
+                    &dst,
+                    inputs.n_pois,
+                ));
             }
             let agg = g.concat_cols(&outs);
             let self_p = g.matmul(h, bind.var(*w_self));
@@ -263,7 +304,12 @@ pub struct RgcnEncoder {
 impl Encoder for RgcnEncoder {
     const NAME: &'static str = "R-GCN";
 
-    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, inputs: &ModelInputs) -> Self {
+    fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        cfg: &BaselineConfig,
+        inputs: &ModelInputs,
+    ) -> Self {
         let layers = (0..cfg.n_layers)
             .map(|l| {
                 let rels = (0..inputs.n_relations)
@@ -274,8 +320,10 @@ impl Encoder for RgcnEncoder {
                         )
                     })
                     .collect();
-                let w_self = store
-                    .add(format!("rgcn.l{l}.w0"), init::xavier_uniform(rng, cfg.dim, cfg.dim));
+                let w_self = store.add(
+                    format!("rgcn.l{l}.w0"),
+                    init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                );
                 (rels, w_self)
             })
             .collect();
@@ -297,9 +345,7 @@ impl Encoder for RgcnEncoder {
                 }
                 let src_r: Vec<usize> = edges.iter().map(|&k| src[k] as usize).collect();
                 let dst_r: Vec<usize> = edges.iter().map(|&k| dst[k] as usize).collect();
-                let coeff_r = g.constant(Matrix::from_fn(edges.len(), 1, |i, _| {
-                    coeffs[edges[i]]
-                }));
+                let coeff_r = g.constant(Matrix::from_fn(edges.len(), 1, |i, _| coeffs[edges[i]]));
                 let msgs = g.gather_rows(h, &src_r);
                 let proj = g.matmul(msgs, bind.var(*w_r));
                 let scaled = g.scale_rows(proj, coeff_r);
@@ -327,15 +373,31 @@ pub struct CompGcnEncoder {
 impl Encoder for CompGcnEncoder {
     const NAME: &'static str = "CompGCN";
 
-    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, inputs: &ModelInputs) -> Self {
-        let rel_emb =
-            store.add_no_decay("compgcn.rel", init::embedding(rng, inputs.n_relations + 1, cfg.dim));
+    fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        cfg: &BaselineConfig,
+        inputs: &ModelInputs,
+    ) -> Self {
+        let rel_emb = store.add_no_decay(
+            "compgcn.rel",
+            init::embedding(rng, inputs.n_relations + 1, cfg.dim),
+        );
         let layers = (0..cfg.n_layers)
             .map(|l| {
                 (
-                    store.add(format!("compgcn.l{l}.w"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
-                    store.add(format!("compgcn.l{l}.w0"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
-                    store.add(format!("compgcn.l{l}.wr"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
+                    store.add(
+                        format!("compgcn.l{l}.w"),
+                        init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                    ),
+                    store.add(
+                        format!("compgcn.l{l}.w0"),
+                        init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                    ),
+                    store.add(
+                        format!("compgcn.l{l}.wr"),
+                        init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                    ),
                 )
             })
             .collect();
@@ -389,11 +451,18 @@ pub struct HgtEncoder {
 impl Encoder for HgtEncoder {
     const NAME: &'static str = "HGT";
 
-    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, inputs: &ModelInputs) -> Self {
+    fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        cfg: &BaselineConfig,
+        inputs: &ModelInputs,
+    ) -> Self {
         let layers = (0..cfg.n_layers)
             .map(|l| {
-                let wq =
-                    store.add(format!("hgt.l{l}.wq"), init::xavier_uniform(rng, cfg.dim, cfg.dim));
+                let wq = store.add(
+                    format!("hgt.l{l}.wq"),
+                    init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                );
                 let rels = (0..inputs.n_relations)
                     .map(|r| {
                         (
@@ -408,12 +477,17 @@ impl Encoder for HgtEncoder {
                         )
                     })
                     .collect();
-                let w_self =
-                    store.add(format!("hgt.l{l}.w0"), init::xavier_uniform(rng, cfg.dim, cfg.dim));
+                let w_self = store.add(
+                    format!("hgt.l{l}.w0"),
+                    init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                );
                 (wq, rels, w_self)
             })
             .collect();
-        HgtEncoder { layers, dim: cfg.dim }
+        HgtEncoder {
+            layers,
+            dim: cfg.dim,
+        }
     }
 
     fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
@@ -431,10 +505,14 @@ impl Encoder for HgtEncoder {
         let mut h = h0;
         for (wq, rels, w_self) in &self.layers {
             let q = g.matmul(h, bind.var(*wq));
-            let k_parts: Vec<Var> =
-                rels.iter().map(|&(wk, _)| g.matmul(h, bind.var(wk))).collect();
-            let v_parts: Vec<Var> =
-                rels.iter().map(|&(_, wv)| g.matmul(h, bind.var(wv))).collect();
+            let k_parts: Vec<Var> = rels
+                .iter()
+                .map(|&(wk, _)| g.matmul(h, bind.var(wk)))
+                .collect();
+            let v_parts: Vec<Var> = rels
+                .iter()
+                .map(|&(_, wv)| g.matmul(h, bind.var(wv)))
+                .collect();
             let k_all = g.vstack(&k_parts);
             let v_all = g.vstack(&v_parts);
             let q_dst = g.gather_rows(q, &dst);
@@ -476,7 +554,12 @@ struct HanLayer {
 impl Encoder for HanEncoder {
     const NAME: &'static str = "HAN";
 
-    fn new(store: &mut ParamStore, rng: &mut StdRng, cfg: &BaselineConfig, inputs: &ModelInputs) -> Self {
+    fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        cfg: &BaselineConfig,
+        inputs: &ModelInputs,
+    ) -> Self {
         let layers = (0..cfg.n_layers)
             .map(|l| HanLayer {
                 rel_heads: (0..inputs.n_relations)
@@ -493,13 +576,19 @@ impl Encoder for HanEncoder {
                         )
                     })
                     .collect(),
-                w_sem: store
-                    .add(format!("han.l{l}.ws"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
+                w_sem: store.add(
+                    format!("han.l{l}.ws"),
+                    init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                ),
                 b_sem: store.add(format!("han.l{l}.bs"), Matrix::zeros(1, cfg.dim)),
-                q_sem: store
-                    .add(format!("han.l{l}.qs"), init::xavier_uniform(rng, cfg.dim, 1)),
-                w_self: store
-                    .add(format!("han.l{l}.w0"), init::xavier_uniform(rng, cfg.dim, cfg.dim)),
+                q_sem: store.add(
+                    format!("han.l{l}.qs"),
+                    init::xavier_uniform(rng, cfg.dim, 1),
+                ),
+                w_self: store.add(
+                    format!("han.l{l}.w0"),
+                    init::xavier_uniform(rng, cfg.dim, cfg.dim),
+                ),
             })
             .collect();
         HanEncoder { layers }
@@ -518,10 +607,8 @@ impl Encoder for HanEncoder {
                 let z = if by_rel[r].is_empty() {
                     proj
                 } else {
-                    let src_r: Vec<usize> =
-                        by_rel[r].iter().map(|&k| src[k] as usize).collect();
-                    let dst_r: Vec<usize> =
-                        by_rel[r].iter().map(|&k| dst[k] as usize).collect();
+                    let src_r: Vec<usize> = by_rel[r].iter().map(|&k| src[k] as usize).collect();
+                    let dst_r: Vec<usize> = by_rel[r].iter().map(|&k| dst[k] as usize).collect();
                     gat_aggregate(g, proj, bind.var(a), &src_r, &dst_r, inputs.n_pois)
                 };
                 // Semantic importance: mean over nodes of qᵀ tanh(W z + b).
@@ -563,14 +650,25 @@ mod tests {
     fn small_inputs() -> (Dataset, ModelInputs) {
         let ds = Dataset::beijing(Scale::Quick).subsample(0.18, 21);
         let cfg = PrimConfig::quick();
-        let inputs =
-            ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        let inputs = ModelInputs::build(
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            ds.graph.edges(),
+            None,
+            &cfg,
+        );
         (ds, inputs)
     }
 
     fn check_encoder<E: Encoder>() {
         let (ds, inputs) = small_inputs();
-        let cfg = BaselineConfig { epochs: 12, dim: 12, n_layers: 2, ..BaselineConfig::quick() };
+        let cfg = BaselineConfig {
+            epochs: 12,
+            dim: 12,
+            n_layers: 2,
+            ..BaselineConfig::quick()
+        };
         let mut model = EncoderModel::<E>::new(cfg, &inputs);
         // Forward produces finite embeddings of the right shape.
         {
@@ -579,7 +677,11 @@ mod tests {
             let (h, rel) = model.forward(&mut g, &bind, &inputs);
             assert_eq!(g.shape(h), (inputs.n_pois, 12));
             assert_eq!(g.shape(rel), (inputs.n_relations + 1, 12));
-            assert!(g.value(h).all_finite(), "{} produced non-finite output", E::NAME);
+            assert!(
+                g.value(h).all_finite(),
+                "{} produced non-finite output",
+                E::NAME
+            );
         }
         // A few epochs reduce the loss.
         let report = train_pair_model(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);

@@ -185,7 +185,11 @@ fn run_pair_model<M: PairModel>(
     );
     let train_seconds = t0.elapsed().as_secs_f64();
     let predictions = predict_pairs(&model, inputs, &task.eval_pairs);
-    MethodRun { predictions, train_seconds, mean_epoch_seconds: report.mean_epoch_seconds() }
+    MethodRun {
+        predictions,
+        train_seconds,
+        mean_epoch_seconds: report.mean_epoch_seconds(),
+    }
 }
 
 /// Trains `method` on `task` and predicts its evaluation pairs.
@@ -205,14 +209,12 @@ pub fn run_method(method: Method, dataset: &Dataset, task: &Task, cfg: &RunConfi
             let mut rng = StdRng::seed_from_u64(task.seed.wrapping_add(0xCA7));
             let mut val_pairs: Vec<(PoiId, PoiId)> =
                 task.val.iter().map(|e| (e.src, e.dst)).collect();
-            let mut val_expected: Vec<usize> =
-                task.val.iter().map(|e| e.rel.0 as usize).collect();
+            let mut val_expected: Vec<usize> = task.val.iter().map(|e| e.rel.0 as usize).collect();
             for (a, b) in sample_non_relation_pairs(&dataset.graph, task.val.len(), &mut rng) {
                 val_pairs.push((a, b));
                 val_expected.push(task.phi);
             }
-            let model =
-                fit_rules(dataset, &val_pairs, &val_expected, method == Method::CatD);
+            let model = fit_rules(dataset, &val_pairs, &val_expected, method == Method::CatD);
             let train_seconds = t0.elapsed().as_secs_f64();
             MethodRun {
                 predictions: model.predict(dataset, &task.eval_pairs),
@@ -221,11 +223,18 @@ pub fn run_method(method: Method, dataset: &Dataset, task: &Task, cfg: &RunConfi
             }
         }
         Method::DeepWalk | Method::Node2Vec => {
-            let wcfg = if method == Method::DeepWalk { &cfg.deepwalk } else { &cfg.node2vec };
+            let wcfg = if method == Method::DeepWalk {
+                &cfg.deepwalk
+            } else {
+                &cfg.node2vec
+            };
             let t0 = std::time::Instant::now();
             let emb = sgns_embeddings(dataset.graph.num_pois(), &task.train, wcfg);
-            let name: &'static str =
-                if method == Method::DeepWalk { "Deepwalk" } else { "node2vec" };
+            let name: &'static str = if method == Method::DeepWalk {
+                "Deepwalk"
+            } else {
+                "node2vec"
+            };
             let model = WalkModel::new(name, emb, &inputs, cfg.baseline.clone());
             let mut run = run_pair_model(model, &inputs, dataset, task);
             run.train_seconds = t0.elapsed().as_secs_f64();

@@ -61,7 +61,11 @@ impl WalkConfig {
 
     /// node2vec: biased walks (p = 1, q = 0.5 favours exploration).
     pub fn node2vec_quick() -> Self {
-        WalkConfig { p: 1.0, q: 0.5, ..Self::deepwalk_quick() }
+        WalkConfig {
+            p: 1.0,
+            q: 0.5,
+            ..Self::deepwalk_quick()
+        }
     }
 }
 
@@ -148,8 +152,7 @@ pub fn sgns_embeddings(n_pois: usize, edges: &[Edge], cfg: &WalkConfig) -> Matri
     let walks = generate_walks(&graph, cfg, &mut rng);
 
     let bound = 0.5 / cfg.dim as f32;
-    let mut emb_in =
-        Matrix::from_fn(n_pois, cfg.dim, |_, _| rng.gen_range(-bound..bound));
+    let mut emb_in = Matrix::from_fn(n_pois, cfg.dim, |_, _| rng.gen_range(-bound..bound));
     let mut emb_out = Matrix::zeros(n_pois, cfg.dim);
 
     // Unigram^0.75 negative table over walk occurrences.
@@ -197,8 +200,7 @@ pub fn sgns_embeddings(n_pois: usize, edges: &[Edge], cfg: &WalkConfig) -> Matri
                                 continue;
                             }
                             let t_out = emb_out.row_mut(target as usize);
-                            let dot: f32 =
-                                c_in.iter().zip(t_out.iter()).map(|(a, b)| a * b).sum();
+                            let dot: f32 = c_in.iter().zip(t_out.iter()).map(|(a, b)| a * b).sum();
                             let g = (prim_tensor::stable_sigmoid(dot) - label) * lr;
                             for d in 0..cfg.dim {
                                 grad_center[d] += g * t_out[d];
@@ -240,10 +242,14 @@ impl WalkModel {
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
-        let w_align =
-            store.add("w_align", init::xavier_uniform(&mut rng, embeddings.cols(), cfg.dim));
-        let rel_table =
-            store.add_no_decay("rel", init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim));
+        let w_align = store.add(
+            "w_align",
+            init::xavier_uniform(&mut rng, embeddings.cols(), cfg.dim),
+        );
+        let rel_table = store.add_no_decay(
+            "rel",
+            init::embedding(&mut rng, inputs.n_relations + 1, cfg.dim),
+        );
         WalkModel {
             name,
             store,
@@ -310,11 +316,7 @@ mod tests {
             let base = block * size as u32;
             for a in 0..size as u32 {
                 for b in a + 1..size as u32 {
-                    edges.push(Edge::new(
-                        PoiId(base + a),
-                        PoiId(base + b),
-                        RelationId(0),
-                    ));
+                    edges.push(Edge::new(PoiId(base + a), PoiId(base + b), RelationId(0)));
                 }
             }
         }
@@ -324,7 +326,10 @@ mod tests {
     #[test]
     fn embeddings_separate_communities() {
         let edges = two_cliques(8);
-        let cfg = WalkConfig { dim: 8, ..WalkConfig::deepwalk_quick() };
+        let cfg = WalkConfig {
+            dim: 8,
+            ..WalkConfig::deepwalk_quick()
+        };
         let emb = sgns_embeddings(16, &edges, &cfg);
         // Mean within-clique cosine similarity must beat across-clique.
         let cos = |a: usize, b: usize| {
@@ -360,7 +365,10 @@ mod tests {
     #[test]
     fn isolated_nodes_keep_finite_embeddings() {
         let edges = two_cliques(4);
-        let cfg = WalkConfig { dim: 8, ..WalkConfig::deepwalk_quick() };
+        let cfg = WalkConfig {
+            dim: 8,
+            ..WalkConfig::deepwalk_quick()
+        };
         // 4 extra isolated nodes.
         let emb = sgns_embeddings(12, &edges, &cfg);
         assert_eq!(emb.rows(), 12);

@@ -33,18 +33,22 @@ fn main() {
             );
             let mut scores: Vec<(String, f64)> = Vec::new();
             for variant in Variant::all() {
-                let run = prim_bench::score_method(
-                    Method::Prim(variant),
-                    dataset,
-                    &task,
-                    &bench.config,
-                );
-                t.row(&[run.method.clone(), fmt3(run.f1.macro_f1), fmt3(run.f1.micro_f1)]);
+                let run =
+                    prim_bench::score_method(Method::Prim(variant), dataset, &task, &bench.config);
+                t.row(&[
+                    run.method.clone(),
+                    fmt3(run.f1.macro_f1),
+                    fmt3(run.f1.micro_f1),
+                ]);
                 scores.push((run.method, run.f1.macro_f1));
             }
             // Best baseline for the "Base" bar of the figure.
             let base = prim_bench::score_method(Method::Han, dataset, &task, &bench.config);
-            t.row(&["Base (HAN)".into(), fmt3(base.f1.macro_f1), fmt3(base.f1.micro_f1)]);
+            t.row(&[
+                "Base (HAN)".into(),
+                fmt3(base.f1.macro_f1),
+                fmt3(base.f1.micro_f1),
+            ]);
             emit(&t);
 
             let get = |name: &str| scores.iter().find(|(n, _)| n == name).unwrap().1;
@@ -70,7 +74,10 @@ fn main() {
             );
             // WRGNN alone stays near the best baseline.
             assert_shape(
-                &format!("{} {}%: WRGNN (-DST) is near the best baseline", dataset.name, pct),
+                &format!(
+                    "{} {}%: WRGNN (-DST) is near the best baseline",
+                    dataset.name, pct
+                ),
                 triple,
                 base.f1.macro_f1,
                 0.08,

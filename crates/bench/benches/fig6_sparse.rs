@@ -32,7 +32,11 @@ fn main() {
         );
 
         let mut t = Table::new(
-            format!("Figure 6: sparse cases on {} (train {}%)", dataset.name, (frac * 100.0) as usize),
+            format!(
+                "Figure 6: sparse cases on {} (train {}%)",
+                dataset.name,
+                (frac * 100.0) as usize
+            ),
             &["Method", "full Macro-F1", "sparse Macro-F1", "drop %"],
         );
         let mut prim_sparse = f64::NAN;
@@ -71,10 +75,12 @@ fn main() {
                 0.05,
             );
         }
-        let mean_baseline_drop =
-            baseline_drops.iter().sum::<f64>() / baseline_drops.len() as f64;
+        let mean_baseline_drop = baseline_drops.iter().sum::<f64>() / baseline_drops.len() as f64;
         assert_shape(
-            &format!("{}: PRIM degrades no more than baselines on sparse cases", dataset.name),
+            &format!(
+                "{}: PRIM degrades no more than baselines on sparse cases",
+                dataset.name
+            ),
             -prim_drop,
             -mean_baseline_drop,
             12.0,

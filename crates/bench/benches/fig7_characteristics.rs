@@ -31,14 +31,21 @@ fn main() {
         // The paper splits these sets 60/20/20 (train fraction 0.6).
         let task = transductive_task(&sub, 0.6, 1100 + si as u64);
         let mut t = Table::new(
-            format!("Figure 7: Beijing subset keeping {:.0}% of POIs", keep * 100.0),
+            format!(
+                "Figure 7: Beijing subset keeping {:.0}% of POIs",
+                keep * 100.0
+            ),
             &["Method", "Macro-F1", "Micro-F1"],
         );
         let mut prim = f64::NAN;
         let mut baselines: Vec<(String, f64)> = Vec::new();
         for &method in &methods {
             let run = prim_bench::score_method(method, &sub, &task, &bench.config);
-            t.row(&[run.method.clone(), fmt3(run.f1.macro_f1), fmt3(run.f1.micro_f1)]);
+            t.row(&[
+                run.method.clone(),
+                fmt3(run.f1.macro_f1),
+                fmt3(run.f1.micro_f1),
+            ]);
             if run.method == "PRIM" {
                 prim = run.f1.macro_f1;
             } else {

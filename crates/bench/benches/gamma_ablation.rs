@@ -20,7 +20,11 @@ fn main() {
         &["γ", "Macro-F1", "Micro-F1", "train s"],
     );
     let mut results = Vec::new();
-    for gamma in [GammaOp::Multiply, GammaOp::Subtract, GammaOp::CircularCorrelation] {
+    for gamma in [
+        GammaOp::Multiply,
+        GammaOp::Subtract,
+        GammaOp::CircularCorrelation,
+    ] {
         let mut cfg = bench.config.clone();
         cfg.prim.gamma = gamma;
         let run = prim_bench::score_method(Method::Prim(Variant::full()), &ds, &task, &cfg);
@@ -35,7 +39,10 @@ fn main() {
     emit(&t);
 
     // Multiplication is the fastest operator (the paper's efficiency claim).
-    let mult = results.iter().find(|(g, ..)| *g == GammaOp::Multiply).unwrap();
+    let mult = results
+        .iter()
+        .find(|(g, ..)| *g == GammaOp::Multiply)
+        .unwrap();
     let circ = results
         .iter()
         .find(|(g, ..)| *g == GammaOp::CircularCorrelation)

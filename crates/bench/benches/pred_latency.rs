@@ -7,7 +7,7 @@
 //! costs a measurable multiple of the plain DistMult path — the trade-off
 //! the paper quantifies.
 
-use prim_bench::{emit, BenchScale};
+use prim_bench::{emit, json, BenchScale};
 use prim_core::{fit, ModelInputs, PrimConfig, PrimModel, Variant};
 use prim_data::Dataset;
 use prim_eval::Table;
@@ -87,6 +87,23 @@ fn main() {
         with_proj > without_proj,
         "distance projection should cost extra: {with_proj} vs {without_proj}"
     );
-    assert!(with_proj * 1e3 < 2.0, "query latency too high: {} ms", with_proj * 1e3);
-    println!("pred_latency: shape checks passed");
+    assert!(
+        with_proj * 1e3 < 2.0,
+        "query latency too high: {} ms",
+        with_proj * 1e3
+    );
+
+    let section = json::obj(&[
+        ("n_queries", json::num(n_queries as f64)),
+        ("with_projection_ms", json::num(with_proj * 1e3)),
+        ("without_projection_ms", json::num(without_proj * 1e3)),
+        ("paper_with_projection_ms", json::num(1.57)),
+        ("paper_without_projection_ms", json::num(0.61)),
+    ]);
+    let path = json::bench_json_path();
+    json::update_section(&path, "pred_latency", &section);
+    println!(
+        "pred_latency: shape checks passed; recorded to {}",
+        path.display()
+    );
 }

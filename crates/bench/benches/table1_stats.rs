@@ -12,9 +12,18 @@ fn main() {
 
     let mut t = Table::new(
         "Table 1: dataset statistics (paper values in brackets; paper scale is ~10x quick)",
-        &["Dataset", "#Non-leaf", "#Categories", "#POIs", "#Relational edges"],
+        &[
+            "Dataset",
+            "#Non-leaf",
+            "#Categories",
+            "#POIs",
+            "#Relational edges",
+        ],
     );
-    let paper = [("Beijing", 95, 805, 13334, 122462), ("Shanghai", 95, 803, 10090, 112848)];
+    let paper = [
+        ("Beijing", 95, 805, 13334, 122462),
+        ("Shanghai", 95, 803, 10090, 112848),
+    ];
     for (ds, (pname, pnl, pcat, ppois, pedges)) in [&bj, &sh].iter().zip(paper.iter()) {
         let s = ds.stats();
         assert_eq!(&s.name, pname);
@@ -30,7 +39,13 @@ fn main() {
 
     let mut c = Table::new(
         "Section 4.1 calibration: paper / measured",
-        &["Dataset", "comp within 2km", "compl within 2km", "comp tax path", "compl tax path"],
+        &[
+            "Dataset",
+            "comp within 2km",
+            "compl within 2km",
+            "comp tax path",
+            "compl tax path",
+        ],
     );
     for ds in [&bj, &sh] {
         let s = ds.stats();

@@ -7,7 +7,7 @@
 //! 3. more training data never hurts PRIM (monotone within noise).
 
 use prim_baselines::Method;
-use prim_bench::{assert_shape, emit, paper_t2_macro, paper_prim_macro, BenchScale, ScoredRun};
+use prim_bench::{assert_shape, emit, paper_prim_macro, paper_t2_macro, BenchScale, ScoredRun};
 use prim_data::Dataset;
 use prim_eval::{fmt3, transductive_task, Table};
 
@@ -24,7 +24,13 @@ fn main() {
                     "Table 2: {} train {}% (paper Macro-F1 shown for BJ-40%)",
                     dataset.name, pct
                 ),
-                &["Method", "Macro-F1", "Micro-F1", "paper Macro (BJ40)", "train s"],
+                &[
+                    "Method",
+                    "Macro-F1",
+                    "Micro-F1",
+                    "paper Macro (BJ40)",
+                    "train s",
+                ],
             );
             let mut runs: Vec<ScoredRun> = Vec::new();
             for method in Method::table2() {
@@ -34,7 +40,11 @@ fn main() {
                     run.method.clone(),
                     fmt3(run.f1.macro_f1),
                     fmt3(run.f1.micro_f1),
-                    if paper.is_nan() { String::new() } else { fmt3(paper) },
+                    if paper.is_nan() {
+                        String::new()
+                    } else {
+                        fmt3(paper)
+                    },
                     format!("{:.1}", run.train_seconds),
                 ]);
                 runs.push(run);
@@ -42,7 +52,10 @@ fn main() {
             emit(&t);
 
             let get = |name: &str| -> f64 {
-                runs.iter().find(|r| r.method == name).map(|r| r.f1.macro_f1).unwrap()
+                runs.iter()
+                    .find(|r| r.method == name)
+                    .map(|r| r.f1.macro_f1)
+                    .unwrap()
             };
             let prim = get("PRIM");
             // PRIM wins against every baseline.

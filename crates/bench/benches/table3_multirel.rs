@@ -12,7 +12,10 @@ use prim_eval::{fmt3, transductive_task, Table};
 
 fn main() {
     let bench = BenchScale::from_env();
-    let datasets = [Dataset::beijing_six(bench.scale), Dataset::shanghai_six(bench.scale)];
+    let datasets = [
+        Dataset::beijing_six(bench.scale),
+        Dataset::shanghai_six(bench.scale),
+    ];
 
     // Paper values for PRIM (Macro-F1) per dataset/fraction for reference.
     let paper_prim = |name: &str, pct: usize| -> f64 {
@@ -62,7 +65,10 @@ fn main() {
                 prim
             );
             assert_shape(
-                &format!("{} {}% (6-rel): PRIM beats best baseline", dataset.name, pct),
+                &format!(
+                    "{} {}% (6-rel): PRIM beats best baseline",
+                    dataset.name, pct
+                ),
                 prim,
                 best_baseline,
                 0.02,

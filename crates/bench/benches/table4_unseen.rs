@@ -38,7 +38,10 @@ fn main() {
     for dataset in [&bj, &sh] {
         let task = inductive_task(dataset, 0.2, 700);
         let mut t = Table::new(
-            format!("Table 4: unseen POIs on {} (paper Macro in brackets)", dataset.name),
+            format!(
+                "Table 4: unseen POIs on {} (paper Macro in brackets)",
+                dataset.name
+            ),
             &["Method", "Macro-F1", "Micro-F1", "paper Macro"],
         );
         let mut prim = f64::NAN;

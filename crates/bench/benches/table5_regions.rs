@@ -28,7 +28,13 @@ fn main() {
 
     let mut t = Table::new(
         "Table 5: PRIM by area (Macro-F1 | Micro-F1); SH column = BJ-trained / SH-trained",
-        &["Train%", "BJ core", "BJ suburb", "BJ overall", "SH transfer/native"],
+        &[
+            "Train%",
+            "BJ core",
+            "BJ suburb",
+            "BJ overall",
+            "SH transfer/native",
+        ],
     );
 
     let mut gaps = Vec::new();
@@ -46,7 +52,14 @@ fn main() {
             &bench.config.prim,
         );
         let mut bj_model = PrimModel::new(bench.config.prim.clone(), &bj_inputs);
-        fit(&mut bj_model, &bj_inputs, &bj.graph, &bj_task.train, None, Some(&bj_task.val));
+        fit(
+            &mut bj_model,
+            &bj_inputs,
+            &bj.graph,
+            &bj_task.train,
+            None,
+            Some(&bj_task.val),
+        );
         let bj_table = bj_model.embed(&bj_inputs);
 
         let eval_on = |task: &Task| -> F1Pair {
@@ -78,10 +91,20 @@ fn main() {
 
         // Natively trained Shanghai model at the same fraction.
         let mut sh_model = PrimModel::new(bench.config.prim.clone(), &sh_inputs);
-        fit(&mut sh_model, &sh_inputs, &sh.graph, &sh_task.train, None, Some(&sh_task.val));
+        fit(
+            &mut sh_model,
+            &sh_inputs,
+            &sh.graph,
+            &sh_task.train,
+            None,
+            Some(&sh_task.val),
+        );
         let sh_native_table = sh_model.embed(&sh_inputs);
-        let native =
-            sh_task.score(&sh_model.predict_pairs(&sh_native_table, &sh_inputs, &sh_task.eval_pairs));
+        let native = sh_task.score(&sh_model.predict_pairs(
+            &sh_native_table,
+            &sh_inputs,
+            &sh_task.eval_pairs,
+        ));
 
         t.row(&[
             format!("{pct}%"),

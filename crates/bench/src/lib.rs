@@ -75,7 +75,11 @@ impl BenchScale {
             Scale::Quick => RunConfig::quick(),
             Scale::Full => RunConfig::paper(),
         };
-        BenchScale { scale, fracs: vec![0.4, 0.5, 0.6, 0.7], config }
+        BenchScale {
+            scale,
+            fracs: vec![0.4, 0.5, 0.6, 0.7],
+            config,
+        }
     }
 
     /// Operating point for the robustness analyses that the paper reports
@@ -125,9 +129,128 @@ pub fn assert_shape(description: &str, winner: f64, loser: f64, slack: f64) {
     }
 }
 
+/// Machine-readable benchmark records.
+///
+/// The kernel benches persist their measurements to a JSON file
+/// (`BENCH_kernels.json` at the workspace root by default, overridable with
+/// `PRIM_BENCH_JSON=<path>`) so before/after numbers can be checked in and
+/// diffed across commits. The file is one top-level object with one
+/// single-line section per bench; [`json::update_section`] rewrites a
+/// section in place and leaves the others untouched, so the benches can run
+/// independently and in any order.
+pub mod json {
+    use std::collections::BTreeMap;
+    use std::path::{Path, PathBuf};
+
+    /// Resolves the record path: `PRIM_BENCH_JSON`, or `BENCH_kernels.json`
+    /// at the workspace root (benches run with the package dir as cwd, so
+    /// the default is anchored to this crate's manifest dir at compile
+    /// time).
+    pub fn bench_json_path() -> PathBuf {
+        if let Ok(p) = std::env::var("PRIM_BENCH_JSON") {
+            return PathBuf::from(p);
+        }
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json")
+    }
+
+    /// Renders an object from `(key, raw-JSON-value)` pairs. Values are
+    /// inserted verbatim — pass numbers via [`num`] and strings via [`str`].
+    pub fn obj(pairs: &[(&str, String)]) -> String {
+        let body: Vec<String> = pairs.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        format!("{{{}}}", body.join(", "))
+    }
+
+    /// A JSON number with stable formatting.
+    pub fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.6}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// A JSON string (the inputs here never need escaping beyond quotes).
+    pub fn str(v: &str) -> String {
+        format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""))
+    }
+
+    /// An array of raw JSON values.
+    pub fn arr(items: &[String]) -> String {
+        format!("[{}]", items.join(", "))
+    }
+
+    fn parse_sections(text: &str) -> BTreeMap<String, String> {
+        // The file is always written by `write_sections` below: one section
+        // per line, `  "name": {...}` with an optional trailing comma.
+        let mut sections = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some((head, rest)) = line.split_once(": ") {
+                let name = head.trim().trim_matches('"');
+                if !name.is_empty() && rest.starts_with('{') {
+                    sections.insert(name.to_string(), rest.trim_end_matches(',').to_string());
+                }
+            }
+        }
+        sections
+    }
+
+    fn write_sections(path: &Path, sections: &BTreeMap<String, String>) {
+        let mut out = String::from("{\n");
+        let last = sections.len().saturating_sub(1);
+        for (i, (name, body)) in sections.iter().enumerate() {
+            out.push_str(&format!(
+                "  \"{name}\": {body}{}\n",
+                if i == last { "" } else { "," }
+            ));
+        }
+        out.push_str("}\n");
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    }
+
+    /// Inserts or replaces one bench's section (a single-line JSON object)
+    /// in the record file, preserving every other section.
+    pub fn update_section(path: &Path, section: &str, body: &str) {
+        assert!(!body.contains('\n'), "section body must be a single line");
+        let mut sections = std::fs::read_to_string(path)
+            .map(|t| parse_sections(&t))
+            .unwrap_or_default();
+        sections.insert(section.to_string(), body.to_string());
+        write_sections(path, &sections);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_sections_round_trip() {
+        let dir = std::env::temp_dir().join("prim_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+
+        let a = json::obj(&[("ms", json::num(1.5)), ("name", json::str("matmul"))]);
+        json::update_section(&path, "micro_kernels", &a);
+        let b = json::obj(&[("per_query_ms", json::num(0.61))]);
+        json::update_section(&path, "pred_latency", &b);
+        // Overwrite the first section; the second must survive.
+        let a2 = json::obj(&[("ms", json::num(2.0))]);
+        json::update_section(&path, "micro_kernels", &a2);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"micro_kernels\": {\"ms\": 2.000000}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"pred_latency\": {\"per_query_ms\": 0.610000}"),
+            "{text}"
+        );
+        assert!(text.starts_with("{\n") && text.ends_with("}\n"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
 
     #[test]
     fn paper_constants_lookup() {

@@ -212,7 +212,13 @@ impl Variant {
     pub fn all() -> Vec<Variant> {
         ["PRIM", "-T", "-S", "-D", "-DS", "-DT", "-ST", "-DST"]
             .iter()
-            .map(|n| if *n == "PRIM" { Variant::full() } else { Variant::from_name(n) })
+            .map(|n| {
+                if *n == "PRIM" {
+                    Variant::full()
+                } else {
+                    Variant::from_name(n)
+                }
+            })
             .collect()
     }
 }
@@ -230,7 +236,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "divisible")]
     fn head_dim_rejects_mismatch() {
-        let cfg = PrimConfig { n_heads: 5, ..PrimConfig::quick() };
+        let cfg = PrimConfig {
+            n_heads: 5,
+            ..PrimConfig::quick()
+        };
         let _ = cfg.head_dim();
     }
 

@@ -58,7 +58,11 @@ impl ModelInputs {
         visible: Option<&HashSet<PoiId>>,
         cfg: &PrimConfig,
     ) -> Self {
-        assert_eq!(attrs.rows(), graph.num_pois(), "attribute rows must match POI count");
+        assert_eq!(
+            attrs.rows(),
+            graph.num_pois(),
+            "attribute rows must match POI count"
+        );
         let n_pois = graph.num_pois();
 
         // Taxonomy paths.
@@ -90,11 +94,12 @@ impl ModelInputs {
             cfg.max_spatial_neighbors,
         );
         if let Some(vis) = visible {
-            let keep: Vec<bool> = (0..n_pois as u32).map(|i| vis.contains(&PoiId(i))).collect();
+            let keep: Vec<bool> = (0..n_pois as u32)
+                .map(|i| vis.contains(&PoiId(i)))
+                .collect();
             spatial = spatial.retain_pois(&keep);
         }
-        let spatial_rbf =
-            Matrix::from_fn(spatial.num_edges(), 1, |r, _| spatial.rbf()[r]);
+        let spatial_rbf = Matrix::from_fn(spatial.num_edges(), 1, |r, _| spatial.rbf()[r]);
 
         ModelInputs {
             n_pois,
@@ -165,9 +170,15 @@ mod tests {
     #[test]
     fn visible_mask_restricts_spatial() {
         let (ds, cfg) = small();
-        let all = ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
-        let half: HashSet<PoiId> =
-            (0..ds.graph.num_pois() as u32 / 2).map(PoiId).collect();
+        let all = ModelInputs::build(
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            ds.graph.edges(),
+            None,
+            &cfg,
+        );
+        let half: HashSet<PoiId> = (0..ds.graph.num_pois() as u32 / 2).map(PoiId).collect();
         let visible_edges: Vec<_> = ds
             .graph
             .edges()
@@ -192,7 +203,14 @@ mod tests {
     #[test]
     fn pair_bin_uses_configured_bins() {
         let (ds, cfg) = small();
-        let inputs = ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        let inputs = ModelInputs::build(
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            ds.graph.edges(),
+            None,
+            &cfg,
+        );
         let e = ds.graph.edges()[0];
         let d = inputs.pair_distance_km(e.src, e.dst);
         assert_eq!(inputs.pair_bin(e.src, e.dst, &cfg), cfg.bins.bin(d));

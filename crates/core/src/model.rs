@@ -22,8 +22,9 @@
 
 use crate::config::{GammaOp, PrimConfig, TaxonomyMode};
 use crate::inputs::ModelInputs;
-use prim_nn::{init, Binding, ParamId, ParamStore};
 use prim_graph::PoiId;
+use prim_nn::{init, Binding, ParamId, ParamStore};
+use prim_tensor::kernel;
 use prim_tensor::{Graph, Matrix, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -121,8 +122,12 @@ impl PrimModel {
         let head_dim = cfg.head_dim();
         let att_in = 2 * head_dim + cfg.dist_feat_dim;
 
-        let w_in = store.add("w_in", init::xavier_uniform(&mut rng, inputs.attr_dim(), dim));
-        let node_emb = store.add_no_decay("node_emb", init::embedding(&mut rng, inputs.n_pois, dim));
+        let w_in = store.add(
+            "w_in",
+            init::xavier_uniform(&mut rng, inputs.attr_dim(), dim),
+        );
+        let node_emb =
+            store.add_no_decay("node_emb", init::embedding(&mut rng, inputs.n_pois, dim));
         let cat_rows = match cfg.taxonomy {
             TaxonomyMode::PathSum => inputs.n_taxonomy_nodes,
             TaxonomyMode::Independent => inputs.n_categories,
@@ -155,13 +160,18 @@ impl PrimModel {
             }
             layers.push(Layer {
                 heads,
-                w_self: store.add(format!("l{l}.w_self"), init::xavier_uniform(&mut rng, star, dim)),
-                w_rel: store.add(format!("l{l}.w_rel"), init::xavier_uniform(&mut rng, star, star)),
+                w_self: store.add(
+                    format!("l{l}.w_self"),
+                    init::xavier_uniform(&mut rng, star, dim),
+                ),
+                w_rel: store.add(
+                    format!("l{l}.w_rel"),
+                    init::xavier_uniform(&mut rng, star, star),
+                ),
             });
         }
 
-        let w_rel_score =
-            store.add("w_rel_score", init::xavier_uniform(&mut rng, star, dim));
+        let w_rel_score = store.add("w_rel_score", init::xavier_uniform(&mut rng, star, dim));
         let w_q = store.add("w_q", init::xavier_uniform(&mut rng, dim, dim));
         let w_k = store.add("w_k", init::xavier_uniform(&mut rng, dim, dim));
         let w_v = store.add("w_v", init::xavier_uniform(&mut rng, dim, dim));
@@ -216,35 +226,54 @@ impl PrimModel {
         let dist_feats = g.constant(inputs.edge_dist_feats.clone());
         let has_edges = adj.num_directed_edges() > 0;
 
+        let head_dim = self.cfg.head_dim();
+        let dist_dim = self.cfg.dist_feat_dim;
         for layer in &self.layers {
             let h_star = g.concat_cols(&[h, q]);
             let mut head_outs = Vec::with_capacity(layer.heads.len());
             if has_edges {
-                for head in &layer.heads {
+                // Relation-specific messages γ(h*_j, h_r) (Eq. 1) do not
+                // depend on the head, so compute them once per layer.
+                let h_src = g.gather_rows(h_star, &src_idx);
+                let hr_edge = g.gather_rows(hr, &rel_idx);
+                let msg = match self.cfg.gamma {
+                    GammaOp::Multiply => g.mul(h_src, hr_edge),
+                    GammaOp::Subtract => g.sub(h_src, hr_edge),
+                    GammaOp::CircularCorrelation => g.rows_circ_corr(h_src, hr_edge),
+                };
+
+                // Batch the per-head projections into single wide matmuls
+                // (columns of a product are independent, so each head's slice
+                // is identical to its standalone matmul), then gather edge
+                // rows once for all heads.
+                let w_att_all: Vec<Var> = layer.heads.iter().map(|hd| bind.var(hd.w_att)).collect();
+                let w_dist_all: Vec<Var> =
+                    layer.heads.iter().map(|hd| bind.var(hd.w_dist)).collect();
+                let w_msg_all: Vec<Var> = layer.heads.iter().map(|hd| bind.var(hd.w_msg)).collect();
+                let w_att_cat = g.concat_cols(&w_att_all);
+                let w_dist_cat = g.concat_cols(&w_dist_all);
+                let w_msg_cat = g.concat_cols(&w_msg_all);
+                let ha_all = g.matmul(h_star, w_att_cat);
+                let dproj_all = g.matmul(dist_feats, w_dist_cat);
+                let msg_p_all = g.matmul(msg, w_msg_cat);
+                let ha_dst_all = g.gather_rows(ha_all, &adj.dst_usize());
+                let ha_src_all = g.gather_rows(ha_all, &src_idx);
+
+                for (k, head) in layer.heads.iter().enumerate() {
                     // Spatial-aware attention (Eq. 3-4).
-                    let ha = g.matmul(h_star, bind.var(head.w_att));
-                    let ha_dst = g.gather_rows(ha, &adj.dst_usize());
-                    let ha_src = g.gather_rows(ha, &src_idx);
-                    let dproj = g.matmul(dist_feats, bind.var(head.w_dist));
+                    let ha_dst = g.slice_cols(ha_dst_all, k * head_dim, head_dim);
+                    let ha_src = g.slice_cols(ha_src_all, k * head_dim, head_dim);
+                    let dproj = g.slice_cols(dproj_all, k * dist_dim, dist_dim);
                     let feats = g.concat_cols(&[ha_dst, ha_src, dproj]);
                     let a_edge = g.gather_rows(bind.var(head.att_table), &rel_idx);
                     let raw = g.rows_dot(feats, a_edge);
                     let logits = g.leaky_relu(raw, 0.2);
                     let alpha = g.segment_softmax(logits, adj.intra_segment());
 
-                    // Relation-specific messages γ(h*_j, h_r) = h*_j ⊙ h_r (Eq. 1).
-                    let h_src = g.gather_rows(h_star, &src_idx);
-                    let hr_edge = g.gather_rows(hr, &rel_idx);
-                    let msg = match self.cfg.gamma {
-                        GammaOp::Multiply => g.mul(h_src, hr_edge),
-                        GammaOp::Subtract => g.sub(h_src, hr_edge),
-                        GammaOp::CircularCorrelation => g.rows_circ_corr(h_src, hr_edge),
-                    };
-                    let msg_p = g.matmul(msg, bind.var(head.w_msg));
+                    let msg_p = g.slice_cols(msg_p_all, k * head_dim, head_dim);
                     let weighted = g.scale_rows(msg_p, alpha);
                     // Intra-relation aggregation …
-                    let seg_agg =
-                        g.segment_sum(weighted, adj.intra_segment(), adj.num_segments());
+                    let seg_agg = g.segment_sum(weighted, adj.intra_segment(), adj.num_segments());
                     // … then inter-relation aggregation into each POI.
                     let node_agg = g.segment_sum(seg_agg, &seg_dst, inputs.n_pois);
                     head_outs.push(node_agg);
@@ -266,9 +295,15 @@ impl PrimModel {
             let sp = &inputs.spatial;
             let sp_src = sp.src_usize();
             let sp_seg_dst: Vec<usize> = sp.segment_dst().iter().map(|&v| v as usize).collect();
-            let qm = g.matmul(h, bind.var(self.w_q));
-            let km = g.matmul(h, bind.var(self.w_k));
-            let vm = g.matmul(h, bind.var(self.w_v));
+            // One fused projection for queries/keys/values instead of three
+            // passes over `h`; each slice equals its standalone matmul.
+            let dim = self.cfg.dim;
+            let w_qkv =
+                g.concat_cols(&[bind.var(self.w_q), bind.var(self.w_k), bind.var(self.w_v)]);
+            let qkv = g.matmul(h, w_qkv);
+            let qm = g.slice_cols(qkv, 0, dim);
+            let km = g.slice_cols(qkv, dim, dim);
+            let vm = g.slice_cols(qkv, 2 * dim, dim);
             let q_dst = {
                 let dst: Vec<usize> = sp.dst().iter().map(|&v| v as usize).collect();
                 g.gather_rows(qm, &dst)
@@ -287,7 +322,10 @@ impl PrimModel {
         }
 
         let rel_score = g.matmul(hr, bind.var(self.w_rel_score));
-        ForwardOutput { h_final: h, rel_score }
+        ForwardOutput {
+            h_final: h,
+            rel_score,
+        }
     }
 
     /// Scores a batch of triples on the tape (Eq. 11-12), returning `n×1`
@@ -382,22 +420,23 @@ impl PrimModel {
         inputs: &ModelInputs,
         pairs: &[(PoiId, PoiId)],
     ) -> Vec<usize> {
-        pairs
-            .iter()
-            .map(|&(a, b)| {
-                let bin = inputs.pair_bin(a, b, &self.cfg);
-                let mut best = 0usize;
-                let mut best_score = f32::NEG_INFINITY;
-                for r in 0..=self.n_relations {
-                    let s = self.score_pair_eager(table, a, r, b, bin);
-                    if s > best_score {
-                        best_score = s;
-                        best = r;
-                    }
+        // Pairs are scored independently, so large batches fan out over
+        // contiguous chunks; results are concatenated in input order.
+        let per_pair = (self.n_relations + 1) * self.cfg.dim.max(1);
+        let grain = (kernel::PAR_ELEM_CUTOFF / per_pair.max(1)).max(1);
+        kernel::par_map_chunks(pairs, grain, |_, &(a, b)| {
+            let bin = inputs.pair_bin(a, b, &self.cfg);
+            let mut best = 0usize;
+            let mut best_score = f32::NEG_INFINITY;
+            for r in 0..=self.n_relations {
+                let s = self.score_pair_eager(table, a, r, b, bin);
+                if s > best_score {
+                    best_score = s;
+                    best = r;
                 }
-                best
-            })
-            .collect()
+            }
+            best
+        })
     }
 }
 
@@ -408,9 +447,21 @@ mod tests {
 
     fn tiny() -> (Dataset, PrimConfig, ModelInputs) {
         let ds = Dataset::beijing(Scale::Quick).subsample(0.1, 3);
-        let cfg = PrimConfig { dim: 8, cat_dim: 4, n_layers: 2, n_heads: 2, ..PrimConfig::quick() };
-        let inputs =
-            ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        let cfg = PrimConfig {
+            dim: 8,
+            cat_dim: 4,
+            n_layers: 2,
+            n_heads: 2,
+            ..PrimConfig::quick()
+        };
+        let inputs = ModelInputs::build(
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            ds.graph.edges(),
+            None,
+            &cfg,
+        );
         (ds, cfg, inputs)
     }
 
@@ -471,14 +522,23 @@ mod tests {
         let grads = g.backward(loss);
         model.store.accumulate(&bind, &grads);
         // Every major component must receive gradient.
-        for id in [model.w_in, model.cat_table, model.rel_emb, model.w_rel_score, model.w_bins] {
+        for id in [
+            model.w_in,
+            model.cat_table,
+            model.rel_emb,
+            model.w_rel_score,
+            model.w_bins,
+        ] {
             assert!(
                 model.store.grad(id).max_abs() > 0.0,
                 "no gradient reached {}",
                 model.store.name(id)
             );
         }
-        assert!(model.store.grad(model.w_q).max_abs() > 0.0, "spatial extractor unused");
+        assert!(
+            model.store.grad(model.w_q).max_abs() > 0.0,
+            "spatial extractor unused"
+        );
     }
 
     #[test]
@@ -507,10 +567,23 @@ mod tests {
         use crate::config::GammaOp;
         let (_, cfg, inputs) = tiny();
         let mut tables = Vec::new();
-        for gamma in [GammaOp::Multiply, GammaOp::Subtract, GammaOp::CircularCorrelation] {
-            let model = PrimModel::new(PrimConfig { gamma, ..cfg.clone() }, &inputs);
+        for gamma in [
+            GammaOp::Multiply,
+            GammaOp::Subtract,
+            GammaOp::CircularCorrelation,
+        ] {
+            let model = PrimModel::new(
+                PrimConfig {
+                    gamma,
+                    ..cfg.clone()
+                },
+                &inputs,
+            );
             let table = model.embed(&inputs);
-            assert!(table.pois.all_finite(), "{gamma:?} produced non-finite output");
+            assert!(
+                table.pois.all_finite(),
+                "{gamma:?} produced non-finite output"
+            );
             tables.push(table.pois);
         }
         assert_ne!(tables[0].row(0), tables[1].row(0));
@@ -522,8 +595,7 @@ mod tests {
         use crate::config::Variant;
         let (_, cfg, inputs) = tiny();
         let full = PrimModel::new(cfg.clone(), &inputs);
-        let no_tax =
-            PrimModel::new(cfg.clone().with_variant(Variant::from_name("-T")), &inputs);
+        let no_tax = PrimModel::new(cfg.clone().with_variant(Variant::from_name("-T")), &inputs);
         // Independent category table has fewer rows than the taxonomy table
         // (leaves only vs leaves + hypernyms + root).
         assert!(no_tax.num_parameters() < full.num_parameters());

@@ -13,9 +13,7 @@
 
 use crate::inputs::ModelInputs;
 use crate::model::PrimModel;
-use prim_graph::{
-    negative_sampled_triples, sample_non_relation_pairs, Edge, HeteroGraph, PoiId,
-};
+use prim_graph::{negative_sampled_triples, sample_non_relation_pairs, Edge, HeteroGraph, PoiId};
 use prim_nn::Adam;
 use prim_tensor::Graph;
 use rand::rngs::StdRng;
@@ -146,7 +144,15 @@ impl TripleArrays {
         }
     }
 
-    fn push(&mut self, inputs: &ModelInputs, model: &PrimModel, a: PoiId, r: usize, b: PoiId, y: f32) {
+    fn push(
+        &mut self,
+        inputs: &ModelInputs,
+        model: &PrimModel,
+        a: PoiId,
+        r: usize,
+        b: PoiId,
+        y: f32,
+    ) {
         self.src.push(a.0 as usize);
         self.rel.push(r);
         self.dst.push(b.0 as usize);
@@ -163,12 +169,7 @@ struct ValSet {
 }
 
 impl ValSet {
-    fn build(
-        graph: &HeteroGraph,
-        val_edges: &[Edge],
-        phi: usize,
-        rng: &mut StdRng,
-    ) -> Self {
+    fn build(graph: &HeteroGraph, val_edges: &[Edge], phi: usize, rng: &mut StdRng) -> Self {
         let mut pairs = Vec::with_capacity(val_edges.len() * 2);
         let mut expected = Vec::with_capacity(val_edges.len() * 2);
         for e in val_edges {
@@ -325,8 +326,14 @@ mod tests {
             val_check_every: 0,
             ..PrimConfig::quick()
         };
-        let inputs =
-            ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        let inputs = ModelInputs::build(
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            ds.graph.edges(),
+            None,
+            &cfg,
+        );
         let mut model = PrimModel::new(cfg, &inputs);
         let report = fit(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
         assert_eq!(report.losses.len(), 25);
@@ -352,8 +359,14 @@ mod tests {
             val_check_every: 0,
             ..PrimConfig::quick()
         };
-        let inputs =
-            ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+        let inputs = ModelInputs::build(
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            ds.graph.edges(),
+            None,
+            &cfg,
+        );
         let mut model = PrimModel::new(cfg, &inputs);
         let report = fit(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
         assert_eq!(report.losses.len(), 8);
@@ -368,7 +381,10 @@ mod tests {
     #[test]
     fn training_beats_untrained_on_held_out_positives() {
         let ds = Dataset::beijing(Scale::Quick).subsample(0.55, 6);
-        let cfg = PrimConfig { epochs: 60, ..PrimConfig::quick() };
+        let cfg = PrimConfig {
+            epochs: 60,
+            ..PrimConfig::quick()
+        };
         let mut split_rng = StdRng::seed_from_u64(99);
         let split = prim_graph::split_edges(&ds.graph, 0.6, &mut split_rng);
         let (train, val, test) = (&split.train[..], &split.val[..], &split.test[..]);

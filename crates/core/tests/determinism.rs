@@ -1,0 +1,87 @@
+//! End-to-end thread-count determinism.
+//!
+//! The kernel layer's contract (see `prim_tensor::kernel`) is that every
+//! parallel kernel partitions work only along mathematically independent
+//! axes, so outputs are bitwise identical for any thread count. These tests
+//! verify the contract holds composed through the entire model: a forward
+//! pass and a full fixed-seed training epoch must produce identical bits on
+//! one thread and on a multi-thread pool.
+
+use prim_core::{fit, ModelInputs, PrimConfig, PrimModel};
+use prim_data::{Dataset, Scale};
+use prim_tensor::kernel;
+
+fn setup() -> (Dataset, PrimConfig, ModelInputs) {
+    let ds = Dataset::beijing(Scale::Quick).subsample(0.15, 11);
+    let cfg = PrimConfig {
+        dim: 12,
+        cat_dim: 6,
+        n_layers: 2,
+        n_heads: 2,
+        epochs: 1,
+        val_check_every: 0,
+        ..PrimConfig::quick()
+    };
+    let inputs = ModelInputs::build(
+        &ds.graph,
+        &ds.taxonomy,
+        &ds.attrs,
+        ds.graph.edges(),
+        None,
+        &cfg,
+    );
+    (ds, cfg, inputs)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn forward_is_bitwise_identical_across_thread_counts() {
+    let (_, cfg, inputs) = setup();
+    let model = PrimModel::new(cfg, &inputs);
+
+    kernel::set_threads(1);
+    let serial = model.embed(&inputs);
+    kernel::set_threads(4);
+    let parallel = model.embed(&inputs);
+    kernel::set_threads(0);
+
+    assert_eq!(
+        bits(serial.pois.data()),
+        bits(parallel.pois.data()),
+        "POI embeddings drifted"
+    );
+    assert_eq!(
+        bits(serial.relations.data()),
+        bits(parallel.relations.data()),
+        "relation embeddings drifted"
+    );
+}
+
+#[test]
+fn one_epoch_of_training_is_bitwise_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let (ds, cfg, inputs) = setup();
+        let mut model = PrimModel::new(cfg, &inputs);
+        kernel::set_threads(threads);
+        let report = fit(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
+        kernel::set_threads(0);
+        let table = model.embed(&inputs);
+        (report.losses, bits(table.pois.data()))
+    };
+
+    let (losses_1, pois_1) = run(1);
+    let (losses_4, pois_4) = run(4);
+
+    assert_eq!(
+        bits(&losses_1),
+        bits(&losses_4),
+        "training losses differ between 1 and 4 threads"
+    );
+    assert_eq!(
+        pois_1, pois_4,
+        "trained embeddings differ between 1 and 4 threads"
+    );
+}

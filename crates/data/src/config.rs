@@ -48,8 +48,18 @@ impl TaxonomyConfig {
     /// ≈805 categories at full scale).
     pub fn preset(scale: Scale) -> Self {
         match scale {
-            Scale::Quick => TaxonomyConfig { n_groups: 6, n_subgroups: 4, n_leaves: 6, seed: 7 },
-            Scale::Full => TaxonomyConfig { n_groups: 8, n_subgroups: 11, n_leaves: 8, seed: 7 },
+            Scale::Quick => TaxonomyConfig {
+                n_groups: 6,
+                n_subgroups: 4,
+                n_leaves: 6,
+                seed: 7,
+            },
+            Scale::Full => TaxonomyConfig {
+                n_groups: 8,
+                n_subgroups: 11,
+                n_leaves: 8,
+                seed: 7,
+            },
         }
     }
 
@@ -217,7 +227,10 @@ impl RelationConfig {
 
     /// The finer-grained 6-relation scenario of Table 3.
     pub fn six_way() -> Self {
-        RelationConfig { intensity_tiers: 3, ..Self::default() }
+        RelationConfig {
+            intensity_tiers: 3,
+            ..Self::default()
+        }
     }
 
     /// Total number of relation types this config produces.

@@ -139,7 +139,11 @@ impl Dataset {
     /// The Shanghai preset (binary relations).
     pub fn shanghai(scale: Scale) -> Dataset {
         let tax = generate_taxonomy(&TaxonomyConfig::preset(scale));
-        Dataset::generate(&CityConfig::shanghai(scale), &tax, &RelationConfig::binary())
+        Dataset::generate(
+            &CityConfig::shanghai(scale),
+            &tax,
+            &RelationConfig::binary(),
+        )
     }
 
     /// Beijing and Shanghai over a *shared* taxonomy (cross-city transfer).
@@ -147,20 +151,32 @@ impl Dataset {
         let tax = generate_taxonomy(&TaxonomyConfig::preset(scale));
         (
             Dataset::generate(&CityConfig::beijing(scale), &tax, &RelationConfig::binary()),
-            Dataset::generate(&CityConfig::shanghai(scale), &tax, &RelationConfig::binary()),
+            Dataset::generate(
+                &CityConfig::shanghai(scale),
+                &tax,
+                &RelationConfig::binary(),
+            ),
         )
     }
 
     /// Six-relation variants for Table 3.
     pub fn beijing_six(scale: Scale) -> Dataset {
         let tax = generate_taxonomy(&TaxonomyConfig::preset(scale));
-        Dataset::generate(&CityConfig::beijing(scale), &tax, &RelationConfig::six_way())
+        Dataset::generate(
+            &CityConfig::beijing(scale),
+            &tax,
+            &RelationConfig::six_way(),
+        )
     }
 
     /// Six-relation Shanghai.
     pub fn shanghai_six(scale: Scale) -> Dataset {
         let tax = generate_taxonomy(&TaxonomyConfig::preset(scale));
-        Dataset::generate(&CityConfig::shanghai(scale), &tax, &RelationConfig::six_way())
+        Dataset::generate(
+            &CityConfig::shanghai(scale),
+            &tax,
+            &RelationConfig::six_way(),
+        )
     }
 
     /// Singapore-style scalability dataset: `n_pois` POIs with
@@ -233,16 +249,22 @@ impl Dataset {
             .edges()
             .iter()
             .filter(|e| keep[e.src.0 as usize] && keep[e.dst.0 as usize])
-            .map(|e| Edge::new(
-                PoiId(new_id[e.src.0 as usize]),
-                PoiId(new_id[e.dst.0 as usize]),
-                e.rel,
-            ))
+            .map(|e| {
+                Edge::new(
+                    PoiId(new_id[e.src.0 as usize]),
+                    PoiId(new_id[e.dst.0 as usize]),
+                    e.rel,
+                )
+            })
             .collect();
         graph.add_edges(edges);
 
         let select = |v: &Vec<Region>| -> Vec<Region> {
-            v.iter().enumerate().filter(|(i, _)| keep[*i]).map(|(_, &r)| r).collect()
+            v.iter()
+                .enumerate()
+                .filter(|(i, _)| keep[*i])
+                .map(|(_, &r)| r)
+                .collect()
         };
         let context: Vec<ContextKind> = self
             .context
@@ -340,14 +362,22 @@ mod tests {
             "compl 2km {}",
             stats.complementary_within_2km
         );
-        assert!(stats.competitive_mean_path < 4.0, "comp path {}", stats.competitive_mean_path);
+        assert!(
+            stats.competitive_mean_path < 4.0,
+            "comp path {}",
+            stats.competitive_mean_path
+        );
         assert!(
             stats.complementary_mean_path > stats.competitive_mean_path + 1.0,
             "compl path {}",
             stats.complementary_mean_path
         );
         // Core density (paper: >53% of POIs in <15% of area).
-        assert!(stats.core_poi_share > 0.3, "core share {}", stats.core_poi_share);
+        assert!(
+            stats.core_poi_share > 0.3,
+            "core share {}",
+            stats.core_poi_share
+        );
     }
 
     #[test]

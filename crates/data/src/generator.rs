@@ -135,11 +135,7 @@ fn gaussian<R: Rng>(rng: &mut R) -> f64 {
 /// (commercial) with residential blocks spread wider; POI categories are
 /// drawn from context-dependent group mixtures so the latent context is
 /// recoverable from spatial neighbourhoods.
-pub fn generate_city(
-    cfg: &CityConfig,
-    tax: &GeneratedTaxonomy,
-    rng: &mut StdRng,
-) -> GeneratedCity {
+pub fn generate_city(cfg: &CityConfig, tax: &GeneratedTaxonomy, rng: &mut StdRng) -> GeneratedCity {
     // Cluster centres: biased toward the core by sampling radius as r² ~ U.
     let mut cluster_center = Vec::with_capacity(cfg.n_clusters);
     let mut cluster_kind = Vec::with_capacity(cfg.n_clusters);
@@ -200,13 +196,22 @@ pub fn generate_city(
             (offset_km(cfg.center, x, y), kind)
         };
         let dist_center = loc.equirect_km(&cfg.center);
-        regions.push(if dist_center < cfg.core_radius_km { Region::Core } else { Region::Suburb });
+        regions.push(if dist_center < cfg.core_radius_km {
+            Region::Core
+        } else {
+            Region::Suburb
+        });
         categories.push(sample_category(ctx, rng));
         locations.push(loc);
         context.push(ctx);
     }
 
-    GeneratedCity { locations, categories, regions, context }
+    GeneratedCity {
+        locations,
+        categories,
+        regions,
+        context,
+    }
 }
 
 /// Relationship family before intensity tiering.
@@ -322,14 +327,18 @@ pub fn generate_relations(
     let mut seen: HashSet<(u32, u32)> = HashSet::new();
     let mut pairs: Vec<(u32, u32, f64)> = Vec::new(); // (a, b, distance_km)
     let push_pair = |seen: &mut HashSet<(u32, u32)>,
-                         pairs: &mut Vec<(u32, u32, f64)>,
-                         i: usize,
-                         j: usize,
-                         d: Option<f64>| {
+                     pairs: &mut Vec<(u32, u32, f64)>,
+                     i: usize,
+                     j: usize,
+                     d: Option<f64>| {
         if i == j {
             return;
         }
-        let key = if i < j { (i as u32, j as u32) } else { (j as u32, i as u32) };
+        let key = if i < j {
+            (i as u32, j as u32)
+        } else {
+            (j as u32, i as u32)
+        };
         if seen.insert(key) {
             let d = d.unwrap_or_else(|| index.distance_km(i, j));
             pairs.push((key.0, key.1, d));
@@ -362,7 +371,10 @@ pub fn generate_relations(
     let n_compl = total_edges - n_comp;
 
     let score_pair = |family: Family, a: u32, b: u32, d: f64| -> f64 {
-        let (ca, cb) = (city.categories[a as usize].0 as usize, city.categories[b as usize].0 as usize);
+        let (ca, cb) = (
+            city.categories[a as usize].0 as usize,
+            city.categories[b as usize].0 as usize,
+        );
         let base = match family {
             Family::Competitive => {
                 competitive_category_weight(tax, ca, cb)
@@ -370,8 +382,7 @@ pub fn generate_relations(
                     * context_factor(city.context[a as usize], city.context[b as usize])
             }
             Family::Complementary => {
-                complementary_category_weight(tax, ca, cb)
-                    * (-d / cfg.complementary_decay_km).exp()
+                complementary_category_weight(tax, ca, cb) * (-d / cfg.complementary_decay_km).exp()
             }
         };
         base * community_factor(family, a, b)
@@ -392,7 +403,11 @@ pub fn generate_relations(
                     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                     -(-u.ln()).ln()
                 };
-                Candidate { a, b, score: s.ln() + gumbel }
+                Candidate {
+                    a,
+                    b,
+                    score: s.ln() + gumbel,
+                }
             })
             .collect();
         let k = k.min(cands.len());
@@ -401,7 +416,12 @@ pub fn generate_relations(
         cands
             .into_iter()
             .map(|c| {
-                let raw = score_pair(family, c.a, c.b, index.distance_km(c.a as usize, c.b as usize));
+                let raw = score_pair(
+                    family,
+                    c.a,
+                    c.b,
+                    index.distance_km(c.a as usize, c.b as usize),
+                );
                 (c.a, c.b, raw)
             })
             .collect()
@@ -508,10 +528,8 @@ mod tests {
             let c = (*ctx == ContextKind::Commercial) as usize;
             counts[c][low] += 1;
         }
-        let comm_low_frac =
-            counts[1][1] as f64 / (counts[1][0] + counts[1][1]).max(1) as f64;
-        let resi_low_frac =
-            counts[0][1] as f64 / (counts[0][0] + counts[0][1]).max(1) as f64;
+        let comm_low_frac = counts[1][1] as f64 / (counts[1][0] + counts[1][1]).max(1) as f64;
+        let resi_low_frac = counts[0][1] as f64 / (counts[0][0] + counts[0][1]).max(1) as f64;
         assert!(
             comm_low_frac > resi_low_frac + 0.2,
             "commercial {comm_low_frac} vs residential {resi_low_frac}"
@@ -545,7 +563,10 @@ mod tests {
         }
         let comp_2km = within[0] as f64 / total[0] as f64;
         let compl_2km = within[1] as f64 / total[1] as f64;
-        assert!(comp_2km > compl_2km + 0.1, "2km shares: {comp_2km} vs {compl_2km}");
+        assert!(
+            comp_2km > compl_2km + 0.1,
+            "2km shares: {comp_2km} vs {compl_2km}"
+        );
         let comp_path = path_sum[0] as f64 / total[0] as f64;
         let compl_path = path_sum[1] as f64 / total[1] as f64;
         assert!(
@@ -570,7 +591,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let tax = generate_taxonomy(&TaxonomyConfig::preset(Scale::Quick));
-        let cfg = CityConfig { n_pois: 200, ..CityConfig::beijing(Scale::Quick) };
+        let cfg = CityConfig {
+            n_pois: 200,
+            ..CityConfig::beijing(Scale::Quick)
+        };
         let city1 = generate_city(&cfg, &tax, &mut StdRng::seed_from_u64(9));
         let city2 = generate_city(&cfg, &tax, &mut StdRng::seed_from_u64(9));
         assert_eq!(city1.categories, city2.categories);

@@ -1,8 +1,8 @@
 //! Property tests for the dataset generator: structural invariants that
 //! must hold for any configuration.
 
-use prim_data::{CityConfig, Dataset, RelationConfig, Scale, TaxonomyConfig};
 use prim_data::generator::{generate_city, generate_relations, generate_taxonomy};
+use prim_data::{CityConfig, Dataset, RelationConfig, Scale, TaxonomyConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -15,7 +15,11 @@ impl Confusion {
     /// # Panics
     /// Panics on length mismatch or out-of-range labels.
     pub fn from_predictions(predicted: &[usize], actual: &[usize], n_classes: usize) -> Self {
-        assert_eq!(predicted.len(), actual.len(), "prediction/label length mismatch");
+        assert_eq!(
+            predicted.len(),
+            actual.len(),
+            "prediction/label length mismatch"
+        );
         let mut counts = vec![0usize; n_classes * n_classes];
         for (&p, &a) in predicted.iter().zip(actual.iter()) {
             assert!(p < n_classes && a < n_classes, "label out of range");
@@ -102,8 +106,9 @@ impl Confusion {
     /// absent from the ground truth are skipped, matching scikit-learn with
     /// explicit labels).
     pub fn macro_f1(&self) -> f64 {
-        let classes: Vec<usize> =
-            (0..self.n_classes).filter(|&c| self.support(c) > 0).collect();
+        let classes: Vec<usize> = (0..self.n_classes)
+            .filter(|&c| self.support(c) > 0)
+            .collect();
         if classes.is_empty() {
             return 0.0;
         }
@@ -195,7 +200,10 @@ impl F1Pair {
     /// Computes both metrics from predictions.
     pub fn compute(predicted: &[usize], actual: &[usize], n_classes: usize) -> F1Pair {
         let c = Confusion::from_predictions(predicted, actual, n_classes);
-        F1Pair { macro_f1: c.macro_f1(), micro_f1: c.micro_f1() }
+        F1Pair {
+            macro_f1: c.macro_f1(),
+            micro_f1: c.micro_f1(),
+        }
     }
 }
 
@@ -302,6 +310,12 @@ mod tests {
     fn f1_pair_compute() {
         let y = vec![0, 1, 0, 1];
         let p = F1Pair::compute(&y, &y, 2);
-        assert_eq!(p, F1Pair { macro_f1: 1.0, micro_f1: 1.0 });
+        assert_eq!(
+            p,
+            F1Pair {
+                macro_f1: 1.0,
+                micro_f1: 1.0
+            }
+        );
     }
 }

@@ -77,8 +77,7 @@ pub fn transductive_task(dataset: &Dataset, train_frac: f64, seed: u64) -> Task 
     let n_phi = (split.test.len() as f64 * PHI_TEST_RATIO).round() as usize;
     let phi_pairs = sample_non_relation_pairs(&dataset.graph, n_phi, &mut rng);
 
-    let mut eval_pairs: Vec<(PoiId, PoiId)> =
-        split.test.iter().map(|e| (e.src, e.dst)).collect();
+    let mut eval_pairs: Vec<(PoiId, PoiId)> = split.test.iter().map(|e| (e.src, e.dst)).collect();
     let mut expected: Vec<usize> = split.test.iter().map(|e| e.rel.0 as usize).collect();
     for (a, b) in phi_pairs {
         eval_pairs.push((a, b));
@@ -108,8 +107,12 @@ pub fn sparse_task(dataset: &Dataset, train_frac: f64, max_degree: usize, seed: 
         .zip(base.expected.iter())
         .map(|(&(a, b), &r)| Edge::new(a, b, prim_graph::RelationId(r as u8)))
         .collect();
-    let sparse =
-        sparse_subset(&base.train, &test_edges, dataset.graph.num_pois(), max_degree);
+    let sparse = sparse_subset(
+        &base.train,
+        &test_edges,
+        dataset.graph.num_pois(),
+        max_degree,
+    );
     let sparse_keys: HashSet<(u32, u32)> = sparse.iter().map(|e| e.pair_key()).collect();
 
     base.filter_eval(|a, b, e| {
@@ -136,8 +139,7 @@ pub fn inductive_task(dataset: &Dataset, hidden_frac: f64, seed: u64) -> Task {
     let n_phi = (ind.test.len() as f64 * PHI_TEST_RATIO).round() as usize;
     let phi_pairs = sample_non_relation_pairs(&dataset.graph, n_phi, &mut rng);
 
-    let mut eval_pairs: Vec<(PoiId, PoiId)> =
-        ind.test.iter().map(|e| (e.src, e.dst)).collect();
+    let mut eval_pairs: Vec<(PoiId, PoiId)> = ind.test.iter().map(|e| (e.src, e.dst)).collect();
     let mut expected: Vec<usize> = ind.test.iter().map(|e| e.rel.0 as usize).collect();
     for (a, b) in phi_pairs {
         eval_pairs.push((a, b));

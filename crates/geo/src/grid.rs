@@ -28,8 +28,7 @@ fn project(locations: &[Location]) -> Vec<(f64, f64)> {
     if locations.is_empty() {
         return Vec::new();
     }
-    let mean_lat =
-        locations.iter().map(|l| l.lat).sum::<f64>() / locations.len() as f64;
+    let mean_lat = locations.iter().map(|l| l.lat).sum::<f64>() / locations.len() as f64;
     let cos_lat = mean_lat.to_radians().cos();
     const KM_PER_DEG: f64 = std::f64::consts::PI / 180.0 * crate::location::EARTH_RADIUS_KM;
     locations
@@ -90,7 +89,16 @@ impl GridIndex {
             fill[c] += 1;
         }
 
-        GridIndex { points_km, cell_km, min_x, min_y, n_cols, n_rows, cell_start, cell_items }
+        GridIndex {
+            points_km,
+            cell_km,
+            min_x,
+            min_y,
+            n_cols,
+            n_rows,
+            cell_start,
+            cell_items,
+        }
     }
 
     /// Number of indexed points.
@@ -181,9 +189,13 @@ mod tests {
         let mut pts = Vec::with_capacity(n);
         let mut s = 12345u64;
         for _ in 0..n {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = ((s >> 33) as f64 / (1u64 << 31) as f64) * 0.1;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = ((s >> 33) as f64 / (1u64 << 31) as f64) * 0.1;
             pts.push(Location::new(116.3 + a, 39.9 + b));
         }

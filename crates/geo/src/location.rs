@@ -23,8 +23,7 @@ impl Location {
         let (lat1, lat2) = (self.lat.to_radians(), other.lat.to_radians());
         let dlat = lat2 - lat1;
         let dlon = (other.lon - self.lon).to_radians();
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().asin()
     }
 
@@ -110,11 +109,7 @@ impl DistanceBins {
 
     /// Bin index for a distance (the look-up function `g(d_ij)` in Eq. 11).
     pub fn bin(&self, distance_km: f64) -> usize {
-        match self
-            .edges
-            .iter()
-            .position(|&e| distance_km < e)
-        {
+        match self.edges.iter().position(|&e| distance_km < e) {
             Some(i) => i,
             None => self.edges.len(),
         }
@@ -125,8 +120,14 @@ impl DistanceBins {
 mod tests {
     use super::*;
 
-    const BEIJING: Location = Location { lon: 116.4074, lat: 39.9042 };
-    const SHANGHAI: Location = Location { lon: 121.4737, lat: 31.2304 };
+    const BEIJING: Location = Location {
+        lon: 116.4074,
+        lat: 39.9042,
+    };
+    const SHANGHAI: Location = Location {
+        lon: 121.4737,
+        lat: 31.2304,
+    };
 
     #[test]
     fn haversine_known_distance() {

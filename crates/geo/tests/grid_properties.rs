@@ -5,8 +5,11 @@ use prim_geo::{GridIndex, Location};
 use proptest::prelude::*;
 
 fn points(n: usize) -> impl Strategy<Value = Vec<Location>> {
-    prop::collection::vec((116.0f64..116.5, 39.7f64..40.2), 2..n)
-        .prop_map(|v| v.into_iter().map(|(lon, lat)| Location::new(lon, lat)).collect())
+    prop::collection::vec((116.0f64..116.5, 39.7f64..40.2), 2..n).prop_map(|v| {
+        v.into_iter()
+            .map(|(lon, lat)| Location::new(lon, lat))
+            .collect()
+    })
 }
 
 proptest! {

@@ -40,9 +40,17 @@ impl Edge {
     /// Creates an edge in canonical (src ≤ dst) order.
     pub fn new(a: PoiId, b: PoiId, rel: RelationId) -> Self {
         if a.0 <= b.0 {
-            Edge { src: a, dst: b, rel }
+            Edge {
+                src: a,
+                dst: b,
+                rel,
+            }
         } else {
-            Edge { src: b, dst: a, rel }
+            Edge {
+                src: b,
+                dst: a,
+                rel,
+            }
         }
     }
 
@@ -65,7 +73,11 @@ impl HeteroGraph {
     /// and no edges yet.
     pub fn new(pois: Vec<Poi>, n_relations: usize) -> Self {
         assert!(n_relations >= 1 && n_relations <= u8::MAX as usize);
-        HeteroGraph { pois, n_relations, edges: Vec::new() }
+        HeteroGraph {
+            pois,
+            n_relations,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds an undirected typed edge. Duplicate `(pair, rel)` combinations
@@ -192,7 +204,10 @@ impl Adjacency {
             rel.push(r);
             dist_km.push(graph.distance_km(PoiId(s), PoiId(d)) as f32);
             bearing.push(
-                graph.poi(PoiId(d)).location.bearing_to(&graph.poi(PoiId(s)).location) as f32,
+                graph
+                    .poi(PoiId(d))
+                    .location
+                    .bearing_to(&graph.poi(PoiId(s)).location) as f32,
             );
             intra_segment.push(segment_dst.len() - 1);
         }

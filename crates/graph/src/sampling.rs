@@ -32,18 +32,36 @@ pub fn negative_sampled_triples<R: Rng>(
 ) -> Vec<Triple> {
     let mut out = Vec::with_capacity(edges.len() * (1 + omega));
     for e in edges {
-        out.push(Triple { src: e.src, rel: e.rel, dst: e.dst, label: 1.0 });
+        out.push(Triple {
+            src: e.src,
+            rel: e.rel,
+            dst: e.dst,
+            label: 1.0,
+        });
         for _ in 0..omega {
             let mut tries = 0;
             loop {
                 let replace_src = rng.gen_bool(0.5);
                 let candidate = PoiId(rng.gen_range(0..n_pois as u32));
-                let (s, d) = if replace_src { (candidate, e.dst) } else { (e.src, candidate) };
-                let key = if s.0 <= d.0 { (s.0, d.0, e.rel.0) } else { (d.0, s.0, e.rel.0) };
+                let (s, d) = if replace_src {
+                    (candidate, e.dst)
+                } else {
+                    (e.src, candidate)
+                };
+                let key = if s.0 <= d.0 {
+                    (s.0, d.0, e.rel.0)
+                } else {
+                    (d.0, s.0, e.rel.0)
+                };
                 tries += 1;
                 if (s != d && !known_edges.contains(&key)) || tries > 16 {
                     if s != d {
-                        out.push(Triple { src: s, rel: e.rel, dst: d, label: 0.0 });
+                        out.push(Triple {
+                            src: s,
+                            rel: e.rel,
+                            dst: d,
+                            label: 0.0,
+                        });
                     }
                     break;
                 }
@@ -167,7 +185,10 @@ mod tests {
     fn non_relation_sampler_terminates_when_graph_dense() {
         // Fully connected graph: no non-relation pair exists.
         let pois: Vec<Poi> = (0..4)
-            .map(|_| Poi { location: Location::new(116.0, 40.0), category: CategoryId(0) })
+            .map(|_| Poi {
+                location: Location::new(116.0, 40.0),
+                category: CategoryId(0),
+            })
             .collect();
         let mut g = HeteroGraph::new(pois, 1);
         for a in 0..4u32 {

@@ -32,14 +32,8 @@ impl SpatialNeighbors {
     /// * `radius_km` — the distance threshold `d` (paper: 1.15 km);
     /// * `theta` — RBF scaling factor (paper: 2);
     /// * `max_neighbors` — fan-out cap; the nearest neighbours win.
-    pub fn build(
-        graph: &HeteroGraph,
-        radius_km: f64,
-        theta: f64,
-        max_neighbors: usize,
-    ) -> Self {
-        let locations: Vec<prim_geo::Location> =
-            graph.pois().iter().map(|p| p.location).collect();
+    pub fn build(graph: &HeteroGraph, radius_km: f64, theta: f64, max_neighbors: usize) -> Self {
+        let locations: Vec<prim_geo::Location> = graph.pois().iter().map(|p| p.location).collect();
         let index = GridIndex::build(&locations, radius_km.max(1e-6));
 
         let mut src = Vec::new();
@@ -61,7 +55,14 @@ impl SpatialNeighbors {
                 segment.push(seg);
             }
         }
-        SpatialNeighbors { src, dst, rbf, segment, segment_dst, radius_km }
+        SpatialNeighbors {
+            src,
+            dst,
+            rbf,
+            segment,
+            segment_dst,
+            radius_km,
+        }
     }
 
     /// Number of spatial edges.
@@ -138,7 +139,14 @@ impl SpatialNeighbors {
             rbf.push(self.rbf[k]);
             segment.push(segment_dst.len() - 1);
         }
-        SpatialNeighbors { src, dst, rbf, segment, segment_dst, radius_km: self.radius_km }
+        SpatialNeighbors {
+            src,
+            dst,
+            rbf,
+            segment,
+            segment_dst,
+            radius_km: self.radius_km,
+        }
     }
 
     /// Mean number of spatial neighbours per POI (the `S̃` of the paper's
@@ -162,10 +170,22 @@ mod tests {
     /// 3 POIs clustered within ~150 m, one ~20 km away.
     fn graph() -> HeteroGraph {
         let pois = vec![
-            Poi { location: Location::new(116.300, 39.900), category: CategoryId(0) },
-            Poi { location: Location::new(116.301, 39.900), category: CategoryId(0) },
-            Poi { location: Location::new(116.300, 39.901), category: CategoryId(0) },
-            Poi { location: Location::new(116.500, 39.900), category: CategoryId(0) },
+            Poi {
+                location: Location::new(116.300, 39.900),
+                category: CategoryId(0),
+            },
+            Poi {
+                location: Location::new(116.301, 39.900),
+                category: CategoryId(0),
+            },
+            Poi {
+                location: Location::new(116.300, 39.901),
+                category: CategoryId(0),
+            },
+            Poi {
+                location: Location::new(116.500, 39.900),
+                category: CategoryId(0),
+            },
         ];
         HeteroGraph::new(pois, 1)
     }

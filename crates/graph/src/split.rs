@@ -27,11 +27,7 @@ impl EdgeSplit {
 
 /// Splits edges following the paper's protocol: 10% validation, 20% test,
 /// and `train_frac` *of all edges* (≤ 0.7) as training data.
-pub fn split_edges<R: Rng>(
-    graph: &HeteroGraph,
-    train_frac: f64,
-    rng: &mut R,
-) -> EdgeSplit {
+pub fn split_edges<R: Rng>(graph: &HeteroGraph, train_frac: f64, rng: &mut R) -> EdgeSplit {
     assert!(
         train_frac > 0.0 && train_frac <= 0.7 + 1e-9,
         "train fraction must be in (0, 0.7], got {train_frac}"
@@ -84,7 +80,11 @@ pub fn inductive_split<R: Rng>(
             train.push(e);
         }
     }
-    InductiveSplit { train, test, hidden }
+    InductiveSplit {
+        train,
+        test,
+        hidden,
+    }
 }
 
 /// Restricts `test` to edges where at least one endpoint has fewer than
@@ -98,9 +98,7 @@ pub fn sparse_subset(train: &[Edge], test: &[Edge], n_pois: usize, max_degree: u
     }
     test.iter()
         .copied()
-        .filter(|e| {
-            degree[e.src.0 as usize] < max_degree || degree[e.dst.0 as usize] < max_degree
-        })
+        .filter(|e| degree[e.src.0 as usize] < max_degree || degree[e.dst.0 as usize] < max_degree)
         .collect()
 }
 
@@ -122,7 +120,11 @@ mod tests {
             .collect();
         let mut g = HeteroGraph::new(pois, 2);
         for i in 0..n - 1 {
-            g.add_edge(PoiId(i as u32), PoiId(i as u32 + 1), RelationId((i % 2) as u8));
+            g.add_edge(
+                PoiId(i as u32),
+                PoiId(i as u32 + 1),
+                RelationId((i % 2) as u8),
+            );
         }
         g
     }

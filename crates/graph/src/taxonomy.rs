@@ -52,18 +52,17 @@ impl Taxonomy {
     }
 
     /// Adds a leaf category under `parent`, returning its dense category id.
-    pub fn add_category(
-        &mut self,
-        parent: TaxonomyNodeId,
-        name: impl Into<String>,
-    ) -> CategoryId {
+    pub fn add_category(&mut self, parent: TaxonomyNodeId, name: impl Into<String>) -> CategoryId {
         let node = self.add_node(parent, name);
         self.leaf_nodes.push(node.0);
         CategoryId(self.leaf_nodes.len() as u32 - 1)
     }
 
     fn add_node(&mut self, parent: TaxonomyNodeId, name: impl Into<String>) -> TaxonomyNodeId {
-        assert!((parent.0 as usize) < self.names.len(), "taxonomy parent out of range");
+        assert!(
+            (parent.0 as usize) < self.names.len(),
+            "taxonomy parent out of range"
+        );
         let id = self.names.len() as u32;
         self.names.push(name.into());
         self.parent.push(Some(parent.0));
@@ -111,7 +110,9 @@ impl Taxonomy {
 
     /// Children of a node.
     pub fn children(&self, node: TaxonomyNodeId) -> impl Iterator<Item = TaxonomyNodeId> + '_ {
-        self.children[node.0 as usize].iter().map(|&c| TaxonomyNodeId(c))
+        self.children[node.0 as usize]
+            .iter()
+            .map(|&c| TaxonomyNodeId(c))
     }
 
     /// The node path from a leaf category up to the root, leaf first
@@ -218,10 +219,7 @@ mod tests {
         for &a in &cats {
             for &b in &cats {
                 for &c in &cats {
-                    assert!(
-                        t.path_distance(a, c)
-                            <= t.path_distance(a, b) + t.path_distance(b, c)
-                    );
+                    assert!(t.path_distance(a, c) <= t.path_distance(a, b) + t.path_distance(b, c));
                 }
             }
         }

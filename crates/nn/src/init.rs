@@ -60,7 +60,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let m = normal(&mut rng, 100, 100, 2.0);
         let mean = m.mean();
-        let var = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = m
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / m.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());

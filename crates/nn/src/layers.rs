@@ -23,11 +23,18 @@ impl Linear {
         out_dim: usize,
         bias: bool,
     ) -> Self {
-        let w = store.add(format!("{name}.w"), init::xavier_uniform(rng, in_dim, out_dim));
-        let b = bias.then(|| {
-            store.add(format!("{name}.b"), prim_tensor::Matrix::zeros(1, out_dim))
-        });
-        Linear { w, b, in_dim, out_dim }
+        let w = store.add(
+            format!("{name}.w"),
+            init::xavier_uniform(rng, in_dim, out_dim),
+        );
+        let b =
+            bias.then(|| store.add(format!("{name}.b"), prim_tensor::Matrix::zeros(1, out_dim)));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Applies the layer to `x` (shape `n × in_dim`).
@@ -78,7 +85,11 @@ impl Embedding {
         dim: usize,
     ) -> Self {
         let table = store.add(name, init::embedding(rng, n_items, dim));
-        Embedding { table, n_items, dim }
+        Embedding {
+            table,
+            n_items,
+            dim,
+        }
     }
 
     /// The whole table as a graph variable.
@@ -88,7 +99,10 @@ impl Embedding {
 
     /// Looks up rows by id.
     pub fn lookup(&self, g: &mut Graph, bind: &Binding, ids: &[usize]) -> Var {
-        debug_assert!(ids.iter().all(|&i| i < self.n_items), "embedding id out of range");
+        debug_assert!(
+            ids.iter().all(|&i| i < self.n_items),
+            "embedding id out of range"
+        );
         let table = bind.var(self.table);
         g.gather_rows(table, ids)
     }

@@ -3,7 +3,41 @@
 //! skip-gram baselines and tests.
 
 use crate::params::ParamStore;
+use prim_tensor::kernel;
 use prim_tensor::Matrix;
+
+/// Per-element Adam coefficients, hoisted so the update can run over
+/// arbitrary aligned sub-slices (serially or one chunk per thread).
+#[derive(Clone, Copy)]
+struct AdamCoeffs {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    bc1: f32,
+    bc2: f32,
+    decay: bool,
+}
+
+/// The Adam update over aligned slices of parameter / gradient / moment
+/// buffers. Every element is independent, so splitting the slices into
+/// chunks never changes the result.
+fn adam_update(c: AdamCoeffs, value: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32]) {
+    for k in 0..value.len() {
+        let mut g = grad[k];
+        if c.decay && c.weight_decay > 0.0 {
+            g += c.weight_decay * value[k];
+        }
+        let mk = c.beta1 * m[k] + (1.0 - c.beta1) * g;
+        let vk = c.beta2 * v[k] + (1.0 - c.beta2) * g * g;
+        m[k] = mk;
+        v[k] = vk;
+        let mhat = mk / c.bc1;
+        let vhat = vk / c.bc2;
+        value[k] -= c.lr * mhat / (vhat.sqrt() + c.eps);
+    }
+}
 
 /// Adam optimiser (Kingma & Ba, 2015) with the paper's defaults.
 pub struct Adam {
@@ -20,7 +54,15 @@ impl Adam {
     /// Creates Adam with the given learning rate and default betas
     /// `(0.9, 0.999)`.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, moments: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            moments: Vec::new(),
+        }
     }
 
     /// Adds decoupled L2 weight decay.
@@ -54,18 +96,37 @@ impl Adam {
             }
             let (m, v) = &mut self.moments[idx];
             debug_assert_eq!(m.shape(), value.shape(), "Adam moment shape drift");
-            for k in 0..value.len() {
-                let mut g = grad.data()[k];
-                if decay && self.weight_decay > 0.0 {
-                    g += self.weight_decay * value.data()[k];
-                }
-                let mk = self.beta1 * m.data()[k] + (1.0 - self.beta1) * g;
-                let vk = self.beta2 * v.data()[k] + (1.0 - self.beta2) * g * g;
-                m.data_mut()[k] = mk;
-                v.data_mut()[k] = vk;
-                let mhat = mk / bc1;
-                let vhat = vk / bc2;
-                value.data_mut()[k] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            let coeffs = AdamCoeffs {
+                lr: self.lr,
+                beta1: self.beta1,
+                beta2: self.beta2,
+                eps: self.eps,
+                weight_decay: self.weight_decay,
+                bc1,
+                bc2,
+                decay,
+            };
+            let n = value.len();
+            let threads = kernel::configured_threads();
+            if threads <= 1 || n < kernel::PAR_ELEM_CUTOFF {
+                adam_update(
+                    coeffs,
+                    value.data_mut(),
+                    grad.data(),
+                    m.data_mut(),
+                    v.data_mut(),
+                );
+            } else {
+                let chunk = n.div_ceil(threads);
+                std::thread::scope(|s| {
+                    let vals = value.data_mut().chunks_mut(chunk);
+                    let gs = grad.data().chunks(chunk);
+                    let ms = m.data_mut().chunks_mut(chunk);
+                    let vs = v.data_mut().chunks_mut(chunk);
+                    for (((vc, gc), mc), vvc) in vals.zip(gs).zip(ms).zip(vs) {
+                        s.spawn(move || adam_update(coeffs, vc, gc, mc, vvc));
+                    }
+                });
             }
         }
         store.zero_grads();
@@ -86,9 +147,17 @@ pub struct StepDecay {
 impl StepDecay {
     /// Creates a schedule starting at `base_lr`.
     pub fn new(base_lr: f32, factor: f32, every: u64) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "decay factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "decay factor must be in (0, 1]"
+        );
         assert!(every > 0, "decay interval must be positive");
-        StepDecay { base_lr, factor, every, step: 0 }
+        StepDecay {
+            base_lr,
+            factor,
+            every,
+            step: 0,
+        }
     }
 
     /// Advances one step and applies the scheduled rate to `adam`.
@@ -181,8 +250,12 @@ mod tests {
         let mut sched = StepDecay::new(0.1, 0.5, 3);
         for step in 1..=9 {
             sched.apply(&mut adam);
-            let expected = 0.1 * 0.5f32.powi((step / 3) as i32);
-            assert!((adam.lr() - expected).abs() < 1e-9, "step {step}: {}", adam.lr());
+            let expected = 0.1 * 0.5f32.powi(step / 3);
+            assert!(
+                (adam.lr() - expected).abs() < 1e-9,
+                "step {step}: {}",
+                adam.lr()
+            );
         }
         assert!((sched.current_lr() - 0.0125).abs() < 1e-9);
     }

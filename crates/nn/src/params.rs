@@ -34,7 +34,12 @@ impl ParamStore {
     /// Registers a parameter; names are diagnostic and need not be unique.
     pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        self.params.push(Param { name: name.into(), value, grad, decay: true });
+        self.params.push(Param {
+            name: name.into(),
+            value,
+            grad,
+            decay: true,
+        });
         ParamId(self.params.len() - 1)
     }
 
@@ -45,7 +50,12 @@ impl ParamStore {
     /// flat-lines at ln 2. Dense projection weights keep their decay.
     pub fn add_no_decay(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        self.params.push(Param { name: name.into(), value, grad, decay: false });
+        self.params.push(Param {
+            name: name.into(),
+            value,
+            grad,
+            decay: false,
+        });
         ParamId(self.params.len() - 1)
     }
 
@@ -86,7 +96,11 @@ impl ParamStore {
 
     /// Binds every parameter into `graph` as a trainable leaf.
     pub fn bind(&self, graph: &mut Graph) -> Binding {
-        let vars = self.params.iter().map(|p| graph.leaf(p.value.clone())).collect();
+        let vars = self
+            .params
+            .iter()
+            .map(|p| graph.leaf(p.value.clone()))
+            .collect();
         Binding { vars }
     }
 
@@ -133,7 +147,9 @@ impl ParamStore {
 
     /// Iterates over `(value, grad, decay)` for optimiser updates.
     pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = (&mut Matrix, &Matrix, bool)> {
-        self.params.iter_mut().map(|p| (&mut p.value, &p.grad, p.decay))
+        self.params
+            .iter_mut()
+            .map(|p| (&mut p.value, &p.grad, p.decay))
     }
 
     /// All parameter ids in registration order.
@@ -151,7 +167,11 @@ impl ParamStore {
     /// # Panics
     /// Panics if the snapshot does not match the store's parameters.
     pub fn restore(&mut self, snapshot: &[Matrix]) {
-        assert_eq!(snapshot.len(), self.params.len(), "snapshot length mismatch");
+        assert_eq!(
+            snapshot.len(),
+            self.params.len(),
+            "snapshot length mismatch"
+        );
         for (p, m) in self.params.iter_mut().zip(snapshot.iter()) {
             assert_eq!(p.value.shape(), m.shape(), "snapshot shape mismatch");
             p.value = m.clone();

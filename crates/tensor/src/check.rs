@@ -9,11 +9,7 @@ use crate::matrix::Matrix;
 /// Central-difference numeric gradient of `f` w.r.t. each input matrix.
 ///
 /// `f` must be a pure function of the inputs returning a scalar loss.
-pub fn numeric_gradients(
-    f: impl Fn(&[Matrix]) -> f32,
-    inputs: &[Matrix],
-    eps: f32,
-) -> Vec<Matrix> {
+pub fn numeric_gradients(f: impl Fn(&[Matrix]) -> f32, inputs: &[Matrix], eps: f32) -> Vec<Matrix> {
     let mut grads = Vec::with_capacity(inputs.len());
     for i in 0..inputs.len() {
         let (rows, cols) = inputs[i].shape();
@@ -104,7 +100,7 @@ mod tests {
         let x = Matrix::from_vec(2, 2, vec![1.0, -2.0, 3.0, 0.5]);
         let grads = numeric_gradients(
             |ins| ins[0].data().iter().map(|v| v * v).sum(),
-            &[x.clone()],
+            std::slice::from_ref(&x),
             1e-3,
         );
         let expected = x.scale(2.0);

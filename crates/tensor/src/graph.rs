@@ -11,7 +11,15 @@
 //! `normalize_rows`) used by attention and the distance-specific scoring
 //! function of the PRIM paper.
 
+use crate::kernel;
 use crate::matrix::Matrix;
+
+/// Per-row parallel grain for an op whose rows each cost `row_work`
+/// flops-ish units: chunks are sized so a thread gets at least
+/// [`kernel::PAR_ELEM_CUTOFF`] units of work.
+fn row_grain(row_work: usize) -> usize {
+    (kernel::PAR_ELEM_CUTOFF / row_work.max(1)).max(1)
+}
 
 /// Handle to a node in a [`Graph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +51,9 @@ enum Op {
     /// `a × s` where `s` is a `1×1` variable.
     MulScalarVar(Var, Var),
     ConcatCols(Vec<Var>),
+    /// Column window `[start, start+width)` of the source; `width` is the
+    /// node's own column count.
+    SliceCols(Var, usize),
     VStack(Vec<Var>),
     GatherRows(Var, Vec<usize>),
     /// Sums rows of the input into `n_segments` output rows keyed by
@@ -54,7 +65,10 @@ enum Op {
         n_segments: usize,
     },
     /// Column-wise softmax within each segment.
-    SegmentSoftmax { input: Var, segment_of_row: Vec<usize> },
+    SegmentSoftmax {
+        input: Var,
+        segment_of_row: Vec<usize>,
+    },
     /// Row-wise dot product of two equal-shape matrices → `n×1`.
     RowsDot(Var, Var),
     /// Row-wise circular correlation `(a ⋆ b)_k = Σ_i a_i·b_{(k+i) mod d}`.
@@ -71,7 +85,10 @@ enum Op {
     SumAll(Var),
     MeanAll(Var),
     /// Mean binary cross-entropy over `n×1` logits against fixed targets.
-    BceWithLogits { logits: Var, targets: Vec<f32> },
+    BceWithLogits {
+        logits: Var,
+        targets: Vec<f32>,
+    },
 }
 
 struct Node {
@@ -129,7 +146,11 @@ impl Graph {
     }
 
     fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
-        self.nodes.push(Node { value, op, requires_grad });
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -232,6 +253,29 @@ impl Graph {
         self.push(value, Op::ConcatCols(parts.to_vec()), rg)
     }
 
+    /// Copies the column window `[start, start + width)` of `a` into a new
+    /// node — the inverse of [`Graph::concat_cols`], used to fan a batched
+    /// multi-head projection back out into per-head views.
+    pub fn slice_cols(&mut self, a: Var, start: usize, width: usize) -> Var {
+        let (n, c) = self.shape(a);
+        assert!(
+            start + width <= c,
+            "slice_cols window [{start}, {}) out of range for {c} columns",
+            start + width
+        );
+        let mut value = Matrix::zeros(n, width);
+        if width > 0 {
+            let input = &self.nodes[a.0].value;
+            kernel::par_row_chunks(value.data_mut(), width, row_grain(width), |r0, chunk| {
+                for (dr, row) in chunk.chunks_mut(width).enumerate() {
+                    row.copy_from_slice(&input.row(r0 + dr)[start..start + width]);
+                }
+            });
+        }
+        let rg = self.rg(a);
+        self.push(value, Op::SliceCols(a, start), rg)
+    }
+
     /// Vertical concatenation of equally-wide matrices.
     pub fn vstack(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "vstack of zero parts");
@@ -253,7 +297,11 @@ impl Graph {
     /// with `segment_of_row[r] == s`.
     pub fn segment_sum(&mut self, a: Var, segment_of_row: &[usize], n_segments: usize) -> Var {
         let (n, c) = self.shape(a);
-        assert_eq!(segment_of_row.len(), n, "segment_sum: segment map length mismatch");
+        assert_eq!(
+            segment_of_row.len(),
+            n,
+            "segment_sum: segment map length mismatch"
+        );
         let mut value = Matrix::zeros(n_segments, c);
         {
             let input = &self.nodes[a.0].value;
@@ -267,7 +315,11 @@ impl Graph {
         let rg = self.rg(a);
         self.push(
             value,
-            Op::SegmentSum { input: a, segment_of_row: segment_of_row.to_vec(), n_segments },
+            Op::SegmentSum {
+                input: a,
+                segment_of_row: segment_of_row.to_vec(),
+                n_segments,
+            },
             rg,
         )
     }
@@ -279,7 +331,11 @@ impl Graph {
     /// Numerically stabilised by subtracting the per-segment maximum.
     pub fn segment_softmax(&mut self, a: Var, segment_of_row: &[usize]) -> Var {
         let (n, c) = self.shape(a);
-        assert_eq!(segment_of_row.len(), n, "segment_softmax: segment map length mismatch");
+        assert_eq!(
+            segment_of_row.len(),
+            n,
+            "segment_softmax: segment map length mismatch"
+        );
         let n_segments = segment_of_row.iter().copied().max().map_or(0, |m| m + 1);
         let input = self.value(a).clone();
         // Per-segment, per-column max for numerical stability.
@@ -292,24 +348,44 @@ impl Graph {
                 }
             }
         }
+        // The exponentiation and division passes are per-row independent and
+        // run in parallel; the two scatter reductions (max above, sum below)
+        // stay serial so segments accumulate in a fixed row order.
         let mut value = Matrix::zeros(n, c);
+        if c > 0 {
+            kernel::par_row_chunks(value.data_mut(), c, row_grain(c), |r0, chunk| {
+                for (dr, row) in chunk.chunks_mut(c).enumerate() {
+                    let r = r0 + dr;
+                    let s = segment_of_row[r];
+                    for (col, e) in row.iter_mut().enumerate() {
+                        *e = (input[(r, col)] - seg_max[(s, col)]).exp();
+                    }
+                }
+            });
+        }
         let mut seg_sum = Matrix::zeros(n_segments, c);
         for (r, &s) in segment_of_row.iter().enumerate() {
-            for col in 0..c {
-                let e = (input[(r, col)] - seg_max[(s, col)]).exp();
-                value[(r, col)] = e;
-                seg_sum[(s, col)] += e;
+            for (o, &e) in seg_sum.row_mut(s).iter_mut().zip(value.row(r).iter()) {
+                *o += e;
             }
         }
-        for (r, &s) in segment_of_row.iter().enumerate() {
-            for col in 0..c {
-                value[(r, col)] /= seg_sum[(s, col)].max(NORM_EPS);
-            }
+        if c > 0 {
+            kernel::par_row_chunks(value.data_mut(), c, row_grain(c), |r0, chunk| {
+                for (dr, row) in chunk.chunks_mut(c).enumerate() {
+                    let s = segment_of_row[r0 + dr];
+                    for (col, v) in row.iter_mut().enumerate() {
+                        *v /= seg_sum[(s, col)].max(NORM_EPS);
+                    }
+                }
+            });
         }
         let rg = self.rg(a);
         self.push(
             value,
-            Op::SegmentSoftmax { input: a, segment_of_row: segment_of_row.to_vec() },
+            Op::SegmentSoftmax {
+                input: a,
+                segment_of_row: segment_of_row.to_vec(),
+            },
             rg,
         )
     }
@@ -321,9 +397,11 @@ impl Graph {
         let mut value = Matrix::zeros(n, 1);
         {
             let (ma, mb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-            for r in 0..n {
-                value[(r, 0)] = ma.row_dot(r, mb, r);
-            }
+            kernel::par_row_chunks(value.data_mut(), 1, row_grain(c), |r0, chunk| {
+                for (dr, out) in chunk.iter_mut().enumerate() {
+                    *out = ma.row_dot(r0 + dr, mb, r0 + dr);
+                }
+            });
         }
         let rg = self.rg(a) || self.rg(b);
         self.push(value, Op::RowsDot(a, b), rg)
@@ -336,19 +414,20 @@ impl Graph {
         let (n, d) = self.shape(a);
         assert_eq!(self.shape(b), (n, d), "rows_circ_corr shape mismatch");
         let mut value = Matrix::zeros(n, d);
-        {
+        if d > 0 {
             let (ma, mb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
-            for r in 0..n {
-                let (ra, rb) = (ma.row(r), mb.row(r));
-                let out = value.row_mut(r);
-                for k in 0..d {
-                    let mut acc = 0.0f32;
-                    for i in 0..d {
-                        acc += ra[i] * rb[(k + i) % d];
+            kernel::par_row_chunks(value.data_mut(), d, row_grain(d * d), |r0, chunk| {
+                for (dr, out) in chunk.chunks_mut(d).enumerate() {
+                    let (ra, rb) = (ma.row(r0 + dr), mb.row(r0 + dr));
+                    for (k, o) in out.iter_mut().enumerate() {
+                        let mut acc = 0.0f32;
+                        for i in 0..d {
+                            acc += ra[i] * rb[(k + i) % d];
+                        }
+                        *o = acc;
                     }
-                    out[k] = acc;
                 }
-            }
+            });
         }
         let rg = self.rg(a) || self.rg(b);
         self.push(value, Op::RowsCircCorr(a, b), rg)
@@ -359,26 +438,34 @@ impl Graph {
         let (n, c) = self.shape(a);
         assert_eq!(self.shape(s), (n, 1), "scale_rows: scale must be {n}x1");
         let mut value = self.value(a).clone();
-        for r in 0..n {
-            let k = self.nodes[s.0].value[(r, 0)];
-            for x in value.row_mut(r).iter_mut() {
-                *x *= k;
-            }
+        if c > 0 {
+            let sv = &self.nodes[s.0].value;
+            kernel::par_row_chunks(value.data_mut(), c, row_grain(c), |r0, chunk| {
+                for (dr, row) in chunk.chunks_mut(c).enumerate() {
+                    let k = sv[(r0 + dr, 0)];
+                    for x in row.iter_mut() {
+                        *x *= k;
+                    }
+                }
+            });
         }
-        let _ = c;
         let rg = self.rg(a) || self.rg(s);
         self.push(value, Op::ScaleRows(a, s), rg)
     }
 
     /// L2-normalises each row (rows of zeros stay zero thanks to an epsilon).
     pub fn normalize_rows(&mut self, a: Var) -> Var {
-        let (n, _) = self.shape(a);
+        let (_, c) = self.shape(a);
         let mut value = self.value(a).clone();
-        for r in 0..n {
-            let norm = value.row_norm(r).max(NORM_EPS);
-            for x in value.row_mut(r).iter_mut() {
-                *x /= norm;
-            }
+        if c > 0 {
+            kernel::par_row_chunks(value.data_mut(), c, row_grain(2 * c), |_, chunk| {
+                for row in chunk.chunks_mut(c) {
+                    let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(NORM_EPS);
+                    for x in row.iter_mut() {
+                        *x /= norm;
+                    }
+                }
+            });
         }
         let rg = self.rg(a);
         self.push(value, Op::NormalizeRows(a), rg)
@@ -400,7 +487,9 @@ impl Graph {
 
     /// Exponential linear unit (α = 1).
     pub fn elu(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|v| if v >= 0.0 { v } else { v.exp() - 1.0 });
+        let value = self
+            .value(a)
+            .map(|v| if v >= 0.0 { v } else { v.exp() - 1.0 });
         let rg = self.rg(a);
         self.push(value, Op::Elu(a), rg)
     }
@@ -448,13 +537,24 @@ impl Graph {
         }
         let value = Matrix::from_vec(1, 1, vec![(total / n.max(1) as f64) as f32]);
         let rg = self.rg(logits);
-        self.push(value, Op::BceWithLogits { logits, targets: targets.to_vec() }, rg)
+        self.push(
+            value,
+            Op::BceWithLogits {
+                logits,
+                targets: targets.to_vec(),
+            },
+            rg,
+        )
     }
 
     /// Runs the reverse pass from `loss` (which must be `1×1`) and returns
     /// gradients for every participating node.
     pub fn backward(&self, loss: Var) -> Gradients {
-        assert_eq!(self.shape(loss), (1, 1), "backward: loss must be a 1×1 scalar");
+        assert_eq!(
+            self.shape(loss),
+            (1, 1),
+            "backward: loss must be a 1×1 scalar"
+        );
         let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Matrix::ones(1, 1));
 
@@ -569,6 +669,17 @@ impl Graph {
                     offset += cols;
                 }
             }
+            Op::SliceCols(a, start) => {
+                if self.rg(*a) {
+                    let (rows, cols) = self.shape(*a);
+                    let width = node.value.cols();
+                    let mut da = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        da.row_mut(r)[*start..*start + width].copy_from_slice(g.row(r));
+                    }
+                    Self::accumulate(grads, *a, da);
+                }
+            }
             Op::VStack(parts) => {
                 let mut offset = 0;
                 for &p in parts {
@@ -595,7 +706,11 @@ impl Graph {
                     Self::accumulate(grads, *a, da);
                 }
             }
-            Op::SegmentSum { input, segment_of_row, .. } => {
+            Op::SegmentSum {
+                input,
+                segment_of_row,
+                ..
+            } => {
                 if self.rg(*input) {
                     let (rows, cols) = self.shape(*input);
                     let mut da = Matrix::zeros(rows, cols);
@@ -605,13 +720,15 @@ impl Graph {
                     Self::accumulate(grads, *input, da);
                 }
             }
-            Op::SegmentSoftmax { input, segment_of_row } => {
+            Op::SegmentSoftmax {
+                input,
+                segment_of_row,
+            } => {
                 if self.rg(*input) {
                     // dx = y ⊙ (g - Σ_seg g ⊙ y)
                     let y = &node.value;
                     let (n, c) = y.shape();
-                    let n_segments =
-                        segment_of_row.iter().copied().max().map_or(0, |m| m + 1);
+                    let n_segments = segment_of_row.iter().copied().max().map_or(0, |m| m + 1);
                     let mut seg_dot = Matrix::zeros(n_segments, c);
                     for (r, &s) in segment_of_row.iter().enumerate() {
                         for col in 0..c {
@@ -619,96 +736,109 @@ impl Graph {
                         }
                     }
                     let mut da = Matrix::zeros(n, c);
-                    for (r, &s) in segment_of_row.iter().enumerate() {
-                        for col in 0..c {
-                            da[(r, col)] = y[(r, col)] * (g[(r, col)] - seg_dot[(s, col)]);
-                        }
+                    if c > 0 {
+                        kernel::par_row_chunks(da.data_mut(), c, row_grain(c), |r0, chunk| {
+                            for (dr, row) in chunk.chunks_mut(c).enumerate() {
+                                let r = r0 + dr;
+                                let s = segment_of_row[r];
+                                for (col, o) in row.iter_mut().enumerate() {
+                                    *o = y[(r, col)] * (g[(r, col)] - seg_dot[(s, col)]);
+                                }
+                            }
+                        });
                     }
                     Self::accumulate(grads, *input, da);
                 }
             }
             Op::RowsDot(a, b) => {
-                let (n, _) = self.shape(*a);
-                if self.rg(*a) {
-                    let mut da = self.value(*b).clone();
-                    for r in 0..n {
-                        let k = g[(r, 0)];
-                        for x in da.row_mut(r).iter_mut() {
-                            *x *= k;
-                        }
+                let (_, c) = self.shape(*a);
+                let scale_rows_by_g = |src: &Matrix| {
+                    let mut d = src.clone();
+                    if c > 0 {
+                        kernel::par_row_chunks(d.data_mut(), c, row_grain(c), |r0, chunk| {
+                            for (dr, row) in chunk.chunks_mut(c).enumerate() {
+                                let k = g[(r0 + dr, 0)];
+                                for x in row.iter_mut() {
+                                    *x *= k;
+                                }
+                            }
+                        });
                     }
-                    Self::accumulate(grads, *a, da);
+                    d
+                };
+                if self.rg(*a) {
+                    Self::accumulate(grads, *a, scale_rows_by_g(self.value(*b)));
                 }
                 if self.rg(*b) {
-                    let mut db = self.value(*a).clone();
-                    for r in 0..n {
-                        let k = g[(r, 0)];
-                        for x in db.row_mut(r).iter_mut() {
-                            *x *= k;
-                        }
-                    }
-                    Self::accumulate(grads, *b, db);
+                    Self::accumulate(grads, *b, scale_rows_by_g(self.value(*a)));
                 }
             }
             Op::RowsCircCorr(a, b) => {
                 let (n, d) = self.shape(*a);
                 let (ma, mb) = (self.value(*a), self.value(*b));
-                if self.rg(*a) {
+                if self.rg(*a) && d > 0 {
                     // dL/da_i = Σ_k g_k b_{(k+i) mod d} = (g ⋆ b)_i.
                     let mut da = Matrix::zeros(n, d);
-                    for r in 0..n {
-                        let (gr, rb) = (g.row(r), mb.row(r));
-                        let out = da.row_mut(r);
-                        for i in 0..d {
-                            let mut acc = 0.0f32;
-                            for k in 0..d {
-                                acc += gr[k] * rb[(k + i) % d];
+                    kernel::par_row_chunks(da.data_mut(), d, row_grain(d * d), |r0, chunk| {
+                        for (dr, out) in chunk.chunks_mut(d).enumerate() {
+                            let (gr, rb) = (g.row(r0 + dr), mb.row(r0 + dr));
+                            for (i, o) in out.iter_mut().enumerate() {
+                                let mut acc = 0.0f32;
+                                for k in 0..d {
+                                    acc += gr[k] * rb[(k + i) % d];
+                                }
+                                *o = acc;
                             }
-                            out[i] = acc;
                         }
-                    }
+                    });
                     Self::accumulate(grads, *a, da);
                 }
-                if self.rg(*b) {
+                if self.rg(*b) && d > 0 {
                     // dL/db_j = Σ_k g_k a_{(j-k) mod d} (circular convolution).
                     let mut db = Matrix::zeros(n, d);
-                    for r in 0..n {
-                        let (gr, ra) = (g.row(r), ma.row(r));
-                        let out = db.row_mut(r);
-                        for j in 0..d {
-                            let mut acc = 0.0f32;
-                            for k in 0..d {
-                                acc += gr[k] * ra[(j + d - k % d) % d];
+                    kernel::par_row_chunks(db.data_mut(), d, row_grain(d * d), |r0, chunk| {
+                        for (dr, out) in chunk.chunks_mut(d).enumerate() {
+                            let (gr, ra) = (g.row(r0 + dr), ma.row(r0 + dr));
+                            for (j, o) in out.iter_mut().enumerate() {
+                                let mut acc = 0.0f32;
+                                for k in 0..d {
+                                    acc += gr[k] * ra[(j + d - k % d) % d];
+                                }
+                                *o = acc;
                             }
-                            out[j] = acc;
                         }
-                    }
+                    });
                     Self::accumulate(grads, *b, db);
                 }
             }
             Op::ScaleRows(a, s) => {
-                let (n, _) = self.shape(*a);
-                if self.rg(*a) {
+                let (n, c) = self.shape(*a);
+                if self.rg(*a) && c > 0 {
+                    let sv = self.value(*s);
                     let mut da = g.clone();
-                    for r in 0..n {
-                        let k = self.value(*s)[(r, 0)];
-                        for x in da.row_mut(r).iter_mut() {
-                            *x *= k;
+                    kernel::par_row_chunks(da.data_mut(), c, row_grain(c), |r0, chunk| {
+                        for (dr, row) in chunk.chunks_mut(c).enumerate() {
+                            let k = sv[(r0 + dr, 0)];
+                            for x in row.iter_mut() {
+                                *x *= k;
+                            }
                         }
-                    }
+                    });
                     Self::accumulate(grads, *a, da);
                 }
                 if self.rg(*s) {
                     let mut ds = Matrix::zeros(n, 1);
                     let ma = self.value(*a);
-                    for r in 0..n {
-                        ds[(r, 0)] = ma
-                            .row(r)
-                            .iter()
-                            .zip(g.row(r).iter())
-                            .map(|(&x, &gy)| x * gy)
-                            .sum();
-                    }
+                    kernel::par_row_chunks(ds.data_mut(), 1, row_grain(c), |r0, chunk| {
+                        for (dr, out) in chunk.iter_mut().enumerate() {
+                            *out = ma
+                                .row(r0 + dr)
+                                .iter()
+                                .zip(g.row(r0 + dr).iter())
+                                .map(|(&x, &gy)| x * gy)
+                                .sum();
+                        }
+                    });
                     Self::accumulate(grads, *s, ds);
                 }
             }
@@ -719,17 +849,22 @@ impl Graph {
                     let y = &node.value;
                     let (n, c) = x.shape();
                     let mut da = Matrix::zeros(n, c);
-                    for r in 0..n {
-                        let norm = x.row_norm(r).max(NORM_EPS);
-                        let ydotg: f32 = y
-                            .row(r)
-                            .iter()
-                            .zip(g.row(r).iter())
-                            .map(|(&yy, &gg)| yy * gg)
-                            .sum();
-                        for col in 0..c {
-                            da[(r, col)] = (g[(r, col)] - y[(r, col)] * ydotg) / norm;
-                        }
+                    if c > 0 {
+                        kernel::par_row_chunks(da.data_mut(), c, row_grain(3 * c), |r0, chunk| {
+                            for (dr, row) in chunk.chunks_mut(c).enumerate() {
+                                let r = r0 + dr;
+                                let norm = x.row_norm(r).max(NORM_EPS);
+                                let ydotg: f32 = y
+                                    .row(r)
+                                    .iter()
+                                    .zip(g.row(r).iter())
+                                    .map(|(&yy, &gg)| yy * gg)
+                                    .sum();
+                                for (col, o) in row.iter_mut().enumerate() {
+                                    *o = (g[(r, col)] - y[(r, col)] * ydotg) / norm;
+                                }
+                            }
+                        });
                     }
                     Self::accumulate(grads, *a, da);
                 }
@@ -738,23 +873,24 @@ impl Graph {
                 if self.rg(*a) {
                     let x = self.value(*a);
                     let mut da = g.clone();
-                    for (d, &v) in da.data_mut().iter_mut().zip(x.data().iter()) {
+                    kernel::par_zip_apply(da.data_mut(), x.data(), |d, v| {
                         if v <= 0.0 {
                             *d = 0.0;
                         }
-                    }
+                    });
                     Self::accumulate(grads, *a, da);
                 }
             }
             Op::LeakyRelu(a, slope) => {
                 if self.rg(*a) {
+                    let slope = *slope;
                     let x = self.value(*a);
                     let mut da = g.clone();
-                    for (d, &v) in da.data_mut().iter_mut().zip(x.data().iter()) {
+                    kernel::par_zip_apply(da.data_mut(), x.data(), |d, v| {
                         if v < 0.0 {
                             *d *= slope;
                         }
-                    }
+                    });
                     Self::accumulate(grads, *a, da);
                 }
             }
@@ -764,13 +900,11 @@ impl Graph {
                     let y = &node.value;
                     let x = self.value(*a);
                     let mut da = g.clone();
-                    for ((d, &v), &yy) in
-                        da.data_mut().iter_mut().zip(x.data().iter()).zip(y.data().iter())
-                    {
+                    kernel::par_zip2_apply(da.data_mut(), x.data(), y.data(), |d, v, yy| {
                         if v < 0.0 {
                             *d *= yy + 1.0;
                         }
-                    }
+                    });
                     Self::accumulate(grads, *a, da);
                 }
             }
@@ -778,9 +912,9 @@ impl Graph {
                 if self.rg(*a) {
                     let y = &node.value;
                     let mut da = g.clone();
-                    for (d, &yy) in da.data_mut().iter_mut().zip(y.data().iter()) {
+                    kernel::par_zip_apply(da.data_mut(), y.data(), |d, yy| {
                         *d *= yy * (1.0 - yy);
-                    }
+                    });
                     Self::accumulate(grads, *a, da);
                 }
             }
@@ -788,9 +922,9 @@ impl Graph {
                 if self.rg(*a) {
                     let y = &node.value;
                     let mut da = g.clone();
-                    for (d, &yy) in da.data_mut().iter_mut().zip(y.data().iter()) {
+                    kernel::par_zip_apply(da.data_mut(), y.data(), |d, yy| {
                         *d *= 1.0 - yy * yy;
-                    }
+                    });
                     Self::accumulate(grads, *a, da);
                 }
             }
@@ -895,7 +1029,11 @@ mod tests {
     #[test]
     fn segment_sum_forward() {
         let mut g = Graph::new();
-        let x = g.leaf(Matrix::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]));
+        let x = g.leaf(Matrix::from_vec(
+            4,
+            2,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        ));
         let y = g.segment_sum(x, &[0, 1, 0, 1], 2);
         assert_eq!(g.value(y).row(0), &[6.0, 8.0]);
         assert_eq!(g.value(y).row(1), &[10.0, 12.0]);
@@ -966,6 +1104,39 @@ mod tests {
         let grads2 = g2.backward(loss2);
         assert_eq!(grads2.get(a2).unwrap().data(), &[1.0, 4.0]);
         assert_eq!(grads2.get(b2).unwrap().data(), &[2.0, 3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_cols_forward_and_gradient() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::from_vec(
+            2,
+            4,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        ));
+        let s = g.slice_cols(a, 1, 2);
+        assert_eq!(g.shape(s), (2, 2));
+        assert_eq!(g.value(s).data(), &[2.0, 3.0, 6.0, 7.0]);
+        let w = g.constant(Matrix::from_vec(2, 2, vec![10.0, 20.0, 30.0, 40.0]));
+        let prod = g.mul(s, w);
+        let loss = g.sum_all(prod);
+        let grads = g.backward(loss);
+        assert_eq!(
+            grads.get(a).unwrap().data(),
+            &[0.0, 10.0, 20.0, 0.0, 0.0, 30.0, 40.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn slice_cols_inverts_concat_cols() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::from_vec(2, 1, vec![1.0, 2.0]));
+        let b = g.leaf(Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]));
+        let cc = g.concat_cols(&[a, b]);
+        let sa = g.slice_cols(cc, 0, 1);
+        let sb = g.slice_cols(cc, 1, 2);
+        assert_eq!(g.value(sa).data(), g.value(a).data());
+        assert_eq!(g.value(sb).data(), g.value(b).data());
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! Execution policy for the compute kernels in this crate.
+//!
+//! Every hot loop in `prim-tensor` (and, through it, the model layer) funnels
+//! through the helpers here, which decide *how* a kernel runs — on how many
+//! threads, over which contiguous chunks — without ever changing *what* it
+//! computes. The contract that makes that safe:
+//!
+//! **Work is only ever partitioned along axes that are mathematically
+//! independent** (output rows, disjoint element ranges, independent items).
+//! Reduction axes — the `k` dimension of a matmul, a segment sum — are never
+//! split across threads, so every output element is produced by exactly one
+//! thread accumulating in exactly the same order as the serial kernel. Results
+//! are therefore **bitwise identical** for any thread count, which the
+//! property and determinism tests assert.
+//!
+//! Thread count resolution, in priority order:
+//!
+//! 1. the `serial` cargo feature pins everything to one thread at compile
+//!    time (zero threading overhead, easiest debugging);
+//! 2. [`set_threads`] — a process-wide runtime override, used by the
+//!    determinism tests to compare pool sizes in-process;
+//! 3. `PRIM_NUM_THREADS`, then `RAYON_NUM_THREADS` (honoured for
+//!    familiarity), from the environment;
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! Parallelism is plain `std::thread::scope` over `split_at_mut` partitions —
+//! no dependency, no persistent pool. Spawning is only worth it for large
+//! inputs, so every helper takes (or hard-codes) a grain size below which it
+//! stays on the calling thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Elementwise ops on fewer elements than this run serially: below ~64 KiB of
+/// data the memory traffic is cheaper than a thread spawn.
+pub const PAR_ELEM_CUTOFF: usize = 1 << 16;
+
+/// Runtime thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Environment/hardware default, resolved once per process.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Overrides the kernel thread count for the whole process (`0` clears the
+/// override). Takes effect on the next kernel call; used by tests to prove
+/// results are identical across pool sizes without re-execing.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// True when this build uses hardware fused multiply-add in the matmul
+/// kernels (compiled with a `target-cpu`/`target-feature` including `fma`;
+/// the workspace's `.cargo/config.toml` sets `target-cpu=native`). The
+/// microbenchmarks gate their speedup assertions on this: without fma the
+/// naive axpy loops already sit at the same ALU ceiling as the register-tiled
+/// kernels, so blocking buys parity-preserving structure but little speed.
+pub fn fused_multiply_add() -> bool {
+    cfg!(target_feature = "fma")
+}
+
+/// The number of threads kernels may fan out to, resolved per the
+/// module-level priority order. Always ≥ 1.
+pub fn configured_threads() -> usize {
+    if cfg!(feature = "serial") {
+        return 1;
+    }
+    let o = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if o != 0 {
+        return o;
+    }
+    *DEFAULT_THREADS.get_or_init(|| {
+        for var in ["PRIM_NUM_THREADS", "RAYON_NUM_THREADS"] {
+            if let Some(n) = std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `f(first_row, rows_chunk)` over contiguous row-chunks of `out`
+/// (row-major, `cols` wide), in parallel when there are at least
+/// `grain_rows` rows per thread. Chunks partition the rows exactly, so each
+/// output row is written by one invocation; `f` must not depend on the chunk
+/// boundaries for this to stay deterministic (and none of our kernels do —
+/// they treat each row independently).
+pub fn par_row_chunks<F>(out: &mut [f32], cols: usize, grain_rows: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let rows = out.len().checked_div(cols).unwrap_or(0);
+    let chunks = configured_threads().min((rows / grain_rows.max(1)).max(1));
+    if chunks <= 1 {
+        f(0, out);
+        return;
+    }
+    let base = rows / chunks;
+    let rem = rows % chunks;
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut rest = out;
+        let mut row0 = 0usize;
+        for c in 0..chunks {
+            let take_rows = base + usize::from(c < rem);
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(take_rows * cols);
+            rest = tail;
+            let r0 = row0;
+            row0 += take_rows;
+            s.spawn(move || f(r0, head));
+        }
+    });
+}
+
+/// Applies `f` to every element of `data`, fanning out over contiguous
+/// ranges when the slice is at least [`PAR_ELEM_CUTOFF`] long.
+pub fn par_apply<F>(data: &mut [f32], f: F)
+where
+    F: Fn(&mut f32) + Sync,
+{
+    let threads = configured_threads();
+    if threads <= 1 || data.len() < PAR_ELEM_CUTOFF {
+        data.iter_mut().for_each(f);
+        return;
+    }
+    let chunk = data.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        for piece in data.chunks_mut(chunk) {
+            s.spawn(move || piece.iter_mut().for_each(f));
+        }
+    });
+}
+
+/// Applies `f(dst_elem, src_elem)` pairwise, fanning out over aligned
+/// contiguous ranges when the slices are at least [`PAR_ELEM_CUTOFF`] long.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn par_zip_apply<F>(dst: &mut [f32], src: &[f32], f: F)
+where
+    F: Fn(&mut f32, f32) + Sync,
+{
+    assert_eq!(dst.len(), src.len(), "par_zip_apply length mismatch");
+    let threads = configured_threads();
+    if threads <= 1 || dst.len() < PAR_ELEM_CUTOFF {
+        dst.iter_mut().zip(src).for_each(|(a, &b)| f(a, b));
+        return;
+    }
+    let chunk = dst.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        for (d, sc) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
+            s.spawn(move || d.iter_mut().zip(sc).for_each(|(a, &b)| f(a, b)));
+        }
+    });
+}
+
+/// Three-slice variant of [`par_zip_apply`]: `f(dst_elem, a_elem, b_elem)`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn par_zip2_apply<F>(dst: &mut [f32], a: &[f32], b: &[f32], f: F)
+where
+    F: Fn(&mut f32, f32, f32) + Sync,
+{
+    assert_eq!(dst.len(), a.len(), "par_zip2_apply length mismatch");
+    assert_eq!(dst.len(), b.len(), "par_zip2_apply length mismatch");
+    let threads = configured_threads();
+    if threads <= 1 || dst.len() < PAR_ELEM_CUTOFF {
+        for (d, (&x, &y)) in dst.iter_mut().zip(a.iter().zip(b)) {
+            f(d, x, y);
+        }
+        return;
+    }
+    let chunk = dst.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        for ((d, ac), bc) in dst
+            .chunks_mut(chunk)
+            .zip(a.chunks(chunk))
+            .zip(b.chunks(chunk))
+        {
+            s.spawn(move || {
+                for (dv, (&x, &y)) in d.iter_mut().zip(ac.iter().zip(bc)) {
+                    f(dv, x, y);
+                }
+            });
+        }
+    });
+}
+
+/// Maps `f(index, item)` over `items`, splitting into per-thread chunks of at
+/// least `grain` items and concatenating the per-chunk results in order —
+/// the output is identical to a serial `items.iter().enumerate().map(..)`.
+pub fn par_map_chunks<T, U, F>(items: &[T], grain: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let chunks = configured_threads().min((n / grain.max(1)).max(1));
+    if chunks <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let base = n / chunks;
+    let rem = n % chunks;
+    let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks);
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut handles = Vec::with_capacity(chunks);
+        let mut start = 0usize;
+        for c in 0..chunks {
+            let len = base + usize::from(c < rem);
+            let slice = &items[start..start + len];
+            let s0 = start;
+            start += len;
+            handles.push(s.spawn(move || {
+                slice
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| f(s0 + i, t))
+                    .collect::<Vec<U>>()
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("kernel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn row_chunks_cover_all_rows_exactly_once() {
+        // 37 rows x 5 cols with a tiny grain: every row must be visited once,
+        // with the correct global row offset, regardless of chunking.
+        let rows = 37;
+        let cols = 5;
+        let mut out = vec![0.0f32; rows * cols];
+        par_row_chunks(&mut out, cols, 1, |r0, chunk| {
+            for (local, row) in chunk.chunks_mut(cols).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (r0 + local) as f32 + 1.0;
+                }
+            }
+        });
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(out[r * cols + c], r as f32 + 1.0, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_chunks_handle_empty_and_zero_cols() {
+        let mut empty: Vec<f32> = vec![];
+        par_row_chunks(&mut empty, 4, 1, |_, chunk| assert!(chunk.is_empty()));
+        par_row_chunks(&mut empty, 0, 1, |_, chunk| assert!(chunk.is_empty()));
+    }
+
+    #[test]
+    fn apply_matches_serial_above_cutoff() {
+        let n = PAR_ELEM_CUTOFF + 123;
+        let mut a: Vec<f32> = (0..n).map(|i| i as f32 * 0.25).collect();
+        let mut b = a.clone();
+        a.iter_mut().for_each(|v| *v = *v * 2.0 + 1.0);
+        par_apply(&mut b, |v| *v = *v * 2.0 + 1.0);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn zip_apply_matches_serial_above_cutoff() {
+        let n = PAR_ELEM_CUTOFF + 7;
+        let src: Vec<f32> = (0..n).map(|i| (i % 97) as f32).collect();
+        let mut a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let mut b = a.clone();
+        a.iter_mut().zip(&src).for_each(|(x, &s)| *x += 3.0 * s);
+        par_zip_apply(&mut b, &src, |x, s| *x += 3.0 * s);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let got = par_map_chunks(&items, 1, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(got, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_override_round_trips() {
+        // Not asserting on configured_threads() here: other tests in this
+        // binary run concurrently and the override is process-wide.
+        set_threads(3);
+        set_threads(0);
+    }
+}

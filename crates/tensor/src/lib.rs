@@ -10,7 +10,12 @@
 //!   (`gather_rows`, `segment_sum`, `segment_softmax`, `rows_dot`,
 //!   `scale_rows`, `normalize_rows`);
 //! * [`check`] — finite-difference gradient checking used by every model's
-//!   test suite.
+//!   test suite;
+//! * [`kernel`] — the execution-policy layer: cache-blocked, row-parallel
+//!   kernels whose results are bitwise identical for any thread count
+//!   (see that module's docs for the determinism contract). Thread count
+//!   comes from `PRIM_NUM_THREADS` / `RAYON_NUM_THREADS` / the machine;
+//!   the `serial` cargo feature pins it to one thread at compile time.
 //!
 //! ## Example
 //!
@@ -28,6 +33,7 @@
 
 pub mod check;
 pub mod graph;
+pub mod kernel;
 pub mod matrix;
 
 pub use graph::{stable_sigmoid, Gradients, Graph, Var};

@@ -6,7 +6,55 @@
 //! are plain eager helpers used both by the autograd engine internally and by
 //! non-differentiable code (data generation, metrics, classical baselines).
 
+use crate::kernel;
 use std::fmt;
+
+/// Column-block width shared by the blocked matmul kernels: a `KB × NB` panel
+/// of the right-hand matrix is 32 KiB of `f32`, sized to stay L1-resident
+/// while it is streamed against many output rows.
+const NB: usize = 128;
+
+/// Reduction-depth of each cache block. Blocking `k` only changes *when* each
+/// product is added, never the per-element order (blocks are visited in
+/// ascending `k`), so blocked results are bitwise equal to the naive kernels.
+const KB: usize = 64;
+
+/// Register-tile height: output rows computed simultaneously by the
+/// microkernels, each row a set of accumulators held in vector registers.
+const MR: usize = 4;
+
+/// Register-tile width for the row-major microkernels (`matmul`,
+/// `matmul_tn`): `MR × NR` accumulators live in registers across a whole
+/// `KB` reduction block, eliminating the per-`k` load/store of the output
+/// that bounds the naive axpy loops.
+const NR: usize = 32;
+
+/// Register-tile width for `matmul_nt`: `MR × NTR` *independent* scalar
+/// dot-product chains run in flight at once, hiding fma latency that a
+/// single sequential chain cannot.
+const NTR: usize = 4;
+
+/// Minimum multiply-adds per row chunk before a matmul fans out to another
+/// thread; below this the spawn costs more than the arithmetic.
+const PAR_GRAIN_FLOPS: usize = 1 << 16;
+
+/// The single multiply-accumulate step shared by every matmul kernel in this
+/// module, naive references included: `a * b + acc`.
+///
+/// When the build target has hardware fused multiply-add (`target-cpu`
+/// including `fma`, see `.cargo/config.toml`), this compiles to one fused
+/// instruction; otherwise to a separate multiply and add. The branch is
+/// resolved at compile time, so within any one build every kernel performs
+/// the identical rounding sequence per output element — which is what makes
+/// the blocked/parallel kernels bitwise comparable to the references.
+#[inline(always)]
+fn fmadd(a: f32, b: f32, acc: f32) -> f32 {
+    if cfg!(target_feature = "fma") {
+        a.mul_add(b, acc)
+    } else {
+        acc + a * b
+    }
+}
 
 /// A dense, row-major matrix of `f32` values.
 ///
@@ -41,12 +89,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a matrix of the given shape filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix of the given shape filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix of the given shape filled with ones.
@@ -55,11 +111,17 @@ impl Matrix {
     }
 
     /// Builds a matrix from a closure over `(row, col)` indices.
+    ///
+    /// The buffer is allocated at its final size up front and filled by
+    /// index; `f` is still called in row-major order, so closures that
+    /// advance an RNG observe the same call sequence as a push-based build.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = vec![0.0f32; rows * cols];
+        let mut idx = 0;
         for r in 0..rows {
             for c in 0..cols {
-                data.push(f(r, c));
+                data[idx] = f(r, c);
+                idx += 1;
             }
         }
         Matrix { rows, cols, data }
@@ -168,12 +230,160 @@ impl Matrix {
 
     /// Matrix product `self × other`.
     ///
-    /// Uses an i-k-j loop order so the inner loop streams rows of `other`,
-    /// which the compiler auto-vectorises.
+    /// Cache-blocked (`KB × NB` panels of `other` stay L1-resident across
+    /// output rows) and parallelised over output-row chunks for large
+    /// products. For every output element the `k`-reduction runs in ascending
+    /// order into a single accumulator, so the result is bitwise identical to
+    /// [`Matrix::matmul_naive`] for any block shape or thread count.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || n == 0 || k == 0 {
+            return out;
+        }
+        let grain = (PAR_GRAIN_FLOPS / (k * n)).max(1);
+        let (a, b) = (&self.data, &other.data);
+        kernel::par_row_chunks(&mut out.data, n, grain, |r0, chunk| {
+            Self::matmul_block(a, b, chunk, r0, k, n);
+        });
+        out
+    }
+
+    /// Blocked kernel for a contiguous band of `matmul` output rows starting
+    /// at global row `r0`. Loop order `jb → kb → i-tile → j-tile`: the
+    /// `KB × NB` panel of `b` loaded by the two outer blocks stays
+    /// L1-resident while every `MR × NR` register tile of the band sweeps
+    /// it. Edge rows/columns fall back to the axpy loop, which visits `k` in
+    /// the same ascending order, so tiling never changes any element's
+    /// accumulation sequence.
+    fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], r0: usize, k: usize, n: usize) {
+        let rows = out.len() / n;
+        let mut jb = 0;
+        while jb < n {
+            let jend = (jb + NB).min(n);
+            let mut kb = 0;
+            while kb < k {
+                let kend = (kb + KB).min(k);
+                let mut i = 0;
+                while i + MR <= rows {
+                    let mut j = jb;
+                    while j + NR <= jend {
+                        Self::mk_tile(out, i, j, n, kb, kend, |r, kk| a[(r0 + i + r) * k + kk], b);
+                        j += NR;
+                    }
+                    for r in 0..MR {
+                        Self::axpy_edge(
+                            out,
+                            i + r,
+                            j,
+                            jend,
+                            n,
+                            kb,
+                            kend,
+                            |kk| a[(r0 + i + r) * k + kk],
+                            b,
+                        );
+                    }
+                    i += MR;
+                }
+                for ii in i..rows {
+                    Self::axpy_edge(
+                        out,
+                        ii,
+                        jb,
+                        jend,
+                        n,
+                        kb,
+                        kend,
+                        |kk| a[(r0 + ii) * k + kk],
+                        b,
+                    );
+                }
+                kb = kend;
+            }
+            jb = jend;
+        }
+    }
+
+    /// `MR × NR` register microkernel: loads the output tile into
+    /// accumulator registers, runs the `kb..kend` slice of the reduction
+    /// (ascending `k`, one [`fmadd`] per element per step — the exact
+    /// sequence the naive loops perform through memory), and stores the tile
+    /// back once.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)] // innermost kernel: all scalars, no struct worth making
+    fn mk_tile(
+        out: &mut [f32],
+        i: usize,
+        j: usize,
+        n: usize,
+        kb: usize,
+        kend: usize,
+        av: impl Fn(usize, usize) -> f32,
+        b: &[f32],
+    ) {
+        let mut acc = [[0.0f32; NR]; MR];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            acc_row.copy_from_slice(&out[(i + r) * n + j..(i + r) * n + j + NR]);
+        }
+        for kk in kb..kend {
+            let bv: &[f32; NR] = b[kk * n + j..kk * n + j + NR].try_into().unwrap();
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let a_val = av(r, kk);
+                for (o, &b_val) in acc_row.iter_mut().zip(bv) {
+                    *o = fmadd(a_val, b_val, *o);
+                }
+            }
+        }
+        for (r, acc_row) in acc.iter().enumerate() {
+            out[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(acc_row);
+        }
+    }
+
+    /// Axpy fallback for tile-edge regions (`< NR` columns or `< MR` rows):
+    /// same ascending-`k` [`fmadd`] sequence as the microkernel, accumulated
+    /// through memory.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)] // innermost kernel: all scalars, no struct worth making
+    fn axpy_edge(
+        out: &mut [f32],
+        i: usize,
+        j0: usize,
+        j1: usize,
+        n: usize,
+        kb: usize,
+        kend: usize,
+        av: impl Fn(usize) -> f32,
+        b: &[f32],
+    ) {
+        if j0 >= j1 {
+            return;
+        }
+        let out_row = &mut out[i * n + j0..i * n + j1];
+        for kk in kb..kend {
+            let a_val = av(kk);
+            let b_row = &b[kk * n + j0..kk * n + j1];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o = fmadd(a_val, bv, *o);
+            }
+        }
+    }
+
+    /// Reference `self × other`: the straightforward i-k-j triple loop.
+    ///
+    /// Retained as the ground truth the blocked/parallel [`Matrix::matmul`]
+    /// is property-tested (bitwise) against, and as the baseline the kernel
+    /// microbenchmark measures speedups from. Uses the shared [`fmadd`]
+    /// step so reference and blocked kernels round identically per element.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} × {}x{}",
@@ -185,12 +395,9 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * n..(i + 1) * n];
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[k * n..(k + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+                    *o = fmadd(a, b, *o);
                 }
             }
         }
@@ -198,7 +405,85 @@ impl Matrix {
     }
 
     /// `selfᵀ × other` without materialising the transpose.
+    ///
+    /// Cache-blocked and parallelised over output-row chunks (columns of
+    /// `self`); bitwise identical to [`Matrix::matmul_tn_naive`] — the
+    /// `k`-reduction per element always runs ascending in one accumulator.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: {}x{} ᵀ× {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (kdim, m2, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m2, n);
+        if m2 == 0 || n == 0 || kdim == 0 {
+            return out;
+        }
+        let grain = (PAR_GRAIN_FLOPS / (kdim * n)).max(1);
+        let (a, b) = (&self.data, &other.data);
+        kernel::par_row_chunks(&mut out.data, n, grain, |r0, chunk| {
+            Self::matmul_tn_block(a, b, chunk, r0, m2, kdim, n);
+        });
+        out
+    }
+
+    /// Blocked kernel for a band of `matmul_tn` output rows (`selfᵀ` rows,
+    /// i.e. columns of `self`) starting at global row `r0`. Same
+    /// `jb → kb → i-tile → j-tile` structure as [`Matrix::matmul_block`];
+    /// only the `a` access differs — for one `kk`, the `MR` tile values
+    /// `a[kk][r0+i..r0+i+MR]` sit contiguously in the `kk`-th row of `a`.
+    fn matmul_tn_block(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        r0: usize,
+        m2: usize,
+        kdim: usize,
+        n: usize,
+    ) {
+        let rows = out.len() / n;
+        let mut jb = 0;
+        while jb < n {
+            let jend = (jb + NB).min(n);
+            let mut kb = 0;
+            while kb < kdim {
+                let kend = (kb + KB).min(kdim);
+                let mut i = 0;
+                while i + MR <= rows {
+                    let mut j = jb;
+                    while j + NR <= jend {
+                        Self::mk_tile(out, i, j, n, kb, kend, |r, kk| a[kk * m2 + r0 + i + r], b);
+                        j += NR;
+                    }
+                    for r in 0..MR {
+                        Self::axpy_edge(
+                            out,
+                            i + r,
+                            j,
+                            jend,
+                            n,
+                            kb,
+                            kend,
+                            |kk| a[kk * m2 + r0 + i + r],
+                            b,
+                        );
+                    }
+                    i += MR;
+                }
+                for ii in i..rows {
+                    Self::axpy_edge(out, ii, jb, jend, n, kb, kend, |kk| a[kk * m2 + r0 + ii], b);
+                }
+                kb = kend;
+            }
+            jb = jend;
+        }
+    }
+
+    /// Reference `selfᵀ × other`: the k-outer loop the crate started with
+    /// (inner step shared with the blocked kernel via [`fmadd`]).
+    /// Ground truth for [`Matrix::matmul_tn`] parity tests and benchmarks.
+    pub fn matmul_tn_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn shape mismatch: {}x{} ᵀ× {}x{}",
@@ -210,12 +495,9 @@ impl Matrix {
             let a_row = self.row(k);
             let b_row = other.row(k);
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let out_row = &mut out.data[i * n..(i + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+                    *o = fmadd(a, b, *o);
                 }
             }
         }
@@ -223,7 +505,101 @@ impl Matrix {
     }
 
     /// `self × otherᵀ` without materialising the transpose.
+    ///
+    /// Parallelised over output-row chunks; within a chunk, `MR × NTR`
+    /// register tiles run that many *independent* dot-product chains in
+    /// flight at once, hiding the fma latency that serialises a lone chain.
+    /// Each element is still one full-`k` dot product accumulated in
+    /// ascending order (the reduction is never split or reassociated), so
+    /// results are bitwise identical to [`Matrix::matmul_nt_naive`].
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} × {}x{} ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, p) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, p);
+        if m == 0 || p == 0 || k == 0 {
+            return out;
+        }
+        let grain = (PAR_GRAIN_FLOPS / (k * p)).max(1);
+        let (a, b) = (&self.data, &other.data);
+        kernel::par_row_chunks(&mut out.data, p, grain, |r0, chunk| {
+            Self::matmul_nt_block(a, b, chunk, r0, k, p);
+        });
+        out
+    }
+
+    /// Kernel for a band of `matmul_nt` output rows starting at global row
+    /// `r0`. Full `MR × NTR` tiles accumulate their dot products in a block
+    /// of registers (one independent ascending-`k` chain per element); edge
+    /// rows and columns fall back to the plain zip dot, which is the exact
+    /// same chain.
+    fn matmul_nt_block(a: &[f32], b: &[f32], out: &mut [f32], r0: usize, k: usize, p: usize) {
+        let rows = out.len() / p;
+        let mut i = 0;
+        while i + MR <= rows {
+            let mut j = 0;
+            while j + NTR <= p {
+                let mut acc = [[0.0f32; NTR]; MR];
+                for kk in 0..k {
+                    let mut bv = [0.0f32; NTR];
+                    for (c, b_val) in bv.iter_mut().enumerate() {
+                        *b_val = b[(j + c) * k + kk];
+                    }
+                    for (r, acc_row) in acc.iter_mut().enumerate() {
+                        let a_val = a[(r0 + i + r) * k + kk];
+                        for (o, &b_val) in acc_row.iter_mut().zip(&bv) {
+                            *o = fmadd(a_val, b_val, *o);
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate() {
+                    out[(i + r) * p + j..(i + r) * p + j + NTR].copy_from_slice(acc_row);
+                }
+                j += NTR;
+            }
+            for r in 0..MR {
+                Self::dot_edge(a, b, out, r0, i + r, j, p, k);
+            }
+            i += MR;
+        }
+        for ii in i..rows {
+            Self::dot_edge(a, b, out, r0, ii, 0, p, k);
+        }
+    }
+
+    /// Plain zip-dot fallback for `matmul_nt` edge regions: columns
+    /// `j0..p` of output row `i`.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)] // innermost kernel: all scalars, no struct worth making
+    fn dot_edge(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        r0: usize,
+        i: usize,
+        j0: usize,
+        p: usize,
+        k: usize,
+    ) {
+        let a_row = &a[(r0 + i) * k..(r0 + i + 1) * k];
+        let out_row = &mut out[i * p + j0..i * p + p];
+        for (o, j) in out_row.iter_mut().zip(j0..p) {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc = fmadd(av, bv, acc);
+            }
+            *o = acc;
+        }
+    }
+
+    /// Reference `self × otherᵀ`: row-against-row zip dot products (inner
+    /// step shared with the tiled kernel via [`fmadd`]).
+    /// Ground truth for [`Matrix::matmul_nt`] parity tests and benchmarks.
+    pub fn matmul_nt_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} × {}x{} ᵀ",
@@ -236,7 +612,7 @@ impl Matrix {
                 let b_row = other.row(j);
                 let mut acc = 0.0f32;
                 for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
+                    acc = fmadd(a, b, acc);
                 }
                 out[(i, j)] = acc;
             }
@@ -261,9 +637,7 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        kernel::par_zip_apply(&mut self.data, &other.data, |a, b| *a += b);
     }
 
     /// Element-wise `self + other`.
@@ -277,9 +651,7 @@ impl Matrix {
     pub fn sub(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
         let mut out = self.clone();
-        for (a, &b) in out.data.iter_mut().zip(other.data.iter()) {
-            *a -= b;
-        }
+        kernel::par_zip_apply(&mut out.data, &other.data, |a, b| *a -= b);
         out
     }
 
@@ -287,35 +659,29 @@ impl Matrix {
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
         let mut out = self.clone();
-        for (a, &b) in out.data.iter_mut().zip(other.data.iter()) {
-            *a *= b;
-        }
+        kernel::par_zip_apply(&mut out.data, &other.data, |a, b| *a *= b);
         out
     }
 
     /// Multiplies every element by `k`.
     pub fn scale(&self, k: f32) -> Matrix {
         let mut out = self.clone();
-        for a in out.data.iter_mut() {
-            *a *= k;
-        }
+        kernel::par_apply(&mut out.data, |a| *a *= k);
         out
     }
 
     /// In-place `self += k * other` (axpy).
     pub fn axpy(&mut self, k: f32, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += k * b;
-        }
+        kernel::par_zip_apply(&mut self.data, &other.data, |a, b| *a += k * b);
     }
 
-    /// Applies `f` element-wise, returning a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+    /// Applies `f` element-wise, returning a new matrix. `f` must be `Sync`:
+    /// large matrices are mapped on several threads (one value per element
+    /// regardless of chunking, so the result never depends on thread count).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
         let mut out = self.clone();
-        for a in out.data.iter_mut() {
-            *a = f(*a);
-        }
+        kernel::par_apply(&mut out.data, |a| *a = f(*a));
         out
     }
 
@@ -376,8 +742,7 @@ impl Matrix {
             let mut offset = 0;
             for m in mats {
                 assert_eq!(m.rows, rows, "hstack row mismatch");
-                out.data[r * cols + offset..r * cols + offset + m.cols]
-                    .copy_from_slice(m.row(r));
+                out.data[r * cols + offset..r * cols + offset + m.cols].copy_from_slice(m.row(r));
                 offset += m.cols;
             }
         }
@@ -391,10 +756,28 @@ impl Matrix {
     /// Panics if any index is out of bounds.
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (k, &i) in indices.iter().enumerate() {
-            assert!(i < self.rows, "gather_rows index {i} out of bounds ({} rows)", self.rows);
-            out.row_mut(k).copy_from_slice(self.row(i));
+        if self.cols == 0 {
+            for &i in indices {
+                assert!(
+                    i < self.rows,
+                    "gather_rows index {i} out of bounds ({} rows)",
+                    self.rows
+                );
+            }
+            return out;
         }
+        let grain = (kernel::PAR_ELEM_CUTOFF / self.cols).max(1);
+        kernel::par_row_chunks(&mut out.data, self.cols, grain, |r0, chunk| {
+            for (k, row) in chunk.chunks_mut(self.cols).enumerate() {
+                let i = indices[r0 + k];
+                assert!(
+                    i < self.rows,
+                    "gather_rows index {i} out of bounds ({} rows)",
+                    self.rows
+                );
+                row.copy_from_slice(self.row(i));
+            }
+        });
         out
     }
 

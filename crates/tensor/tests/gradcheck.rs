@@ -186,21 +186,25 @@ fn grad_activations() {
     let mut rng = TestRng::new(15);
     let x = Matrix::from_fn(3, 3, |_, _| {
         let v = rng.unit();
-        if v.abs() < 0.2 { v + 0.3 } else { v }
+        if v.abs() < 0.2 {
+            v + 0.3
+        } else {
+            v
+        }
     });
-    check(&[x.clone()], |g, v| {
+    check(std::slice::from_ref(&x), |g, v| {
         let y = g.relu(v[0]);
         g.sum_all(y)
     });
-    check(&[x.clone()], |g, v| {
+    check(std::slice::from_ref(&x), |g, v| {
         let y = g.leaky_relu(v[0], 0.2);
         g.sum_all(y)
     });
-    check(&[x.clone()], |g, v| {
+    check(std::slice::from_ref(&x), |g, v| {
         let y = g.elu(v[0]);
         g.sum_all(y)
     });
-    check(&[x.clone()], |g, v| {
+    check(std::slice::from_ref(&x), |g, v| {
         let y = g.sigmoid(v[0]);
         g.sum_all(y)
     });
@@ -213,7 +217,9 @@ fn grad_activations() {
 #[test]
 fn grad_bce_with_logits() {
     let ins = rng_mats(16, &[(5, 1)]);
-    check(&ins, |g, v| g.bce_with_logits(v[0], &[1.0, 0.0, 1.0, 0.0, 1.0]));
+    check(&ins, |g, v| {
+        g.bce_with_logits(v[0], &[1.0, 0.0, 1.0, 0.0, 1.0])
+    });
 }
 
 #[test]
@@ -242,7 +248,7 @@ fn grad_attention_composite() {
         let hs = g.gather_rows(proj, &src);
         let hd = g.gather_rows(proj, &dst);
         let feats = g.concat_cols(&[hd, hs]); // 4x4
-        // build per-edge attention vec by tiling v[2] columns
+                                              // build per-edge attention vec by tiling v[2] columns
         let a = g.concat_cols(&[v[2], v[2], v[2], v[2]]);
         let prod = g.rows_dot(feats, a);
         let scores = g.leaky_relu(prod, 0.2);

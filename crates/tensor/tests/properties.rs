@@ -1,12 +1,23 @@
 //! Property-based tests (proptest) for the autodiff engine: algebraic
 //! identities of the eager ops and invariants of the GNN primitives.
 
-use prim_tensor::{Graph, Matrix};
+use prim_tensor::check::TestRng;
+use prim_tensor::{kernel, Graph, Matrix};
 use proptest::prelude::*;
 
 fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-3.0f32..3.0, rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Bitwise (not approximate) equality — the contract between the blocked /
+/// parallel kernels and their naive reference implementations.
+fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.data()
+            .iter()
+            .zip(b.data().iter())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 fn close(a: f32, b: f32) -> bool {
@@ -15,7 +26,10 @@ fn close(a: f32, b: f32) -> bool {
 
 fn mats_close(a: &Matrix, b: &Matrix) -> bool {
     a.shape() == b.shape()
-        && a.data().iter().zip(b.data().iter()).all(|(&x, &y)| close(x, y))
+        && a.data()
+            .iter()
+            .zip(b.data().iter())
+            .all(|(&x, &y)| close(x, y))
 }
 
 proptest! {
@@ -186,4 +200,107 @@ proptest! {
         let dv = grads.get(v).unwrap();
         prop_assert!(dv.data().iter().all(|&d| close(d, 2.0)));
     }
+
+    /// The blocked `matmul` is bitwise identical to the naive reference on
+    /// random shapes (dimension 0 and 1×1 included in the ranges).
+    #[test]
+    fn matmul_blocked_matches_naive_bitwise(
+        m in 0usize..40, k in 0usize..40, n in 0usize..40,
+        data in prop::collection::vec(-3.0f32..3.0, 3200),
+    ) {
+        let a = Matrix::from_vec(m, k, data[..m * k].to_vec());
+        let b = Matrix::from_vec(k, n, data[1600..1600 + k * n].to_vec());
+        prop_assert!(bits_equal(&a.matmul(&b), &a.matmul_naive(&b)));
+    }
+
+    /// Same contract for `matmul_tn` (`AᵀB` without materialising `Aᵀ`).
+    #[test]
+    fn matmul_tn_blocked_matches_naive_bitwise(
+        kd in 0usize..40, m in 0usize..40, n in 0usize..40,
+        data in prop::collection::vec(-3.0f32..3.0, 3200),
+    ) {
+        let a = Matrix::from_vec(kd, m, data[..kd * m].to_vec());
+        let b = Matrix::from_vec(kd, n, data[1600..1600 + kd * n].to_vec());
+        prop_assert!(bits_equal(&a.matmul_tn(&b), &a.matmul_tn_naive(&b)));
+    }
+
+    /// Same contract for `matmul_nt` (`ABᵀ` without materialising `Bᵀ`).
+    #[test]
+    fn matmul_nt_blocked_matches_naive_bitwise(
+        m in 0usize..40, k in 0usize..40, p in 0usize..40,
+        data in prop::collection::vec(-3.0f32..3.0, 3200),
+    ) {
+        let a = Matrix::from_vec(m, k, data[..m * k].to_vec());
+        let b = Matrix::from_vec(p, k, data[1600..1600 + p * k].to_vec());
+        prop_assert!(bits_equal(&a.matmul_nt(&b), &a.matmul_nt_naive(&b)));
+    }
+}
+
+/// Deterministic edge cases the random shapes above may not always hit:
+/// empty dimensions, scalars, and shapes that straddle the cache-block
+/// boundaries (`NB = 128`, `KB = 64`, `IB = 32`).
+#[test]
+fn matmul_parity_edge_and_boundary_shapes() {
+    let mut rng = TestRng::new(0x5EED_B10C);
+    for &(m, k, n) in &[
+        (0, 5, 7),
+        (5, 0, 7),
+        (5, 7, 0),
+        (1, 1, 1),
+        (1, 64, 128),
+        (32, 64, 128),
+        (33, 65, 129),
+        (129, 64, 1),
+        (200, 3, 130),
+        (3, 200, 5),
+    ] {
+        let a = rng.matrix(m, k);
+        let b = rng.matrix(k, n);
+        assert!(
+            bits_equal(&a.matmul(&b), &a.matmul_naive(&b)),
+            "matmul parity failed at {m}x{k}x{n}"
+        );
+        let at = rng.matrix(k, m);
+        assert!(
+            bits_equal(&at.matmul_tn(&b), &at.matmul_tn_naive(&b)),
+            "matmul_tn parity failed at {m}x{k}x{n}"
+        );
+        let bt = rng.matrix(n, k);
+        assert!(
+            bits_equal(&a.matmul_nt(&bt), &a.matmul_nt_naive(&bt)),
+            "matmul_nt parity failed at {m}x{k}x{n}"
+        );
+    }
+}
+
+/// Kernel outputs are invariant to the thread count: the same product
+/// computed on 1, 2, 3 and 8 threads is bitwise identical. (The override is
+/// process-wide, but since *every* kernel is thread-count invariant,
+/// concurrent tests cannot disturb each other's results.)
+#[test]
+fn matmul_bitwise_identical_across_thread_counts() {
+    let mut rng = TestRng::new(0xDE7E_2817);
+    // Big enough that the parallel path actually engages (grain = 1 row).
+    let a = rng.matrix(160, 96);
+    let b = rng.matrix(96, 140);
+    kernel::set_threads(1);
+    let serial = a.matmul(&b);
+    let serial_tn = a.matmul_tn(&a);
+    let serial_nt = b.matmul_nt(&b);
+    for threads in [2, 3, 8] {
+        kernel::set_threads(threads);
+        assert!(
+            bits_equal(&a.matmul(&b), &serial),
+            "matmul drifted at {threads} threads"
+        );
+        assert!(
+            bits_equal(&a.matmul_tn(&a), &serial_tn),
+            "matmul_tn drifted at {threads} threads"
+        );
+        assert!(
+            bits_equal(&b.matmul_nt(&b), &serial_nt),
+            "matmul_nt drifted at {threads} threads"
+        );
+    }
+    kernel::set_threads(0);
 }

@@ -23,7 +23,14 @@ fn main() {
         &cfg,
     );
     let mut model = PrimModel::new(cfg, &inputs);
-    fit(&mut model, &inputs, &dataset.graph, &task.train, None, Some(&task.val));
+    fit(
+        &mut model,
+        &inputs,
+        &dataset.graph,
+        &task.train,
+        None,
+        Some(&task.val),
+    );
     let table = model.embed(&inputs);
 
     // Pick a busy target POI (one with several known relationships).
@@ -44,7 +51,9 @@ fn main() {
     println!(
         "target: POI {} — category {:?} ({} known relationships)",
         target.0,
-        dataset.taxonomy.name(dataset.taxonomy.leaf_node(t_poi.category)),
+        dataset
+            .taxonomy
+            .name(dataset.taxonomy.leaf_node(t_poi.category)),
         degree[target.0 as usize],
     );
 
@@ -80,7 +89,9 @@ fn main() {
                 poi.0,
                 score,
                 dist,
-                dataset.taxonomy.name(dataset.taxonomy.leaf_node(p.category))
+                dataset
+                    .taxonomy
+                    .name(dataset.taxonomy.leaf_node(p.category))
             );
         }
     };
@@ -94,7 +105,9 @@ fn main() {
             .iter()
             .take(20)
             .filter(|(_, p, _)| {
-                dataset.taxonomy.path_distance(dataset.graph.poi(*p).category, t_poi.category)
+                dataset
+                    .taxonomy
+                    .path_distance(dataset.graph.poi(*p).category, t_poi.category)
                     <= 2
             })
             .count();

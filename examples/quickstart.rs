@@ -42,7 +42,14 @@ fn main() {
     );
     let mut model = PrimModel::new(cfg, &inputs);
     println!("model: {} trainable parameters", model.num_parameters());
-    let report = fit(&mut model, &inputs, &dataset.graph, &task.train, None, Some(&task.val));
+    let report = fit(
+        &mut model,
+        &inputs,
+        &dataset.graph,
+        &task.train,
+        None,
+        Some(&task.val),
+    );
     println!(
         "trained {} epochs in {:.1}s (final loss {:.4}, best val acc {:.3})",
         report.losses.len(),
@@ -55,7 +62,10 @@ fn main() {
     let table = model.embed(&inputs);
     let predictions = model.predict_pairs(&table, &inputs, &task.eval_pairs);
     let f1 = task.score(&predictions);
-    println!("test Macro-F1 {:.3}, Micro-F1 {:.3}", f1.macro_f1, f1.micro_f1);
+    println!(
+        "test Macro-F1 {:.3}, Micro-F1 {:.3}",
+        f1.macro_f1, f1.micro_f1
+    );
 
     // 5. Inspect a few individual inferences.
     let names = ["competitive", "complementary", "no relation (φ)"];

@@ -17,8 +17,10 @@ use prim_data::{ContextKind, Dataset, Scale};
 use prim_eval::transductive_task;
 use prim_graph::PoiId;
 
+type PairList = Vec<(PoiId, PoiId)>;
+
 /// Collects same-subgroup, close-range pairs split by latent context.
-fn context_pairs(ds: &Dataset) -> (Vec<(PoiId, PoiId)>, Vec<(PoiId, PoiId)>) {
+fn context_pairs(ds: &Dataset) -> (PairList, PairList) {
     let mut residential = Vec::new();
     let mut commercial = Vec::new();
     let n = ds.graph.num_pois();
@@ -35,12 +37,8 @@ fn context_pairs(ds: &Dataset) -> (Vec<(PoiId, PoiId)>, Vec<(PoiId, PoiId)>) {
                 continue;
             }
             match (ds.context[a], ds.context[b]) {
-                (ContextKind::Residential, ContextKind::Residential) => {
-                    residential.push((pa, pb))
-                }
-                (ContextKind::Commercial, ContextKind::Commercial) => {
-                    commercial.push((pa, pb))
-                }
+                (ContextKind::Residential, ContextKind::Residential) => residential.push((pa, pb)),
+                (ContextKind::Commercial, ContextKind::Commercial) => commercial.push((pa, pb)),
                 _ => {}
             }
         }
@@ -74,13 +72,22 @@ fn main() {
     );
 
     let task = transductive_task(&ds, 0.6, 77);
-    for (label, variant) in [("PRIM", Variant::full()), ("-S (no spatial context)", Variant::from_name("-S"))]
-    {
+    for (label, variant) in [
+        ("PRIM", Variant::full()),
+        ("-S (no spatial context)", Variant::from_name("-S")),
+    ] {
         let cfg = PrimConfig::quick().with_variant(variant);
         let inputs =
             ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, &task.train, None, &cfg);
         let mut model = PrimModel::new(cfg, &inputs);
-        fit(&mut model, &inputs, &ds.graph, &task.train, None, Some(&task.val));
+        fit(
+            &mut model,
+            &inputs,
+            &ds.graph,
+            &task.train,
+            None,
+            Some(&task.val),
+        );
         let res = mean_competitive_score(&model, &inputs, &residential);
         let com = mean_competitive_score(&model, &inputs, &commercial);
         println!(

@@ -28,7 +28,12 @@ fn all_table2_methods_produce_valid_predictions() {
     let cfg = tiny_cfg();
     for method in Method::table2() {
         let run = run_method(method, &dataset, &task, &cfg);
-        assert_eq!(run.predictions.len(), task.eval_pairs.len(), "{}", method.name());
+        assert_eq!(
+            run.predictions.len(),
+            task.eval_pairs.len(),
+            "{}",
+            method.name()
+        );
         // Confusion matrix must be constructible (labels in range).
         let c = Confusion::from_predictions(&run.predictions, &task.expected, task.n_classes());
         assert_eq!(c.total(), task.eval_pairs.len());
@@ -43,7 +48,12 @@ fn six_relation_scenario_runs_for_gnn_methods() {
     let task = transductive_task(&dataset, 0.5, 8);
     assert_eq!(task.n_classes(), 7);
     let cfg = tiny_cfg();
-    for method in [Method::Hgt, Method::CompGcn, Method::DeepR, Method::Prim(Variant::full())] {
+    for method in [
+        Method::Hgt,
+        Method::CompGcn,
+        Method::DeepR,
+        Method::Prim(Variant::full()),
+    ] {
         let run = run_method(method, &dataset, &task, &cfg);
         assert!(
             run.predictions.iter().all(|&p| p <= 6),
@@ -84,5 +94,9 @@ fn rules_are_deterministic_and_fast() {
     let a = run_method(Method::CatD, &dataset, &task, &cfg);
     let b = run_method(Method::CatD, &dataset, &task, &cfg);
     assert_eq!(a.predictions, b.predictions);
-    assert!(a.train_seconds < 5.0, "rule fitting too slow: {}s", a.train_seconds);
+    assert!(
+        a.train_seconds < 5.0,
+        "rule fitting too slow: {}s",
+        a.train_seconds
+    );
 }

@@ -2,8 +2,8 @@
 //! taxonomy metric axioms on *generated* taxonomies, split conservation,
 //! spatial-neighbour symmetry, and distance-bin totality.
 
-use prim_data::{Dataset, Scale, TaxonomyConfig};
 use prim_data::generator::generate_taxonomy;
+use prim_data::{Dataset, Scale, TaxonomyConfig};
 use prim_eval::F1Pair;
 use prim_geo::DistanceBins;
 use prim_graph::{split_edges, CategoryId, SpatialNeighbors};
@@ -81,7 +81,10 @@ fn spatial_neighbours_symmetric_without_cap() {
         .map(|(&s, &d)| (s, d))
         .collect();
     for &(s, d) in &pairs {
-        assert!(pairs.contains(&(d, s)), "asymmetric spatial pair ({s}, {d})");
+        assert!(
+            pairs.contains(&(d, s)),
+            "asymmetric spatial pair ({s}, {d})"
+        );
     }
 }
 

@@ -11,7 +11,10 @@ fn small_dataset() -> Dataset {
 }
 
 fn quick_cfg() -> PrimConfig {
-    PrimConfig { epochs: 50, ..PrimConfig::quick() }
+    PrimConfig {
+        epochs: 50,
+        ..PrimConfig::quick()
+    }
 }
 
 #[test]
@@ -28,7 +31,14 @@ fn prim_learns_the_synthetic_city() {
         &cfg,
     );
     let mut model = PrimModel::new(cfg, &inputs);
-    let report = fit(&mut model, &inputs, &dataset.graph, &task.train, None, Some(&task.val));
+    let report = fit(
+        &mut model,
+        &inputs,
+        &dataset.graph,
+        &task.train,
+        None,
+        Some(&task.val),
+    );
     assert!(report.losses.iter().all(|l| l.is_finite()));
 
     let table = model.embed(&inputs);
@@ -48,7 +58,11 @@ fn prim_learns_the_synthetic_city() {
 fn training_is_deterministic_given_seeds() {
     let dataset = small_dataset();
     let task = transductive_task(&dataset, 0.5, 9);
-    let cfg = PrimConfig { epochs: 8, val_check_every: 0, ..PrimConfig::quick() };
+    let cfg = PrimConfig {
+        epochs: 8,
+        val_check_every: 0,
+        ..PrimConfig::quick()
+    };
     let inputs = ModelInputs::build(
         &dataset.graph,
         &dataset.taxonomy,
@@ -73,7 +87,11 @@ fn ablated_variants_run_and_stay_sane() {
     let dataset = small_dataset();
     let task = transductive_task(&dataset, 0.6, 12);
     for variant in Variant::all() {
-        let cfg = PrimConfig { epochs: 12, ..PrimConfig::quick() }.with_variant(variant);
+        let cfg = PrimConfig {
+            epochs: 12,
+            ..PrimConfig::quick()
+        }
+        .with_variant(variant);
         let inputs = ModelInputs::build(
             &dataset.graph,
             &dataset.taxonomy,
@@ -83,8 +101,7 @@ fn ablated_variants_run_and_stay_sane() {
             &cfg,
         );
         let mut model = PrimModel::new(cfg, &inputs);
-        let report =
-            fit(&mut model, &inputs, &dataset.graph, &task.train, None, None);
+        let report = fit(&mut model, &inputs, &dataset.graph, &task.train, None, None);
         assert!(
             report.final_loss().is_finite() && report.final_loss() < 0.7,
             "variant {} diverged (loss {})",
@@ -92,7 +109,11 @@ fn ablated_variants_run_and_stay_sane() {
             report.final_loss()
         );
         let table = model.embed(&inputs);
-        assert!(table.pois.all_finite(), "variant {} produced NaNs", variant.name());
+        assert!(
+            table.pois.all_finite(),
+            "variant {} produced NaNs",
+            variant.name()
+        );
     }
 }
 
@@ -102,7 +123,11 @@ fn distance_ablation_changes_predictions() {
     let dataset = small_dataset();
     let task = transductive_task(&dataset, 0.6, 31);
     let mk = |variant| {
-        let cfg = PrimConfig { epochs: 20, ..PrimConfig::quick() }.with_variant(variant);
+        let cfg = PrimConfig {
+            epochs: 20,
+            ..PrimConfig::quick()
+        }
+        .with_variant(variant);
         let inputs = ModelInputs::build(
             &dataset.graph,
             &dataset.taxonomy,

@@ -26,8 +26,8 @@ fn permute_dataset(ds: &Dataset, perm: &[u32]) -> Dataset {
     let mut attrs = Matrix::zeros(n, ds.attrs.cols());
     let mut regions = ds.regions.clone();
     let mut context = ds.context.clone();
-    for old in 0..n {
-        let new = perm[old] as usize;
+    for (old, &new) in perm.iter().enumerate() {
+        let new = new as usize;
         attrs.row_mut(new).copy_from_slice(ds.attrs.row(old));
         regions[new] = ds.regions[old];
         context[new] = ds.context[old];
@@ -53,10 +53,25 @@ fn wrgnn_outputs_are_permutation_equivariant() {
     let perm: Vec<u32> = (0..n).map(|i| ((i + shift) % n) as u32).collect();
     let permuted = permute_dataset(&ds, &perm);
 
-    let cfg = PrimConfig { dim: 12, cat_dim: 6, n_layers: 2, n_heads: 2, ..PrimConfig::quick() };
-    assert!(!cfg.use_node_embeddings, "equivariance requires feature-only inputs");
-    let inputs_a =
-        ModelInputs::build(&ds.graph, &ds.taxonomy, &ds.attrs, ds.graph.edges(), None, &cfg);
+    let cfg = PrimConfig {
+        dim: 12,
+        cat_dim: 6,
+        n_layers: 2,
+        n_heads: 2,
+        ..PrimConfig::quick()
+    };
+    assert!(
+        !cfg.use_node_embeddings,
+        "equivariance requires feature-only inputs"
+    );
+    let inputs_a = ModelInputs::build(
+        &ds.graph,
+        &ds.taxonomy,
+        &ds.attrs,
+        ds.graph.edges(),
+        None,
+        &cfg,
+    );
     let inputs_b = ModelInputs::build(
         &permuted.graph,
         &permuted.taxonomy,
@@ -71,8 +86,8 @@ fn wrgnn_outputs_are_permutation_equivariant() {
 
     let table_a = model_a.embed(&inputs_a);
     let table_b = model_b.embed(&inputs_b);
-    for old in 0..n {
-        let new = perm[old] as usize;
+    for (old, &new) in perm.iter().enumerate() {
+        let new = new as usize;
         let (ra, rb) = (table_a.pois.row(old), table_b.pois.row(new));
         for (x, y) in ra.iter().zip(rb.iter()) {
             assert!(
@@ -83,7 +98,12 @@ fn wrgnn_outputs_are_permutation_equivariant() {
     }
     // Relation embeddings are id-independent.
     for r in 0..=model_a.phi() {
-        for (x, y) in table_a.relations.row(r).iter().zip(table_b.relations.row(r)) {
+        for (x, y) in table_a
+            .relations
+            .row(r)
+            .iter()
+            .zip(table_b.relations.row(r))
+        {
             assert!((x - y).abs() < 2e-3);
         }
     }

@@ -11,7 +11,10 @@ fn inductive_training_never_touches_hidden_pois() {
     let task = inductive_task(&dataset, 0.2, 3);
     let visible = task.visible.clone().unwrap();
 
-    let cfg = PrimConfig { epochs: 10, ..PrimConfig::quick() };
+    let cfg = PrimConfig {
+        epochs: 10,
+        ..PrimConfig::quick()
+    };
     let inputs = ModelInputs::build(
         &dataset.graph,
         &dataset.taxonomy,
@@ -39,7 +42,10 @@ fn unseen_pois_get_useful_predictions() {
     let task = inductive_task(&dataset, 0.2, 4);
     let visible = task.visible.clone().unwrap();
 
-    let cfg = PrimConfig { epochs: 60, ..PrimConfig::quick() };
+    let cfg = PrimConfig {
+        epochs: 60,
+        ..PrimConfig::quick()
+    };
     let train_inputs = ModelInputs::build(
         &dataset.graph,
         &dataset.taxonomy,
@@ -49,7 +55,14 @@ fn unseen_pois_get_useful_predictions() {
         &cfg,
     );
     let mut model = PrimModel::new(cfg.clone(), &train_inputs);
-    fit(&mut model, &train_inputs, &dataset.graph, &task.train, Some(&visible), Some(&task.val));
+    fit(
+        &mut model,
+        &train_inputs,
+        &dataset.graph,
+        &task.train,
+        Some(&visible),
+        Some(&task.val),
+    );
 
     // Inference with the full spatial graph restored.
     let infer_inputs = ModelInputs::build(
@@ -76,16 +89,38 @@ fn beijing_model_transfers_to_shanghai() {
     // Same taxonomy → same attribute dimensionality → transferable weights.
     assert_eq!(bj.attr_dim(), sh.attr_dim());
 
-    let cfg = PrimConfig { epochs: 60, ..PrimConfig::quick() };
+    let cfg = PrimConfig {
+        epochs: 60,
+        ..PrimConfig::quick()
+    };
     let bj_task = transductive_task(&bj, 0.6, 21);
-    let bj_inputs =
-        ModelInputs::build(&bj.graph, &bj.taxonomy, &bj.attrs, &bj_task.train, None, &cfg);
+    let bj_inputs = ModelInputs::build(
+        &bj.graph,
+        &bj.taxonomy,
+        &bj.attrs,
+        &bj_task.train,
+        None,
+        &cfg,
+    );
     let mut model = PrimModel::new(cfg.clone(), &bj_inputs);
-    fit(&mut model, &bj_inputs, &bj.graph, &bj_task.train, None, Some(&bj_task.val));
+    fit(
+        &mut model,
+        &bj_inputs,
+        &bj.graph,
+        &bj_task.train,
+        None,
+        Some(&bj_task.val),
+    );
 
     let sh_task = transductive_task(&sh, 0.6, 22);
-    let sh_inputs =
-        ModelInputs::build(&sh.graph, &sh.taxonomy, &sh.attrs, &sh_task.train, None, &cfg);
+    let sh_inputs = ModelInputs::build(
+        &sh.graph,
+        &sh.taxonomy,
+        &sh.attrs,
+        &sh_task.train,
+        None,
+        &cfg,
+    );
     let sh_table = model.embed(&sh_inputs);
     let preds = model.predict_pairs(&sh_table, &sh_inputs, &sh_task.eval_pairs);
     let transfer = sh_task.score(&preds);

@@ -1,0 +1,87 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification: a fixed size or a half-open range of sizes.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.hi - self.size.lo;
+        let len = if span <= 1 {
+            self.size.lo
+        } else {
+            self.size.lo + rng.below(span)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `vec(strategy, len)` / `vec(strategy, lo..hi)`: a vector whose elements
+/// come from `element` and whose length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_len() {
+        let mut rng = TestRng::new(1);
+        let v = vec(0u32..5, 12).generate(&mut rng);
+        assert_eq!(v.len(), 12);
+        assert!(v.iter().all(|&x| x < 5));
+    }
+
+    #[test]
+    fn ranged_len() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let v = vec(0.0f32..1.0, 3..9).generate(&mut rng);
+            assert!((3..9).contains(&v.len()));
+        }
+    }
+}
