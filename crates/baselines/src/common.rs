@@ -154,9 +154,9 @@ impl InitialFeatures {
         inputs: &ModelInputs,
         use_node_embeddings: bool,
     ) -> Var {
-        let attrs = g.constant(inputs.attrs.clone());
+        let attrs = g.constant_ref(&inputs.attrs);
         let proj = g.matmul(attrs, bind.var(self.w_in));
-        let cat = g.gather_rows(bind.var(self.cat_table), &inputs.leaf_category);
+        let cat = g.gather_rows_planned(bind.var(self.cat_table), &inputs.plans.leaf_gather);
         let with_cat = g.add(proj, cat);
         if use_node_embeddings {
             g.add(with_cat, bind.var(self.node_emb))
@@ -306,6 +306,9 @@ pub fn train_pair_model<M: PairModel>(
 
     let mut losses = Vec::with_capacity(cfg.epochs);
     let mut epoch_seconds = Vec::with_capacity(cfg.epochs);
+    // One tape for the whole run; `reset()` keeps its buffers pooled so
+    // steady-state epochs rebuild the tape without allocating.
+    let mut g = Graph::new();
     for epoch in 0..cfg.epochs {
         let t0 = std::time::Instant::now();
         let triples = sample_epoch_triples(
@@ -321,7 +324,7 @@ pub fn train_pair_model<M: PairModel>(
         let src: Vec<usize> = triples.src.iter().map(|p| p.0 as usize).collect();
         let dst: Vec<usize> = triples.dst.iter().map(|p| p.0 as usize).collect();
 
-        let mut g = Graph::new();
+        g.reset();
         let bind = model.store().bind(&mut g);
         let fwd = model.forward(&mut g, &bind, inputs);
         let logits = model.score(&mut g, &bind, &fwd, &src, &triples.rel, &dst);
@@ -329,6 +332,7 @@ pub fn train_pair_model<M: PairModel>(
         losses.push(g.value(loss).scalar());
         let grads = g.backward(loss);
         model.store_mut().accumulate(&bind, &grads);
+        g.recycle(grads);
         model.store_mut().clip_grad_norm(cfg.grad_clip);
         adam.step(model.store_mut());
         epoch_seconds.push(t0.elapsed().as_secs_f64());

@@ -13,9 +13,10 @@ use crate::common::{
 };
 use prim_core::ModelInputs;
 use prim_nn::{init, Binding, ParamId, ParamStore};
-use prim_tensor::{Graph, Matrix, Var};
+use prim_tensor::{Graph, Matrix, SegmentPlan, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// What an encoder produces.
 pub enum EncOut {
@@ -139,29 +140,50 @@ fn gcn_coeffs(inputs: &ModelInputs) -> Matrix {
     })
 }
 
+/// Precomputed plans for one GAT-style aggregation over an edge subset.
+struct GatPlans {
+    src: Arc<SegmentPlan>,
+    dst: Arc<SegmentPlan>,
+    /// Broadcast gather repeating the single attention row per edge.
+    bcast: Arc<SegmentPlan>,
+}
+
+impl GatPlans {
+    fn new(src: Vec<usize>, dst: Vec<usize>, n_pois: usize) -> Self {
+        let n_edges = src.len();
+        GatPlans {
+            src: Arc::new(SegmentPlan::new(src, n_pois)),
+            dst: Arc::new(SegmentPlan::new(dst, n_pois)),
+            bcast: Arc::new(SegmentPlan::new(vec![0usize; n_edges], 1)),
+        }
+    }
+
+    /// Shares the whole-edge-set plans already held by `inputs`.
+    fn over_all_edges(inputs: &ModelInputs) -> Self {
+        let n_edges = inputs.adjacency.num_directed_edges();
+        GatPlans {
+            src: Arc::clone(&inputs.plans.edge_src),
+            dst: Arc::clone(&inputs.plans.edge_dst),
+            bcast: Arc::new(SegmentPlan::new(vec![0usize; n_edges], 1)),
+        }
+    }
+}
+
 /// One GAT-style attention aggregation over an edge subset.
 ///
 /// Returns the per-node aggregation `(n_pois × out_dim)` of
 /// `softmax_dst(LeakyReLU(aᵀ[Wh_dst ‖ Wh_src])) · Wh_src`.
-#[allow(clippy::too_many_arguments)]
-fn gat_aggregate(
-    g: &mut Graph,
-    h_proj: Var,
-    att_vec: Var,
-    src: &[usize],
-    dst: &[usize],
-    n_pois: usize,
-) -> Var {
-    let h_dst = g.gather_rows(h_proj, dst);
-    let h_src = g.gather_rows(h_proj, src);
+fn gat_aggregate(g: &mut Graph, h_proj: Var, att_vec: Var, plans: &GatPlans) -> Var {
+    let h_dst = g.gather_rows_planned(h_proj, &plans.dst);
+    let h_src = g.gather_rows_planned(h_proj, &plans.src);
     let feats = g.concat_cols(&[h_dst, h_src]);
-    let a_rows = g.gather_rows(att_vec, &vec![0usize; src.len()]);
+    let a_rows = g.gather_rows_planned(att_vec, &plans.bcast);
     let raw = g.rows_dot(feats, a_rows);
     let logits = g.leaky_relu(raw, 0.2);
-    let alpha = g.segment_softmax(logits, dst);
-    let weighted = g.scale_rows(h_src, alpha);
     // `dst` ids double as segment ids (arbitrary segment maps are allowed).
-    g.segment_sum(weighted, dst, n_pois)
+    let alpha = g.segment_softmax_planned(logits, &plans.dst);
+    let weighted = g.scale_rows(h_src, alpha);
+    g.segment_sum_planned(weighted, &plans.dst)
 }
 
 // ---------------------------------------------------------------------------
@@ -171,6 +193,7 @@ fn gat_aggregate(
 /// Vanilla GCN (Kipf & Welling): relation-agnostic normalised aggregation.
 pub struct GcnEncoder {
     layers: Vec<(ParamId, ParamId)>, // (W_msg, W_self)
+    coeffs: Matrix,
 }
 
 impl Encoder for GcnEncoder {
@@ -180,7 +203,7 @@ impl Encoder for GcnEncoder {
         store: &mut ParamStore,
         rng: &mut StdRng,
         cfg: &BaselineConfig,
-        _inputs: &ModelInputs,
+        inputs: &ModelInputs,
     ) -> Self {
         let layers = (0..cfg.n_layers)
             .map(|l| {
@@ -196,18 +219,20 @@ impl Encoder for GcnEncoder {
                 )
             })
             .collect();
-        GcnEncoder { layers }
+        GcnEncoder {
+            layers,
+            coeffs: gcn_coeffs(inputs),
+        }
     }
 
     fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
-        let src = inputs.adjacency.src_usize();
-        let dst = inputs.adjacency.dst_usize();
-        let coeffs = g.constant(gcn_coeffs(inputs));
+        let plans = &inputs.plans;
+        let coeffs = g.constant_ref(&self.coeffs);
         let mut h = h0;
         for &(w, w0) in &self.layers {
-            let msgs = g.gather_rows(h, &src);
+            let msgs = g.gather_rows_planned(h, &plans.edge_src);
             let scaled = g.scale_rows(msgs, coeffs);
-            let agg = g.segment_sum(scaled, &dst, inputs.n_pois);
+            let agg = g.segment_sum_planned(scaled, &plans.edge_dst);
             let agg_p = g.matmul(agg, bind.var(w));
             let self_p = g.matmul(h, bind.var(w0));
             let sum = g.add(agg_p, self_p);
@@ -225,6 +250,7 @@ impl Encoder for GcnEncoder {
 pub struct GatEncoder {
     /// Per layer: per head (W_proj, a), plus W_self.
     layers: Vec<(Vec<(ParamId, ParamId)>, ParamId)>,
+    plans: GatPlans,
 }
 
 impl Encoder for GatEncoder {
@@ -234,7 +260,7 @@ impl Encoder for GatEncoder {
         store: &mut ParamStore,
         rng: &mut StdRng,
         cfg: &BaselineConfig,
-        _inputs: &ModelInputs,
+        inputs: &ModelInputs,
     ) -> Self {
         let head_dim = cfg.dim / cfg.n_heads;
         assert!(head_dim * cfg.n_heads == cfg.dim, "dim must divide n_heads");
@@ -261,25 +287,19 @@ impl Encoder for GatEncoder {
                 (heads, w_self)
             })
             .collect();
-        GatEncoder { layers }
+        GatEncoder {
+            layers,
+            plans: GatPlans::over_all_edges(inputs),
+        }
     }
 
-    fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
-        let src = inputs.adjacency.src_usize();
-        let dst = inputs.adjacency.dst_usize();
+    fn encode(&self, g: &mut Graph, bind: &Binding, _inputs: &ModelInputs, h0: Var) -> EncOut {
         let mut h = h0;
         for (heads, w_self) in &self.layers {
             let mut outs = Vec::with_capacity(heads.len());
             for &(w, a) in heads {
                 let proj = g.matmul(h, bind.var(w));
-                outs.push(gat_aggregate(
-                    g,
-                    proj,
-                    bind.var(a),
-                    &src,
-                    &dst,
-                    inputs.n_pois,
-                ));
+                outs.push(gat_aggregate(g, proj, bind.var(a), &self.plans));
             }
             let agg = g.concat_cols(&outs);
             let self_p = g.matmul(h, bind.var(*w_self));
@@ -299,6 +319,39 @@ impl Encoder for GatEncoder {
 pub struct RgcnEncoder {
     /// Per layer: per relation W_r, plus W_self.
     layers: Vec<(Vec<ParamId>, ParamId)>,
+    /// Per relation: gather/scatter plans and mean coefficients for its edge
+    /// subset (`None` when the relation has no edges).
+    rel_plans: Vec<Option<RelSubset>>,
+}
+
+/// Structure-derived constants for one relation's edge subset.
+struct RelSubset {
+    src: Arc<SegmentPlan>,
+    dst: Arc<SegmentPlan>,
+    coeffs: Matrix,
+}
+
+/// Builds per-relation edge-subset plans (shared by R-GCN and HAN).
+fn relation_subsets(inputs: &ModelInputs) -> Vec<Option<RelSubset>> {
+    let by_rel = edges_by_relation(inputs);
+    let coeffs = segment_mean_coeffs(inputs);
+    let src = inputs.adjacency.src();
+    let dst = inputs.adjacency.dst();
+    by_rel
+        .iter()
+        .map(|edges| {
+            if edges.is_empty() {
+                return None;
+            }
+            let src_r: Vec<usize> = edges.iter().map(|&k| src[k] as usize).collect();
+            let dst_r: Vec<usize> = edges.iter().map(|&k| dst[k] as usize).collect();
+            Some(RelSubset {
+                src: Arc::new(SegmentPlan::new(src_r, inputs.n_pois)),
+                dst: Arc::new(SegmentPlan::new(dst_r, inputs.n_pois)),
+                coeffs: Matrix::from_fn(edges.len(), 1, |i, _| coeffs[edges[i]]),
+            })
+        })
+        .collect()
 }
 
 impl Encoder for RgcnEncoder {
@@ -327,29 +380,25 @@ impl Encoder for RgcnEncoder {
                 (rels, w_self)
             })
             .collect();
-        RgcnEncoder { layers }
+        RgcnEncoder {
+            layers,
+            rel_plans: relation_subsets(inputs),
+        }
     }
 
-    fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
-        let by_rel = edges_by_relation(inputs);
-        let coeffs = segment_mean_coeffs(inputs);
-        let src = inputs.adjacency.src();
-        let dst = inputs.adjacency.dst();
+    fn encode(&self, g: &mut Graph, bind: &Binding, _inputs: &ModelInputs, h0: Var) -> EncOut {
         let mut h = h0;
         for (rels, w_self) in &self.layers {
             let mut total = g.matmul(h, bind.var(*w_self));
             for (r, w_r) in rels.iter().enumerate() {
-                let edges = &by_rel[r];
-                if edges.is_empty() {
+                let Some(sub) = &self.rel_plans[r] else {
                     continue;
-                }
-                let src_r: Vec<usize> = edges.iter().map(|&k| src[k] as usize).collect();
-                let dst_r: Vec<usize> = edges.iter().map(|&k| dst[k] as usize).collect();
-                let coeff_r = g.constant(Matrix::from_fn(edges.len(), 1, |i, _| coeffs[edges[i]]));
-                let msgs = g.gather_rows(h, &src_r);
+                };
+                let coeff_r = g.constant_ref(&sub.coeffs);
+                let msgs = g.gather_rows_planned(h, &sub.src);
                 let proj = g.matmul(msgs, bind.var(*w_r));
                 let scaled = g.scale_rows(proj, coeff_r);
-                let agg = g.segment_sum(scaled, &dst_r, inputs.n_pois);
+                let agg = g.segment_sum_planned(scaled, &sub.dst);
                 total = g.add(total, agg);
             }
             h = g.elu(total);
@@ -368,6 +417,7 @@ pub struct CompGcnEncoder {
     rel_emb: ParamId,
     /// Per layer: (W_msg, W_self, W_rel).
     layers: Vec<(ParamId, ParamId, ParamId)>,
+    coeffs: Matrix,
 }
 
 impl Encoder for CompGcnEncoder {
@@ -401,28 +451,29 @@ impl Encoder for CompGcnEncoder {
                 )
             })
             .collect();
-        CompGcnEncoder { rel_emb, layers }
+        let deg = inputs.adjacency.in_degrees();
+        let coeffs = Matrix::from_fn(inputs.adjacency.num_directed_edges(), 1, |k, _| {
+            1.0 / (deg[inputs.adjacency.dst()[k] as usize].max(1)) as f32
+        });
+        CompGcnEncoder {
+            rel_emb,
+            layers,
+            coeffs,
+        }
     }
 
     fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
-        let src = inputs.adjacency.src_usize();
-        let dst = inputs.adjacency.dst_usize();
-        let rel_idx = inputs.adjacency.rel_usize();
-        let deg = inputs.adjacency.in_degrees();
-        let coeffs = g.constant(Matrix::from_fn(
-            inputs.adjacency.num_directed_edges(),
-            1,
-            |k, _| 1.0 / (deg[inputs.adjacency.dst()[k] as usize].max(1)) as f32,
-        ));
+        let plans = &inputs.plans;
+        let coeffs = g.constant_ref(&self.coeffs);
         let mut h = h0;
         let mut rel = bind.var(self.rel_emb);
         for &(w, w0, wr) in &self.layers {
-            let h_src = g.gather_rows(h, &src);
-            let r_edge = g.gather_rows(rel, &rel_idx);
+            let h_src = g.gather_rows_planned(h, &plans.edge_src);
+            let r_edge = g.gather_rows_planned(rel, &plans.edge_rel_all);
             let msg = g.mul(h_src, r_edge);
             let proj = g.matmul(msg, bind.var(w));
             let scaled = g.scale_rows(proj, coeffs);
-            let agg = g.segment_sum(scaled, &dst, inputs.n_pois);
+            let agg = g.segment_sum_planned(scaled, &plans.edge_dst);
             let self_p = g.matmul(h, bind.var(w0));
             let sum = g.add(agg, self_p);
             h = g.elu(sum);
@@ -446,6 +497,9 @@ type HgtLayer = (ParamId, Vec<(ParamId, ParamId)>, ParamId);
 pub struct HgtEncoder {
     layers: Vec<HgtLayer>,
     dim: usize,
+    /// Per-edge gather into the vertically stacked per-relation projections:
+    /// row = rel·n_pois + src.
+    stacked: Arc<SegmentPlan>,
 }
 
 impl Encoder for HgtEncoder {
@@ -484,17 +538,7 @@ impl Encoder for HgtEncoder {
                 (wq, rels, w_self)
             })
             .collect();
-        HgtEncoder {
-            layers,
-            dim: cfg.dim,
-        }
-    }
-
-    fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
-        let dst = inputs.adjacency.dst_usize();
         let n = inputs.n_pois;
-        // Per-edge row index into the vertically stacked per-relation
-        // projections: row = rel·n + src.
         let stacked_idx: Vec<usize> = inputs
             .adjacency
             .rel()
@@ -502,6 +546,15 @@ impl Encoder for HgtEncoder {
             .zip(inputs.adjacency.src().iter())
             .map(|(&r, &s)| r as usize * n + s as usize)
             .collect();
+        HgtEncoder {
+            layers,
+            dim: cfg.dim,
+            stacked: Arc::new(SegmentPlan::new(stacked_idx, inputs.n_relations * n)),
+        }
+    }
+
+    fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
+        let plans = &inputs.plans;
         let mut h = h0;
         for (wq, rels, w_self) in &self.layers {
             let q = g.matmul(h, bind.var(*wq));
@@ -515,14 +568,14 @@ impl Encoder for HgtEncoder {
                 .collect();
             let k_all = g.vstack(&k_parts);
             let v_all = g.vstack(&v_parts);
-            let q_dst = g.gather_rows(q, &dst);
-            let k_edge = g.gather_rows(k_all, &stacked_idx);
+            let q_dst = g.gather_rows_planned(q, &plans.edge_dst);
+            let k_edge = g.gather_rows_planned(k_all, &self.stacked);
             let dots = g.rows_dot(q_dst, k_edge);
             let scaled = g.scale(dots, 1.0 / (self.dim as f32).sqrt());
-            let alpha = g.segment_softmax(scaled, &dst);
-            let v_edge = g.gather_rows(v_all, &stacked_idx);
+            let alpha = g.segment_softmax_planned(scaled, &plans.edge_dst);
+            let v_edge = g.gather_rows_planned(v_all, &self.stacked);
             let weighted = g.scale_rows(v_edge, alpha);
-            let agg = g.segment_sum(weighted, &dst, n);
+            let agg = g.segment_sum_planned(weighted, &plans.edge_dst);
             let self_p = g.matmul(h, bind.var(*w_self));
             let sum = g.add(agg, self_p);
             h = g.elu(sum);
@@ -541,6 +594,12 @@ pub struct HanEncoder {
     /// Per layer: per relation (W_proj, a), plus semantic (W_s, b_s, q_s)
     /// and W_self.
     layers: Vec<HanLayer>,
+    /// Per relation: GAT plans over its edge subset (`None` when empty).
+    rel_plans: Vec<Option<GatPlans>>,
+    /// Softmax over the stacked semantic scores (one segment).
+    sem_plan: Arc<SegmentPlan>,
+    /// Single-row gathers pulling β_r out of the semantic weights.
+    row_plans: Vec<Arc<SegmentPlan>>,
 }
 
 struct HanLayer {
@@ -591,25 +650,42 @@ impl Encoder for HanEncoder {
                 ),
             })
             .collect();
-        HanEncoder { layers }
-    }
-
-    fn encode(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs, h0: Var) -> EncOut {
         let by_rel = edges_by_relation(inputs);
         let src = inputs.adjacency.src();
         let dst = inputs.adjacency.dst();
+        let rel_plans = by_rel
+            .iter()
+            .map(|edges| {
+                if edges.is_empty() {
+                    return None;
+                }
+                let src_r: Vec<usize> = edges.iter().map(|&k| src[k] as usize).collect();
+                let dst_r: Vec<usize> = edges.iter().map(|&k| dst[k] as usize).collect();
+                Some(GatPlans::new(src_r, dst_r, inputs.n_pois))
+            })
+            .collect();
+        let sem_plan = Arc::new(SegmentPlan::new(vec![0usize; inputs.n_relations], 1));
+        let row_plans = (0..inputs.n_relations)
+            .map(|r| Arc::new(SegmentPlan::new(vec![r], inputs.n_relations)))
+            .collect();
+        HanEncoder {
+            layers,
+            rel_plans,
+            sem_plan,
+            row_plans,
+        }
+    }
+
+    fn encode(&self, g: &mut Graph, bind: &Binding, _inputs: &ModelInputs, h0: Var) -> EncOut {
         let mut h = h0;
         for layer in &self.layers {
             let mut z_rels = Vec::with_capacity(layer.rel_heads.len());
             let mut sem_scores = Vec::with_capacity(layer.rel_heads.len());
             for (r, &(w, a)) in layer.rel_heads.iter().enumerate() {
                 let proj = g.matmul(h, bind.var(w));
-                let z = if by_rel[r].is_empty() {
-                    proj
-                } else {
-                    let src_r: Vec<usize> = by_rel[r].iter().map(|&k| src[k] as usize).collect();
-                    let dst_r: Vec<usize> = by_rel[r].iter().map(|&k| dst[k] as usize).collect();
-                    gat_aggregate(g, proj, bind.var(a), &src_r, &dst_r, inputs.n_pois)
+                let z = match &self.rel_plans[r] {
+                    None => proj,
+                    Some(plans) => gat_aggregate(g, proj, bind.var(a), plans),
                 };
                 // Semantic importance: mean over nodes of qᵀ tanh(W z + b).
                 let t0 = g.matmul(z, bind.var(layer.w_sem));
@@ -620,10 +696,10 @@ impl Encoder for HanEncoder {
                 z_rels.push(z);
             }
             let stacked = g.vstack(&sem_scores);
-            let beta = g.segment_softmax(stacked, &vec![0usize; sem_scores.len()]);
+            let beta = g.segment_softmax_planned(stacked, &self.sem_plan);
             let mut fused: Option<Var> = None;
             for (r, &z) in z_rels.iter().enumerate() {
-                let b_r = g.gather_rows(beta, &[r]);
+                let b_r = g.gather_rows_planned(beta, &self.row_plans[r]);
                 let weighted = g.mul_scalar_var(z, b_r);
                 fused = Some(match fused {
                     Some(acc) => g.add(acc, weighted),

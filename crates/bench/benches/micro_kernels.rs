@@ -1,24 +1,71 @@
 //! Microbenchmarks for the kernel layer underneath every model: the
 //! cache-blocked matmul family versus the retained naive references, the
-//! GNN segment primitives, and the eager prediction path. These back the
-//! per-component cost claims in DESIGN.md §5 and guard against performance
-//! regressions.
+//! parallel segment primitives versus their serial references, and the
+//! eager prediction path. These back the per-component cost claims in
+//! DESIGN.md §5 and §7 and guard against performance regressions.
 //!
 //! Besides printing a table, the harness asserts bitwise parity between the
-//! blocked/parallel kernels and their naive references, and records every
-//! measurement in `BENCH_kernels.json` (section `micro_kernels`, path
-//! overridable via `PRIM_BENCH_JSON`) so before/after numbers are diffable
-//! across commits.
+//! blocked/parallel kernels and their references, counts heap allocations
+//! of a steady-state training step through a counting global allocator
+//! (the pooled tape must stay within a small fixed budget), and records
+//! every measurement in `BENCH_kernels.json` (sections `micro_kernels` and
+//! `train_epoch`, path overridable via `PRIM_BENCH_JSON`) so before/after
+//! numbers are diffable across commits.
 
 use prim_bench::{emit, json};
-use prim_core::{ModelInputs, PrimConfig, PrimModel};
+use prim_core::{
+    sample_epoch_triples, train_step, ModelInputs, PrimConfig, PrimModel, TripleBatch,
+};
 use prim_data::{Dataset, Scale};
 use prim_eval::Table;
 use prim_graph::PoiId;
+use prim_nn::Adam;
 use prim_tensor::check::TestRng;
-use prim_tensor::{kernel, Graph, Matrix};
+use prim_tensor::segment::{
+    segment_max_into, segment_max_serial_into, segment_sum_into, segment_sum_serial_into,
+};
+use prim_tensor::{kernel, Graph, Matrix, SegmentPlan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Wraps the system allocator and counts every allocation, so the harness
+/// can verify that steady-state pooled training steps stay allocation-free
+/// (up to a small fixed budget of bookkeeping vectors).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Best-of-`reps` wall time in seconds (minimum filters scheduler noise).
 fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -44,7 +91,7 @@ fn assert_bits_equal(name: &str, a: &Matrix, b: &Matrix) {
         .position(|(x, y)| x.to_bits() != y.to_bits());
     assert!(
         drift.is_none(),
-        "{name}: blocked kernel drifts from naive at flat index {drift:?}"
+        "{name}: optimised kernel drifts from reference at flat index {drift:?}"
     );
 }
 
@@ -112,6 +159,143 @@ fn bench_matmuls(m: usize, k: usize, n: usize, reps: usize, out: &mut Vec<Matmul
     });
 }
 
+struct SerialParRecord {
+    name: String,
+    serial_s: f64,
+    parallel_s: f64,
+    threads: usize,
+}
+
+impl SerialParRecord {
+    fn speedup(&self) -> f64 {
+        self.serial_s / self.parallel_s
+    }
+
+    fn json(&self) -> String {
+        json::obj(&[
+            ("kernel", json::str(&self.name)),
+            ("serial_ms", json::num(self.serial_s * 1e3)),
+            ("parallel_ms", json::num(self.parallel_s * 1e3)),
+            ("threads", json::num(self.threads as f64)),
+            ("speedup", json::num(self.speedup())),
+        ])
+    }
+}
+
+/// Serial-vs-parallel timings for the deterministic segment reductions:
+/// segment-sum, the segment-softmax reduction pair, and the gather-rows
+/// backward scatter-add. Every comparison asserts bitwise parity — the
+/// output-partitioned kernels must match the serial references exactly at
+/// any thread count (DESIGN.md §7).
+fn bench_segment_parallel(par_threads: usize, out: &mut Vec<SerialParRecord>) {
+    let mut rng = TestRng::new(3);
+    let n_edges = 40_000;
+    let n_nodes = 2_000;
+    let d = 32;
+    let x = rng.matrix(n_edges, d);
+    let seg: Vec<usize> = (0..n_edges).map(|_| rng.below(n_nodes)).collect();
+    let plan = SegmentPlan::new(seg.clone(), n_nodes);
+    let reps = 20;
+
+    // Segment-sum: the aggregation behind every GNN message pass.
+    let mut par = Matrix::zeros(n_nodes, d);
+    let mut ser = Matrix::zeros(n_nodes, d);
+    kernel::set_threads(par_threads);
+    segment_sum_into(&x, &plan, &mut par);
+    segment_sum_serial_into(&x, &seg, &mut ser);
+    assert_bits_equal("segment_sum_parallel", &par, &ser);
+    kernel::set_threads(1);
+    let serial_s = best_of(reps, || {
+        ser.fill_zero();
+        segment_sum_serial_into(&x, &seg, &mut ser);
+    });
+    kernel::set_threads(par_threads);
+    let parallel_s = best_of(reps, || {
+        par.fill_zero();
+        segment_sum_into(&x, &plan, &mut par);
+    });
+    out.push(SerialParRecord {
+        name: format!("segment_sum_{}k_edges_d{d}", n_edges / 1000),
+        serial_s,
+        parallel_s,
+        threads: par_threads,
+    });
+
+    // Segment-softmax: max + sum reductions with identical scalar passes in
+    // between, so the only difference between the two closures is the
+    // reduction kernels themselves.
+    let logits = rng.matrix(n_edges, 1);
+    let mut stats = Matrix::zeros(n_nodes, 1);
+    let mut y_par = Matrix::zeros(n_edges, 1);
+    let mut y_ser = Matrix::zeros(n_edges, 1);
+    let softmax_serial = |y: &mut Matrix, stats: &mut Matrix| {
+        stats.fill(f32::NEG_INFINITY);
+        segment_max_serial_into(&logits, &seg, stats);
+        for (i, &s) in seg.iter().enumerate() {
+            y.data_mut()[i] = (logits.data()[i] - stats.data()[s]).exp();
+        }
+        stats.fill_zero();
+        segment_sum_serial_into(y, &seg, stats);
+        for (i, &s) in seg.iter().enumerate() {
+            y.data_mut()[i] /= stats.data()[s].max(1e-12);
+        }
+    };
+    let softmax_parallel = |y: &mut Matrix, stats: &mut Matrix| {
+        stats.fill(f32::NEG_INFINITY);
+        segment_max_into(&logits, &plan, stats);
+        for (i, &s) in seg.iter().enumerate() {
+            y.data_mut()[i] = (logits.data()[i] - stats.data()[s]).exp();
+        }
+        stats.fill_zero();
+        segment_sum_into(y, &plan, stats);
+        for (i, &s) in seg.iter().enumerate() {
+            y.data_mut()[i] /= stats.data()[s].max(1e-12);
+        }
+    };
+    softmax_serial(&mut y_ser, &mut stats);
+    kernel::set_threads(par_threads);
+    softmax_parallel(&mut y_par, &mut stats);
+    assert_bits_equal("segment_softmax_parallel", &y_par, &y_ser);
+    kernel::set_threads(1);
+    let serial_s = best_of(reps, || softmax_serial(&mut y_ser, &mut stats));
+    kernel::set_threads(par_threads);
+    let parallel_s = best_of(reps, || softmax_parallel(&mut y_par, &mut stats));
+    out.push(SerialParRecord {
+        name: format!("segment_softmax_{}k_edges", n_edges / 1000),
+        serial_s,
+        parallel_s,
+        threads: par_threads,
+    });
+
+    // Gather-rows backward: scatter-add of per-edge gradients into the
+    // source table — the same output-partitioned reduction, driven by the
+    // gather plan instead of a destination segment map.
+    let upstream = rng.matrix(n_edges, d);
+    let mut da_par = Matrix::zeros(n_nodes, d);
+    let mut da_ser = Matrix::zeros(n_nodes, d);
+    kernel::set_threads(par_threads);
+    segment_sum_into(&upstream, &plan, &mut da_par);
+    segment_sum_serial_into(&upstream, &seg, &mut da_ser);
+    assert_bits_equal("gather_backward_scatter_add", &da_par, &da_ser);
+    kernel::set_threads(1);
+    let serial_s = best_of(reps, || {
+        da_ser.fill_zero();
+        segment_sum_serial_into(&upstream, &seg, &mut da_ser);
+    });
+    kernel::set_threads(par_threads);
+    let parallel_s = best_of(reps, || {
+        da_par.fill_zero();
+        segment_sum_into(&upstream, &plan, &mut da_par);
+    });
+    out.push(SerialParRecord {
+        name: format!("gather_backward_scatter_add_{}k_d{d}", n_edges / 1000),
+        serial_s,
+        parallel_s,
+        threads: par_threads,
+    });
+    kernel::set_threads(0);
+}
+
 struct TimedRecord {
     name: String,
     seconds: f64,
@@ -124,41 +308,6 @@ impl TimedRecord {
             ("ms", json::num(self.seconds * 1e3)),
         ])
     }
-}
-
-fn bench_segment_ops(out: &mut Vec<TimedRecord>) {
-    let mut rng = TestRng::new(2);
-    let n_edges = 20_000;
-    let n_nodes = 1_000;
-    let x = rng.matrix(n_edges, 32);
-    let seg: Vec<usize> = (0..n_edges).map(|_| rng.below(n_nodes)).collect();
-    let logits = rng.matrix(n_edges, 1);
-    let table = rng.matrix(n_nodes, 32);
-
-    out.push(TimedRecord {
-        name: "segment_sum_20k_edges_d32".into(),
-        seconds: best_of(20, || {
-            let mut g = Graph::new();
-            let v = g.leaf(x.clone());
-            g.segment_sum(v, &seg, n_nodes)
-        }),
-    });
-    out.push(TimedRecord {
-        name: "segment_softmax_20k_edges".into(),
-        seconds: best_of(20, || {
-            let mut g = Graph::new();
-            let v = g.leaf(logits.clone());
-            g.segment_softmax(v, &seg)
-        }),
-    });
-    out.push(TimedRecord {
-        name: "gather_rows_20k".into(),
-        seconds: best_of(20, || {
-            let mut g = Graph::new();
-            let v = g.leaf(table.clone());
-            g.gather_rows(v, &seg)
-        }),
-    });
 }
 
 fn bench_model_paths(out: &mut Vec<TimedRecord>) {
@@ -203,25 +352,156 @@ fn bench_model_paths(out: &mut Vec<TimedRecord>) {
     });
 }
 
+/// Steady-state pooled training steps may allocate only this many times —
+/// small bookkeeping vectors (the `Binding`, per-layer head lists, a few
+/// `ConcatCols` part lists), never the tape's value or gradient buffers.
+const STEADY_ALLOC_BUDGET: u64 = 64;
+
+/// Measures the full-batch PRIM training step on a fixed triple batch:
+/// pooled tape vs a fresh tape per step (the pre-arena behaviour), serial
+/// vs multi-threaded kernels, and the steady-state allocation count.
+fn bench_train_epoch(par_threads: usize) -> String {
+    let ds = Dataset::beijing(Scale::Quick).subsample(0.4, 5);
+    let cfg = PrimConfig::quick();
+    let inputs = ModelInputs::build(
+        &ds.graph,
+        &ds.taxonomy,
+        &ds.attrs,
+        ds.graph.edges(),
+        None,
+        &cfg,
+    );
+    let mut model = PrimModel::new(cfg, &inputs);
+
+    // One fixed epoch of triples: resampling is per-epoch work outside the
+    // steady-state path this section measures.
+    let mut rng = StdRng::seed_from_u64(11);
+    let known = ds.graph.edge_key_set();
+    let et = sample_epoch_triples(
+        &ds.graph,
+        ds.graph.edges(),
+        inputs.n_pois,
+        inputs.n_relations,
+        model.config().omega,
+        None,
+        &known,
+        &mut rng,
+    );
+    let src: Vec<usize> = et.src.iter().map(|p| p.0 as usize).collect();
+    let dst: Vec<usize> = et.dst.iter().map(|p| p.0 as usize).collect();
+    let bins: Vec<usize> = (0..et.src.len())
+        .map(|k| inputs.pair_bin(et.src[k], et.dst[k], model.config()))
+        .collect();
+    let batch = TripleBatch::new(&model, &inputs, &src, &et.rel, &dst, &bins, &et.labels);
+    let grad_clip = model.config().grad_clip;
+    let mut adam = Adam::new(model.config().lr).with_weight_decay(model.config().weight_decay);
+
+    // Allocation counts at one thread (spawning workers allocates, which
+    // would obscure the tape's own behaviour).
+    kernel::set_threads(1);
+    let mut g = Graph::new();
+    let before = allocations();
+    train_step(&mut model, &inputs, &mut g, &mut adam, &batch, grad_clip);
+    let first_step_allocs = allocations() - before;
+    train_step(&mut model, &inputs, &mut g, &mut adam, &batch, grad_clip);
+    let before = allocations();
+    train_step(&mut model, &inputs, &mut g, &mut adam, &batch, grad_clip);
+    let steady_allocs = allocations() - before;
+    assert!(
+        steady_allocs <= STEADY_ALLOC_BUDGET,
+        "steady-state train step allocated {steady_allocs} times \
+         (budget {STEADY_ALLOC_BUDGET}); the tape arena is leaking work to \
+         the allocator"
+    );
+
+    let reps = 8;
+    let pooled_serial_s = best_of(reps, || {
+        train_step(&mut model, &inputs, &mut g, &mut adam, &batch, grad_clip)
+    });
+    kernel::set_threads(par_threads);
+    let pooled_par_s = best_of(reps, || {
+        train_step(&mut model, &inputs, &mut g, &mut adam, &batch, grad_clip)
+    });
+    // Pre-arena behaviour: a fresh tape every step, every buffer from the
+    // allocator, serial kernels.
+    kernel::set_threads(1);
+    let fresh_serial_s = best_of(reps, || {
+        let mut fresh = Graph::new();
+        train_step(
+            &mut model, &inputs, &mut fresh, &mut adam, &batch, grad_clip,
+        )
+    });
+    kernel::set_threads(0);
+
+    let mut t = Table::new(
+        "Steady-state training step (fixed batch)",
+        &["variant", "ms", "allocs/step"],
+    );
+    t.row(&[
+        "fresh tape, 1 thread".into(),
+        format!("{:.3}", fresh_serial_s * 1e3),
+        format!("{first_step_allocs}"),
+    ]);
+    t.row(&[
+        "pooled tape, 1 thread".into(),
+        format!("{:.3}", pooled_serial_s * 1e3),
+        format!("{steady_allocs}"),
+    ]);
+    t.row(&[
+        format!("pooled tape, {par_threads} threads"),
+        format!("{:.3}", pooled_par_s * 1e3),
+        format!("{steady_allocs}"),
+    ]);
+    emit(&t);
+
+    json::obj(&[
+        ("n_triples", json::num(batch.len() as f64)),
+        ("n_pois", json::num(inputs.n_pois as f64)),
+        ("threads", json::num(par_threads as f64)),
+        ("first_step_allocs", json::num(first_step_allocs as f64)),
+        ("steady_allocs_per_step", json::num(steady_allocs as f64)),
+        ("alloc_budget", json::num(STEADY_ALLOC_BUDGET as f64)),
+        ("fresh_serial_ms", json::num(fresh_serial_s * 1e3)),
+        ("pooled_serial_ms", json::num(pooled_serial_s * 1e3)),
+        ("pooled_parallel_ms", json::num(pooled_par_s * 1e3)),
+        (
+            "speedup_pooled_serial",
+            json::num(fresh_serial_s / pooled_serial_s),
+        ),
+        ("speedup_vs_fresh", json::num(fresh_serial_s / pooled_par_s)),
+    ])
+}
+
 fn main() {
     let threads = kernel::configured_threads();
+    let par_threads = threads.max(4);
     let mut matmuls = Vec::new();
     bench_matmuls(256, 128, 64, 10, &mut matmuls);
     bench_matmuls(512, 512, 512, 4, &mut matmuls);
 
+    let mut segments = Vec::new();
+    bench_segment_parallel(par_threads, &mut segments);
+
     let mut others = Vec::new();
-    bench_segment_ops(&mut others);
     bench_model_paths(&mut others);
 
     let mut t = Table::new(
-        "Micro-kernels: blocked/parallel vs naive reference",
-        &["kernel", "naive (ms)", "blocked (ms)", "speedup"],
+        "Micro-kernels: optimised vs reference",
+        &["kernel", "reference (ms)", "optimised (ms)", "speedup"],
     );
     for r in &matmuls {
         t.row(&[
             r.name.clone(),
             format!("{:.3}", r.naive_s * 1e3),
             format!("{:.3}", r.blocked_s * 1e3),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    for r in &segments {
+        t.row(&[
+            format!("{} ({}t)", r.name, r.threads),
+            format!("{:.3}", r.serial_s * 1e3),
+            format!("{:.3}", r.parallel_s * 1e3),
             format!("{:.2}x", r.speedup()),
         ]);
     }
@@ -265,14 +545,26 @@ fn main() {
             json::arr(&matmuls.iter().map(MatmulRecord::json).collect::<Vec<_>>()),
         ),
         (
+            "segment",
+            json::arr(
+                &segments
+                    .iter()
+                    .map(SerialParRecord::json)
+                    .collect::<Vec<_>>(),
+            ),
+        ),
+        (
             "ops",
             json::arr(&others.iter().map(TimedRecord::json).collect::<Vec<_>>()),
         ),
     ]);
     let path = json::bench_json_path();
     json::update_section(&path, "micro_kernels", &section);
+
+    let train_section = bench_train_epoch(par_threads);
+    json::update_section(&path, "train_epoch", &train_section);
     println!(
-        "micro_kernels: parity + speedup checks passed; recorded to {}",
+        "micro_kernels: parity, speedup and allocation checks passed; recorded to {}",
         path.display()
     );
 }

@@ -9,8 +9,84 @@
 
 use crate::config::PrimConfig;
 use prim_graph::{Adjacency, Edge, HeteroGraph, PoiId, SpatialNeighbors, Taxonomy};
-use prim_tensor::Matrix;
+use prim_tensor::{Matrix, SegmentPlan};
 use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Shared [`SegmentPlan`]s for every gather/scatter the forward pass
+/// performs, computed once per graph structure.
+///
+/// Cloning an `Arc` per op replaces the old per-epoch `to_vec()` clones of
+/// E-sized index maps, and the CSR side of each plan lets the segment
+/// reductions run in parallel by output segment (bitwise identical to
+/// serial). A gather plan is a `SegmentPlan` whose `segment_of_row` is the
+/// index list and whose segment count is the source row count.
+pub struct GraphPlans {
+    /// Taxonomy-path gather from the taxonomy-node table.
+    pub cat_path_gather: Arc<SegmentPlan>,
+    /// Taxonomy-path sum into per-POI category representations.
+    pub cat_path_segment: Arc<SegmentPlan>,
+    /// Leaf-category gather (the `-T` independent-embedding mode).
+    pub leaf_gather: Arc<SegmentPlan>,
+    /// Directed-edge source-POI gather.
+    pub edge_src: Arc<SegmentPlan>,
+    /// Directed-edge destination-POI gather.
+    pub edge_dst: Arc<SegmentPlan>,
+    /// Directed-edge relation gather from an `R`-row table.
+    pub edge_rel: Arc<SegmentPlan>,
+    /// Directed-edge relation gather from an `R+1`-row table (with φ).
+    pub edge_rel_all: Arc<SegmentPlan>,
+    /// Intra-relation `(dst, rel)` segments of the directed edges.
+    pub intra: Arc<SegmentPlan>,
+    /// `(dst, rel)` segment → destination POI aggregation.
+    pub seg_dst: Arc<SegmentPlan>,
+    /// Spatial-edge source-POI gather.
+    pub sp_src: Arc<SegmentPlan>,
+    /// Spatial-edge destination-POI gather.
+    pub sp_dst: Arc<SegmentPlan>,
+    /// Per-destination segments of the spatial edges.
+    pub sp_seg: Arc<SegmentPlan>,
+    /// Spatial segment → destination POI aggregation.
+    pub sp_seg_dst: Arc<SegmentPlan>,
+}
+
+impl GraphPlans {
+    #[allow(clippy::too_many_arguments)] // the structural inputs, flattened once at build time
+    fn build(
+        n_pois: usize,
+        n_relations: usize,
+        n_taxonomy_nodes: usize,
+        n_categories: usize,
+        cat_path_nodes: &[usize],
+        cat_path_segment: &[usize],
+        leaf_category: &[usize],
+        adjacency: &Adjacency,
+        spatial: &SpatialNeighbors,
+    ) -> Self {
+        let as_usize = |v: &[u32]| v.iter().map(|&x| x as usize).collect::<Vec<_>>();
+        GraphPlans {
+            cat_path_gather: Arc::new(SegmentPlan::new(cat_path_nodes.to_vec(), n_taxonomy_nodes)),
+            cat_path_segment: Arc::new(SegmentPlan::new(cat_path_segment.to_vec(), n_pois)),
+            leaf_gather: Arc::new(SegmentPlan::new(leaf_category.to_vec(), n_categories)),
+            edge_src: Arc::new(SegmentPlan::new(adjacency.src_usize(), n_pois)),
+            edge_dst: Arc::new(SegmentPlan::new(adjacency.dst_usize(), n_pois)),
+            edge_rel: Arc::new(SegmentPlan::new(adjacency.rel_usize(), n_relations)),
+            edge_rel_all: Arc::new(SegmentPlan::new(adjacency.rel_usize(), n_relations + 1)),
+            intra: Arc::new(SegmentPlan::new(
+                adjacency.intra_segment().to_vec(),
+                adjacency.num_segments(),
+            )),
+            seg_dst: Arc::new(SegmentPlan::new(as_usize(adjacency.segment_dst()), n_pois)),
+            sp_src: Arc::new(SegmentPlan::new(spatial.src_usize(), n_pois)),
+            sp_dst: Arc::new(SegmentPlan::new(as_usize(spatial.dst()), n_pois)),
+            sp_seg: Arc::new(SegmentPlan::new(
+                spatial.segment().to_vec(),
+                spatial.num_segments(),
+            )),
+            sp_seg_dst: Arc::new(SegmentPlan::new(as_usize(spatial.segment_dst()), n_pois)),
+        }
+    }
+}
 
 /// Immutable inputs for PRIM (and reusable by the GNN baselines).
 pub struct ModelInputs {
@@ -39,6 +115,8 @@ pub struct ModelInputs {
     pub spatial: SpatialNeighbors,
     /// RBF weights as an `(n_spatial_edges × 1)` column for the extractor.
     pub spatial_rbf: Matrix,
+    /// Shared gather/scatter plans for the forward pass.
+    pub plans: GraphPlans,
     /// Pairwise distance lookup for scoring: distances are recomputed from
     /// locations on demand, so we keep the locations here.
     locations: Vec<prim_geo::Location>,
@@ -101,6 +179,18 @@ impl ModelInputs {
         }
         let spatial_rbf = Matrix::from_fn(spatial.num_edges(), 1, |r, _| spatial.rbf()[r]);
 
+        let plans = GraphPlans::build(
+            n_pois,
+            graph.num_relations(),
+            taxonomy.num_nodes(),
+            taxonomy.num_categories(),
+            &cat_path_nodes,
+            &cat_path_segment,
+            &leaf_category,
+            &adjacency,
+            &spatial,
+        );
+
         ModelInputs {
             n_pois,
             n_relations: graph.num_relations(),
@@ -114,6 +204,7 @@ impl ModelInputs {
             edge_dist_feats,
             spatial,
             spatial_rbf,
+            plans,
             locations: graph.pois().iter().map(|p| p.location).collect(),
         }
     }

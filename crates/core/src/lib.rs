@@ -34,6 +34,6 @@ pub mod model;
 pub mod train;
 
 pub use config::{GammaOp, PrimConfig, TaxonomyMode, Variant};
-pub use inputs::ModelInputs;
-pub use model::{EmbeddingTable, ForwardOutput, PrimModel};
-pub use train::{fit, sample_epoch_triples, EpochTriples, TrainReport};
+pub use inputs::{GraphPlans, ModelInputs};
+pub use model::{EmbeddingTable, ForwardOutput, PrimModel, TripleBatch};
+pub use train::{fit, sample_epoch_triples, train_step, EpochTriples, TrainReport};

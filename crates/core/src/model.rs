@@ -25,9 +25,10 @@ use crate::inputs::ModelInputs;
 use prim_graph::PoiId;
 use prim_nn::{init, Binding, ParamId, ParamStore};
 use prim_tensor::kernel;
-use prim_tensor::{Graph, Matrix, Var};
+use prim_tensor::{Graph, Matrix, SegmentPlan, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// One attention head of a WRGNN layer.
 struct Head {
@@ -83,6 +84,53 @@ pub struct ForwardOutput {
     pub h_final: Var,
     /// Relation representations in scoring space (`(R+1) × dim`).
     pub rel_score: Var,
+}
+
+/// One scoring batch of `(src, rel, dst, bin)` triples with labels, as
+/// shared gather plans — built once, reusable across epochs (training
+/// resamples triples each epoch, but the bench and any fixed-batch caller
+/// amortise the plans) and cloned into the tape as `Arc`s with no per-epoch
+/// index copies.
+pub struct TripleBatch {
+    src: Arc<SegmentPlan>,
+    rel: Arc<SegmentPlan>,
+    dst: Arc<SegmentPlan>,
+    bins: Arc<SegmentPlan>,
+    /// Binary labels, shared with the tape's BCE node.
+    pub targets: Arc<[f32]>,
+}
+
+impl TripleBatch {
+    /// Builds the gather plans for one batch of triples.
+    pub fn new(
+        model: &PrimModel,
+        inputs: &ModelInputs,
+        src: &[usize],
+        rel: &[usize],
+        dst: &[usize],
+        bins: &[usize],
+        labels: &[f32],
+    ) -> Self {
+        assert!(src.len() == rel.len() && src.len() == dst.len() && src.len() == bins.len());
+        assert_eq!(src.len(), labels.len());
+        TripleBatch {
+            src: Arc::new(SegmentPlan::new(src.to_vec(), inputs.n_pois)),
+            rel: Arc::new(SegmentPlan::new(rel.to_vec(), model.n_relations + 1)),
+            dst: Arc::new(SegmentPlan::new(dst.to_vec(), inputs.n_pois)),
+            bins: Arc::new(SegmentPlan::new(bins.to_vec(), model.cfg.bins.len())),
+            targets: Arc::from(labels),
+        }
+    }
+
+    /// Number of triples in the batch.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True if the batch holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
 }
 
 /// Detached embeddings for fast inference.
@@ -199,22 +247,20 @@ impl PrimModel {
         let table = bind.var(self.cat_table);
         match self.cfg.taxonomy {
             TaxonomyMode::PathSum => {
-                let gathered = g.gather_rows(table, &inputs.cat_path_nodes);
-                g.segment_sum(gathered, &inputs.cat_path_segment, inputs.n_pois)
+                let gathered = g.gather_rows_planned(table, &inputs.plans.cat_path_gather);
+                g.segment_sum_planned(gathered, &inputs.plans.cat_path_segment)
             }
-            TaxonomyMode::Independent => g.gather_rows(table, &inputs.leaf_category),
+            TaxonomyMode::Independent => g.gather_rows_planned(table, &inputs.plans.leaf_gather),
         }
     }
 
     /// Runs the full forward pass on a fresh tape.
     pub fn forward(&self, g: &mut Graph, bind: &Binding, inputs: &ModelInputs) -> ForwardOutput {
         let adj = &inputs.adjacency;
-        let src_idx = adj.src_usize();
-        let rel_idx = adj.rel_usize();
-        let seg_dst: Vec<usize> = adj.segment_dst().iter().map(|&v| v as usize).collect();
+        let plans = &inputs.plans;
 
         let q = self.category_reps(g, bind, inputs);
-        let attrs = g.constant(inputs.attrs.clone());
+        let attrs = g.constant_ref(&inputs.attrs);
         let proj = g.matmul(attrs, bind.var(self.w_in));
         let mut h = if self.cfg.use_node_embeddings {
             g.add(proj, bind.var(self.node_emb))
@@ -223,7 +269,7 @@ impl PrimModel {
         };
         let mut hr = bind.var(self.rel_emb);
 
-        let dist_feats = g.constant(inputs.edge_dist_feats.clone());
+        let dist_feats = g.constant_ref(&inputs.edge_dist_feats);
         let has_edges = adj.num_directed_edges() > 0;
 
         let head_dim = self.cfg.head_dim();
@@ -234,8 +280,8 @@ impl PrimModel {
             if has_edges {
                 // Relation-specific messages γ(h*_j, h_r) (Eq. 1) do not
                 // depend on the head, so compute them once per layer.
-                let h_src = g.gather_rows(h_star, &src_idx);
-                let hr_edge = g.gather_rows(hr, &rel_idx);
+                let h_src = g.gather_rows_planned(h_star, &plans.edge_src);
+                let hr_edge = g.gather_rows_planned(hr, &plans.edge_rel_all);
                 let msg = match self.cfg.gamma {
                     GammaOp::Multiply => g.mul(h_src, hr_edge),
                     GammaOp::Subtract => g.sub(h_src, hr_edge),
@@ -256,8 +302,8 @@ impl PrimModel {
                 let ha_all = g.matmul(h_star, w_att_cat);
                 let dproj_all = g.matmul(dist_feats, w_dist_cat);
                 let msg_p_all = g.matmul(msg, w_msg_cat);
-                let ha_dst_all = g.gather_rows(ha_all, &adj.dst_usize());
-                let ha_src_all = g.gather_rows(ha_all, &src_idx);
+                let ha_dst_all = g.gather_rows_planned(ha_all, &plans.edge_dst);
+                let ha_src_all = g.gather_rows_planned(ha_all, &plans.edge_src);
 
                 for (k, head) in layer.heads.iter().enumerate() {
                     // Spatial-aware attention (Eq. 3-4).
@@ -265,17 +311,17 @@ impl PrimModel {
                     let ha_src = g.slice_cols(ha_src_all, k * head_dim, head_dim);
                     let dproj = g.slice_cols(dproj_all, k * dist_dim, dist_dim);
                     let feats = g.concat_cols(&[ha_dst, ha_src, dproj]);
-                    let a_edge = g.gather_rows(bind.var(head.att_table), &rel_idx);
+                    let a_edge = g.gather_rows_planned(bind.var(head.att_table), &plans.edge_rel);
                     let raw = g.rows_dot(feats, a_edge);
                     let logits = g.leaky_relu(raw, 0.2);
-                    let alpha = g.segment_softmax(logits, adj.intra_segment());
+                    let alpha = g.segment_softmax_planned(logits, &plans.intra);
 
                     let msg_p = g.slice_cols(msg_p_all, k * head_dim, head_dim);
                     let weighted = g.scale_rows(msg_p, alpha);
                     // Intra-relation aggregation …
-                    let seg_agg = g.segment_sum(weighted, adj.intra_segment(), adj.num_segments());
+                    let seg_agg = g.segment_sum_planned(weighted, &plans.intra);
                     // … then inter-relation aggregation into each POI.
-                    let node_agg = g.segment_sum(seg_agg, &seg_dst, inputs.n_pois);
+                    let node_agg = g.segment_sum_planned(seg_agg, &plans.seg_dst);
                     head_outs.push(node_agg);
                 }
             }
@@ -292,9 +338,6 @@ impl PrimModel {
 
         // Self-attentive spatial context (Eq. 6-10).
         if self.cfg.use_spatial_context && !inputs.spatial.is_empty() {
-            let sp = &inputs.spatial;
-            let sp_src = sp.src_usize();
-            let sp_seg_dst: Vec<usize> = sp.segment_dst().iter().map(|&v| v as usize).collect();
             // One fused projection for queries/keys/values instead of three
             // passes over `h`; each slice equals its standalone matmul.
             let dim = self.cfg.dim;
@@ -304,20 +347,17 @@ impl PrimModel {
             let qm = g.slice_cols(qkv, 0, dim);
             let km = g.slice_cols(qkv, dim, dim);
             let vm = g.slice_cols(qkv, 2 * dim, dim);
-            let q_dst = {
-                let dst: Vec<usize> = sp.dst().iter().map(|&v| v as usize).collect();
-                g.gather_rows(qm, &dst)
-            };
-            let k_src = g.gather_rows(km, &sp_src);
+            let q_dst = g.gather_rows_planned(qm, &plans.sp_dst);
+            let k_src = g.gather_rows_planned(km, &plans.sp_src);
             let dots = g.rows_dot(q_dst, k_src);
             let scaled = g.scale(dots, 1.0 / (self.cfg.dim as f32).sqrt());
-            let rbf = g.constant(inputs.spatial_rbf.clone());
+            let rbf = g.constant_ref(&inputs.spatial_rbf);
             let weighted_logits = g.mul(scaled, rbf);
-            let beta = g.segment_softmax(weighted_logits, sp.segment());
-            let v_src = g.gather_rows(vm, &sp_src);
+            let beta = g.segment_softmax_planned(weighted_logits, &plans.sp_seg);
+            let v_src = g.gather_rows_planned(vm, &plans.sp_src);
             let ctx_edges = g.scale_rows(v_src, beta);
-            let ctx_seg = g.segment_sum(ctx_edges, sp.segment(), sp.num_segments());
-            let ctx = g.segment_sum(ctx_seg, &sp_seg_dst, inputs.n_pois);
+            let ctx_seg = g.segment_sum_planned(ctx_edges, &plans.sp_seg);
+            let ctx = g.segment_sum_planned(ctx_seg, &plans.sp_seg_dst);
             h = g.add(h, ctx);
         }
 
@@ -354,6 +394,32 @@ impl PrimModel {
             h_dst = g.sub(h_dst, proj_dst);
         }
         let hr = g.gather_rows(fwd.rel_score, rel);
+        let lhs = g.mul(h_src, hr);
+        g.rows_dot(lhs, h_dst)
+    }
+
+    /// [`PrimModel::score_triples`] over a prepared [`TripleBatch`] — no
+    /// per-call index copies; all gathers use the batch's shared plans.
+    pub fn score_triples_batch(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        fwd: &ForwardOutput,
+        batch: &TripleBatch,
+    ) -> Var {
+        let mut h_src = g.gather_rows_planned(fwd.h_final, &batch.src);
+        let mut h_dst = g.gather_rows_planned(fwd.h_final, &batch.dst);
+        if self.cfg.use_distance_scoring {
+            let wn = g.normalize_rows(bind.var(self.w_bins));
+            let w_e = g.gather_rows_planned(wn, &batch.bins);
+            let d_src = g.rows_dot(h_src, w_e);
+            let proj_src = g.scale_rows(w_e, d_src);
+            h_src = g.sub(h_src, proj_src);
+            let d_dst = g.rows_dot(h_dst, w_e);
+            let proj_dst = g.scale_rows(w_e, d_dst);
+            h_dst = g.sub(h_dst, proj_dst);
+        }
+        let hr = g.gather_rows_planned(fwd.rel_score, &batch.rel);
         let lhs = g.mul(h_src, hr);
         g.rows_dot(lhs, h_dst)
     }

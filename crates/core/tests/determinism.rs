@@ -85,3 +85,43 @@ fn one_epoch_of_training_is_bitwise_identical_across_thread_counts() {
         "trained embeddings differ between 1 and 4 threads"
     );
 }
+
+/// Multi-epoch training drives the tape arena through its steady state
+/// (epoch 1 fills the pool, epochs 2+ reuse it) — the pooled buffers and the
+/// parallel segment reductions together must still be bitwise deterministic:
+/// identical loss curve and identical final parameters at 1 and 4 threads.
+#[test]
+fn pooled_multi_epoch_training_is_bitwise_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let (ds, cfg, inputs) = setup();
+        let cfg = PrimConfig { epochs: 4, ..cfg };
+        let mut model = PrimModel::new(cfg, &inputs);
+        kernel::set_threads(threads);
+        let report = fit(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
+        kernel::set_threads(0);
+        let table = model.embed(&inputs);
+        (
+            report.losses,
+            bits(table.pois.data()),
+            bits(table.relations.data()),
+        )
+    };
+
+    let (losses_1, pois_1, rels_1) = run(1);
+    let (losses_4, pois_4, rels_4) = run(4);
+
+    assert_eq!(losses_1.len(), 4);
+    assert_eq!(
+        bits(&losses_1),
+        bits(&losses_4),
+        "pooled loss curve differs between 1 and 4 threads"
+    );
+    assert_eq!(
+        pois_1, pois_4,
+        "pooled trained POI embeddings differ between 1 and 4 threads"
+    );
+    assert_eq!(
+        rels_1, rels_4,
+        "pooled trained relation embeddings differ between 1 and 4 threads"
+    );
+}

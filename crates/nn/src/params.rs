@@ -95,11 +95,14 @@ impl ParamStore {
     }
 
     /// Binds every parameter into `graph` as a trainable leaf.
+    ///
+    /// Values are copied into graph-pooled buffers (`Graph::leaf_ref`), so
+    /// re-binding after `Graph::reset` allocates nothing in steady state.
     pub fn bind(&self, graph: &mut Graph) -> Binding {
         let vars = self
             .params
             .iter()
-            .map(|p| graph.leaf(p.value.clone()))
+            .map(|p| graph.leaf_ref(&p.value))
             .collect();
         Binding { vars }
     }

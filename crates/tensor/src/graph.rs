@@ -10,9 +10,31 @@
 //! `segment_softmax`, plus row-wise kernels (`rows_dot`, `scale_rows`,
 //! `normalize_rows`) used by attention and the distance-specific scoring
 //! function of the PRIM paper.
+//!
+//! ## Buffer pool
+//!
+//! Full-batch training replays a structurally identical tape every epoch, so
+//! the graph owns a size-keyed pool of `f32` buffers. [`Graph::reset`] clears
+//! the tape and returns every node-value buffer to the pool;
+//! [`Graph::recycle`] does the same for a consumed [`Gradients`]. Every op
+//! (forward and backward) draws its output from the pool first, so after the
+//! first epoch the forward/backward path performs ~zero heap allocations.
+//! Pooled buffers are always fully initialised (zeroed, filled, copied or
+//! overwritten) before use, so reuse never changes any computed value.
+//!
+//! For the scatter ops, `gather_rows_planned` / `segment_sum_planned` /
+//! `segment_softmax_planned` accept a shared [`SegmentPlan`] built once per
+//! graph structure instead of cloning an E-sized index slice per call, and
+//! run their reductions in parallel by output segment (bitwise identical to
+//! serial — see [`crate::segment`]).
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::kernel;
 use crate::matrix::Matrix;
+use crate::segment::{self, SegmentPlan};
 
 /// Per-row parallel grain for an op whose rows each cost `row_work`
 /// flops-ish units: chunks are sized so a thread gets at least
@@ -34,12 +56,9 @@ impl Var {
 
 /// Recorded operation for one tape node.
 enum Op {
-    /// Leaf node; `trainable` leaves receive gradients.
-    Leaf {
-        /// Whether [`Gradients::get`] should report a gradient for this leaf.
-        #[allow(dead_code)]
-        trainable: bool,
-    },
+    /// Leaf node (parameter or constant input); whether it receives a
+    /// gradient is the node's `requires_grad` flag.
+    Leaf,
     MatMul(Var, Var),
     Add(Var, Var),
     Sub(Var, Var),
@@ -47,7 +66,9 @@ enum Op {
     /// `a (n×c) + b (1×c)` broadcast over rows.
     AddRowBroadcast(Var, Var),
     Scale(Var, f32),
-    AddScalar(Var, #[allow(dead_code)] f32),
+    /// `a + k`; the constant is irrelevant to the backward pass and not
+    /// stored.
+    AddScalar(Var),
     /// `a × s` where `s` is a `1×1` variable.
     MulScalarVar(Var, Var),
     ConcatCols(Vec<Var>),
@@ -55,19 +76,18 @@ enum Op {
     /// node's own column count.
     SliceCols(Var, usize),
     VStack(Vec<Var>),
-    GatherRows(Var, Vec<usize>),
-    /// Sums rows of the input into `n_segments` output rows keyed by
-    /// `segment_of_row`.
+    /// Row gather; the plan's `segment_of_row` is the index list and its CSR
+    /// groups drive the backward scatter-add.
+    GatherRows(Var, Arc<SegmentPlan>),
+    /// Sums rows of the input into `plan.n_segments()` output rows.
     SegmentSum {
         input: Var,
-        segment_of_row: Vec<usize>,
-        #[allow(dead_code)]
-        n_segments: usize,
+        plan: Arc<SegmentPlan>,
     },
     /// Column-wise softmax within each segment.
     SegmentSoftmax {
         input: Var,
-        segment_of_row: Vec<usize>,
+        plan: Arc<SegmentPlan>,
     },
     /// Row-wise dot product of two equal-shape matrices → `n×1`.
     RowsDot(Var, Var),
@@ -87,7 +107,7 @@ enum Op {
     /// Mean binary cross-entropy over `n×1` logits against fixed targets.
     BceWithLogits {
         logits: Var,
-        targets: Vec<f32>,
+        targets: Arc<[f32]>,
     },
 }
 
@@ -95,6 +115,85 @@ struct Node {
     value: Matrix,
     op: Op,
     requires_grad: bool,
+}
+
+/// Size-keyed recycling pool of `f32` buffers.
+///
+/// Buffers are bucketed by element count and handed back LIFO, so a tape
+/// whose structure repeats across epochs reuses exactly the allocations it
+/// released on [`Graph::reset`]. Every taker fully initialises the buffer it
+/// receives (zero / fill / copy / overwrite), so pooling is invisible to the
+/// computed values.
+#[derive(Default)]
+struct BufferPool {
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+}
+
+impl BufferPool {
+    /// Returns a buffer to the pool (empty buffers are dropped — they carry
+    /// no allocation).
+    fn put(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.buckets.entry(buf.len()).or_default().push(buf);
+    }
+
+    /// Returns a matrix's buffer to the pool.
+    fn put_back(&mut self, m: Matrix) {
+        self.put(m.into_vec());
+    }
+
+    /// A `rows × cols` matrix with unspecified (stale) contents; the caller
+    /// must overwrite every element.
+    fn uninit(&mut self, rows: usize, cols: usize) -> Matrix {
+        match self
+            .buckets
+            .get_mut(&(rows * cols))
+            .and_then(|bucket| bucket.pop())
+        {
+            Some(buf) => Matrix::from_vec(rows, cols, buf),
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// A zero-filled `rows × cols` matrix.
+    fn zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        match self
+            .buckets
+            .get_mut(&(rows * cols))
+            .and_then(|bucket| bucket.pop())
+        {
+            Some(buf) => {
+                let mut m = Matrix::from_vec(rows, cols, buf);
+                m.fill_zero();
+                m
+            }
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// A `rows × cols` matrix filled with `v`.
+    fn filled(&mut self, rows: usize, cols: usize, v: f32) -> Matrix {
+        let mut m = self.uninit(rows, cols);
+        m.fill(v);
+        m
+    }
+
+    /// A copy of `src` in a pooled buffer.
+    fn copy_of(&mut self, src: &Matrix) -> Matrix {
+        match self
+            .buckets
+            .get_mut(&src.len())
+            .and_then(|bucket| bucket.pop())
+        {
+            Some(mut buf) => {
+                buf.copy_from_slice(src.data());
+                Matrix::from_vec(src.rows(), src.cols(), buf)
+            }
+            None => src.clone(),
+        }
+    }
 }
 
 /// Gradients produced by [`Graph::backward`].
@@ -108,31 +207,54 @@ impl Gradients {
         self.grads.get(var.0).and_then(|g| g.as_ref())
     }
 
-    /// Gradient of the loss w.r.t. `var`, or a zero matrix of the given shape.
-    pub fn get_or_zeros(&self, var: Var, rows: usize, cols: usize) -> Matrix {
+    /// Gradient of the loss w.r.t. `var` — borrowed when present (never
+    /// cloned), an owned zero matrix of the given shape otherwise.
+    pub fn get_or_zeros(&self, var: Var, rows: usize, cols: usize) -> Cow<'_, Matrix> {
         match self.get(var) {
-            Some(g) => g.clone(),
-            None => Matrix::zeros(rows, cols),
+            Some(g) => Cow::Borrowed(g),
+            None => Cow::Owned(Matrix::zeros(rows, cols)),
         }
     }
 }
 
-/// A computation tape.
+/// A computation tape with an epoch-persistent buffer pool.
 ///
-/// Build a fresh graph per training step: register parameter matrices with
-/// [`Graph::leaf`], inputs with [`Graph::constant`], chain ops, then call
-/// [`Graph::backward`] on the scalar loss.
+/// Build the graph once per training run: register parameter matrices with
+/// [`Graph::leaf`] (or, after a reset, [`Graph::leaf_ref`]), inputs with
+/// [`Graph::constant`] / [`Graph::constant_ref`], chain ops, call
+/// [`Graph::backward`] on the scalar loss, then [`Graph::recycle`] the
+/// gradients and [`Graph::reset`] the tape before the next step — steady
+/// state steps then run allocation-free.
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    pool: BufferPool,
+    /// Recycled gradient-slot vector, reused by the next backward pass.
+    spare_grads: Vec<Option<Matrix>>,
 }
 
 const NORM_EPS: f32 = 1e-12;
 
+/// Scales row `i` of `dst` by `s[i]` (`s` is `n×1`), in parallel.
+fn scale_rows_in_place(dst: &mut Matrix, s: &Matrix) {
+    let c = dst.cols();
+    if c == 0 {
+        return;
+    }
+    kernel::par_row_chunks(dst.data_mut(), c, row_grain(c), |r0, chunk| {
+        for (dr, row) in chunk.chunks_mut(c).enumerate() {
+            let k = s[(r0 + dr, 0)];
+            for x in row.iter_mut() {
+                *x *= k;
+            }
+        }
+    });
+}
+
 impl Graph {
-    /// Creates an empty graph.
+    /// Creates an empty graph with an empty buffer pool.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph::default()
     }
 
     /// Number of recorded nodes.
@@ -143,6 +265,34 @@ impl Graph {
     /// True if no node has been recorded.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Clears the tape, retaining every node-value buffer in the internal
+    /// pool so the next epoch's structurally identical tape reuses them
+    /// instead of allocating.
+    pub fn reset(&mut self) {
+        let mut nodes = std::mem::take(&mut self.nodes);
+        for node in nodes.drain(..) {
+            self.pool.put_back(node.value);
+        }
+        self.nodes = nodes;
+    }
+
+    /// Returns a consumed [`Gradients`]' buffers (and its slot vector) to
+    /// the pool. Call once the optimiser has applied the step.
+    pub fn recycle(&mut self, grads: Gradients) {
+        let mut slots = grads.grads;
+        for slot in slots.iter_mut() {
+            if let Some(m) = slot.take() {
+                self.pool.put_back(m);
+            }
+        }
+        self.spare_grads = slots;
+    }
+
+    /// Number of idle buffers currently held by the pool (diagnostics).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.buckets.values().map(|b| b.len()).sum()
     }
 
     fn push(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
@@ -160,12 +310,28 @@ impl Graph {
 
     /// Registers a non-trainable input (no gradient is computed for it).
     pub fn constant(&mut self, m: Matrix) -> Var {
-        self.push(m, Op::Leaf { trainable: false }, false)
+        self.push(m, Op::Leaf, false)
+    }
+
+    /// Like [`Graph::constant`], but copies the borrowed matrix into a
+    /// pooled buffer — the allocation-free way to re-register an unchanged
+    /// input after [`Graph::reset`].
+    pub fn constant_ref(&mut self, m: &Matrix) -> Var {
+        let value = self.pool.copy_of(m);
+        self.push(value, Op::Leaf, false)
     }
 
     /// Registers a trainable leaf; [`Gradients::get`] will return its gradient.
     pub fn leaf(&mut self, m: Matrix) -> Var {
-        self.push(m, Op::Leaf { trainable: true }, true)
+        self.push(m, Op::Leaf, true)
+    }
+
+    /// Like [`Graph::leaf`], but copies the borrowed matrix into a pooled
+    /// buffer — used by parameter stores to re-bind parameters every epoch
+    /// without allocating.
+    pub fn leaf_ref(&mut self, m: &Matrix) -> Var {
+        let value = self.pool.copy_of(m);
+        self.push(value, Op::Leaf, true)
     }
 
     /// Value of a node.
@@ -180,42 +346,62 @@ impl Graph {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
+        let (m, n) = (self.shape(a).0, self.shape(b).1);
+        let mut value = self.pool.uninit(m, n);
+        self.nodes[a.0]
+            .value
+            .matmul_into(&self.nodes[b.0].value, &mut value);
         let rg = self.rg(a) || self.rg(b);
         self.push(value, Op::MatMul(a, b), rg)
     }
 
     /// Element-wise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).add(self.value(b));
+        assert_eq!(self.shape(a), self.shape(b), "add shape mismatch");
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        kernel::par_zip_apply(value.data_mut(), self.nodes[b.0].value.data(), |x, y| {
+            *x += y
+        });
         let rg = self.rg(a) || self.rg(b);
         self.push(value, Op::Add(a, b), rg)
     }
 
     /// Element-wise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).sub(self.value(b));
+        assert_eq!(self.shape(a), self.shape(b), "sub shape mismatch");
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        kernel::par_zip_apply(value.data_mut(), self.nodes[b.0].value.data(), |x, y| {
+            *x -= y
+        });
         let rg = self.rg(a) || self.rg(b);
         self.push(value, Op::Sub(a, b), rg)
     }
 
     /// Element-wise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).hadamard(self.value(b));
+        assert_eq!(self.shape(a), self.shape(b), "mul shape mismatch");
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        kernel::par_zip_apply(value.data_mut(), self.nodes[b.0].value.data(), |x, y| {
+            *x *= y
+        });
         let rg = self.rg(a) || self.rg(b);
         self.push(value, Op::Mul(a, b), rg)
     }
 
     /// Adds a `1×c` row vector to every row of an `n×c` matrix.
     pub fn add_row_broadcast(&mut self, a: Var, b: Var) -> Var {
-        let (n, c) = self.shape(a);
+        let (_, c) = self.shape(a);
         assert_eq!(self.shape(b), (1, c), "add_row_broadcast: b must be 1x{c}");
-        let mut value = self.value(a).clone();
-        for r in 0..n {
-            let brow = self.nodes[b.0].value.row(0).to_vec();
-            for (x, y) in value.row_mut(r).iter_mut().zip(brow.iter()) {
-                *x += *y;
-            }
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        if c > 0 {
+            let bm = &self.nodes[b.0].value;
+            kernel::par_row_chunks(value.data_mut(), c, row_grain(c), |_, chunk| {
+                for row in chunk.chunks_mut(c) {
+                    for (x, &y) in row.iter_mut().zip(bm.row(0)) {
+                        *x += y;
+                    }
+                }
+            });
         }
         let rg = self.rg(a) || self.rg(b);
         self.push(value, Op::AddRowBroadcast(a, b), rg)
@@ -223,23 +409,26 @@ impl Graph {
 
     /// Multiplies every element by the constant `k`.
     pub fn scale(&mut self, a: Var, k: f32) -> Var {
-        let value = self.value(a).scale(k);
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        kernel::par_apply(value.data_mut(), |v| *v *= k);
         let rg = self.rg(a);
         self.push(value, Op::Scale(a, k), rg)
     }
 
     /// Adds the constant `k` to every element.
     pub fn add_scalar(&mut self, a: Var, k: f32) -> Var {
-        let value = self.value(a).map(|v| v + k);
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        kernel::par_apply(value.data_mut(), |v| *v += k);
         let rg = self.rg(a);
-        self.push(value, Op::AddScalar(a, k), rg)
+        self.push(value, Op::AddScalar(a), rg)
     }
 
     /// Multiplies a matrix by a `1×1` variable.
     pub fn mul_scalar_var(&mut self, a: Var, s: Var) -> Var {
         assert_eq!(self.shape(s), (1, 1), "mul_scalar_var: s must be 1x1");
-        let k = self.value(s).scalar();
-        let value = self.value(a).scale(k);
+        let k = self.nodes[s.0].value.scalar();
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        kernel::par_apply(value.data_mut(), |v| *v *= k);
         let rg = self.rg(a) || self.rg(s);
         self.push(value, Op::MulScalarVar(a, s), rg)
     }
@@ -247,8 +436,28 @@ impl Graph {
     /// Horizontal concatenation of equally-tall matrices.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_cols of zero parts");
-        let mats: Vec<&Matrix> = parts.iter().map(|&v| self.value(v)).collect();
-        let value = Matrix::hstack(&mats);
+        let rows = self.shape(parts[0]).0;
+        let mut cols = 0usize;
+        for &p in parts {
+            let (r, c) = self.shape(p);
+            assert_eq!(r, rows, "concat_cols row mismatch");
+            cols += c;
+        }
+        let mut value = self.pool.uninit(rows, cols);
+        if cols > 0 {
+            let nodes = &self.nodes;
+            kernel::par_row_chunks(value.data_mut(), cols, row_grain(cols), |r0, chunk| {
+                for (dr, row) in chunk.chunks_mut(cols).enumerate() {
+                    let r = r0 + dr;
+                    let mut offset = 0;
+                    for &p in parts {
+                        let m = &nodes[p.0].value;
+                        row[offset..offset + m.cols()].copy_from_slice(m.row(r));
+                        offset += m.cols();
+                    }
+                }
+            });
+        }
         let rg = parts.iter().any(|&v| self.rg(v));
         self.push(value, Op::ConcatCols(parts.to_vec()), rg)
     }
@@ -263,7 +472,7 @@ impl Graph {
             "slice_cols window [{start}, {}) out of range for {c} columns",
             start + width
         );
-        let mut value = Matrix::zeros(n, width);
+        let mut value = self.pool.uninit(n, width);
         if width > 0 {
             let input = &self.nodes[a.0].value;
             kernel::par_row_chunks(value.data_mut(), width, row_grain(width), |r0, chunk| {
@@ -279,46 +488,74 @@ impl Graph {
     /// Vertical concatenation of equally-wide matrices.
     pub fn vstack(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "vstack of zero parts");
-        let mats: Vec<&Matrix> = parts.iter().map(|&v| self.value(v)).collect();
-        let value = Matrix::vstack(&mats);
+        let cols = self.shape(parts[0]).1;
+        let mut rows = 0usize;
+        for &p in parts {
+            let (r, c) = self.shape(p);
+            assert_eq!(c, cols, "vstack column mismatch");
+            rows += r;
+        }
+        let mut value = self.pool.uninit(rows, cols);
+        let mut offset = 0;
+        for &p in parts {
+            let m = &self.nodes[p.0].value;
+            value.data_mut()[offset..offset + m.len()].copy_from_slice(m.data());
+            offset += m.len();
+        }
         let rg = parts.iter().any(|&v| self.rg(v));
         self.push(value, Op::VStack(parts.to_vec()), rg)
     }
 
     /// Gathers rows by index (rows may repeat). The backward pass
     /// scatter-adds into the source.
+    ///
+    /// Builds a throwaway [`SegmentPlan`] per call; hot paths should build
+    /// the plan once and use [`Graph::gather_rows_planned`].
     pub fn gather_rows(&mut self, a: Var, indices: &[usize]) -> Var {
-        let value = self.value(a).gather_rows(indices);
+        let n_rows = self.shape(a).0;
+        let plan = Arc::new(SegmentPlan::new(indices.to_vec(), n_rows));
+        self.gather_rows_planned(a, &plan)
+    }
+
+    /// [`Graph::gather_rows`] with a precomputed shared plan
+    /// (`plan.segment_of_row()` is the index list; `plan.n_segments()` must
+    /// equal the source's row count).
+    pub fn gather_rows_planned(&mut self, a: Var, plan: &Arc<SegmentPlan>) -> Var {
+        let (rows, c) = self.shape(a);
+        assert_eq!(
+            plan.n_segments(),
+            rows,
+            "gather_rows plan was built for a {}-row source, matrix has {rows} rows",
+            plan.n_segments()
+        );
+        let mut value = self.pool.uninit(plan.len(), c);
+        segment::broadcast_segments_into(&self.nodes[a.0].value, plan, &mut value);
         let rg = self.rg(a);
-        self.push(value, Op::GatherRows(a, indices.to_vec()), rg)
+        self.push(value, Op::GatherRows(a, Arc::clone(plan)), rg)
     }
 
     /// Sums rows into segments: output row `s` is the sum of input rows `r`
     /// with `segment_of_row[r] == s`.
+    ///
+    /// Builds a throwaway [`SegmentPlan`] per call; hot paths should build
+    /// the plan once and use [`Graph::segment_sum_planned`].
     pub fn segment_sum(&mut self, a: Var, segment_of_row: &[usize], n_segments: usize) -> Var {
+        let plan = Arc::new(SegmentPlan::new(segment_of_row.to_vec(), n_segments));
+        self.segment_sum_planned(a, &plan)
+    }
+
+    /// [`Graph::segment_sum`] with a precomputed shared plan.
+    pub fn segment_sum_planned(&mut self, a: Var, plan: &Arc<SegmentPlan>) -> Var {
         let (n, c) = self.shape(a);
-        assert_eq!(
-            segment_of_row.len(),
-            n,
-            "segment_sum: segment map length mismatch"
-        );
-        let mut value = Matrix::zeros(n_segments, c);
-        {
-            let input = &self.nodes[a.0].value;
-            for (r, &s) in segment_of_row.iter().enumerate() {
-                assert!(s < n_segments, "segment id {s} out of range {n_segments}");
-                for (o, &x) in value.row_mut(s).iter_mut().zip(input.row(r).iter()) {
-                    *o += x;
-                }
-            }
-        }
+        assert_eq!(plan.len(), n, "segment_sum: segment map length mismatch");
+        let mut value = self.pool.zeroed(plan.n_segments(), c);
+        segment::segment_sum_into(&self.nodes[a.0].value, plan, &mut value);
         let rg = self.rg(a);
         self.push(
             value,
             Op::SegmentSum {
                 input: a,
-                segment_of_row: segment_of_row.to_vec(),
-                n_segments,
+                plan: Arc::clone(plan),
             },
             rg,
         )
@@ -329,62 +566,66 @@ impl Graph {
     /// For every column `c` and segment `s`, the entries
     /// `{a[r][c] : segment_of_row[r] == s}` are replaced by their softmax.
     /// Numerically stabilised by subtracting the per-segment maximum.
+    ///
+    /// Builds a throwaway [`SegmentPlan`] per call; hot paths should build
+    /// the plan once and use [`Graph::segment_softmax_planned`].
     pub fn segment_softmax(&mut self, a: Var, segment_of_row: &[usize]) -> Var {
+        let n_segments = segment_of_row.iter().copied().max().map_or(0, |m| m + 1);
+        let plan = Arc::new(SegmentPlan::new(segment_of_row.to_vec(), n_segments));
+        self.segment_softmax_planned(a, &plan)
+    }
+
+    /// [`Graph::segment_softmax`] with a precomputed shared plan.
+    pub fn segment_softmax_planned(&mut self, a: Var, plan: &Arc<SegmentPlan>) -> Var {
         let (n, c) = self.shape(a);
         assert_eq!(
-            segment_of_row.len(),
+            plan.len(),
             n,
             "segment_softmax: segment map length mismatch"
         );
-        let n_segments = segment_of_row.iter().copied().max().map_or(0, |m| m + 1);
-        let input = self.value(a).clone();
-        // Per-segment, per-column max for numerical stability.
-        let mut seg_max = Matrix::full(n_segments, c, f32::NEG_INFINITY);
-        for (r, &s) in segment_of_row.iter().enumerate() {
-            for col in 0..c {
-                let v = input[(r, col)];
-                if v > seg_max[(s, col)] {
-                    seg_max[(s, col)] = v;
-                }
+        let n_segments = plan.n_segments();
+        let mut seg_max = self.pool.filled(n_segments, c, f32::NEG_INFINITY);
+        let mut seg_sum = self.pool.zeroed(n_segments, c);
+        let mut value = self.pool.uninit(n, c);
+        {
+            let input = &self.nodes[a.0].value;
+            let seg = plan.segment_of_row();
+            segment::segment_max_into(input, plan, &mut seg_max);
+            // The exponentiation and division passes are per-row independent;
+            // the two segment reductions (max above, sum below) parallelise
+            // by output segment, accumulating each segment in serial row
+            // order.
+            if c > 0 {
+                kernel::par_row_chunks(value.data_mut(), c, row_grain(c), |r0, chunk| {
+                    for (dr, row) in chunk.chunks_mut(c).enumerate() {
+                        let r = r0 + dr;
+                        let (irow, mrow) = (input.row(r), seg_max.row(seg[r]));
+                        for ((e, &x), &mx) in row.iter_mut().zip(irow).zip(mrow) {
+                            *e = (x - mx).exp();
+                        }
+                    }
+                });
+            }
+            segment::segment_sum_into(&value, plan, &mut seg_sum);
+            if c > 0 {
+                kernel::par_row_chunks(value.data_mut(), c, row_grain(c), |r0, chunk| {
+                    for (dr, row) in chunk.chunks_mut(c).enumerate() {
+                        let srow = seg_sum.row(seg[r0 + dr]);
+                        for (v, &s) in row.iter_mut().zip(srow) {
+                            *v /= s.max(NORM_EPS);
+                        }
+                    }
+                });
             }
         }
-        // The exponentiation and division passes are per-row independent and
-        // run in parallel; the two scatter reductions (max above, sum below)
-        // stay serial so segments accumulate in a fixed row order.
-        let mut value = Matrix::zeros(n, c);
-        if c > 0 {
-            kernel::par_row_chunks(value.data_mut(), c, row_grain(c), |r0, chunk| {
-                for (dr, row) in chunk.chunks_mut(c).enumerate() {
-                    let r = r0 + dr;
-                    let s = segment_of_row[r];
-                    for (col, e) in row.iter_mut().enumerate() {
-                        *e = (input[(r, col)] - seg_max[(s, col)]).exp();
-                    }
-                }
-            });
-        }
-        let mut seg_sum = Matrix::zeros(n_segments, c);
-        for (r, &s) in segment_of_row.iter().enumerate() {
-            for (o, &e) in seg_sum.row_mut(s).iter_mut().zip(value.row(r).iter()) {
-                *o += e;
-            }
-        }
-        if c > 0 {
-            kernel::par_row_chunks(value.data_mut(), c, row_grain(c), |r0, chunk| {
-                for (dr, row) in chunk.chunks_mut(c).enumerate() {
-                    let s = segment_of_row[r0 + dr];
-                    for (col, v) in row.iter_mut().enumerate() {
-                        *v /= seg_sum[(s, col)].max(NORM_EPS);
-                    }
-                }
-            });
-        }
+        self.pool.put_back(seg_max);
+        self.pool.put_back(seg_sum);
         let rg = self.rg(a);
         self.push(
             value,
             Op::SegmentSoftmax {
                 input: a,
-                segment_of_row: segment_of_row.to_vec(),
+                plan: Arc::clone(plan),
             },
             rg,
         )
@@ -394,7 +635,7 @@ impl Graph {
     pub fn rows_dot(&mut self, a: Var, b: Var) -> Var {
         let (n, c) = self.shape(a);
         assert_eq!(self.shape(b), (n, c), "rows_dot shape mismatch");
-        let mut value = Matrix::zeros(n, 1);
+        let mut value = self.pool.uninit(n, 1);
         {
             let (ma, mb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
             kernel::par_row_chunks(value.data_mut(), 1, row_grain(c), |r0, chunk| {
@@ -413,7 +654,7 @@ impl Graph {
     pub fn rows_circ_corr(&mut self, a: Var, b: Var) -> Var {
         let (n, d) = self.shape(a);
         assert_eq!(self.shape(b), (n, d), "rows_circ_corr shape mismatch");
-        let mut value = Matrix::zeros(n, d);
+        let mut value = self.pool.uninit(n, d);
         if d > 0 {
             let (ma, mb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
             kernel::par_row_chunks(value.data_mut(), d, row_grain(d * d), |r0, chunk| {
@@ -435,20 +676,10 @@ impl Graph {
 
     /// Scales row `i` of `a (n×c)` by `s[i]`, where `s` is `n×1`.
     pub fn scale_rows(&mut self, a: Var, s: Var) -> Var {
-        let (n, c) = self.shape(a);
+        let (n, _) = self.shape(a);
         assert_eq!(self.shape(s), (n, 1), "scale_rows: scale must be {n}x1");
-        let mut value = self.value(a).clone();
-        if c > 0 {
-            let sv = &self.nodes[s.0].value;
-            kernel::par_row_chunks(value.data_mut(), c, row_grain(c), |r0, chunk| {
-                for (dr, row) in chunk.chunks_mut(c).enumerate() {
-                    let k = sv[(r0 + dr, 0)];
-                    for x in row.iter_mut() {
-                        *x *= k;
-                    }
-                }
-            });
-        }
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        scale_rows_in_place(&mut value, &self.nodes[s.0].value);
         let rg = self.rg(a) || self.rg(s);
         self.push(value, Op::ScaleRows(a, s), rg)
     }
@@ -456,7 +687,7 @@ impl Graph {
     /// L2-normalises each row (rows of zeros stay zero thanks to an epsilon).
     pub fn normalize_rows(&mut self, a: Var) -> Var {
         let (_, c) = self.shape(a);
-        let mut value = self.value(a).clone();
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
         if c > 0 {
             kernel::par_row_chunks(value.data_mut(), c, row_grain(2 * c), |_, chunk| {
                 for row in chunk.chunks_mut(c) {
@@ -473,51 +704,66 @@ impl Graph {
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|v| v.max(0.0));
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        kernel::par_apply(value.data_mut(), |v| *v = v.max(0.0));
         let rg = self.rg(a);
         self.push(value, Op::Relu(a), rg)
     }
 
     /// Leaky ReLU with the given negative slope.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let value = self.value(a).map(|v| if v >= 0.0 { v } else { slope * v });
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        kernel::par_apply(value.data_mut(), |v| {
+            if *v < 0.0 {
+                *v *= slope;
+            }
+        });
         let rg = self.rg(a);
         self.push(value, Op::LeakyRelu(a, slope), rg)
     }
 
     /// Exponential linear unit (α = 1).
     pub fn elu(&mut self, a: Var) -> Var {
-        let value = self
-            .value(a)
-            .map(|v| if v >= 0.0 { v } else { v.exp() - 1.0 });
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        kernel::par_apply(value.data_mut(), |v| {
+            if *v < 0.0 {
+                *v = v.exp() - 1.0;
+            }
+        });
         let rg = self.rg(a);
         self.push(value, Op::Elu(a), rg)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(stable_sigmoid);
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        kernel::par_apply(value.data_mut(), |v| *v = stable_sigmoid(*v));
         let rg = self.rg(a);
         self.push(value, Op::Sigmoid(a), rg)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(f32::tanh);
+        let mut value = self.pool.copy_of(&self.nodes[a.0].value);
+        kernel::par_apply(value.data_mut(), |v| *v = v.tanh());
         let rg = self.rg(a);
         self.push(value, Op::Tanh(a), rg)
     }
 
     /// Sum of all elements → `1×1`.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let value = Matrix::from_vec(1, 1, vec![self.value(a).sum()]);
+        let s = self.nodes[a.0].value.sum();
+        let mut value = self.pool.uninit(1, 1);
+        value.data_mut()[0] = s;
         let rg = self.rg(a);
         self.push(value, Op::SumAll(a), rg)
     }
 
     /// Mean of all elements → `1×1`.
     pub fn mean_all(&mut self, a: Var) -> Var {
-        let value = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
+        let m = self.nodes[a.0].value.mean();
+        let mut value = self.pool.uninit(1, 1);
+        value.data_mut()[0] = m;
         let rg = self.rg(a);
         self.push(value, Op::MeanAll(a), rg)
     }
@@ -525,38 +771,51 @@ impl Graph {
     /// Numerically stable mean binary cross-entropy with logits.
     ///
     /// `logits` must be `n×1` and `targets` must have `n` entries in `[0, 1]`.
+    /// Copies the targets per call; hot paths should hold an `Arc<[f32]>`
+    /// and use [`Graph::bce_with_logits_shared`].
     pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
+        self.bce_with_logits_shared(logits, &Arc::from(targets))
+    }
+
+    /// [`Graph::bce_with_logits`] with shared targets (no per-call copy).
+    pub fn bce_with_logits_shared(&mut self, logits: Var, targets: &Arc<[f32]>) -> Var {
         let (n, c) = self.shape(logits);
         assert_eq!(c, 1, "bce_with_logits expects n×1 logits");
         assert_eq!(targets.len(), n, "bce_with_logits target length mismatch");
         let mut total = 0.0f64;
         for (r, &y) in targets.iter().enumerate() {
-            let x = self.value(logits)[(r, 0)];
+            let x = self.nodes[logits.0].value[(r, 0)];
             // max(x,0) - x*y + ln(1 + exp(-|x|))
             total += (x.max(0.0) - x * y + (-x.abs()).exp().ln_1p()) as f64;
         }
-        let value = Matrix::from_vec(1, 1, vec![(total / n.max(1) as f64) as f32]);
+        let mut value = self.pool.uninit(1, 1);
+        value.data_mut()[0] = (total / n.max(1) as f64) as f32;
         let rg = self.rg(logits);
         self.push(
             value,
             Op::BceWithLogits {
                 logits,
-                targets: targets.to_vec(),
+                targets: Arc::clone(targets),
             },
             rg,
         )
     }
 
     /// Runs the reverse pass from `loss` (which must be `1×1`) and returns
-    /// gradients for every participating node.
-    pub fn backward(&self, loss: Var) -> Gradients {
+    /// gradients for every participating node. Gradient buffers come from
+    /// the graph's pool; hand them back with [`Graph::recycle`] once
+    /// consumed.
+    pub fn backward(&mut self, loss: Var) -> Gradients {
         assert_eq!(
             self.shape(loss),
             (1, 1),
             "backward: loss must be a 1×1 scalar"
         );
-        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Matrix::ones(1, 1));
+        let mut grads = std::mem::take(&mut self.spare_grads);
+        grads.clear();
+        grads.resize_with(self.nodes.len(), || None);
+        let mut pool = std::mem::take(&mut self.pool);
+        grads[loss.0] = Some(pool.filled(1, 1, 1.0));
 
         for idx in (0..=loss.0).rev() {
             if !self.nodes[idx].requires_grad {
@@ -566,92 +825,126 @@ impl Graph {
                 Some(g) => g,
                 None => continue,
             };
-            self.backprop_node(idx, &g, &mut grads);
+            self.backprop_node(idx, &g, &mut grads, &mut pool);
             grads[idx] = Some(g);
         }
+        self.pool = pool;
         Gradients { grads }
     }
 
-    fn accumulate(grads: &mut [Option<Matrix>], var: Var, delta: Matrix) {
+    /// Adds `delta` into `var`'s gradient slot, recycling `delta`'s buffer
+    /// when the slot was already populated.
+    fn accumulate(pool: &mut BufferPool, grads: &mut [Option<Matrix>], var: Var, delta: Matrix) {
         match &mut grads[var.0] {
-            Some(g) => g.add_assign(&delta),
+            Some(g) => {
+                g.add_assign(&delta);
+                pool.put_back(delta);
+            }
             slot @ None => *slot = Some(delta),
         }
     }
 
-    fn backprop_node(&self, idx: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
+    fn backprop_node(
+        &self,
+        idx: usize,
+        g: &Matrix,
+        grads: &mut [Option<Matrix>],
+        pool: &mut BufferPool,
+    ) {
         let node = &self.nodes[idx];
         match &node.op {
-            Op::Leaf { .. } => {}
+            Op::Leaf => {}
             Op::MatMul(a, b) => {
                 if self.rg(*a) {
                     // dL/dA = G Bᵀ
-                    let da = g.matmul_nt(self.value(*b));
-                    Self::accumulate(grads, *a, da);
+                    let (rows, cols) = self.shape(*a);
+                    let mut da = pool.uninit(rows, cols);
+                    g.matmul_nt_into(self.value(*b), &mut da);
+                    Self::accumulate(pool, grads, *a, da);
                 }
                 if self.rg(*b) {
                     // dL/dB = Aᵀ G
-                    let db = self.value(*a).matmul_tn(g);
-                    Self::accumulate(grads, *b, db);
+                    let (rows, cols) = self.shape(*b);
+                    let mut db = pool.uninit(rows, cols);
+                    self.value(*a).matmul_tn_into(g, &mut db);
+                    Self::accumulate(pool, grads, *b, db);
                 }
             }
             Op::Add(a, b) => {
                 if self.rg(*a) {
-                    Self::accumulate(grads, *a, g.clone());
+                    let da = pool.copy_of(g);
+                    Self::accumulate(pool, grads, *a, da);
                 }
                 if self.rg(*b) {
-                    Self::accumulate(grads, *b, g.clone());
+                    let db = pool.copy_of(g);
+                    Self::accumulate(pool, grads, *b, db);
                 }
             }
             Op::Sub(a, b) => {
                 if self.rg(*a) {
-                    Self::accumulate(grads, *a, g.clone());
+                    let da = pool.copy_of(g);
+                    Self::accumulate(pool, grads, *a, da);
                 }
                 if self.rg(*b) {
-                    Self::accumulate(grads, *b, g.scale(-1.0));
+                    let mut db = pool.copy_of(g);
+                    kernel::par_apply(db.data_mut(), |v| *v = -*v);
+                    Self::accumulate(pool, grads, *b, db);
                 }
             }
             Op::Mul(a, b) => {
                 if self.rg(*a) {
-                    Self::accumulate(grads, *a, g.hadamard(self.value(*b)));
+                    let mut da = pool.copy_of(g);
+                    kernel::par_zip_apply(da.data_mut(), self.value(*b).data(), |x, y| *x *= y);
+                    Self::accumulate(pool, grads, *a, da);
                 }
                 if self.rg(*b) {
-                    Self::accumulate(grads, *b, g.hadamard(self.value(*a)));
+                    let mut db = pool.copy_of(g);
+                    kernel::par_zip_apply(db.data_mut(), self.value(*a).data(), |x, y| *x *= y);
+                    Self::accumulate(pool, grads, *b, db);
                 }
             }
             Op::AddRowBroadcast(a, b) => {
                 if self.rg(*a) {
-                    Self::accumulate(grads, *a, g.clone());
+                    let da = pool.copy_of(g);
+                    Self::accumulate(pool, grads, *a, da);
                 }
                 if self.rg(*b) {
                     let (n, c) = g.shape();
-                    let mut db = Matrix::zeros(1, c);
+                    let mut db = pool.zeroed(1, c);
                     for r in 0..n {
                         for (o, &x) in db.row_mut(0).iter_mut().zip(g.row(r).iter()) {
                             *o += x;
                         }
                     }
-                    Self::accumulate(grads, *b, db);
+                    Self::accumulate(pool, grads, *b, db);
                 }
             }
             Op::Scale(a, k) => {
                 if self.rg(*a) {
-                    Self::accumulate(grads, *a, g.scale(*k));
+                    let k = *k;
+                    let mut da = pool.copy_of(g);
+                    kernel::par_apply(da.data_mut(), |v| *v *= k);
+                    Self::accumulate(pool, grads, *a, da);
                 }
             }
-            Op::AddScalar(a, _) => {
+            Op::AddScalar(a) => {
                 if self.rg(*a) {
-                    Self::accumulate(grads, *a, g.clone());
+                    let da = pool.copy_of(g);
+                    Self::accumulate(pool, grads, *a, da);
                 }
             }
             Op::MulScalarVar(a, s) => {
                 let k = self.value(*s).scalar();
                 if self.rg(*a) {
-                    Self::accumulate(grads, *a, g.scale(k));
+                    let mut da = pool.copy_of(g);
+                    kernel::par_apply(da.data_mut(), |v| *v *= k);
+                    Self::accumulate(pool, grads, *a, da);
                 }
                 if self.rg(*s) {
                     let ds = g.hadamard(self.value(*a)).sum();
-                    Self::accumulate(grads, *s, Matrix::from_vec(1, 1, vec![ds]));
+                    let mut dm = pool.uninit(1, 1);
+                    dm.data_mut()[0] = ds;
+                    Self::accumulate(pool, grads, *s, dm);
                 }
             }
             Op::ConcatCols(parts) => {
@@ -659,12 +952,12 @@ impl Graph {
                 for &p in parts {
                     let (rows, cols) = self.shape(p);
                     if self.rg(p) {
-                        let mut dp = Matrix::zeros(rows, cols);
+                        let mut dp = pool.uninit(rows, cols);
                         for r in 0..rows {
                             dp.row_mut(r)
                                 .copy_from_slice(&g.row(r)[offset..offset + cols]);
                         }
-                        Self::accumulate(grads, p, dp);
+                        Self::accumulate(pool, grads, p, dp);
                     }
                     offset += cols;
                 }
@@ -673,11 +966,11 @@ impl Graph {
                 if self.rg(*a) {
                     let (rows, cols) = self.shape(*a);
                     let width = node.value.cols();
-                    let mut da = Matrix::zeros(rows, cols);
+                    let mut da = pool.zeroed(rows, cols);
                     for r in 0..rows {
                         da.row_mut(r)[*start..*start + width].copy_from_slice(g.row(r));
                     }
-                    Self::accumulate(grads, *a, da);
+                    Self::accumulate(pool, grads, *a, da);
                 }
             }
             Op::VStack(parts) => {
@@ -685,92 +978,70 @@ impl Graph {
                 for &p in parts {
                     let (rows, cols) = self.shape(p);
                     if self.rg(p) {
-                        let mut dp = Matrix::zeros(rows, cols);
+                        let mut dp = pool.uninit(rows, cols);
                         for r in 0..rows {
                             dp.row_mut(r).copy_from_slice(g.row(offset + r));
                         }
-                        Self::accumulate(grads, p, dp);
+                        Self::accumulate(pool, grads, p, dp);
                     }
                     offset += rows;
                 }
             }
-            Op::GatherRows(a, indices) => {
+            Op::GatherRows(a, plan) => {
                 if self.rg(*a) {
+                    // Scatter-add: source row i accumulates the gathered
+                    // slots that read it, in ascending slot order — the
+                    // segment-sum kernel with the gather plan.
                     let (rows, cols) = self.shape(*a);
-                    let mut da = Matrix::zeros(rows, cols);
-                    for (k, &i) in indices.iter().enumerate() {
-                        for (o, &x) in da.row_mut(i).iter_mut().zip(g.row(k).iter()) {
-                            *o += x;
-                        }
-                    }
-                    Self::accumulate(grads, *a, da);
+                    let mut da = pool.zeroed(rows, cols);
+                    segment::segment_sum_into(g, plan, &mut da);
+                    Self::accumulate(pool, grads, *a, da);
                 }
             }
-            Op::SegmentSum {
-                input,
-                segment_of_row,
-                ..
-            } => {
+            Op::SegmentSum { input, plan } => {
                 if self.rg(*input) {
                     let (rows, cols) = self.shape(*input);
-                    let mut da = Matrix::zeros(rows, cols);
-                    for (r, &s) in segment_of_row.iter().enumerate() {
-                        da.row_mut(r).copy_from_slice(g.row(s));
-                    }
-                    Self::accumulate(grads, *input, da);
+                    let mut da = pool.uninit(rows, cols);
+                    segment::broadcast_segments_into(g, plan, &mut da);
+                    Self::accumulate(pool, grads, *input, da);
                 }
             }
-            Op::SegmentSoftmax {
-                input,
-                segment_of_row,
-            } => {
+            Op::SegmentSoftmax { input, plan } => {
                 if self.rg(*input) {
                     // dx = y ⊙ (g - Σ_seg g ⊙ y)
                     let y = &node.value;
                     let (n, c) = y.shape();
-                    let n_segments = segment_of_row.iter().copied().max().map_or(0, |m| m + 1);
-                    let mut seg_dot = Matrix::zeros(n_segments, c);
-                    for (r, &s) in segment_of_row.iter().enumerate() {
-                        for col in 0..c {
-                            seg_dot[(s, col)] += g[(r, col)] * y[(r, col)];
-                        }
-                    }
-                    let mut da = Matrix::zeros(n, c);
+                    let mut seg_dot = pool.zeroed(plan.n_segments(), c);
+                    segment::segment_dot_into(g, y, plan, &mut seg_dot);
+                    let mut da = pool.uninit(n, c);
                     if c > 0 {
+                        let seg = plan.segment_of_row();
                         kernel::par_row_chunks(da.data_mut(), c, row_grain(c), |r0, chunk| {
                             for (dr, row) in chunk.chunks_mut(c).enumerate() {
                                 let r = r0 + dr;
-                                let s = segment_of_row[r];
-                                for (col, o) in row.iter_mut().enumerate() {
-                                    *o = y[(r, col)] * (g[(r, col)] - seg_dot[(s, col)]);
+                                let (yrow, grow, drow) = (y.row(r), g.row(r), seg_dot.row(seg[r]));
+                                for (((o, &yy), &gg), &dd) in
+                                    row.iter_mut().zip(yrow).zip(grow).zip(drow)
+                                {
+                                    *o = yy * (gg - dd);
                                 }
                             }
                         });
                     }
-                    Self::accumulate(grads, *input, da);
+                    pool.put_back(seg_dot);
+                    Self::accumulate(pool, grads, *input, da);
                 }
             }
             Op::RowsDot(a, b) => {
-                let (_, c) = self.shape(*a);
-                let scale_rows_by_g = |src: &Matrix| {
-                    let mut d = src.clone();
-                    if c > 0 {
-                        kernel::par_row_chunks(d.data_mut(), c, row_grain(c), |r0, chunk| {
-                            for (dr, row) in chunk.chunks_mut(c).enumerate() {
-                                let k = g[(r0 + dr, 0)];
-                                for x in row.iter_mut() {
-                                    *x *= k;
-                                }
-                            }
-                        });
-                    }
-                    d
-                };
                 if self.rg(*a) {
-                    Self::accumulate(grads, *a, scale_rows_by_g(self.value(*b)));
+                    let mut da = pool.copy_of(self.value(*b));
+                    scale_rows_in_place(&mut da, g);
+                    Self::accumulate(pool, grads, *a, da);
                 }
                 if self.rg(*b) {
-                    Self::accumulate(grads, *b, scale_rows_by_g(self.value(*a)));
+                    let mut db = pool.copy_of(self.value(*a));
+                    scale_rows_in_place(&mut db, g);
+                    Self::accumulate(pool, grads, *b, db);
                 }
             }
             Op::RowsCircCorr(a, b) => {
@@ -778,7 +1049,7 @@ impl Graph {
                 let (ma, mb) = (self.value(*a), self.value(*b));
                 if self.rg(*a) && d > 0 {
                     // dL/da_i = Σ_k g_k b_{(k+i) mod d} = (g ⋆ b)_i.
-                    let mut da = Matrix::zeros(n, d);
+                    let mut da = pool.uninit(n, d);
                     kernel::par_row_chunks(da.data_mut(), d, row_grain(d * d), |r0, chunk| {
                         for (dr, out) in chunk.chunks_mut(d).enumerate() {
                             let (gr, rb) = (g.row(r0 + dr), mb.row(r0 + dr));
@@ -791,43 +1062,35 @@ impl Graph {
                             }
                         }
                     });
-                    Self::accumulate(grads, *a, da);
+                    Self::accumulate(pool, grads, *a, da);
                 }
                 if self.rg(*b) && d > 0 {
                     // dL/db_j = Σ_k g_k a_{(j-k) mod d} (circular convolution).
-                    let mut db = Matrix::zeros(n, d);
+                    let mut db = pool.uninit(n, d);
                     kernel::par_row_chunks(db.data_mut(), d, row_grain(d * d), |r0, chunk| {
                         for (dr, out) in chunk.chunks_mut(d).enumerate() {
                             let (gr, ra) = (g.row(r0 + dr), ma.row(r0 + dr));
                             for (j, o) in out.iter_mut().enumerate() {
                                 let mut acc = 0.0f32;
                                 for k in 0..d {
-                                    acc += gr[k] * ra[(j + d - k % d) % d];
+                                    acc += gr[k] * ra[(j + d - k) % d];
                                 }
                                 *o = acc;
                             }
                         }
                     });
-                    Self::accumulate(grads, *b, db);
+                    Self::accumulate(pool, grads, *b, db);
                 }
             }
             Op::ScaleRows(a, s) => {
                 let (n, c) = self.shape(*a);
                 if self.rg(*a) && c > 0 {
-                    let sv = self.value(*s);
-                    let mut da = g.clone();
-                    kernel::par_row_chunks(da.data_mut(), c, row_grain(c), |r0, chunk| {
-                        for (dr, row) in chunk.chunks_mut(c).enumerate() {
-                            let k = sv[(r0 + dr, 0)];
-                            for x in row.iter_mut() {
-                                *x *= k;
-                            }
-                        }
-                    });
-                    Self::accumulate(grads, *a, da);
+                    let mut da = pool.copy_of(g);
+                    scale_rows_in_place(&mut da, self.value(*s));
+                    Self::accumulate(pool, grads, *a, da);
                 }
                 if self.rg(*s) {
-                    let mut ds = Matrix::zeros(n, 1);
+                    let mut ds = pool.uninit(n, 1);
                     let ma = self.value(*a);
                     kernel::par_row_chunks(ds.data_mut(), 1, row_grain(c), |r0, chunk| {
                         for (dr, out) in chunk.iter_mut().enumerate() {
@@ -839,7 +1102,7 @@ impl Graph {
                                 .sum();
                         }
                     });
-                    Self::accumulate(grads, *s, ds);
+                    Self::accumulate(pool, grads, *s, ds);
                 }
             }
             Op::NormalizeRows(a) => {
@@ -848,7 +1111,7 @@ impl Graph {
                     let x = self.value(*a);
                     let y = &node.value;
                     let (n, c) = x.shape();
-                    let mut da = Matrix::zeros(n, c);
+                    let mut da = pool.zeroed(n, c);
                     if c > 0 {
                         kernel::par_row_chunks(da.data_mut(), c, row_grain(3 * c), |r0, chunk| {
                             for (dr, row) in chunk.chunks_mut(c).enumerate() {
@@ -866,32 +1129,32 @@ impl Graph {
                             }
                         });
                     }
-                    Self::accumulate(grads, *a, da);
+                    Self::accumulate(pool, grads, *a, da);
                 }
             }
             Op::Relu(a) => {
                 if self.rg(*a) {
                     let x = self.value(*a);
-                    let mut da = g.clone();
+                    let mut da = pool.copy_of(g);
                     kernel::par_zip_apply(da.data_mut(), x.data(), |d, v| {
                         if v <= 0.0 {
                             *d = 0.0;
                         }
                     });
-                    Self::accumulate(grads, *a, da);
+                    Self::accumulate(pool, grads, *a, da);
                 }
             }
             Op::LeakyRelu(a, slope) => {
                 if self.rg(*a) {
                     let slope = *slope;
                     let x = self.value(*a);
-                    let mut da = g.clone();
+                    let mut da = pool.copy_of(g);
                     kernel::par_zip_apply(da.data_mut(), x.data(), |d, v| {
                         if v < 0.0 {
                             *d *= slope;
                         }
                     });
-                    Self::accumulate(grads, *a, da);
+                    Self::accumulate(pool, grads, *a, da);
                 }
             }
             Op::Elu(a) => {
@@ -899,46 +1162,48 @@ impl Graph {
                     // y = eˣ - 1 for x < 0, so dy/dx = y + 1.
                     let y = &node.value;
                     let x = self.value(*a);
-                    let mut da = g.clone();
+                    let mut da = pool.copy_of(g);
                     kernel::par_zip2_apply(da.data_mut(), x.data(), y.data(), |d, v, yy| {
                         if v < 0.0 {
                             *d *= yy + 1.0;
                         }
                     });
-                    Self::accumulate(grads, *a, da);
+                    Self::accumulate(pool, grads, *a, da);
                 }
             }
             Op::Sigmoid(a) => {
                 if self.rg(*a) {
                     let y = &node.value;
-                    let mut da = g.clone();
+                    let mut da = pool.copy_of(g);
                     kernel::par_zip_apply(da.data_mut(), y.data(), |d, yy| {
                         *d *= yy * (1.0 - yy);
                     });
-                    Self::accumulate(grads, *a, da);
+                    Self::accumulate(pool, grads, *a, da);
                 }
             }
             Op::Tanh(a) => {
                 if self.rg(*a) {
                     let y = &node.value;
-                    let mut da = g.clone();
+                    let mut da = pool.copy_of(g);
                     kernel::par_zip_apply(da.data_mut(), y.data(), |d, yy| {
                         *d *= 1.0 - yy * yy;
                     });
-                    Self::accumulate(grads, *a, da);
+                    Self::accumulate(pool, grads, *a, da);
                 }
             }
             Op::SumAll(a) => {
                 if self.rg(*a) {
                     let (n, c) = self.shape(*a);
-                    Self::accumulate(grads, *a, Matrix::full(n, c, g.scalar()));
+                    let da = pool.filled(n, c, g.scalar());
+                    Self::accumulate(pool, grads, *a, da);
                 }
             }
             Op::MeanAll(a) => {
                 if self.rg(*a) {
                     let (n, c) = self.shape(*a);
                     let k = g.scalar() / (n * c).max(1) as f32;
-                    Self::accumulate(grads, *a, Matrix::full(n, c, k));
+                    let da = pool.filled(n, c, k);
+                    Self::accumulate(pool, grads, *a, da);
                 }
             }
             Op::BceWithLogits { logits, targets } => {
@@ -946,11 +1211,11 @@ impl Graph {
                     let x = self.value(*logits);
                     let n = targets.len();
                     let k = g.scalar() / n.max(1) as f32;
-                    let mut da = Matrix::zeros(n, 1);
+                    let mut da = pool.uninit(n, 1);
                     for (r, &y) in targets.iter().enumerate() {
                         da[(r, 0)] = (stable_sigmoid(x[(r, 0)]) - y) * k;
                     }
-                    Self::accumulate(grads, *logits, da);
+                    Self::accumulate(pool, grads, *logits, da);
                 }
             }
         }
@@ -1149,6 +1414,52 @@ mod tests {
         let grads = g.backward(loss);
         assert_eq!(grads.get(a).unwrap().data(), &[4.0, 4.0]);
         assert_eq!(grads.get(s).unwrap().scalar(), 5.0);
+    }
+
+    #[test]
+    fn reset_recycles_buffers_and_reuses_them() {
+        let mut g = Graph::new();
+        let run = |g: &mut Graph| {
+            let a = g.leaf_ref(&Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+            let b = g.constant_ref(&Matrix::identity(2));
+            let c = g.matmul(a, b);
+            let loss = g.sum_all(c);
+            let grads = g.backward(loss);
+            let da = grads.get(a).unwrap().clone();
+            g.recycle(grads);
+            da
+        };
+        let first = run(&mut g);
+        g.reset();
+        assert!(g.is_empty());
+        assert!(g.pooled_buffers() > 0, "reset should retain buffers");
+        let second = run(&mut g);
+        assert_eq!(first.data(), second.data());
+    }
+
+    #[test]
+    fn planned_ops_match_slice_ops() {
+        let seg = vec![0usize, 1, 0, 2, 2, 1];
+        let idx = vec![2usize, 0, 0, 2];
+        let x = Matrix::from_fn(6, 3, |r, c| (r * 3 + c) as f32 * 0.25 - 1.0);
+
+        let mut g1 = Graph::new();
+        let a1 = g1.leaf(x.clone());
+        let s1 = g1.segment_sum(a1, &seg, 3);
+        let sm1 = g1.segment_softmax(a1, &seg);
+        let gr1 = g1.gather_rows(s1, &idx);
+
+        let mut g2 = Graph::new();
+        let seg_plan = Arc::new(SegmentPlan::new(seg, 3));
+        let idx_plan = Arc::new(SegmentPlan::new(idx, 3));
+        let a2 = g2.leaf(x);
+        let s2 = g2.segment_sum_planned(a2, &seg_plan);
+        let sm2 = g2.segment_softmax_planned(a2, &seg_plan);
+        let gr2 = g2.gather_rows_planned(s2, &idx_plan);
+
+        assert_eq!(g1.value(s1).data(), g2.value(s2).data());
+        assert_eq!(g1.value(sm1).data(), g2.value(sm2).data());
+        assert_eq!(g1.value(gr1).data(), g2.value(gr2).data());
     }
 
     #[test]

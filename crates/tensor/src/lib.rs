@@ -9,6 +9,10 @@
 //! * [`Graph`] / [`Var`] — the autodiff tape, with GNN-specific primitives
 //!   (`gather_rows`, `segment_sum`, `segment_softmax`, `rows_dot`,
 //!   `scale_rows`, `normalize_rows`);
+//! * [`SegmentPlan`] — CSR-style inverted segment maps that let the scatter
+//!   reductions (`segment_sum`, `segment_softmax`, gather backward) run in
+//!   parallel by output segment, bitwise identical to their serial
+//!   references, and be shared across epochs behind an `Arc`;
 //! * [`check`] — finite-difference gradient checking used by every model's
 //!   test suite;
 //! * [`kernel`] — the execution-policy layer: cache-blocked, row-parallel
@@ -35,6 +39,8 @@ pub mod check;
 pub mod graph;
 pub mod kernel;
 pub mod matrix;
+pub mod segment;
 
 pub use graph::{stable_sigmoid, Gradients, Graph, Var};
 pub use matrix::Matrix;
+pub use segment::SegmentPlan;

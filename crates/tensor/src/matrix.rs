@@ -239,22 +239,44 @@ impl Matrix {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_main(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-provided output (any prior
+    /// contents are overwritten) — the allocation-free variant used by the
+    /// tape's buffer pool.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or if `out` is not `m × n`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_into output shape mismatch"
+        );
+        out.fill_zero();
+        self.matmul_main(other, out);
+    }
+
+    /// Dispatches the blocked parallel matmul into `out`, which must already
+    /// be zeroed (the kernels accumulate).
+    fn matmul_main(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} × {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
         if m == 0 || n == 0 || k == 0 {
-            return out;
+            return;
         }
         let grain = (PAR_GRAIN_FLOPS / (k * n)).max(1);
         let (a, b) = (&self.data, &other.data);
         kernel::par_row_chunks(&mut out.data, n, grain, |r0, chunk| {
             Self::matmul_block(a, b, chunk, r0, k, n);
         });
-        out
     }
 
     /// Blocked kernel for a contiguous band of `matmul` output rows starting
@@ -410,22 +432,43 @@ impl Matrix {
     /// `self`); bitwise identical to [`Matrix::matmul_tn_naive`] — the
     /// `k`-reduction per element always runs ascending in one accumulator.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_tn_main(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] writing into a caller-provided output (any prior
+    /// contents are overwritten).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or if `out` is not `selfᵀ.rows × n`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "matmul_tn_into output shape mismatch"
+        );
+        out.fill_zero();
+        self.matmul_tn_main(other, out);
+    }
+
+    /// Dispatches the blocked parallel `selfᵀ × other` into `out`, which must
+    /// already be zeroed (the kernels accumulate).
+    fn matmul_tn_main(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn shape mismatch: {}x{} ᵀ× {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let (kdim, m2, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m2, n);
         if m2 == 0 || n == 0 || kdim == 0 {
-            return out;
+            return;
         }
         let grain = (PAR_GRAIN_FLOPS / (kdim * n)).max(1);
         let (a, b) = (&self.data, &other.data);
         kernel::par_row_chunks(&mut out.data, n, grain, |r0, chunk| {
             Self::matmul_tn_block(a, b, chunk, r0, m2, kdim, n);
         });
-        out
     }
 
     /// Blocked kernel for a band of `matmul_tn` output rows (`selfᵀ` rows,
@@ -513,22 +556,44 @@ impl Matrix {
     /// ascending order (the reduction is never split or reassociated), so
     /// results are bitwise identical to [`Matrix::matmul_nt_naive`].
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_nt_main(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] writing into a caller-provided output (any prior
+    /// contents are overwritten).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or if `out` is not `m × other.rows`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_nt_into output shape mismatch"
+        );
+        out.fill_zero();
+        self.matmul_nt_main(other, out);
+    }
+
+    /// Dispatches the tiled parallel `self × otherᵀ` into `out`, which must
+    /// already be zeroed (every element is overwritten unless a dimension is
+    /// zero, in which case the zeroed output is the correct product).
+    fn matmul_nt_main(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} × {}x{} ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, p) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(m, p);
         if m == 0 || p == 0 || k == 0 {
-            return out;
+            return;
         }
         let grain = (PAR_GRAIN_FLOPS / (k * p)).max(1);
         let (a, b) = (&self.data, &other.data);
         kernel::par_row_chunks(&mut out.data, p, grain, |r0, chunk| {
             Self::matmul_nt_block(a, b, chunk, r0, k, p);
         });
-        out
     }
 
     /// Kernel for a band of `matmul_nt` output rows starting at global row
@@ -688,6 +753,11 @@ impl Matrix {
     /// Sets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|a| *a = 0.0);
+    }
+
+    /// Sets every element to `value`, keeping the allocation.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|a| *a = value);
     }
 
     /// Sum of all elements.

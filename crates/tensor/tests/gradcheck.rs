@@ -26,7 +26,7 @@ fn check(inputs: &[Matrix], build: impl Fn(&mut Graph, &[Var]) -> Var) {
     let analytic: Vec<Matrix> = vars
         .iter()
         .zip(inputs.iter())
-        .map(|(&v, m)| grads.get_or_zeros(v, m.rows(), m.cols()))
+        .map(|(&v, m)| grads.get_or_zeros(v, m.rows(), m.cols()).into_owned())
         .collect();
     assert_gradients_match(&analytic, &numeric, TOL);
 }

@@ -2,8 +2,13 @@
 //! identities of the eager ops and invariants of the GNN primitives.
 
 use prim_tensor::check::TestRng;
-use prim_tensor::{kernel, Graph, Matrix};
+use prim_tensor::segment::{
+    broadcast_segments_into, segment_dot_into, segment_dot_serial_into, segment_max_into,
+    segment_max_serial_into, segment_sum_into, segment_sum_serial_into,
+};
+use prim_tensor::{kernel, Graph, Matrix, SegmentPlan};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-3.0f32..3.0, rows * cols)
@@ -233,6 +238,134 @@ proptest! {
         let a = Matrix::from_vec(m, k, data[..m * k].to_vec());
         let b = Matrix::from_vec(p, k, data[1600..1600 + p * k].to_vec());
         prop_assert!(bits_equal(&a.matmul_nt(&b), &a.matmul_nt_naive(&b)));
+    }
+
+    /// The output-partitioned segment reductions are bitwise identical to
+    /// their serial references on random shapes: 0-row inputs, 0-column
+    /// inputs, out-of-order segment ids, empty interior segments, and
+    /// trailing empty segments (`n_segments` past the largest id), at every
+    /// thread count.
+    #[test]
+    fn segment_kernels_parallel_match_serial_bitwise(
+        rows in 0usize..40,
+        cols in 0usize..8,
+        extra_segments in 0usize..4,
+        data in prop::collection::vec(-3.0f32..3.0, 640),
+        seg_raw in prop::collection::vec(0usize..12, 40),
+        threads in 1usize..6,
+    ) {
+        let x = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+        let y = Matrix::from_vec(rows, cols, data[320..320 + rows * cols].to_vec());
+        let seg: Vec<usize> = seg_raw[..rows].to_vec();
+        let n_segments =
+            seg.iter().copied().max().map_or(0, |m| m + 1) + extra_segments;
+        let plan = SegmentPlan::new(seg.clone(), n_segments);
+        kernel::set_threads(threads);
+
+        let mut par = Matrix::zeros(n_segments, cols);
+        segment_sum_into(&x, &plan, &mut par);
+        let mut ser = Matrix::zeros(n_segments, cols);
+        segment_sum_serial_into(&x, &seg, &mut ser);
+        prop_assert!(bits_equal(&par, &ser), "segment_sum drifted");
+
+        let mut par_max = Matrix::from_fn(n_segments, cols, |_, _| f32::NEG_INFINITY);
+        segment_max_into(&x, &plan, &mut par_max);
+        let mut ser_max = Matrix::from_fn(n_segments, cols, |_, _| f32::NEG_INFINITY);
+        segment_max_serial_into(&x, &seg, &mut ser_max);
+        prop_assert!(bits_equal(&par_max, &ser_max), "segment_max drifted");
+
+        let mut par_dot = Matrix::zeros(n_segments, cols);
+        segment_dot_into(&x, &y, &plan, &mut par_dot);
+        let mut ser_dot = Matrix::zeros(n_segments, cols);
+        segment_dot_serial_into(&x, &y, &seg, &mut ser_dot);
+        prop_assert!(bits_equal(&par_dot, &ser_dot), "segment_dot drifted");
+
+        // Broadcast (gather forward / segment-sum adjoint): each output row
+        // must equal the source row its segment id names.
+        let src = Matrix::from_vec(
+            n_segments,
+            cols,
+            data[640 - n_segments * cols..].to_vec(),
+        );
+        let mut bcast = Matrix::zeros(rows, cols);
+        broadcast_segments_into(&src, &plan, &mut bcast);
+        let naive = Matrix::from_fn(rows, cols, |r, c| src[(seg[r], c)]);
+        prop_assert!(bits_equal(&bcast, &naive), "broadcast drifted");
+        kernel::set_threads(0);
+    }
+
+    /// A full planned pipeline on the tape — gather, segment softmax,
+    /// segment sum, and the backward pass through all three (broadcast,
+    /// segment-dot, scatter-add) — produces bitwise identical values and
+    /// gradients at any thread count.
+    #[test]
+    fn planned_graph_pipeline_thread_invariant(
+        table in mat(5, 3),
+        idx in prop::collection::vec(0usize..5, 0..16),
+        threads in 2usize..6,
+    ) {
+        let plan = Arc::new(SegmentPlan::new(idx, 5));
+        let run = |plan: &Arc<SegmentPlan>| {
+            let mut g = Graph::new();
+            let t = g.leaf_ref(&table);
+            let gathered = g.gather_rows_planned(t, plan);
+            let alpha = g.segment_softmax_planned(gathered, plan);
+            let agg = g.segment_sum_planned(alpha, plan);
+            let loss = g.sum_all(agg);
+            let out = g.value(agg).clone();
+            let grads = g.backward(loss);
+            (out, grads.get(t).unwrap().clone())
+        };
+        kernel::set_threads(1);
+        let (v_serial, g_serial) = run(&plan);
+        kernel::set_threads(threads);
+        let (v_par, g_par) = run(&plan);
+        kernel::set_threads(0);
+        prop_assert!(bits_equal(&v_serial, &v_par), "planned values drifted");
+        prop_assert!(bits_equal(&g_serial, &g_par), "planned gradients drifted");
+    }
+
+    /// Reusing one pooled tape across training iterations (`reset()` +
+    /// `recycle()`) is bitwise identical to building a fresh `Graph` per
+    /// iteration: pooled buffers must never leak stale values into the next
+    /// step.
+    #[test]
+    fn pooled_reset_matches_fresh_graph_bitwise(
+        x in mat(6, 4),
+        w0 in mat(4, 3),
+        seg in prop::collection::vec(0usize..4, 10),
+    ) {
+        // One SGD-style step: h = x·w, gather, softmax, aggregate, then
+        // follow the gradient of the summed output.
+        let step = |g: &mut Graph, w: &Matrix| -> (f32, Matrix) {
+            let xv = g.constant_ref(&x);
+            let wv = g.leaf_ref(w);
+            let h = g.matmul(xv, wv);
+            let gathered = g.gather_rows(h, &seg);
+            let alpha = g.segment_softmax(gathered, &seg);
+            let agg = g.segment_sum(alpha, &seg, 4);
+            let loss = g.sum_all(agg);
+            let loss_val = g.value(loss).scalar();
+            let grads = g.backward(loss);
+            let dw = grads.get(wv).unwrap().clone();
+            let next = w.add(&dw.scale(-0.1));
+            g.recycle(grads);
+            (loss_val, next)
+        };
+
+        let mut w_pooled = w0.clone();
+        let mut w_fresh = w0;
+        let mut pooled = Graph::new();
+        for _ in 0..3 {
+            pooled.reset();
+            let (loss_pooled, next_pooled) = step(&mut pooled, &w_pooled);
+            let mut fresh = Graph::new();
+            let (loss_fresh, next_fresh) = step(&mut fresh, &w_fresh);
+            prop_assert_eq!(loss_pooled.to_bits(), loss_fresh.to_bits());
+            w_pooled = next_pooled;
+            w_fresh = next_fresh;
+            prop_assert!(bits_equal(&w_pooled, &w_fresh), "pooled step drifted");
+        }
     }
 }
 
