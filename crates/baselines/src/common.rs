@@ -9,6 +9,7 @@
 use prim_core::{sample_epoch_triples, ModelInputs};
 use prim_graph::{Edge, HeteroGraph, PoiId};
 use prim_nn::{Adam, Binding, ParamId, ParamStore};
+use prim_obs::{Counter, EpochRecord, Phase, Telemetry, TrainAbort};
 use prim_tensor::{Graph, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -275,6 +276,13 @@ fn val_accuracy<M: PairModel>(
 
 /// Trains any [`PairModel`] with the shared objective; mirrors
 /// [`prim_core::fit`] minus the distance-specific machinery.
+///
+/// Telemetry comes from the environment (`PRIM_RUN_REPORT`,
+/// `PRIM_GUARD_EVERY`), exactly as in [`prim_core::fit`].
+///
+/// # Panics
+/// Panics when the environment-enabled finite guard aborts training. Use
+/// [`train_pair_model_observed`] to handle [`TrainAbort`] as a value.
 pub fn train_pair_model<M: PairModel>(
     model: &mut M,
     inputs: &ModelInputs,
@@ -283,9 +291,40 @@ pub fn train_pair_model<M: PairModel>(
     visible: Option<&HashSet<PoiId>>,
     val_edges: Option<&[Edge]>,
 ) -> BaselineReport {
+    let telemetry = Telemetry::from_env(model.name());
+    let result = train_pair_model_observed(
+        model,
+        inputs,
+        graph,
+        train_edges,
+        visible,
+        val_edges,
+        &telemetry,
+    );
+    telemetry.recorder.finish();
+    match result {
+        Ok(report) => report,
+        Err(abort) => panic!("{abort}"),
+    }
+}
+
+/// [`train_pair_model`] with explicit telemetry; guard aborts surface as
+/// `Err`. The recorder is *not* finished — the caller flushes the report.
+#[allow(clippy::too_many_arguments)] // full training context, flattened
+pub fn train_pair_model_observed<M: PairModel>(
+    model: &mut M,
+    inputs: &ModelInputs,
+    graph: &HeteroGraph,
+    train_edges: &[Edge],
+    visible: Option<&HashSet<PoiId>>,
+    val_edges: Option<&[Edge]>,
+    telemetry: &Telemetry,
+) -> Result<BaselineReport, TrainAbort> {
     let cfg = model.config().clone();
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xBA5E));
-    let mut adam = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut adam = Adam::new(cfg.lr)
+        .with_weight_decay(cfg.weight_decay)
+        .with_recorder(telemetry.recorder.clone());
     let known = graph.edge_key_set();
     let phi = model.n_relations();
 
@@ -309,8 +348,10 @@ pub fn train_pair_model<M: PairModel>(
     // One tape for the whole run; `reset()` keeps its buffers pooled so
     // steady-state epochs rebuild the tape without allocating.
     let mut g = Graph::new();
+    let recorder = &telemetry.recorder;
     for epoch in 0..cfg.epochs {
         let t0 = std::time::Instant::now();
+        let sample_t = recorder.phase(Phase::Sampling);
         let triples = sample_epoch_triples(
             graph,
             train_edges,
@@ -323,22 +364,55 @@ pub fn train_pair_model<M: PairModel>(
         );
         let src: Vec<usize> = triples.src.iter().map(|p| p.0 as usize).collect();
         let dst: Vec<usize> = triples.dst.iter().map(|p| p.0 as usize).collect();
+        drop(sample_t);
 
         g.reset();
+        let fwd_t = recorder.phase(Phase::Forward);
         let bind = model.store().bind(&mut g);
         let fwd = model.forward(&mut g, &bind, inputs);
         let logits = model.score(&mut g, &bind, &fwd, &src, &triples.rel, &dst);
         let loss = g.bce_with_logits(logits, &triples.labels);
-        losses.push(g.value(loss).scalar());
+        let loss_val = g.value(loss).scalar();
+        losses.push(loss_val);
+        drop(fwd_t);
+        let bwd_t = recorder.phase(Phase::Backward);
         let grads = g.backward(loss);
         model.store_mut().accumulate(&bind, &grads);
         g.recycle(grads);
+        drop(bwd_t);
+        // Full-batch training: one step per epoch, so the global step is
+        // the epoch index. Gradients are checked before the loss so aborts
+        // name a parameter group.
+        if telemetry.guard.due(epoch as u64) {
+            recorder.add(Counter::GuardChecks, 1);
+            for (name, grad) in model.store().iter_grads() {
+                telemetry
+                    .guard
+                    .check_gradient(epoch, epoch as u64, name, grad)?;
+            }
+            telemetry.guard.check_loss(epoch, epoch as u64, loss_val)?;
+        }
+        let norms = recorder
+            .is_enabled()
+            .then(|| (model.store().grad_norm(), model.store().param_grad_norms()));
+        let opt_t = recorder.phase(Phase::Optimizer);
         model.store_mut().clip_grad_norm(cfg.grad_clip);
         adam.step(model.store_mut());
+        drop(opt_t);
+        recorder.add(Counter::Steps, 1);
+        recorder.add(Counter::TriplesSeen, triples.labels.len() as u64);
         epoch_seconds.push(t0.elapsed().as_secs_f64());
+        if let Some((grad_norm, per_param)) = norms {
+            let mut record = EpochRecord::new(epoch, loss_val, grad_norm, adam.lr());
+            record.param_grad_norms = per_param;
+            record.pooled_buffers = g.pooled_buffers();
+            recorder.record_epoch(record);
+        }
 
         if let Some((pairs, expected)) = &val {
             if (epoch + 1) % cfg.val_check_every == 0 || epoch + 1 == cfg.epochs {
+                let _eval_t = recorder.phase(Phase::Eval);
+                recorder.add(Counter::ValChecks, 1);
                 let acc = val_accuracy(model, inputs, pairs, expected);
                 if acc > best_val {
                     best_val = acc;
@@ -350,11 +424,11 @@ pub fn train_pair_model<M: PairModel>(
     if let Some(snapshot) = &best_snapshot {
         model.store_mut().restore(snapshot);
     }
-    BaselineReport {
+    Ok(BaselineReport {
         losses,
         epoch_seconds,
         best_val_accuracy: val.map(|_| best_val),
-    }
+    })
 }
 
 #[cfg(test)]

@@ -21,7 +21,9 @@ pub mod registry;
 pub mod rules;
 pub mod walks;
 
-pub use common::{BaselineConfig, PairModel};
+pub use common::{
+    train_pair_model, train_pair_model_observed, BaselineConfig, BaselineReport, PairModel,
+};
 pub use registry::{run_method, time_training_epochs, Method, MethodRun, RunConfig};
 pub use rules::{fit_rules, RuleModel};
 pub use walks::{sgns_embeddings, WalkConfig, WalkModel};

@@ -13,6 +13,7 @@ use prim_data::{Dataset, Scale};
 use prim_eval::Table;
 
 fn main() {
+    prim_bench::ensure_run_report("fig4_scalability");
     let bench = BenchScale::from_env();
     let (sizes, rels_per_poi, epochs): (Vec<usize>, usize, usize) = match bench.scale {
         Scale::Quick => (vec![1000, 2000, 3000, 4000, 5000], 4, 2),

@@ -14,6 +14,7 @@ use prim_data::Dataset;
 use prim_eval::{fmt3, transductive_task, Table};
 
 fn main() {
+    prim_bench::ensure_run_report("fig5_ablation");
     let bench = BenchScale::from_env();
     let (bj, sh) = Dataset::city_pair(bench.scale);
     // The paper plots 40-70%; quick mode sweeps the two endpoints to keep

@@ -13,6 +13,7 @@ use prim_data::Dataset;
 use prim_eval::{fmt3, sparse_task, transductive_task, Table};
 
 fn main() {
+    prim_bench::ensure_run_report("fig6_sparse");
     let bench = BenchScale::from_env();
     let (bj, sh) = Dataset::city_pair(bench.scale);
     let frac = bench.single_frac();

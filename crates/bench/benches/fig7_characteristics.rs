@@ -12,6 +12,7 @@ use prim_data::Dataset;
 use prim_eval::{fmt3, transductive_task, Table};
 
 fn main() {
+    prim_bench::ensure_run_report("fig7_characteristics");
     let bench = BenchScale::from_env();
     let bj = Dataset::beijing(bench.scale);
 

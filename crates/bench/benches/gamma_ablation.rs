@@ -11,6 +11,7 @@ use prim_data::Dataset;
 use prim_eval::{fmt3, transductive_task, Table};
 
 fn main() {
+    prim_bench::ensure_run_report("gamma_ablation");
     let bench = BenchScale::from_env();
     let ds = Dataset::beijing(bench.scale);
     let task = transductive_task(&ds, bench.single_frac(), 1300);

@@ -473,6 +473,7 @@ fn bench_train_epoch(par_threads: usize) -> String {
 }
 
 fn main() {
+    prim_bench::ensure_run_report("micro_kernels");
     let threads = kernel::configured_threads();
     let par_threads = threads.max(4);
     let mut matmuls = Vec::new();

@@ -33,6 +33,7 @@ fn measure(model: &PrimModel, inputs: &ModelInputs, queries: &[(PoiId, PoiId)]) 
 }
 
 fn main() {
+    prim_bench::ensure_run_report("pred_latency");
     let bench = BenchScale::from_env();
     let ds = Dataset::beijing(bench.scale);
     let n_queries = 10_000usize;

@@ -7,6 +7,7 @@ use prim_data::Dataset;
 use prim_eval::Table;
 
 fn main() {
+    prim_bench::ensure_run_report("table1_stats");
     let bench = BenchScale::from_env();
     let (bj, sh) = Dataset::city_pair(bench.scale);
 

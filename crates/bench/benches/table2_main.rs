@@ -12,6 +12,7 @@ use prim_data::Dataset;
 use prim_eval::{fmt3, transductive_task, Table};
 
 fn main() {
+    prim_bench::ensure_run_report("table2_main");
     let bench = BenchScale::from_env();
     let (bj, sh) = Dataset::city_pair(bench.scale);
 

@@ -11,6 +11,7 @@ use prim_data::Dataset;
 use prim_eval::{fmt3, transductive_task, Table};
 
 fn main() {
+    prim_bench::ensure_run_report("table3_multirel");
     let bench = BenchScale::from_env();
     let datasets = [
         Dataset::beijing_six(bench.scale),

@@ -19,6 +19,7 @@ fn region_filtered(task: &Task, ds: &Dataset, region: Region) -> Task {
 }
 
 fn main() {
+    prim_bench::ensure_run_report("table5_regions");
     let bench = BenchScale::from_env();
     let (bj, sh) = Dataset::city_pair(bench.scale);
     let fracs: Vec<f64> = match bench.scale {

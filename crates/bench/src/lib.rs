@@ -99,12 +99,19 @@ pub struct ScoredRun {
     pub train_seconds: f64,
 }
 
-/// Runs a method on a task and scores it.
+/// Runs a method on a task and scores it. When `PRIM_RUN_REPORT` is set
+/// (every bench sets it via [`ensure_run_report`]), the scoring also appends
+/// an eval record — split label, timing, per-class confusion summary — to
+/// the run report.
 pub fn score_method(method: Method, dataset: &Dataset, task: &Task, cfg: &RunConfig) -> ScoredRun {
     let run: MethodRun = run_method(method, dataset, task, cfg);
+    let name = method.name();
+    let recorder = prim_obs::Recorder::from_env(&format!("bench/{name}"));
+    let f1 = task.score_observed(&name, &run.predictions, &recorder);
+    recorder.finish();
     ScoredRun {
-        method: method.name(),
-        f1: task.score(&run.predictions),
+        method: name,
+        f1,
         train_seconds: run.train_seconds,
     }
 }
@@ -138,8 +145,12 @@ pub fn assert_shape(description: &str, winner: f64, loser: f64, slack: f64) {
 /// single-line section per bench; [`json::update_section`] rewrites a
 /// section in place and leaves the others untouched, so the benches can run
 /// independently and in any order.
+///
+/// The writer/reader themselves now live in [`prim_obs::json`] (the
+/// telemetry run reports share the same serialisation path); this module
+/// re-exports them and keeps only the bench-specific path resolution.
 pub mod json {
-    use std::collections::BTreeMap;
+    pub use prim_obs::json::*;
     use std::path::{Path, PathBuf};
 
     /// Resolves the record path: `PRIM_BENCH_JSON`, or `BENCH_kernels.json`
@@ -152,72 +163,38 @@ pub mod json {
         }
         Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json")
     }
+}
 
-    /// Renders an object from `(key, raw-JSON-value)` pairs. Values are
-    /// inserted verbatim — pass numbers via [`num`] and strings via [`str`].
-    pub fn obj(pairs: &[(&str, String)]) -> String {
-        let body: Vec<String> = pairs.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
-        format!("{{{}}}", body.join(", "))
-    }
+/// Default run-report path when a bench runs without `PRIM_RUN_REPORT`:
+/// `RUN_report.jsonl` at the workspace root (gitignored).
+pub fn default_run_report_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../RUN_report.jsonl")
+}
 
-    /// A JSON number with stable formatting.
-    pub fn num(v: f64) -> String {
-        if v.is_finite() {
-            format!("{v:.6}")
-        } else {
-            "null".to_string()
-        }
+/// Ensures every training run inside this bench process emits telemetry:
+///
+/// * defaults `PRIM_RUN_REPORT` to [`default_run_report_path`] when unset,
+/// * defaults `PRIM_GUARD_EVERY` to `1` when unset (benches should fail
+///   loudly on NaN/Inf, they are the canary runs),
+/// * appends a schema-tagged `bench_start` marker line naming the bench.
+///
+/// Call it first thing in a bench `main`. Explicit environment settings
+/// always win over the defaults.
+pub fn ensure_run_report(bench: &str) -> prim_obs::JsonSink {
+    if std::env::var_os(prim_obs::RUN_REPORT_ENV).is_none() {
+        std::env::set_var(prim_obs::RUN_REPORT_ENV, default_run_report_path());
     }
-
-    /// A JSON string (the inputs here never need escaping beyond quotes).
-    pub fn str(v: &str) -> String {
-        format!("\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\""))
+    if std::env::var_os(prim_obs::GUARD_ENV).is_none() {
+        std::env::set_var(prim_obs::GUARD_ENV, "1");
     }
-
-    /// An array of raw JSON values.
-    pub fn arr(items: &[String]) -> String {
-        format!("[{}]", items.join(", "))
-    }
-
-    fn parse_sections(text: &str) -> BTreeMap<String, String> {
-        // The file is always written by `write_sections` below: one section
-        // per line, `  "name": {...}` with an optional trailing comma.
-        let mut sections = BTreeMap::new();
-        for line in text.lines() {
-            let line = line.trim();
-            if let Some((head, rest)) = line.split_once(": ") {
-                let name = head.trim().trim_matches('"');
-                if !name.is_empty() && rest.starts_with('{') {
-                    sections.insert(name.to_string(), rest.trim_end_matches(',').to_string());
-                }
-            }
-        }
-        sections
-    }
-
-    fn write_sections(path: &Path, sections: &BTreeMap<String, String>) {
-        let mut out = String::from("{\n");
-        let last = sections.len().saturating_sub(1);
-        for (i, (name, body)) in sections.iter().enumerate() {
-            out.push_str(&format!(
-                "  \"{name}\": {body}{}\n",
-                if i == last { "" } else { "," }
-            ));
-        }
-        out.push_str("}\n");
-        std::fs::write(path, out).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
-    }
-
-    /// Inserts or replaces one bench's section (a single-line JSON object)
-    /// in the record file, preserving every other section.
-    pub fn update_section(path: &Path, section: &str, body: &str) {
-        assert!(!body.contains('\n'), "section body must be a single line");
-        let mut sections = std::fs::read_to_string(path)
-            .map(|t| parse_sections(&t))
-            .unwrap_or_default();
-        sections.insert(section.to_string(), body.to_string());
-        write_sections(path, &sections);
-    }
+    let sink = prim_obs::JsonSink::from_env().expect("PRIM_RUN_REPORT was just defaulted");
+    sink.append_line(&json::obj(&[
+        ("schema", json::str(prim_obs::SCHEMA)),
+        ("kind", json::str("bench_start")),
+        ("bench", json::str(bench)),
+        ("scale", json::str(&format!("{:?}", Scale::from_env()))),
+    ]));
+    sink
 }
 
 #[cfg(test)]

@@ -36,4 +36,10 @@ pub mod train;
 pub use config::{GammaOp, PrimConfig, TaxonomyMode, Variant};
 pub use inputs::{GraphPlans, ModelInputs};
 pub use model::{EmbeddingTable, ForwardOutput, PrimModel, TripleBatch};
-pub use train::{fit, sample_epoch_triples, train_step, EpochTriples, TrainReport};
+pub use train::{
+    fit, fit_hooked, fit_observed, sample_epoch_triples, train_step, train_step_observed,
+    EpochTriples, FitHook, NoopHook, StepNorms, StepStats, TrainReport,
+};
+// Telemetry types callers of `fit_observed` need, re-exported for one-stop
+// imports (the canonical home is `prim_obs`).
+pub use prim_obs::{AbortKind, FiniteGuard, Recorder, Telemetry, TrainAbort};

@@ -159,6 +159,16 @@ impl PrimModel {
         self.store.num_scalars()
     }
 
+    /// Read access to the parameter store (diagnostics, telemetry).
+    pub fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable access to the parameter store (tests, manual surgery).
+    pub fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
     /// Creates a model for datasets with the given dimensions.
     pub fn new(cfg: PrimConfig, inputs: &ModelInputs) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);

@@ -11,10 +11,18 @@
 //! validation accuracy is restored at the end (the paper tunes on a 10%
 //! validation split).
 
+//!
+//! The loop is instrumented through [`prim_obs`]: [`fit_observed`] /
+//! [`train_step_observed`] accept a [`Telemetry`] bundle (phase timers,
+//! per-epoch records, NaN/Inf guard), while the plain [`fit`] / [`train_step`]
+//! wrappers read it from the environment (`PRIM_RUN_REPORT`,
+//! `PRIM_GUARD_EVERY`) and stay allocation-free when both are unset.
+
 use crate::inputs::ModelInputs;
 use crate::model::{PrimModel, TripleBatch};
 use prim_graph::{negative_sampled_triples, sample_non_relation_pairs, Edge, HeteroGraph, PoiId};
 use prim_nn::Adam;
+use prim_obs::{Counter, EpochRecord, Phase, Telemetry, TrainAbort};
 use prim_tensor::Graph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -198,6 +206,24 @@ impl ValSet {
     }
 }
 
+/// Gradient norms sampled at one training step (telemetry-enabled runs).
+#[derive(Clone, Debug)]
+pub struct StepNorms {
+    /// Global pre-clip gradient L2 norm.
+    pub grad_norm: f32,
+    /// Per-parameter-group gradient norms, in registration order.
+    pub per_param: Vec<(String, f32)>,
+}
+
+/// Result of one observed training step.
+#[derive(Clone, Debug)]
+pub struct StepStats {
+    /// The batch's mean BCE loss.
+    pub loss: f32,
+    /// Gradient norms — `Some` only when the recorder is enabled.
+    pub norms: Option<StepNorms>,
+}
+
 /// Runs one full forward/backward/Adam step on a fixed triple batch.
 ///
 /// The tape `g` is `reset()` first, so on every call after the first the
@@ -212,18 +238,102 @@ pub fn train_step(
     batch: &TripleBatch,
     grad_clip: f32,
 ) -> f32 {
+    // Disabled telemetry is allocation-free and branch-cheap, so this
+    // wrapper preserves the steady-state allocation budget.
+    match train_step_observed(
+        model,
+        inputs,
+        g,
+        adam,
+        batch,
+        grad_clip,
+        &Telemetry::disabled(),
+        0,
+        0,
+    ) {
+        Ok(stats) => stats.loss,
+        Err(abort) => unreachable!("disabled guard cannot abort: {abort}"),
+    }
+}
+
+/// [`train_step`] with telemetry: phase timers around the forward, backward
+/// and optimiser sections, gradient norms when the recorder is enabled, and
+/// a NaN/Inf sweep (gradients first, then the loss, so aborts name a
+/// parameter group) on guard-due steps. `epoch`/`step` label abort errors
+/// and telemetry records.
+#[allow(clippy::too_many_arguments)] // the hot-path step context, flattened
+pub fn train_step_observed(
+    model: &mut PrimModel,
+    inputs: &ModelInputs,
+    g: &mut Graph,
+    adam: &mut Adam,
+    batch: &TripleBatch,
+    grad_clip: f32,
+    telemetry: &Telemetry,
+    epoch: usize,
+    step: u64,
+) -> Result<StepStats, TrainAbort> {
+    let recorder = &telemetry.recorder;
     g.reset();
+    let fwd_t = recorder.phase(Phase::Forward);
     let bind = model.store.bind(g);
     let fwd = model.forward(g, &bind, inputs);
     let logits = model.score_triples_batch(g, &bind, &fwd, batch);
     let loss = g.bce_with_logits_shared(logits, &batch.targets);
     let loss_val = g.value(loss).scalar();
+    drop(fwd_t);
+    let bwd_t = recorder.phase(Phase::Backward);
     let grads = g.backward(loss);
     model.store.accumulate(&bind, &grads);
     g.recycle(grads);
-    model.store.clip_grad_norm(grad_clip);
-    adam.step(&mut model.store);
-    loss_val
+    drop(bwd_t);
+    if telemetry.guard.due(step) {
+        recorder.add(Counter::GuardChecks, 1);
+        for (name, grad) in model.store.iter_grads() {
+            telemetry.guard.check_gradient(epoch, step, name, grad)?;
+        }
+        telemetry.guard.check_loss(epoch, step, loss_val)?;
+    }
+    let norms = if recorder.is_enabled() {
+        Some(StepNorms {
+            grad_norm: model.store.grad_norm(),
+            per_param: model.store.param_grad_norms(),
+        })
+    } else {
+        None
+    };
+    {
+        let _opt_t = recorder.phase(Phase::Optimizer);
+        model.store.clip_grad_norm(grad_clip);
+        adam.step(&mut model.store);
+    }
+    recorder.add(Counter::Steps, 1);
+    recorder.add(Counter::TriplesSeen, batch.len() as u64);
+    Ok(StepStats {
+        loss: loss_val,
+        norms,
+    })
+}
+
+/// Observer hooking into the epoch loop of [`fit_hooked`]. Used by tests to
+/// perturb the model mid-training (e.g. the guard-rail poison test) and by
+/// callers that need per-epoch custom instrumentation.
+pub trait FitHook {
+    /// Called at the start of every epoch, before sampling.
+    fn on_epoch_start(&mut self, epoch: usize, model: &mut PrimModel);
+}
+
+/// The do-nothing hook.
+pub struct NoopHook;
+
+impl FitHook for NoopHook {
+    fn on_epoch_start(&mut self, _epoch: usize, _model: &mut PrimModel) {}
+}
+
+impl<F: FnMut(usize, &mut PrimModel)> FitHook for F {
+    fn on_epoch_start(&mut self, epoch: usize, model: &mut PrimModel) {
+        self(epoch, model)
+    }
 }
 
 /// Trains `model` on `train_edges` over `inputs`.
@@ -234,6 +344,15 @@ pub fn train_step(
 /// * `visible` (if given) restricts φ pairs to visible POIs (inductive
 ///   protocol).
 /// * `val_edges` (if given) enables best-checkpoint selection.
+///
+/// Telemetry comes from the environment: with `PRIM_RUN_REPORT` set the run
+/// appends one report line on completion, and with `PRIM_GUARD_EVERY` ≥ 1 a
+/// tripped NaN/Inf guard panics with the structured abort message. With both
+/// unset (the default) this is exactly the un-instrumented loop.
+///
+/// # Panics
+/// Panics when the environment-enabled finite guard aborts training. Use
+/// [`fit_observed`] to handle [`TrainAbort`] as a value instead.
 pub fn fit(
     model: &mut PrimModel,
     inputs: &ModelInputs,
@@ -242,9 +361,76 @@ pub fn fit(
     visible: Option<&HashSet<PoiId>>,
     val_edges: Option<&[Edge]>,
 ) -> TrainReport {
+    let telemetry = Telemetry::from_env("prim/fit");
+    let result = fit_observed(
+        model,
+        inputs,
+        graph,
+        train_edges,
+        visible,
+        val_edges,
+        &telemetry,
+    );
+    telemetry.recorder.finish();
+    match result {
+        Ok(report) => report,
+        Err(abort) => panic!("{abort}"),
+    }
+}
+
+/// [`fit`] with explicit telemetry; the guard aborts surface as `Err`.
+/// The recorder is *not* finished — the caller owns flushing the report.
+pub fn fit_observed(
+    model: &mut PrimModel,
+    inputs: &ModelInputs,
+    graph: &HeteroGraph,
+    train_edges: &[Edge],
+    visible: Option<&HashSet<PoiId>>,
+    val_edges: Option<&[Edge]>,
+    telemetry: &Telemetry,
+) -> Result<TrainReport, TrainAbort> {
+    fit_hooked(
+        model,
+        inputs,
+        graph,
+        train_edges,
+        visible,
+        val_edges,
+        telemetry,
+        &mut NoopHook,
+    )
+}
+
+/// [`fit_observed`] with a per-epoch [`FitHook`].
+#[allow(clippy::too_many_arguments)] // full training context, flattened
+pub fn fit_hooked(
+    model: &mut PrimModel,
+    inputs: &ModelInputs,
+    graph: &HeteroGraph,
+    train_edges: &[Edge],
+    visible: Option<&HashSet<PoiId>>,
+    val_edges: Option<&[Edge]>,
+    telemetry: &Telemetry,
+    hook: &mut dyn FitHook,
+) -> Result<TrainReport, TrainAbort> {
     let cfg = model.config().clone();
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5EED));
-    let mut adam = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+    let mut adam = Adam::new(cfg.lr)
+        .with_weight_decay(cfg.weight_decay)
+        .with_recorder(telemetry.recorder.clone());
+    if telemetry.recorder.is_enabled() {
+        telemetry
+            .recorder
+            .set_meta("n_pois", prim_obs::json::int(inputs.n_pois as u64));
+        telemetry.recorder.set_meta(
+            "n_relations",
+            prim_obs::json::int(inputs.n_relations as u64),
+        );
+        telemetry.recorder.set_meta(
+            "num_parameters",
+            prim_obs::json::int(model.num_parameters() as u64),
+        );
+    }
     let known = graph.edge_key_set();
     let phi = model.phi();
     let n_relations = inputs.n_relations;
@@ -262,8 +448,11 @@ pub fn fit(
     // gradient buffer in the graph's pool, so steady-state steps rebuild a
     // structurally identical tape without touching the allocator.
     let mut g = Graph::new();
+    let mut global_step = 0u64;
     for epoch in 0..cfg.epochs {
         let t0 = Instant::now();
+        hook.on_epoch_start(epoch, model);
+        let sample_t = telemetry.recorder.phase(Phase::Sampling);
         let epoch_triples = sample_epoch_triples(
             graph,
             train_edges,
@@ -285,10 +474,12 @@ pub fn fit(
                 epoch_triples.labels[k],
             );
         }
+        drop(sample_t);
 
         let n_triples = arrays.src.len();
         let batch = cfg.batch_size.unwrap_or(n_triples).max(1);
         let mut epoch_loss = 0.0f64;
+        let mut last_norms = None;
         let mut start_idx = 0usize;
         while start_idx < n_triples {
             let end = (start_idx + batch).min(n_triples);
@@ -302,16 +493,42 @@ pub fn fit(
                 &arrays.bins[range.clone()],
                 &arrays.labels[range],
             );
-            let loss = train_step(model, inputs, &mut g, &mut adam, &triples, cfg.grad_clip);
-            epoch_loss += loss as f64 * (end - start_idx) as f64;
+            let stats = train_step_observed(
+                model,
+                inputs,
+                &mut g,
+                &mut adam,
+                &triples,
+                cfg.grad_clip,
+                telemetry,
+                epoch,
+                global_step,
+            )?;
+            global_step += 1;
+            epoch_loss += stats.loss as f64 * (end - start_idx) as f64;
+            if stats.norms.is_some() {
+                last_norms = stats.norms;
+            }
             start_idx = end;
         }
-        losses.push((epoch_loss / n_triples.max(1) as f64) as f32);
+        let mean_loss = (epoch_loss / n_triples.max(1) as f64) as f32;
+        losses.push(mean_loss);
         epoch_seconds.push(t0.elapsed().as_secs_f64());
+        if telemetry.recorder.is_enabled() {
+            let mut record = EpochRecord::new(epoch, mean_loss, 0.0, adam.lr());
+            if let Some(norms) = last_norms {
+                record.grad_norm = norms.grad_norm;
+                record.param_grad_norms = norms.per_param;
+            }
+            record.pooled_buffers = g.pooled_buffers();
+            telemetry.recorder.record_epoch(record);
+        }
 
         if let Some(val) = &val {
             let last = epoch + 1 == cfg.epochs;
             if (epoch + 1) % cfg.val_check_every == 0 || last {
+                let _eval_t = telemetry.recorder.phase(Phase::Eval);
+                telemetry.recorder.add(Counter::ValChecks, 1);
                 let acc = val.accuracy(model, inputs);
                 if acc > best_val {
                     best_val = acc;
@@ -325,12 +542,12 @@ pub fn fit(
         model.store.restore(snapshot);
     }
 
-    TrainReport {
+    Ok(TrainReport {
         losses,
         epoch_seconds,
         total_seconds: start.elapsed().as_secs_f64(),
         best_val_accuracy: val.map(|_| best_val),
-    }
+    })
 }
 
 #[cfg(test)]

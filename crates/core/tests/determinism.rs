@@ -7,7 +7,7 @@
 //! pass and a full fixed-seed training epoch must produce identical bits on
 //! one thread and on a multi-thread pool.
 
-use prim_core::{fit, ModelInputs, PrimConfig, PrimModel};
+use prim_core::{fit, fit_observed, ModelInputs, PrimConfig, PrimModel, Recorder, Telemetry};
 use prim_data::{Dataset, Scale};
 use prim_tensor::kernel;
 
@@ -124,4 +124,66 @@ fn pooled_multi_epoch_training_is_bitwise_identical_across_thread_counts() {
         rels_1, rels_4,
         "pooled trained relation embeddings differ between 1 and 4 threads"
     );
+}
+
+/// The telemetry layer must not perturb determinism, and the *recorded*
+/// streams themselves must be deterministic: running the same fixed-seed
+/// training with an enabled recorder on 1 and on 4 threads yields bitwise
+/// identical per-epoch loss and gradient-norm streams (timings and buffer
+/// stats are runtime diagnostics and are excluded).
+#[test]
+fn recorded_telemetry_streams_are_bitwise_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let (ds, cfg, inputs) = setup();
+        let cfg = PrimConfig { epochs: 3, ..cfg };
+        let mut model = PrimModel::new(cfg, &inputs);
+        let telemetry = Telemetry::with_recorder(Recorder::enabled("determinism"));
+        kernel::set_threads(threads);
+        fit_observed(
+            &mut model,
+            &inputs,
+            &ds.graph,
+            ds.graph.edges(),
+            None,
+            None,
+            &telemetry,
+        )
+        .expect("clean run must not abort");
+        kernel::set_threads(0);
+        telemetry.recorder.epochs()
+    };
+
+    let epochs_1 = run(1);
+    let epochs_4 = run(4);
+
+    assert_eq!(epochs_1.len(), 3);
+    assert_eq!(epochs_1.len(), epochs_4.len());
+    for (a, b) in epochs_1.iter().zip(epochs_4.iter()) {
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(
+            a.loss.to_bits(),
+            b.loss.to_bits(),
+            "epoch {} loss drifted between 1 and 4 threads",
+            a.epoch
+        );
+        assert_eq!(
+            a.grad_norm.to_bits(),
+            b.grad_norm.to_bits(),
+            "epoch {} grad norm drifted between 1 and 4 threads",
+            a.epoch
+        );
+        assert_eq!(a.lr.to_bits(), b.lr.to_bits());
+        assert_eq!(a.param_grad_norms.len(), b.param_grad_norms.len());
+        for ((name_a, norm_a), (name_b, norm_b)) in
+            a.param_grad_norms.iter().zip(b.param_grad_norms.iter())
+        {
+            assert_eq!(name_a, name_b);
+            assert_eq!(
+                norm_a.to_bits(),
+                norm_b.to_bits(),
+                "epoch {} `{name_a}` grad norm drifted between 1 and 4 threads",
+                a.epoch
+            );
+        }
+    }
 }

@@ -1,0 +1,107 @@
+//! Guard-rail integration tests: training that goes non-finite must abort
+//! with a structured error naming where it happened, and healthy training
+//! must never trip the guard.
+
+use prim_core::{
+    fit_hooked, fit_observed, AbortKind, ModelInputs, PrimConfig, PrimModel, Recorder, Telemetry,
+};
+use prim_data::{Dataset, Scale};
+
+fn setup(epochs: usize) -> (Dataset, PrimConfig) {
+    let ds = Dataset::beijing(Scale::Quick).subsample(0.15, 4);
+    let cfg = PrimConfig {
+        dim: 12,
+        cat_dim: 6,
+        n_layers: 1,
+        n_heads: 2,
+        epochs,
+        val_check_every: 0,
+        ..PrimConfig::quick()
+    };
+    (ds, cfg)
+}
+
+#[test]
+fn poisoned_parameter_aborts_with_named_location() {
+    let (ds, cfg) = setup(6);
+    let inputs = ModelInputs::build(
+        &ds.graph,
+        &ds.taxonomy,
+        &ds.attrs,
+        ds.graph.edges(),
+        None,
+        &cfg,
+    );
+    let mut model = PrimModel::new(cfg, &inputs);
+    let telemetry = Telemetry::with_recorder(Recorder::enabled("poison-test"));
+
+    // Poison one scalar of the first parameter group at the start of epoch 3.
+    const POISON_EPOCH: usize = 3;
+    let mut hook = |epoch: usize, model: &mut PrimModel| {
+        if epoch == POISON_EPOCH {
+            let id = model.params().ids().next().expect("model has parameters");
+            model.params_mut().value_mut(id).data_mut()[0] = f32::NAN;
+        }
+    };
+    let err = fit_hooked(
+        &mut model,
+        &inputs,
+        &ds.graph,
+        ds.graph.edges(),
+        None,
+        None,
+        &telemetry,
+        &mut hook,
+    )
+    .expect_err("NaN parameter must abort training");
+
+    assert_eq!(
+        err.epoch, POISON_EPOCH,
+        "abort must name the poisoned epoch"
+    );
+    // A NaN parameter contaminates the backward pass, so the sweep trips on
+    // a gradient — and gradients are checked first so the abort names the
+    // parameter group.
+    assert_eq!(err.kind, AbortKind::NonFiniteGradient);
+    let param = err.param.as_deref().expect("abort names a parameter group");
+    assert!(!param.is_empty());
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("epoch {POISON_EPOCH}")) && msg.contains(param),
+        "unhelpful abort message: {msg}"
+    );
+    // Epochs before the poison completed and were recorded.
+    assert_eq!(telemetry.recorder.epochs().len(), POISON_EPOCH);
+}
+
+#[test]
+fn clean_run_never_trips_the_guard() {
+    let (ds, cfg) = setup(8);
+    let epochs = cfg.epochs;
+    let inputs = ModelInputs::build(
+        &ds.graph,
+        &ds.taxonomy,
+        &ds.attrs,
+        ds.graph.edges(),
+        None,
+        &cfg,
+    );
+    let mut model = PrimModel::new(cfg, &inputs);
+    // Guard at cadence 1: every step of a healthy run is swept.
+    let telemetry = Telemetry::with_recorder(Recorder::enabled("clean-test"));
+    let report = fit_observed(
+        &mut model,
+        &inputs,
+        &ds.graph,
+        ds.graph.edges(),
+        None,
+        None,
+        &telemetry,
+    )
+    .expect("healthy training must not abort");
+    assert_eq!(report.losses.len(), epochs);
+    assert!(report.losses.iter().all(|l| l.is_finite()));
+    let recorded = telemetry.recorder.epochs();
+    assert_eq!(recorded.len(), epochs);
+    assert!(recorded.iter().all(|e| e.grad_norm.is_finite()));
+}

@@ -3,11 +3,12 @@
 //! training, plus sampled non-relation pairs added to the test set for the
 //! φ class (the paper samples 16 000; we scale with the dataset).
 
-use crate::metrics::F1Pair;
+use crate::metrics::{Confusion, F1Pair};
 use prim_data::Dataset;
 use prim_graph::{
     inductive_split, sample_non_relation_pairs, sparse_subset, split_edges, Edge, PoiId,
 };
+use prim_obs::{Counter, EvalRecord, Phase, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -39,6 +40,40 @@ impl Task {
     /// Scores predictions against the expected labels.
     pub fn score(&self, predictions: &[usize]) -> F1Pair {
         F1Pair::compute(predictions, &self.expected, self.n_classes())
+    }
+
+    /// [`Task::score`] with telemetry: records an [`EvalRecord`] (split
+    /// label, pair count, wall-clock seconds, per-class confusion summary)
+    /// on `recorder` and times the scoring under the eval phase. With a
+    /// disabled recorder this is exactly [`Task::score`].
+    pub fn score_observed(
+        &self,
+        label: &str,
+        predictions: &[usize],
+        recorder: &Recorder,
+    ) -> F1Pair {
+        if !recorder.is_enabled() {
+            return self.score(predictions);
+        }
+        let _eval_t = recorder.phase(Phase::Eval);
+        let t0 = std::time::Instant::now();
+        let confusion = Confusion::from_predictions(predictions, &self.expected, self.n_classes());
+        let f1 = F1Pair {
+            macro_f1: confusion.macro_f1(),
+            micro_f1: confusion.micro_f1(),
+        };
+        recorder.add(Counter::EvalPairs, predictions.len() as u64);
+        recorder.record_eval(EvalRecord {
+            label: label.to_string(),
+            n_pairs: predictions.len(),
+            macro_f1: f1.macro_f1,
+            micro_f1: f1.micro_f1,
+            seconds: t0.elapsed().as_secs_f64(),
+            per_class: (0..self.n_classes())
+                .map(|c| (confusion.support(c), confusion.f1(c)))
+                .collect(),
+        });
+        f1
     }
 
     /// Restricts the evaluation pairs by a predicate over (pair, expected),
@@ -189,6 +224,34 @@ mod tests {
         let f1 = task.score(&task.expected);
         assert_eq!(f1.macro_f1, 1.0);
         assert_eq!(f1.micro_f1, 1.0);
+    }
+
+    #[test]
+    fn score_observed_matches_score_and_records() {
+        let ds = small_ds();
+        let task = transductive_task(&ds, 0.5, 2);
+        // Predict the expected labels with a couple of mistakes mixed in.
+        let mut preds = task.expected.clone();
+        for p in preds.iter_mut().take(3) {
+            *p = (*p + 1) % task.n_classes();
+        }
+        let rec = Recorder::enabled("eval-test");
+        let observed = task.score_observed("test", &preds, &rec);
+        assert_eq!(observed, task.score(&preds));
+        let evals = rec.evals();
+        assert_eq!(evals.len(), 1);
+        assert_eq!(evals[0].label, "test");
+        assert_eq!(evals[0].n_pairs, preds.len());
+        assert_eq!(evals[0].per_class.len(), task.n_classes());
+        assert_eq!(
+            evals[0].per_class.iter().map(|&(s, _)| s).sum::<usize>(),
+            preds.len()
+        );
+        assert_eq!(rec.counter(Counter::EvalPairs), preds.len() as u64);
+        // Disabled recorder: identical result, nothing recorded.
+        let off = Recorder::disabled();
+        assert_eq!(task.score_observed("x", &preds, &off), observed);
+        assert!(off.evals().is_empty());
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Property tests for the classification metrics: the Confusion-derived
+//! numbers must agree with a brute-force recount for arbitrary generated
+//! predictions, and the textbook identities must hold exactly.
+
+use prim_eval::{Confusion, F1Pair};
+use proptest::prelude::*;
+
+/// A labelled problem: `(predictions, actuals, n_classes)` with every label
+/// in `0..n_classes`. Labels are generated as raw indices folded by
+/// `% n_classes` (the vendored proptest has no dependent strategies), and
+/// prediction/actual pairs share one generated vector so their lengths
+/// always match.
+fn problem(
+    max_classes: usize,
+    max_len: usize,
+) -> impl Strategy<Value = (Vec<usize>, Vec<usize>, usize)> {
+    (
+        2usize..=max_classes,
+        prop::collection::vec((0usize..1_000_000, 0usize..1_000_000), 1..=max_len),
+    )
+        .prop_map(|(n_classes, pairs)| {
+            let pred = pairs.iter().map(|&(p, _)| p % n_classes).collect();
+            let act = pairs.iter().map(|&(_, a)| a % n_classes).collect();
+            (pred, act, n_classes)
+        })
+}
+
+/// Brute-force per-class counts straight off the label vectors.
+fn brute_counts(pred: &[usize], act: &[usize], class: usize) -> (usize, usize, usize, usize) {
+    let tp = pred
+        .iter()
+        .zip(act)
+        .filter(|(p, a)| **p == class && **a == class)
+        .count();
+    let fp = pred
+        .iter()
+        .zip(act)
+        .filter(|(p, a)| **p == class && **a != class)
+        .count();
+    let fn_ = pred
+        .iter()
+        .zip(act)
+        .filter(|(p, a)| **p != class && **a == class)
+        .count();
+    let support = act.iter().filter(|a| **a == class).count();
+    (tp, fp, fn_, support)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// Micro-F1 equals plain accuracy whenever every sample carries a label
+    /// (always the case here — there is no "unlabelled" class).
+    #[test]
+    fn micro_f1_equals_accuracy(case in problem(6, 60)) {
+        let (pred, act, n_classes) = case;
+        let c = Confusion::from_predictions(&pred, &act, n_classes);
+        let accuracy = pred.iter().zip(&act).filter(|(p, a)| p == a).count() as f64
+            / pred.len() as f64;
+        prop_assert!((c.micro_f1() - accuracy).abs() < 1e-12);
+        prop_assert!((c.accuracy() - accuracy).abs() < 1e-12);
+    }
+
+    /// Macro-F1 stays in [0, 1], as do both F1Pair fields.
+    #[test]
+    fn macro_f1_in_unit_interval(case in problem(7, 50)) {
+        let (pred, act, n_classes) = case;
+        let pair = F1Pair::compute(&pred, &act, n_classes);
+        prop_assert!((0.0..=1.0).contains(&pair.macro_f1), "macro {}", pair.macro_f1);
+        prop_assert!((0.0..=1.0).contains(&pair.micro_f1), "micro {}", pair.micro_f1);
+    }
+
+    /// Per-class precision/recall/F1 agree with a brute-force confusion
+    /// recount straight off the generated label vectors.
+    #[test]
+    fn per_class_stats_match_brute_force(case in problem(5, 40)) {
+        let (pred, act, n_classes) = case;
+        let c = Confusion::from_predictions(&pred, &act, n_classes);
+        for class in 0..n_classes {
+            let (tp, fp, fn_, support) = brute_counts(&pred, &act, class);
+            prop_assert_eq!(c.tp(class), tp);
+            prop_assert_eq!(c.fp(class), fp);
+            prop_assert_eq!(c.fn_(class), fn_);
+            prop_assert_eq!(c.support(class), support);
+
+            let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+            let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+            prop_assert!((c.precision(class) - precision).abs() < 1e-12);
+            prop_assert!((c.recall(class) - recall).abs() < 1e-12);
+            let f1 = if precision + recall == 0.0 {
+                0.0
+            } else {
+                2.0 * precision * recall / (precision + recall)
+            };
+            prop_assert!((c.f1(class) - f1).abs() < 1e-12);
+        }
+    }
+
+    /// The confusion-matrix counts partition the samples: cells sum to the
+    /// total, and each class's row sums to its support.
+    #[test]
+    fn confusion_counts_partition(case in problem(6, 40)) {
+        let (pred, act, n_classes) = case;
+        let c = Confusion::from_predictions(&pred, &act, n_classes);
+        let mut cells = 0usize;
+        for a in 0..n_classes {
+            let mut row = 0usize;
+            for p in 0..n_classes {
+                row += c.count(a, p);
+            }
+            prop_assert_eq!(row, c.support(a));
+            cells += row;
+        }
+        prop_assert_eq!(cells, pred.len());
+        prop_assert_eq!(c.total(), pred.len());
+    }
+
+    /// Perfect predictions score exactly 1.0 on every metric.
+    #[test]
+    fn oracle_scores_one(case in problem(6, 40)) {
+        let (_, act, n_classes) = case;
+        let pair = F1Pair::compute(&act, &act, n_classes);
+        prop_assert_eq!(pair.macro_f1, 1.0);
+        prop_assert_eq!(pair.micro_f1, 1.0);
+    }
+}

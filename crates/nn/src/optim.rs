@@ -3,6 +3,7 @@
 //! skip-gram baselines and tests.
 
 use crate::params::ParamStore;
+use prim_obs::Recorder;
 use prim_tensor::kernel;
 use prim_tensor::Matrix;
 
@@ -48,6 +49,7 @@ pub struct Adam {
     weight_decay: f32,
     t: u64,
     moments: Vec<(Matrix, Matrix)>,
+    recorder: Recorder,
 }
 
 impl Adam {
@@ -62,12 +64,23 @@ impl Adam {
             weight_decay: 0.0,
             t: 0,
             moments: Vec::new(),
+            recorder: Recorder::disabled(),
         }
     }
 
     /// Adds decoupled L2 weight decay.
     pub fn with_weight_decay(mut self, wd: f32) -> Self {
         self.weight_decay = wd;
+        self
+    }
+
+    /// Attaches a telemetry recorder. When enabled, every [`Adam::step`]
+    /// records the pre-update global gradient norm (`adam/grad_norm`), the
+    /// L2 norm of the applied parameter delta (`adam/update_norm`) and the
+    /// learning rate (`adam/lr`) as scalar series. The disabled recorder
+    /// (the default) costs one branch per step.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -87,7 +100,14 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let observe = self.recorder.is_enabled();
+        if observe {
+            self.recorder
+                .record_scalar("adam/grad_norm", store.grad_norm() as f64);
+        }
+        let mut update_sq = 0.0f64;
         for (idx, (value, grad, decay)) in store.iter_mut().enumerate() {
+            let before = if observe { Some(value.clone()) } else { None };
             if self.moments.len() <= idx {
                 self.moments.push((
                     Matrix::zeros(value.rows(), value.cols()),
@@ -128,6 +148,22 @@ impl Adam {
                     }
                 });
             }
+            if let Some(before) = before {
+                update_sq += value
+                    .data()
+                    .iter()
+                    .zip(before.data())
+                    .map(|(a, b)| {
+                        let d = (a - b) as f64;
+                        d * d
+                    })
+                    .sum::<f64>();
+            }
+        }
+        if observe {
+            self.recorder
+                .record_scalar("adam/update_norm", update_sq.sqrt());
+            self.recorder.record_scalar("adam/lr", self.lr as f64);
         }
         store.zero_grads();
     }
@@ -258,6 +294,21 @@ mod tests {
             );
         }
         assert!((sched.current_lr() - 0.0125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adam_records_norm_series_when_enabled() {
+        let rec = Recorder::enabled("adam-test");
+        let mut adam = Adam::new(0.1).with_recorder(rec.clone());
+        let w = run(&mut |s| adam.step(s), 5);
+        assert!(w.is_finite());
+        let grads = rec.scalar_summary("adam/grad_norm").unwrap();
+        assert_eq!(grads.count, 5);
+        assert!(grads.max > 0.0, "gradient norms should be positive");
+        let updates = rec.scalar_summary("adam/update_norm").unwrap();
+        assert_eq!(updates.count, 5);
+        assert!(updates.max > 0.0, "updates should move the parameter");
+        assert_eq!(rec.scalar_summary("adam/lr").unwrap().last, 0.1f32 as f64);
     }
 
     #[test]

@@ -123,6 +123,19 @@ impl ParamStore {
         }
     }
 
+    /// Iterates over `(name, grad)` pairs, e.g. for finite-guard sweeps.
+    pub fn iter_grads(&self) -> impl Iterator<Item = (&str, &Matrix)> {
+        self.params.iter().map(|p| (p.name.as_str(), &p.grad))
+    }
+
+    /// Per-parameter-group gradient L2 norms, in registration order.
+    pub fn param_grad_norms(&self) -> Vec<(String, f32)> {
+        self.params
+            .iter()
+            .map(|p| (p.name.clone(), p.grad.frobenius_norm()))
+            .collect()
+    }
+
     /// Global L2 norm of all accumulated gradients.
     pub fn grad_norm(&self) -> f32 {
         self.params

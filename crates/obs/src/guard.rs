@@ -1,0 +1,213 @@
+//! Guard rails: NaN/Inf detection that turns silent divergence into a
+//! structured, named error.
+//!
+//! A [`FiniteGuard`] is a tiny `Copy` value the training loops consult once
+//! per optimisation step. When enabled (cadence ≥ 1), every due step checks
+//! the batch loss and every parameter group's accumulated gradient with
+//! [`prim_tensor::Matrix::all_finite`]; the first non-finite value aborts
+//! training with a [`TrainAbort`] naming the epoch, step and parameter
+//! group. Disabled (the default), the guard is a single integer compare per
+//! step — no allocation, no matrix scans.
+
+use prim_tensor::Matrix;
+
+/// What kind of value went non-finite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortKind {
+    /// The scalar training loss.
+    NonFiniteLoss,
+    /// An accumulated parameter gradient.
+    NonFiniteGradient,
+    /// A parameter value itself.
+    NonFiniteParameter,
+}
+
+impl AbortKind {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortKind::NonFiniteLoss => "non-finite loss",
+            AbortKind::NonFiniteGradient => "non-finite gradient",
+            AbortKind::NonFiniteParameter => "non-finite parameter",
+        }
+    }
+}
+
+/// Structured training abort: the guard tripped.
+#[derive(Clone, Debug)]
+pub struct TrainAbort {
+    /// What went non-finite.
+    pub kind: AbortKind,
+    /// Epoch in which the check tripped.
+    pub epoch: usize,
+    /// Global optimisation step (0-based) at which the check tripped.
+    pub step: u64,
+    /// Parameter group name, for gradient/parameter aborts.
+    pub param: Option<String>,
+    /// The offending value, when it is a scalar (the loss).
+    pub value: Option<f32>,
+}
+
+impl std::fmt::Display for TrainAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "training aborted: {} at epoch {}, step {}",
+            self.kind.name(),
+            self.epoch,
+            self.step
+        )?;
+        if let Some(p) = &self.param {
+            write!(f, ", parameter group `{p}`")?;
+        }
+        if let Some(v) = self.value {
+            write!(f, " (value {v})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TrainAbort {}
+
+/// Environment variable setting the guard cadence (`0`/unset = disabled).
+pub const GUARD_ENV: &str = "PRIM_GUARD_EVERY";
+
+/// Finite-value guard with a configurable step cadence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FiniteGuard {
+    cadence: u32,
+}
+
+impl FiniteGuard {
+    /// A guard that never checks (the zero-overhead default).
+    pub const fn disabled() -> Self {
+        FiniteGuard { cadence: 0 }
+    }
+
+    /// A guard checking every `cadence`-th step (1 = every step).
+    ///
+    /// # Panics
+    /// Panics when `cadence` is zero — use [`FiniteGuard::disabled`].
+    pub fn every(cadence: u32) -> Self {
+        assert!(cadence > 0, "guard cadence must be >= 1");
+        FiniteGuard { cadence }
+    }
+
+    /// Reads `PRIM_GUARD_EVERY` (`0`, unset or unparsable = disabled).
+    pub fn from_env() -> Self {
+        match std::env::var(GUARD_ENV) {
+            Ok(v) => match v.trim().parse::<u32>() {
+                Ok(n) if n > 0 => FiniteGuard::every(n),
+                _ => FiniteGuard::disabled(),
+            },
+            Err(_) => FiniteGuard::disabled(),
+        }
+    }
+
+    /// True when the guard performs checks at all.
+    pub fn is_enabled(&self) -> bool {
+        self.cadence > 0
+    }
+
+    /// True when global step `step` (0-based) is due a check.
+    pub fn due(&self, step: u64) -> bool {
+        self.cadence > 0 && step.is_multiple_of(self.cadence as u64)
+    }
+
+    /// Checks the scalar loss.
+    pub fn check_loss(&self, epoch: usize, step: u64, loss: f32) -> Result<(), TrainAbort> {
+        if loss.is_finite() {
+            Ok(())
+        } else {
+            Err(TrainAbort {
+                kind: AbortKind::NonFiniteLoss,
+                epoch,
+                step,
+                param: None,
+                value: Some(loss),
+            })
+        }
+    }
+
+    /// Checks one parameter group's gradient matrix.
+    pub fn check_gradient(
+        &self,
+        epoch: usize,
+        step: u64,
+        param: &str,
+        grad: &Matrix,
+    ) -> Result<(), TrainAbort> {
+        self.check_matrix(AbortKind::NonFiniteGradient, epoch, step, param, grad)
+    }
+
+    /// Checks a named matrix (gradient or parameter) for non-finite entries
+    /// via [`Matrix::all_finite`].
+    pub fn check_matrix(
+        &self,
+        kind: AbortKind,
+        epoch: usize,
+        step: u64,
+        param: &str,
+        m: &Matrix,
+    ) -> Result<(), TrainAbort> {
+        if m.all_finite() {
+            Ok(())
+        } else {
+            Err(TrainAbort {
+                kind,
+                epoch,
+                step,
+                param: Some(param.to_string()),
+                value: None,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cadence_schedule() {
+        let g = FiniteGuard::disabled();
+        assert!(!g.is_enabled());
+        assert!(!g.due(0));
+        let g = FiniteGuard::every(3);
+        let due: Vec<u64> = (0..10).filter(|&s| g.due(s)).collect();
+        assert_eq!(due, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence")]
+    fn zero_cadence_rejected() {
+        let _ = FiniteGuard::every(0);
+    }
+
+    #[test]
+    fn loss_checks() {
+        let g = FiniteGuard::every(1);
+        assert!(g.check_loss(0, 0, 0.5).is_ok());
+        assert!(g.check_loss(0, 0, -0.0).is_ok());
+        let abort = g.check_loss(3, 7, f32::NAN).unwrap_err();
+        assert_eq!(abort.kind, AbortKind::NonFiniteLoss);
+        assert_eq!(abort.epoch, 3);
+        assert_eq!(abort.step, 7);
+        let msg = abort.to_string();
+        assert!(msg.contains("epoch 3") && msg.contains("step 7"), "{msg}");
+        assert!(g.check_loss(0, 0, f32::INFINITY).is_err());
+    }
+
+    #[test]
+    fn matrix_checks_name_the_parameter() {
+        let g = FiniteGuard::every(1);
+        // -0.0 is finite: it must not trip the guard.
+        let ok = Matrix::from_vec(1, 3, vec![1.0, -0.0, -2.5]);
+        assert!(g.check_gradient(0, 0, "w_in", &ok).is_ok());
+        let bad = Matrix::from_vec(1, 3, vec![1.0, f32::NEG_INFINITY, 0.0]);
+        let abort = g.check_gradient(2, 5, "w_rel", &bad).unwrap_err();
+        assert_eq!(abort.kind, AbortKind::NonFiniteGradient);
+        assert_eq!(abort.param.as_deref(), Some("w_rel"));
+        assert!(abort.to_string().contains("`w_rel`"));
+    }
+}

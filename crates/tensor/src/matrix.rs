@@ -1025,4 +1025,28 @@ mod tests {
         a[(0, 1)] = f32::NAN;
         assert!(!a.all_finite());
     }
+
+    #[test]
+    fn all_finite_detects_infinities() {
+        let mut a = Matrix::zeros(1, 3);
+        a[(0, 0)] = f32::INFINITY;
+        assert!(!a.all_finite());
+        a[(0, 0)] = f32::NEG_INFINITY;
+        assert!(!a.all_finite());
+        a[(0, 0)] = f32::MAX;
+        assert!(a.all_finite(), "f32::MAX is finite");
+    }
+
+    #[test]
+    fn all_finite_accepts_signed_zero_and_subnormals() {
+        // -0.0 and subnormals are finite values; the finite guard built on
+        // this predicate must not abort training over them.
+        let a = Matrix::from_vec(1, 4, vec![-0.0, 0.0, f32::MIN_POSITIVE / 2.0, -1.0e-40]);
+        assert!(a.all_finite());
+    }
+
+    #[test]
+    fn all_finite_on_empty_matrix() {
+        assert!(Matrix::zeros(0, 0).all_finite());
+    }
 }

@@ -1,0 +1,51 @@
+//! Validates a telemetry run report (JSON Lines, schema `prim-obs/v1`).
+//!
+//! ```text
+//! cargo run --release --example validate_run_report -- [path] [--require-epochs]
+//! ```
+//!
+//! `path` defaults to `$PRIM_RUN_REPORT`. Every line must parse as a
+//! schema-tagged object with well-formed epoch records; with
+//! `--require-epochs` the file must additionally contain at least one epoch
+//! record (CI runs the workspace tests with `PRIM_RUN_REPORT` set and then
+//! requires the training loops to actually have reported epochs). Exits
+//! non-zero on any violation.
+
+use prim::obs::{validate_report, RUN_REPORT_ENV};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<String> = None;
+    let mut require_epochs = false;
+    for arg in &mut args {
+        match arg.as_str() {
+            "--require-epochs" => require_epochs = true,
+            other => path = Some(other.to_string()),
+        }
+    }
+    let path = path
+        .or_else(|| std::env::var(RUN_REPORT_ENV).ok())
+        .unwrap_or_else(|| {
+            eprintln!(
+                "usage: validate_run_report [path] [--require-epochs] (or set {RUN_REPORT_ENV})"
+            );
+            std::process::exit(2);
+        });
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("validate_run_report: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let summary = validate_report(&text).unwrap_or_else(|e| {
+        eprintln!("validate_run_report: {path} is invalid: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "{path}: {} lines, {} runs with epochs, {} epoch records, {} eval records",
+        summary.lines, summary.runs_with_epochs, summary.epoch_records, summary.eval_records
+    );
+    if require_epochs && summary.epoch_records == 0 {
+        eprintln!("validate_run_report: {path} contains no epoch records");
+        std::process::exit(1);
+    }
+}

@@ -12,7 +12,8 @@
 //! * [`data`] — calibrated synthetic city datasets (Meituan substitute);
 //! * [`model`] — the PRIM model itself (training, inference, ablations);
 //! * [`baselines`] — all twelve comparison methods behind one registry;
-//! * [`eval`] — Macro/Micro-F1, evaluation tasks, report tables.
+//! * [`eval`] — Macro/Micro-F1, evaluation tasks, report tables;
+//! * [`obs`] — telemetry: phase timers, run reports, NaN/Inf guard rails.
 //!
 //! See the [README](https://example.com/prim) and `examples/` for usage;
 //! `cargo bench -p prim-bench` regenerates the paper's tables and figures.
@@ -24,6 +25,7 @@ pub use prim_eval as eval;
 pub use prim_geo as geo;
 pub use prim_graph as graph;
 pub use prim_nn as nn;
+pub use prim_obs as obs;
 pub use prim_tensor as tensor;
 
 /// Convenience prelude importing the types most programs need.
@@ -33,4 +35,5 @@ pub mod prelude {
     pub use prim_data::{Dataset, Scale};
     pub use prim_eval::{inductive_task, sparse_task, transductive_task, F1Pair, Task};
     pub use prim_graph::{Edge, HeteroGraph, PoiId, RelationId};
+    pub use prim_obs::{FiniteGuard, Recorder, Telemetry, TrainAbort};
 }
