@@ -209,6 +209,13 @@ impl ModelInputs {
         }
     }
 
+    /// POI locations in id order (the coordinates behind
+    /// [`ModelInputs::pair_distance_km`]; serving layers snapshot these so
+    /// scoring can bin pairs without the full inputs).
+    pub fn locations(&self) -> &[prim_geo::Location] {
+        &self.locations
+    }
+
     /// Distance in km between two POIs.
     pub fn pair_distance_km(&self, a: PoiId, b: PoiId) -> f64 {
         self.locations[a.0 as usize].equirect_km(&self.locations[b.0 as usize])

@@ -120,6 +120,11 @@ impl GridIndex {
 
     /// Indices of all points strictly within `radius_km` of point `query`
     /// (excluding `query` itself), with their distances.
+    ///
+    /// The result is sorted by `(distance, index)` — a total order, so the
+    /// candidate lists feeding top-k queries (and any truncation of them)
+    /// are deterministic regardless of cell-visit order, co-located points
+    /// included.
     pub fn within_radius(&self, query: usize, radius_km: f64) -> Vec<(usize, f64)> {
         let (qx, qy) = self.points_km[query];
         let mut out = Vec::new();
@@ -131,14 +136,21 @@ impl GridIndex {
                 }
             }
         });
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
 
-    /// Like [`Self::within_radius`] but keeps only the `k` nearest, sorted by
-    /// ascending distance. Used to cap spatial-neighbour fan-out.
+    /// Like [`Self::within_radius`] but keeps only the `k` nearest. The
+    /// `(distance, index)` order of [`Self::within_radius`] makes the
+    /// truncation deterministic: ties at the cut-off resolve to the lower
+    /// point index.
     pub fn k_nearest_within(&self, query: usize, radius_km: f64, k: usize) -> Vec<(usize, f64)> {
         let mut all = self.within_radius(query, radius_km);
-        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        debug_assert!(
+            all.windows(2)
+                .all(|w| w[0].1.total_cmp(&w[1].1).then(w[0].0.cmp(&w[1].0)).is_lt()),
+            "within_radius must return a strict (distance, index) order"
+        );
         all.truncate(k);
         all
     }
@@ -237,6 +249,44 @@ mod tests {
         assert!(nn.windows(2).all(|w| w[0].1 <= w[1].1));
         // All must actually be within the radius.
         assert!(nn.iter().all(|&(_, d)| d < 3.0));
+    }
+
+    #[test]
+    fn within_radius_orders_by_distance_then_index() {
+        let pts = cluster(250);
+        let idx = GridIndex::build(&pts, 0.7);
+        for q in [0, 42, 249] {
+            let fast = idx.within_radius(q, 2.5);
+            // Strictly increasing under the (distance, index) total order.
+            assert!(fast.windows(2).all(|w| w[0]
+                .1
+                .total_cmp(&w[1].1)
+                .then(w[0].0.cmp(&w[1].0))
+                .is_lt()));
+            // Same set and same order as the sorted brute-force reference.
+            let mut brute = idx.within_radius_brute(q, 2.5);
+            brute.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            assert_eq!(fast, brute, "query {q}");
+        }
+    }
+
+    #[test]
+    fn co_located_points_tie_break_on_index() {
+        // Five copies of the same point around a distinct query point: all
+        // neighbours are exactly equidistant, so ordering must fall back to
+        // the point index, and truncation must keep the lowest indices.
+        let mut pts = vec![Location::new(116.30, 39.90)];
+        for _ in 0..5 {
+            pts.push(Location::new(116.31, 39.91));
+        }
+        let idx = GridIndex::build(&pts, 1.0);
+        let all = idx.within_radius(0, 10.0);
+        assert_eq!(
+            all.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        let top2 = idx.k_nearest_within(0, 10.0, 2);
+        assert_eq!(top2.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![1, 2]);
     }
 
     #[test]

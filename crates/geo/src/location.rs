@@ -114,6 +114,13 @@ impl DistanceBins {
             None => self.edges.len(),
         }
     }
+
+    /// The upper edges backing the closed bins, in km. Serialising these
+    /// (exactly, as f64 — binning is threshold-sensitive) and feeding them
+    /// back through [`DistanceBins::new`] reproduces the same binning.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
 }
 
 #[cfg(test)]

@@ -173,6 +173,50 @@ impl ParamStore {
         (0..self.params.len()).map(ParamId)
     }
 
+    /// Iterates over `(name, value, decays)` in registration order — the
+    /// full persistable state of the store (checkpoint serialisation).
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &Matrix, bool)> {
+        self.params
+            .iter()
+            .map(|p| (p.name.as_str(), &p.value, p.decay))
+    }
+
+    /// Replaces every parameter value from `(name, value)` pairs in
+    /// registration order — the read half of the checkpoint round-trip.
+    ///
+    /// The pairs must match the store's parameters exactly (same count,
+    /// same names in the same order, same shapes); any mismatch is reported
+    /// as a structured message naming the offending entry, and the store is
+    /// left untouched on error.
+    pub fn import_named(&mut self, entries: &[(String, Matrix)]) -> Result<(), String> {
+        if entries.len() != self.params.len() {
+            return Err(format!(
+                "parameter count mismatch: checkpoint has {}, model expects {}",
+                entries.len(),
+                self.params.len()
+            ));
+        }
+        for (p, (name, value)) in self.params.iter().zip(entries.iter()) {
+            if &p.name != name {
+                return Err(format!(
+                    "parameter name mismatch: checkpoint has {name:?}, model expects {:?}",
+                    p.name
+                ));
+            }
+            if p.value.shape() != value.shape() {
+                return Err(format!(
+                    "parameter {name:?} shape mismatch: checkpoint has {:?}, model expects {:?}",
+                    value.shape(),
+                    p.value.shape()
+                ));
+            }
+        }
+        for (p, (_, value)) in self.params.iter_mut().zip(entries.iter()) {
+            p.value = value.clone();
+        }
+        Ok(())
+    }
+
     /// Copies all current parameter values (for best-checkpoint selection).
     pub fn snapshot(&self) -> Vec<Matrix> {
         self.params.iter().map(|p| p.value.clone()).collect()
@@ -273,6 +317,45 @@ mod tests {
         assert_eq!(store.value(w).data()[0], 99.0);
         store.restore(&snap);
         assert_eq!(store.value(w).data()[0], 1.0);
+    }
+
+    #[test]
+    fn entries_import_roundtrip_and_mismatches() {
+        let mut store = ParamStore::new();
+        store.add("w", Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        store.add_no_decay("emb", Matrix::from_vec(2, 1, vec![3.0, 4.0]));
+
+        let exported: Vec<(String, Matrix)> = store
+            .entries()
+            .map(|(n, v, _)| (n.to_string(), v.clone()))
+            .collect();
+        let decays: Vec<bool> = store.entries().map(|(_, _, d)| d).collect();
+        assert_eq!(decays, vec![true, false]);
+
+        let mut fresh = ParamStore::new();
+        let w = fresh.add("w", Matrix::zeros(1, 2));
+        fresh.add_no_decay("emb", Matrix::zeros(2, 1));
+        fresh.import_named(&exported).unwrap();
+        assert_eq!(fresh.value(w).data(), &[1.0, 2.0]);
+
+        // Wrong order → named error, store untouched.
+        let mut swapped = exported.clone();
+        swapped.swap(0, 1);
+        let err = fresh.import_named(&swapped).unwrap_err();
+        assert!(err.contains("name mismatch"), "{err}");
+        assert_eq!(fresh.value(w).data(), &[1.0, 2.0]);
+
+        // Wrong shape → named error.
+        let bad = vec![
+            ("w".to_string(), Matrix::zeros(2, 2)),
+            ("emb".to_string(), Matrix::zeros(2, 1)),
+        ];
+        let err = fresh.import_named(&bad).unwrap_err();
+        assert!(err.contains("shape mismatch"), "{err}");
+
+        // Wrong count → named error.
+        let err = fresh.import_named(&exported[..1]).unwrap_err();
+        assert!(err.contains("count mismatch"), "{err}");
     }
 
     #[test]

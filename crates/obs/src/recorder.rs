@@ -33,16 +33,20 @@ pub enum Phase {
     Optimizer,
     /// Validation / test-set evaluation.
     Eval,
+    /// Online inference: request handling inside `prim-serve`'s engine
+    /// (scoring, candidate generation, cache management).
+    Serve,
 }
 
 impl Phase {
     /// All phases, in report order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Sampling,
         Phase::Forward,
         Phase::Backward,
         Phase::Optimizer,
         Phase::Eval,
+        Phase::Serve,
     ];
 
     /// Stable snake-case name used in JSON reports.
@@ -53,6 +57,7 @@ impl Phase {
             Phase::Backward => "backward",
             Phase::Optimizer => "optimizer",
             Phase::Eval => "eval",
+            Phase::Serve => "serve",
         }
     }
 }
@@ -75,17 +80,32 @@ pub enum Counter {
     GuardChecks,
     /// Evaluation pairs scored.
     EvalPairs,
+    /// Serving requests answered (score, top-k and batch alike).
+    ServeRequests,
+    /// POI pairs scored while serving (batch requests count every pair).
+    ServePairs,
+    /// Micro-batches flushed through the batched scoring kernel.
+    ServeBatches,
+    /// Score-cache hits.
+    ServeCacheHits,
+    /// Score-cache misses.
+    ServeCacheMisses,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 11] = [
         Counter::Steps,
         Counter::Epochs,
         Counter::TriplesSeen,
         Counter::ValChecks,
         Counter::GuardChecks,
         Counter::EvalPairs,
+        Counter::ServeRequests,
+        Counter::ServePairs,
+        Counter::ServeBatches,
+        Counter::ServeCacheHits,
+        Counter::ServeCacheMisses,
     ];
 
     /// Stable snake-case name used in JSON reports.
@@ -97,6 +117,11 @@ impl Counter {
             Counter::ValChecks => "val_checks",
             Counter::GuardChecks => "guard_checks",
             Counter::EvalPairs => "eval_pairs",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServePairs => "serve_pairs",
+            Counter::ServeBatches => "serve_batches",
+            Counter::ServeCacheHits => "serve_cache_hits",
+            Counter::ServeCacheMisses => "serve_cache_misses",
         }
     }
 }

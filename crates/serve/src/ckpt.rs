@@ -1,0 +1,854 @@
+//! The `prim-ckpt/v1` checkpoint format.
+//!
+//! A checkpoint is a single binary file that carries everything scoring
+//! needs and nothing training needs: the model configuration, the full
+//! [`ParamStore`] contents, and (for PRIM checkpoints) enough graph
+//! metadata — POI locations and categories, taxonomy structure, relation
+//! vocabulary, distance-bin edges, attribute features, training edges — to
+//! rebuild [`ModelInputs`] bitwise and re-materialise embeddings without
+//! the original dataset object.
+//!
+//! ## Byte layout (all integers little-endian)
+//!
+//! ```text
+//! offset 0   magic            8 bytes, b"PRIMCKPT"
+//! offset 8   format version   u32 (currently 1)
+//! offset 12  header length    u32
+//! offset 16  header           UTF-8 JSON, strings and counts only
+//! ...        tensor count     u64
+//! per tensor:
+//!            name length      u32, then the UTF-8 name
+//!            flags            u8  (bit 0: excluded from weight decay)
+//!            rows, cols       u64 each
+//!            values           rows·cols f64, row-major
+//! trailer:   checksum         u64, FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! Every floating-point quantity whose exact value matters (parameters,
+//! coordinates, bin edges, config scalars) travels through the f64 tensor
+//! table; the JSON header holds only strings and integer counts, so the
+//! six-digit JSON number formatting can never round anything that feeds
+//! scoring. `f32` parameters widen to f64 losslessly and narrow back with
+//! `as f32`, which is exact for values that originated as f32 — the
+//! round-trip is bitwise.
+
+use prim_core::config::{GammaOp, PrimConfig, TaxonomyMode};
+use prim_core::{ModelInputs, PrimModel};
+use prim_geo::{DistanceBins, Location};
+use prim_graph::{Edge, HeteroGraph, Poi, PoiId, RelationId, Taxonomy, TaxonomyNodeId};
+use prim_nn::ParamStore;
+use prim_obs::json;
+use prim_tensor::Matrix;
+use std::path::Path;
+
+/// File magic, first 8 bytes of every checkpoint.
+pub const MAGIC: &[u8; 8] = b"PRIMCKPT";
+
+/// Current (and only) format version.
+pub const VERSION: u32 = 1;
+
+/// Structured checkpoint errors. Corrupt files surface as values, never
+/// panics: the serving layer must be able to reject a bad checkpoint and
+/// keep running.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file ends before a section it promises; `needed` bytes were
+    /// required at the point named by `context` but only `available`
+    /// remained.
+    Truncated {
+        /// Which section the reader was decoding.
+        context: &'static str,
+        /// Bytes the section needed.
+        needed: u64,
+        /// Bytes left in the file.
+        available: u64,
+    },
+    /// The first 8 bytes are not `b"PRIMCKPT"` — not a checkpoint at all.
+    BadMagic,
+    /// The file is a checkpoint, but from an unsupported format version.
+    VersionSkew {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this reader supports.
+        supported: u32,
+    },
+    /// The trailing FNV-1a checksum does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the trailer.
+        stored: u64,
+        /// Checksum recomputed over the file.
+        computed: u64,
+    },
+    /// The bytes are intact (checksum passed) but their structure is not a
+    /// valid checkpoint (bad header JSON, inconsistent tensor table, …).
+    Malformed(String),
+    /// The checkpoint is valid but does not fit the target model
+    /// (parameter name/shape/count mismatches, wrong model kind).
+    Incompatible(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CkptError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated checkpoint: {context} needs {needed} bytes, {available} available"
+            ),
+            CkptError::BadMagic => write!(f, "not a prim-ckpt file (bad magic)"),
+            CkptError::VersionSkew { found, supported } => write!(
+                f,
+                "checkpoint version skew: file is v{found}, reader supports v{supported}"
+            ),
+            CkptError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            CkptError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+            CkptError::Incompatible(msg) => write!(f, "incompatible checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit hash — the integrity checksum in the trailer. Exposed so
+/// tests (and external tooling) can re-seal a deliberately edited file.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One named tensor from the checkpoint's tensor table.
+#[derive(Clone, Debug)]
+pub struct NamedTensor {
+    /// Tensor name (parameters are prefixed `param.`).
+    pub name: String,
+    /// Bit 0: excluded from weight decay.
+    pub flags: u8,
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major values.
+    pub values: Vec<f64>,
+}
+
+impl NamedTensor {
+    fn matrix_f32(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.values.iter().map(|&v| v as f32).collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Low-level writer / reader
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(header_json: &str) -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(header_json.len() as u32).to_le_bytes());
+        buf.extend_from_slice(header_json.as_bytes());
+        Writer { buf }
+    }
+
+    fn tensor_count(&mut self, n: usize) {
+        self.buf.extend_from_slice(&(n as u64).to_le_bytes());
+    }
+
+    fn tensor(&mut self, name: &str, flags: u8, rows: usize, cols: usize, values: &[f64]) {
+        assert_eq!(values.len(), rows * cols, "tensor {name} shape mismatch");
+        self.buf
+            .extend_from_slice(&(name.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(name.as_bytes());
+        self.buf.push(flags);
+        self.buf.extend_from_slice(&(rows as u64).to_le_bytes());
+        self.buf.extend_from_slice(&(cols as u64).to_le_bytes());
+        for &v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn seal(mut self) -> Vec<u8> {
+        let sum = checksum(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CkptError> {
+        if self.data.len() - self.pos < n {
+            return Err(CkptError::Truncated {
+                context,
+                needed: n as u64,
+                available: (self.data.len() - self.pos) as u64,
+            });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().unwrap(),
+        ))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().unwrap(),
+        ))
+    }
+}
+
+/// The decoded raw contents of a checkpoint file: header JSON + tensor
+/// table. Both [`load_checkpoint`] and [`load_params`] build on this.
+pub struct RawCheckpoint {
+    /// Parsed header.
+    pub header: json::Value,
+    /// All tensors, in file order.
+    pub tensors: Vec<NamedTensor>,
+}
+
+impl RawCheckpoint {
+    /// Header string field, or a malformed-checkpoint error naming the key.
+    pub fn header_str(&self, key: &str) -> Result<&str, CkptError> {
+        self.header
+            .get(key)
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| CkptError::Malformed(format!("header field {key:?} missing")))
+    }
+
+    fn header_usize(&self, key: &str) -> Result<usize, CkptError> {
+        self.header
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .filter(|v| v.fract() == 0.0 && *v >= 0.0)
+            .map(|v| v as usize)
+            .ok_or_else(|| CkptError::Malformed(format!("header count {key:?} missing")))
+    }
+
+    fn header_strings(&self, key: &str) -> Result<Vec<String>, CkptError> {
+        let arr = self
+            .header
+            .get(key)
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| CkptError::Malformed(format!("header array {key:?} missing")))?;
+        arr.iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| CkptError::Malformed(format!("non-string entry in {key:?}")))
+            })
+            .collect()
+    }
+
+    /// Tensor lookup by exact name.
+    pub fn tensor(&self, name: &str) -> Result<&NamedTensor, CkptError> {
+        self.tensors
+            .iter()
+            .find(|t| t.name == name)
+            .ok_or_else(|| CkptError::Malformed(format!("tensor {name:?} missing")))
+    }
+
+    /// All tensors whose name starts with `param.`, prefix stripped, as
+    /// `(name, value, no_decay)` in file order.
+    pub fn params(&self) -> Vec<(String, Matrix, bool)> {
+        self.tensors
+            .iter()
+            .filter_map(|t| {
+                t.name
+                    .strip_prefix("param.")
+                    .map(|n| (n.to_string(), t.matrix_f32(), t.flags & FLAG_NO_DECAY != 0))
+            })
+            .collect()
+    }
+}
+
+/// Flag bit: the tensor is a parameter excluded from weight decay.
+pub const FLAG_NO_DECAY: u8 = 1;
+
+fn decode(data: &[u8]) -> Result<RawCheckpoint, CkptError> {
+    // Fixed prologue: magic + version. Checked before the checksum so a
+    // wrong file type or a future version reads as what it is, not as
+    // corruption.
+    if data.len() < 8 {
+        return Err(CkptError::Truncated {
+            context: "magic",
+            needed: 8,
+            available: data.len() as u64,
+        });
+    }
+    if &data[..8] != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    if data.len() < 16 {
+        return Err(CkptError::Truncated {
+            context: "fixed header",
+            needed: 16,
+            available: data.len() as u64,
+        });
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(CkptError::VersionSkew {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    // Integrity next: the trailer checksum covers everything before it.
+    if data.len() < 16 + 8 {
+        return Err(CkptError::Truncated {
+            context: "checksum trailer",
+            needed: 24,
+            available: data.len() as u64,
+        });
+    }
+    let (body, trailer) = data.split_at(data.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+    let computed = checksum(body);
+    if stored != computed {
+        return Err(CkptError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut r = Reader {
+        data: body,
+        pos: 12,
+    };
+    let header_len = r.u32("header length")? as usize;
+    let header_bytes = r.take(header_len, "header")?;
+    let header_text = std::str::from_utf8(header_bytes)
+        .map_err(|e| CkptError::Malformed(format!("header is not UTF-8: {e}")))?;
+    let header =
+        json::parse(header_text).map_err(|e| CkptError::Malformed(format!("header JSON: {e}")))?;
+
+    let n_tensors = r.u64("tensor count")? as usize;
+    let mut tensors = Vec::with_capacity(n_tensors);
+    for _ in 0..n_tensors {
+        let name_len = r.u32("tensor name length")? as usize;
+        let name = std::str::from_utf8(r.take(name_len, "tensor name")?)
+            .map_err(|e| CkptError::Malformed(format!("tensor name is not UTF-8: {e}")))?
+            .to_string();
+        let flags = r.take(1, "tensor flags")?[0];
+        let rows = r.u64("tensor rows")? as usize;
+        let cols = r.u64("tensor cols")? as usize;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| CkptError::Malformed(format!("tensor {name:?} shape overflows")))?;
+        let bytes = r.take(n * 8, "tensor values")?;
+        let values = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        tensors.push(NamedTensor {
+            name,
+            flags,
+            rows,
+            cols,
+            values,
+        });
+    }
+    if r.pos != body.len() {
+        return Err(CkptError::Malformed(format!(
+            "{} trailing bytes after tensor table",
+            body.len() - r.pos
+        )));
+    }
+    Ok(RawCheckpoint { header, tensors })
+}
+
+/// Reads and decodes a checkpoint file without interpreting its contents.
+pub fn load_raw(path: impl AsRef<Path>) -> Result<RawCheckpoint, CkptError> {
+    let data = std::fs::read(path)?;
+    decode(&data)
+}
+
+// ---------------------------------------------------------------------------
+// Config <-> tensor encoding
+// ---------------------------------------------------------------------------
+
+// `meta.config` layout, one f64 per slot. usize fields are exact below
+// 2^53; f32 fields widen exactly; the u64 seed splits into two 32-bit
+// halves so it survives the f64 round-trip regardless of magnitude.
+const CFG_SLOTS: usize = 22;
+
+fn encode_config(cfg: &PrimConfig) -> Vec<f64> {
+    vec![
+        cfg.dim as f64,
+        cfg.cat_dim as f64,
+        cfg.n_layers as f64,
+        cfg.n_heads as f64,
+        cfg.dist_feat_dim as f64,
+        cfg.spatial_radius_km,
+        cfg.rbf_theta,
+        cfg.max_spatial_neighbors as f64,
+        cfg.omega as f64,
+        cfg.lr as f64,
+        cfg.weight_decay as f64,
+        cfg.val_check_every as f64,
+        cfg.epochs as f64,
+        cfg.batch_size.map_or(-1.0, |b| b as f64),
+        cfg.grad_clip as f64,
+        match cfg.gamma {
+            GammaOp::Multiply => 0.0,
+            GammaOp::Subtract => 1.0,
+            GammaOp::CircularCorrelation => 2.0,
+        },
+        match cfg.taxonomy {
+            TaxonomyMode::PathSum => 0.0,
+            TaxonomyMode::Independent => 1.0,
+        },
+        cfg.use_spatial_context as u8 as f64,
+        cfg.use_distance_scoring as u8 as f64,
+        cfg.use_node_embeddings as u8 as f64,
+        (cfg.seed >> 32) as f64,
+        (cfg.seed & 0xffff_ffff) as f64,
+    ]
+}
+
+fn decode_config(slots: &[f64], bin_edges: &[f64]) -> Result<PrimConfig, CkptError> {
+    if slots.len() != CFG_SLOTS {
+        return Err(CkptError::Malformed(format!(
+            "meta.config has {} slots, expected {CFG_SLOTS}",
+            slots.len()
+        )));
+    }
+    let us = |i: usize| slots[i] as usize;
+    Ok(PrimConfig {
+        dim: us(0),
+        cat_dim: us(1),
+        n_layers: us(2),
+        n_heads: us(3),
+        dist_feat_dim: us(4),
+        spatial_radius_km: slots[5],
+        rbf_theta: slots[6],
+        max_spatial_neighbors: us(7),
+        bins: DistanceBins::new(bin_edges.to_vec()),
+        omega: us(8),
+        lr: slots[9] as f32,
+        weight_decay: slots[10] as f32,
+        val_check_every: us(11),
+        epochs: us(12),
+        batch_size: if slots[13] < 0.0 {
+            None
+        } else {
+            Some(slots[13] as usize)
+        },
+        grad_clip: slots[14] as f32,
+        gamma: match slots[15] as i64 {
+            0 => GammaOp::Multiply,
+            1 => GammaOp::Subtract,
+            2 => GammaOp::CircularCorrelation,
+            other => {
+                return Err(CkptError::Malformed(format!("unknown gamma code {other}")));
+            }
+        },
+        taxonomy: match slots[16] as i64 {
+            0 => TaxonomyMode::PathSum,
+            1 => TaxonomyMode::Independent,
+            other => {
+                return Err(CkptError::Malformed(format!(
+                    "unknown taxonomy code {other}"
+                )));
+            }
+        },
+        use_spatial_context: slots[17] != 0.0,
+        use_distance_scoring: slots[18] != 0.0,
+        use_node_embeddings: slots[19] != 0.0,
+        seed: ((slots[20] as u64) << 32) | (slots[21] as u64),
+    })
+}
+
+fn push_params(w: &mut Writer, store: &ParamStore) {
+    for (name, value, decays) in store.entries() {
+        let flags = if decays { 0 } else { FLAG_NO_DECAY };
+        let values: Vec<f64> = value.data().iter().map(|&v| v as f64).collect();
+        w.tensor(
+            &format!("param.{name}"),
+            flags,
+            value.rows(),
+            value.cols(),
+            &values,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PRIM checkpoints
+// ---------------------------------------------------------------------------
+
+/// A fully decoded PRIM checkpoint: configuration, rebuilt graph metadata
+/// and the parameter table, ready to be turned back into a scoring model
+/// with [`PrimCheckpoint::rebuild`].
+pub struct PrimCheckpoint {
+    /// Run label recorded at save time.
+    pub run: String,
+    /// Model configuration (bins included, bit-exact).
+    pub config: PrimConfig,
+    /// Relation vocabulary, index order matching relation ids.
+    pub relation_names: Vec<String>,
+    /// The graph whose edges were visible at save time (the training
+    /// edges), rebuilt POI-for-POI.
+    pub graph: HeteroGraph,
+    /// The category taxonomy, rebuilt node-for-node.
+    pub taxonomy: Taxonomy,
+    /// POI attribute features.
+    pub attrs: Matrix,
+    /// `(name, value)` parameter pairs in registration order.
+    pub params: Vec<(String, Matrix)>,
+}
+
+impl PrimCheckpoint {
+    /// Rebuilds a scoring-ready model: deterministic [`ModelInputs`] from
+    /// the stored graph metadata plus a [`PrimModel`] whose parameters are
+    /// the checkpointed values. With the same binary on the same hardware,
+    /// `rebuild` followed by `embed` is bitwise identical to the saving
+    /// process's embeddings.
+    pub fn rebuild(&self) -> Result<(PrimModel, ModelInputs), CkptError> {
+        let inputs = ModelInputs::build(
+            &self.graph,
+            &self.taxonomy,
+            &self.attrs,
+            self.graph.edges(),
+            None,
+            &self.config,
+        );
+        let mut model = PrimModel::new(self.config.clone(), &inputs);
+        model
+            .params_mut()
+            .import_named(&self.params)
+            .map_err(CkptError::Incompatible)?;
+        Ok((model, inputs))
+    }
+}
+
+/// Serialises a trained PRIM model plus the graph metadata scoring needs.
+///
+/// `graph` must be the graph the model was trained against (its edge list
+/// is stored as the serving-time message-passing structure); `taxonomy`,
+/// `attrs` and `relation_names` come from the same dataset.
+pub fn save_checkpoint(
+    path: impl AsRef<Path>,
+    run: &str,
+    model: &PrimModel,
+    graph: &HeteroGraph,
+    taxonomy: &Taxonomy,
+    attrs: &Matrix,
+    relation_names: &[String],
+) -> Result<(), CkptError> {
+    let cfg = model.config();
+    let names: Vec<String> = relation_names.iter().map(|n| json::str(n)).collect();
+    let tax_names: Vec<String> = (0..taxonomy.num_nodes())
+        .map(|i| json::str(taxonomy.name(TaxonomyNodeId(i as u32))))
+        .collect();
+    let header = json::obj(&[
+        ("format", json::str("prim-ckpt")),
+        ("kind", json::str("prim")),
+        ("run", json::str(run)),
+        ("n_pois", json::int(graph.num_pois() as u64)),
+        ("n_relations", json::int(graph.num_relations() as u64)),
+        ("n_taxonomy_nodes", json::int(taxonomy.num_nodes() as u64)),
+        ("n_categories", json::int(taxonomy.num_categories() as u64)),
+        ("relations", json::arr(&names)),
+        ("taxonomy_names", json::arr(&tax_names)),
+    ]);
+
+    let mut w = Writer::new(&header);
+    w.tensor_count(8 + model.params().len());
+    w.tensor("meta.config", 0, 1, CFG_SLOTS, &encode_config(cfg));
+    w.tensor(
+        "meta.bin_edges",
+        0,
+        1,
+        cfg.bins.edges().len(),
+        cfg.bins.edges(),
+    );
+
+    let n = graph.num_pois();
+    let mut loc = Vec::with_capacity(n * 2);
+    let mut cat = Vec::with_capacity(n);
+    for p in graph.pois() {
+        loc.push(p.location.lon);
+        loc.push(p.location.lat);
+        cat.push(p.category.0 as f64);
+    }
+    w.tensor("graph.locations", 0, n, 2, &loc);
+    w.tensor("graph.category", 0, n, 1, &cat);
+
+    let parents: Vec<f64> = (0..taxonomy.num_nodes())
+        .map(|i| {
+            taxonomy
+                .parent(TaxonomyNodeId(i as u32))
+                .map_or(-1.0, |p| p.0 as f64)
+        })
+        .collect();
+    w.tensor("graph.tax_parent", 0, taxonomy.num_nodes(), 1, &parents);
+    let leaves: Vec<f64> = (0..taxonomy.num_categories())
+        .map(|c| taxonomy.leaf_node(prim_graph::CategoryId(c as u32)).0 as f64)
+        .collect();
+    w.tensor("graph.tax_leaf", 0, taxonomy.num_categories(), 1, &leaves);
+
+    let mut edges = Vec::with_capacity(graph.num_edges() * 3);
+    for e in graph.edges() {
+        edges.push(e.src.0 as f64);
+        edges.push(e.dst.0 as f64);
+        edges.push(e.rel.0 as f64);
+    }
+    w.tensor("graph.edges", 0, graph.num_edges(), 3, &edges);
+
+    let attr_vals: Vec<f64> = attrs.data().iter().map(|&v| v as f64).collect();
+    w.tensor("graph.attrs", 0, attrs.rows(), attrs.cols(), &attr_vals);
+
+    push_params(&mut w, model.params());
+    std::fs::write(path, w.seal())?;
+    Ok(())
+}
+
+/// Loads and fully decodes a PRIM checkpoint written by
+/// [`save_checkpoint`].
+pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<PrimCheckpoint, CkptError> {
+    let raw = load_raw(path)?;
+    if raw.header_str("kind")? != "prim" {
+        return Err(CkptError::Incompatible(format!(
+            "expected a prim checkpoint, found kind {:?}",
+            raw.header_str("kind")?
+        )));
+    }
+    let run = raw.header_str("run")?.to_string();
+    let n_pois = raw.header_usize("n_pois")?;
+    let n_relations = raw.header_usize("n_relations")?;
+    let n_nodes = raw.header_usize("n_taxonomy_nodes")?;
+    let n_categories = raw.header_usize("n_categories")?;
+    let relation_names = raw.header_strings("relations")?;
+    let tax_names = raw.header_strings("taxonomy_names")?;
+    if relation_names.len() != n_relations {
+        return Err(CkptError::Malformed(format!(
+            "{} relation names for {n_relations} relations",
+            relation_names.len()
+        )));
+    }
+    if tax_names.len() != n_nodes {
+        return Err(CkptError::Malformed(format!(
+            "{} taxonomy names for {n_nodes} nodes",
+            tax_names.len()
+        )));
+    }
+
+    let config = decode_config(
+        &raw.tensor("meta.config")?.values,
+        &raw.tensor("meta.bin_edges")?.values,
+    )?;
+
+    // Taxonomy: node ids are assigned sequentially by add_* calls and
+    // leaf ids in add_category order, so replaying the parent array in
+    // ascending node order reproduces both id spaces exactly.
+    let parents = &raw.tensor("graph.tax_parent")?.values;
+    let leaves = &raw.tensor("graph.tax_leaf")?.values;
+    if parents.len() != n_nodes || leaves.len() != n_categories {
+        return Err(CkptError::Malformed(
+            "taxonomy tensor sizes disagree with header counts".into(),
+        ));
+    }
+    let leaf_set: std::collections::HashSet<u32> = leaves.iter().map(|&v| v as u32).collect();
+    let mut taxonomy = Taxonomy::new(tax_names[0].clone());
+    for (id, name) in tax_names.iter().enumerate().skip(1) {
+        let parent = parents[id];
+        if parent < 0.0 || parent as usize >= id {
+            return Err(CkptError::Malformed(format!(
+                "taxonomy node {id} has invalid parent {parent}"
+            )));
+        }
+        let parent = TaxonomyNodeId(parent as u32);
+        if leaf_set.contains(&(id as u32)) {
+            taxonomy.add_category(parent, name.clone());
+        } else {
+            taxonomy.add_hypernym(parent, name.clone());
+        }
+    }
+    for (c, &node) in leaves.iter().enumerate() {
+        if taxonomy.leaf_node(prim_graph::CategoryId(c as u32)).0 != node as u32 {
+            return Err(CkptError::Malformed(format!(
+                "taxonomy leaf {c} did not rebuild to node {node}"
+            )));
+        }
+    }
+
+    let loc = raw.tensor("graph.locations")?;
+    let cat = raw.tensor("graph.category")?;
+    if loc.rows != n_pois || loc.cols != 2 || cat.rows != n_pois {
+        return Err(CkptError::Malformed(
+            "location/category tensor sizes disagree with header counts".into(),
+        ));
+    }
+    let pois: Vec<Poi> = (0..n_pois)
+        .map(|i| Poi {
+            location: Location::new(loc.values[2 * i], loc.values[2 * i + 1]),
+            category: prim_graph::CategoryId(cat.values[i] as u32),
+        })
+        .collect();
+    let mut graph = HeteroGraph::new(pois, n_relations);
+    let et = raw.tensor("graph.edges")?;
+    if et.cols != 3 {
+        return Err(CkptError::Malformed(
+            "graph.edges must have 3 columns".into(),
+        ));
+    }
+    graph.add_edges(et.values.chunks_exact(3).map(|c| {
+        Edge::new(
+            PoiId(c[0] as u32),
+            PoiId(c[1] as u32),
+            RelationId(c[2] as u8),
+        )
+    }));
+
+    let at = raw.tensor("graph.attrs")?;
+    if at.rows != n_pois {
+        return Err(CkptError::Malformed(
+            "graph.attrs row count disagrees with n_pois".into(),
+        ));
+    }
+    let attrs = at.matrix_f32();
+
+    let params: Vec<(String, Matrix)> = raw.params().into_iter().map(|(n, m, _)| (n, m)).collect();
+    if params.is_empty() {
+        return Err(CkptError::Malformed(
+            "checkpoint holds no parameters".into(),
+        ));
+    }
+
+    Ok(PrimCheckpoint {
+        run,
+        config,
+        relation_names,
+        graph,
+        taxonomy,
+        attrs,
+        params,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Generic parameter checkpoints (the baselines' model families)
+// ---------------------------------------------------------------------------
+
+/// A decoded parameter-only checkpoint (`kind = "params"`).
+pub struct ParamsCheckpoint {
+    /// Model family name recorded at save time (e.g. `"GCN"`).
+    pub model: String,
+    /// Run label recorded at save time.
+    pub run: String,
+    /// `(name, value, no_decay)` entries in registration order.
+    pub entries: Vec<(String, Matrix, bool)>,
+}
+
+/// Serialises any [`ParamStore`] — the persistence half every baseline
+/// model family shares (they all train through the same store).
+pub fn save_params(
+    path: impl AsRef<Path>,
+    model: &str,
+    run: &str,
+    store: &ParamStore,
+) -> Result<(), CkptError> {
+    let header = json::obj(&[
+        ("format", json::str("prim-ckpt")),
+        ("kind", json::str("params")),
+        ("model", json::str(model)),
+        ("run", json::str(run)),
+    ]);
+    let mut w = Writer::new(&header);
+    w.tensor_count(store.len());
+    push_params(&mut w, store);
+    std::fs::write(path, w.seal())?;
+    Ok(())
+}
+
+/// Loads a parameter-only checkpoint written by [`save_params`].
+pub fn load_params(path: impl AsRef<Path>) -> Result<ParamsCheckpoint, CkptError> {
+    let raw = load_raw(path)?;
+    if raw.header_str("kind")? != "params" {
+        return Err(CkptError::Incompatible(format!(
+            "expected a params checkpoint, found kind {:?}",
+            raw.header_str("kind")?
+        )));
+    }
+    Ok(ParamsCheckpoint {
+        model: raw.header_str("model")?.to_string(),
+        run: raw.header_str("run")?.to_string(),
+        entries: raw.params(),
+    })
+}
+
+/// Restores a parameter-only checkpoint into an existing store. The store
+/// must already have the model's registration structure (same names,
+/// shapes and order) — construct the model first, then load into it.
+pub fn load_params_into(
+    path: impl AsRef<Path>,
+    expect_model: &str,
+    store: &mut ParamStore,
+) -> Result<(), CkptError> {
+    let ckpt = load_params(path)?;
+    if ckpt.model != expect_model {
+        return Err(CkptError::Incompatible(format!(
+            "checkpoint is for model {:?}, expected {expect_model:?}",
+            ckpt.model
+        )));
+    }
+    let entries: Vec<(String, Matrix)> = ckpt.entries.into_iter().map(|(n, m, _)| (n, m)).collect();
+    store
+        .import_named(&entries)
+        .map_err(CkptError::Incompatible)
+}
+
+/// Persists any baseline [`prim_baselines::PairModel`] — the same API the
+/// shared trainer's models flow through, so every family checkpoints
+/// identically.
+pub fn save_pair_model<M: prim_baselines::PairModel>(
+    path: impl AsRef<Path>,
+    run: &str,
+    model: &M,
+) -> Result<(), CkptError> {
+    save_params(path, model.name(), run, model.store())
+}
+
+/// Restores a baseline [`prim_baselines::PairModel`] saved with
+/// [`save_pair_model`], verifying the model family matches.
+pub fn load_pair_model<M: prim_baselines::PairModel>(
+    path: impl AsRef<Path>,
+    model: &mut M,
+) -> Result<(), CkptError> {
+    let name = model.name();
+    load_params_into(path, name, model.store_mut())
+}

@@ -1,0 +1,907 @@
+//! The serving query engine: batched bitwise-faithful scoring, spatial
+//! top-k, an LRU score cache and an optional micro-batcher.
+//!
+//! ## Bitwise contract
+//!
+//! Every score this engine produces has the same bit pattern as
+//! [`prim_core::PrimModel::score_pair_eager`] on the same embeddings. The
+//! batched kernel keeps the eager path's f32 operation order per score —
+//! the projection coefficients accumulate `k`-ascending from 0.0 and the
+//! final reduction multiplies `(ps · hr) · pd` left to right — while
+//! restructuring *around* each score for speed: the projections `ps`/`pd`
+//! are hoisted out of the per-relation loop (eager recomputes them for
+//! every relation), pairs are processed four at a time so eight
+//! coefficient reductions overlap in flight, and the relation reduction
+//! interleaves four pairs × two relations into eight independent
+//! accumulator chains over hoisted relation rows. None of those change
+//! any individual f32 chain — each score is still one `k`-ascending
+//! serial accumulation — so results are identical across batch sizes,
+//! cache states and thread counts.
+
+use crate::cache::{pack_key, ScoreCache};
+use crate::store::EmbeddingStore;
+use prim_graph::PoiId;
+use prim_obs::{Counter, Phase, Recorder};
+use prim_tensor::kernel;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Pairs scored per inner block of the batched kernel. Four pairs give
+/// eight interleaved coefficient chains and (with [`REL_BLOCK`]) eight
+/// interleaved score chains — enough independent f32 dependency chains to
+/// hide the ~4-cycle add latency that serialises the eager path.
+const PAIR_BLOCK: usize = 4;
+
+/// Relations per accumulator block in the batched kernel.
+const REL_BLOCK: usize = 2;
+
+/// Tuning knobs for [`ServeEngine`].
+#[derive(Clone, Debug)]
+pub struct EngineOpts {
+    /// Score-vector cache capacity (entries); 0 disables caching.
+    pub cache_capacity: usize,
+    /// Micro-batcher: flush once this many pairs are queued.
+    pub batch_max_pairs: usize,
+    /// Micro-batcher: flush a non-empty queue after this long even if it
+    /// has not reached `batch_max_pairs`.
+    pub batch_max_wait: Duration,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        EngineOpts {
+            cache_capacity: 4096,
+            batch_max_pairs: 64,
+            batch_max_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Scores for one POI pair across the full relation set `R ∪ {φ}`.
+///
+/// The score vector is a view into shared storage: results of one
+/// [`ServeEngine::batch`] call share a single allocation, and cache hits
+/// share the cached vector. A `PairScores` therefore keeps its source
+/// batch's score block alive until dropped — fine for the serve loop,
+/// which serialises and drops results immediately.
+#[derive(Clone, Debug)]
+pub struct PairScores {
+    /// Source POI id.
+    pub src: u32,
+    /// Destination POI id.
+    pub dst: u32,
+    /// Distance bin the pair fell into.
+    pub bin: usize,
+    all: Arc<[f32]>,
+    offset: usize,
+    n_rel: usize,
+    /// Arg-max relation index.
+    pub best: usize,
+    /// Score of the arg-max relation.
+    pub best_score: f32,
+    /// Whether the vector came from the cache.
+    pub cached: bool,
+}
+
+impl PairScores {
+    /// One score per relation, φ last (`scores().len() == n_relations + 1`).
+    pub fn scores(&self) -> &[f32] {
+        &self.all[self.offset..self.offset + self.n_rel]
+    }
+
+    fn new(
+        src: u32,
+        dst: u32,
+        bin: usize,
+        all: Arc<[f32]>,
+        offset: usize,
+        n_rel: usize,
+        cached: bool,
+    ) -> Self {
+        // Strict > keeps the first maximum, matching predict_pairs.
+        let mut best = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for (r, &s) in all[offset..offset + n_rel].iter().enumerate() {
+            if s > best_score {
+                best_score = s;
+                best = r;
+            }
+        }
+        PairScores {
+            src,
+            dst,
+            bin,
+            all,
+            offset,
+            n_rel,
+            best,
+            best_score,
+            cached,
+        }
+    }
+}
+
+/// One result of a spatial top-k query.
+#[derive(Clone, Debug)]
+pub struct Neighbor {
+    /// Candidate POI id.
+    pub poi: u32,
+    /// Distance from the query POI in km.
+    pub distance_km: f64,
+    /// Score under the requested relation.
+    pub score: f32,
+    /// Whether the relation scored here is also the pair's arg-max.
+    pub is_best: bool,
+}
+
+/// Online inference engine over a frozen [`EmbeddingStore`].
+pub struct ServeEngine {
+    store: EmbeddingStore,
+    cache: ScoreCache,
+    recorder: Recorder,
+}
+
+impl ServeEngine {
+    /// Builds an engine. POI/bin counts must fit the packed cache key
+    /// (24/8 bits); real city graphs are far below both limits.
+    pub fn new(store: EmbeddingStore, opts: &EngineOpts, recorder: Recorder) -> Self {
+        assert!(store.n_pois() < (1 << 24), "cache key packs 24-bit POI ids");
+        assert!(store.bins.len() < (1 << 8), "cache key packs 8-bit bins");
+        ServeEngine {
+            store,
+            cache: ScoreCache::new(opts.cache_capacity),
+            recorder,
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// The engine's telemetry recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Scores one pair across all relations, consulting the cache first.
+    pub fn score(&self, src: u32, dst: u32) -> PairScores {
+        let _serve = self.recorder.phase(Phase::Serve);
+        self.recorder.add(Counter::ServeRequests, 1);
+        self.recorder.add(Counter::ServePairs, 1);
+        self.score_uncounted(src, dst)
+    }
+
+    /// Scores a batch of pairs in one kernel invocation. Cached pairs are
+    /// answered from the cache; the rest go through the batched kernel
+    /// together. Results come back in input order.
+    pub fn batch(&self, pairs: &[(u32, u32)]) -> Vec<PairScores> {
+        let _serve = self.recorder.phase(Phase::Serve);
+        self.recorder.add(Counter::ServeRequests, 1);
+        self.recorder.add(Counter::ServePairs, pairs.len() as u64);
+        self.recorder.add(Counter::ServeBatches, 1);
+
+        let bins: Vec<usize> = pairs
+            .iter()
+            .map(|&(a, b)| self.store.pair_bin(PoiId(a), PoiId(b)))
+            .collect();
+
+        // Cache disabled: straight through the kernel, no per-pair probes
+        // or allocations — the whole batch shares one score block.
+        if !self.cache.is_enabled() {
+            self.recorder
+                .add(Counter::ServeCacheMisses, pairs.len() as u64);
+            let all: Arc<[f32]> = score_pairs_all(&self.store, pairs, &bins).into();
+            let n_rel = self.store.phi() + 1;
+            return pairs
+                .iter()
+                .zip(&bins)
+                .enumerate()
+                .map(|(i, (&(a, b), &bin))| {
+                    PairScores::new(a, b, bin, Arc::clone(&all), i * n_rel, n_rel, false)
+                })
+                .collect();
+        }
+
+        // Cache pass: collect the misses, remember where each came from.
+        let mut out: Vec<Option<PairScores>> = Vec::with_capacity(pairs.len());
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, (&(a, b), &bin)) in pairs.iter().zip(&bins).enumerate() {
+            match self.cache.get(pack_key(a, b, bin)) {
+                Some(v) => {
+                    let n_rel = v.len();
+                    out.push(Some(PairScores::new(a, b, bin, v, 0, n_rel, true)));
+                }
+                None => {
+                    miss_idx.push(i);
+                    out.push(None);
+                }
+            }
+        }
+        let hits = (pairs.len() - miss_idx.len()) as u64;
+        self.recorder.add(Counter::ServeCacheHits, hits);
+        self.recorder
+            .add(Counter::ServeCacheMisses, miss_idx.len() as u64);
+
+        if !miss_idx.is_empty() {
+            let miss_pairs: Vec<(u32, u32)> = miss_idx.iter().map(|&i| pairs[i]).collect();
+            let miss_bins: Vec<usize> = miss_idx.iter().map(|&i| bins[i]).collect();
+            let flat = score_pairs_all(&self.store, &miss_pairs, &miss_bins);
+            let n_rel = self.store.phi() + 1;
+            for (j, &i) in miss_idx.iter().enumerate() {
+                // One allocation per miss, shared between the cache entry
+                // and the returned result.
+                let scores: Arc<[f32]> = flat[j * n_rel..(j + 1) * n_rel].into();
+                let (a, b) = pairs[i];
+                self.cache
+                    .insert(pack_key(a, b, bins[i]), Arc::clone(&scores));
+                out[i] = Some(PairScores::new(a, b, bins[i], scores, 0, n_rel, false));
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Scores the pairs of `src` against every POI within `radius_km`,
+    /// returning the `k` highest-scoring under `relation`. Candidates come
+    /// from the grid index (deterministic `(distance, index)` order);
+    /// ranking ties break on candidate index, so the result is fully
+    /// deterministic.
+    pub fn top_k_related(
+        &self,
+        src: u32,
+        radius_km: f64,
+        k: usize,
+        relation: usize,
+    ) -> Vec<Neighbor> {
+        let _serve = self.recorder.phase(Phase::Serve);
+        self.recorder.add(Counter::ServeRequests, 1);
+        assert!(relation <= self.store.phi(), "relation out of range");
+        let candidates = self.store.within_radius(PoiId(src), radius_km);
+        if candidates.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        self.recorder
+            .add(Counter::ServePairs, candidates.len() as u64);
+        self.recorder.add(Counter::ServeBatches, 1);
+
+        let pairs: Vec<(u32, u32)> = candidates.iter().map(|&(j, _)| (src, j as u32)).collect();
+        let scored = self.batch_uncounted(&pairs);
+        let mut ranked: Vec<Neighbor> = scored
+            .iter()
+            .zip(&candidates)
+            .map(|(s, &(j, d))| Neighbor {
+                poi: j as u32,
+                distance_km: d,
+                score: s.scores()[relation],
+                is_best: s.best == relation,
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.poi.cmp(&b.poi)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// [`Self::score`] without the request/pair counters (shared by paths
+    /// that already counted their work).
+    fn score_uncounted(&self, src: u32, dst: u32) -> PairScores {
+        let bin = self.store.pair_bin(PoiId(src), PoiId(dst));
+        let key = pack_key(src, dst, bin);
+        if let Some(v) = self.cache.get(key) {
+            self.recorder.add(Counter::ServeCacheHits, 1);
+            let n_rel = v.len();
+            return PairScores::new(src, dst, bin, v, 0, n_rel, true);
+        }
+        self.recorder.add(Counter::ServeCacheMisses, 1);
+        let n_rel = self.store.phi() + 1;
+        let scores: Arc<[f32]> = score_pairs_all(&self.store, &[(src, dst)], &[bin]).into();
+        self.cache.insert(key, Arc::clone(&scores));
+        PairScores::new(src, dst, bin, scores, 0, n_rel, false)
+    }
+
+    /// [`Self::batch`] without request counters or cache traffic: used by
+    /// `top_k_related`, which counts its own pairs. Radius scans rarely
+    /// repeat a specific pair, so probing or populating the point cache
+    /// would mostly churn it.
+    fn batch_uncounted(&self, pairs: &[(u32, u32)]) -> Vec<PairScores> {
+        let bins: Vec<usize> = pairs
+            .iter()
+            .map(|&(a, b)| self.store.pair_bin(PoiId(a), PoiId(b)))
+            .collect();
+        let all: Arc<[f32]> = score_pairs_all(&self.store, pairs, &bins).into();
+        let n_rel = self.store.phi() + 1;
+        pairs
+            .iter()
+            .zip(&bins)
+            .enumerate()
+            .map(|(i, (&(a, b), &bin))| {
+                PairScores::new(a, b, bin, Arc::clone(&all), i * n_rel, n_rel, false)
+            })
+            .collect()
+    }
+}
+
+/// Scores every `(src, dst)` pair against every relation in `R ∪ {φ}`,
+/// returning an `n_pairs × (n_relations + 1)` row-major table. Each
+/// individual score is bitwise [`prim_core::PrimModel::score_pair_eager`];
+/// see the module docs for why the restructuring preserves that.
+pub fn score_pairs_all(store: &EmbeddingStore, pairs: &[(u32, u32)], bins: &[usize]) -> Vec<f32> {
+    assert_eq!(pairs.len(), bins.len());
+    let d = store.dim();
+    let n_rel = store.phi() + 1;
+    let mut out = vec![0.0f32; pairs.len() * n_rel];
+    if pairs.is_empty() {
+        return out;
+    }
+    // Rows are pairs: chunks split between pairs only, so chunking cannot
+    // change any per-score arithmetic.
+    let per_pair = n_rel * d.max(1) * 3;
+    let grain = (kernel::PAR_ELEM_CUTOFF / per_pair.max(1)).max(1);
+    kernel::par_row_chunks(&mut out, n_rel, grain, |row0, chunk| {
+        let n = chunk.len() / n_rel;
+        let mut scratch = Scratch::new(d);
+        let mut i = 0usize;
+        // Four pairs per iteration: their (independent) coefficient and
+        // relation chains interleave, covering each other's add latency.
+        while i + PAIR_BLOCK <= n {
+            let p = [
+                pairs[row0 + i],
+                pairs[row0 + i + 1],
+                pairs[row0 + i + 2],
+                pairs[row0 + i + 3],
+            ];
+            let b = [
+                bins[row0 + i],
+                bins[row0 + i + 1],
+                bins[row0 + i + 2],
+                bins[row0 + i + 3],
+            ];
+            let outs = &mut chunk[i * n_rel..(i + PAIR_BLOCK) * n_rel];
+            score_four(store, p, b, outs, &mut scratch);
+            i += PAIR_BLOCK;
+        }
+        while i < n {
+            let p = pairs[row0 + i];
+            score_one(
+                store,
+                p,
+                bins[row0 + i],
+                &mut chunk[i * n_rel..(i + 1) * n_rel],
+                &mut scratch,
+            );
+            i += 1;
+        }
+    });
+    out
+}
+
+/// Reusable per-chunk projection buffers: contiguous `ps`/`pd` per pair
+/// for the scalar paths, plus pair-interleaved ("transposed", `[4k + j]`
+/// layout) buffers for the SIMD block kernel.
+struct Scratch {
+    ps: [Vec<f32>; PAIR_BLOCK],
+    pd: [Vec<f32>; PAIR_BLOCK],
+    #[cfg(target_arch = "x86_64")]
+    simd: SimdBufs,
+}
+
+#[cfg(target_arch = "x86_64")]
+struct SimdBufs {
+    hst: Vec<f32>,
+    hdt: Vec<f32>,
+    wt: Vec<f32>,
+    pst: Vec<f32>,
+    pdt: Vec<f32>,
+}
+
+impl Scratch {
+    fn new(d: usize) -> Self {
+        Scratch {
+            ps: std::array::from_fn(|_| vec![0.0; d]),
+            pd: std::array::from_fn(|_| vec![0.0; d]),
+            #[cfg(target_arch = "x86_64")]
+            simd: SimdBufs {
+                hst: vec![0.0; PAIR_BLOCK * d],
+                hdt: vec![0.0; PAIR_BLOCK * d],
+                wt: vec![0.0; PAIR_BLOCK * d],
+                pst: vec![0.0; PAIR_BLOCK * d],
+                pdt: vec![0.0; PAIR_BLOCK * d],
+            },
+        }
+    }
+}
+
+/// Eager-faithful coefficient reduction: `Σ_k a[k]·w[k]` accumulated
+/// `k`-ascending from 0.0, exactly `iter().zip(w).map(..).sum()`.
+#[inline]
+fn coeff(a: &[f32], w: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(w) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Interleaved eight-way coefficient reduction for four pairs. Eight
+/// independent accumulator chains; each chain is element-for-element the
+/// serial [`coeff`] order, so the results are bitwise identical — the
+/// interleaving only overlaps their latencies. Explicit scalar
+/// accumulators and `..d` re-slicing keep everything in registers with
+/// no bounds checks in the loop.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn coeff8(
+    hs: [&[f32]; PAIR_BLOCK],
+    hd: [&[f32]; PAIR_BLOCK],
+    w: [&[f32]; PAIR_BLOCK],
+) -> ([f32; PAIR_BLOCK], [f32; PAIR_BLOCK]) {
+    let d = hs[0].len();
+    let (hs0, hs1, hs2, hs3) = (&hs[0][..d], &hs[1][..d], &hs[2][..d], &hs[3][..d]);
+    let (hd0, hd1, hd2, hd3) = (&hd[0][..d], &hd[1][..d], &hd[2][..d], &hd[3][..d]);
+    let (w0, w1, w2, w3) = (&w[0][..d], &w[1][..d], &w[2][..d], &w[3][..d]);
+    let (mut ds0, mut ds1, mut ds2, mut ds3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let (mut dd0, mut dd1, mut dd2, mut dd3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for k in 0..d {
+        ds0 += hs0[k] * w0[k];
+        dd0 += hd0[k] * w0[k];
+        ds1 += hs1[k] * w1[k];
+        dd1 += hd1[k] * w1[k];
+        ds2 += hs2[k] * w2[k];
+        dd2 += hd2[k] * w2[k];
+        ds3 += hs3[k] * w3[k];
+        dd3 += hd3[k] * w3[k];
+    }
+    ([ds0, ds1, ds2, ds3], [dd0, dd1, dd2, dd3])
+}
+
+/// Fills `ps[k] = hs[k] − ds·w[k]` (the projected embedding). Identical
+/// per-element arithmetic to the eager loop body.
+#[inline]
+fn project(ps: &mut [f32], h: &[f32], dcoef: f32, w: &[f32]) {
+    let d = ps.len();
+    let (h, w) = (&h[..d], &w[..d]);
+    for k in 0..d {
+        ps[k] = h[k] - dcoef * w[k];
+    }
+}
+
+/// Scores one (projected or raw) pair against all relations, two
+/// relations per pass over hoisted relation rows. Each relation's
+/// accumulator runs `k`-ascending from 0.0 with `(ps[k] · hr[k]) · pd[k]`
+/// terms — the eager loop's exact chain (with `ps = hs`, `pd = hd` this
+/// is also the eager no-projection branch).
+#[inline]
+fn reduce_relations(store: &EmbeddingStore, ps: &[f32], pd: &[f32], out: &mut [f32]) {
+    let d = ps.len();
+    let pd = &pd[..d];
+    let n_rel = out.len();
+    let mut r0 = 0usize;
+    while r0 + REL_BLOCK <= n_rel {
+        let h0 = &store.relations.row(r0)[..d];
+        let h1 = &store.relations.row(r0 + 1)[..d];
+        let (mut a0, mut a1) = (0.0f32, 0.0f32);
+        for k in 0..d {
+            let (p, q) = (ps[k], pd[k]);
+            a0 += p * h0[k] * q;
+            a1 += p * h1[k] * q;
+        }
+        out[r0] = a0;
+        out[r0 + 1] = a1;
+        r0 += REL_BLOCK;
+    }
+    if r0 < n_rel {
+        let h0 = &store.relations.row(r0)[..d];
+        let mut a0 = 0.0f32;
+        for k in 0..d {
+            a0 += ps[k] * h0[k] * pd[k];
+        }
+        out[r0] = a0;
+    }
+}
+
+/// Scores four (projected or raw) pairs against all relations, two
+/// relations × four pairs = eight independent accumulator chains per pass
+/// over hoisted relation rows. `outs` holds the four pairs' score rows
+/// contiguously (`PAIR_BLOCK × n_rel`). Per-score arithmetic is the same
+/// chain as [`reduce_relations`].
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn reduce_relations4(
+    store: &EmbeddingStore,
+    ps: [&[f32]; PAIR_BLOCK],
+    pd: [&[f32]; PAIR_BLOCK],
+    outs: &mut [f32],
+) {
+    let d = ps[0].len();
+    let (p0, p1, p2, p3) = (&ps[0][..d], &ps[1][..d], &ps[2][..d], &ps[3][..d]);
+    let (q0, q1, q2, q3) = (&pd[0][..d], &pd[1][..d], &pd[2][..d], &pd[3][..d]);
+    let n_rel = outs.len() / PAIR_BLOCK;
+    let mut r0 = 0usize;
+    while r0 + REL_BLOCK <= n_rel {
+        let h0 = &store.relations.row(r0)[..d];
+        let h1 = &store.relations.row(r0 + 1)[..d];
+        let (mut a00, mut a01, mut a10, mut a11) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let (mut a20, mut a21, mut a30, mut a31) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for k in 0..d {
+            let (t0, t1) = (h0[k], h1[k]);
+            a00 += p0[k] * t0 * q0[k];
+            a01 += p0[k] * t1 * q0[k];
+            a10 += p1[k] * t0 * q1[k];
+            a11 += p1[k] * t1 * q1[k];
+            a20 += p2[k] * t0 * q2[k];
+            a21 += p2[k] * t1 * q2[k];
+            a30 += p3[k] * t0 * q3[k];
+            a31 += p3[k] * t1 * q3[k];
+        }
+        outs[r0] = a00;
+        outs[r0 + 1] = a01;
+        outs[n_rel + r0] = a10;
+        outs[n_rel + r0 + 1] = a11;
+        outs[2 * n_rel + r0] = a20;
+        outs[2 * n_rel + r0 + 1] = a21;
+        outs[3 * n_rel + r0] = a30;
+        outs[3 * n_rel + r0 + 1] = a31;
+        r0 += REL_BLOCK;
+    }
+    if r0 < n_rel {
+        let h0 = &store.relations.row(r0)[..d];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for k in 0..d {
+            let t0 = h0[k];
+            a0 += p0[k] * t0 * q0[k];
+            a1 += p1[k] * t0 * q1[k];
+            a2 += p2[k] * t0 * q2[k];
+            a3 += p3[k] * t0 * q3[k];
+        }
+        outs[r0] = a0;
+        outs[n_rel + r0] = a1;
+        outs[2 * n_rel + r0] = a2;
+        outs[3 * n_rel + r0] = a3;
+    }
+}
+
+fn score_one(
+    store: &EmbeddingStore,
+    (src, dst): (u32, u32),
+    bin: usize,
+    out: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    let hs = store.pois.row(src as usize);
+    let hd = store.pois.row(dst as usize);
+    if store.use_distance_scoring {
+        let w = store.bin_normals.row(bin);
+        let ds = coeff(hs, w);
+        let dd = coeff(hd, w);
+        project(&mut scratch.ps[0], hs, ds, w);
+        project(&mut scratch.pd[0], hd, dd, w);
+        reduce_relations(store, &scratch.ps[0], &scratch.pd[0], out);
+    } else {
+        reduce_relations(store, hs, hd, out);
+    }
+}
+
+fn score_four(
+    store: &EmbeddingStore,
+    pairs: [(u32, u32); PAIR_BLOCK],
+    bins: [usize; PAIR_BLOCK],
+    outs: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: SSE is part of the x86_64 baseline.
+    unsafe {
+        score_four_sse(store, pairs, bins, outs, scratch)
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    score_four_scalar(store, pairs, bins, outs, scratch)
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn score_four_scalar(
+    store: &EmbeddingStore,
+    pairs: [(u32, u32); PAIR_BLOCK],
+    bins: [usize; PAIR_BLOCK],
+    outs: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    let hs: [&[f32]; PAIR_BLOCK] = std::array::from_fn(|j| store.pois.row(pairs[j].0 as usize));
+    let hd: [&[f32]; PAIR_BLOCK] = std::array::from_fn(|j| store.pois.row(pairs[j].1 as usize));
+    if store.use_distance_scoring {
+        let w: [&[f32]; PAIR_BLOCK] = std::array::from_fn(|j| store.bin_normals.row(bins[j]));
+        let (ds, dd) = coeff8(hs, hd, w);
+        for j in 0..PAIR_BLOCK {
+            project(&mut scratch.ps[j], hs[j], ds[j], w[j]);
+            project(&mut scratch.pd[j], hd[j], dd[j], w[j]);
+        }
+        let ps: [&[f32]; PAIR_BLOCK] = std::array::from_fn(|j| scratch.ps[j].as_slice());
+        let pd: [&[f32]; PAIR_BLOCK] = std::array::from_fn(|j| scratch.pd[j].as_slice());
+        reduce_relations4(store, ps, pd, outs);
+    } else {
+        let _ = &mut scratch.ps; // scratch unused on the raw branch
+        reduce_relations4(store, hs, hd, outs);
+    }
+}
+
+/// SIMD (SSE) variant of the four-pair block: one lane per pair. Every
+/// vector op is lane-wise IEEE single arithmetic, and each lane performs
+/// the same `k`-ascending serial chain as the scalar code — only *across*
+/// lanes does anything run in parallel — so every score is still bitwise
+/// [`prim_core::PrimModel::score_pair_eager`]. Rust never contracts
+/// explicit mul/add intrinsics into FMA, so the chains stay exact.
+///
+/// Embedding rows are transposed into pair-interleaved buffers
+/// (`buf[4k + j]` = pair `j`, component `k`) so each `k` step is one
+/// contiguous 4-lane load. A `d % 4` tail is handled in scalar, continuing
+/// each lane's chain in the same order.
+#[cfg(target_arch = "x86_64")]
+unsafe fn score_four_sse(
+    store: &EmbeddingStore,
+    pairs: [(u32, u32); PAIR_BLOCK],
+    bins: [usize; PAIR_BLOCK],
+    outs: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    use std::arch::x86_64::*;
+    let d = store.dim();
+    let d4 = d & !3;
+    let hs: [&[f32]; PAIR_BLOCK] = std::array::from_fn(|j| store.pois.row(pairs[j].0 as usize));
+    let hd: [&[f32]; PAIR_BLOCK] = std::array::from_fn(|j| store.pois.row(pairs[j].1 as usize));
+    let bufs = &mut scratch.simd;
+
+    if store.use_distance_scoring {
+        let w: [&[f32]; PAIR_BLOCK] = std::array::from_fn(|j| store.bin_normals.row(bins[j]));
+        transpose4(hs, &mut bufs.hst, d4);
+        transpose4(hd, &mut bufs.hdt, d4);
+        transpose4(w, &mut bufs.wt, d4);
+
+        // Coefficients: lane j accumulates `Σ_k h[j][k]·w[j][k]`
+        // k-ascending — the exact `coeff` chain — then the scalar tail
+        // continues each lane's sum.
+        let hst = bufs.hst.as_ptr();
+        let hdt = bufs.hdt.as_ptr();
+        let wt = bufs.wt.as_ptr();
+        let mut dsv = _mm_setzero_ps();
+        let mut ddv = _mm_setzero_ps();
+        for k in 0..d4 {
+            let wv = _mm_loadu_ps(wt.add(4 * k));
+            dsv = _mm_add_ps(dsv, _mm_mul_ps(_mm_loadu_ps(hst.add(4 * k)), wv));
+            ddv = _mm_add_ps(ddv, _mm_mul_ps(_mm_loadu_ps(hdt.add(4 * k)), wv));
+        }
+        let mut ds = [0.0f32; PAIR_BLOCK];
+        let mut dd = [0.0f32; PAIR_BLOCK];
+        _mm_storeu_ps(ds.as_mut_ptr(), dsv);
+        _mm_storeu_ps(dd.as_mut_ptr(), ddv);
+        for j in 0..PAIR_BLOCK {
+            for k in d4..d {
+                ds[j] += hs[j][k] * w[j][k];
+                dd[j] += hd[j][k] * w[j][k];
+            }
+        }
+
+        // Projection: `ps[k] = hs[k] − ds·w[k]`, straight into the
+        // interleaved layout (vector head + scalar tail).
+        let dsvv = _mm_loadu_ps(ds.as_ptr());
+        let ddvv = _mm_loadu_ps(dd.as_ptr());
+        let pst = bufs.pst.as_mut_ptr();
+        let pdt = bufs.pdt.as_mut_ptr();
+        for k in 0..d4 {
+            let wv = _mm_loadu_ps(wt.add(4 * k));
+            let hsv = _mm_loadu_ps(hst.add(4 * k));
+            let hdv = _mm_loadu_ps(hdt.add(4 * k));
+            _mm_storeu_ps(pst.add(4 * k), _mm_sub_ps(hsv, _mm_mul_ps(dsvv, wv)));
+            _mm_storeu_ps(pdt.add(4 * k), _mm_sub_ps(hdv, _mm_mul_ps(ddvv, wv)));
+        }
+        for j in 0..PAIR_BLOCK {
+            for k in d4..d {
+                bufs.pst[4 * k + j] = hs[j][k] - ds[j] * w[j][k];
+                bufs.pdt[4 * k + j] = hd[j][k] - dd[j] * w[j][k];
+            }
+        }
+    } else {
+        // Raw branch: ps = hs, pd = hd.
+        transpose4(hs, &mut bufs.pst, d4);
+        transpose4(hd, &mut bufs.pdt, d4);
+        for j in 0..PAIR_BLOCK {
+            for k in d4..d {
+                bufs.pst[4 * k + j] = hs[j][k];
+                bufs.pdt[4 * k + j] = hd[j][k];
+            }
+        }
+    }
+    reduce_relations4_sse(store, &bufs.pst, &bufs.pdt, d, outs);
+}
+
+/// Transposes four `d4`-prefix rows into the pair-interleaved layout
+/// (`out[4k + j] = rows[j][k]`) with 4×4 SSE block transposes.
+#[cfg(target_arch = "x86_64")]
+unsafe fn transpose4(rows: [&[f32]; PAIR_BLOCK], out: &mut [f32], d4: usize) {
+    use std::arch::x86_64::*;
+    let o = out.as_mut_ptr();
+    for k0 in (0..d4).step_by(4) {
+        let mut r0 = _mm_loadu_ps(rows[0].as_ptr().add(k0));
+        let mut r1 = _mm_loadu_ps(rows[1].as_ptr().add(k0));
+        let mut r2 = _mm_loadu_ps(rows[2].as_ptr().add(k0));
+        let mut r3 = _mm_loadu_ps(rows[3].as_ptr().add(k0));
+        _MM_TRANSPOSE4_PS(&mut r0, &mut r1, &mut r2, &mut r3);
+        _mm_storeu_ps(o.add(4 * k0), r0);
+        _mm_storeu_ps(o.add(4 * k0 + 4), r1);
+        _mm_storeu_ps(o.add(4 * k0 + 8), r2);
+        _mm_storeu_ps(o.add(4 * k0 + 12), r3);
+    }
+}
+
+/// Vector relation reduction over pair-interleaved `ps`/`pd`: for each
+/// relation, lane j runs the `k`-ascending `acc += (ps·hr)·pd` chain.
+/// Relations share one pass over `k` so their chains overlap in flight.
+#[cfg(target_arch = "x86_64")]
+unsafe fn reduce_relations4_sse(
+    store: &EmbeddingStore,
+    pst: &[f32],
+    pdt: &[f32],
+    d: usize,
+    outs: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let d4 = d & !3;
+    let n_rel = outs.len() / PAIR_BLOCK;
+    let psp = pst.as_ptr();
+    let pdp = pdt.as_ptr();
+    let mut r0 = 0usize;
+    while r0 < n_rel {
+        let rn = (n_rel - r0).min(PAIR_BLOCK);
+        let rows: [&[f32]; PAIR_BLOCK] =
+            std::array::from_fn(|t| store.relations.row(r0 + t.min(rn - 1)));
+        let mut acc = [_mm_setzero_ps(); PAIR_BLOCK];
+        // `k` also strides the raw `psp`/`pdp` pointers, so a range loop
+        // is the honest shape here.
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..d4 {
+            let psv = _mm_loadu_ps(psp.add(4 * k));
+            let pdv = _mm_loadu_ps(pdp.add(4 * k));
+            for (t, a) in acc[..rn].iter_mut().enumerate() {
+                let hv = _mm_set1_ps(rows[t][k]);
+                *a = _mm_add_ps(*a, _mm_mul_ps(_mm_mul_ps(psv, hv), pdv));
+            }
+        }
+        for (t, a) in acc[..rn].iter().enumerate() {
+            let mut lanes = [0.0f32; PAIR_BLOCK];
+            _mm_storeu_ps(lanes.as_mut_ptr(), *a);
+            for k in d4..d {
+                let hrk = rows[t][k];
+                for (j, lane) in lanes.iter_mut().enumerate() {
+                    *lane += pst[4 * k + j] * hrk * pdt[4 * k + j];
+                }
+            }
+            for (j, &lane) in lanes.iter().enumerate() {
+                outs[j * n_rel + r0 + t] = lane;
+            }
+        }
+        r0 += rn;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Micro-batching
+// ---------------------------------------------------------------------------
+
+type Waiter = mpsc::Sender<PairScores>;
+
+struct BatcherState {
+    queue: Vec<(u32, u32, Waiter)>,
+    shutdown: bool,
+}
+
+struct BatcherInner {
+    engine: Arc<ServeEngine>,
+    state: Mutex<BatcherState>,
+    cv: Condvar,
+    max_pairs: usize,
+    max_wait: Duration,
+}
+
+/// Collects concurrent single-pair requests into one batched kernel call.
+///
+/// Callers block in [`Batcher::submit`]; a dedicated worker thread drains
+/// the queue once it reaches `batch_max_pairs` or the oldest request has
+/// waited `batch_max_wait`, whichever comes first, and fans the per-pair
+/// results back out. Under a worker-per-connection server this turns many
+/// simultaneous point lookups into a few kernel invocations.
+pub struct Batcher {
+    inner: Arc<BatcherInner>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Starts the worker thread.
+    pub fn new(engine: Arc<ServeEngine>, opts: &EngineOpts) -> Self {
+        let inner = Arc::new(BatcherInner {
+            engine,
+            state: Mutex::new(BatcherState {
+                queue: Vec::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            max_pairs: opts.batch_max_pairs.max(1),
+            max_wait: opts.batch_max_wait,
+        });
+        let worker_inner = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name("prim-serve-batcher".into())
+            .spawn(move || Self::run(worker_inner))
+            .expect("spawn batcher worker");
+        Batcher {
+            inner,
+            worker: Some(worker),
+        }
+    }
+
+    fn run(inner: Arc<BatcherInner>) {
+        loop {
+            let drained: Vec<(u32, u32, Waiter)> = {
+                let mut st = inner.state.lock().unwrap();
+                // Sleep until there is work (or shutdown).
+                while st.queue.is_empty() && !st.shutdown {
+                    st = inner.cv.wait(st).unwrap();
+                }
+                if st.queue.is_empty() && st.shutdown {
+                    return;
+                }
+                // Linger briefly for stragglers to form a real batch.
+                let deadline = std::time::Instant::now() + inner.max_wait;
+                while st.queue.len() < inner.max_pairs && !st.shutdown {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (next, timeout) = inner.cv.wait_timeout(st, deadline - now).unwrap();
+                    st = next;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+                std::mem::take(&mut st.queue)
+            };
+            if drained.is_empty() {
+                continue;
+            }
+            let pairs: Vec<(u32, u32)> = drained.iter().map(|&(a, b, _)| (a, b)).collect();
+            let results = inner.engine.batch(&pairs);
+            for ((_, _, tx), result) in drained.into_iter().zip(results) {
+                // A dropped receiver just means the caller gave up waiting.
+                let _ = tx.send(result);
+            }
+        }
+    }
+
+    /// Scores one pair through the micro-batch queue, blocking until the
+    /// worker flushes.
+    pub fn submit(&self, src: u32, dst: u32) -> PairScores {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.queue.push((src, dst, tx));
+            self.inner.cv.notify_all();
+        }
+        rx.recv().expect("batcher worker dropped a request")
+    }
+
+    /// The engine this batcher feeds.
+    pub fn engine(&self) -> &Arc<ServeEngine> {
+        &self.inner.engine
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutdown = true;
+            self.inner.cv.notify_all();
+        }
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Checkpoint persistence and online inference for the PRIM reproduction.
+//!
+//! Training (`prim-core`) produces a model; this crate turns it into a
+//! *service*. The pipeline is:
+//!
+//! 1. **Persist** — [`ckpt::save_checkpoint`] writes the versioned,
+//!    checksummed `prim-ckpt/v1` file: config, every parameter, and the
+//!    graph metadata (locations, categories, taxonomy, relation names,
+//!    distance-bin edges, attributes, training edges) scoring needs, so a
+//!    serving process never touches the original dataset.
+//! 2. **Materialise** — [`store::EmbeddingStore`] runs the forward pass
+//!    once at load time and freezes the POI/relation/bin-normal tables
+//!    next to a [`prim_geo::GridIndex`]; queries never touch the autograd
+//!    tape.
+//! 3. **Query** — [`engine::ServeEngine`] answers point scores, batched
+//!    scores and spatial top-k over the frozen tables, with a sharded LRU
+//!    score cache, optional micro-batching ([`engine::Batcher`]) and
+//!    `prim-obs` telemetry.
+//! 4. **Speak** — [`proto`] defines a JSON-lines request/response
+//!    protocol; [`server`] runs it over stdin/stdout or a TCP listener.
+//!
+//! Every scoring path here reproduces
+//! [`prim_core::PrimModel::score_pair_eager`] *bitwise*: same operation
+//! order, same f32 accumulation, independent of batch size, cache state or
+//! thread count.
+
+pub mod cache;
+pub mod ckpt;
+pub mod engine;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use cache::ScoreCache;
+pub use ckpt::{
+    checksum, load_checkpoint, load_pair_model, load_params, load_params_into, load_raw,
+    save_checkpoint, save_pair_model, save_params, CkptError, ParamsCheckpoint, PrimCheckpoint,
+    RawCheckpoint, FLAG_NO_DECAY, MAGIC, VERSION,
+};
+pub use engine::{score_pairs_all, Batcher, EngineOpts, Neighbor, PairScores, ServeEngine};
+pub use proto::{handle_line, Handled, ServeCtx};
+pub use server::{serve_stdin, TcpServer};
+pub use store::EmbeddingStore;

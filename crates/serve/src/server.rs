@@ -1,0 +1,124 @@
+//! Serving front ends: a stdin/stdout loop and a TCP listener.
+//!
+//! Both speak the [`crate::proto`] JSON-lines protocol. The stdin loop is
+//! the scriptable path (CI pipes a request file through it and diffs the
+//! output); the TCP server spawns one worker thread per connection, which
+//! is what makes the [`crate::engine::Batcher`] useful — concurrent
+//! connections' point lookups coalesce into shared kernel calls.
+
+use crate::proto::{handle_line, ServeCtx};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs the protocol over any line-based reader/writer pair until EOF or a
+/// `shutdown` op. Each request line produces exactly one response line.
+pub fn serve_stdin(
+    ctx: &ServeCtx,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let handled = handle_line(ctx, &line);
+        writeln!(writer, "{}", handled.response)?;
+        writer.flush()?;
+        if handled.shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// A worker-per-connection TCP front end with graceful shutdown.
+pub struct TcpServer {
+    listener: TcpListener,
+    ctx: ServeCtx,
+    stop: Arc<AtomicBool>,
+}
+
+impl TcpServer {
+    /// Binds the listener (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, ctx: ServeCtx) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(TcpServer {
+            listener,
+            ctx,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (needed when binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`TcpServer::run`] return: set it (from any
+    /// thread) and the accept loop exits at its next poll tick.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Accepts connections until a `shutdown` op arrives on any of them
+    /// (or the stop handle is set), then joins every worker. The listener
+    /// polls non-blocking so shutdown takes effect within ~10 ms.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let ctx = self.ctx.clone();
+                    let stop = Arc::clone(&self.stop);
+                    let handle = std::thread::Builder::new()
+                        .name("prim-serve-conn".into())
+                        .spawn(move || {
+                            if let Err(e) = Self::serve_conn(&ctx, stream, &stop) {
+                                // A dropped client mid-response is routine;
+                                // the server keeps accepting.
+                                eprintln!("prim-serve: connection error: {e}");
+                            }
+                        })
+                        .expect("spawn connection worker");
+                    workers.push(handle);
+                    // Opportunistically reap finished workers.
+                    workers.retain(|w| !w.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    fn serve_conn(ctx: &ServeCtx, stream: TcpStream, stop: &AtomicBool) -> std::io::Result<()> {
+        let mut writer = stream.try_clone()?;
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let handled = handle_line(ctx, &line);
+            writeln!(writer, "{}", handled.response)?;
+            writer.flush()?;
+            if handled.shutdown {
+                // Shutdown is server-wide: every connection's `shutdown`
+                // op stops the accept loop, mirroring the stdin front end.
+                stop.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,116 @@
+//! The frozen embedding store behind every serving query.
+//!
+//! [`EmbeddingStore::from_model`] runs the model's forward pass exactly
+//! once and snapshots the three tables eager scoring reads — POI
+//! embeddings, relation-score embeddings and the normalised distance-bin
+//! hyperplanes — together with the geometry needed to bin pairs and answer
+//! spatial candidate queries. After construction nothing references the
+//! model or the autograd tape: scoring is pure table lookups.
+
+use prim_core::{ModelInputs, PrimConfig, PrimModel};
+use prim_geo::{DistanceBins, GridIndex, Location};
+use prim_graph::PoiId;
+use prim_tensor::Matrix;
+
+/// Immutable, query-ready snapshot of a trained PRIM model.
+pub struct EmbeddingStore {
+    /// `n_pois × dim` final POI embeddings (`h_final`).
+    pub pois: Matrix,
+    /// `(n_relations + 1) × dim` relation scoring embeddings (φ last).
+    pub relations: Matrix,
+    /// `n_bins × dim` unit-normalised hyperplane normals.
+    pub bin_normals: Matrix,
+    /// Relation vocabulary, index order matching relation ids.
+    pub relation_names: Vec<String>,
+    /// POI coordinates in id order.
+    pub locations: Vec<Location>,
+    /// Distance bins, bit-identical to the training configuration's.
+    pub bins: DistanceBins,
+    /// Whether scores use the distance-specific hyperplane projection.
+    pub use_distance_scoring: bool,
+    /// Spatial index over `locations` for radius candidate generation.
+    pub grid: GridIndex,
+}
+
+impl EmbeddingStore {
+    /// Materialises the store from a trained model. The single
+    /// [`PrimModel::embed`] call here is the last time the tape runs;
+    /// its output is bitwise the table that `score_pair_eager` reads.
+    pub fn from_model(
+        model: &PrimModel,
+        inputs: &ModelInputs,
+        relation_names: Vec<String>,
+    ) -> Self {
+        let cfg: &PrimConfig = model.config();
+        assert_eq!(
+            relation_names.len(),
+            model.phi(),
+            "one name per relation (φ is implicit)"
+        );
+        let table = model.embed(inputs);
+        let locations = inputs.locations().to_vec();
+        let grid = GridIndex::build(&locations, cfg.spatial_radius_km.max(0.1));
+        EmbeddingStore {
+            pois: table.pois,
+            relations: table.relations,
+            bin_normals: table.bin_normals,
+            relation_names,
+            locations,
+            bins: cfg.bins.clone(),
+            use_distance_scoring: cfg.use_distance_scoring,
+            grid,
+        }
+    }
+
+    /// Number of POIs.
+    pub fn n_pois(&self) -> usize {
+        self.pois.rows()
+    }
+
+    /// Number of real relations (φ excluded).
+    pub fn n_relations(&self) -> usize {
+        self.relations.rows() - 1
+    }
+
+    /// Index of the no-relation class φ (always the last relation row).
+    pub fn phi(&self) -> usize {
+        self.n_relations()
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.pois.cols()
+    }
+
+    /// Distance bin of a pair — same computation as
+    /// [`ModelInputs::pair_bin`], reproduced from the snapshotted
+    /// coordinates and bin edges.
+    pub fn pair_bin(&self, a: PoiId, b: PoiId) -> usize {
+        let d = self.locations[a.0 as usize].equirect_km(&self.locations[b.0 as usize]);
+        self.bins.bin(d)
+    }
+
+    /// Relation id for a name, if it is in the vocabulary. `"phi"` and
+    /// `"none"` map to the no-relation class.
+    pub fn relation_index(&self, name: &str) -> Option<usize> {
+        if name == "phi" || name == "none" {
+            return Some(self.phi());
+        }
+        self.relation_names.iter().position(|n| n == name)
+    }
+
+    /// Name for a relation id (φ reads back as `"phi"`).
+    pub fn relation_name(&self, rel: usize) -> &str {
+        if rel == self.phi() {
+            "phi"
+        } else {
+            &self.relation_names[rel]
+        }
+    }
+
+    /// Spatial candidates within `radius_km` of a POI, nearest first with
+    /// deterministic `(distance, index)` ordering.
+    pub fn within_radius(&self, poi: PoiId, radius_km: f64) -> Vec<(usize, f64)> {
+        self.grid.within_radius(poi.0 as usize, radius_km)
+    }
+}

@@ -1,0 +1,132 @@
+//! End-to-end serving workflow: train → checkpoint → serve → query.
+//!
+//! ```text
+//! # 1. Train a small model and write a checkpoint:
+//! cargo run --release --example prim_serve -- train-save /tmp/prim.ckpt
+//!
+//! # 2. Serve it over stdin/stdout (one JSON request per line):
+//! cargo run --release --example prim_serve -- serve-stdin /tmp/prim.ckpt \
+//!     < examples/serve_requests.jsonl
+//!
+//! # 3. Or over TCP (prints the bound address, then serves until a
+//! #    {"op": "shutdown"} request arrives):
+//! cargo run --release --example prim_serve -- serve-tcp /tmp/prim.ckpt 127.0.0.1:7391
+//! ```
+//!
+//! The serving process never touches the training dataset: everything it
+//! needs — parameters, POI geometry, taxonomy, relation names, distance
+//! bins — comes out of the checkpoint. Set `PRIM_RUN_REPORT` to capture
+//! serve-phase telemetry (request/pair/batch/cache counters) as JSON lines.
+
+use prim::model::{fit, ModelInputs, PrimConfig, PrimModel};
+use prim::prelude::*;
+use prim::serve::{Batcher, EngineOpts, ServeCtx, TcpServer};
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("train-save") if args.len() == 2 => train_save(&args[1]),
+        Some("serve-stdin") if args.len() == 2 => serve_stdin_mode(&args[1]),
+        Some("serve-tcp") if args.len() == 3 => serve_tcp_mode(&args[1], &args[2]),
+        _ => {
+            eprintln!(
+                "usage: prim_serve train-save <ckpt>\n       \
+                 prim_serve serve-stdin <ckpt>\n       \
+                 prim_serve serve-tcp <ckpt> <addr>"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Trains a laptop-scale model on a city subsample and checkpoints it.
+fn train_save(path: &str) {
+    let ds = Dataset::beijing(Scale::Quick).subsample(0.2, 5);
+    let cfg = PrimConfig {
+        dim: 16,
+        cat_dim: 8,
+        epochs: 8,
+        val_check_every: 0,
+        ..PrimConfig::quick()
+    };
+    let inputs = ModelInputs::build(
+        &ds.graph,
+        &ds.taxonomy,
+        &ds.attrs,
+        ds.graph.edges(),
+        None,
+        &cfg,
+    );
+    let mut model = PrimModel::new(cfg, &inputs);
+    let report = fit(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
+    prim::serve::save_checkpoint(
+        path,
+        "prim-serve-example",
+        &model,
+        &ds.graph,
+        &ds.taxonomy,
+        &ds.attrs,
+        &ds.relation_names,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("prim_serve: saving {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "trained {} epochs (final loss {:.4}), checkpoint written to {path}",
+        report.losses.len(),
+        report.final_loss()
+    );
+}
+
+/// Loads a checkpoint and builds the query engine around it.
+fn load_engine(path: &str) -> Arc<ServeEngine> {
+    let ckpt = prim::serve::load_checkpoint(path).unwrap_or_else(|e| {
+        eprintln!("prim_serve: loading {path}: {e}");
+        std::process::exit(1);
+    });
+    let (model, inputs) = ckpt.rebuild().unwrap_or_else(|e| {
+        eprintln!("prim_serve: rebuilding model: {e}");
+        std::process::exit(1);
+    });
+    let store = EmbeddingStore::from_model(&model, &inputs, ckpt.relation_names.clone());
+    eprintln!(
+        "loaded run {:?}: {} POIs, {} relations, dim {}",
+        ckpt.run,
+        store.n_pois(),
+        store.n_relations(),
+        store.dim()
+    );
+    let recorder = Recorder::from_env("prim-serve");
+    Arc::new(ServeEngine::new(store, &EngineOpts::default(), recorder))
+}
+
+fn serve_stdin_mode(path: &str) {
+    let engine = load_engine(path);
+    let ctx = ServeCtx::direct(Arc::clone(&engine));
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    prim::serve::serve_stdin(&ctx, stdin.lock(), stdout.lock()).unwrap_or_else(|e| {
+        eprintln!("prim_serve: io error: {e}");
+        std::process::exit(1);
+    });
+    engine.recorder().finish();
+}
+
+fn serve_tcp_mode(path: &str, addr: &str) {
+    let engine = load_engine(path);
+    let opts = EngineOpts::default();
+    let batcher = Arc::new(Batcher::new(Arc::clone(&engine), &opts));
+    let ctx = ServeCtx::batched(Arc::clone(&engine), batcher);
+    let server = TcpServer::bind(addr, ctx).unwrap_or_else(|e| {
+        eprintln!("prim_serve: binding {addr}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("serving on {}", server.local_addr().unwrap());
+    server.run().unwrap_or_else(|e| {
+        eprintln!("prim_serve: server error: {e}");
+        std::process::exit(1);
+    });
+    engine.recorder().finish();
+}

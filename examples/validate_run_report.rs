@@ -8,18 +8,22 @@
 //! schema-tagged object with well-formed epoch records; with
 //! `--require-epochs` the file must additionally contain at least one epoch
 //! record (CI runs the workspace tests with `PRIM_RUN_REPORT` set and then
-//! requires the training loops to actually have reported epochs). Exits
-//! non-zero on any violation.
+//! requires the training loops to actually have reported epochs), and with
+//! `--require-serve` at least one run must have counted serving requests
+//! (CI's serve smoke job points this at the serving process's report).
+//! Exits non-zero on any violation.
 
-use prim::obs::{validate_report, RUN_REPORT_ENV};
+use prim::obs::{json, validate_report, RUN_REPORT_ENV};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
     let mut require_epochs = false;
+    let mut require_serve = false;
     for arg in &mut args {
         match arg.as_str() {
             "--require-epochs" => require_epochs = true,
+            "--require-serve" => require_serve = true,
             other => path = Some(other.to_string()),
         }
     }
@@ -47,5 +51,22 @@ fn main() {
     if require_epochs && summary.epoch_records == 0 {
         eprintln!("validate_run_report: {path} contains no epoch records");
         std::process::exit(1);
+    }
+    if require_serve {
+        let serve_requests: f64 = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| json::parse(l).ok())
+            .filter_map(|v| {
+                v.get("counters")
+                    .and_then(|c| c.get("serve_requests"))
+                    .and_then(|n| n.as_f64())
+            })
+            .sum();
+        if serve_requests < 1.0 {
+            eprintln!("validate_run_report: {path} recorded no serving requests");
+            std::process::exit(1);
+        }
+        println!("{path}: {serve_requests} serving requests recorded");
     }
 }

@@ -13,7 +13,8 @@
 //! * [`model`] — the PRIM model itself (training, inference, ablations);
 //! * [`baselines`] — all twelve comparison methods behind one registry;
 //! * [`eval`] — Macro/Micro-F1, evaluation tasks, report tables;
-//! * [`obs`] — telemetry: phase timers, run reports, NaN/Inf guard rails.
+//! * [`obs`] — telemetry: phase timers, run reports, NaN/Inf guard rails;
+//! * [`serve`] — checkpoint persistence + the online inference engine.
 //!
 //! See the [README](https://example.com/prim) and `examples/` for usage;
 //! `cargo bench -p prim-bench` regenerates the paper's tables and figures.
@@ -26,6 +27,7 @@ pub use prim_geo as geo;
 pub use prim_graph as graph;
 pub use prim_nn as nn;
 pub use prim_obs as obs;
+pub use prim_serve as serve;
 pub use prim_tensor as tensor;
 
 /// Convenience prelude importing the types most programs need.
@@ -36,4 +38,7 @@ pub mod prelude {
     pub use prim_eval::{inductive_task, sparse_task, transductive_task, F1Pair, Task};
     pub use prim_graph::{Edge, HeteroGraph, PoiId, RelationId};
     pub use prim_obs::{FiniteGuard, Recorder, Telemetry, TrainAbort};
+    pub use prim_serve::{
+        load_checkpoint, save_checkpoint, EmbeddingStore, EngineOpts, ServeEngine,
+    };
 }
