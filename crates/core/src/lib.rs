@@ -37,8 +37,9 @@ pub use config::{GammaOp, PrimConfig, TaxonomyMode, Variant};
 pub use inputs::{GraphPlans, ModelInputs};
 pub use model::{EmbeddingTable, ForwardOutput, PrimModel, TripleBatch};
 pub use train::{
-    fit, fit_hooked, fit_observed, sample_epoch_triples, train_step, train_step_observed,
-    EpochTriples, FitHook, NoopHook, StepNorms, StepStats, TrainReport,
+    fit, fit_hooked, fit_observed, fit_resumed, sample_epoch_triples, train_step,
+    train_step_observed, EpochTriples, FitCkptView, FitHook, NoopHook, ResumeState, StepNorms,
+    StepStats, TrainReport,
 };
 // Telemetry types callers of `fit_observed` need, re-exported for one-stop
 // imports (the canonical home is `prim_obs`).

@@ -21,9 +21,9 @@
 use crate::inputs::ModelInputs;
 use crate::model::{PrimModel, TripleBatch};
 use prim_graph::{negative_sampled_triples, sample_non_relation_pairs, Edge, HeteroGraph, PoiId};
-use prim_nn::Adam;
+use prim_nn::{Adam, AdamState};
 use prim_obs::{Counter, EpochRecord, Phase, Telemetry, TrainAbort};
-use prim_tensor::Graph;
+use prim_tensor::{Graph, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -315,12 +315,85 @@ pub fn train_step_observed(
     })
 }
 
+/// The training loop's mutable state at an epoch boundary. Feeding a
+/// captured state back into [`fit_resumed`] continues the run
+/// bitwise-identically to one that never stopped: same RNG stream, same
+/// Adam bias correction and moments, same best-checkpoint bookkeeping.
+///
+/// Model parameters are *not* part of this struct — the caller persists
+/// them alongside (the `prim-serve` checkpoint container stores both).
+#[derive(Clone)]
+pub struct ResumeState {
+    /// First epoch the resumed run executes (= epochs already completed).
+    pub next_epoch: usize,
+    /// Optimisation steps taken so far (guard cadence + abort labels).
+    pub global_step: u64,
+    /// RNG state captured *after* the completed epoch's draws.
+    pub rng: [u64; 4],
+    /// Adam step counter, learning rate and moment buffers.
+    pub adam: AdamState,
+    /// Mean loss of every completed epoch.
+    pub losses: Vec<f32>,
+    /// Best validation accuracy seen, when validation ran.
+    pub best_val: Option<f64>,
+    /// Parameter snapshot at the best validation accuracy.
+    pub best_snapshot: Option<Vec<Matrix>>,
+}
+
+/// A read-only view of the training loop handed to
+/// [`FitHook::on_epoch_end`] after each completed epoch — everything a
+/// checkpointer needs to persist a [`ResumeState`] plus the parameters.
+pub struct FitCkptView<'a> {
+    /// The epoch that just completed (0-based).
+    pub epoch: usize,
+    /// Optimisation steps taken so far.
+    pub global_step: u64,
+    /// Mean loss per completed epoch (index 0..=epoch).
+    pub losses: &'a [f32],
+    /// The model, post-update.
+    pub model: &'a PrimModel,
+    /// RNG state after this epoch's draws.
+    pub rng: [u64; 4],
+    /// The optimiser (export state via [`Adam::export_state`]).
+    pub adam: &'a Adam,
+    /// Best validation accuracy so far, when validation ran.
+    pub best_val: Option<f64>,
+    /// Parameter snapshot at the best validation accuracy.
+    pub best_snapshot: Option<&'a [Matrix]>,
+}
+
+impl FitCkptView<'_> {
+    /// Clones the view into an owned [`ResumeState`] resuming at the next
+    /// epoch.
+    pub fn resume_state(&self) -> ResumeState {
+        ResumeState {
+            next_epoch: self.epoch + 1,
+            global_step: self.global_step,
+            rng: self.rng,
+            adam: self.adam.export_state(),
+            losses: self.losses.to_vec(),
+            best_val: self.best_val,
+            best_snapshot: self.best_snapshot.map(|s| s.to_vec()),
+        }
+    }
+}
+
 /// Observer hooking into the epoch loop of [`fit_hooked`]. Used by tests to
-/// perturb the model mid-training (e.g. the guard-rail poison test) and by
-/// callers that need per-epoch custom instrumentation.
+/// perturb the model mid-training (e.g. the guard-rail poison test), by
+/// callers that need per-epoch custom instrumentation, and by the
+/// checkpointing layer in `prim-serve` (via [`FitHook::on_epoch_end`]).
 pub trait FitHook {
     /// Called at the start of every epoch, before sampling.
     fn on_epoch_start(&mut self, epoch: usize, model: &mut PrimModel);
+
+    /// Called after every completed epoch (post val-check) with a
+    /// checkpointable view of the loop. Returning `Break` stops training
+    /// at this epoch boundary — the checkpointing layer uses it to model
+    /// a crash at an injected fault, and tests use it to kill a run
+    /// mid-way. The default continues.
+    fn on_epoch_end(&mut self, _view: &FitCkptView<'_>) -> std::ops::ControlFlow<()> {
+        std::ops::ControlFlow::Continue(())
+    }
 }
 
 /// The do-nothing hook.
@@ -413,6 +486,40 @@ pub fn fit_hooked(
     telemetry: &Telemetry,
     hook: &mut dyn FitHook,
 ) -> Result<TrainReport, TrainAbort> {
+    fit_resumed(
+        model,
+        inputs,
+        graph,
+        train_edges,
+        visible,
+        val_edges,
+        telemetry,
+        hook,
+        None,
+    )
+}
+
+/// [`fit_hooked`] restarted from a captured [`ResumeState`].
+///
+/// With `resume = None` this is exactly [`fit_hooked`]. With a state, the
+/// loop rebuilds the deterministic run prefix (validation set from the
+/// seeded RNG), then overwrites the RNG/optimiser/bookkeeping with the
+/// captured values and continues at `next_epoch` — producing bit-for-bit
+/// the parameters, losses and epoch records of the uninterrupted run.
+/// The caller must restore the model's parameters to the checkpointed
+/// values *before* calling (they travel outside [`ResumeState`]).
+#[allow(clippy::too_many_arguments)] // full training context, flattened
+pub fn fit_resumed(
+    model: &mut PrimModel,
+    inputs: &ModelInputs,
+    graph: &HeteroGraph,
+    train_edges: &[Edge],
+    visible: Option<&HashSet<PoiId>>,
+    val_edges: Option<&[Edge]>,
+    telemetry: &Telemetry,
+    hook: &mut dyn FitHook,
+    resume: Option<ResumeState>,
+) -> Result<TrainReport, TrainAbort> {
     let cfg = model.config().clone();
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5EED));
     let mut adam = Adam::new(cfg.lr)
@@ -443,13 +550,34 @@ pub fn fit_hooked(
 
     let mut losses = Vec::with_capacity(cfg.epochs);
     let mut epoch_seconds = Vec::with_capacity(cfg.epochs);
+    let mut global_step = 0u64;
+    let mut start_epoch = 0usize;
+    if let Some(state) = resume {
+        // The ValSet above was rebuilt from the seeded RNG exactly as the
+        // original run built it (same draws); only now does the captured
+        // mid-run state take over.
+        rng = StdRng::from_state(state.rng);
+        adam.import_state(state.adam);
+        global_step = state.global_step;
+        start_epoch = state.next_epoch.min(cfg.epochs);
+        losses = state.losses;
+        best_val = state.best_val.unwrap_or(f64::NEG_INFINITY);
+        best_snapshot = state.best_snapshot;
+        telemetry.recorder.add(Counter::Resumes, 1);
+        if telemetry.recorder.is_enabled() {
+            telemetry.recorder.set_meta(
+                "resumed_from_epoch",
+                prim_obs::json::int(start_epoch as u64),
+            );
+        }
+    }
+
     let start = Instant::now();
     // One tape for the whole run: `reset()` keeps every node-value and
     // gradient buffer in the graph's pool, so steady-state steps rebuild a
     // structurally identical tape without touching the allocator.
     let mut g = Graph::new();
-    let mut global_step = 0u64;
-    for epoch in 0..cfg.epochs {
+    for epoch in start_epoch..cfg.epochs {
         let t0 = Instant::now();
         hook.on_epoch_start(epoch, model);
         let sample_t = telemetry.recorder.phase(Phase::Sampling);
@@ -535,6 +663,20 @@ pub fn fit_hooked(
                     best_snapshot = Some(model.store.snapshot());
                 }
             }
+        }
+
+        let flow = hook.on_epoch_end(&FitCkptView {
+            epoch,
+            global_step,
+            losses: &losses,
+            model,
+            rng: rng.state(),
+            adam: &adam,
+            best_val: best_val.is_finite().then_some(best_val),
+            best_snapshot: best_snapshot.as_deref(),
+        });
+        if flow.is_break() {
+            break;
         }
     }
 

@@ -17,5 +17,5 @@ pub mod optim;
 pub mod params;
 
 pub use layers::{Embedding, Linear};
-pub use optim::{Adam, Sgd, StepDecay};
+pub use optim::{Adam, AdamState, Sgd, StepDecay};
 pub use params::{Binding, ParamId, ParamStore};

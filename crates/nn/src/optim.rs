@@ -40,6 +40,20 @@ fn adam_update(c: AdamCoeffs, value: &mut [f32], grad: &[f32], m: &mut [f32], v:
     }
 }
 
+/// A snapshot of Adam's mutable state — everything a resumed run needs to
+/// continue bitwise-identically: the step counter driving bias correction,
+/// the (possibly scheduled) learning rate, and both moment buffers per
+/// parameter, in [`ParamStore`] registration order.
+#[derive(Clone)]
+pub struct AdamState {
+    /// Steps taken so far (drives the bias-correction terms).
+    pub t: u64,
+    /// Learning rate at capture time.
+    pub lr: f32,
+    /// `(m, v)` moment matrices per parameter, in store order.
+    pub moments: Vec<(Matrix, Matrix)>,
+}
+
 /// Adam optimiser (Kingma & Ba, 2015) with the paper's defaults.
 pub struct Adam {
     lr: f32,
@@ -92,6 +106,24 @@ impl Adam {
     /// Replaces the learning rate (for simple schedules).
     pub fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    /// Snapshots the optimiser's mutable state for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            lr: self.lr,
+            moments: self.moments.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Adam::export_state`]. The next
+    /// [`Adam::step`] continues exactly where the snapshotted optimiser
+    /// would have: same bias correction, same moments, same rate.
+    pub fn import_state(&mut self, state: AdamState) {
+        self.t = state.t;
+        self.lr = state.lr;
+        self.moments = state.moments;
     }
 
     /// Applies one update using the gradients accumulated in `store`, then

@@ -90,11 +90,28 @@ pub enum Counter {
     ServeCacheHits,
     /// Score-cache misses.
     ServeCacheMisses,
+    /// Checkpoints written (rotation slots, not temp files).
+    CkptSaves,
+    /// Training runs restored from a checkpoint.
+    Resumes,
+    /// Rollbacks to a good checkpoint after a `TrainAbort`.
+    Rollbacks,
+    /// Client connections that ended in broken-pipe/reset (clean
+    /// disconnects, not server errors).
+    ServeDisconnects,
+    /// Requests shed by the admission gate with an `overloaded` error.
+    ServeOverloads,
+    /// Requests that exhausted their deadline (`deadline_exceeded`).
+    ServeDeadlines,
+    /// `top_k` requests answered by the grid-only degraded path.
+    ServeDegraded,
+    /// Hot checkpoint reloads applied through the engine slot.
+    ServeReloads,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 19] = [
         Counter::Steps,
         Counter::Epochs,
         Counter::TriplesSeen,
@@ -106,6 +123,14 @@ impl Counter {
         Counter::ServeBatches,
         Counter::ServeCacheHits,
         Counter::ServeCacheMisses,
+        Counter::CkptSaves,
+        Counter::Resumes,
+        Counter::Rollbacks,
+        Counter::ServeDisconnects,
+        Counter::ServeOverloads,
+        Counter::ServeDeadlines,
+        Counter::ServeDegraded,
+        Counter::ServeReloads,
     ];
 
     /// Stable snake-case name used in JSON reports.
@@ -122,6 +147,14 @@ impl Counter {
             Counter::ServeBatches => "serve_batches",
             Counter::ServeCacheHits => "serve_cache_hits",
             Counter::ServeCacheMisses => "serve_cache_misses",
+            Counter::CkptSaves => "ckpt_saves",
+            Counter::Resumes => "resumes",
+            Counter::Rollbacks => "rollbacks",
+            Counter::ServeDisconnects => "serve_disconnects",
+            Counter::ServeOverloads => "serve_overloads",
+            Counter::ServeDeadlines => "serve_deadlines",
+            Counter::ServeDegraded => "serve_degraded",
+            Counter::ServeReloads => "serve_reloads",
         }
     }
 }

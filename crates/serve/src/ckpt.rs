@@ -32,11 +32,12 @@
 //! `as f32`, which is exact for values that originated as f32 — the
 //! round-trip is bitwise.
 
+use crate::chaos::atomic_write;
 use prim_core::config::{GammaOp, PrimConfig, TaxonomyMode};
-use prim_core::{ModelInputs, PrimModel};
+use prim_core::{ModelInputs, PrimModel, ResumeState};
 use prim_geo::{DistanceBins, Location};
 use prim_graph::{Edge, HeteroGraph, Poi, PoiId, RelationId, Taxonomy, TaxonomyNodeId};
-use prim_nn::ParamStore;
+use prim_nn::{AdamState, ParamStore};
 use prim_obs::json;
 use prim_tensor::Matrix;
 use std::path::Path;
@@ -301,6 +302,13 @@ impl RawCheckpoint {
 /// Flag bit: the tensor is a parameter excluded from weight decay.
 pub const FLAG_NO_DECAY: u8 = 1;
 
+/// Decodes checkpoint bytes without touching the filesystem. Exposed so
+/// the fault-injection suite can decode exactly what a torn write left
+/// behind, and so fuzzing can hit the decoder directly.
+pub fn decode_bytes(data: &[u8]) -> Result<RawCheckpoint, CkptError> {
+    decode(data)
+}
+
 fn decode(data: &[u8]) -> Result<RawCheckpoint, CkptError> {
     // Fixed prologue: magic + version. Checked before the checksum so a
     // wrong file type or a future version reads as what it is, not as
@@ -507,6 +515,185 @@ fn push_params(w: &mut Writer, store: &ParamStore) {
 }
 
 // ---------------------------------------------------------------------------
+// Training-state <-> tensor encoding (resumable checkpoints)
+// ---------------------------------------------------------------------------
+
+// u64 values survive the f64 tensor table by splitting into two 32-bit
+// halves (same trick the config seed uses); each half is exact in f64.
+fn split_u64(x: u64) -> [f64; 2] {
+    [(x >> 32) as f64, (x & 0xffff_ffff) as f64]
+}
+
+fn join_u64(hi: f64, lo: f64) -> u64 {
+    ((hi as u64) << 32) | (lo as u64)
+}
+
+fn widen(m: &Matrix) -> Vec<f64> {
+    m.data().iter().map(|&v| v as f64).collect()
+}
+
+fn count_train_tensors(state: &ResumeState) -> usize {
+    let mut n = 4 + 2 * state.adam.moments.len(); // progress, rng, adam.meta, losses
+    if let Some(snap) = &state.best_snapshot {
+        n += 1 + snap.len(); // best_val + snapshot matrices
+    }
+    n
+}
+
+fn push_train_state(w: &mut Writer, state: &ResumeState) {
+    let has_best = state.best_snapshot.is_some();
+    let [gs_hi, gs_lo] = split_u64(state.global_step);
+    w.tensor(
+        "train.progress",
+        0,
+        1,
+        4,
+        &[state.next_epoch as f64, gs_hi, gs_lo, has_best as u8 as f64],
+    );
+    let mut rng = Vec::with_capacity(8);
+    for word in state.rng {
+        rng.extend_from_slice(&split_u64(word));
+    }
+    w.tensor("train.rng", 0, 1, 8, &rng);
+    let [t_hi, t_lo] = split_u64(state.adam.t);
+    w.tensor(
+        "train.adam.meta",
+        0,
+        1,
+        3,
+        &[t_hi, t_lo, state.adam.lr as f64],
+    );
+    let losses: Vec<f64> = state.losses.iter().map(|&l| l as f64).collect();
+    w.tensor("train.losses", 0, 1, losses.len(), &losses);
+    for (i, (m, v)) in state.adam.moments.iter().enumerate() {
+        w.tensor(
+            &format!("train.adam.m.{i:04}"),
+            0,
+            m.rows(),
+            m.cols(),
+            &widen(m),
+        );
+        w.tensor(
+            &format!("train.adam.v.{i:04}"),
+            0,
+            v.rows(),
+            v.cols(),
+            &widen(v),
+        );
+    }
+    if let Some(snap) = &state.best_snapshot {
+        w.tensor(
+            "train.best_val",
+            0,
+            1,
+            1,
+            &[state.best_val.unwrap_or(f64::NEG_INFINITY)],
+        );
+        for (i, m) in snap.iter().enumerate() {
+            w.tensor(
+                &format!("train.best.{i:04}"),
+                0,
+                m.rows(),
+                m.cols(),
+                &widen(m),
+            );
+        }
+    }
+}
+
+fn decode_train_state(raw: &RawCheckpoint) -> Result<Option<ResumeState>, CkptError> {
+    let Some(progress) = raw.tensors.iter().find(|t| t.name == "train.progress") else {
+        return Ok(None);
+    };
+    if progress.values.len() != 4 {
+        return Err(CkptError::Malformed(format!(
+            "train.progress has {} slots, expected 4",
+            progress.values.len()
+        )));
+    }
+    let next_epoch = progress.values[0] as usize;
+    let global_step = join_u64(progress.values[1], progress.values[2]);
+    let has_best = progress.values[3] != 0.0;
+
+    let rng_t = raw.tensor("train.rng")?;
+    if rng_t.values.len() != 8 {
+        return Err(CkptError::Malformed(format!(
+            "train.rng has {} slots, expected 8",
+            rng_t.values.len()
+        )));
+    }
+    let mut rng = [0u64; 4];
+    for (i, word) in rng.iter_mut().enumerate() {
+        *word = join_u64(rng_t.values[2 * i], rng_t.values[2 * i + 1]);
+    }
+
+    let meta = raw.tensor("train.adam.meta")?;
+    if meta.values.len() != 3 {
+        return Err(CkptError::Malformed(format!(
+            "train.adam.meta has {} slots, expected 3",
+            meta.values.len()
+        )));
+    }
+    let t = join_u64(meta.values[0], meta.values[1]);
+    let lr = meta.values[2] as f32;
+
+    let losses: Vec<f32> = raw
+        .tensor("train.losses")?
+        .values
+        .iter()
+        .map(|&l| l as f32)
+        .collect();
+
+    let collect_indexed = |prefix: &str| -> Vec<Matrix> {
+        let mut out = Vec::new();
+        loop {
+            let name = format!("{prefix}{:04}", out.len());
+            match raw.tensors.iter().find(|t| t.name == name) {
+                Some(t) => out.push(t.matrix_f32()),
+                None => break,
+            }
+        }
+        out
+    };
+    let ms = collect_indexed("train.adam.m.");
+    let vs = collect_indexed("train.adam.v.");
+    if ms.len() != vs.len() {
+        return Err(CkptError::Malformed(format!(
+            "{} first moments but {} second moments",
+            ms.len(),
+            vs.len()
+        )));
+    }
+    let moments: Vec<(Matrix, Matrix)> = ms.into_iter().zip(vs).collect();
+
+    let (best_val, best_snapshot) = if has_best {
+        let bv = raw.tensor("train.best_val")?;
+        if bv.values.len() != 1 {
+            return Err(CkptError::Malformed("train.best_val must be 1x1".into()));
+        }
+        let snap = collect_indexed("train.best.");
+        if snap.is_empty() {
+            return Err(CkptError::Malformed(
+                "best snapshot flagged but no train.best tensors".into(),
+            ));
+        }
+        (Some(bv.values[0]), Some(snap))
+    } else {
+        (None, None)
+    };
+
+    Ok(Some(ResumeState {
+        next_epoch,
+        global_step,
+        rng,
+        adam: AdamState { t, lr, moments },
+        losses,
+        best_val,
+        best_snapshot,
+    }))
+}
+
+// ---------------------------------------------------------------------------
 // PRIM checkpoints
 // ---------------------------------------------------------------------------
 
@@ -529,6 +716,9 @@ pub struct PrimCheckpoint {
     pub attrs: Matrix,
     /// `(name, value)` parameter pairs in registration order.
     pub params: Vec<(String, Matrix)>,
+    /// Mid-run training state, present when the checkpoint was written by
+    /// the resumable trainer (absent in scoring-only checkpoints).
+    pub train_state: Option<ResumeState>,
 }
 
 impl PrimCheckpoint {
@@ -559,7 +749,9 @@ impl PrimCheckpoint {
 ///
 /// `graph` must be the graph the model was trained against (its edge list
 /// is stored as the serving-time message-passing structure); `taxonomy`,
-/// `attrs` and `relation_names` come from the same dataset.
+/// `attrs` and `relation_names` come from the same dataset. The write is
+/// atomic (temp sibling + rename), so a crash mid-save can never leave a
+/// truncated checkpoint at `path`.
 pub fn save_checkpoint(
     path: impl AsRef<Path>,
     run: &str,
@@ -569,6 +761,51 @@ pub fn save_checkpoint(
     attrs: &Matrix,
     relation_names: &[String],
 ) -> Result<(), CkptError> {
+    let bytes = encode_checkpoint(run, model, graph, taxonomy, attrs, relation_names, None);
+    atomic_write(path.as_ref(), &bytes)?;
+    Ok(())
+}
+
+/// [`save_checkpoint`] carrying a mid-run [`ResumeState`] (optimiser
+/// moments, RNG, epoch bookkeeping) so training can continue
+/// bitwise-identically from the file. Scoring-side loaders ignore the
+/// extra `train.*` tensors.
+#[allow(clippy::too_many_arguments)] // full training + persistence context
+pub fn save_checkpoint_with_state(
+    path: impl AsRef<Path>,
+    run: &str,
+    model: &PrimModel,
+    graph: &HeteroGraph,
+    taxonomy: &Taxonomy,
+    attrs: &Matrix,
+    relation_names: &[String],
+    state: &ResumeState,
+) -> Result<(), CkptError> {
+    let bytes = encode_checkpoint(
+        run,
+        model,
+        graph,
+        taxonomy,
+        attrs,
+        relation_names,
+        Some(state),
+    );
+    atomic_write(path.as_ref(), &bytes)?;
+    Ok(())
+}
+
+/// Encodes a PRIM checkpoint (optionally resumable) to bytes without
+/// touching the filesystem — the rotation layer owns how bytes land on
+/// disk.
+pub fn encode_checkpoint(
+    run: &str,
+    model: &PrimModel,
+    graph: &HeteroGraph,
+    taxonomy: &Taxonomy,
+    attrs: &Matrix,
+    relation_names: &[String],
+    train_state: Option<&ResumeState>,
+) -> Vec<u8> {
     let cfg = model.config();
     let names: Vec<String> = relation_names.iter().map(|n| json::str(n)).collect();
     let tax_names: Vec<String> = (0..taxonomy.num_nodes())
@@ -587,7 +824,8 @@ pub fn save_checkpoint(
     ]);
 
     let mut w = Writer::new(&header);
-    w.tensor_count(8 + model.params().len());
+    let train_tensors = train_state.map_or(0, count_train_tensors);
+    w.tensor_count(8 + model.params().len() + train_tensors);
     w.tensor("meta.config", 0, 1, CFG_SLOTS, &encode_config(cfg));
     w.tensor(
         "meta.bin_edges",
@@ -633,14 +871,23 @@ pub fn save_checkpoint(
     w.tensor("graph.attrs", 0, attrs.rows(), attrs.cols(), &attr_vals);
 
     push_params(&mut w, model.params());
-    std::fs::write(path, w.seal())?;
-    Ok(())
+    if let Some(state) = train_state {
+        push_train_state(&mut w, state);
+    }
+    w.seal()
 }
 
 /// Loads and fully decodes a PRIM checkpoint written by
 /// [`save_checkpoint`].
 pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<PrimCheckpoint, CkptError> {
-    let raw = load_raw(path)?;
+    decode_checkpoint(load_raw(path)?)
+}
+
+/// Interprets an already-decoded [`RawCheckpoint`] as a PRIM checkpoint —
+/// the second half of [`load_checkpoint`], split out so callers that got
+/// their bytes elsewhere (rotation recovery, fault-injection tests) share
+/// the exact same validation.
+pub fn decode_checkpoint(raw: RawCheckpoint) -> Result<PrimCheckpoint, CkptError> {
     if raw.header_str("kind")? != "prim" {
         return Err(CkptError::Incompatible(format!(
             "expected a prim checkpoint, found kind {:?}",
@@ -749,6 +996,8 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<PrimCheckpoint, CkptErr
         ));
     }
 
+    let train_state = decode_train_state(&raw)?;
+
     Ok(PrimCheckpoint {
         run,
         config,
@@ -757,6 +1006,7 @@ pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<PrimCheckpoint, CkptErr
         taxonomy,
         attrs,
         params,
+        train_state,
     })
 }
 
@@ -791,7 +1041,7 @@ pub fn save_params(
     let mut w = Writer::new(&header);
     w.tensor_count(store.len());
     push_params(&mut w, store);
-    std::fs::write(path, w.seal())?;
+    atomic_write(path.as_ref(), &w.seal())?;
     Ok(())
 }
 

@@ -23,8 +23,9 @@ use crate::store::EmbeddingStore;
 use prim_graph::PoiId;
 use prim_obs::{Counter, Phase, Recorder};
 use prim_tensor::kernel;
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Pairs scored per inner block of the batched kernel. Four pairs give
 /// eight interleaved coefficient chains and (with [`REL_BLOCK`]) eight
@@ -298,6 +299,20 @@ impl ServeEngine {
         let scores: Arc<[f32]> = score_pairs_all(&self.store, &[(src, dst)], &[bin]).into();
         self.cache.insert(key, Arc::clone(&scores));
         PairScores::new(src, dst, bin, scores, 0, n_rel, false)
+    }
+
+    /// Degraded `top_k`: the `k` nearest POIs within `radius_km` straight
+    /// from the grid index, no scoring at all. This is the fallback the
+    /// protocol layer switches to when a request's deadline no longer
+    /// leaves room for the batched scoring pass — spatial candidates are
+    /// O(grid cells) while scoring is O(candidates × relations × dim).
+    pub fn top_k_nearest(&self, src: u32, radius_km: f64, k: usize) -> Vec<(u32, f64)> {
+        let _serve = self.recorder.phase(Phase::Serve);
+        self.recorder.add(Counter::ServeRequests, 1);
+        let mut candidates = self.store.within_radius(PoiId(src), radius_km);
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        candidates.truncate(k);
+        candidates.into_iter().map(|(j, d)| (j as u32, d)).collect()
     }
 
     /// [`Self::batch`] without request counters or cache traffic: used by
@@ -783,6 +798,51 @@ unsafe fn reduce_relations4_sse(
 }
 
 // ---------------------------------------------------------------------------
+// Hot reload
+// ---------------------------------------------------------------------------
+
+/// An atomically swappable engine reference — the hot-reload seam.
+///
+/// Every request path resolves its engine through a slot: [`EngineSlot::get`]
+/// clones the current `Arc` under a read lock (a few nanoseconds, never
+/// blocked by queries), and [`EngineSlot::swap`] installs a freshly loaded
+/// checkpoint's engine under the write lock. Requests already holding the
+/// old `Arc` finish against the old tables — nothing in flight is ever
+/// invalidated, which is what makes reload zero-failure.
+pub struct EngineSlot {
+    current: RwLock<Arc<ServeEngine>>,
+    reloads: AtomicU64,
+}
+
+impl EngineSlot {
+    /// Wraps an engine in a slot.
+    pub fn new(engine: Arc<ServeEngine>) -> Arc<Self> {
+        Arc::new(EngineSlot {
+            current: RwLock::new(engine),
+            reloads: AtomicU64::new(0),
+        })
+    }
+
+    /// The current engine (cheap: read lock + `Arc` clone).
+    pub fn get(&self) -> Arc<ServeEngine> {
+        Arc::clone(&self.current.read().unwrap())
+    }
+
+    /// Installs a new engine, returning the previous one. In-flight
+    /// requests keep scoring against the engine they already resolved.
+    pub fn swap(&self, engine: Arc<ServeEngine>) -> Arc<ServeEngine> {
+        let mut cur = self.current.write().unwrap();
+        self.reloads.fetch_add(1, Ordering::SeqCst);
+        std::mem::replace(&mut *cur, engine)
+    }
+
+    /// Number of swaps performed (surfaced by the `health` op).
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Micro-batching
 // ---------------------------------------------------------------------------
 
@@ -794,7 +854,7 @@ struct BatcherState {
 }
 
 struct BatcherInner {
-    engine: Arc<ServeEngine>,
+    slot: Arc<EngineSlot>,
     state: Mutex<BatcherState>,
     cv: Condvar,
     max_pairs: usize,
@@ -814,10 +874,16 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Starts the worker thread.
+    /// Starts the worker thread over a private slot (no hot reload).
     pub fn new(engine: Arc<ServeEngine>, opts: &EngineOpts) -> Self {
+        Self::over_slot(EngineSlot::new(engine), opts)
+    }
+
+    /// Starts the worker thread over a shared [`EngineSlot`], so a hot
+    /// reload retargets queued *and* future submissions.
+    pub fn over_slot(slot: Arc<EngineSlot>, opts: &EngineOpts) -> Self {
         let inner = Arc::new(BatcherInner {
-            engine,
+            slot,
             state: Mutex::new(BatcherState {
                 queue: Vec::new(),
                 shutdown: false,
@@ -867,7 +933,7 @@ impl Batcher {
                 continue;
             }
             let pairs: Vec<(u32, u32)> = drained.iter().map(|&(a, b, _)| (a, b)).collect();
-            let results = inner.engine.batch(&pairs);
+            let results = inner.slot.get().batch(&pairs);
             for ((_, _, tx), result) in drained.into_iter().zip(results) {
                 // A dropped receiver just means the caller gave up waiting.
                 let _ = tx.send(result);
@@ -887,9 +953,29 @@ impl Batcher {
         rx.recv().expect("batcher worker dropped a request")
     }
 
-    /// The engine this batcher feeds.
-    pub fn engine(&self) -> &Arc<ServeEngine> {
-        &self.inner.engine
+    /// [`Batcher::submit`] bounded by a deadline: returns `None` when the
+    /// worker has not flushed this pair's batch by then (the caller turns
+    /// that into a structured `deadline_exceeded` error). The result, when
+    /// it does arrive late, is dropped with the channel.
+    pub fn submit_deadline(&self, src: u32, dst: u32, deadline: Instant) -> Option<PairScores> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.queue.push((src, dst, tx));
+            self.inner.cv.notify_all();
+        }
+        let budget = deadline.saturating_duration_since(Instant::now());
+        rx.recv_timeout(budget).ok()
+    }
+
+    /// The slot this batcher resolves its engine through.
+    pub fn slot(&self) -> Arc<EngineSlot> {
+        Arc::clone(&self.inner.slot)
+    }
+
+    /// The engine this batcher currently feeds.
+    pub fn engine(&self) -> Arc<ServeEngine> {
+        self.inner.slot.get()
     }
 }
 

@@ -25,19 +25,30 @@
 //! thread count.
 
 pub mod cache;
+pub mod chaos;
 pub mod ckpt;
 pub mod engine;
 pub mod proto;
+pub mod resume;
+pub mod rotate;
 pub mod server;
 pub mod store;
 
 pub use cache::ScoreCache;
+pub use chaos::{atomic_write, ChaosClient, ChaosIo, Fault, FaultPlan, FileIo, RealIo};
 pub use ckpt::{
-    checksum, load_checkpoint, load_pair_model, load_params, load_params_into, load_raw,
-    save_checkpoint, save_pair_model, save_params, CkptError, ParamsCheckpoint, PrimCheckpoint,
-    RawCheckpoint, FLAG_NO_DECAY, MAGIC, VERSION,
+    checksum, decode_bytes, decode_checkpoint, encode_checkpoint, load_checkpoint, load_pair_model,
+    load_params, load_params_into, load_raw, save_checkpoint, save_checkpoint_with_state,
+    save_pair_model, save_params, CkptError, ParamsCheckpoint, PrimCheckpoint, RawCheckpoint,
+    FLAG_NO_DECAY, MAGIC, VERSION,
 };
-pub use engine::{score_pairs_all, Batcher, EngineOpts, Neighbor, PairScores, ServeEngine};
-pub use proto::{handle_line, Handled, ServeCtx};
+pub use engine::{
+    score_pairs_all, Batcher, EngineOpts, EngineSlot, Neighbor, PairScores, ServeEngine,
+};
+pub use proto::{
+    handle_line, handle_request, AdmissionGate, AdmissionPermit, Handled, ServeCtx, ServeLimits,
+};
+pub use resume::{fit_resumable, fit_resumable_hooked, ResilienceOpts, ResumableRun, ResumeError};
+pub use rotate::{CkptRotator, LATEST};
 pub use server::{serve_stdin, TcpServer};
 pub use store::EmbeddingStore;

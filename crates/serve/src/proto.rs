@@ -8,43 +8,192 @@
 //! {"op": "score", "src": 12, "dst": 40}
 //! {"op": "batch", "pairs": [[12, 40], [7, 9]]}
 //! {"op": "top_k", "src": 12, "radius_km": 1.5, "k": 5, "relation": "competitive"}
+//! {"op": "health"}
+//! {"op": "reload", "path": "/ckpts/new.prim"}
 //! {"op": "shutdown"}
 //! ```
 //!
-//! Responses always carry `"ok"`; malformed requests produce
-//! `{"ok": false, "error": "..."}` and never tear the connection down.
-//! Score vectors render relation-by-name so clients need no id mapping.
+//! Responses always carry `"ok"`; failures add a machine-readable `"code"`
+//! (`bad_request`, `unknown_op`, `overloaded`, `deadline_exceeded`,
+//! `reload_failed`) next to the human-readable `"error"` and never tear
+//! the connection down. Score vectors render relation-by-name so clients
+//! need no id mapping.
+//!
+//! ## Resilience semantics
+//!
+//! [`ServeLimits`] switches on the protective behaviours (all off by
+//! default, so existing callers see no change):
+//!
+//! * **Admission control** — `queue_capacity` bounds concurrently admitted
+//!   requests; excess load is shed *immediately* with `overloaded` rather
+//!   than queued into a latency collapse.
+//! * **Deadlines** — `deadline` gives each request a time budget from the
+//!   moment its line is read. Expired budgets return `deadline_exceeded`
+//!   instead of hanging; batched `score` ops use a deadline-bounded wait.
+//! * **Degradation** — when a `top_k` request's remaining budget drops
+//!   under `degrade_margin`, the engine skips the scoring pass and answers
+//!   from the spatial grid alone, flagged `"degraded": true` — a cheap,
+//!   still-useful answer beats a deadline miss.
+//!
+//! `health` answers without consuming an admission slot (a saturated
+//! server must still report that it is alive), and `reload` atomically
+//! swaps a freshly loaded checkpoint into the shared [`EngineSlot`]
+//! without failing any in-flight request.
 
-use crate::engine::{Batcher, PairScores, ServeEngine};
+use crate::ckpt::load_checkpoint;
+use crate::engine::{Batcher, EngineOpts, EngineSlot, PairScores, ServeEngine};
+use crate::store::EmbeddingStore;
 use prim_obs::json::{self, Value};
+use prim_obs::Counter;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Shared serving context handed to every connection: the engine plus an
-/// optional micro-batcher for single-pair ops.
+/// Overload/latency guard-rails for one serving context. The default is
+/// fully permissive — no deadlines, no admission bound, no timeouts —
+/// matching the pre-resilience behaviour exactly.
+#[derive(Clone, Debug, Default)]
+pub struct ServeLimits {
+    /// Per-request time budget, measured from the moment the request line
+    /// arrives. `None` disables deadline handling.
+    pub deadline: Option<Duration>,
+    /// `top_k` degrades to a grid-only answer when the remaining budget
+    /// drops below this. Zero never degrades.
+    pub degrade_margin: Duration,
+    /// Socket read timeout (TCP connections); also bounds how long a
+    /// stalled client can hold a connection thread.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout (TCP connections).
+    pub write_timeout: Option<Duration>,
+    /// Maximum concurrently admitted requests before shedding with
+    /// `overloaded`. Zero means unbounded.
+    pub queue_capacity: usize,
+}
+
+/// Counting admission gate: at most `capacity` requests in flight, excess
+/// shed immediately. Capacity zero admits everything.
+pub struct AdmissionGate {
+    capacity: usize,
+    inflight: AtomicUsize,
+}
+
+/// An admission slot; releases on drop.
+pub struct AdmissionPermit<'a>(Option<&'a AdmissionGate>);
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(gate) = self.0 {
+            gate.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+impl AdmissionGate {
+    fn new(capacity: usize) -> Self {
+        AdmissionGate {
+            capacity,
+            inflight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Tries to take a slot; `None` means the server is saturated and this
+    /// request must be shed.
+    pub fn admit(&self) -> Option<AdmissionPermit<'_>> {
+        if self.capacity == 0 {
+            return Some(AdmissionPermit(None));
+        }
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.capacity {
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(AdmissionPermit(Some(self))),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Requests currently holding a slot.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+}
+
+/// Shared serving context handed to every connection: the hot-reloadable
+/// engine slot, an optional micro-batcher for single-pair ops, the
+/// resilience limits and the admission gate.
 #[derive(Clone)]
 pub struct ServeCtx {
-    /// The query engine.
-    pub engine: Arc<ServeEngine>,
+    slot: Arc<EngineSlot>,
     /// When present, `score` ops route through the micro-batch queue so
     /// concurrent connections share kernel invocations.
     pub batcher: Option<Arc<Batcher>>,
+    /// Deadline/admission/timeout knobs (default: all off).
+    pub limits: ServeLimits,
+    gate: Arc<AdmissionGate>,
+    /// Engine options used when `reload` builds a replacement engine.
+    pub engine_opts: EngineOpts,
 }
 
 impl ServeCtx {
     /// Context scoring directly against the engine (no micro-batching).
     pub fn direct(engine: Arc<ServeEngine>) -> Self {
         ServeCtx {
-            engine,
+            slot: EngineSlot::new(engine),
             batcher: None,
+            limits: ServeLimits::default(),
+            gate: Arc::new(AdmissionGate::new(0)),
+            engine_opts: EngineOpts::default(),
         }
     }
 
-    /// Context routing single-pair scores through a micro-batcher.
+    /// Context routing single-pair scores through a micro-batcher. The
+    /// context shares the batcher's [`EngineSlot`], so a hot reload
+    /// retargets direct *and* batched paths together.
     pub fn batched(engine: Arc<ServeEngine>, batcher: Arc<Batcher>) -> Self {
+        let _ = engine; // the batcher's slot is authoritative
         ServeCtx {
-            engine,
+            slot: batcher.slot(),
             batcher: Some(batcher),
+            limits: ServeLimits::default(),
+            gate: Arc::new(AdmissionGate::new(0)),
+            engine_opts: EngineOpts::default(),
         }
+    }
+
+    /// Installs resilience limits (rebuilding the admission gate to the
+    /// new capacity).
+    pub fn with_limits(mut self, limits: ServeLimits) -> Self {
+        self.gate = Arc::new(AdmissionGate::new(limits.queue_capacity));
+        self.limits = limits;
+        self
+    }
+
+    /// Engine options for reload-built engines.
+    pub fn with_engine_opts(mut self, opts: EngineOpts) -> Self {
+        self.engine_opts = opts;
+        self
+    }
+
+    /// The current engine (resolved through the hot-reload slot).
+    pub fn engine(&self) -> Arc<ServeEngine> {
+        self.slot.get()
+    }
+
+    /// The hot-reload slot shared by every path in this context.
+    pub fn slot(&self) -> Arc<EngineSlot> {
+        Arc::clone(&self.slot)
+    }
+
+    /// The admission gate (exposed for tests and health reporting).
+    pub fn gate(&self) -> &AdmissionGate {
+        &self.gate
     }
 }
 
@@ -56,14 +205,19 @@ pub struct Handled {
     pub shutdown: bool,
 }
 
-fn err(msg: impl std::fmt::Display) -> Handled {
+fn err_code(code: &str, msg: impl std::fmt::Display) -> Handled {
     Handled {
         response: json::obj(&[
             ("ok", "false".to_string()),
+            ("code", json::str(code)),
             ("error", json::str(&msg.to_string())),
         ]),
         shutdown: false,
     }
+}
+
+fn err(msg: impl std::fmt::Display) -> Handled {
+    err_code("bad_request", msg)
 }
 
 fn need_u32(v: &Value, key: &str, limit: usize) -> Result<u32, String> {
@@ -101,9 +255,22 @@ fn pair_scores_json(engine: &ServeEngine, s: &PairScores) -> String {
     ])
 }
 
-/// Handles one raw request line, returning the response line and whether
-/// the line asked for shutdown. Never panics on client input.
+/// True once `deadline` has passed.
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|t| Instant::now() >= t)
+}
+
+/// Handles one raw request line with no deadline (the stdin path and
+/// pre-resilience callers).
 pub fn handle_line(ctx: &ServeCtx, line: &str) -> Handled {
+    handle_request(ctx, line, None)
+}
+
+/// Handles one raw request line, returning the response line and whether
+/// the line asked for shutdown. `deadline`, when set, is this request's
+/// absolute time budget (the server stamps it when the line arrives).
+/// Never panics on client input.
+pub fn handle_request(ctx: &ServeCtx, line: &str, deadline: Option<Instant>) -> Handled {
     let v = match json::parse(line) {
         Ok(v) => v,
         Err(e) => return err(format!("bad JSON: {e}")),
@@ -112,7 +279,42 @@ pub fn handle_line(ctx: &ServeCtx, line: &str) -> Handled {
         Some(op) => op.to_string(),
         None => return err("missing \"op\" field"),
     };
-    let store = ctx.engine.store();
+    let engine = ctx.slot.get();
+
+    // `health` and `shutdown` bypass the admission gate: a saturated
+    // server must still answer liveness probes and accept its stop order.
+    match op.as_str() {
+        "health" => {
+            let store = engine.store();
+            return Handled {
+                response: json::obj(&[
+                    ("ok", "true".to_string()),
+                    ("op", json::str("health")),
+                    ("status", json::str("ok")),
+                    ("n_pois", json::int(store.n_pois() as u64)),
+                    ("n_relations", json::int(store.n_relations() as u64)),
+                    ("dim", json::int(store.dim() as u64)),
+                    ("reloads", json::int(ctx.slot.reloads())),
+                    ("inflight", json::int(ctx.gate.inflight() as u64)),
+                ]),
+                shutdown: false,
+            };
+        }
+        "shutdown" => {
+            return Handled {
+                response: json::obj(&[("ok", "true".to_string()), ("op", json::str("shutdown"))]),
+                shutdown: true,
+            }
+        }
+        _ => {}
+    }
+
+    let Some(_permit) = ctx.gate.admit() else {
+        engine.recorder().add(Counter::ServeOverloads, 1);
+        return err_code("overloaded", "admission queue full, request shed");
+    };
+
+    let store = engine.store();
     match op.as_str() {
         "score" => {
             let (src, dst) = match (
@@ -122,15 +324,32 @@ pub fn handle_line(ctx: &ServeCtx, line: &str) -> Handled {
                 (Ok(s), Ok(d)) => (s, d),
                 (Err(e), _) | (_, Err(e)) => return err(e),
             };
-            let scored = match &ctx.batcher {
-                Some(b) => b.submit(src, dst),
-                None => ctx.engine.score(src, dst),
+            if expired(deadline) {
+                engine.recorder().add(Counter::ServeDeadlines, 1);
+                return err_code(
+                    "deadline_exceeded",
+                    "request deadline passed before scoring",
+                );
+            }
+            let scored = match (&ctx.batcher, deadline) {
+                (Some(b), Some(t)) => match b.submit_deadline(src, dst, t) {
+                    Some(s) => s,
+                    None => {
+                        engine.recorder().add(Counter::ServeDeadlines, 1);
+                        return err_code(
+                            "deadline_exceeded",
+                            "batch queue did not flush within the deadline",
+                        );
+                    }
+                },
+                (Some(b), None) => b.submit(src, dst),
+                (None, _) => engine.score(src, dst),
             };
             Handled {
                 response: json::obj(&[
                     ("ok", "true".to_string()),
                     ("op", json::str("score")),
-                    ("result", pair_scores_json(&ctx.engine, &scored)),
+                    ("result", pair_scores_json(&engine, &scored)),
                 ]),
                 shutdown: false,
             }
@@ -161,10 +380,17 @@ pub fn handle_line(ctx: &ServeCtx, line: &str) -> Handled {
                     (Err(e), _) | (_, Err(e)) => return err(e),
                 }
             }
-            let scored = ctx.engine.batch(&pairs);
+            if expired(deadline) {
+                engine.recorder().add(Counter::ServeDeadlines, 1);
+                return err_code(
+                    "deadline_exceeded",
+                    "request deadline passed before scoring",
+                );
+            }
+            let scored = engine.batch(&pairs);
             let results: Vec<String> = scored
                 .iter()
-                .map(|s| pair_scores_json(&ctx.engine, s))
+                .map(|s| pair_scores_json(&engine, s))
                 .collect();
             Handled {
                 response: json::obj(&[
@@ -195,7 +421,44 @@ pub fn handle_line(ctx: &ServeCtx, line: &str) -> Handled {
                 },
                 None => return err("missing \"relation\" name"),
             };
-            let neighbors = ctx.engine.top_k_related(src, radius_km, k, relation);
+            if expired(deadline) {
+                engine.recorder().add(Counter::ServeDeadlines, 1);
+                return err_code(
+                    "deadline_exceeded",
+                    "request deadline passed before scoring",
+                );
+            }
+            // Degrade: when the remaining budget no longer covers the
+            // scoring pass, answer nearest-by-distance from the grid
+            // index alone. degrade_margin == 0 never triggers this.
+            let degrade = deadline.is_some_and(|t| {
+                t.saturating_duration_since(Instant::now()) < ctx.limits.degrade_margin
+            });
+            if degrade {
+                engine.recorder().add(Counter::ServeDegraded, 1);
+                let nearest = engine.top_k_nearest(src, radius_km, k);
+                let results: Vec<String> = nearest
+                    .iter()
+                    .map(|&(poi, d)| {
+                        json::obj(&[
+                            ("poi", json::int(poi as u64)),
+                            ("distance_km", json::num(d)),
+                        ])
+                    })
+                    .collect();
+                return Handled {
+                    response: json::obj(&[
+                        ("ok", "true".to_string()),
+                        ("op", json::str("top_k")),
+                        ("degraded", "true".to_string()),
+                        ("src", json::int(src as u64)),
+                        ("relation", json::str(store.relation_name(relation))),
+                        ("results", json::arr(&results)),
+                    ]),
+                    shutdown: false,
+                };
+            }
+            let neighbors = engine.top_k_related(src, radius_km, k, relation);
             let results: Vec<String> = neighbors
                 .iter()
                 .map(|n| {
@@ -211,6 +474,7 @@ pub fn handle_line(ctx: &ServeCtx, line: &str) -> Handled {
                 response: json::obj(&[
                     ("ok", "true".to_string()),
                     ("op", json::str("top_k")),
+                    ("degraded", "false".to_string()),
                     ("src", json::int(src as u64)),
                     ("relation", json::str(store.relation_name(relation))),
                     ("results", json::arr(&results)),
@@ -218,11 +482,39 @@ pub fn handle_line(ctx: &ServeCtx, line: &str) -> Handled {
                 shutdown: false,
             }
         }
-        "shutdown" => Handled {
-            response: json::obj(&[("ok", "true".to_string()), ("op", json::str("shutdown"))]),
-            shutdown: true,
-        },
-        other => err(format!("unknown op {other:?}")),
+        "reload" => {
+            let Some(path) = v.get("path").and_then(|p| p.as_str()) else {
+                return err("missing \"path\" string");
+            };
+            let ckpt = match load_checkpoint(path) {
+                Ok(c) => c,
+                Err(e) => return err_code("reload_failed", format!("loading {path}: {e}")),
+            };
+            let (model, inputs) = match ckpt.rebuild() {
+                Ok(mi) => mi,
+                Err(e) => return err_code("reload_failed", format!("rebuilding {path}: {e}")),
+            };
+            let new_store = EmbeddingStore::from_model(&model, &inputs, ckpt.relation_names);
+            let new_engine = Arc::new(ServeEngine::new(
+                new_store,
+                &ctx.engine_opts,
+                engine.recorder().clone(),
+            ));
+            let n_pois = new_engine.store().n_pois() as u64;
+            ctx.slot.swap(new_engine);
+            engine.recorder().add(Counter::ServeReloads, 1);
+            Handled {
+                response: json::obj(&[
+                    ("ok", "true".to_string()),
+                    ("op", json::str("reload")),
+                    ("run", json::str(&ckpt.run)),
+                    ("n_pois", json::int(n_pois)),
+                    ("reloads", json::int(ctx.slot.reloads())),
+                ]),
+                shutdown: false,
+            }
+        }
+        other => err_code("unknown_op", format!("unknown op {other:?}")),
     }
 }
 
@@ -231,13 +523,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn error_responses_are_json_with_ok_false() {
+    fn error_responses_are_json_with_ok_false_and_code() {
         // handle_line's error paths must not require a live engine, so
         // exercise the pure-parse failures through the JSON layer alone.
         let bad = err("nope");
         let v = json::parse(&bad.response).unwrap();
         assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(v.get("code").and_then(|c| c.as_str()), Some("bad_request"));
         assert_eq!(v.get("error").and_then(|e| e.as_str()), Some("nope"));
         assert!(!bad.shutdown);
+
+        let shed = err_code("overloaded", "full");
+        let v = json::parse(&shed.response).unwrap();
+        assert_eq!(v.get("code").and_then(|c| c.as_str()), Some("overloaded"));
+    }
+
+    #[test]
+    fn admission_gate_caps_and_releases() {
+        let gate = AdmissionGate::new(2);
+        let a = gate.admit().expect("slot 1");
+        let _b = gate.admit().expect("slot 2");
+        assert!(gate.admit().is_none(), "third admit must shed");
+        assert_eq!(gate.inflight(), 2);
+        drop(a);
+        assert!(gate.admit().is_some(), "released slot is reusable");
+    }
+
+    #[test]
+    fn unbounded_gate_always_admits() {
+        let gate = AdmissionGate::new(0);
+        let permits: Vec<_> = (0..64).map(|_| gate.admit().unwrap()).collect();
+        assert_eq!(gate.inflight(), 0, "capacity 0 does not count");
+        drop(permits);
     }
 }

@@ -1,0 +1,153 @@
+//! Crash-safe checkpoint rotation: retained-N slots plus a `LATEST`
+//! pointer, every step atomic.
+//!
+//! A rotation directory looks like:
+//!
+//! ```text
+//! ckpt-000004.prim     retained slot (epoch 4)
+//! ckpt-000009.prim     retained slot (epoch 9)
+//! ckpt-000014.prim     retained slot (epoch 14)
+//! LATEST               one line: "ckpt-000014.prim"
+//! ```
+//!
+//! [`CkptRotator::save`] performs, in order: atomic write of the new slot
+//! (temp + fsync + rename), atomic update of `LATEST`, then pruning of
+//! slots beyond the retention depth. Killing the process between any two
+//! of those operations — or inside one, via [`crate::chaos::ChaosIo`] —
+//! leaves `LATEST` resolving to a complete, checksummed checkpoint:
+//! either the new slot (pointer updated) or the previous one (pointer
+//! untouched). [`CkptRotator::latest_valid`] additionally survives a
+//! corrupted slot file (e.g. a bit flip that defeats the rename
+//! discipline) by falling back to the newest slot that still decodes.
+
+use crate::chaos::{atomic_write_io, FileIo, RealIo};
+use crate::ckpt::{decode_checkpoint, load_raw, CkptError, PrimCheckpoint};
+use std::path::{Path, PathBuf};
+
+/// Name of the pointer file inside a rotation directory.
+pub const LATEST: &str = "LATEST";
+
+/// Rotating checkpoint writer/recoverer over one directory.
+pub struct CkptRotator {
+    dir: PathBuf,
+    retain: usize,
+}
+
+fn slot_name(epoch: usize) -> String {
+    format!("ckpt-{epoch:06}.prim")
+}
+
+impl CkptRotator {
+    /// Opens (creating if needed) a rotation directory keeping the newest
+    /// `retain` checkpoints. `retain` is clamped to at least 1.
+    pub fn new(dir: impl Into<PathBuf>, retain: usize) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CkptRotator {
+            dir,
+            retain: retain.max(1),
+        })
+    }
+
+    /// The rotation directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the slot for `epoch`.
+    pub fn slot_path(&self, epoch: usize) -> PathBuf {
+        self.dir.join(slot_name(epoch))
+    }
+
+    /// Writes `bytes` as the slot for `epoch` and points `LATEST` at it,
+    /// all through `io` so tests can kill the sequence at any operation.
+    /// Returns the slot path.
+    pub fn save(&self, io: &dyn FileIo, epoch: usize, bytes: &[u8]) -> std::io::Result<PathBuf> {
+        let name = slot_name(epoch);
+        let slot = self.dir.join(&name);
+        atomic_write_io(io, &slot, bytes)?;
+        atomic_write_io(io, &self.dir.join(LATEST), name.as_bytes())?;
+        self.prune(io)?;
+        Ok(slot)
+    }
+
+    /// [`CkptRotator::save`] over the real filesystem.
+    pub fn save_real(&self, epoch: usize, bytes: &[u8]) -> std::io::Result<PathBuf> {
+        self.save(&RealIo, epoch, bytes)
+    }
+
+    /// Removes slots beyond the retention depth, newest first, never the
+    /// one `LATEST` names.
+    fn prune(&self, io: &dyn FileIo) -> std::io::Result<()> {
+        let mut slots = self.list_slots();
+        let keep = self.pointer_target();
+        if slots.len() <= self.retain {
+            return Ok(());
+        }
+        // `list_slots` sorts ascending (zero-padded names), so the excess
+        // prefix is the oldest.
+        let excess = slots.len() - self.retain;
+        for name in slots.drain(..excess) {
+            if Some(&name) == keep.as_ref() {
+                continue;
+            }
+            io.remove(&self.dir.join(&name))?;
+        }
+        Ok(())
+    }
+
+    fn list_slots(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                if let Some(name) = e.file_name().to_str() {
+                    if name.starts_with("ckpt-") && name.ends_with(".prim") {
+                        out.push(name.to_string());
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn pointer_target(&self) -> Option<String> {
+        let raw = std::fs::read(self.dir.join(LATEST)).ok()?;
+        let name = String::from_utf8(raw).ok()?;
+        let name = name.trim().to_string();
+        if name.is_empty() {
+            None
+        } else {
+            Some(name)
+        }
+    }
+
+    /// Resolves the newest valid checkpoint: the `LATEST` target if it
+    /// decodes, otherwise the newest slot that does (a corrupted or
+    /// missing slot falls back to its predecessor). `Ok(None)` means no
+    /// valid checkpoint exists yet — a fresh start.
+    pub fn latest_valid(&self) -> Option<(PathBuf, PrimCheckpoint)> {
+        if let Some(name) = self.pointer_target() {
+            let path = self.dir.join(&name);
+            if let Ok(ckpt) = load_raw(&path).and_then(decode_checkpoint) {
+                return Some((path, ckpt));
+            }
+        }
+        for name in self.list_slots().into_iter().rev() {
+            let path = self.dir.join(&name);
+            if let Ok(ckpt) = load_raw(&path).and_then(decode_checkpoint) {
+                return Some((path, ckpt));
+            }
+        }
+        None
+    }
+
+    /// Like [`CkptRotator::latest_valid`] but surfacing *why* the pointer
+    /// target failed, for callers that want to log recovery decisions.
+    pub fn pointer_error(&self) -> Option<CkptError> {
+        let name = self.pointer_target()?;
+        load_raw(self.dir.join(&name))
+            .and_then(decode_checkpoint)
+            .err()
+    }
+}

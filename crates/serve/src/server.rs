@@ -5,29 +5,83 @@
 //! output); the TCP server spawns one worker thread per connection, which
 //! is what makes the [`crate::engine::Batcher`] useful — concurrent
 //! connections' point lookups coalesce into shared kernel calls.
+//!
+//! ## Failure semantics
+//!
+//! A client that vanishes — broken pipe, connection reset, aborted, or a
+//! half-written line at EOF — is *routine*, not an error: both front ends
+//! log a structured `client_disconnect` event, bump
+//! `Counter::ServeDisconnects`, and keep the server healthy. When
+//! [`crate::proto::ServeLimits`] sets a `read_timeout`, a connection that
+//! stalls mid-line is closed (counted under `Counter::ServeDeadlines`)
+//! instead of pinning its worker thread forever, and each complete request
+//! line is stamped with its deadline the moment it arrives.
 
-use crate::proto::{handle_line, ServeCtx};
-use std::io::{BufRead, BufReader, Write};
+use crate::proto::{handle_request, ServeCtx};
+use prim_obs::json;
+use prim_obs::Counter;
+use std::io::{BufRead, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// True for I/O errors that mean "the peer went away" rather than "the
+/// server is broken".
+fn is_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// Logs the structured disconnect event and counts it.
+fn note_disconnect(ctx: &ServeCtx, front: &str, e: &std::io::Error) {
+    ctx.engine().recorder().add(Counter::ServeDisconnects, 1);
+    eprintln!(
+        "{}",
+        json::obj(&[
+            ("event", json::str("client_disconnect")),
+            ("front", json::str(front)),
+            ("kind", json::str(&format!("{:?}", e.kind()))),
+        ])
+    );
+}
 
 /// Runs the protocol over any line-based reader/writer pair until EOF or a
-/// `shutdown` op. Each request line produces exactly one response line.
+/// `shutdown` op. Each request line produces exactly one response line. A
+/// peer that disappears mid-stream (broken pipe on either side) ends the
+/// loop cleanly — logged and counted, not an error.
 pub fn serve_stdin(
     ctx: &ServeCtx,
     reader: impl BufRead,
     mut writer: impl Write,
 ) -> std::io::Result<()> {
     for line in reader.lines() {
-        let line = line?;
+        let line = match line {
+            Ok(l) => l,
+            Err(e) if is_disconnect(&e) => {
+                note_disconnect(ctx, "stdin", &e);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let handled = handle_line(ctx, &line);
-        writeln!(writer, "{}", handled.response)?;
-        writer.flush()?;
+        let deadline = ctx.limits.deadline.map(|d| Instant::now() + d);
+        let handled = handle_request(ctx, &line, deadline);
+        let wrote = writeln!(writer, "{}", handled.response).and_then(|_| writer.flush());
+        if let Err(e) = wrote {
+            if is_disconnect(&e) {
+                note_disconnect(ctx, "stdin", &e);
+                return Ok(());
+            }
+            return Err(e);
+        }
         if handled.shutdown {
             break;
         }
@@ -79,9 +133,14 @@ impl TcpServer {
                         .name("prim-serve-conn".into())
                         .spawn(move || {
                             if let Err(e) = Self::serve_conn(&ctx, stream, &stop) {
-                                // A dropped client mid-response is routine;
-                                // the server keeps accepting.
-                                eprintln!("prim-serve: connection error: {e}");
+                                if is_disconnect(&e) {
+                                    // A dropped client mid-request or
+                                    // mid-response is routine; the server
+                                    // keeps accepting.
+                                    note_disconnect(&ctx, "tcp", &e);
+                                } else {
+                                    eprintln!("prim-serve: connection error: {e}");
+                                }
                             }
                         })
                         .expect("spawn connection worker");
@@ -101,24 +160,78 @@ impl TcpServer {
         Ok(())
     }
 
+    /// One connection's request/response loop. Reads raw bytes (rather
+    /// than `BufRead::lines`) so a read timeout can distinguish an *idle*
+    /// connection (fine — poll the stop flag and keep waiting) from one
+    /// *stalled mid-line* (a slow-loris hold on a worker thread — close
+    /// it and count a deadline).
     fn serve_conn(ctx: &ServeCtx, stream: TcpStream, stop: &AtomicBool) -> std::io::Result<()> {
+        stream.set_read_timeout(ctx.limits.read_timeout)?;
+        stream.set_write_timeout(ctx.limits.write_timeout)?;
         let mut writer = stream.try_clone()?;
-        let reader = BufReader::new(stream);
-        for line in reader.lines() {
-            let line = line?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let handled = handle_line(ctx, &line);
-            writeln!(writer, "{}", handled.response)?;
-            writer.flush()?;
-            if handled.shutdown {
-                // Shutdown is server-wide: every connection's `shutdown`
-                // op stops the accept loop, mirroring the stdin front end.
-                stop.store(true, Ordering::SeqCst);
-                break;
+        let mut reader = stream;
+        let mut pending: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match reader.read(&mut chunk) {
+                Ok(0) => {
+                    if !pending.iter().all(|b| b.is_ascii_whitespace()) {
+                        // EOF mid-line: the client died mid-request.
+                        note_disconnect(
+                            ctx,
+                            "tcp",
+                            &std::io::Error::from(std::io::ErrorKind::UnexpectedEof),
+                        );
+                    }
+                    return Ok(());
+                }
+                Ok(n) => {
+                    pending.extend_from_slice(&chunk[..n]);
+                    while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+                        let raw: Vec<u8> = pending.drain(..=pos).collect();
+                        let text = String::from_utf8_lossy(&raw);
+                        let line = text.trim();
+                        if line.is_empty() {
+                            continue;
+                        }
+                        // The deadline clock starts when the full request
+                        // line is in hand.
+                        let deadline = ctx.limits.deadline.map(|d| Instant::now() + d);
+                        let handled = handle_request(ctx, line, deadline);
+                        writeln!(writer, "{}", handled.response)?;
+                        writer.flush()?;
+                        if handled.shutdown {
+                            // Shutdown is server-wide: every connection's
+                            // `shutdown` op stops the accept loop,
+                            // mirroring the stdin front end.
+                            stop.store(true, Ordering::SeqCst);
+                            return Ok(());
+                        }
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if !pending.is_empty() {
+                        ctx.engine().recorder().add(Counter::ServeDeadlines, 1);
+                        eprintln!(
+                            "{}",
+                            json::obj(&[
+                                ("event", json::str("stalled_connection_closed")),
+                                ("pending_bytes", json::int(pending.len() as u64)),
+                            ])
+                        );
+                        return Ok(());
+                    }
+                    if stop.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
             }
         }
-        Ok(())
     }
 }

@@ -1,0 +1,123 @@
+//! The checkpoint decode taxonomy is *total*: any truncation or byte flip
+//! of a valid `prim-ckpt/v1` file must produce a structured [`CkptError`]
+//! — never a panic and never a silent success. The on-disk format is the
+//! crash-recovery trust boundary, so these properties are what lets
+//! `latest_valid` treat "decodes" as "safe to resume from".
+
+use prim_core::{ModelInputs, PrimConfig, PrimModel};
+use prim_data::{Dataset, Scale};
+use prim_serve::{decode_bytes, encode_checkpoint, CkptError};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One small, fully valid checkpoint shared by every property below.
+fn valid() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let ds = Dataset::beijing(Scale::Quick).subsample(0.1, 3);
+        let cfg = PrimConfig {
+            dim: 8,
+            cat_dim: 4,
+            epochs: 1,
+            val_check_every: 0,
+            ..PrimConfig::quick()
+        };
+        let inputs = ModelInputs::build(
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            ds.graph.edges(),
+            None,
+            &cfg,
+        );
+        let model = PrimModel::new(cfg, &inputs);
+        encode_checkpoint(
+            "fuzz",
+            &model,
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            &ds.relation_names,
+            None,
+        )
+    })
+}
+
+#[test]
+fn the_fixture_itself_decodes() {
+    let raw = decode_bytes(valid()).expect("pristine checkpoint decodes");
+    assert_eq!(raw.header_str("run").unwrap(), "fuzz");
+}
+
+#[test]
+fn empty_input_is_a_truncation_error() {
+    match decode_bytes(&[]) {
+        Err(CkptError::Truncated { .. }) => {}
+        Err(e) => panic!("empty input must be Truncated, got {e:?}"),
+        Ok(_) => panic!("empty input decoded"),
+    }
+}
+
+#[test]
+fn foreign_bytes_are_bad_magic() {
+    match decode_bytes(b"definitely not a checkpoint file at all") {
+        Err(CkptError::BadMagic) => {}
+        Err(e) => panic!("foreign bytes must be BadMagic, got {e:?}"),
+        Ok(_) => panic!("foreign bytes decoded"),
+    }
+}
+
+#[test]
+fn future_version_is_a_version_skew_error() {
+    let mut bytes = valid().to_vec();
+    // Magic is 8 bytes; the version u32 follows it.
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    match decode_bytes(&bytes) {
+        Err(CkptError::VersionSkew { found, .. }) => assert_eq!(found, 99),
+        Err(e) => panic!("future version must be VersionSkew, got {e:?}"),
+        Ok(_) => panic!("future version decoded"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every proper prefix of a valid checkpoint fails with a structured
+    /// error — a torn write can never be mistaken for a complete file.
+    #[test]
+    fn any_truncation_is_a_structured_error(raw_cut in 0usize..1_000_000) {
+        let bytes = valid();
+        let cut = raw_cut % bytes.len(); // 0 <= cut < len: always a proper prefix
+        let result = decode_bytes(&bytes[..cut]);
+        prop_assert!(
+            result.is_err(),
+            "truncation at {cut}/{} decoded successfully",
+            bytes.len()
+        );
+    }
+
+    /// Every single-byte corruption of a valid checkpoint fails with a
+    /// structured error — the checksum (or an earlier field check) catches
+    /// silent bit rot anywhere in the file.
+    #[test]
+    fn any_byte_flip_is_a_structured_error(
+        raw_at in 0usize..1_000_000,
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = valid().to_vec();
+        let at = raw_at % bytes.len();
+        bytes[at] ^= mask;
+        let result = decode_bytes(&bytes);
+        prop_assert!(
+            result.is_err(),
+            "flip of byte {at} (mask {mask:#04x}) decoded successfully"
+        );
+    }
+
+    /// Arbitrary garbage never panics the decoder (errors are fine; a
+    /// crash is not — the server's `reload` op feeds it untrusted paths).
+    #[test]
+    fn arbitrary_bytes_never_panic(data in prop::collection::vec(0u8..=255, 0..256)) {
+        let _ = decode_bytes(&data);
+    }
+}

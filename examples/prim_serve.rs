@@ -13,14 +13,37 @@
 //! cargo run --release --example prim_serve -- serve-tcp /tmp/prim.ckpt 127.0.0.1:7391
 //! ```
 //!
+//! Resilience workflow (the CI chaos-smoke job drives exactly this):
+//!
+//! ```text
+//! # Crash-safe training into a rotation directory; a second invocation
+//! # resumes from the newest valid checkpoint, bitwise-identically:
+//! cargo run --release --example prim_serve -- train-resumable /tmp/prim-ckpts
+//!
+//! # Same, but die deterministically at file-operation N of the
+//! # checkpoint save sequence (exit code 3 simulates the crash):
+//! cargo run --release --example prim_serve -- train-resumable /tmp/prim-ckpts kill-at-op 12
+//!
+//! # Canned client traffic against a running TCP server (exits non-zero
+//! # if any request fails):
+//! cargo run --release --example prim_serve -- client 127.0.0.1:7391 200
+//!
+//! # Hot-swap the serving checkpoint without dropping connections:
+//! cargo run --release --example prim_serve -- reload 127.0.0.1:7391 /tmp/prim.ckpt
+//! ```
+//!
 //! The serving process never touches the training dataset: everything it
 //! needs — parameters, POI geometry, taxonomy, relation names, distance
 //! bins — comes out of the checkpoint. Set `PRIM_RUN_REPORT` to capture
 //! serve-phase telemetry (request/pair/batch/cache counters) as JSON lines.
 
-use prim::model::{fit, ModelInputs, PrimConfig, PrimModel};
+use prim::model::{fit, ModelInputs, NoopHook, PrimConfig, PrimModel};
 use prim::prelude::*;
-use prim::serve::{Batcher, EngineOpts, ServeCtx, TcpServer};
+use prim::serve::{
+    fit_resumable, fit_resumable_hooked, Batcher, ChaosIo, EngineOpts, FaultPlan, ResilienceOpts,
+    ResumeError, ServeCtx, TcpServer,
+};
+use std::io::{BufRead, BufReader, Write};
 use std::sync::Arc;
 
 fn main() {
@@ -29,11 +52,33 @@ fn main() {
         Some("train-save") if args.len() == 2 => train_save(&args[1]),
         Some("serve-stdin") if args.len() == 2 => serve_stdin_mode(&args[1]),
         Some("serve-tcp") if args.len() == 3 => serve_tcp_mode(&args[1], &args[2]),
+        Some("train-resumable") if args.len() == 2 => train_resumable(&args[1], None),
+        Some("train-resumable") if args.len() == 4 && args[2] == "kill-at-op" => {
+            let at: usize = args[3].parse().unwrap_or_else(|_| {
+                eprintln!("prim_serve: kill-at-op wants an integer, got {:?}", args[3]);
+                std::process::exit(2);
+            });
+            train_resumable(&args[1], Some(at))
+        }
+        Some("client") if args.len() == 3 => {
+            let count: usize = args[2].parse().unwrap_or_else(|_| {
+                eprintln!(
+                    "prim_serve: client wants a request count, got {:?}",
+                    args[2]
+                );
+                std::process::exit(2);
+            });
+            client_mode(&args[1], count)
+        }
+        Some("reload") if args.len() == 3 => reload_mode(&args[1], &args[2]),
         _ => {
             eprintln!(
                 "usage: prim_serve train-save <ckpt>\n       \
                  prim_serve serve-stdin <ckpt>\n       \
-                 prim_serve serve-tcp <ckpt> <addr>"
+                 prim_serve serve-tcp <ckpt> <addr>\n       \
+                 prim_serve train-resumable <dir> [kill-at-op <n>]\n       \
+                 prim_serve client <addr> <count>\n       \
+                 prim_serve reload <addr> <ckpt>"
             );
             std::process::exit(2);
         }
@@ -112,6 +157,182 @@ fn serve_stdin_mode(path: &str) {
         std::process::exit(1);
     });
     engine.recorder().finish();
+}
+
+/// Crash-safe training into a rotation directory. Rerunning after a crash
+/// (or a `kill-at-op` injection) resumes from the newest valid checkpoint
+/// and continues bitwise-identically to a run that never stopped. On
+/// completion a standalone serving checkpoint lands at `<dir>/final.ckpt`.
+fn train_resumable(dir: &str, kill_at_op: Option<usize>) {
+    let ds = Dataset::beijing(Scale::Quick).subsample(0.2, 5);
+    let cfg = PrimConfig {
+        dim: 16,
+        cat_dim: 8,
+        epochs: 8,
+        val_check_every: 0,
+        ..PrimConfig::quick()
+    };
+    let inputs = ModelInputs::build(
+        &ds.graph,
+        &ds.taxonomy,
+        &ds.attrs,
+        ds.graph.edges(),
+        None,
+        &cfg,
+    );
+    let mut model = PrimModel::new(cfg, &inputs);
+    let telemetry = Telemetry {
+        recorder: Recorder::from_env("prim-resumable"),
+        guard: FiniteGuard::every(1),
+    };
+    let opts = ResilienceOpts::default();
+    let result = match kill_at_op {
+        None => fit_resumable(
+            &mut model,
+            &inputs,
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            &ds.relation_names,
+            ds.graph.edges(),
+            None,
+            None,
+            dir.as_ref(),
+            &opts,
+            &telemetry,
+        ),
+        Some(at) => fit_resumable_hooked(
+            &mut model,
+            &inputs,
+            &ds.graph,
+            &ds.taxonomy,
+            &ds.attrs,
+            &ds.relation_names,
+            ds.graph.edges(),
+            None,
+            None,
+            dir.as_ref(),
+            &opts,
+            &telemetry,
+            &mut NoopHook,
+            &ChaosIo::with_plan(FaultPlan::kill_at(at)),
+        ),
+    };
+    match result {
+        Ok(run) => {
+            match run.resumed_from {
+                Some(epoch) => eprintln!(
+                    "resumed from epoch {epoch}, finished {} epochs (final loss {:.4}, {} rollbacks)",
+                    run.report.losses.len(),
+                    run.report.final_loss(),
+                    run.rollbacks
+                ),
+                None => eprintln!(
+                    "trained {} epochs from scratch (final loss {:.4}, {} rollbacks)",
+                    run.report.losses.len(),
+                    run.report.final_loss(),
+                    run.rollbacks
+                ),
+            }
+            let final_path = std::path::Path::new(dir).join("final.ckpt");
+            prim::serve::save_checkpoint(
+                &final_path,
+                "prim-resumable",
+                &model,
+                &ds.graph,
+                &ds.taxonomy,
+                &ds.attrs,
+                &ds.relation_names,
+            )
+            .unwrap_or_else(|e| {
+                eprintln!("prim_serve: saving {}: {e}", final_path.display());
+                std::process::exit(1);
+            });
+            eprintln!("serving checkpoint written to {}", final_path.display());
+            telemetry.recorder.finish();
+        }
+        Err(ResumeError::Io(e)) if kill_at_op.is_some() => {
+            // The injected kill fired: the process "died" mid-save. The
+            // rotation directory still resolves to a valid checkpoint.
+            eprintln!("injected crash: {e}");
+            let rot = prim::serve::CkptRotator::new(std::path::Path::new(dir), opts.retain)
+                .expect("rotation dir exists");
+            match rot.latest_valid() {
+                Some((path, _)) => eprintln!("durable checkpoint: {}", path.display()),
+                None => eprintln!("no durable checkpoint yet (crash before first save)"),
+            }
+            std::process::exit(3);
+        }
+        Err(e) => {
+            eprintln!("prim_serve: resumable training failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Canned score traffic against a running TCP server: `count` requests on
+/// one connection, deterministic POI pairs. Exits non-zero if any request
+/// fails — the CI reload-under-traffic check keys off this.
+fn client_mode(addr: &str, count: usize) {
+    let stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("prim_serve: connecting {addr}: {e}");
+        std::process::exit(1);
+    });
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+
+    // Size the pair pool from the server's own health report.
+    writer.write_all(b"{\"op\": \"health\"}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let n_pois = line
+        .split("\"n_pois\": ")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or_else(|| {
+            eprintln!("prim_serve: bad health response: {}", line.trim());
+            std::process::exit(1);
+        });
+
+    let mut failures = 0usize;
+    for i in 0..count {
+        let src = (i as u64 * 7 + 3) % n_pois;
+        let dst = (i as u64 * 13 + 11) % n_pois;
+        let req = format!("{{\"op\": \"score\", \"src\": {src}, \"dst\": {dst}}}\n");
+        writer.write_all(req.as_bytes()).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        if !line.contains("\"ok\": true") {
+            failures += 1;
+            eprintln!("request {i} failed: {}", line.trim());
+        }
+    }
+    println!("{} ok, {failures} failed", count - failures);
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Sends a hot-reload request to a running TCP server.
+fn reload_mode(addr: &str, ckpt: &str) {
+    let stream = std::net::TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("prim_serve: connecting {addr}: {e}");
+        std::process::exit(1);
+    });
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let req = format!(
+        "{{\"op\": \"reload\", \"path\": \"{}\"}}\n",
+        ckpt.replace('\\', "/")
+    );
+    writer.write_all(req.as_bytes()).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    println!("{}", line.trim());
+    if !line.contains("\"ok\": true") {
+        std::process::exit(1);
+    }
 }
 
 fn serve_tcp_mode(path: &str, addr: &str) {

@@ -35,6 +35,28 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl StdRng {
+    /// Captures the full generator state. Restoring via
+    /// [`StdRng::from_state`] continues the exact output stream, which is
+    /// what checkpoint/resume needs for bitwise-identical training.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a captured state.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        // The all-zero state is xoshiro's absorbing fixed point; it can
+        // only arrive here through corrupted checkpoint data, so map it to
+        // the same escape value seeding uses.
+        if s == [0, 0, 0, 0] {
+            return StdRng {
+                s: [0x9E3779B97F4A7C15, 0, 0, 0],
+            };
+        }
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
