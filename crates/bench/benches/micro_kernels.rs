@@ -186,12 +186,17 @@ impl SerialParRecord {
 /// segment-sum, the segment-softmax reduction pair, and the gather-rows
 /// backward scatter-add. Every comparison asserts bitwise parity — the
 /// output-partitioned kernels must match the serial references exactly at
-/// any thread count (DESIGN.md §7).
-fn bench_segment_parallel(par_threads: usize, out: &mut Vec<SerialParRecord>) {
+/// any thread count (DESIGN.md §7). Sizes below `SEG_PAR_MIN_WORK` take the
+/// serial path inside the parallel entry points, so small reductions can
+/// never lose to their references.
+fn bench_segment_parallel(
+    par_threads: usize,
+    n_edges: usize,
+    n_nodes: usize,
+    d: usize,
+    out: &mut Vec<SerialParRecord>,
+) {
     let mut rng = TestRng::new(3);
-    let n_edges = 40_000;
-    let n_nodes = 2_000;
-    let d = 32;
     let x = rng.matrix(n_edges, d);
     let seg: Vec<usize> = (0..n_edges).map(|_| rng.below(n_nodes)).collect();
     let plan = SegmentPlan::new(seg.clone(), n_nodes);
@@ -215,7 +220,7 @@ fn bench_segment_parallel(par_threads: usize, out: &mut Vec<SerialParRecord>) {
         segment_sum_into(&x, &plan, &mut par);
     });
     out.push(SerialParRecord {
-        name: format!("segment_sum_{}k_edges_d{d}", n_edges / 1000),
+        name: format!("segment_sum_{n_edges}_edges_d{d}"),
         serial_s,
         parallel_s,
         threads: par_threads,
@@ -261,7 +266,7 @@ fn bench_segment_parallel(par_threads: usize, out: &mut Vec<SerialParRecord>) {
     kernel::set_threads(par_threads);
     let parallel_s = best_of(reps, || softmax_parallel(&mut y_par, &mut stats));
     out.push(SerialParRecord {
-        name: format!("segment_softmax_{}k_edges", n_edges / 1000),
+        name: format!("segment_softmax_{n_edges}_edges"),
         serial_s,
         parallel_s,
         threads: par_threads,
@@ -288,7 +293,7 @@ fn bench_segment_parallel(par_threads: usize, out: &mut Vec<SerialParRecord>) {
         segment_sum_into(&upstream, &plan, &mut da_par);
     });
     out.push(SerialParRecord {
-        name: format!("gather_backward_scatter_add_{}k_d{d}", n_edges / 1000),
+        name: format!("gather_backward_scatter_add_{n_edges}_d{d}"),
         serial_s,
         parallel_s,
         threads: par_threads,
@@ -458,6 +463,7 @@ fn bench_train_epoch(par_threads: usize) -> String {
         ("n_triples", json::num(batch.len() as f64)),
         ("n_pois", json::num(inputs.n_pois as f64)),
         ("threads", json::num(par_threads as f64)),
+        ("hw_threads", json::num(hw_threads() as f64)),
         ("first_step_allocs", json::num(first_step_allocs as f64)),
         ("steady_allocs_per_step", json::num(steady_allocs as f64)),
         ("alloc_budget", json::num(STEADY_ALLOC_BUDGET as f64)),
@@ -472,6 +478,112 @@ fn bench_train_epoch(par_threads: usize) -> String {
     ])
 }
 
+/// Physical threads the host offers — recorded alongside every timing so
+/// speedups are read in context (a 1-core CI box cannot show parallel wins;
+/// the CI bench-regression gate runs on multi-core runners).
+fn hw_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Thread-scaling sweep of the pooled training step on the synthetic
+/// Singapore-scale generator (`Dataset::scalability`): one fixed triple
+/// batch, measured at 1/2/4/8 threads. `PRIM_BENCH_SCALE=full` runs the
+/// 100k-POI city of the paper's scalability study; the default quick scale
+/// keeps CI fast with a 20k-POI city.
+fn bench_train_scaling() -> String {
+    let (n_pois, rel_per_poi, max_triples) = match Scale::from_env() {
+        Scale::Full => (100_000, 8, 262_144),
+        Scale::Quick => (20_000, 4, 65_536),
+    };
+    let ds = Dataset::scalability(n_pois, rel_per_poi, 6);
+    let cfg = PrimConfig::quick();
+    let inputs = ModelInputs::build(
+        &ds.graph,
+        &ds.taxonomy,
+        &ds.attrs,
+        ds.graph.edges(),
+        None,
+        &cfg,
+    );
+    let mut model = PrimModel::new(cfg, &inputs);
+
+    let mut rng = StdRng::seed_from_u64(17);
+    let known = ds.graph.edge_key_set();
+    let et = sample_epoch_triples(
+        &ds.graph,
+        ds.graph.edges(),
+        inputs.n_pois,
+        inputs.n_relations,
+        model.config().omega,
+        None,
+        &known,
+        &mut rng,
+    );
+    let n = et.src.len().min(max_triples);
+    let src: Vec<usize> = et.src[..n].iter().map(|p| p.0 as usize).collect();
+    let dst: Vec<usize> = et.dst[..n].iter().map(|p| p.0 as usize).collect();
+    let bins: Vec<usize> = (0..n)
+        .map(|k| inputs.pair_bin(et.src[k], et.dst[k], model.config()))
+        .collect();
+    let batch = TripleBatch::new(
+        &model,
+        &inputs,
+        &src,
+        &et.rel[..n],
+        &dst,
+        &bins,
+        &et.labels[..n],
+    );
+    let grad_clip = model.config().grad_clip;
+    let mut adam = Adam::new(model.config().lr).with_weight_decay(model.config().weight_decay);
+    let mut g = Graph::new();
+
+    // Warm the tape arena and the worker pool before timing.
+    kernel::set_threads(1);
+    train_step(&mut model, &inputs, &mut g, &mut adam, &batch, grad_clip);
+    train_step(&mut model, &inputs, &mut g, &mut adam, &batch, grad_clip);
+
+    let reps = 3;
+    let sweep = [1usize, 2, 4, 8];
+    let mut times = Vec::new();
+    for &threads in &sweep {
+        kernel::set_threads(threads);
+        times.push(best_of(reps, || {
+            train_step(&mut model, &inputs, &mut g, &mut adam, &batch, grad_clip)
+        }));
+    }
+    kernel::set_threads(0);
+    let serial_s = times[0];
+
+    let mut t = Table::new(
+        format!("Pooled train step scaling ({n_pois} synthetic POIs)"),
+        &["threads", "ms", "speedup vs 1 thread"],
+    );
+    let mut entries = Vec::new();
+    for (&threads, &s) in sweep.iter().zip(&times) {
+        t.row(&[
+            format!("{threads}"),
+            format!("{:.3}", s * 1e3),
+            format!("{:.2}x", serial_s / s),
+        ]);
+        entries.push(json::obj(&[
+            ("threads", json::num(threads as f64)),
+            ("ms", json::num(s * 1e3)),
+            ("speedup_vs_serial", json::num(serial_s / s)),
+        ]));
+    }
+    emit(&t);
+
+    json::obj(&[
+        ("n_pois", json::num(n_pois as f64)),
+        ("n_triples", json::num(batch.len() as f64)),
+        ("hw_threads", json::num(hw_threads() as f64)),
+        ("entries", json::arr(&entries)),
+    ])
+}
+
 fn main() {
     prim_bench::ensure_run_report("micro_kernels");
     let threads = kernel::configured_threads();
@@ -481,7 +593,11 @@ fn main() {
     bench_matmuls(512, 512, 512, 4, &mut matmuls);
 
     let mut segments = Vec::new();
-    bench_segment_parallel(par_threads, &mut segments);
+    // One size well above the SEG_PAR_MIN_WORK threshold (parallel path) and
+    // one below it (the parallel entry points fall through to the serial
+    // loop, so small reductions pay no pool overhead).
+    bench_segment_parallel(par_threads, 40_000, 2_000, 32, &mut segments);
+    bench_segment_parallel(par_threads, 4_000, 500, 8, &mut segments);
 
     let mut others = Vec::new();
     bench_model_paths(&mut others);
@@ -541,6 +657,7 @@ fn main() {
 
     let section = json::obj(&[
         ("threads", json::num(threads as f64)),
+        ("hw_threads", json::num(hw_threads() as f64)),
         (
             "matmul",
             json::arr(&matmuls.iter().map(MatmulRecord::json).collect::<Vec<_>>()),
@@ -564,6 +681,8 @@ fn main() {
 
     let train_section = bench_train_epoch(par_threads);
     json::update_section(&path, "train_epoch", &train_section);
+    let scaling_section = bench_train_scaling();
+    json::update_section(&path, "train_scaling", &scaling_section);
     println!(
         "micro_kernels: parity, speedup and allocation checks passed; recorded to {}",
         path.display()

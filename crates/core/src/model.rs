@@ -25,6 +25,7 @@ use crate::inputs::ModelInputs;
 use prim_graph::PoiId;
 use prim_nn::{init, Binding, ParamId, ParamStore};
 use prim_tensor::kernel;
+use prim_tensor::{pool, segment, stable_sigmoid};
 use prim_tensor::{Graph, Matrix, SegmentPlan, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -434,6 +435,180 @@ impl PrimModel {
         g.rows_dot(lhs, h_dst)
     }
 
+    /// Batch-parallel scoring + BCE: the per-triple subgraph of
+    /// [`PrimModel::score_triples_batch`] (Eq. 11-12) differentiated by hand
+    /// across worker-pool shards instead of built on the tape.
+    ///
+    /// The encoder forward stays on the tape; this routine reads `h_final`,
+    /// `rel_score` and the normalised bin normals, computes per-triple logits
+    /// and their gradients in fixed-size shards (each shard owns a disjoint
+    /// row range of the output buffers, so writes never race), then reduces
+    /// the per-triple rows into per-parameter-node seeds with the batch's
+    /// [`SegmentPlan`]s in a fixed order: src rows, then dst rows, then
+    /// relation rows, then bin rows. Shard boundaries depend only on the
+    /// batch size — never the thread count — so the result is bitwise
+    /// identical for any pool size. Feed the returned seeds to
+    /// [`Graph::backward_seeded`] to continue the reverse pass through the
+    /// encoder.
+    ///
+    /// Returns the mean BCE loss and the gradient seeds
+    /// `(h_final, rel_score[, wn])`.
+    pub fn scored_loss_parallel(
+        &self,
+        g: &mut Graph,
+        bind: &Binding,
+        fwd: &ForwardOutput,
+        batch: &TripleBatch,
+    ) -> (f32, Vec<(Var, Matrix)>) {
+        /// Triples per parallel job; a shape-only constant (determinism).
+        const SHARD: usize = 2048;
+        let n = batch.len();
+        assert!(n > 0, "scored_loss_parallel: empty batch");
+        let use_dist = self.cfg.use_distance_scoring;
+        let wn_var = if use_dist {
+            Some(g.normalize_rows(bind.var(self.w_bins)))
+        } else {
+            None
+        };
+        let (n_pois, d) = g.shape(fwd.h_final);
+        let rel_shape = g.shape(fwd.rel_score);
+
+        // Per-triple gradient rows; row `t` is written by exactly one shard.
+        let mut d_src_rows = g.scratch_uninit(n, d);
+        let mut d_dst_rows = g.scratch_uninit(n, d);
+        let mut d_rel_rows = g.scratch_uninit(n, d);
+        let mut d_wn_rows = if use_dist {
+            Some(g.scratch_uninit(n, d))
+        } else {
+            None
+        };
+
+        let n_shards = n.div_ceil(SHARD);
+        let mut shard_loss = vec![0.0f64; n_shards];
+        {
+            let h = g.value(fwd.h_final).data();
+            let rel = g.value(fwd.rel_score).data();
+            let wn = wn_var.map(|v| g.value(v).data());
+            let src_of = batch.src.segment_of_row();
+            let rel_of = batch.rel.segment_of_row();
+            let dst_of = batch.dst.segment_of_row();
+            let bins_of = batch.bins.segment_of_row();
+            let targets = &batch.targets[..];
+            let p_src = pool::SendPtr::new(d_src_rows.data_mut().as_mut_ptr());
+            let p_dst = pool::SendPtr::new(d_dst_rows.data_mut().as_mut_ptr());
+            let p_rel = pool::SendPtr::new(d_rel_rows.data_mut().as_mut_ptr());
+            let p_wn = d_wn_rows
+                .as_mut()
+                .map(|m| pool::SendPtr::new(m.data_mut().as_mut_ptr()));
+            let p_loss = pool::SendPtr::new(shard_loss.as_mut_ptr());
+            let inv_n = 1.0 / n as f32;
+            pool::run(n_shards, |shard| {
+                let t0 = shard * SHARD;
+                let t1 = n.min(t0 + SHARD);
+                let mut partial = 0.0f64;
+                pool::with_scratch(|scratch| {
+                    let mut ps = scratch.take(d);
+                    let mut pd = scratch.take(d);
+                    let mut dps = scratch.take(d);
+                    let mut dpd = scratch.take(d);
+                    for t in t0..t1 {
+                        let hs = &h[src_of[t] * d..src_of[t] * d + d];
+                        let hd = &h[dst_of[t] * d..dst_of[t] * d + d];
+                        let hr = &rel[rel_of[t] * d..rel_of[t] * d + d];
+                        let w = wn.map(|wn| &wn[bins_of[t] * d..bins_of[t] * d + d]);
+                        // Forward: hyperplane projection (Eq. 11) …
+                        let (mut a_s, mut a_d) = (0.0f32, 0.0f32);
+                        if let Some(w) = w {
+                            for k in 0..d {
+                                a_s += hs[k] * w[k];
+                                a_d += hd[k] * w[k];
+                            }
+                            for k in 0..d {
+                                ps[k] = hs[k] - a_s * w[k];
+                                pd[k] = hd[k] - a_d * w[k];
+                            }
+                        } else {
+                            ps.copy_from_slice(hs);
+                            pd.copy_from_slice(hd);
+                        }
+                        // … then the DistMult logit, in the tape's k-order
+                        // (`mul` then `rows_dot`: `(ps·hr)·pd` per element).
+                        let mut x = 0.0f32;
+                        for k in 0..d {
+                            x += ps[k] * hr[k] * pd[k];
+                        }
+                        let y = targets[t];
+                        // max(x,0) - x*y + ln(1 + exp(-|x|)), as the tape's BCE.
+                        partial += (x.max(0.0) - x * y + (-x.abs()).exp().ln_1p()) as f64;
+                        let gl = (stable_sigmoid(x) - y) * inv_n;
+                        // SAFETY (all raw writes below): row `t` of each
+                        // buffer and slot `shard` of the loss partials belong
+                        // to this shard alone, and `pool::run` joins every
+                        // job before the enclosing borrows end.
+                        let d_src =
+                            unsafe { std::slice::from_raw_parts_mut(p_src.get().add(t * d), d) };
+                        let d_dst =
+                            unsafe { std::slice::from_raw_parts_mut(p_dst.get().add(t * d), d) };
+                        let d_rel =
+                            unsafe { std::slice::from_raw_parts_mut(p_rel.get().add(t * d), d) };
+                        for k in 0..d {
+                            dps[k] = gl * hr[k] * pd[k];
+                            dpd[k] = gl * ps[k] * hr[k];
+                            d_rel[k] = gl * ps[k] * pd[k];
+                        }
+                        if let (Some(w), Some(p_wn)) = (w, &p_wn) {
+                            let d_wn =
+                                unsafe { std::slice::from_raw_parts_mut(p_wn.get().add(t * d), d) };
+                            // p = x - (x·w)w  ⇒  dx = dp - (dp·w)w and
+                            // dw = -(x·w)dp - (dp·w)x, summed over both ends.
+                            let (mut g_s, mut g_d) = (0.0f32, 0.0f32);
+                            for k in 0..d {
+                                g_s += dps[k] * w[k];
+                                g_d += dpd[k] * w[k];
+                            }
+                            for k in 0..d {
+                                d_src[k] = dps[k] - g_s * w[k];
+                                d_dst[k] = dpd[k] - g_d * w[k];
+                                d_wn[k] = -a_s * dps[k] - g_s * hs[k] - a_d * dpd[k] - g_d * hd[k];
+                            }
+                        } else {
+                            d_src.copy_from_slice(&dps);
+                            d_dst.copy_from_slice(&dpd);
+                        }
+                    }
+                    scratch.put(ps);
+                    scratch.put(pd);
+                    scratch.put(dps);
+                    scratch.put(dpd);
+                });
+                unsafe { *p_loss.get().add(shard) = partial };
+            });
+        }
+
+        // Deterministic fixed-order accumulation into the gradient seeds:
+        // src rows, then dst rows, into the shared `h_final` seed; relation
+        // and bin rows into theirs. `segment_sum_into` adds segment rows in
+        // ascending order regardless of thread count.
+        let mut d_h = g.scratch_zeroed(n_pois, d);
+        segment::segment_sum_into(&d_src_rows, &batch.src, &mut d_h);
+        segment::segment_sum_into(&d_dst_rows, &batch.dst, &mut d_h);
+        let mut d_rel = g.scratch_zeroed(rel_shape.0, rel_shape.1);
+        segment::segment_sum_into(&d_rel_rows, &batch.rel, &mut d_rel);
+        g.give_back(d_src_rows);
+        g.give_back(d_dst_rows);
+        g.give_back(d_rel_rows);
+        let mut seeds = vec![(fwd.h_final, d_h), (fwd.rel_score, d_rel)];
+        if let (Some(wv), Some(rows)) = (wn_var, d_wn_rows) {
+            let (wr, wc) = g.shape(wv);
+            let mut d_wn = g.scratch_zeroed(wr, wc);
+            segment::segment_sum_into(&rows, &batch.bins, &mut d_wn);
+            g.give_back(rows);
+            seeds.push((wv, d_wn));
+        }
+        let loss = (shard_loss.iter().sum::<f64>() / n as f64) as f32;
+        (loss, seeds)
+    }
+
     /// Runs a gradient-free forward pass and detaches all embeddings.
     pub fn embed(&self, inputs: &ModelInputs) -> EmbeddingTable {
         let mut g = Graph::new();
@@ -675,5 +850,99 @@ mod tests {
         // Independent category table has fewer rows than the taxonomy table
         // (leaves only vs leaves + hypernyms + root).
         assert!(no_tax.num_parameters() < full.num_parameters());
+    }
+
+    /// A small mixed batch touching φ, several bins and repeated endpoints
+    /// (so the seed reductions actually accumulate).
+    fn parity_batch(model: &PrimModel, inputs: &ModelInputs) -> TripleBatch {
+        let src = [0usize, 1, 2, 3, 0, 5, 1, 4];
+        let rel = [0usize, 1, model.phi(), 0, 1, 0, model.phi(), 1];
+        let dst = [3usize, 4, 5, 0, 2, 1, 4, 0];
+        let bins = [0usize, 1, 2, 3, 0, 2, 1, 3];
+        let labels = [1.0f32, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0];
+        TripleBatch::new(model, inputs, &src, &rel, &dst, &bins, &labels)
+    }
+
+    #[test]
+    fn parallel_scorer_matches_tape_gradients() {
+        let (_, cfg, inputs) = tiny();
+        // Two identically seeded models: one differentiates the scoring
+        // subgraph on the tape, the other through the batch-parallel path.
+        let mut tape = PrimModel::new(cfg.clone(), &inputs);
+        let mut par = PrimModel::new(cfg, &inputs);
+        let batch = parity_batch(&tape, &inputs);
+
+        let mut g = Graph::new();
+        let bind = tape.store.bind(&mut g);
+        let fwd = tape.forward(&mut g, &bind, &inputs);
+        let logits = tape.score_triples_batch(&mut g, &bind, &fwd, &batch);
+        let loss = g.bce_with_logits_shared(logits, &batch.targets);
+        let loss_tape = g.value(loss).scalar();
+        let grads = g.backward(loss);
+        tape.store.accumulate(&bind, &grads);
+
+        let mut g2 = Graph::new();
+        let bind2 = par.store.bind(&mut g2);
+        let fwd2 = par.forward(&mut g2, &bind2, &inputs);
+        let (loss_par, seeds) = par.scored_loss_parallel(&mut g2, &bind2, &fwd2, &batch);
+        let grads2 = g2.backward_seeded(seeds);
+        par.store.accumulate(&bind2, &grads2);
+
+        assert!(
+            (loss_tape - loss_par).abs() <= 1e-5 * loss_tape.abs().max(1.0),
+            "loss mismatch: tape {loss_tape} vs parallel {loss_par}"
+        );
+        // Op-order rounding differs between the two paths, so the comparison
+        // is approximate — but it covers every parameter group end to end.
+        for ((n1, g1m), (n2, g2m)) in tape.store.iter_grads().zip(par.store.iter_grads()) {
+            assert_eq!(n1, n2);
+            for (a, b) in g1m.data().iter().zip(g2m.data()) {
+                assert!(
+                    (a - b).abs() <= 1e-5 + 1e-4 * a.abs().max(b.abs()),
+                    "gradient mismatch in {n1}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scorer_is_bitwise_deterministic_across_thread_counts() {
+        let (_, cfg, inputs) = tiny();
+        let run = |threads: usize| {
+            kernel::set_threads(threads);
+            let mut model = PrimModel::new(cfg.clone(), &inputs);
+            // Big enough for several shards, so the pool genuinely fans out.
+            let n = 6000;
+            let (mut src, mut rel, mut dst, mut bins, mut labels) =
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+            for t in 0..n {
+                src.push((t * 7 + 1) % inputs.n_pois);
+                dst.push((t * 13 + 5) % inputs.n_pois);
+                rel.push(t % (model.phi() + 1));
+                bins.push(t % model.cfg.bins.len());
+                labels.push(if t % 3 == 0 { 1.0 } else { 0.0 });
+            }
+            let batch = TripleBatch::new(&model, &inputs, &src, &rel, &dst, &bins, &labels);
+            let mut g = Graph::new();
+            let bind = model.store.bind(&mut g);
+            let fwd = model.forward(&mut g, &bind, &inputs);
+            let (loss, seeds) = model.scored_loss_parallel(&mut g, &bind, &fwd, &batch);
+            let grads = g.backward_seeded(seeds);
+            model.store.accumulate(&bind, &grads);
+            let flat: Vec<f32> = model
+                .store
+                .iter_grads()
+                .flat_map(|(_, m)| m.data().to_vec())
+                .collect();
+            kernel::set_threads(1);
+            (loss, flat)
+        };
+        let (l1, g1) = run(1);
+        let (l2, g2) = run(2);
+        let (l8, g8) = run(8);
+        assert_eq!(l1.to_bits(), l2.to_bits());
+        assert_eq!(l1.to_bits(), l8.to_bits());
+        assert_eq!(g1, g2);
+        assert_eq!(g1, g8);
     }
 }

@@ -23,7 +23,7 @@ use crate::model::{PrimModel, TripleBatch};
 use prim_graph::{negative_sampled_triples, sample_non_relation_pairs, Edge, HeteroGraph, PoiId};
 use prim_nn::{Adam, AdamState};
 use prim_obs::{Counter, EpochRecord, Phase, Telemetry, TrainAbort};
-use prim_tensor::{Graph, Matrix};
+use prim_tensor::{kernel, pool, Graph, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -275,18 +275,37 @@ pub fn train_step_observed(
 ) -> Result<StepStats, TrainAbort> {
     let recorder = &telemetry.recorder;
     g.reset();
+    // Pool snapshots bracket the phases so the recorder sees per-phase
+    // worker utilization (share of job indices executed by pool workers
+    // rather than the submitting thread).
+    let step_pool = recorder.is_enabled().then(pool::stats);
     let fwd_t = recorder.phase(Phase::Forward);
     let bind = model.store.bind(g);
     let fwd = model.forward(g, &bind, inputs);
-    let logits = model.score_triples_batch(g, &bind, &fwd, batch);
-    let loss = g.bce_with_logits_shared(logits, &batch.targets);
-    let loss_val = g.value(loss).scalar();
+    // Scoring + BCE run batch-parallel off the tape; `backward_seeded`
+    // resumes the reverse pass through the encoder from the seeds.
+    let (loss_val, seeds) = model.scored_loss_parallel(g, &bind, &fwd, batch);
     drop(fwd_t);
+    let after_fwd = step_pool.map(|prev| {
+        let now = pool::stats();
+        if let Some(share) = now.worker_share_since(&prev) {
+            recorder.record_scalar("pool/forward_worker_share", share);
+        }
+        now
+    });
     let bwd_t = recorder.phase(Phase::Backward);
-    let grads = g.backward(loss);
+    let grads = g.backward_seeded(seeds);
     model.store.accumulate(&bind, &grads);
     g.recycle(grads);
     drop(bwd_t);
+    if let (Some(start), Some(prev)) = (step_pool, after_fwd) {
+        let now = pool::stats();
+        if let Some(share) = now.worker_share_since(&prev) {
+            recorder.record_scalar("pool/backward_worker_share", share);
+        }
+        recorder.add(Counter::PoolParallelRuns, now.parallel_runs_since(&start));
+        recorder.add(Counter::PoolInlineRuns, now.inline_runs_since(&start));
+    }
     if telemetry.guard.due(step) {
         recorder.add(Counter::GuardChecks, 1);
         for (name, grad) in model.store.iter_grads() {
@@ -579,6 +598,7 @@ pub fn fit_resumed(
     let mut g = Graph::new();
     for epoch in start_epoch..cfg.epochs {
         let t0 = Instant::now();
+        let epoch_pool = telemetry.recorder.is_enabled().then(pool::stats);
         hook.on_epoch_start(epoch, model);
         let sample_t = telemetry.recorder.phase(Phase::Sampling);
         let epoch_triples = sample_epoch_triples(
@@ -650,6 +670,16 @@ pub fn fit_resumed(
             }
             record.pooled_buffers = g.pooled_buffers();
             telemetry.recorder.record_epoch(record);
+            if let Some(prev) = epoch_pool {
+                let now = pool::stats();
+                let rec = &telemetry.recorder;
+                rec.record_scalar("pool/threads", kernel::configured_threads() as f64);
+                rec.record_scalar("pool/workers", now.workers as f64);
+                rec.record_scalar("pool/peak_queue_depth", now.peak_queue_depth as f64);
+                if let Some(share) = now.worker_share_since(&prev) {
+                    rec.record_scalar("pool/epoch_worker_share", share);
+                }
+            }
         }
 
         if let Some(val) = &val {

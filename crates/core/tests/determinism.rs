@@ -7,9 +7,13 @@
 //! pass and a full fixed-seed training epoch must produce identical bits on
 //! one thread and on a multi-thread pool.
 
-use prim_core::{fit, fit_observed, ModelInputs, PrimConfig, PrimModel, Recorder, Telemetry};
+use prim_core::{
+    fit, fit_hooked, fit_observed, FitCkptView, FitHook, ModelInputs, PrimConfig, PrimModel,
+    Recorder, ResumeState, Telemetry,
+};
 use prim_data::{Dataset, Scale};
 use prim_tensor::kernel;
+use std::ops::ControlFlow;
 
 fn setup() -> (Dataset, PrimConfig, ModelInputs) {
     let ds = Dataset::beijing(Scale::Quick).subsample(0.15, 11);
@@ -124,6 +128,72 @@ fn pooled_multi_epoch_training_is_bitwise_identical_across_thread_counts() {
         rels_1, rels_4,
         "pooled trained relation embeddings differ between 1 and 4 threads"
     );
+}
+
+/// Captures the final checkpointable view of a `fit` run.
+#[derive(Default)]
+struct CaptureState(Option<ResumeState>);
+
+impl FitHook for CaptureState {
+    fn on_epoch_start(&mut self, _epoch: usize, _model: &mut PrimModel) {}
+    fn on_epoch_end(&mut self, view: &FitCkptView<'_>) -> ControlFlow<()> {
+        self.0 = Some(view.resume_state());
+        ControlFlow::Continue(())
+    }
+}
+
+/// The strongest form of the contract, over the worker pool at 1, 2 and 8
+/// threads: not just losses and embeddings but the *complete* training
+/// state — every parameter matrix, both Adam moment buffers, and the RNG
+/// position after the final epoch's draws — must be bitwise identical.
+#[test]
+fn full_fit_state_is_bitwise_identical_at_1_2_and_8_threads() {
+    let run = |threads: usize| {
+        let (ds, cfg, inputs) = setup();
+        let cfg = PrimConfig { epochs: 3, ..cfg };
+        let mut model = PrimModel::new(cfg, &inputs);
+        let mut hook = CaptureState::default();
+        kernel::set_threads(threads);
+        fit_hooked(
+            &mut model,
+            &inputs,
+            &ds.graph,
+            ds.graph.edges(),
+            None,
+            None,
+            &Telemetry::disabled(),
+            &mut hook,
+        )
+        .expect("clean run must not abort");
+        kernel::set_threads(0);
+        let params: Vec<Vec<u32>> = model
+            .params()
+            .snapshot()
+            .iter()
+            .map(|m| bits(m.data()))
+            .collect();
+        let state = hook.0.expect("hook sees at least one epoch");
+        let moments: Vec<(Vec<u32>, Vec<u32>)> = state
+            .adam
+            .moments
+            .iter()
+            .map(|(m, v)| (bits(m.data()), bits(v.data())))
+            .collect();
+        (params, moments, state.rng, state.adam.t)
+    };
+
+    let (params_1, moments_1, rng_1, t_1) = run(1);
+    let (params_2, moments_2, rng_2, t_2) = run(2);
+    let (params_8, moments_8, rng_8, t_8) = run(8);
+
+    assert_eq!(params_1, params_2, "parameters drifted at 2 threads");
+    assert_eq!(params_1, params_8, "parameters drifted at 8 threads");
+    assert_eq!(moments_1, moments_2, "Adam moments drifted at 2 threads");
+    assert_eq!(moments_1, moments_8, "Adam moments drifted at 8 threads");
+    assert_eq!(rng_1, rng_2, "RNG position drifted at 2 threads");
+    assert_eq!(rng_1, rng_8, "RNG position drifted at 8 threads");
+    assert_eq!(t_1, t_2);
+    assert_eq!(t_1, t_8);
 }
 
 /// The telemetry layer must not perturb determinism, and the *recorded*

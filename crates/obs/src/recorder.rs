@@ -107,11 +107,16 @@ pub enum Counter {
     ServeDegraded,
     /// Hot checkpoint reloads applied through the engine slot.
     ServeReloads,
+    /// Parallel regions distributed to the tensor worker pool.
+    PoolParallelRuns,
+    /// Tensor parallel regions that took the inline/serial path (below
+    /// threshold, single job, nested, or serial config).
+    PoolInlineRuns,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 21] = [
         Counter::Steps,
         Counter::Epochs,
         Counter::TriplesSeen,
@@ -131,6 +136,8 @@ impl Counter {
         Counter::ServeDeadlines,
         Counter::ServeDegraded,
         Counter::ServeReloads,
+        Counter::PoolParallelRuns,
+        Counter::PoolInlineRuns,
     ];
 
     /// Stable snake-case name used in JSON reports.
@@ -155,6 +162,8 @@ impl Counter {
             Counter::ServeDeadlines => "serve_deadlines",
             Counter::ServeDegraded => "serve_degraded",
             Counter::ServeReloads => "serve_reloads",
+            Counter::PoolParallelRuns => "pool_parallel_runs",
+            Counter::PoolInlineRuns => "pool_inline_runs",
         }
     }
 }

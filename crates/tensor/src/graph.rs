@@ -811,13 +811,63 @@ impl Graph {
             (1, 1),
             "backward: loss must be a 1×1 scalar"
         );
+        let (mut grads, mut pool) = self.grad_slots();
+        grads[loss.0] = Some(pool.filled(1, 1, 1.0));
+        self.run_backward(loss.0, grads, pool)
+    }
+
+    /// Runs the reverse pass from externally supplied gradient *seeds*
+    /// instead of a scalar loss: each `(var, seed)` pair injects `seed` as
+    /// `dL/d(var)`, and the walk propagates from the highest seeded node
+    /// down. Seeds at the same `var` accumulate.
+    ///
+    /// This is the tape half of batch-level parallelism: the scoring
+    /// subgraph (gather → hyperplane projection → DistMult → BCE) is
+    /// differentiated off-tape, sharded across the worker pool, and its
+    /// reduced gradients re-enter here at the encoder outputs — the encoder
+    /// backward then proceeds exactly as if the scoring ops had been taped.
+    ///
+    /// Seed buffers should come from [`Graph::scratch_uninit`] /
+    /// [`Graph::scratch_zeroed`] so the round trip stays allocation-free;
+    /// they are consumed into the returned [`Gradients`] and recycled by
+    /// [`Graph::recycle`] as usual.
+    ///
+    /// # Panics
+    /// Panics if a seed's shape differs from its node's value shape.
+    pub fn backward_seeded(&mut self, seeds: Vec<(Var, Matrix)>) -> Gradients {
+        let (mut grads, mut pool) = self.grad_slots();
+        let mut top = 0usize;
+        for (var, seed) in seeds {
+            assert_eq!(
+                self.shape(var),
+                seed.shape(),
+                "backward_seeded: seed shape mismatch at node {}",
+                var.0
+            );
+            top = top.max(var.0);
+            Self::accumulate(&mut pool, &mut grads, var, seed);
+        }
+        self.run_backward(top, grads, pool)
+    }
+
+    /// Fresh (recycled) gradient-slot vector plus the pool, detached for a
+    /// backward walk.
+    fn grad_slots(&mut self) -> (Vec<Option<Matrix>>, BufferPool) {
         let mut grads = std::mem::take(&mut self.spare_grads);
         grads.clear();
         grads.resize_with(self.nodes.len(), || None);
-        let mut pool = std::mem::take(&mut self.pool);
-        grads[loss.0] = Some(pool.filled(1, 1, 1.0));
+        (grads, std::mem::take(&mut self.pool))
+    }
 
-        for idx in (0..=loss.0).rev() {
+    /// The reverse walk shared by [`Graph::backward`] and
+    /// [`Graph::backward_seeded`].
+    fn run_backward(
+        &mut self,
+        top: usize,
+        mut grads: Vec<Option<Matrix>>,
+        mut pool: BufferPool,
+    ) -> Gradients {
+        for idx in (0..=top).rev() {
             if !self.nodes[idx].requires_grad {
                 continue;
             }
@@ -830,6 +880,25 @@ impl Graph {
         }
         self.pool = pool;
         Gradients { grads }
+    }
+
+    /// A `rows × cols` matrix from the graph's buffer pool with unspecified
+    /// contents — off-tape scratch (e.g. the batch-parallel scorer's
+    /// per-triple gradient rows) that recycles with the tape. Return it via
+    /// [`Graph::give_back`] (or hand it to [`Graph::backward_seeded`], which
+    /// consumes it into the gradients).
+    pub fn scratch_uninit(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.pool.uninit(rows, cols)
+    }
+
+    /// Zero-filled variant of [`Graph::scratch_uninit`].
+    pub fn scratch_zeroed(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.pool.zeroed(rows, cols)
+    }
+
+    /// Returns an off-tape scratch matrix to the graph's buffer pool.
+    pub fn give_back(&mut self, m: Matrix) {
+        self.pool.put_back(m);
     }
 
     /// Adds `delta` into `var`'s gradient slot, recycling `delta`'s buffer

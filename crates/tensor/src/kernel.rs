@@ -23,16 +23,23 @@
 //!    familiarity), from the environment;
 //! 4. [`std::thread::available_parallelism`].
 //!
-//! Parallelism is plain `std::thread::scope` over `split_at_mut` partitions —
-//! no dependency, no persistent pool. Spawning is only worth it for large
-//! inputs, so every helper takes (or hard-codes) a grain size below which it
-//! stays on the calling thread.
+//! Parallel regions execute on the persistent worker pool in
+//! [`crate::pool`]: the helpers here compute a shape-dependent partition
+//! (chunk boundaries never depend on the thread count), then hand the chunk
+//! indices to [`pool::run`], which fans them out over long-lived parked
+//! workers. The previous implementation spawned a fresh
+//! `std::thread::scope` per call; those scoped kernels are retained
+//! verbatim in [`scoped`] as the parity baseline for property tests and the
+//! "fresh spawn" benchmark reference. Spawn-free or not, parallelism is
+//! only worth it for large inputs, so every helper takes (or hard-codes) a
+//! grain size below which it stays on the calling thread.
 
+use crate::pool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Elementwise ops on fewer elements than this run serially: below ~64 KiB of
-/// data the memory traffic is cheaper than a thread spawn.
+/// data the memory traffic is cheaper than waking the pool.
 pub const PAR_ELEM_CUTOFF: usize = 1 << 16;
 
 /// Runtime thread-count override; 0 means "not set".
@@ -85,6 +92,17 @@ pub fn configured_threads() -> usize {
     })
 }
 
+use crate::pool::SendPtr;
+
+/// First item index of chunk `c` when `n` items split into `chunks` parts
+/// (the first `n % chunks` parts take one extra item).
+#[inline]
+fn chunk_start(n: usize, chunks: usize, c: usize) -> usize {
+    let base = n / chunks;
+    let rem = n % chunks;
+    c * base + c.min(rem)
+}
+
 /// Runs `f(first_row, rows_chunk)` over contiguous row-chunks of `out`
 /// (row-major, `cols` wide), in parallel when there are at least
 /// `grain_rows` rows per thread. Chunks partition the rows exactly, so each
@@ -101,20 +119,15 @@ where
         f(0, out);
         return;
     }
-    let base = rows / chunks;
-    let rem = rows % chunks;
-    std::thread::scope(|s| {
-        let f = &f;
-        let mut rest = out;
-        let mut row0 = 0usize;
-        for c in 0..chunks {
-            let take_rows = base + usize::from(c < rem);
-            let (head, tail) = std::mem::take(&mut rest).split_at_mut(take_rows * cols);
-            rest = tail;
-            let r0 = row0;
-            row0 += take_rows;
-            s.spawn(move || f(r0, head));
-        }
+    let ptr = SendPtr::new(out.as_mut_ptr());
+    pool::run(chunks, |c| {
+        let r0 = chunk_start(rows, chunks, c);
+        let r1 = chunk_start(rows, chunks, c + 1);
+        // Safety: rows [r0, r1) are disjoint across job indices and the
+        // partition depends only on (rows, chunks); see `SendPtr`.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(ptr.get().add(r0 * cols), (r1 - r0) * cols) };
+        f(r0, chunk);
     });
 }
 
@@ -129,12 +142,14 @@ where
         data.iter_mut().for_each(f);
         return;
     }
-    let chunk = data.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        let f = &f;
-        for piece in data.chunks_mut(chunk) {
-            s.spawn(move || piece.iter_mut().for_each(f));
-        }
+    let n = data.len();
+    let ptr = SendPtr::new(data.as_mut_ptr());
+    pool::run(threads, |c| {
+        let s = chunk_start(n, threads, c);
+        let e = chunk_start(n, threads, c + 1);
+        // Safety: disjoint element ranges per job index; see `SendPtr`.
+        let piece = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(s), e - s) };
+        piece.iter_mut().for_each(&f);
     });
 }
 
@@ -153,12 +168,14 @@ where
         dst.iter_mut().zip(src).for_each(|(a, &b)| f(a, b));
         return;
     }
-    let chunk = dst.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        let f = &f;
-        for (d, sc) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
-            s.spawn(move || d.iter_mut().zip(sc).for_each(|(a, &b)| f(a, b)));
-        }
+    let n = dst.len();
+    let ptr = SendPtr::new(dst.as_mut_ptr());
+    pool::run(threads, |c| {
+        let s = chunk_start(n, threads, c);
+        let e = chunk_start(n, threads, c + 1);
+        // Safety: disjoint element ranges per job index; see `SendPtr`.
+        let d = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(s), e - s) };
+        d.iter_mut().zip(&src[s..e]).for_each(|(a, &b)| f(a, b));
     });
 }
 
@@ -179,19 +196,15 @@ where
         }
         return;
     }
-    let chunk = dst.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        let f = &f;
-        for ((d, ac), bc) in dst
-            .chunks_mut(chunk)
-            .zip(a.chunks(chunk))
-            .zip(b.chunks(chunk))
-        {
-            s.spawn(move || {
-                for (dv, (&x, &y)) in d.iter_mut().zip(ac.iter().zip(bc)) {
-                    f(dv, x, y);
-                }
-            });
+    let n = dst.len();
+    let ptr = SendPtr::new(dst.as_mut_ptr());
+    pool::run(threads, |c| {
+        let s = chunk_start(n, threads, c);
+        let e = chunk_start(n, threads, c + 1);
+        // Safety: disjoint element ranges per job index; see `SendPtr`.
+        let d = unsafe { std::slice::from_raw_parts_mut(ptr.get().add(s), e - s) };
+        for (dv, (&x, &y)) in d.iter_mut().zip(a[s..e].iter().zip(&b[s..e])) {
+            f(dv, x, y);
         }
     });
 }
@@ -210,31 +223,136 @@ where
     if chunks <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
-    let base = n / chunks;
-    let rem = n % chunks;
-    let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks);
-    std::thread::scope(|s| {
-        let f = &f;
-        let mut handles = Vec::with_capacity(chunks);
-        let mut start = 0usize;
-        for c in 0..chunks {
-            let len = base + usize::from(c < rem);
-            let slice = &items[start..start + len];
-            let s0 = start;
-            start += len;
-            handles.push(s.spawn(move || {
-                slice
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| f(s0 + i, t))
-                    .collect::<Vec<U>>()
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("kernel worker panicked"));
-        }
+    let mut results: Vec<Vec<U>> = (0..chunks).map(|_| Vec::new()).collect();
+    let ptr = SendPtr::new(results.as_mut_ptr());
+    pool::run(chunks, |c| {
+        let s = chunk_start(n, chunks, c);
+        let e = chunk_start(n, chunks, c + 1);
+        let out: Vec<U> = items[s..e]
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(s + i, t))
+            .collect();
+        // Safety: slot `c` is written by exactly this job index (the
+        // pre-sized placeholder Vec it replaces is empty); see `SendPtr`.
+        unsafe { *ptr.get().add(c) = out };
     });
     results.into_iter().flatten().collect()
+}
+
+/// The original per-call `std::thread::scope` kernels, retained verbatim as
+/// the parity baseline: property tests assert the pooled helpers above are
+/// bitwise identical to these, and the microbenchmarks use them as the
+/// "fresh spawn" reference the pool is measured against.
+#[doc(hidden)]
+pub mod scoped {
+    use super::{configured_threads, PAR_ELEM_CUTOFF};
+
+    /// Scoped-spawn reference for [`super::par_row_chunks`].
+    pub fn par_row_chunks<F>(out: &mut [f32], cols: usize, grain_rows: usize, f: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        let rows = out.len().checked_div(cols).unwrap_or(0);
+        let chunks = configured_threads().min((rows / grain_rows.max(1)).max(1));
+        if chunks <= 1 {
+            f(0, out);
+            return;
+        }
+        let base = rows / chunks;
+        let rem = rows % chunks;
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut rest = out;
+            let mut row0 = 0usize;
+            for c in 0..chunks {
+                let take_rows = base + usize::from(c < rem);
+                let (head, tail) = std::mem::take(&mut rest).split_at_mut(take_rows * cols);
+                rest = tail;
+                let r0 = row0;
+                row0 += take_rows;
+                s.spawn(move || f(r0, head));
+            }
+        });
+    }
+
+    /// Scoped-spawn reference for [`super::par_apply`].
+    pub fn par_apply<F>(data: &mut [f32], f: F)
+    where
+        F: Fn(&mut f32) + Sync,
+    {
+        let threads = configured_threads();
+        if threads <= 1 || data.len() < PAR_ELEM_CUTOFF {
+            data.iter_mut().for_each(f);
+            return;
+        }
+        let chunk = data.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let f = &f;
+            for piece in data.chunks_mut(chunk) {
+                s.spawn(move || piece.iter_mut().for_each(f));
+            }
+        });
+    }
+
+    /// Scoped-spawn reference for [`super::par_zip_apply`].
+    pub fn par_zip_apply<F>(dst: &mut [f32], src: &[f32], f: F)
+    where
+        F: Fn(&mut f32, f32) + Sync,
+    {
+        assert_eq!(dst.len(), src.len(), "par_zip_apply length mismatch");
+        let threads = configured_threads();
+        if threads <= 1 || dst.len() < PAR_ELEM_CUTOFF {
+            dst.iter_mut().zip(src).for_each(|(a, &b)| f(a, b));
+            return;
+        }
+        let chunk = dst.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            let f = &f;
+            for (d, sc) in dst.chunks_mut(chunk).zip(src.chunks(chunk)) {
+                s.spawn(move || d.iter_mut().zip(sc).for_each(|(a, &b)| f(a, b)));
+            }
+        });
+    }
+
+    /// Scoped-spawn reference for [`super::par_map_chunks`].
+    pub fn par_map_chunks<T, U, F>(items: &[T], grain: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        let n = items.len();
+        let chunks = configured_threads().min((n / grain.max(1)).max(1));
+        if chunks <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let base = n / chunks;
+        let rem = n % chunks;
+        let mut results: Vec<Vec<U>> = Vec::with_capacity(chunks);
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut handles = Vec::with_capacity(chunks);
+            let mut start = 0usize;
+            for c in 0..chunks {
+                let len = base + usize::from(c < rem);
+                let slice = &items[start..start + len];
+                let s0 = start;
+                start += len;
+                handles.push(s.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(s0 + i, t))
+                        .collect::<Vec<U>>()
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("kernel worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +414,20 @@ mod tests {
     }
 
     #[test]
+    fn zip2_apply_matches_serial_above_cutoff() {
+        let n = PAR_ELEM_CUTOFF + 11;
+        let a: Vec<f32> = (0..n).map(|i| (i % 53) as f32).collect();
+        let b: Vec<f32> = (0..n).map(|i| (i % 11) as f32 - 5.0).collect();
+        let mut d1: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+        let mut d2 = d1.clone();
+        for (d, (&x, &y)) in d1.iter_mut().zip(a.iter().zip(&b)) {
+            *d = *d * x + y;
+        }
+        par_zip2_apply(&mut d2, &a, &b, |d, x, y| *d = *d * x + y);
+        assert!(d1.iter().zip(&d2).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
     fn map_chunks_preserves_order() {
         let items: Vec<usize> = (0..1000).collect();
         let got = par_map_chunks(&items, 1, |i, &x| {
@@ -303,6 +435,31 @@ mod tests {
             x * 3
         });
         assert_eq!(got, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pooled_helpers_match_scoped_references() {
+        // Direct pooled-vs-scoped parity at a size that engages the pool
+        // (the proptest suite covers randomized shapes).
+        set_threads(4);
+        let rows = 513;
+        let cols = 7;
+        let mut pooled = vec![0.0f32; rows * cols];
+        let mut fresh = pooled.clone();
+        let fill = |r0: usize, chunk: &mut [f32]| {
+            for (local, row) in chunk.chunks_mut(cols).enumerate() {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = ((r0 + local) * 31 + c) as f32 * 0.125;
+                }
+            }
+        };
+        par_row_chunks(&mut pooled, cols, 1, fill);
+        scoped::par_row_chunks(&mut fresh, cols, 1, fill);
+        set_threads(0);
+        assert!(pooled
+            .iter()
+            .zip(&fresh)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod check;
 pub mod graph;
 pub mod kernel;
 pub mod matrix;
+pub mod pool;
 pub mod segment;
 
 pub use graph::{stable_sigmoid, Gradients, Graph, Var};

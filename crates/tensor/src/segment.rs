@@ -23,6 +23,14 @@
 use crate::kernel;
 use crate::matrix::Matrix;
 
+/// Segment reductions touching fewer than this many input elements
+/// (`rows × cols`) take the serial path outright. Even with the persistent
+/// pool a wake costs a few microseconds, and a sub-threshold reduction
+/// finishes in less than that — BENCH_kernels.json showed the 40k-edge
+/// kernels *losing* at small widths under per-call spawning, and small
+/// calls (validation batches, tiny heads) still lose under the pool.
+pub const SEG_PAR_MIN_WORK: usize = 1 << 18;
+
 /// Inverted segment map: for every output segment, the input rows that feed
 /// it, grouped CSR-style and ascending within each segment.
 ///
@@ -107,8 +115,15 @@ impl SegmentPlan {
 
     /// Row-chunk grain so one thread handles at least
     /// [`kernel::PAR_ELEM_CUTOFF`] accumulated elements: segments are cheap
-    /// when sparse, so the grain scales with the average fan-in.
+    /// when sparse, so the grain scales with the average fan-in. Reductions
+    /// below [`SEG_PAR_MIN_WORK`] total elements return an unsatisfiable
+    /// grain, pinning them to the serial path (bitwise identical — the
+    /// parallel kernel accumulates each segment in the same ascending row
+    /// order).
     fn seg_grain(&self, cols: usize) -> usize {
+        if self.len().saturating_mul(cols.max(1)) < SEG_PAR_MIN_WORK {
+            return usize::MAX;
+        }
         let per_seg = (self.len() / self.n_segments.max(1)).max(1) * cols.max(1);
         (kernel::PAR_ELEM_CUTOFF / per_seg).max(1)
     }
@@ -269,7 +284,11 @@ pub fn broadcast_segments_into(src: &Matrix, plan: &SegmentPlan, out: &mut Matri
         return;
     }
     let seg = plan.segment_of_row();
-    let grain = (kernel::PAR_ELEM_CUTOFF / c).max(1);
+    let grain = if plan.len().saturating_mul(c) < SEG_PAR_MIN_WORK {
+        usize::MAX // sub-threshold broadcast: serial (see SEG_PAR_MIN_WORK)
+    } else {
+        (kernel::PAR_ELEM_CUTOFF / c).max(1)
+    };
     kernel::par_row_chunks(out.data_mut(), c, grain, |r0, chunk| {
         for (dr, row) in chunk.chunks_mut(c).enumerate() {
             row.copy_from_slice(src.row(seg[r0 + dr]));

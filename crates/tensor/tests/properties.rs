@@ -325,6 +325,62 @@ proptest! {
         prop_assert!(bits_equal(&g_serial, &g_par), "planned gradients drifted");
     }
 
+    /// The persistent-pool kernel helpers are bitwise identical to the
+    /// scoped-spawn references they replaced, on random shapes, grains and
+    /// thread counts — same partitioning arithmetic, different execution
+    /// substrate (parked workers vs per-call `std::thread::scope`).
+    #[test]
+    fn pooled_helpers_match_scoped_spawn_bitwise(
+        rows in 0usize..80,
+        cols in 1usize..8,
+        grain in 1usize..16,
+        data in prop::collection::vec(-3.0f32..3.0, 1280),
+        threads in 2usize..6,
+    ) {
+        let len = rows * cols;
+        let base: Vec<f32> = data[..len].to_vec();
+        kernel::set_threads(threads);
+
+        let mut pooled = base.clone();
+        kernel::par_row_chunks(&mut pooled, cols, grain, |r0, chunk| {
+            for (dr, row) in chunk.chunks_mut(cols).enumerate() {
+                let scale = (r0 + dr) as f32 + 0.5;
+                row.iter_mut().for_each(|x| *x *= scale);
+            }
+        });
+        let mut scoped = base.clone();
+        kernel::scoped::par_row_chunks(&mut scoped, cols, grain, |r0, chunk| {
+            for (dr, row) in chunk.chunks_mut(cols).enumerate() {
+                let scale = (r0 + dr) as f32 + 0.5;
+                row.iter_mut().for_each(|x| *x *= scale);
+            }
+        });
+        prop_assert_eq!(&pooled, &scoped, "par_row_chunks drifted");
+
+        let mut pooled = base.clone();
+        kernel::par_apply(&mut pooled, |x| *x = x.exp());
+        let mut scoped = base.clone();
+        kernel::scoped::par_apply(&mut scoped, |x| *x = x.exp());
+        prop_assert_eq!(
+            pooled.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            scoped.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "par_apply drifted"
+        );
+
+        let src: Vec<f32> = data[len..2 * len].to_vec();
+        let mut pooled = base.clone();
+        kernel::par_zip_apply(&mut pooled, &src, |a, b| *a += b * b);
+        let mut scoped = base.clone();
+        kernel::scoped::par_zip_apply(&mut scoped, &src, |a, b| *a += b * b);
+        prop_assert_eq!(&pooled, &scoped, "par_zip_apply drifted");
+
+        let items: Vec<f32> = base.clone();
+        let pooled = kernel::par_map_chunks(&items, grain, |i, &x| x * i as f32);
+        let scoped = kernel::scoped::par_map_chunks(&items, grain, |i, &x| x * i as f32);
+        prop_assert_eq!(&pooled, &scoped, "par_map_chunks drifted");
+        kernel::set_threads(0);
+    }
+
     /// Reusing one pooled tape across training iterations (`reset()` +
     /// `recycle()`) is bitwise identical to building a fresh `Graph` per
     /// iteration: pooled buffers must never leak stale values into the next

@@ -1,0 +1,108 @@
+//! CI bench-regression gate over `BENCH_kernels.json`.
+//!
+//! ```text
+//! cargo run --release --example check_bench_regression -- [path]
+//! ```
+//!
+//! Reads the JSON the `micro_kernels` bench just wrote and fails (exit 1)
+//! when the numbers regress below the floors the worker-pool rework
+//! established:
+//!
+//! * `train_epoch.speedup_vs_fresh` — one pooled multi-thread training step
+//!   vs the pre-arena baseline (fresh tape, serial kernels) — must be at
+//!   least 1.0: batch-level parallelism must never make training slower
+//!   than the code it replaced. On hosts with fewer than 4 hardware threads a
+//!   parallel win is physically impossible, so the gate falls back to
+//!   requiring `speedup_pooled_serial >= 1.0` (the arena itself must still
+//!   pay for itself).
+//! * Segment reductions below the `SEG_PAR_MIN_WORK` threshold share the
+//!   serial code path with their references, so their measured ratio is
+//!   pure noise around 1.0 — anything under 0.8x means the threshold
+//!   dispatch itself regressed.
+//!
+//! Exits 0 on pass, 1 on regression, 2 on usage/parse errors.
+
+use prim::obs::json;
+
+fn fetch<'v>(root: &'v json::Value, path: &[&str]) -> Option<&'v json::Value> {
+    let mut v = root;
+    for key in path {
+        v = v.get(key)?;
+    }
+    Some(v)
+}
+
+fn num(root: &json::Value, path: &[&str]) -> f64 {
+    fetch(root, path)
+        .and_then(json::Value::as_f64)
+        .unwrap_or_else(|| {
+            eprintln!("check_bench_regression: missing numeric field {path:?}");
+            std::process::exit(2);
+        })
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("check_bench_regression: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let root = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("check_bench_regression: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+
+    let mut failures = Vec::new();
+
+    let threads = num(&root, &["train_epoch", "threads"]);
+    let hw = num(&root, &["train_epoch", "hw_threads"]);
+    let vs_fresh = num(&root, &["train_epoch", "speedup_vs_fresh"]);
+    let pooled_serial = num(&root, &["train_epoch", "speedup_pooled_serial"]);
+    if hw >= 4.0 && threads >= 4.0 {
+        if vs_fresh < 1.0 {
+            failures.push(format!(
+                "train_epoch speedup_vs_fresh {vs_fresh:.3} < 1.0 at {threads} threads \
+                 ({hw} hw threads): the pooled parallel step lost to the fresh-tape \
+                 serial baseline"
+            ));
+        }
+    } else if pooled_serial < 1.0 {
+        failures.push(format!(
+            "train_epoch speedup_pooled_serial {pooled_serial:.3} < 1.0: the pooled \
+             tape lost to a fresh tape per step even serially ({hw} hw threads)"
+        ));
+    }
+
+    // Below-threshold segment kernels: same code path as the serial
+    // reference, so the ratio is noise around 1.0.
+    if let Some(entries) = fetch(&root, &["micro_kernels", "segment"]).and_then(|v| v.as_arr()) {
+        for entry in entries {
+            let name = entry.get("kernel").and_then(|v| v.as_str()).unwrap_or("?");
+            let small = name.contains("_4000_");
+            let speedup = entry
+                .get("speedup")
+                .and_then(json::Value::as_f64)
+                .unwrap_or(0.0);
+            if small && speedup < 0.8 {
+                failures.push(format!(
+                    "below-threshold segment kernel {name} at {speedup:.3}x (< 0.8x): \
+                     the serial-path dispatch regressed"
+                ));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "check_bench_regression: {path} passes (speedup_vs_fresh {vs_fresh:.3} at \
+             {threads} threads, {hw} hw threads)"
+        );
+    } else {
+        for f in &failures {
+            eprintln!("check_bench_regression: {f}");
+        }
+        std::process::exit(1);
+    }
+}
