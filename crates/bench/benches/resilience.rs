@@ -106,6 +106,7 @@ fn main() {
             &ds.attrs,
             &ds.relation_names,
             None,
+            None,
         );
         rot.save_real(epoch, &bytes).unwrap();
         save_ms.push(t0.elapsed().as_secs_f64() * 1e3);

@@ -177,17 +177,17 @@ fn main() {
 
     // -- Cache hit-rate sweep ---------------------------------------------
     // Zipf-less model: a uniform pool of distinct pairs queried 20K times.
-    // Pool ≤ capacity → high hit rate; pool >> capacity → mostly misses.
+    // The default CACHE_AUTO capacity sizes the cache to the store
+    // (8 × n_pois, clamped), so a uniform pool up to that size stays hot —
+    // the fixed 1024-entry default this replaces collapsed to a ~10% hit
+    // rate at pool = 10k.
     let mut cache_sections: Vec<String> = Vec::new();
     for &pool in &[100usize, 1_000, 10_000] {
         // Fresh engine per pool (same embeddings, empty cache) with a live
         // recorder so hit rates come from the serve telemetry counters.
         let store =
             EmbeddingStore::from_model(&model, &inputs, engine.store().relation_names.clone());
-        let opts = EngineOpts {
-            cache_capacity: 1024,
-            ..EngineOpts::default()
-        };
+        let opts = EngineOpts::default();
         let sweep = ServeEngine::new(store, &opts, Recorder::enabled("serve-cache-sweep"));
         let pool_pairs = random_pairs(n_pois, pool, 31 + pool as u64);
         let mut rng = StdRng::seed_from_u64(17);
@@ -201,10 +201,13 @@ fn main() {
         cache_sections.push(json::obj(&[
             ("pool_size", json::int(pool as u64)),
             ("requests", json::int(20_000)),
-            ("cache_capacity", json::int(1024)),
+            ("cache_capacity", json::int(sweep.cache_capacity() as u64)),
             ("hit_rate", json::num(hit_rate)),
         ]));
-        println!("serve_latency: pool {pool:6} -> hit rate {hit_rate:.3}");
+        println!(
+            "serve_latency: pool {pool:6} (capacity {}) -> hit rate {hit_rate:.3}",
+            sweep.cache_capacity()
+        );
     }
 
     let section = json::obj(&[

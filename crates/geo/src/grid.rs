@@ -11,6 +11,7 @@ use crate::location::Location;
 ///
 /// Coordinates are projected once with an equirectangular approximation
 /// centred on the data, so all internal distances are Euclidean km.
+#[derive(Clone)]
 pub struct GridIndex {
     points_km: Vec<(f64, f64)>,
     cell_km: f64,
@@ -153,6 +154,50 @@ impl GridIndex {
         );
         all.truncate(k);
         all
+    }
+
+    /// Like [`Self::within_radius`] but *unsorted* (cell-visit order): the
+    /// cheapest way to enumerate the candidate set when the caller ranks by
+    /// something other than distance (e.g. the serving layer's quantized
+    /// relation scores). Distances are returned too — the radius filter
+    /// computes them anyway, and callers binning by distance would
+    /// otherwise pay a second projection per candidate.
+    pub fn within_radius_unsorted(&self, query: usize, radius_km: f64) -> Vec<(usize, f64)> {
+        let (qx, qy) = self.points_km[query];
+        let mut out = Vec::new();
+        self.for_cells_around(qx, qy, radius_km, |i| {
+            if i != query {
+                let d = self.distance_km(query, i);
+                if d < radius_km {
+                    out.push((i, d));
+                }
+            }
+        });
+        out
+    }
+
+    /// Upper bound on the number of in-radius candidates around `query`:
+    /// the total population of every cell a radius query would touch, read
+    /// straight off the CSR offsets with no per-point work. The serving
+    /// layer uses it to choose between exact scan, quantized scan and the
+    /// ANN beam before generating any candidates.
+    pub fn count_in_cells_around(&self, query: usize, radius_km: f64) -> usize {
+        let (qx, qy) = self.points_km[query];
+        let span = (radius_km / self.cell_km).ceil() as isize;
+        let cx = (((qx - self.min_x) / self.cell_km) as isize).clamp(0, self.n_cols as isize - 1);
+        let cy = (((qy - self.min_y) / self.cell_km) as isize).clamp(0, self.n_rows as isize - 1);
+        let mut total = 0;
+        for dy in -span..=span {
+            let yy = cy + dy;
+            if yy < 0 || yy >= self.n_rows as isize {
+                continue;
+            }
+            let x_lo = (cx - span).max(0) as usize;
+            let x_hi = (cx + span).min(self.n_cols as isize - 1) as usize;
+            let row = yy as usize * self.n_cols;
+            total += self.cell_start[row + x_hi + 1] - self.cell_start[row + x_lo];
+        }
+        total
     }
 
     /// Brute-force reference implementation (used by tests and small inputs).
@@ -311,6 +356,38 @@ mod tests {
         );
         let d = idx.distance_km(0, 1);
         assert!((d - 1.11).abs() < 0.02, "d = {d}");
+    }
+
+    #[test]
+    fn unsorted_radius_matches_sorted_set() {
+        let pts = cluster(220);
+        let idx = GridIndex::build(&pts, 0.9);
+        for q in [0, 50, 219] {
+            let mut unsorted = idx.within_radius_unsorted(q, 2.0);
+            unsorted.sort_unstable_by_key(|a| a.0);
+            let mut sorted = idx.within_radius(q, 2.0);
+            sorted.sort_unstable_by_key(|a| a.0);
+            assert_eq!(unsorted.len(), sorted.len(), "query {q}");
+            for (u, s) in unsorted.iter().zip(&sorted) {
+                assert_eq!(u.0, s.0, "query {q}");
+                assert!((u.1 - s.1).abs() < 1e-12, "query {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_count_bounds_candidates() {
+        let pts = cluster(180);
+        let idx = GridIndex::build(&pts, 1.15);
+        for q in [0, 90, 179] {
+            for r in [0.5, 1.15, 4.0] {
+                let est = idx.count_in_cells_around(q, r);
+                let actual = idx.within_radius(q, r).len();
+                assert!(est >= actual, "query {q} r {r}: est {est} < {actual}");
+                // The estimate includes the query point itself.
+                assert!(est >= 1);
+            }
+        }
     }
 
     #[test]

@@ -112,11 +112,21 @@ pub enum Counter {
     /// Tensor parallel regions that took the inline/serial path (below
     /// threshold, single job, nested, or serial config).
     PoolInlineRuns,
+    /// ANN graph nodes whose quantized similarity was evaluated (beam
+    /// traversal plus upper-level descent).
+    AnnNodesVisited,
+    /// Candidates the ANN layer generated (quant-scan candidates or
+    /// ground-level beam evaluations).
+    AnnCandidates,
+    /// ANN candidates rejected by the spatial radius filter.
+    AnnRadiusPruned,
+    /// ANN candidates re-scored through the exact f32 kernel.
+    AnnRescored,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 25] = [
         Counter::Steps,
         Counter::Epochs,
         Counter::TriplesSeen,
@@ -138,6 +148,10 @@ impl Counter {
         Counter::ServeReloads,
         Counter::PoolParallelRuns,
         Counter::PoolInlineRuns,
+        Counter::AnnNodesVisited,
+        Counter::AnnCandidates,
+        Counter::AnnRadiusPruned,
+        Counter::AnnRescored,
     ];
 
     /// Stable snake-case name used in JSON reports.
@@ -164,6 +178,10 @@ impl Counter {
             Counter::ServeReloads => "serve_reloads",
             Counter::PoolParallelRuns => "pool_parallel_runs",
             Counter::PoolInlineRuns => "pool_inline_runs",
+            Counter::AnnNodesVisited => "ann_nodes_visited",
+            Counter::AnnCandidates => "ann_candidates",
+            Counter::AnnRadiusPruned => "ann_radius_pruned",
+            Counter::AnnRescored => "ann_rescored",
         }
     }
 }

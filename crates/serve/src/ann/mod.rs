@@ -1,0 +1,129 @@
+//! Approximate-nearest-neighbor layer for `top_k_related`.
+//!
+//! Composes three pieces (DESIGN.md §11):
+//!
+//! * [`hnsw`] — a deterministic, seeded HNSW graph over the L2-normalized
+//!   POI embeddings (the part a checkpoint persists),
+//! * [`quant`] — int8/f16 compressed embedding tiers with SIMD dot
+//!   kernels the search loop scores candidates through (rebuilt from the
+//!   embeddings at load, never persisted),
+//! * the existing `geo::GridIndex` — the spatial filter; candidates are
+//!   always `ANN beam ∩ radius`, and every survivor is re-scored through
+//!   the exact f32 kernel before ranking.
+
+pub mod hnsw;
+pub mod quant;
+
+pub use hnsw::{Hnsw, Layer, SearchStats};
+pub use quant::{l2_normalized, QuantStore, QuantTier};
+
+use prim_tensor::Matrix;
+
+/// Construction parameters for the ANN layer. Persisted alongside the
+/// graph so a loaded index searches exactly like the one that was built.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnnParams {
+    /// Upper-level link cap (ground level allows `2m`).
+    pub m: usize,
+    /// Build-time beam width.
+    pub ef_construction: usize,
+    /// Default serve-time beam width (the engine may widen it for large
+    /// `k`).
+    pub ef_search: usize,
+    /// Seed for the geometric level assignment (the engine passes the
+    /// checkpoint config's seed).
+    pub seed: u64,
+    /// Which compressed tier candidate scoring reads.
+    pub tier: QuantTier,
+}
+
+impl Default for AnnParams {
+    fn default() -> Self {
+        AnnParams {
+            m: 8,
+            ef_construction: 64,
+            ef_search: 64,
+            seed: 0,
+            tier: QuantTier::Int8,
+        }
+    }
+}
+
+/// The persistable part of the index: parameters + frozen graph. This is
+/// what the `ann.*` checkpoint tensors round-trip; the quantized tier is
+/// rebuilt from the (bitwise-reconstructed) embeddings at load.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnnGraph {
+    pub params: AnnParams,
+    pub hnsw: Hnsw,
+}
+
+/// The full serve-time index: graph + compressed scoring tier.
+#[derive(Clone, Debug)]
+pub struct AnnIndex {
+    pub graph: AnnGraph,
+    pub quant: QuantStore,
+}
+
+impl AnnIndex {
+    /// Builds graph and tier from the POI embedding table (`phis`,
+    /// `n × dim`). The graph is constructed over the L2-normalized rows
+    /// (cosine geometry); the quantized tier encodes the *raw* rows, so
+    /// serve-time dot products approximate the exact relation-linear
+    /// scores.
+    pub fn build(phis: &Matrix, params: AnnParams) -> AnnIndex {
+        let normalized = l2_normalized(phis);
+        let hnsw = Hnsw::build(
+            normalized.data(),
+            phis.rows(),
+            phis.cols(),
+            params.m,
+            params.ef_construction,
+            params.seed,
+        );
+        AnnIndex {
+            graph: AnnGraph { params, hnsw },
+            quant: QuantStore::build(phis),
+        }
+    }
+
+    /// Reassembles an index from a persisted graph plus the embedding
+    /// table it was built over (checkpoint load path — skips the O(n·ef)
+    /// graph construction entirely).
+    pub fn from_graph(graph: AnnGraph, phis: &Matrix) -> AnnIndex {
+        AnnIndex {
+            graph,
+            quant: QuantStore::build(phis),
+        }
+    }
+
+    /// Number of indexed POIs.
+    pub fn len(&self) -> usize {
+        self.graph.hnsw.len()
+    }
+
+    /// True if the index holds no POIs.
+    pub fn is_empty(&self) -> bool {
+        self.graph.hnsw.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_from_graph_agree() {
+        let phis = Matrix::from_fn(64, 8, |r, c| ((r * 13 + c * 7) as f32).sin());
+        let params = AnnParams {
+            seed: 9,
+            ..AnnParams::default()
+        };
+        let built = AnnIndex::build(&phis, params);
+        let loaded = AnnIndex::from_graph(built.graph.clone(), &phis);
+        assert_eq!(built.graph, loaded.graph);
+        assert_eq!(built.quant, loaded.quant);
+        assert_eq!(built.len(), 64);
+        assert!(!built.is_empty());
+    }
+}

@@ -32,6 +32,7 @@
 //! `as f32`, which is exact for values that originated as f32 — the
 //! round-trip is bitwise.
 
+use crate::ann::{hnsw::Layer, AnnGraph, AnnParams, Hnsw, QuantTier};
 use crate::chaos::atomic_write;
 use prim_core::config::{GammaOp, PrimConfig, TaxonomyMode};
 use prim_core::{ModelInputs, PrimModel, ResumeState};
@@ -601,6 +602,147 @@ fn push_train_state(w: &mut Writer, state: &ResumeState) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// ANN graph <-> tensor encoding
+// ---------------------------------------------------------------------------
+
+// `ann.meta` layout, one f64 per slot.
+const ANN_META_SLOTS: usize = 8;
+
+fn count_ann_tensors(graph: &AnnGraph) -> usize {
+    // meta + levels + (offsets, targets) per layer.
+    2 + 2 * graph.hnsw.layers.len()
+}
+
+fn push_ann_graph(w: &mut Writer, graph: &AnnGraph) {
+    let p = &graph.params;
+    let h = &graph.hnsw;
+    let [seed_hi, seed_lo] = split_u64(p.seed);
+    w.tensor(
+        "ann.meta",
+        0,
+        1,
+        ANN_META_SLOTS,
+        &[
+            p.m as f64,
+            p.ef_construction as f64,
+            p.ef_search as f64,
+            seed_hi,
+            seed_lo,
+            match p.tier {
+                QuantTier::Int8 => 0.0,
+                QuantTier::F16 => 1.0,
+            },
+            h.entry as f64,
+            h.layers.len() as f64,
+        ],
+    );
+    let levels: Vec<f64> = h.levels.iter().map(|&l| l as f64).collect();
+    w.tensor("ann.levels", 0, levels.len(), 1, &levels);
+    for (l, layer) in h.layers.iter().enumerate() {
+        let offsets: Vec<f64> = layer.offsets.iter().map(|&o| o as f64).collect();
+        w.tensor(
+            &format!("ann.layer.{l}.offsets"),
+            0,
+            1,
+            offsets.len(),
+            &offsets,
+        );
+        let targets: Vec<f64> = layer.targets.iter().map(|&t| t as f64).collect();
+        w.tensor(
+            &format!("ann.layer.{l}.targets"),
+            0,
+            1,
+            targets.len(),
+            &targets,
+        );
+    }
+}
+
+fn decode_ann_graph(raw: &RawCheckpoint) -> Result<Option<AnnGraph>, CkptError> {
+    let Some(meta) = raw.tensors.iter().find(|t| t.name == "ann.meta") else {
+        return Ok(None);
+    };
+    if meta.values.len() != ANN_META_SLOTS {
+        return Err(CkptError::Malformed(format!(
+            "ann.meta has {} slots, expected {ANN_META_SLOTS}",
+            meta.values.len()
+        )));
+    }
+    let params = AnnParams {
+        m: meta.values[0] as usize,
+        ef_construction: meta.values[1] as usize,
+        ef_search: meta.values[2] as usize,
+        seed: join_u64(meta.values[3], meta.values[4]),
+        tier: match meta.values[5] as i64 {
+            0 => QuantTier::Int8,
+            1 => QuantTier::F16,
+            other => {
+                return Err(CkptError::Malformed(format!(
+                    "unknown ann quant tier code {other}"
+                )));
+            }
+        },
+    };
+    let entry = meta.values[6] as u32;
+    let n_layers = meta.values[7] as usize;
+
+    let levels_t = raw.tensor("ann.levels")?;
+    let levels: Vec<u8> = levels_t.values.iter().map(|&v| v as u8).collect();
+    let n = levels.len();
+
+    let mut layers = Vec::with_capacity(n_layers);
+    for l in 0..n_layers {
+        let name_off = format!("ann.layer.{l}.offsets");
+        let off_t = raw
+            .tensors
+            .iter()
+            .find(|t| t.name == name_off)
+            .ok_or_else(|| CkptError::Malformed(format!("missing tensor {name_off:?}")))?;
+        if off_t.values.len() != n + 1 {
+            return Err(CkptError::Malformed(format!(
+                "{name_off} has {} slots for {n} nodes",
+                off_t.values.len()
+            )));
+        }
+        let offsets: Vec<u32> = off_t.values.iter().map(|&v| v as u32).collect();
+        let name_tgt = format!("ann.layer.{l}.targets");
+        let tgt_t = raw
+            .tensors
+            .iter()
+            .find(|t| t.name == name_tgt)
+            .ok_or_else(|| CkptError::Malformed(format!("missing tensor {name_tgt:?}")))?;
+        let targets: Vec<u32> = tgt_t.values.iter().map(|&v| v as u32).collect();
+        let end = *offsets.last().unwrap_or(&0) as usize;
+        if end != targets.len() || !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(CkptError::Malformed(format!(
+                "ann layer {l} CSR is inconsistent ({} targets, final offset {end})",
+                targets.len()
+            )));
+        }
+        if targets.iter().any(|&t| t as usize >= n.max(1)) {
+            return Err(CkptError::Malformed(format!(
+                "ann layer {l} links past the {n}-node table"
+            )));
+        }
+        layers.push(Layer { offsets, targets });
+    }
+    if n > 0 && entry as usize >= n {
+        return Err(CkptError::Malformed(format!(
+            "ann entry {entry} past the {n}-node table"
+        )));
+    }
+    Ok(Some(AnnGraph {
+        params,
+        hnsw: Hnsw {
+            m: params.m.max(2) as u32,
+            entry,
+            levels,
+            layers,
+        },
+    }))
+}
+
 fn decode_train_state(raw: &RawCheckpoint) -> Result<Option<ResumeState>, CkptError> {
     let Some(progress) = raw.tensors.iter().find(|t| t.name == "train.progress") else {
         return Ok(None);
@@ -719,6 +861,10 @@ pub struct PrimCheckpoint {
     /// Mid-run training state, present when the checkpoint was written by
     /// the resumable trainer (absent in scoring-only checkpoints).
     pub train_state: Option<ResumeState>,
+    /// Persisted ANN graph (`ann.*` tensors), present when the checkpoint
+    /// was written by [`save_checkpoint_indexed`] — serving loads it
+    /// instead of rebuilding the index.
+    pub ann_graph: Option<AnnGraph>,
 }
 
 impl PrimCheckpoint {
@@ -761,7 +907,45 @@ pub fn save_checkpoint(
     attrs: &Matrix,
     relation_names: &[String],
 ) -> Result<(), CkptError> {
-    let bytes = encode_checkpoint(run, model, graph, taxonomy, attrs, relation_names, None);
+    let bytes = encode_checkpoint(
+        run,
+        model,
+        graph,
+        taxonomy,
+        attrs,
+        relation_names,
+        None,
+        None,
+    );
+    atomic_write(path.as_ref(), &bytes)?;
+    Ok(())
+}
+
+/// [`save_checkpoint`] carrying a prebuilt ANN graph as `ann.*` tensors,
+/// so serving processes load the index instead of paying the O(n·ef)
+/// construction again. Loaders that predate the ANN layer ignore the
+/// extra tensors (same pattern as `train.*`).
+#[allow(clippy::too_many_arguments)] // full model + persistence context
+pub fn save_checkpoint_indexed(
+    path: impl AsRef<Path>,
+    run: &str,
+    model: &PrimModel,
+    graph: &HeteroGraph,
+    taxonomy: &Taxonomy,
+    attrs: &Matrix,
+    relation_names: &[String],
+    ann: &AnnGraph,
+) -> Result<(), CkptError> {
+    let bytes = encode_checkpoint(
+        run,
+        model,
+        graph,
+        taxonomy,
+        attrs,
+        relation_names,
+        None,
+        Some(ann),
+    );
     atomic_write(path.as_ref(), &bytes)?;
     Ok(())
 }
@@ -789,14 +973,16 @@ pub fn save_checkpoint_with_state(
         attrs,
         relation_names,
         Some(state),
+        None,
     );
     atomic_write(path.as_ref(), &bytes)?;
     Ok(())
 }
 
-/// Encodes a PRIM checkpoint (optionally resumable) to bytes without
-/// touching the filesystem — the rotation layer owns how bytes land on
-/// disk.
+/// Encodes a PRIM checkpoint (optionally resumable, optionally carrying a
+/// prebuilt ANN graph) to bytes without touching the filesystem — the
+/// rotation layer owns how bytes land on disk.
+#[allow(clippy::too_many_arguments)] // full model + persistence context
 pub fn encode_checkpoint(
     run: &str,
     model: &PrimModel,
@@ -805,6 +991,7 @@ pub fn encode_checkpoint(
     attrs: &Matrix,
     relation_names: &[String],
     train_state: Option<&ResumeState>,
+    ann: Option<&AnnGraph>,
 ) -> Vec<u8> {
     let cfg = model.config();
     let names: Vec<String> = relation_names.iter().map(|n| json::str(n)).collect();
@@ -825,7 +1012,8 @@ pub fn encode_checkpoint(
 
     let mut w = Writer::new(&header);
     let train_tensors = train_state.map_or(0, count_train_tensors);
-    w.tensor_count(8 + model.params().len() + train_tensors);
+    let ann_tensors = ann.map_or(0, count_ann_tensors);
+    w.tensor_count(8 + model.params().len() + train_tensors + ann_tensors);
     w.tensor("meta.config", 0, 1, CFG_SLOTS, &encode_config(cfg));
     w.tensor(
         "meta.bin_edges",
@@ -873,6 +1061,9 @@ pub fn encode_checkpoint(
     push_params(&mut w, model.params());
     if let Some(state) = train_state {
         push_train_state(&mut w, state);
+    }
+    if let Some(graph) = ann {
+        push_ann_graph(&mut w, graph);
     }
     w.seal()
 }
@@ -997,6 +1188,7 @@ pub fn decode_checkpoint(raw: RawCheckpoint) -> Result<PrimCheckpoint, CkptError
     }
 
     let train_state = decode_train_state(&raw)?;
+    let ann_graph = decode_ann_graph(&raw)?;
 
     Ok(PrimCheckpoint {
         run,
@@ -1007,6 +1199,7 @@ pub fn decode_checkpoint(raw: RawCheckpoint) -> Result<PrimCheckpoint, CkptError
         attrs,
         params,
         train_state,
+        ann_graph,
     })
 }
 

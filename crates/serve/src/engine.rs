@@ -36,25 +36,93 @@ const PAIR_BLOCK: usize = 4;
 /// Relations per accumulator block in the batched kernel.
 const REL_BLOCK: usize = 2;
 
+/// Sentinel for [`EngineOpts::cache_capacity`]: size the score cache
+/// proportionally to the store (`8 × n_pois`, clamped to
+/// `[4096, 262144]`) instead of a fixed entry count. A fixed 1024-entry
+/// cache collapsed to a 10% hit rate on 10k-POI key pools; proportional
+/// sizing keeps the hit rate flat as stores grow.
+pub const CACHE_AUTO: usize = usize::MAX;
+
+/// ANN dispatch knobs for [`ServeEngine::top_k_related_ann`]. The engine
+/// picks one of three regimes per query from the grid's cell-population
+/// estimate: tiny candidate sets go straight to the exact path (the scan
+/// setup would cost more than it saves), mid-size sets take a quantized
+/// SIMD scan over the in-radius candidates, and broad-radius queries walk
+/// the HNSW beam. Every regime rescores its survivors through the exact
+/// f32 kernel, so returned scores are always bitwise-exact.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnOpts {
+    /// Serve the approximate path at all (`false` = `top_k_related_ann`
+    /// is the exact path with a `"exact"` mode tag).
+    pub enabled: bool,
+    /// Cell-population estimate at or below which the exact path wins
+    /// outright and the ANN layer steps aside.
+    pub min_exact: usize,
+    /// Cell-population estimate above which the quantized scan *may*
+    /// yield to the HNSW beam (the scan is O(candidates); the beam is
+    /// ~O(ef·m·log n) regardless of how many POIs the radius covers). The
+    /// beam additionally requires the radius to cover ≥ ¼ of the store —
+    /// an unfiltered walk under a low-selectivity keep-filter starves its
+    /// result set, so low-selectivity queries stay on the scan no matter
+    /// how many candidates the radius holds.
+    pub beam_cutoff: usize,
+    /// Serve-time beam width / rescore-set size; 0 inherits the index's
+    /// construction-time `ef_search`. Raised to `k × oversample` when a
+    /// query asks for more.
+    pub ef_search: usize,
+    /// Minimum rescore-set size as a multiple of `k`.
+    pub oversample: usize,
+    /// Beam similarity-evaluation budget as a multiple of the effective
+    /// `ef` (hard cap on work when the radius filter rejects almost
+    /// everything).
+    pub budget_mult: usize,
+}
+
+impl Default for AnnOpts {
+    fn default() -> Self {
+        AnnOpts {
+            enabled: true,
+            min_exact: 64,
+            beam_cutoff: 4096,
+            ef_search: 0,
+            oversample: 4,
+            budget_mult: 8,
+        }
+    }
+}
+
 /// Tuning knobs for [`ServeEngine`].
 #[derive(Clone, Debug)]
 pub struct EngineOpts {
-    /// Score-vector cache capacity (entries); 0 disables caching.
+    /// Score-vector cache capacity (entries); 0 disables caching,
+    /// [`CACHE_AUTO`] (the default) sizes it to the store.
     pub cache_capacity: usize,
     /// Micro-batcher: flush once this many pairs are queued.
     pub batch_max_pairs: usize,
     /// Micro-batcher: flush a non-empty queue after this long even if it
     /// has not reached `batch_max_pairs`.
     pub batch_max_wait: Duration,
+    /// ANN dispatch configuration for approximate top-k.
+    pub ann: AnnOpts,
 }
 
 impl Default for EngineOpts {
     fn default() -> Self {
         EngineOpts {
-            cache_capacity: 4096,
+            cache_capacity: CACHE_AUTO,
             batch_max_pairs: 64,
             batch_max_wait: Duration::from_micros(200),
+            ann: AnnOpts::default(),
         }
+    }
+}
+
+/// Resolves [`CACHE_AUTO`] against a store size.
+fn resolve_cache_capacity(requested: usize, n_pois: usize) -> usize {
+    if requested == CACHE_AUTO {
+        (n_pois * 8).clamp(4096, 1 << 18)
+    } else {
+        requested
     }
 }
 
@@ -139,6 +207,8 @@ pub struct Neighbor {
 pub struct ServeEngine {
     store: EmbeddingStore,
     cache: ScoreCache,
+    cache_capacity: usize,
+    ann_opts: AnnOpts,
     recorder: Recorder,
 }
 
@@ -148,9 +218,12 @@ impl ServeEngine {
     pub fn new(store: EmbeddingStore, opts: &EngineOpts, recorder: Recorder) -> Self {
         assert!(store.n_pois() < (1 << 24), "cache key packs 24-bit POI ids");
         assert!(store.bins.len() < (1 << 8), "cache key packs 8-bit bins");
+        let cache_capacity = resolve_cache_capacity(opts.cache_capacity, store.n_pois());
         ServeEngine {
             store,
-            cache: ScoreCache::new(opts.cache_capacity),
+            cache: ScoreCache::new(cache_capacity),
+            cache_capacity,
+            ann_opts: opts.ann,
             recorder,
         }
     }
@@ -158,6 +231,11 @@ impl ServeEngine {
     /// The underlying store.
     pub fn store(&self) -> &EmbeddingStore {
         &self.store
+    }
+
+    /// The resolved score-cache capacity ([`CACHE_AUTO`] already applied).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity
     }
 
     /// The engine's telemetry recorder.
@@ -282,6 +360,210 @@ impl ServeEngine {
         ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.poi.cmp(&b.poi)));
         ranked.truncate(k);
         ranked
+    }
+
+    /// [`Self::top_k_related`] with a mode switch: `exact` forces the
+    /// brute-force path; otherwise the ANN dispatch decides. Returns the
+    /// ranked neighbors plus the mode actually served (`"exact"` /
+    /// `"ann"`), which the protocol layer reports per response.
+    pub fn top_k_related_mode(
+        &self,
+        src: u32,
+        radius_km: f64,
+        k: usize,
+        relation: usize,
+        exact: bool,
+    ) -> (Vec<Neighbor>, &'static str) {
+        if exact || !self.ann_opts.enabled || self.store.ann.is_none() {
+            return (self.top_k_related(src, radius_km, k, relation), "exact");
+        }
+        self.top_k_related_ann(src, radius_km, k, relation)
+    }
+
+    /// ANN-accelerated top-k: candidates = ANN ∩ spatial radius, exact
+    /// rescoring of the survivors (DESIGN.md §11).
+    ///
+    /// Three regimes, chosen from the grid's O(cells) population estimate:
+    ///
+    /// 1. **exact** — at or below `min_exact` candidates the setup cost of
+    ///    anything approximate exceeds the full scan it replaces.
+    /// 2. **quantized scan** — enumerate the in-radius candidates
+    ///    (unsorted), score each with one int8/f16 SIMD dot against the
+    ///    relation-linearised query, keep the `ef` best.
+    /// 3. **HNSW beam** — above `beam_cutoff` *and* with the radius
+    ///    covering most of the store, the candidate set is too big to
+    ///    touch and the keep-filter passes often enough to converge; walk
+    ///    the graph under the quantized similarity with the radius as the
+    ///    keep-filter and a hard visit budget.
+    ///
+    /// Regimes 2 and 3 re-score their kept set through the exact f32
+    /// kernel, so every score (and therefore every tie-break) in the
+    /// response is bitwise identical to the exact path's — approximation
+    /// can only cost recall, never score fidelity.
+    fn top_k_related_ann(
+        &self,
+        src: u32,
+        radius_km: f64,
+        k: usize,
+        relation: usize,
+    ) -> (Vec<Neighbor>, &'static str) {
+        assert!(relation <= self.store.phi(), "relation out of range");
+        let opts = &self.ann_opts;
+        let est = self
+            .store
+            .grid
+            .count_in_cells_around(src as usize, radius_km);
+        if est <= opts.min_exact || k == 0 {
+            return (self.top_k_related(src, radius_km, k, relation), "exact");
+        }
+        let index = self.store.ann.as_ref().expect("checked by caller");
+        let _serve = self.recorder.phase(Phase::Serve);
+        self.recorder.add(Counter::ServeRequests, 1);
+
+        let base_ef = if opts.ef_search == 0 {
+            index.graph.params.ef_search
+        } else {
+            opts.ef_search
+        };
+        let ef = base_ef.max(k.saturating_mul(opts.oversample)).max(1);
+        let (queries, n_query_rows) = self.ann_query_rows(src, relation);
+        let d = self.store.dim();
+        let tier = index.graph.params.tier;
+        // Query-row selection bins the *grid's* projected distance — the
+        // value the radius filter already computed — rather than re-running
+        // the per-pair equirectangular projection `pair_bin` does. The two
+        // can disagree right at a bin edge, which only moves that
+        // candidate's approximate ranking row; the exact rescore below
+        // always uses `pair_bin`'s bin, bitwise like the exact path.
+        let query_row = |dist: f64| -> &[f32] {
+            let row = if n_query_rows == 1 {
+                0
+            } else {
+                self.store.bins.bin(dist)
+            };
+            &queries[row * d..(row + 1) * d]
+        };
+
+        // The beam walks the similarity graph *unfiltered* and only keeps
+        // in-radius results, so it pays for every visit whether or not the
+        // radius accepts it. With embeddings uncorrelated with geography
+        // that only converges when the radius already covers a large share
+        // of the store — below ~25% selectivity the walk's kept set
+        // starves and recall collapses, so those queries stay on the
+        // quantized scan (linear in candidates, but with a ~20× cheaper
+        // constant than the exact kernel).
+        let beam_viable = est > opts.beam_cutoff && est.saturating_mul(4) >= self.store.n_pois();
+
+        // (quantized score, id), ordered (score desc, id asc) — the same
+        // shape as the final ranking so quantization ties stay
+        // deterministic too.
+        let kept: Vec<(f32, u32)> = if !beam_viable {
+            // Quantized scan over the exact candidate set.
+            let candidates = self
+                .store
+                .grid
+                .within_radius_unsorted(src as usize, radius_km);
+            self.recorder
+                .add(Counter::AnnNodesVisited, candidates.len() as u64);
+            self.recorder
+                .add(Counter::AnnCandidates, candidates.len() as u64);
+            self.recorder.add(
+                Counter::AnnRadiusPruned,
+                est.saturating_sub(candidates.len() + 1) as u64,
+            );
+            let mut scored: Vec<(f32, u32)> = candidates
+                .into_iter()
+                .map(|(j, dist)| (index.quant.dot(tier, j, query_row(dist)), j as u32))
+                .collect();
+            // Keep the top `ef` under the (score desc, id asc) total order.
+            // A partition suffices — the order is total, so the kept *set*
+            // is unique, and the exact rescore re-ranks it anyway.
+            if scored.len() > ef {
+                scored
+                    .select_nth_unstable_by(ef - 1, |a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                scored.truncate(ef);
+            }
+            scored
+        } else {
+            // Broad radius: HNSW beam with the radius as the keep-filter.
+            let budget = ef.saturating_mul(opts.budget_mult);
+            let (kept, stats) = index.graph.hnsw.search(
+                |id| {
+                    let dist = self.store.grid.distance_km(src as usize, id as usize);
+                    index.quant.dot(tier, id as usize, query_row(dist))
+                },
+                |id| {
+                    id != src && self.store.grid.distance_km(src as usize, id as usize) < radius_km
+                },
+                ef,
+                budget,
+            );
+            self.recorder.add(Counter::AnnNodesVisited, stats.visited);
+            self.recorder
+                .add(Counter::AnnCandidates, kept.len() as u64 + stats.pruned);
+            self.recorder.add(Counter::AnnRadiusPruned, stats.pruned);
+            kept
+        };
+        if kept.is_empty() {
+            return (Vec::new(), "ann");
+        }
+
+        // Exact rescore: bitwise the same scores the exact path computes,
+        // so ranking and tie-breaking agree wherever the sets overlap.
+        self.recorder.add(Counter::AnnRescored, kept.len() as u64);
+        self.recorder.add(Counter::ServePairs, kept.len() as u64);
+        self.recorder.add(Counter::ServeBatches, 1);
+        let pairs: Vec<(u32, u32)> = kept.iter().map(|&(_, id)| (src, id)).collect();
+        let scored = self.batch_uncounted(&pairs);
+        let mut ranked: Vec<Neighbor> = scored
+            .iter()
+            .zip(&kept)
+            .map(|(s, &(_, id))| Neighbor {
+                poi: id,
+                distance_km: self.store.grid.distance_km(src as usize, id as usize),
+                score: s.scores()[relation],
+                is_best: s.best == relation,
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.poi.cmp(&b.poi)));
+        ranked.truncate(k);
+        (ranked, "ann")
+    }
+
+    /// The per-bin query vectors the quantized kernels score candidates
+    /// against. For a fixed source POI, relation and distance bin, the
+    /// exact score is *linear* in the candidate embedding:
+    /// `score = u_b · h_dst` with
+    /// `u_b = a − (a·w_b)·w_b`, `a = (h_src − (h_src·w_b)·w_b) ⊙ h_rel`
+    /// (and simply `u = h_src ⊙ h_rel` without distance scoring). One
+    /// quantized dot per candidate therefore approximates the exact score
+    /// itself — not a proxy metric — which is what makes recall@k high at
+    /// int8 precision. Returns `(rows, n_rows)` with `rows` holding
+    /// `n_rows × dim` f32s (one row per bin, or a single row when
+    /// distance scoring is off).
+    fn ann_query_rows(&self, src: u32, relation: usize) -> (Vec<f32>, usize) {
+        let d = self.store.dim();
+        let hs = self.store.pois.row(src as usize);
+        let hr = self.store.relations.row(relation);
+        if !self.store.use_distance_scoring {
+            let u: Vec<f32> = hs.iter().zip(hr).map(|(&a, &b)| a * b).collect();
+            return (u, 1);
+        }
+        let n_bins = self.store.bins.len();
+        let mut out = vec![0.0f32; n_bins * d];
+        for b in 0..n_bins {
+            let w = self.store.bin_normals.row(b);
+            let ds: f32 = hs.iter().zip(w).map(|(&x, &y)| x * y).sum();
+            let row = &mut out[b * d..(b + 1) * d];
+            for k in 0..d {
+                row[k] = (hs[k] - ds * w[k]) * hr[k];
+            }
+            let aw: f32 = row.iter().zip(w).map(|(&x, &y)| x * y).sum();
+            for k in 0..d {
+                row[k] -= aw * w[k];
+            }
+        }
+        (out, n_bins)
     }
 
     /// [`Self::score`] without the request/pair counters (shared by paths

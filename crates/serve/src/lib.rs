@@ -24,6 +24,7 @@
 //! order, same f32 accumulation, independent of batch size, cache state or
 //! thread count.
 
+pub mod ann;
 pub mod cache;
 pub mod chaos;
 pub mod ckpt;
@@ -34,16 +35,18 @@ pub mod rotate;
 pub mod server;
 pub mod store;
 
+pub use ann::{AnnGraph, AnnIndex, AnnParams, Hnsw, QuantStore, QuantTier, SearchStats};
 pub use cache::ScoreCache;
 pub use chaos::{atomic_write, ChaosClient, ChaosIo, Fault, FaultPlan, FileIo, RealIo};
 pub use ckpt::{
     checksum, decode_bytes, decode_checkpoint, encode_checkpoint, load_checkpoint, load_pair_model,
-    load_params, load_params_into, load_raw, save_checkpoint, save_checkpoint_with_state,
-    save_pair_model, save_params, CkptError, ParamsCheckpoint, PrimCheckpoint, RawCheckpoint,
-    FLAG_NO_DECAY, MAGIC, VERSION,
+    load_params, load_params_into, load_raw, save_checkpoint, save_checkpoint_indexed,
+    save_checkpoint_with_state, save_pair_model, save_params, CkptError, ParamsCheckpoint,
+    PrimCheckpoint, RawCheckpoint, FLAG_NO_DECAY, MAGIC, VERSION,
 };
 pub use engine::{
-    score_pairs_all, Batcher, EngineOpts, EngineSlot, Neighbor, PairScores, ServeEngine,
+    score_pairs_all, AnnOpts, Batcher, EngineOpts, EngineSlot, Neighbor, PairScores, ServeEngine,
+    CACHE_AUTO,
 };
 pub use proto::{
     handle_line, handle_request, AdmissionGate, AdmissionPermit, Handled, ServeCtx, ServeLimits,

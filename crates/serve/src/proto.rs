@@ -458,7 +458,14 @@ pub fn handle_request(ctx: &ServeCtx, line: &str, deadline: Option<Instant>) -> 
                     shutdown: false,
                 };
             }
-            let neighbors = engine.top_k_related(src, radius_km, k, relation);
+            // Optional "exact" flag: true pins the brute-force parity
+            // oracle; absent/false lets the ANN dispatch decide.
+            let exact = match v.get("exact") {
+                Some(json::Value::Bool(b)) => *b,
+                Some(_) => return err("\"exact\" must be a boolean"),
+                None => false,
+            };
+            let (neighbors, mode) = engine.top_k_related_mode(src, radius_km, k, relation, exact);
             let results: Vec<String> = neighbors
                 .iter()
                 .map(|n| {
@@ -475,6 +482,7 @@ pub fn handle_request(ctx: &ServeCtx, line: &str, deadline: Option<Instant>) -> 
                     ("ok", "true".to_string()),
                     ("op", json::str("top_k")),
                     ("degraded", "false".to_string()),
+                    ("mode", json::str(mode)),
                     ("src", json::int(src as u64)),
                     ("relation", json::str(store.relation_name(relation))),
                     ("results", json::arr(&results)),
@@ -490,11 +498,14 @@ pub fn handle_request(ctx: &ServeCtx, line: &str, deadline: Option<Instant>) -> 
                 Ok(c) => c,
                 Err(e) => return err_code("reload_failed", format!("loading {path}: {e}")),
             };
-            let (model, inputs) = match ckpt.rebuild() {
-                Ok(mi) => mi,
+            // from_checkpoint builds (or adopts) the ANN index *inside*
+            // the store before the engine exists, so the slot swap below
+            // publishes store and index as one unit — there is no window
+            // where a new store serves with a stale index.
+            let new_store = match EmbeddingStore::from_checkpoint(&ckpt) {
+                Ok(s) => s,
                 Err(e) => return err_code("reload_failed", format!("rebuilding {path}: {e}")),
             };
-            let new_store = EmbeddingStore::from_model(&model, &inputs, ckpt.relation_names);
             let new_engine = Arc::new(ServeEngine::new(
                 new_store,
                 &ctx.engine_opts,

@@ -153,6 +153,7 @@ impl FitHook for CkptHook<'_> {
             self.attrs,
             self.relation_names,
             Some(&state),
+            None,
         );
         match self.rotator.save(self.io, view.epoch, &bytes) {
             Ok(_) => {

@@ -7,12 +7,15 @@
 //! spatial candidate queries. After construction nothing references the
 //! model or the autograd tape: scoring is pure table lookups.
 
+use crate::ann::{AnnGraph, AnnIndex, AnnParams};
+use crate::ckpt::{CkptError, PrimCheckpoint};
 use prim_core::{ModelInputs, PrimConfig, PrimModel};
 use prim_geo::{DistanceBins, GridIndex, Location};
 use prim_graph::PoiId;
 use prim_tensor::Matrix;
 
 /// Immutable, query-ready snapshot of a trained PRIM model.
+#[derive(Clone)]
 pub struct EmbeddingStore {
     /// `n_pois × dim` final POI embeddings (`h_final`).
     pub pois: Matrix,
@@ -30,6 +33,10 @@ pub struct EmbeddingStore {
     pub use_distance_scoring: bool,
     /// Spatial index over `locations` for radius candidate generation.
     pub grid: GridIndex,
+    /// ANN index over `pois` for approximate top-k candidate generation
+    /// (`None` = exact-only store; the engine scores every spatial
+    /// candidate through the brute-force path).
+    pub ann: Option<AnnIndex>,
 }
 
 impl EmbeddingStore {
@@ -37,6 +44,22 @@ impl EmbeddingStore {
     /// [`PrimModel::embed`] call here is the last time the tape runs;
     /// its output is bitwise the table that `score_pair_eager` reads.
     pub fn from_model(
+        model: &PrimModel,
+        inputs: &ModelInputs,
+        relation_names: Vec<String>,
+    ) -> Self {
+        let seed = model.config().seed;
+        let mut store = Self::from_model_unindexed(model, inputs, relation_names);
+        store.build_ann(AnnParams {
+            seed,
+            ..AnnParams::default()
+        });
+        store
+    }
+
+    /// [`from_model`] without the ANN construction — the exact-only
+    /// store the parity oracle and the fastest-loading paths use.
+    pub fn from_model_unindexed(
         model: &PrimModel,
         inputs: &ModelInputs,
         relation_names: Vec<String>,
@@ -59,7 +82,46 @@ impl EmbeddingStore {
             bins: cfg.bins.clone(),
             use_distance_scoring: cfg.use_distance_scoring,
             grid,
+            ann: None,
         }
+    }
+
+    /// [`from_model`] reusing a persisted [`AnnGraph`] instead of
+    /// reconstructing it (the quantized tier is rebuilt from the — bitwise
+    /// reproduced — embeddings, which is cheap).
+    pub fn from_model_with_graph(
+        model: &PrimModel,
+        inputs: &ModelInputs,
+        relation_names: Vec<String>,
+        graph: AnnGraph,
+    ) -> Self {
+        let mut store = Self::from_model_unindexed(model, inputs, relation_names);
+        store.ann = Some(AnnIndex::from_graph(graph, &store.pois));
+        store
+    }
+
+    /// Materialises a serving store straight from a decoded checkpoint:
+    /// rebuild the model, embed once, and either adopt the persisted
+    /// `ann.*` graph or construct a fresh index seeded from the config.
+    /// This is the one loading path `prim_serve` and hot `reload` share,
+    /// so the ANN index can never be stale relative to the store it is
+    /// swapped in with.
+    pub fn from_checkpoint(ckpt: &PrimCheckpoint) -> Result<Self, CkptError> {
+        let (model, inputs) = ckpt.rebuild()?;
+        Ok(match &ckpt.ann_graph {
+            Some(graph) => Self::from_model_with_graph(
+                &model,
+                &inputs,
+                ckpt.relation_names.clone(),
+                graph.clone(),
+            ),
+            None => Self::from_model(&model, &inputs, ckpt.relation_names.clone()),
+        })
+    }
+
+    /// (Re)builds the ANN index over the current embedding table.
+    pub fn build_ann(&mut self, params: AnnParams) {
+        self.ann = Some(AnnIndex::build(&self.pois, params));
     }
 
     /// Number of POIs.

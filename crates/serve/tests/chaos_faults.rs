@@ -42,6 +42,7 @@ fn payload() -> &'static [u8] {
             &ds.attrs,
             &ds.relation_names,
             None,
+            None,
         )
     })
 }

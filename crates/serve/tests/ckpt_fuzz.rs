@@ -39,6 +39,7 @@ fn valid() -> &'static [u8] {
             &ds.attrs,
             &ds.relation_names,
             None,
+            None,
         )
     })
 }

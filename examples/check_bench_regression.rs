@@ -1,12 +1,14 @@
-//! CI bench-regression gate over `BENCH_kernels.json`.
+//! CI bench-regression gate over the bench JSON reports.
 //!
 //! ```text
-//! cargo run --release --example check_bench_regression -- [path]
+//! cargo run --release --example check_bench_regression -- [path ...]
 //! ```
 //!
-//! Reads the JSON the `micro_kernels` bench just wrote and fails (exit 1)
-//! when the numbers regress below the floors the worker-pool rework
-//! established:
+//! Each argument is a bench JSON file (default: `BENCH_kernels.json`).
+//! Gates are dispatched by the top-level sections present in each file,
+//! so the same binary checks every report the bench suite writes:
+//!
+//! `train_epoch` / `micro_kernels` (from `micro_kernels`):
 //!
 //! * `train_epoch.speedup_vs_fresh` — one pooled multi-thread training step
 //!   vs the pre-arena baseline (fresh tape, serial kernels) — must be at
@@ -19,6 +21,16 @@
 //!   serial code path with their references, so their measured ratio is
 //!   pure noise around 1.0 — anything under 0.8x means the threshold
 //!   dispatch itself regressed.
+//!
+//! `topk_scaling` (from `topk_scaling`, written to `BENCH_topk.json`):
+//!
+//! * recall@10 vs the exact oracle must be ≥ 0.95 for both the quantized
+//!   scan profile and the HNSW beam profile at every store tier;
+//! * at the 200k-POI tier the ANN scan p99 must beat the exact p99 — the
+//!   quantized tier has to pay for itself where the store is dense;
+//! * the beam profile's ANN p99 may grow at most 2x per tier while the
+//!   store grows 10x — the fixed evaluation budget must keep broad-radius
+//!   top-k near-flat (the exact path grows ~10x per tier there).
 //!
 //! Exits 0 on pass, 1 on regression, 2 on usage/parse errors.
 
@@ -41,25 +53,11 @@ fn num(root: &json::Value, path: &[&str]) -> f64 {
         })
 }
 
-fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
-    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        eprintln!("check_bench_regression: cannot read {path}: {e}");
-        std::process::exit(2);
-    });
-    let root = json::parse(&text).unwrap_or_else(|e| {
-        eprintln!("check_bench_regression: {path} is not valid JSON: {e}");
-        std::process::exit(2);
-    });
-
-    let mut failures = Vec::new();
-
-    let threads = num(&root, &["train_epoch", "threads"]);
-    let hw = num(&root, &["train_epoch", "hw_threads"]);
-    let vs_fresh = num(&root, &["train_epoch", "speedup_vs_fresh"]);
-    let pooled_serial = num(&root, &["train_epoch", "speedup_pooled_serial"]);
+fn check_kernels(root: &json::Value, failures: &mut Vec<String>) -> String {
+    let threads = num(root, &["train_epoch", "threads"]);
+    let hw = num(root, &["train_epoch", "hw_threads"]);
+    let vs_fresh = num(root, &["train_epoch", "speedup_vs_fresh"]);
+    let pooled_serial = num(root, &["train_epoch", "speedup_pooled_serial"]);
     if hw >= 4.0 && threads >= 4.0 {
         if vs_fresh < 1.0 {
             failures.push(format!(
@@ -77,7 +75,7 @@ fn main() {
 
     // Below-threshold segment kernels: same code path as the serial
     // reference, so the ratio is noise around 1.0.
-    if let Some(entries) = fetch(&root, &["micro_kernels", "segment"]).and_then(|v| v.as_arr()) {
+    if let Some(entries) = fetch(root, &["micro_kernels", "segment"]).and_then(|v| v.as_arr()) {
         for entry in entries {
             let name = entry.get("kernel").and_then(|v| v.as_str()).unwrap_or("?");
             let small = name.contains("_4000_");
@@ -93,12 +91,86 @@ fn main() {
             }
         }
     }
+    format!("speedup_vs_fresh {vs_fresh:.3} at {threads} threads, {hw} hw threads")
+}
+
+fn check_topk(root: &json::Value, failures: &mut Vec<String>) -> String {
+    let tiers = fetch(root, &["topk_scaling", "tiers"])
+        .and_then(|v| v.as_arr())
+        .unwrap_or_else(|| {
+            eprintln!("check_bench_regression: missing topk_scaling.tiers array");
+            std::process::exit(2);
+        });
+    if tiers.len() < 2 {
+        failures.push(format!(
+            "topk_scaling has {} tier(s); the scaling gates need at least two",
+            tiers.len()
+        ));
+    }
+    let mut prev_beam_p99 = f64::NAN;
+    let mut summary = String::from("topk tiers:");
+    for tier in tiers {
+        let n = num(tier, &["n_pois"]);
+        for profile in ["scan", "beam"] {
+            let recall = num(tier, &[profile, "recall_at_10"]);
+            if recall < 0.95 {
+                failures.push(format!(
+                    "topk tier {n}: {profile} recall@10 {recall:.4} < 0.95 vs the exact oracle"
+                ));
+            }
+        }
+        let scan_ann = num(tier, &["scan", "ann_p99_us"]);
+        let scan_exact = num(tier, &["scan", "exact_p99_us"]);
+        if n >= 200_000.0 && scan_ann >= scan_exact {
+            failures.push(format!(
+                "topk tier {n}: ANN scan p99 {scan_ann:.1}us does not beat exact \
+                 p99 {scan_exact:.1}us"
+            ));
+        }
+        let beam_p99 = num(tier, &["beam", "ann_p99_us"]);
+        if prev_beam_p99.is_finite() && beam_p99 > prev_beam_p99 * 2.0 {
+            failures.push(format!(
+                "topk tier {n}: beam ANN p99 {beam_p99:.1}us grew more than 2x over \
+                 the previous tier's {prev_beam_p99:.1}us"
+            ));
+        }
+        prev_beam_p99 = beam_p99;
+        summary.push_str(&format!(
+            " [n {n} scan {scan_ann:.0}us/exact {scan_exact:.0}us beam {beam_p99:.0}us]"
+        ));
+    }
+    summary
+}
+
+fn main() {
+    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        paths.push("BENCH_kernels.json".to_string());
+    }
+
+    let mut failures = Vec::new();
+    let mut summaries = Vec::new();
+    for path in &paths {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("check_bench_regression: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let root = json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("check_bench_regression: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        });
+        let summary = if fetch(&root, &["topk_scaling"]).is_some() {
+            check_topk(&root, &mut failures)
+        } else {
+            check_kernels(&root, &mut failures)
+        };
+        summaries.push(format!("{path}: {summary}"));
+    }
 
     if failures.is_empty() {
-        println!(
-            "check_bench_regression: {path} passes (speedup_vs_fresh {vs_fresh:.3} at \
-             {threads} threads, {hw} hw threads)"
-        );
+        for s in &summaries {
+            println!("check_bench_regression: {s} — pass");
+        }
     } else {
         for f in &failures {
             eprintln!("check_bench_regression: {f}");

@@ -50,8 +50,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("train-save") if args.len() == 2 => train_save(&args[1]),
-        Some("serve-stdin") if args.len() == 2 => serve_stdin_mode(&args[1]),
-        Some("serve-tcp") if args.len() == 3 => serve_tcp_mode(&args[1], &args[2]),
+        Some("serve-stdin") if args.len() >= 2 => {
+            serve_stdin_mode(&args[1], engine_opts(&args[2..]))
+        }
+        Some("serve-tcp") if args.len() >= 3 => {
+            serve_tcp_mode(&args[1], &args[2], engine_opts(&args[3..]))
+        }
         Some("train-resumable") if args.len() == 2 => train_resumable(&args[1], None),
         Some("train-resumable") if args.len() == 4 && args[2] == "kill-at-op" => {
             let at: usize = args[3].parse().unwrap_or_else(|_| {
@@ -74,8 +78,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: prim_serve train-save <ckpt>\n       \
-                 prim_serve serve-stdin <ckpt>\n       \
-                 prim_serve serve-tcp <ckpt> <addr>\n       \
+                 prim_serve serve-stdin <ckpt> [--cache-capacity <n|auto>]\n       \
+                 prim_serve serve-tcp <ckpt> <addr> [--cache-capacity <n|auto>]\n       \
                  prim_serve train-resumable <dir> [kill-at-op <n>]\n       \
                  prim_serve client <addr> <count>\n       \
                  prim_serve reload <addr> <ckpt>"
@@ -83,6 +87,35 @@ fn main() {
             std::process::exit(2);
         }
     }
+}
+
+/// Parses serve-mode flags. `--cache-capacity` takes an entry count, `0`
+/// (cache off), or `auto` (the default: sized proportional to the store).
+fn engine_opts(flags: &[String]) -> EngineOpts {
+    let mut opts = EngineOpts::default();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--cache-capacity" => {
+                let val = it.next().map(String::as_str).unwrap_or_else(|| {
+                    eprintln!("prim_serve: --cache-capacity wants a value");
+                    std::process::exit(2);
+                });
+                opts.cache_capacity = match val {
+                    "auto" => prim::serve::CACHE_AUTO,
+                    n => n.parse().unwrap_or_else(|_| {
+                        eprintln!("prim_serve: --cache-capacity wants <n|auto>, got {n:?}");
+                        std::process::exit(2);
+                    }),
+                };
+            }
+            other => {
+                eprintln!("prim_serve: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
 }
 
 /// Trains a laptop-scale model on a city subsample and checkpoints it.
@@ -105,7 +138,16 @@ fn train_save(path: &str) {
     );
     let mut model = PrimModel::new(cfg, &inputs);
     let report = fit(&mut model, &inputs, &ds.graph, ds.graph.edges(), None, None);
-    prim::serve::save_checkpoint(
+    // Build the serving store once here so the checkpoint carries the ANN
+    // graph: every process that loads it adopts the index instead of
+    // paying the O(n·ef) construction again.
+    let store = EmbeddingStore::from_model(&model, &inputs, ds.relation_names.clone());
+    let ann = &store
+        .ann
+        .as_ref()
+        .expect("from_model builds the index")
+        .graph;
+    prim::serve::save_checkpoint_indexed(
         path,
         "prim-serve-example",
         &model,
@@ -113,42 +155,52 @@ fn train_save(path: &str) {
         &ds.taxonomy,
         &ds.attrs,
         &ds.relation_names,
+        ann,
     )
     .unwrap_or_else(|e| {
         eprintln!("prim_serve: saving {path}: {e}");
         std::process::exit(1);
     });
     eprintln!(
-        "trained {} epochs (final loss {:.4}), checkpoint written to {path}",
+        "trained {} epochs (final loss {:.4}), indexed checkpoint written to {path}",
         report.losses.len(),
         report.final_loss()
     );
 }
 
-/// Loads a checkpoint and builds the query engine around it.
-fn load_engine(path: &str) -> Arc<ServeEngine> {
+/// Loads a checkpoint and builds the query engine around it. Goes through
+/// [`EmbeddingStore::from_checkpoint`] so a persisted `ann.*` graph is
+/// adopted instead of rebuilt (and a checkpoint without one gets a fresh
+/// deterministic index).
+fn load_engine(path: &str, opts: &EngineOpts) -> Arc<ServeEngine> {
     let ckpt = prim::serve::load_checkpoint(path).unwrap_or_else(|e| {
         eprintln!("prim_serve: loading {path}: {e}");
         std::process::exit(1);
     });
-    let (model, inputs) = ckpt.rebuild().unwrap_or_else(|e| {
-        eprintln!("prim_serve: rebuilding model: {e}");
+    let store = EmbeddingStore::from_checkpoint(&ckpt).unwrap_or_else(|e| {
+        eprintln!("prim_serve: rebuilding store: {e}");
         std::process::exit(1);
     });
-    let store = EmbeddingStore::from_model(&model, &inputs, ckpt.relation_names.clone());
     eprintln!(
-        "loaded run {:?}: {} POIs, {} relations, dim {}",
+        "loaded run {:?}: {} POIs, {} relations, dim {}, ann {}",
         ckpt.run,
         store.n_pois(),
         store.n_relations(),
-        store.dim()
+        store.dim(),
+        if ckpt.ann_graph.is_some() {
+            "adopted"
+        } else {
+            "rebuilt"
+        }
     );
     let recorder = Recorder::from_env("prim-serve");
-    Arc::new(ServeEngine::new(store, &EngineOpts::default(), recorder))
+    let engine = Arc::new(ServeEngine::new(store, opts, recorder));
+    eprintln!("score cache capacity {}", engine.cache_capacity());
+    engine
 }
 
-fn serve_stdin_mode(path: &str) {
-    let engine = load_engine(path);
+fn serve_stdin_mode(path: &str, opts: EngineOpts) {
+    let engine = load_engine(path, &opts);
     let ctx = ServeCtx::direct(Arc::clone(&engine));
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -335,9 +387,8 @@ fn reload_mode(addr: &str, ckpt: &str) {
     }
 }
 
-fn serve_tcp_mode(path: &str, addr: &str) {
-    let engine = load_engine(path);
-    let opts = EngineOpts::default();
+fn serve_tcp_mode(path: &str, addr: &str, opts: EngineOpts) {
+    let engine = load_engine(path, &opts);
     let batcher = Arc::new(Batcher::new(Arc::clone(&engine), &opts));
     let ctx = ServeCtx::batched(Arc::clone(&engine), batcher);
     let server = TcpServer::bind(addr, ctx).unwrap_or_else(|e| {
