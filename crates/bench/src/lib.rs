@@ -11,6 +11,8 @@
 //! qualitative *shape* the paper claims (who wins, orderings, linear
 //! scaling, robustness gaps).
 
+pub mod loadgen;
+
 use prim_baselines::{run_method, Method, MethodRun, RunConfig};
 use prim_data::{Dataset, Scale};
 use prim_eval::{F1Pair, Table, Task};

@@ -107,6 +107,12 @@ pub enum Counter {
     ServeDegraded,
     /// Hot checkpoint reloads applied through the engine slot.
     ServeReloads,
+    /// Requests naming a city this process does not host (answered with a
+    /// structured `unknown_tenant` error).
+    ServeUnknownTenant,
+    /// Request lines exceeding `ServeLimits::max_line_bytes` (answered
+    /// with `bad_request` and resynchronised at the next newline).
+    ServeOversized,
     /// Parallel regions distributed to the tensor worker pool.
     PoolParallelRuns,
     /// Tensor parallel regions that took the inline/serial path (below
@@ -126,7 +132,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 27] = [
         Counter::Steps,
         Counter::Epochs,
         Counter::TriplesSeen,
@@ -146,6 +152,8 @@ impl Counter {
         Counter::ServeDeadlines,
         Counter::ServeDegraded,
         Counter::ServeReloads,
+        Counter::ServeUnknownTenant,
+        Counter::ServeOversized,
         Counter::PoolParallelRuns,
         Counter::PoolInlineRuns,
         Counter::AnnNodesVisited,
@@ -176,6 +184,8 @@ impl Counter {
             Counter::ServeDeadlines => "serve_deadlines",
             Counter::ServeDegraded => "serve_degraded",
             Counter::ServeReloads => "serve_reloads",
+            Counter::ServeUnknownTenant => "serve_unknown_tenant",
+            Counter::ServeOversized => "serve_oversized_lines",
             Counter::PoolParallelRuns => "pool_parallel_runs",
             Counter::PoolInlineRuns => "pool_inline_runs",
             Counter::AnnNodesVisited => "ann_nodes_visited",

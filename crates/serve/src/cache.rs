@@ -3,7 +3,8 @@
 //! Serving workloads repeat queries (the same storefront gets looked up by
 //! many clients), so the engine memoises whole score vectors per
 //! `(src, dst, bin)` key. The cache is sharded to keep lock hold times
-//! short under the worker-per-connection server; each shard is a classic
+//! short when several event-loop shards score concurrently; each shard is
+//! a classic
 //! intrusive doubly-linked LRU list over a slab, so hits are O(1) with no
 //! allocation.
 //!

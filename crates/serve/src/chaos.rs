@@ -341,6 +341,39 @@ impl ChaosClient {
         String::from_utf8(out).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
+    /// Sends `n` copies of a request line without ever reading a
+    /// response — the *slow reader*: the server's responses pile up in
+    /// socket buffers until its writes stall, pinning admission permits
+    /// on an event-loop front end. Returns how many lines were fully
+    /// written (the server may shed/close mid-flood).
+    pub fn flood_lines(&mut self, line: &str, n: usize) -> usize {
+        let mut sent = 0;
+        for _ in 0..n {
+            if self.stream.write_all(line.as_bytes()).is_err()
+                || self.stream.write_all(b"\n").is_err()
+            {
+                break;
+            }
+            sent += 1;
+        }
+        let _ = self.stream.flush();
+        sent
+    }
+
+    /// Classic slow loris: starts a request line and keeps the connection
+    /// open by trickling one byte every `drip` without ever finishing the
+    /// line, until `total` bytes were sent or the server hangs up.
+    pub fn slow_loris(&mut self, drip: Duration, total: usize) -> std::io::Result<()> {
+        self.stream.write_all(b"{\"op\": \"")?;
+        self.stream.flush()?;
+        for _ in 0..total {
+            std::thread::sleep(drip);
+            self.stream.write_all(b"x")?;
+            self.stream.flush()?;
+        }
+        Ok(())
+    }
+
     /// Drops the connection without reading pending responses. Closing a
     /// socket with unread received data makes the kernel send RST, so the
     /// server's next write fails with connection-reset/broken-pipe — the

@@ -1148,8 +1148,14 @@ struct BatcherInner {
 /// Callers block in [`Batcher::submit`]; a dedicated worker thread drains
 /// the queue once it reaches `batch_max_pairs` or the oldest request has
 /// waited `batch_max_wait`, whichever comes first, and fans the per-pair
-/// results back out. Under a worker-per-connection server this turns many
+/// results back out. Under a concurrent front end this turns many
 /// simultaneous point lookups into a few kernel invocations.
+///
+/// The batcher *degrades, never panics*: `batch_max_pairs == 0` skips the
+/// worker thread entirely and scores inline, a failed worker spawn logs a
+/// structured `batcher_spawn_failed` event and falls back to the same
+/// inline path, and a worker that dies mid-flight turns subsequent
+/// submissions inline instead of poisoning every connection.
 pub struct Batcher {
     inner: Arc<BatcherInner>,
     worker: Option<std::thread::JoinHandle<()>>,
@@ -1174,15 +1180,50 @@ impl Batcher {
             max_pairs: opts.batch_max_pairs.max(1),
             max_wait: opts.batch_max_wait,
         });
+        if opts.batch_max_pairs == 0 {
+            // Zero capacity: a batch of one is just an inline call; no
+            // thread to spawn, no channel round-trip to pay.
+            return Batcher {
+                inner,
+                worker: None,
+            };
+        }
         let worker_inner = Arc::clone(&inner);
-        let worker = std::thread::Builder::new()
+        let worker = match std::thread::Builder::new()
             .name("prim-serve-batcher".into())
             .spawn(move || Self::run(worker_inner))
-            .expect("spawn batcher worker");
-        Batcher {
-            inner,
-            worker: Some(worker),
-        }
+        {
+            Ok(w) => Some(w),
+            Err(e) => {
+                // Structured serve error + inline fallback, not a panic:
+                // a box that cannot spawn threads can still score.
+                eprintln!(
+                    "{}",
+                    prim_obs::json::obj(&[
+                        ("event", prim_obs::json::str("batcher_spawn_failed")),
+                        ("error", prim_obs::json::str(&e.to_string())),
+                    ])
+                );
+                None
+            }
+        };
+        Batcher { inner, worker }
+    }
+
+    /// True when submissions score inline (zero capacity, failed spawn).
+    pub fn is_inline(&self) -> bool {
+        self.worker.is_none()
+    }
+
+    /// Scores one pair exactly as the worker would: a batch of one
+    /// through the shared slot (cache, counters and kernels included).
+    fn score_inline(&self, src: u32, dst: u32) -> PairScores {
+        self.inner
+            .slot
+            .get()
+            .batch(&[(src, dst)])
+            .pop()
+            .expect("batch of one returns one result")
     }
 
     fn run(inner: Arc<BatcherInner>) {
@@ -1224,22 +1265,42 @@ impl Batcher {
     }
 
     /// Scores one pair through the micro-batch queue, blocking until the
-    /// worker flushes.
+    /// worker flushes. Inline mode (and a worker that died mid-request)
+    /// scores directly instead of panicking.
     pub fn submit(&self, src: u32, dst: u32) -> PairScores {
+        if self.worker.is_none() {
+            return self.score_inline(src, dst);
+        }
         let (tx, rx) = mpsc::channel();
         {
             let mut st = self.inner.state.lock().unwrap();
             st.queue.push((src, dst, tx));
             self.inner.cv.notify_all();
         }
-        rx.recv().expect("batcher worker dropped a request")
+        match rx.recv() {
+            Ok(s) => s,
+            // The worker dropped our sender without answering (it died or
+            // is shutting down): degrade to the inline path.
+            Err(_) => self.score_inline(src, dst),
+        }
     }
 
     /// [`Batcher::submit`] bounded by a deadline: returns `None` when the
     /// worker has not flushed this pair's batch by then (the caller turns
     /// that into a structured `deadline_exceeded` error). The result, when
-    /// it does arrive late, is dropped with the channel.
+    /// it does arrive late, is dropped with the channel. Inline mode (and
+    /// a dead worker) scores directly when budget remains.
     pub fn submit_deadline(&self, src: u32, dst: u32, deadline: Instant) -> Option<PairScores> {
+        let inline_within_budget = || {
+            if Instant::now() >= deadline {
+                None
+            } else {
+                Some(self.score_inline(src, dst))
+            }
+        };
+        if self.worker.is_none() {
+            return inline_within_budget();
+        }
         let (tx, rx) = mpsc::channel();
         {
             let mut st = self.inner.state.lock().unwrap();
@@ -1247,7 +1308,11 @@ impl Batcher {
             self.inner.cv.notify_all();
         }
         let budget = deadline.saturating_duration_since(Instant::now());
-        rx.recv_timeout(budget).ok()
+        match rx.recv_timeout(budget) {
+            Ok(s) => Some(s),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => inline_within_budget(),
+        }
     }
 
     /// The slot this batcher resolves its engine through.

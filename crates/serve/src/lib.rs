@@ -29,6 +29,7 @@ pub mod cache;
 pub mod chaos;
 pub mod ckpt;
 pub mod engine;
+pub mod poll;
 pub mod proto;
 pub mod resume;
 pub mod rotate;
@@ -48,10 +49,13 @@ pub use engine::{
     score_pairs_all, AnnOpts, Batcher, EngineOpts, EngineSlot, Neighbor, PairScores, ServeEngine,
     CACHE_AUTO,
 };
+pub use poll::{Event, Interest, Poller};
 pub use proto::{
-    handle_line, handle_request, AdmissionGate, AdmissionPermit, Handled, ServeCtx, ServeLimits,
+    handle_line, handle_request, handle_request_gated, oversized_line_error, AdmissionGate,
+    AdmissionPermit, GatePermit, GatedHandled, Handled, ServeCtx, ServeLimits, Tenant, TenantSpec,
+    DEFAULT_TENANT,
 };
 pub use resume::{fit_resumable, fit_resumable_hooked, ResilienceOpts, ResumableRun, ResumeError};
 pub use rotate::{CkptRotator, LATEST};
-pub use server::{serve_stdin, TcpServer};
+pub use server::{serve_stdin, LineEvent, LineFramer, TcpServer};
 pub use store::EmbeddingStore;

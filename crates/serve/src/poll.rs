@@ -1,0 +1,372 @@
+//! Minimal readiness poller backing the event-loop TCP front end.
+//!
+//! The workspace vendors no crates, so on Linux/x86_64 (the only tier-1
+//! target) this talks to epoll directly through raw syscalls — the same
+//! three calls `mio` would make (`epoll_create1`, `epoll_ctl`,
+//! `epoll_wait`), level-triggered so the event loop may process a bounded
+//! slice of a socket's pending bytes per tick and rely on the next tick
+//! re-reporting readiness. Every other platform gets a degraded-but-correct
+//! fallback that reports every registered descriptor as ready after a
+//! short sleep; with nonblocking sockets a spurious "ready" costs one
+//! `EWOULDBLOCK` read, never a stall.
+//!
+//! Tokens are caller-chosen `u64`s carried in the kernel event payload;
+//! the poller never interprets them.
+
+/// One readiness report for a registered descriptor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Event {
+    /// The token supplied at registration.
+    pub token: u64,
+    /// Data can be read (or a pending connection accepted).
+    pub readable: bool,
+    /// The socket can accept writes again.
+    pub writable: bool,
+    /// Peer closed or error condition; drain then close.
+    pub hangup: bool,
+}
+
+/// Which readiness directions a registration asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    const SYS_EPOLL_WAIT: i64 = 232;
+    const SYS_EPOLL_CTL: i64 = 233;
+    const SYS_EPOLL_CREATE1: i64 = 291;
+    const SYS_CLOSE: i64 = 3;
+
+    const EPOLL_CLOEXEC: u64 = 0x8_0000;
+    const EPOLL_CTL_ADD: u64 = 1;
+    const EPOLL_CTL_DEL: u64 = 2;
+    const EPOLL_CTL_MOD: u64 = 3;
+
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EINTR: i64 = 4;
+
+    /// Kernel epoll_event layout: x86_64 declares it packed.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[inline]
+    unsafe fn syscall4(n: i64, a: i64, b: i64, c: i64, d: i64) -> i64 {
+        let ret: i64;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            out("rcx") _,
+            out("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: i64) -> io::Result<i64> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    /// Level-triggered epoll instance; closes its descriptor on drop.
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            let fd = check(unsafe { syscall4(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC as i64, 0, 0, 0) })?;
+            Ok(Poller { epfd: fd as RawFd })
+        }
+
+        fn ctl(&self, op: u64, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let ev = EpollEvent {
+                events,
+                data: token,
+            };
+            check(unsafe {
+                syscall4(
+                    SYS_EPOLL_CTL,
+                    self.epfd as i64,
+                    op as i64,
+                    fd as i64,
+                    &ev as *const EpollEvent as i64,
+                )
+            })?;
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, mask(interest), token)
+        }
+
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, mask(interest), token)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            // The event pointer is ignored for DEL on modern kernels but
+            // must still be non-null for pre-2.6.9 compatibility.
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Blocks until at least one registered descriptor is ready or
+        /// `timeout` elapses, appending reports to `out` (cleared first).
+        /// `EINTR` reports as zero events rather than an error.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            const MAX_EVENTS: usize = 256;
+            let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            let ms: i64 = match timeout {
+                None => -1,
+                // Round up so a 100µs timeout still sleeps.
+                Some(t) => (t.as_millis() as i64).max(i64::from(!t.is_zero())),
+            };
+            let n = unsafe {
+                syscall4(
+                    SYS_EPOLL_WAIT,
+                    self.epfd as i64,
+                    buf.as_mut_ptr() as i64,
+                    MAX_EVENTS as i64,
+                    ms,
+                )
+            };
+            if n == -EINTR {
+                return Ok(());
+            }
+            let n = check(n)? as usize;
+            for ev in &buf[..n] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & EPOLLIN != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                let _ = syscall4(SYS_CLOSE, self.epfd as i64, 0, 0, 0);
+            }
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Portable fallback: no kernel readiness facility, so after a short
+    /// sleep every registration is reported ready in both directions. The
+    /// event loop's sockets are nonblocking, so a false positive is a
+    /// single `WouldBlock` round, trading efficiency for correctness.
+    pub struct Poller {
+        registered: Mutex<Vec<(RawFd, u64)>>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Self> {
+            Ok(Poller {
+                registered: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, _interest: Interest) -> io::Result<()> {
+            self.registered.lock().unwrap().push((fd, token));
+            Ok(())
+        }
+
+        pub fn modify(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            Ok(())
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().unwrap().retain(|&(f, _)| f != fd);
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let nap = timeout
+                .unwrap_or(Duration::from_millis(5))
+                .min(Duration::from_millis(5));
+            std::thread::sleep(nap);
+            for &(_, token) in self.registered.lock().unwrap().iter() {
+                out.push(Event {
+                    token,
+                    readable: true,
+                    writable: true,
+                    hangup: false,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+pub use sys::Poller;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn listener_readiness_on_pending_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .register(listener.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+
+        let mut events = Vec::new();
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            // The fallback poller reports spurious readiness by design, so
+            // only epoll asserts silence before a connection is pending.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(events.is_empty(), "no pending connection yet");
+        }
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.readable),
+            "pending connection must surface as readable"
+        );
+        poller.deregister(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn stream_read_write_readiness_and_token_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller
+            .register(server_side.as_raw_fd(), 42, Interest::READ_WRITE)
+            .unwrap();
+
+        // A fresh socket with empty buffers is writable but not readable.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token == 42).expect("event");
+        assert!(ev.writable, "fresh socket must be writable");
+
+        client.write_all(b"ping\n").unwrap();
+        client.flush().unwrap();
+        // Readiness may take a beat to propagate through loopback.
+        let mut saw_readable = false;
+        for _ in 0..50 {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(40)))
+                .unwrap();
+            if events.iter().any(|e| e.token == 42 && e.readable) {
+                saw_readable = true;
+                break;
+            }
+        }
+        assert!(saw_readable, "written bytes must surface as readable");
+
+        let mut buf = [0u8; 16];
+        let n = (&server_side).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping\n");
+
+        // Downgrading interest to read-only must not report writable
+        // (epoll path; fallback is allowed its spurious readiness).
+        poller
+            .modify(server_side.as_raw_fd(), 42, Interest::READ)
+            .unwrap();
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| e.token != 42 || !e.writable),
+                "read-only interest must not report writable"
+            );
+        }
+
+        // Peer hangup surfaces so the loop can reap the connection.
+        drop(client);
+        let mut saw_hup = false;
+        for _ in 0..50 {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(40)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token == 42 && (e.hangup || e.readable))
+            {
+                saw_hup = true;
+                break;
+            }
+        }
+        assert!(saw_hup, "peer close must surface");
+    }
+}

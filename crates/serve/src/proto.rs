@@ -2,22 +2,36 @@
 //!
 //! One request per line, one response per line, both JSON objects built on
 //! the `prim-obs` JSON writer/parser (no serde in the workspace). Requests
-//! carry an `"op"` discriminator:
+//! carry an `"op"` discriminator and, on a multi-tenant server, a `"city"`
+//! naming the engine to route to:
 //!
 //! ```text
 //! {"op": "score", "src": 12, "dst": 40}
+//! {"op": "score", "city": "beijing", "src": 12, "dst": 40}
 //! {"op": "batch", "pairs": [[12, 40], [7, 9]]}
 //! {"op": "top_k", "src": 12, "radius_km": 1.5, "k": 5, "relation": "competitive"}
 //! {"op": "health"}
-//! {"op": "reload", "path": "/ckpts/new.prim"}
+//! {"op": "reload", "city": "beijing", "path": "/ckpts/new.prim"}
 //! {"op": "shutdown"}
 //! ```
 //!
 //! Responses always carry `"ok"`; failures add a machine-readable `"code"`
-//! (`bad_request`, `unknown_op`, `overloaded`, `deadline_exceeded`,
-//! `reload_failed`) next to the human-readable `"error"` and never tear
-//! the connection down. Score vectors render relation-by-name so clients
-//! need no id mapping.
+//! (`bad_request`, `unknown_op`, `unknown_tenant`, `overloaded`,
+//! `deadline_exceeded`, `reload_failed`) next to the human-readable
+//! `"error"` and never tear the connection down. Score vectors render
+//! relation-by-name so clients need no id mapping.
+//!
+//! ## Tenancy
+//!
+//! A [`ServeCtx`] hosts one or more named [`Tenant`]s, each a complete
+//! serving stack: its own [`EngineSlot`] (so hot `reload` stays per-city
+//! and atomic), score cache, optional micro-batcher and `prim-obs`
+//! recorder. Requests carrying `"city"` route to that tenant; a name this
+//! process does not host earns a structured `unknown_tenant` error. On a
+//! single-tenant context a request without `"city"` behaves exactly as the
+//! pre-tenancy protocol did — byte-for-byte, including `health` — and
+//! responses echo `"city"` only when the request named one. A
+//! multi-tenant `health` without `"city"` aggregates every tenant.
 //!
 //! ## Resilience semantics
 //!
@@ -26,7 +40,9 @@
 //!
 //! * **Admission control** — `queue_capacity` bounds concurrently admitted
 //!   requests; excess load is shed *immediately* with `overloaded` rather
-//!   than queued into a latency collapse.
+//!   than queued into a latency collapse. The event-loop front end holds
+//!   each request's permit until its response bytes reach the socket, so
+//!   slow readers saturate the gate instead of ballooning memory.
 //! * **Deadlines** — `deadline` gives each request a time budget from the
 //!   moment its line is read. Expired budgets return `deadline_exceeded`
 //!   instead of hanging; batched `score` ops use a deadline-bounded wait.
@@ -34,10 +50,13 @@
 //!   under `degrade_margin`, the engine skips the scoring pass and answers
 //!   from the spatial grid alone, flagged `"degraded": true` — a cheap,
 //!   still-useful answer beats a deadline miss.
+//! * **Line bounds** — `max_line_bytes` caps a single request line; an
+//!   oversized line earns a `bad_request` and the connection resyncs at
+//!   the next newline instead of buffering without bound.
 //!
 //! `health` answers without consuming an admission slot (a saturated
 //! server must still report that it is alive), and `reload` atomically
-//! swaps a freshly loaded checkpoint into the shared [`EngineSlot`]
+//! swaps a freshly loaded checkpoint into that tenant's [`EngineSlot`]
 //! without failing any in-flight request.
 
 use crate::ckpt::load_checkpoint;
@@ -46,7 +65,7 @@ use crate::store::EmbeddingStore;
 use prim_obs::json::{self, Value};
 use prim_obs::Counter;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Overload/latency guard-rails for one serving context. The default is
@@ -60,14 +79,20 @@ pub struct ServeLimits {
     /// `top_k` degrades to a grid-only answer when the remaining budget
     /// drops below this. Zero never degrades.
     pub degrade_margin: Duration,
-    /// Socket read timeout (TCP connections); also bounds how long a
-    /// stalled client can hold a connection thread.
+    /// How long a connection may stall mid-line before it is closed
+    /// (slow-loris protection); also the idle read timeout on the legacy
+    /// blocking paths.
     pub read_timeout: Option<Duration>,
-    /// Socket write timeout (TCP connections).
+    /// How long a connection with queued response bytes may refuse to
+    /// accept writes before it is closed (slow-reader protection).
     pub write_timeout: Option<Duration>,
     /// Maximum concurrently admitted requests before shedding with
     /// `overloaded`. Zero means unbounded.
     pub queue_capacity: usize,
+    /// Maximum bytes in one request line before it is rejected with
+    /// `bad_request` and the stream resyncs at the next newline. Zero
+    /// means unlimited.
+    pub max_line_bytes: usize,
 }
 
 /// Counting admission gate: at most `capacity` requests in flight, excess
@@ -77,12 +102,25 @@ pub struct AdmissionGate {
     inflight: AtomicUsize,
 }
 
-/// An admission slot; releases on drop.
+/// An admission slot borrowed from a gate; releases on drop.
 pub struct AdmissionPermit<'a>(Option<&'a AdmissionGate>);
 
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
         if let Some(gate) = self.0 {
+            gate.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// An owned admission slot: same accounting as [`AdmissionPermit`] but
+/// holding the gate by `Arc`, so the event loop can keep it alive until
+/// the response bytes actually reach the socket.
+pub struct GatePermit(Option<Arc<AdmissionGate>>);
+
+impl Drop for GatePermit {
+    fn drop(&mut self) {
+        if let Some(gate) = self.0.take() {
             gate.inflight.fetch_sub(1, Ordering::AcqRel);
         }
     }
@@ -96,16 +134,12 @@ impl AdmissionGate {
         }
     }
 
-    /// Tries to take a slot; `None` means the server is saturated and this
-    /// request must be shed.
-    pub fn admit(&self) -> Option<AdmissionPermit<'_>> {
-        if self.capacity == 0 {
-            return Some(AdmissionPermit(None));
-        }
+    /// CAS-increments the in-flight count unless the gate is full.
+    fn try_inc(&self) -> bool {
         let mut cur = self.inflight.load(Ordering::Relaxed);
         loop {
             if cur >= self.capacity {
-                return None;
+                return false;
             }
             match self.inflight.compare_exchange_weak(
                 cur,
@@ -113,9 +147,35 @@ impl AdmissionGate {
                 Ordering::AcqRel,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Some(AdmissionPermit(Some(self))),
+                Ok(_) => return true,
                 Err(now) => cur = now,
             }
+        }
+    }
+
+    /// Tries to take a slot; `None` means the server is saturated and this
+    /// request must be shed.
+    pub fn admit(&self) -> Option<AdmissionPermit<'_>> {
+        if self.capacity == 0 {
+            return Some(AdmissionPermit(None));
+        }
+        if self.try_inc() {
+            Some(AdmissionPermit(Some(self)))
+        } else {
+            None
+        }
+    }
+
+    /// [`AdmissionGate::admit`] returning an owned permit that can outlive
+    /// the call frame (held until the response is flushed).
+    pub fn admit_owned(self: &Arc<Self>) -> Option<GatePermit> {
+        if self.capacity == 0 {
+            return Some(GatePermit(None));
+        }
+        if self.try_inc() {
+            Some(GatePermit(Some(Arc::clone(self))))
+        } else {
+            None
         }
     }
 
@@ -125,15 +185,103 @@ impl AdmissionGate {
     }
 }
 
-/// Shared serving context handed to every connection: the hot-reloadable
-/// engine slot, an optional micro-batcher for single-pair ops, the
+/// One named city engine inside a serving process: hot-reloadable slot,
+/// optional micro-batcher, and the checkpoint path `reload` last applied
+/// (engines carry their own score cache and recorder).
+pub struct Tenant {
+    name: String,
+    slot: Arc<EngineSlot>,
+    batcher: Option<Arc<Batcher>>,
+    ckpt_path: Mutex<Option<String>>,
+}
+
+impl Tenant {
+    fn new(
+        name: impl Into<String>,
+        slot: Arc<EngineSlot>,
+        batcher: Option<Arc<Batcher>>,
+        ckpt_path: Option<String>,
+    ) -> Self {
+        Tenant {
+            name: name.into(),
+            slot,
+            batcher,
+            ckpt_path: Mutex::new(ckpt_path),
+        }
+    }
+
+    /// The city name requests route on.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This tenant's hot-reload slot.
+    pub fn slot(&self) -> Arc<EngineSlot> {
+        Arc::clone(&self.slot)
+    }
+
+    /// This tenant's current engine.
+    pub fn engine(&self) -> Arc<ServeEngine> {
+        self.slot.get()
+    }
+
+    /// The checkpoint path most recently loaded for this tenant (at
+    /// construction or by `reload`).
+    pub fn ckpt_path(&self) -> Option<String> {
+        self.ckpt_path.lock().unwrap().clone()
+    }
+}
+
+/// Construction spec for one tenant of a multi-city [`ServeCtx`].
+pub struct TenantSpec {
+    /// City name requests route on (must be unique per context).
+    pub city: String,
+    /// The engine serving this city.
+    pub engine: Arc<ServeEngine>,
+    /// Optional micro-batcher for this city's single-pair `score` ops.
+    /// Must share the tenant's slot to survive hot reloads; build it with
+    /// [`Batcher::over_slot`].
+    pub batcher: Option<Arc<Batcher>>,
+    /// Checkpoint path the engine was loaded from (reported by the
+    /// aggregate `health` op).
+    pub ckpt_path: Option<String>,
+}
+
+impl TenantSpec {
+    /// A plain direct-scoring tenant.
+    pub fn new(city: impl Into<String>, engine: Arc<ServeEngine>) -> Self {
+        TenantSpec {
+            city: city.into(),
+            engine,
+            batcher: None,
+            ckpt_path: None,
+        }
+    }
+
+    /// Records the checkpoint path this tenant was loaded from.
+    pub fn with_ckpt_path(mut self, path: impl Into<String>) -> Self {
+        self.ckpt_path = Some(path.into());
+        self
+    }
+
+    /// Routes this tenant's single-pair scores through a micro-batcher.
+    /// The tenant adopts the batcher's [`EngineSlot`], so hot reloads
+    /// retarget direct and batched paths together.
+    pub fn with_batcher(mut self, batcher: Arc<Batcher>) -> Self {
+        self.batcher = Some(batcher);
+        self
+    }
+}
+
+/// The default single-tenant name ([`ServeCtx::direct`]/[`ServeCtx::batched`]).
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Shared serving context handed to every connection: the named tenants
+/// (each a hot-reloadable engine slot plus optional micro-batcher), the
 /// resilience limits and the admission gate.
 #[derive(Clone)]
 pub struct ServeCtx {
-    slot: Arc<EngineSlot>,
-    /// When present, `score` ops route through the micro-batch queue so
-    /// concurrent connections share kernel invocations.
-    pub batcher: Option<Arc<Batcher>>,
+    tenants: Arc<Vec<Tenant>>,
     /// Deadline/admission/timeout knobs (default: all off).
     pub limits: ServeLimits,
     gate: Arc<AdmissionGate>,
@@ -142,15 +290,23 @@ pub struct ServeCtx {
 }
 
 impl ServeCtx {
-    /// Context scoring directly against the engine (no micro-batching).
-    pub fn direct(engine: Arc<ServeEngine>) -> Self {
+    fn single(tenant: Tenant) -> Self {
         ServeCtx {
-            slot: EngineSlot::new(engine),
-            batcher: None,
+            tenants: Arc::new(vec![tenant]),
             limits: ServeLimits::default(),
             gate: Arc::new(AdmissionGate::new(0)),
             engine_opts: EngineOpts::default(),
         }
+    }
+
+    /// Context scoring directly against the engine (no micro-batching).
+    pub fn direct(engine: Arc<ServeEngine>) -> Self {
+        Self::single(Tenant::new(
+            DEFAULT_TENANT,
+            EngineSlot::new(engine),
+            None,
+            None,
+        ))
     }
 
     /// Context routing single-pair scores through a micro-batcher. The
@@ -158,9 +314,38 @@ impl ServeCtx {
     /// retargets direct *and* batched paths together.
     pub fn batched(engine: Arc<ServeEngine>, batcher: Arc<Batcher>) -> Self {
         let _ = engine; // the batcher's slot is authoritative
+        Self::single(Tenant::new(
+            DEFAULT_TENANT,
+            batcher.slot(),
+            Some(batcher),
+            None,
+        ))
+    }
+
+    /// Multi-city context: one process hosts every named engine, requests
+    /// route on their `"city"` field. Panics on an empty spec list or a
+    /// duplicate city name (a routing table that cannot be built is a
+    /// construction bug, not client input).
+    pub fn multi(specs: Vec<TenantSpec>) -> Self {
+        assert!(
+            !specs.is_empty(),
+            "ServeCtx::multi needs at least one tenant"
+        );
+        let mut tenants = Vec::with_capacity(specs.len());
+        for spec in specs {
+            assert!(
+                !tenants.iter().any(|t: &Tenant| t.name == spec.city),
+                "duplicate tenant {:?}",
+                spec.city
+            );
+            let slot = match &spec.batcher {
+                Some(b) => b.slot(),
+                None => EngineSlot::new(spec.engine),
+            };
+            tenants.push(Tenant::new(spec.city, slot, spec.batcher, spec.ckpt_path));
+        }
         ServeCtx {
-            slot: batcher.slot(),
-            batcher: Some(batcher),
+            tenants: Arc::new(tenants),
             limits: ServeLimits::default(),
             gate: Arc::new(AdmissionGate::new(0)),
             engine_opts: EngineOpts::default(),
@@ -181,18 +366,34 @@ impl ServeCtx {
         self
     }
 
-    /// The current engine (resolved through the hot-reload slot).
+    /// The default tenant's current engine (resolved through its
+    /// hot-reload slot).
     pub fn engine(&self) -> Arc<ServeEngine> {
-        self.slot.get()
+        self.tenants[0].slot.get()
     }
 
-    /// The hot-reload slot shared by every path in this context.
+    /// The default tenant's hot-reload slot.
     pub fn slot(&self) -> Arc<EngineSlot> {
-        Arc::clone(&self.slot)
+        self.tenants[0].slot()
+    }
+
+    /// Every tenant this context hosts, in construction order (the first
+    /// is the default tenant).
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Looks a tenant up by city name.
+    pub fn tenant_named(&self, city: &str) -> Option<&Tenant> {
+        self.tenants.iter().find(|t| t.name == city)
     }
 
     /// The admission gate (exposed for tests and health reporting).
     pub fn gate(&self) -> &AdmissionGate {
+        &self.gate
+    }
+
+    fn gate_arc(&self) -> &Arc<AdmissionGate> {
         &self.gate
     }
 }
@@ -203,6 +404,26 @@ pub struct Handled {
     pub response: String,
     /// True when the request asked the server to stop.
     pub shutdown: bool,
+}
+
+/// [`Handled`] plus the admission permit the request holds. The event
+/// loop keeps the permit alive until the response bytes reach the socket,
+/// so a slow reader's queued responses keep occupying gate slots and new
+/// load sheds instead of buffering without bound.
+pub struct GatedHandled {
+    pub handled: Handled,
+    /// `Some` only for ops that passed the admission gate (`health`,
+    /// `shutdown`, parse failures and shed responses carry none).
+    pub permit: Option<GatePermit>,
+}
+
+impl GatedHandled {
+    fn ungated(handled: Handled) -> Self {
+        GatedHandled {
+            handled,
+            permit: None,
+        }
+    }
 }
 
 fn err_code(code: &str, msg: impl std::fmt::Display) -> Handled {
@@ -218,6 +439,14 @@ fn err_code(code: &str, msg: impl std::fmt::Display) -> Handled {
 
 fn err(msg: impl std::fmt::Display) -> Handled {
     err_code("bad_request", msg)
+}
+
+/// The structured error for a request line that exceeded
+/// `max_line_bytes`; shared by every front end so the bytes agree.
+pub fn oversized_line_error(len: usize, max: usize) -> Handled {
+    err(format!(
+        "request line of {len} bytes exceeds max_line_bytes {max}"
+    ))
 }
 
 fn need_u32(v: &Value, key: &str, limit: usize) -> Result<u32, String> {
@@ -260,6 +489,20 @@ fn expired(deadline: Option<Instant>) -> bool {
     deadline.is_some_and(|t| Instant::now() >= t)
 }
 
+/// Builds an ok-response object, echoing `"city"` right after `"op"` iff
+/// the request routed by name — cityless requests keep the exact
+/// pre-tenancy bytes.
+fn ok_obj(op: &str, city: Option<&str>, rest: &[(&str, String)]) -> String {
+    let mut fields: Vec<(&str, String)> = Vec::with_capacity(rest.len() + 3);
+    fields.push(("ok", "true".to_string()));
+    fields.push(("op", json::str(op)));
+    if let Some(c) = city {
+        fields.push(("city", json::str(c)));
+    }
+    fields.extend(rest.iter().map(|(k, v)| (*k, v.clone())));
+    json::obj(&fields)
+}
+
 /// Handles one raw request line with no deadline (the stdin path and
 /// pre-resilience callers).
 pub fn handle_line(ctx: &ServeCtx, line: &str) -> Handled {
@@ -271,55 +514,145 @@ pub fn handle_line(ctx: &ServeCtx, line: &str) -> Handled {
 /// absolute time budget (the server stamps it when the line arrives).
 /// Never panics on client input.
 pub fn handle_request(ctx: &ServeCtx, line: &str, deadline: Option<Instant>) -> Handled {
+    handle_request_gated(ctx, line, deadline).handled
+}
+
+/// [`handle_request`] for readiness-driven front ends: admitted requests
+/// return their [`GatePermit`] so the caller can hold it until the
+/// response is flushed. Dropping the permit immediately reproduces
+/// [`handle_request`] exactly.
+pub fn handle_request_gated(ctx: &ServeCtx, line: &str, deadline: Option<Instant>) -> GatedHandled {
     let v = match json::parse(line) {
         Ok(v) => v,
-        Err(e) => return err(format!("bad JSON: {e}")),
+        Err(e) => return GatedHandled::ungated(err(format!("bad JSON: {e}"))),
     };
     let op = match v.get("op").and_then(|o| o.as_str()) {
         Some(op) => op.to_string(),
-        None => return err("missing \"op\" field"),
+        None => return GatedHandled::ungated(err("missing \"op\" field")),
     };
-    let engine = ctx.slot.get();
 
-    // `health` and `shutdown` bypass the admission gate: a saturated
-    // server must still answer liveness probes and accept its stop order.
-    match op.as_str() {
-        "health" => {
-            let store = engine.store();
-            return Handled {
-                response: json::obj(&[
-                    ("ok", "true".to_string()),
-                    ("op", json::str("health")),
+    // Tenant routing: an explicit "city" must name a hosted tenant; a
+    // cityless request on a single-tenant context routes to it (the
+    // pre-tenancy protocol, byte-for-byte).
+    let city = match v.get("city") {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        Some(_) => return GatedHandled::ungated(err("\"city\" must be a string")),
+        None => None,
+    };
+
+    if op == "shutdown" {
+        return GatedHandled::ungated(Handled {
+            response: json::obj(&[("ok", "true".to_string()), ("op", json::str("shutdown"))]),
+            shutdown: true,
+        });
+    }
+
+    let tenant = match city {
+        Some(name) => match ctx.tenant_named(name) {
+            Some(t) => t,
+            None => {
+                ctx.engine().recorder().add(Counter::ServeUnknownTenant, 1);
+                return GatedHandled::ungated(err_code(
+                    "unknown_tenant",
+                    format!("unknown city {name:?}"),
+                ));
+            }
+        },
+        None if ctx.tenants.len() == 1 => &ctx.tenants[0],
+        None => {
+            // `health` without a city on a multi-tenant server aggregates
+            // every tenant — a liveness probe should not need routing.
+            if op == "health" {
+                return GatedHandled::ungated(aggregate_health(ctx));
+            }
+            ctx.engine().recorder().add(Counter::ServeUnknownTenant, 1);
+            return GatedHandled::ungated(err_code(
+                "unknown_tenant",
+                "multi-tenant server: request must name a \"city\"",
+            ));
+        }
+    };
+    let engine = tenant.slot.get();
+
+    // `health` bypasses the admission gate: a saturated server must still
+    // answer liveness probes.
+    if op == "health" {
+        let store = engine.store();
+        return GatedHandled::ungated(Handled {
+            response: ok_obj(
+                "health",
+                city,
+                &[
                     ("status", json::str("ok")),
                     ("n_pois", json::int(store.n_pois() as u64)),
                     ("n_relations", json::int(store.n_relations() as u64)),
                     ("dim", json::int(store.dim() as u64)),
-                    ("reloads", json::int(ctx.slot.reloads())),
+                    ("reloads", json::int(tenant.slot.reloads())),
                     ("inflight", json::int(ctx.gate.inflight() as u64)),
-                ]),
-                shutdown: false,
-            };
-        }
-        "shutdown" => {
-            return Handled {
-                response: json::obj(&[("ok", "true".to_string()), ("op", json::str("shutdown"))]),
-                shutdown: true,
-            }
-        }
-        _ => {}
+                ],
+            ),
+            shutdown: false,
+        });
     }
 
-    let Some(_permit) = ctx.gate.admit() else {
+    let Some(permit) = ctx.gate_arc().admit_owned() else {
         engine.recorder().add(Counter::ServeOverloads, 1);
-        return err_code("overloaded", "admission queue full, request shed");
+        return GatedHandled::ungated(err_code("overloaded", "admission queue full, request shed"));
     };
 
+    let handled = handle_admitted(ctx, tenant, &engine, &v, &op, city, deadline);
+    GatedHandled {
+        handled,
+        permit: Some(permit),
+    }
+}
+
+fn aggregate_health(ctx: &ServeCtx) -> Handled {
+    let rows: Vec<String> = ctx
+        .tenants
+        .iter()
+        .map(|t| {
+            let store_engine = t.slot.get();
+            let store = store_engine.store();
+            json::obj(&[
+                ("city", json::str(&t.name)),
+                ("n_pois", json::int(store.n_pois() as u64)),
+                ("n_relations", json::int(store.n_relations() as u64)),
+                ("dim", json::int(store.dim() as u64)),
+                ("reloads", json::int(t.slot.reloads())),
+                ("ckpt", json::str(&t.ckpt_path().unwrap_or_default())),
+            ])
+        })
+        .collect();
+    Handled {
+        response: json::obj(&[
+            ("ok", "true".to_string()),
+            ("op", json::str("health")),
+            ("status", json::str("ok")),
+            ("tenants", json::arr(&rows)),
+            ("inflight", json::int(ctx.gate.inflight() as u64)),
+        ]),
+        shutdown: false,
+    }
+}
+
+/// The post-admission op dispatch; `city` is echoed in ok responses iff
+/// the request routed by name.
+fn handle_admitted(
+    ctx: &ServeCtx,
+    tenant: &Tenant,
+    engine: &Arc<ServeEngine>,
+    v: &Value,
+    op: &str,
+    city: Option<&str>,
+    deadline: Option<Instant>,
+) -> Handled {
     let store = engine.store();
-    match op.as_str() {
+    match op {
         "score" => {
             let (src, dst) = match (
-                need_u32(&v, "src", store.n_pois()),
-                need_u32(&v, "dst", store.n_pois()),
+                need_u32(v, "src", store.n_pois()),
+                need_u32(v, "dst", store.n_pois()),
             ) {
                 (Ok(s), Ok(d)) => (s, d),
                 (Err(e), _) | (_, Err(e)) => return err(e),
@@ -331,7 +664,7 @@ pub fn handle_request(ctx: &ServeCtx, line: &str, deadline: Option<Instant>) -> 
                     "request deadline passed before scoring",
                 );
             }
-            let scored = match (&ctx.batcher, deadline) {
+            let scored = match (&tenant.batcher, deadline) {
                 (Some(b), Some(t)) => match b.submit_deadline(src, dst, t) {
                     Some(s) => s,
                     None => {
@@ -346,11 +679,11 @@ pub fn handle_request(ctx: &ServeCtx, line: &str, deadline: Option<Instant>) -> 
                 (None, _) => engine.score(src, dst),
             };
             Handled {
-                response: json::obj(&[
-                    ("ok", "true".to_string()),
-                    ("op", json::str("score")),
-                    ("result", pair_scores_json(&engine, &scored)),
-                ]),
+                response: ok_obj(
+                    "score",
+                    city,
+                    &[("result", pair_scores_json(engine, &scored))],
+                ),
                 shutdown: false,
             }
         }
@@ -388,21 +721,14 @@ pub fn handle_request(ctx: &ServeCtx, line: &str, deadline: Option<Instant>) -> 
                 );
             }
             let scored = engine.batch(&pairs);
-            let results: Vec<String> = scored
-                .iter()
-                .map(|s| pair_scores_json(&engine, s))
-                .collect();
+            let results: Vec<String> = scored.iter().map(|s| pair_scores_json(engine, s)).collect();
             Handled {
-                response: json::obj(&[
-                    ("ok", "true".to_string()),
-                    ("op", json::str("batch")),
-                    ("results", json::arr(&results)),
-                ]),
+                response: ok_obj("batch", city, &[("results", json::arr(&results))]),
                 shutdown: false,
             }
         }
         "top_k" => {
-            let src = match need_u32(&v, "src", store.n_pois()) {
+            let src = match need_u32(v, "src", store.n_pois()) {
                 Ok(s) => s,
                 Err(e) => return err(e),
             };
@@ -447,14 +773,16 @@ pub fn handle_request(ctx: &ServeCtx, line: &str, deadline: Option<Instant>) -> 
                     })
                     .collect();
                 return Handled {
-                    response: json::obj(&[
-                        ("ok", "true".to_string()),
-                        ("op", json::str("top_k")),
-                        ("degraded", "true".to_string()),
-                        ("src", json::int(src as u64)),
-                        ("relation", json::str(store.relation_name(relation))),
-                        ("results", json::arr(&results)),
-                    ]),
+                    response: ok_obj(
+                        "top_k",
+                        city,
+                        &[
+                            ("degraded", "true".to_string()),
+                            ("src", json::int(src as u64)),
+                            ("relation", json::str(store.relation_name(relation))),
+                            ("results", json::arr(&results)),
+                        ],
+                    ),
                     shutdown: false,
                 };
             }
@@ -478,15 +806,17 @@ pub fn handle_request(ctx: &ServeCtx, line: &str, deadline: Option<Instant>) -> 
                 })
                 .collect();
             Handled {
-                response: json::obj(&[
-                    ("ok", "true".to_string()),
-                    ("op", json::str("top_k")),
-                    ("degraded", "false".to_string()),
-                    ("mode", json::str(mode)),
-                    ("src", json::int(src as u64)),
-                    ("relation", json::str(store.relation_name(relation))),
-                    ("results", json::arr(&results)),
-                ]),
+                response: ok_obj(
+                    "top_k",
+                    city,
+                    &[
+                        ("degraded", "false".to_string()),
+                        ("mode", json::str(mode)),
+                        ("src", json::int(src as u64)),
+                        ("relation", json::str(store.relation_name(relation))),
+                        ("results", json::arr(&results)),
+                    ],
+                ),
                 shutdown: false,
             }
         }
@@ -512,16 +842,19 @@ pub fn handle_request(ctx: &ServeCtx, line: &str, deadline: Option<Instant>) -> 
                 engine.recorder().clone(),
             ));
             let n_pois = new_engine.store().n_pois() as u64;
-            ctx.slot.swap(new_engine);
+            tenant.slot.swap(new_engine);
+            *tenant.ckpt_path.lock().unwrap() = Some(path.to_string());
             engine.recorder().add(Counter::ServeReloads, 1);
             Handled {
-                response: json::obj(&[
-                    ("ok", "true".to_string()),
-                    ("op", json::str("reload")),
-                    ("run", json::str(&ckpt.run)),
-                    ("n_pois", json::int(n_pois)),
-                    ("reloads", json::int(ctx.slot.reloads())),
-                ]),
+                response: ok_obj(
+                    "reload",
+                    city,
+                    &[
+                        ("run", json::str(&ckpt.run)),
+                        ("n_pois", json::int(n_pois)),
+                        ("reloads", json::int(tenant.slot.reloads())),
+                    ],
+                ),
                 shutdown: false,
             }
         }
@@ -566,5 +899,29 @@ mod tests {
         let permits: Vec<_> = (0..64).map(|_| gate.admit().unwrap()).collect();
         assert_eq!(gate.inflight(), 0, "capacity 0 does not count");
         drop(permits);
+    }
+
+    #[test]
+    fn owned_permits_share_the_borrowed_gate_accounting() {
+        let gate = Arc::new(AdmissionGate::new(2));
+        let a = gate.admit_owned().expect("slot 1");
+        let _b = gate.admit().expect("borrowed slot 2");
+        assert!(gate.admit_owned().is_none(), "third admit must shed");
+        assert_eq!(gate.inflight(), 2);
+        drop(a);
+        assert_eq!(gate.inflight(), 1, "owned permit releases on drop");
+        assert!(gate.admit_owned().is_some());
+    }
+
+    #[test]
+    fn oversized_line_error_is_bad_request() {
+        let h = oversized_line_error(4096, 1024);
+        let v = json::parse(&h.response).unwrap();
+        assert_eq!(v.get("code").and_then(|c| c.as_str()), Some("bad_request"));
+        assert!(v
+            .get("error")
+            .and_then(|e| e.as_str())
+            .unwrap()
+            .contains("max_line_bytes"));
     }
 }

@@ -321,6 +321,136 @@ fn stalled_mid_line_connection_is_closed_after_read_timeout() {
     drop(loris);
 }
 
+/// The event loop must keep the shed path prompt while misbehaving
+/// connections pile up: slow readers pin admission permits (their queued
+/// responses hold gate slots until flushed) and a slow loris holds a
+/// half-sent line — a well-behaved client must still get `overloaded`
+/// within a bounded wait, and full service once the stalled connections
+/// are reaped by their timeouts.
+#[test]
+fn shed_path_stays_prompt_despite_slow_readers_and_loris() {
+    let fx = fixture("shed", "v1");
+    let ctx = ServeCtx::direct(Arc::clone(&fx.engine)).with_limits(ServeLimits {
+        queue_capacity: 2,
+        read_timeout: Some(Duration::from_millis(400)),
+        write_timeout: Some(Duration::from_millis(1500)),
+        ..ServeLimits::default()
+    });
+    let server = TcpServer::bind("127.0.0.1:0", ctx).unwrap();
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // A slow loris holds one connection hostage mid-line.
+    let mut loris = ChaosClient::connect(addr).unwrap();
+    loris
+        .send_partial(r#"{"op": "score", "src": 0,"#, 10)
+        .unwrap();
+
+    // Two slow readers flood large batch requests and never read a byte:
+    // their responses overflow the socket buffers into the server's write
+    // queues, pinning admission permits until the write timeout reaps them.
+    // Each admitted response must exceed what the kernel will buffer for
+    // an unread loopback connection (a few hundred KB), or the permit
+    // releases at flush and the gate only saturates transiently within a
+    // single tick. 4096 pairs make a ~1MB response; a handful of lines per
+    // connection is enough to pin both permits.
+    let n_pois = fx.engine.store().n_pois() as u32;
+    let pairs: Vec<String> = (0..4096u32)
+        .map(|i| format!("[{}, {}]", i % n_pois, (i + 1) % n_pois))
+        .collect();
+    let flood_req = format!("{{\"op\": \"batch\", \"pairs\": [{}]}}", pairs.join(", "));
+    let mut floods = Vec::new();
+    for _ in 0..2 {
+        let mut c = ChaosClient::connect(addr).unwrap();
+        c.flood_lines(&flood_req, 8);
+        floods.push(c);
+    }
+
+    // The shed path must answer promptly — a stalled connection must not
+    // starve it — and the saturated gate must actually shed.
+    let mut fast = ChaosClient::connect(addr).unwrap();
+    let mut saw_overloaded = false;
+    for _ in 0..120 {
+        let started = Instant::now();
+        let resp = fast
+            .request(r#"{"op": "score", "src": 0, "dst": 1}"#)
+            .unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "responses must stay prompt while the gate is saturated"
+        );
+        if code(&parse(&resp)).as_deref() == Some("overloaded") {
+            saw_overloaded = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        saw_overloaded,
+        "slow readers must saturate the gate (overloads={}, requests={}, disconnects={})",
+        fx.engine.recorder().counter(Counter::ServeOverloads),
+        fx.engine.recorder().counter(Counter::ServeRequests),
+        fx.engine.recorder().counter(Counter::ServeDisconnects),
+    );
+    assert!(fx.engine.recorder().counter(Counter::ServeOverloads) >= 1);
+
+    // The loris is reaped at the read timeout (counted as a deadline) and
+    // the slow readers at the write timeout, releasing their permits:
+    // service recovers without restarting anything.
+    let got = wait_for_counter(fx.engine.recorder(), Counter::ServeDeadlines, 1);
+    assert!(got >= 1, "slow loris must be closed and counted, got {got}");
+    let recovery_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = fast
+            .request(r#"{"op": "score", "src": 0, "dst": 1}"#)
+            .unwrap();
+        if parse(&resp).get("ok") == Some(&Value::Bool(true)) {
+            break;
+        }
+        assert!(
+            Instant::now() < recovery_deadline,
+            "gate must recover once stalled connections are reaped: {resp}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let _ = fast.request(r#"{"op": "shutdown"}"#);
+    server_thread.join().unwrap().unwrap();
+    drop(floods);
+    drop(loris);
+}
+
+/// A zero-capacity batcher must not spawn a worker at all and still serve
+/// every submission inline, bitwise-identical to direct engine calls.
+#[test]
+fn zero_capacity_batcher_serves_inline() {
+    let fx = fixture("inline-batcher", "v1");
+    let opts = EngineOpts {
+        batch_max_pairs: 0,
+        ..EngineOpts::default()
+    };
+    let batcher = Arc::new(Batcher::new(Arc::clone(&fx.engine), &opts));
+    assert!(batcher.is_inline(), "zero capacity means no worker thread");
+
+    let inline = batcher.submit(0, 1);
+    let direct = fx.engine.score(0, 1);
+    assert_eq!(inline.scores(), direct.scores(), "inline path is bitwise");
+    assert_eq!(inline.best, direct.best);
+    assert_eq!(inline.best_score.to_bits(), direct.best_score.to_bits());
+
+    // The deadline variant honours an expired budget and serves otherwise.
+    let soon = Instant::now() + Duration::from_secs(30);
+    let scored = batcher.submit_deadline(2 % fx.engine.store().n_pois() as u32, 1, soon);
+    assert!(scored.is_some(), "live budget must serve inline");
+    let expired = batcher.submit_deadline(0, 1, Instant::now() - Duration::from_millis(1));
+    assert!(expired.is_none(), "expired budget must miss, not panic");
+
+    // End-to-end: a batched context over the inline batcher still answers.
+    let ctx = ServeCtx::batched(Arc::clone(&fx.engine), batcher);
+    let h = handle_line(&ctx, r#"{"op": "score", "src": 0, "dst": 1}"#);
+    assert_eq!(parse(&h.response).get("ok"), Some(&Value::Bool(true)));
+}
+
 #[test]
 fn unknown_op_and_bad_json_carry_codes() {
     let fx = fixture("codes", "v1");

@@ -32,6 +32,18 @@
 //!   store grows 10x — the fixed evaluation budget must keep broad-radius
 //!   top-k near-flat (the exact path grows ~10x per tier there).
 //!
+//! `loadtest` (from the open-loop `loadtest` bench, `BENCH_loadtest.json`):
+//!
+//! * at least two connection tiers, each with at least three measured
+//!   arrival rates and a positive saturation rate;
+//! * every ladder point must be transport-error-free — sheds are load
+//!   policy, errors are bugs;
+//! * each tier carries an overload probe (2× saturation) whose shed rate
+//!   is a sane fraction — overload must be answered, not dropped.
+//!
+//! `loadtest_smoke` (CI's low-rate end-to-end probe): lenient — some
+//! requests completed, none errored.
+//!
 //! Exits 0 on pass, 1 on regression, 2 on usage/parse errors.
 
 use prim::obs::json;
@@ -142,6 +154,73 @@ fn check_topk(root: &json::Value, failures: &mut Vec<String>) -> String {
     summary
 }
 
+fn check_loadtest(root: &json::Value, failures: &mut Vec<String>) -> String {
+    let tiers = fetch(root, &["loadtest", "tiers"])
+        .and_then(|v| v.as_arr())
+        .unwrap_or_else(|| {
+            eprintln!("check_bench_regression: missing loadtest.tiers array");
+            std::process::exit(2);
+        });
+    if tiers.len() < 2 {
+        failures.push(format!(
+            "loadtest has {} connection tier(s); the scaling story needs at least two",
+            tiers.len()
+        ));
+    }
+    let mut summary = String::from("loadtest tiers:");
+    for tier in tiers {
+        let conns = num(tier, &["conns"]);
+        let rates = tier.get("rates").and_then(|v| v.as_arr()).unwrap_or(&[]);
+        if rates.len() < 3 {
+            failures.push(format!(
+                "loadtest tier {conns}: {} rate point(s); the ladder needs at least three",
+                rates.len()
+            ));
+        }
+        for point in rates {
+            let errors = num(point, &["errors"]);
+            if errors > 0.0 {
+                let rate = num(point, &["offered_rps"]);
+                failures.push(format!(
+                    "loadtest tier {conns} at {rate:.0} rps: {errors} transport errors \
+                     (sheds are policy, errors are bugs)"
+                ));
+            }
+        }
+        let saturation = num(tier, &["saturation_rps"]);
+        if saturation <= 0.0 {
+            failures.push(format!(
+                "loadtest tier {conns}: saturation_rps {saturation} is not positive"
+            ));
+        }
+        let shed_rate = num(tier, &["overload", "shed_rate"]);
+        if !(0.0..=1.0).contains(&shed_rate) {
+            failures.push(format!(
+                "loadtest tier {conns}: overload shed_rate {shed_rate} outside [0, 1]"
+            ));
+        }
+        summary.push_str(&format!(
+            " [{conns} conns: {} rates, saturates {saturation:.0} rps, \
+             overload sheds {shed_rate:.2}]",
+            rates.len()
+        ));
+    }
+    summary
+}
+
+fn check_loadtest_smoke(root: &json::Value, failures: &mut Vec<String>) -> String {
+    let ok = num(root, &["loadtest_smoke", "point", "ok"]);
+    let errors = num(root, &["loadtest_smoke", "point", "errors"]);
+    let tenants = num(root, &["loadtest_smoke", "tenants"]);
+    if ok < 1.0 {
+        failures.push("loadtest_smoke completed no requests".to_string());
+    }
+    if errors > 0.0 {
+        failures.push(format!("loadtest_smoke saw {errors} transport errors"));
+    }
+    format!("loadtest smoke: {tenants} tenant(s), {ok} ok, {errors} errors")
+}
+
 fn main() {
     let mut paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
@@ -161,6 +240,15 @@ fn main() {
         });
         let summary = if fetch(&root, &["topk_scaling"]).is_some() {
             check_topk(&root, &mut failures)
+        } else if fetch(&root, &["loadtest"]).is_some() {
+            let mut s = check_loadtest(&root, &mut failures);
+            if fetch(&root, &["loadtest_smoke"]).is_some() {
+                s.push_str("; ");
+                s.push_str(&check_loadtest_smoke(&root, &mut failures));
+            }
+            s
+        } else if fetch(&root, &["loadtest_smoke"]).is_some() {
+            check_loadtest_smoke(&root, &mut failures)
         } else {
             check_kernels(&root, &mut failures)
         };

@@ -11,6 +11,11 @@
 //! # 3. Or over TCP (prints the bound address, then serves until a
 //! #    {"op": "shutdown"} request arrives):
 //! cargo run --release --example prim_serve -- serve-tcp /tmp/prim.ckpt 127.0.0.1:7391
+//!
+//! # 4. Multi-tenant TCP: comma-separated city=ckpt specs; requests carry
+//! #    a "city" field and each tenant keeps its own telemetry recorder:
+//! cargo run --release --example prim_serve -- \
+//!     serve-tcp beijing=/tmp/bj.ckpt,shanghai=/tmp/sh.ckpt 127.0.0.1:7391
 //! ```
 //!
 //! Resilience workflow (the CI chaos-smoke job drives exactly this):
@@ -41,7 +46,7 @@ use prim::model::{fit, ModelInputs, NoopHook, PrimConfig, PrimModel};
 use prim::prelude::*;
 use prim::serve::{
     fit_resumable, fit_resumable_hooked, Batcher, ChaosIo, EngineOpts, FaultPlan, ResilienceOpts,
-    ResumeError, ServeCtx, TcpServer,
+    ResumeError, ServeCtx, TcpServer, TenantSpec,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::sync::Arc;
@@ -79,7 +84,7 @@ fn main() {
             eprintln!(
                 "usage: prim_serve train-save <ckpt>\n       \
                  prim_serve serve-stdin <ckpt> [--cache-capacity <n|auto>]\n       \
-                 prim_serve serve-tcp <ckpt> <addr> [--cache-capacity <n|auto>]\n       \
+                 prim_serve serve-tcp <ckpt|city=ckpt[,city=ckpt...]> <addr> [--cache-capacity <n|auto>]\n       \
                  prim_serve train-resumable <dir> [kill-at-op <n>]\n       \
                  prim_serve client <addr> <count>\n       \
                  prim_serve reload <addr> <ckpt>"
@@ -173,6 +178,12 @@ fn train_save(path: &str) {
 /// adopted instead of rebuilt (and a checkpoint without one gets a fresh
 /// deterministic index).
 fn load_engine(path: &str, opts: &EngineOpts) -> Arc<ServeEngine> {
+    load_engine_as(path, opts, "prim-serve")
+}
+
+/// [`load_engine`] with an explicit recorder name, so each tenant of a
+/// multi-tenant server writes its own `prim-serve:<city>` telemetry run.
+fn load_engine_as(path: &str, opts: &EngineOpts, run: &str) -> Arc<ServeEngine> {
     let ckpt = prim::serve::load_checkpoint(path).unwrap_or_else(|e| {
         eprintln!("prim_serve: loading {path}: {e}");
         std::process::exit(1);
@@ -193,7 +204,7 @@ fn load_engine(path: &str, opts: &EngineOpts) -> Arc<ServeEngine> {
             "rebuilt"
         }
     );
-    let recorder = Recorder::from_env("prim-serve");
+    let recorder = Recorder::from_env(run);
     let engine = Arc::new(ServeEngine::new(store, opts, recorder));
     eprintln!("score cache capacity {}", engine.cache_capacity());
     engine
@@ -387,10 +398,42 @@ fn reload_mode(addr: &str, ckpt: &str) {
     }
 }
 
-fn serve_tcp_mode(path: &str, addr: &str, opts: EngineOpts) {
-    let engine = load_engine(path, &opts);
-    let batcher = Arc::new(Batcher::new(Arc::clone(&engine), &opts));
-    let ctx = ServeCtx::batched(Arc::clone(&engine), batcher);
+/// Serves one checkpoint (`<ckpt>`) or several named tenants
+/// (`city=ckpt,city=ckpt`). The single-path form keeps the historical
+/// single-tenant behavior; the multi-tenant form routes requests on their
+/// `"city"` field and gives every city its own batcher and telemetry run
+/// (`prim-serve:<city>`).
+fn serve_tcp_mode(spec: &str, addr: &str, opts: EngineOpts) {
+    let engines: Vec<Arc<ServeEngine>>;
+    let ctx = if spec.contains('=') {
+        let mut tenants = Vec::new();
+        let mut loaded = Vec::new();
+        for part in spec.split(',') {
+            let (city, path) = match part.split_once('=') {
+                Some((c, p)) if !c.is_empty() && !p.is_empty() => (c, p),
+                _ => {
+                    eprintln!("prim_serve: tenant spec wants city=ckpt, got {part:?}");
+                    std::process::exit(2);
+                }
+            };
+            let engine = load_engine_as(path, &opts, &format!("prim-serve:{city}"));
+            let batcher = Arc::new(Batcher::new(Arc::clone(&engine), &opts));
+            loaded.push(Arc::clone(&engine));
+            tenants.push(
+                TenantSpec::new(city, engine)
+                    .with_batcher(batcher)
+                    .with_ckpt_path(path),
+            );
+        }
+        eprintln!("routing {} tenants by \"city\"", tenants.len());
+        engines = loaded;
+        ServeCtx::multi(tenants).with_engine_opts(opts)
+    } else {
+        let engine = load_engine(spec, &opts);
+        let batcher = Arc::new(Batcher::new(Arc::clone(&engine), &opts));
+        engines = vec![Arc::clone(&engine)];
+        ServeCtx::batched(engine, batcher)
+    };
     let server = TcpServer::bind(addr, ctx).unwrap_or_else(|e| {
         eprintln!("prim_serve: binding {addr}: {e}");
         std::process::exit(1);
@@ -400,5 +443,7 @@ fn serve_tcp_mode(path: &str, addr: &str, opts: EngineOpts) {
         eprintln!("prim_serve: server error: {e}");
         std::process::exit(1);
     });
-    engine.recorder().finish();
+    for engine in engines {
+        engine.recorder().finish();
+    }
 }

@@ -11,7 +11,11 @@
 //! requires the training loops to actually have reported epochs), and with
 //! `--require-serve` at least one run must have counted serving requests
 //! (CI's serve smoke job points this at the serving process's report).
-//! Exits non-zero on any violation.
+//! `--require-tenant <name>` (repeatable) demands a run named for that
+//! tenant (`<name>` or `...:<name>`, as a multi-tenant server emits) with
+//! at least one counted serving request — CI's load-smoke job uses it to
+//! prove per-tenant telemetry survived the run. Exits non-zero on any
+//! violation.
 
 use prim::obs::{json, validate_report, RUN_REPORT_ENV};
 
@@ -20,10 +24,18 @@ fn main() {
     let mut path: Option<String> = None;
     let mut require_epochs = false;
     let mut require_serve = false;
-    for arg in &mut args {
+    let mut require_tenants: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--require-epochs" => require_epochs = true,
             "--require-serve" => require_serve = true,
+            "--require-tenant" => {
+                let name = args.next().unwrap_or_else(|| {
+                    eprintln!("validate_run_report: --require-tenant wants a name");
+                    std::process::exit(2);
+                });
+                require_tenants.push(name);
+            }
             other => path = Some(other.to_string()),
         }
     }
@@ -68,5 +80,28 @@ fn main() {
             std::process::exit(1);
         }
         println!("{path}: {serve_requests} serving requests recorded");
+    }
+    for tenant in &require_tenants {
+        let suffix = format!(":{tenant}");
+        let served: f64 = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| json::parse(l).ok())
+            .filter(|v| {
+                v.get("run")
+                    .and_then(|r| r.as_str())
+                    .is_some_and(|r| r == tenant || r.ends_with(&suffix))
+            })
+            .filter_map(|v| {
+                v.get("counters")
+                    .and_then(|c| c.get("serve_requests"))
+                    .and_then(|n| n.as_f64())
+            })
+            .sum();
+        if served < 1.0 {
+            eprintln!("validate_run_report: {path} has no serving requests for tenant {tenant:?}");
+            std::process::exit(1);
+        }
+        println!("{path}: tenant {tenant}: {served} serving requests recorded");
     }
 }
