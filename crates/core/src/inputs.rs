@@ -8,7 +8,8 @@
 //! and inference (with the full spatial graph restored).
 
 use crate::config::PrimConfig;
-use prim_graph::{Adjacency, Edge, HeteroGraph, PoiId, SpatialNeighbors, Taxonomy};
+use prim_geo::GridIndex;
+use prim_graph::{Adjacency, Edge, HeteroGraph, Poi, PoiId, SpatialNeighbors, Taxonomy};
 use prim_tensor::{Matrix, SegmentPlan};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -117,9 +118,41 @@ pub struct ModelInputs {
     pub spatial_rbf: Matrix,
     /// Shared gather/scatter plans for the forward pass.
     pub plans: GraphPlans,
+    /// Gather plan from the model's *global* per-POI parameter rows into
+    /// these inputs' local rows. `None` means the inputs cover every POI in
+    /// id order (the ordinary case); `Some` marks a subset build, where
+    /// local row `i` reads global row `node_rows[i]` of `node_emb`.
+    pub node_rows: Option<Arc<SegmentPlan>>,
+    /// Set on subset builds when the full graph's forward would run the
+    /// spatial stage but the subset has no spatial edges: the forward adds
+    /// this zero matrix as the context so the op sequence (and therefore
+    /// the bitwise result) matches the full pass row for row.
+    pub spatial_forced_zero: Option<Matrix>,
     /// Pairwise distance lookup for scoring: distances are recomputed from
     /// locations on demand, so we keep the locations here.
     locations: Vec<prim_geo::Location>,
+}
+
+/// A relabeled slice of a city for incremental re-embedding: inputs over the
+/// k-hop *support set* of an affected POI set, built by
+/// [`ModelInputs::build_subset`]. Running the ordinary forward pass over
+/// `inputs` yields final rows that are bitwise identical to the full-graph
+/// forward for every POI in `targets` (see the module docs of `prim-ingest`
+/// for the ring-set argument).
+pub struct SubsetInputs {
+    /// Relabeled inputs over the support set.
+    pub inputs: ModelInputs,
+    /// Global POI id of each local row, strictly ascending.
+    pub support: Vec<u32>,
+    /// The affected POIs whose final rows are valid, strictly ascending.
+    pub targets: Vec<u32>,
+    /// Local row index of each target (parallel to `targets`).
+    pub target_rows: Vec<usize>,
+    /// Number of spatial sources each target attends over in the mutated
+    /// city (parallel to `targets`). Ingest layers fold these into their
+    /// running spatial-edge total so the next batch can tell whether the
+    /// *full* graph still has any spatial edge without rebuilding it.
+    pub spatial_target_deg: Vec<u32>,
 }
 
 impl ModelInputs {
@@ -135,6 +168,58 @@ impl ModelInputs {
         train_edges: &[Edge],
         visible: Option<&HashSet<PoiId>>,
         cfg: &PrimConfig,
+    ) -> Self {
+        let mut spatial = SpatialNeighbors::build(
+            graph,
+            cfg.spatial_radius_km,
+            cfg.rbf_theta,
+            cfg.max_spatial_neighbors,
+        );
+        if let Some(vis) = visible {
+            let keep: Vec<bool> = (0..graph.num_pois() as u32)
+                .map(|i| vis.contains(&PoiId(i)))
+                .collect();
+            spatial = spatial.retain_pois(&keep);
+        }
+        Self::assemble(graph, taxonomy, attrs, train_edges, spatial, None, None)
+    }
+
+    /// Like [`ModelInputs::build`] (inference form, no visibility mask) but
+    /// with the spatial neighbour lists computed over a caller-provided grid
+    /// index instead of a freshly-projected one.
+    ///
+    /// The ingest pipeline's from-scratch oracle uses this with the city's
+    /// *frozen-projection* grid: [`SpatialNeighbors::build`] would recompute
+    /// the projection from the mutated point set's mean latitude, shifting
+    /// every RBF weight bitwise and making "affected POIs only" an
+    /// unbounded set.
+    pub fn build_with_grid(
+        graph: &HeteroGraph,
+        taxonomy: &Taxonomy,
+        attrs: &Matrix,
+        train_edges: &[Edge],
+        grid: &GridIndex,
+        cfg: &PrimConfig,
+    ) -> Self {
+        assert_eq!(grid.len(), graph.num_pois(), "grid must cover every POI");
+        let spatial = SpatialNeighbors::build_with_grid(
+            grid,
+            cfg.spatial_radius_km,
+            cfg.rbf_theta,
+            cfg.max_spatial_neighbors,
+        );
+        Self::assemble(graph, taxonomy, attrs, train_edges, spatial, None, None)
+    }
+
+    /// Shared assembly over a ready spatial-neighbour structure.
+    fn assemble(
+        graph: &HeteroGraph,
+        taxonomy: &Taxonomy,
+        attrs: &Matrix,
+        train_edges: &[Edge],
+        spatial: SpatialNeighbors,
+        node_rows: Option<Arc<SegmentPlan>>,
+        spatial_forced_zero: Option<Matrix>,
     ) -> Self {
         assert_eq!(
             attrs.rows(),
@@ -165,18 +250,6 @@ impl ModelInputs {
             }
         });
 
-        let mut spatial = SpatialNeighbors::build(
-            graph,
-            cfg.spatial_radius_km,
-            cfg.rbf_theta,
-            cfg.max_spatial_neighbors,
-        );
-        if let Some(vis) = visible {
-            let keep: Vec<bool> = (0..n_pois as u32)
-                .map(|i| vis.contains(&PoiId(i)))
-                .collect();
-            spatial = spatial.retain_pois(&keep);
-        }
         let spatial_rbf = Matrix::from_fn(spatial.num_edges(), 1, |r, _| spatial.rbf()[r]);
 
         let plans = GraphPlans::build(
@@ -205,7 +278,145 @@ impl ModelInputs {
             spatial,
             spatial_rbf,
             plans,
+            node_rows,
+            spatial_forced_zero,
             locations: graph.pois().iter().map(|p| p.location).collect(),
+        }
+    }
+
+    /// Builds relabeled inputs over the k-hop support set of `targets` for
+    /// incremental re-embedding.
+    ///
+    /// `targets` are the affected POIs (strictly ascending global ids) whose
+    /// final embeddings must come out bitwise identical to a full-graph
+    /// forward over the mutated `graph`. The support set is grown as nested
+    /// rings: first the spatial sources of the targets (the last forward
+    /// stage reads their post-layer rows), then `cfg.n_layers` hops of graph
+    /// adjacency (each WRGNN layer reads one hop of neighbours). Every
+    /// structure is relabeled through the strictly monotone global→local
+    /// map, which preserves the `(dst, rel, src)` sort of the adjacency and
+    /// the segment grouping of the spatial lists — so each op's per-row
+    /// accumulation order, and therefore its bits, match the full pass.
+    ///
+    /// `grid` is the city's frozen-projection spatial grid over all POIs;
+    /// `spatial_active` states whether the *full* graph currently has any
+    /// spatial edge (it gates the zero-context stand-in described on
+    /// [`ModelInputs::spatial_forced_zero`]).
+    pub fn build_subset(
+        graph: &HeteroGraph,
+        taxonomy: &Taxonomy,
+        attrs: &Matrix,
+        grid: &GridIndex,
+        targets: &[u32],
+        spatial_active: bool,
+        cfg: &PrimConfig,
+    ) -> SubsetInputs {
+        assert!(
+            targets.windows(2).all(|w| w[0] < w[1]),
+            "targets must be strictly ascending"
+        );
+        assert_eq!(grid.len(), graph.num_pois(), "grid must cover every POI");
+        let n_global = graph.num_pois();
+
+        // Spatial lists for the targets over the full frozen grid: the
+        // final stage attends from each target over these sources, so their
+        // post-layer rows are needed too.
+        let sp_targets = SpatialNeighbors::build_for_targets(
+            grid,
+            targets.iter().map(|&t| t as usize),
+            cfg.spatial_radius_km,
+            cfg.rbf_theta,
+            cfg.max_spatial_neighbors,
+        );
+
+        let mut spatial_target_deg = vec![0u32; targets.len()];
+        for &d in sp_targets.dst() {
+            let pos = targets
+                .binary_search(&d)
+                .expect("spatial dst must be a target");
+            spatial_target_deg[pos] += 1;
+        }
+
+        let mut in_support = vec![false; n_global];
+        let mut frontier: Vec<u32> = Vec::new();
+        for &t in targets.iter().chain(sp_targets.src()) {
+            if !in_support[t as usize] {
+                in_support[t as usize] = true;
+                frontier.push(t);
+            }
+        }
+
+        // One ring of graph adjacency per WRGNN layer.
+        if cfg.n_layers > 0 {
+            let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); n_global];
+            for e in graph.edges() {
+                nbrs[e.src.0 as usize].push(e.dst.0);
+                nbrs[e.dst.0 as usize].push(e.src.0);
+            }
+            for _ in 0..cfg.n_layers {
+                let mut next = Vec::new();
+                for &v in &frontier {
+                    for &u in &nbrs[v as usize] {
+                        if !in_support[u as usize] {
+                            in_support[u as usize] = true;
+                            next.push(u);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+        }
+
+        let support: Vec<u32> = (0..n_global as u32)
+            .filter(|&i| in_support[i as usize])
+            .collect();
+        let mut map = vec![u32::MAX; n_global];
+        for (local, &g) in support.iter().enumerate() {
+            map[g as usize] = local as u32;
+        }
+
+        // Induced local subgraph: support POIs in global order, plus every
+        // edge with both endpoints inside. Relabeling is strictly monotone,
+        // so canonical edge order and the adjacency sort are preserved.
+        let local_pois: Vec<Poi> = support.iter().map(|&g| *graph.poi(PoiId(g))).collect();
+        let mut local_graph = HeteroGraph::new(local_pois, graph.num_relations());
+        for e in graph.edges() {
+            if in_support[e.src.0 as usize] && in_support[e.dst.0 as usize] {
+                local_graph.add_edge(
+                    PoiId(map[e.src.0 as usize]),
+                    PoiId(map[e.dst.0 as usize]),
+                    e.rel,
+                );
+            }
+        }
+        let local_edges: Vec<Edge> = local_graph.edges().to_vec();
+
+        let support_usize: Vec<usize> = support.iter().map(|&g| g as usize).collect();
+        let attrs_local = attrs.gather_rows(&support_usize);
+        let spatial_local = sp_targets.relabeled(&map);
+        let forced_zero = if spatial_active && spatial_local.is_empty() {
+            Some(Matrix::zeros(support.len(), cfg.dim))
+        } else {
+            None
+        };
+        let node_rows = Arc::new(SegmentPlan::new(support_usize, n_global));
+
+        let inputs = Self::assemble(
+            &local_graph,
+            taxonomy,
+            &attrs_local,
+            &local_edges,
+            spatial_local,
+            Some(node_rows),
+            forced_zero,
+        );
+        let target_rows: Vec<usize> = targets.iter().map(|&t| map[t as usize] as usize).collect();
+        SubsetInputs {
+            inputs,
+            support,
+            targets: targets.to_vec(),
+            target_rows,
+            spatial_target_deg,
         }
     }
 

@@ -34,7 +34,7 @@ pub mod model;
 pub mod train;
 
 pub use config::{GammaOp, PrimConfig, TaxonomyMode, Variant};
-pub use inputs::{GraphPlans, ModelInputs};
+pub use inputs::{GraphPlans, ModelInputs, SubsetInputs};
 pub use model::{EmbeddingTable, ForwardOutput, PrimModel, TripleBatch};
 pub use train::{
     fit, fit_hooked, fit_observed, fit_resumed, sample_epoch_triples, train_step,

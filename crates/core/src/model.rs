@@ -274,7 +274,14 @@ impl PrimModel {
         let attrs = g.constant_ref(&inputs.attrs);
         let proj = g.matmul(attrs, bind.var(self.w_in));
         let mut h = if self.cfg.use_node_embeddings {
-            g.add(proj, bind.var(self.node_emb))
+            // Subset inputs cover a slice of the city: gather that slice's
+            // rows out of the global per-POI table (a row copy, so each
+            // local row is bit-identical to the full pass's row).
+            let node = match &inputs.node_rows {
+                Some(rows) => g.gather_rows_planned(bind.var(self.node_emb), rows),
+                None => bind.var(self.node_emb),
+            };
+            g.add(proj, node)
         } else {
             proj
         };
@@ -370,6 +377,15 @@ impl PrimModel {
             let ctx_seg = g.segment_sum_planned(ctx_edges, &plans.sp_seg);
             let ctx = g.segment_sum_planned(ctx_seg, &plans.sp_seg_dst);
             h = g.add(h, ctx);
+        } else if self.cfg.use_spatial_context {
+            if let Some(zero_ctx) = &inputs.spatial_forced_zero {
+                // Subset with no spatial edges while the full graph has
+                // some: the full pass adds an exact-zero context row to
+                // every POI outside the spatial segments, so mirror the op
+                // to keep the bit pattern identical.
+                let ctx = g.constant_ref(zero_ctx);
+                h = g.add(h, ctx);
+            }
         }
 
         let rel_score = g.matmul(hr, bind.var(self.w_rel_score));
@@ -607,6 +623,19 @@ impl PrimModel {
         }
         let loss = (shard_loss.iter().sum::<f64>() / n as f64) as f32;
         (loss, seeds)
+    }
+
+    /// Number of POIs the per-POI embedding table currently covers.
+    pub fn n_poi_rows(&self) -> usize {
+        self.store.value(self.node_emb).rows()
+    }
+
+    /// Grows the per-POI embedding table by `extra` zero rows for newly
+    /// onboarded POIs. Zero rows are deterministic (replay-safe) and, like
+    /// the paper's unseen POIs, leave the attribute/category pathway to
+    /// carry a new POI's representation until the next retrain.
+    pub fn extend_pois(&mut self, extra: usize) {
+        self.store.extend_rows(self.node_emb, extra);
     }
 
     /// Runs a gradient-free forward pass and detaches all embeddings.

@@ -4,6 +4,14 @@
 //! neighbours* `S_p = {p' : dist(p, p') < d}` (Definition 3.1, `d` = 1.15 km)
 //! and the dataset generator's proximity-dependent relation sampling. Cells
 //! are sized to the query radius so a query touches at most 9 cells.
+//!
+//! The index is mutable after construction: [`GridIndex::insert`] appends a
+//! point (inside or outside the original bounding box) into an overflow list
+//! that every query scans exactly, and [`GridIndex::retire`] tombstones a
+//! point so it never appears as a candidate again. The projection reference
+//! latitude is frozen at build time — mutations never shift it, so projected
+//! distances between surviving points are bitwise stable across any mutation
+//! sequence (see `build_with_ref_lat`).
 
 use crate::location::Location;
 
@@ -15,6 +23,10 @@ use crate::location::Location;
 pub struct GridIndex {
     points_km: Vec<(f64, f64)>,
     cell_km: f64,
+    /// Frozen projection reference latitude (degrees). All points — original
+    /// and inserted — are projected against this latitude, so distances
+    /// never drift as the point set mutates.
+    ref_lat: f64,
     min_x: f64,
     min_y: f64,
     n_cols: usize,
@@ -22,16 +34,28 @@ pub struct GridIndex {
     /// CSR layout: `cell_start[c]..cell_start[c+1]` indexes into `cell_items`.
     cell_start: Vec<usize>,
     cell_items: Vec<u32>,
+    /// Points appended after the CSR was built. They may fall outside the
+    /// original bounding box, so instead of clamping them into a border cell
+    /// (which would silently mis-bucket them for queries near that border)
+    /// every query scans this list exactly. [`Self::rebuilt`] folds them
+    /// back into a fresh CSR with an expanded bounding box.
+    extras: Vec<u32>,
 }
 
-/// Projects locations to local km coordinates around their mean latitude.
-fn project(locations: &[Location]) -> Vec<(f64, f64)> {
+/// Mean latitude of a location set — the reference latitude used by the
+/// equirectangular projection.
+pub fn mean_lat(locations: &[Location]) -> f64 {
     if locations.is_empty() {
-        return Vec::new();
+        return 0.0;
     }
-    let mean_lat = locations.iter().map(|l| l.lat).sum::<f64>() / locations.len() as f64;
-    let cos_lat = mean_lat.to_radians().cos();
-    const KM_PER_DEG: f64 = std::f64::consts::PI / 180.0 * crate::location::EARTH_RADIUS_KM;
+    locations.iter().map(|l| l.lat).sum::<f64>() / locations.len() as f64
+}
+
+const KM_PER_DEG: f64 = std::f64::consts::PI / 180.0 * crate::location::EARTH_RADIUS_KM;
+
+/// Projects locations to local km coordinates around `ref_lat`.
+fn project_with(locations: &[Location], ref_lat: f64) -> Vec<(f64, f64)> {
+    let cos_lat = ref_lat.to_radians().cos();
     locations
         .iter()
         .map(|l| (l.lon * KM_PER_DEG * cos_lat, l.lat * KM_PER_DEG))
@@ -40,28 +64,55 @@ fn project(locations: &[Location]) -> Vec<(f64, f64)> {
 
 impl GridIndex {
     /// Builds an index over `locations` with cells sized for radius queries
-    /// of about `cell_km` kilometres.
+    /// of about `cell_km` kilometres. The projection is centred on the mean
+    /// latitude of `locations`.
     pub fn build(locations: &[Location], cell_km: f64) -> Self {
+        Self::build_with_ref_lat(locations, cell_km, mean_lat(locations))
+    }
+
+    /// Builds an index whose projection is centred on an explicit reference
+    /// latitude instead of the mean of `locations`.
+    ///
+    /// The online-ingest pipeline uses this to keep the projection *frozen*
+    /// at its checkpoint-time value: rebuilding the index over a mutated
+    /// point set with the same `ref_lat` reproduces every surviving pairwise
+    /// distance bitwise, which is what makes incremental re-embedding of
+    /// only the affected neighbourhood sound.
+    pub fn build_with_ref_lat(locations: &[Location], cell_km: f64, ref_lat: f64) -> Self {
         assert!(cell_km > 0.0, "GridIndex: cell size must be positive");
-        let points_km = project(locations);
+        let points_km = project_with(locations, ref_lat);
+        Self::build_from_points(points_km, cell_km, ref_lat)
+    }
+
+    /// Core constructor: CSR over the finite points of `points_km`.
+    /// Tombstoned (NaN) points are kept in `points_km` so indices stay
+    /// stable, but excluded from the cells — they can never match a query.
+    fn build_from_points(points_km: Vec<(f64, f64)>, cell_km: f64, ref_lat: f64) -> Self {
         let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
         let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut n_live = 0usize;
         for &(x, y) in &points_km {
+            if x.is_nan() {
+                continue;
+            }
+            n_live += 1;
             min_x = min_x.min(x);
             min_y = min_y.min(y);
             max_x = max_x.max(x);
             max_y = max_y.max(y);
         }
-        if points_km.is_empty() {
+        if n_live == 0 {
             return GridIndex {
                 points_km,
                 cell_km,
+                ref_lat,
                 min_x: 0.0,
                 min_y: 0.0,
                 n_cols: 1,
                 n_rows: 1,
                 cell_start: vec![0, 0],
                 cell_items: Vec::new(),
+                extras: Vec::new(),
             };
         }
         let n_cols = (((max_x - min_x) / cell_km).floor() as usize + 1).max(1);
@@ -76,6 +127,9 @@ impl GridIndex {
         };
         let mut counts = vec![0usize; n_cells + 1];
         for &(x, y) in &points_km {
+            if x.is_nan() {
+                continue;
+            }
             counts[cell_of(x, y) + 1] += 1;
         }
         for c in 0..n_cells {
@@ -83,8 +137,11 @@ impl GridIndex {
         }
         let cell_start = counts.clone();
         let mut fill = counts;
-        let mut cell_items = vec![0u32; points_km.len()];
+        let mut cell_items = vec![0u32; n_live];
         for (i, &(x, y)) in points_km.iter().enumerate() {
+            if x.is_nan() {
+                continue;
+            }
             let c = cell_of(x, y);
             cell_items[fill[c]] = i as u32;
             fill[c] += 1;
@@ -93,16 +150,19 @@ impl GridIndex {
         GridIndex {
             points_km,
             cell_km,
+            ref_lat,
             min_x,
             min_y,
             n_cols,
             n_rows,
             cell_start,
             cell_items,
+            extras: Vec::new(),
         }
     }
 
-    /// Number of indexed points.
+    /// Number of indexed points (live, retired and overflow alike — point
+    /// indices are stable for the lifetime of the index).
     pub fn len(&self) -> usize {
         self.points_km.len()
     }
@@ -112,7 +172,58 @@ impl GridIndex {
         self.points_km.is_empty()
     }
 
+    /// The frozen projection reference latitude (degrees).
+    pub fn ref_lat(&self) -> f64 {
+        self.ref_lat
+    }
+
+    /// Number of points currently in the overflow list (inserted since the
+    /// last full build). Each query scans these exactly, so callers should
+    /// fold them back in with [`Self::rebuilt`] once the list grows large.
+    pub fn extras_len(&self) -> usize {
+        self.extras.len()
+    }
+
+    /// True if point `i` has not been retired.
+    pub fn is_live(&self, i: usize) -> bool {
+        !self.points_km[i].0.is_nan()
+    }
+
+    /// Appends a point and returns its index. The point is projected with
+    /// the frozen reference latitude, so it may land outside the original
+    /// bounding box; it goes into the exactly-scanned overflow list rather
+    /// than being clamped into a border cell.
+    pub fn insert(&mut self, location: Location) -> usize {
+        let cos_lat = self.ref_lat.to_radians().cos();
+        let p = (
+            location.lon * KM_PER_DEG * cos_lat,
+            location.lat * KM_PER_DEG,
+        );
+        let i = self.points_km.len();
+        self.points_km.push(p);
+        self.extras.push(i as u32);
+        i
+    }
+
+    /// Tombstones point `i`: it keeps its index but is excluded from every
+    /// future query result (its distance to anything is NaN, which fails
+    /// every `d < radius` filter). Queries *from* a retired point return
+    /// nothing.
+    pub fn retire(&mut self, i: usize) {
+        self.points_km[i] = (f64::NAN, f64::NAN);
+    }
+
+    /// Rebuilds the CSR over the current point set: the bounding box expands
+    /// to cover overflow inserts, tombstones drop out of the cells, and the
+    /// overflow list empties. The projection reference latitude — and
+    /// therefore every pairwise distance — is unchanged, so query results
+    /// are identical before and after; only the scan cost changes.
+    pub fn rebuilt(&self) -> GridIndex {
+        Self::build_from_points(self.points_km.clone(), self.cell_km, self.ref_lat)
+    }
+
     /// Euclidean (projected) distance in km between two indexed points.
+    /// NaN if either endpoint has been retired.
     pub fn distance_km(&self, a: usize, b: usize) -> f64 {
         let (ax, ay) = self.points_km[a];
         let (bx, by) = self.points_km[b];
@@ -177,16 +288,16 @@ impl GridIndex {
     }
 
     /// Upper bound on the number of in-radius candidates around `query`:
-    /// the total population of every cell a radius query would touch, read
-    /// straight off the CSR offsets with no per-point work. The serving
-    /// layer uses it to choose between exact scan, quantized scan and the
-    /// ANN beam before generating any candidates.
+    /// the total population of every cell a radius query would touch (plus
+    /// all overflow inserts), read straight off the CSR offsets with no
+    /// per-point work. The serving layer uses it to choose between exact
+    /// scan, quantized scan and the ANN beam before generating candidates.
     pub fn count_in_cells_around(&self, query: usize, radius_km: f64) -> usize {
         let (qx, qy) = self.points_km[query];
         let span = (radius_km / self.cell_km).ceil() as isize;
         let cx = (((qx - self.min_x) / self.cell_km) as isize).clamp(0, self.n_cols as isize - 1);
         let cy = (((qy - self.min_y) / self.cell_km) as isize).clamp(0, self.n_rows as isize - 1);
-        let mut total = 0;
+        let mut total = self.extras.len();
         for dy in -span..=span {
             let yy = cy + dy;
             if yy < 0 || yy >= self.n_rows as isize {
@@ -233,6 +344,12 @@ impl GridIndex {
                     visit(i as usize);
                 }
             }
+        }
+        // Overflow inserts are not in any cell yet; scan them exactly. The
+        // distance filter in the caller keeps correctness, and the list is
+        // bounded by the rebuild policy upstream.
+        for &i in &self.extras {
+            visit(i as usize);
         }
     }
 }
@@ -399,5 +516,102 @@ mod tests {
         fast.sort_by_key(|a| a.0);
         brute.sort_by_key(|a| a.0);
         assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn insert_outside_bbox_matches_brute_force() {
+        // Original cluster spans ~10 km; inserts land far outside the
+        // original bounding box in every direction. Queries from and around
+        // them must match brute force exactly — no silent mis-bucketing.
+        let pts = cluster(120);
+        let mut idx = GridIndex::build(&pts, 1.15);
+        let far = [
+            Location::new(116.0, 39.7),  // south-west of the bbox
+            Location::new(116.7, 40.2),  // north-east
+            Location::new(116.35, 39.5), // far south
+        ];
+        let mut new_ids = Vec::new();
+        for &loc in &far {
+            new_ids.push(idx.insert(loc));
+        }
+        // Plus one insert inside the original bbox.
+        new_ids.push(idx.insert(Location::new(116.35, 39.95)));
+        assert_eq!(idx.extras_len(), 4);
+        for q in new_ids.iter().copied().chain([0usize, 60]) {
+            for r in [1.15, 5.0, 60.0] {
+                let mut fast = idx.within_radius(q, r);
+                let mut brute = idx.within_radius_brute(q, r);
+                fast.sort_by_key(|a| a.0);
+                brute.sort_by_key(|a| a.0);
+                assert_eq!(fast, brute, "query {q} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_freezes_projection() {
+        // Inserting a point far to the south would shift the mean latitude
+        // if the projection were recomputed; distances between pre-existing
+        // points must not move by a single bit.
+        let pts = cluster(40);
+        let mut idx = GridIndex::build(&pts, 1.15);
+        let before: Vec<f64> = (1..40).map(|i| idx.distance_km(0, i)).collect();
+        idx.insert(Location::new(116.3, 30.0));
+        let after: Vec<f64> = (1..40).map(|i| idx.distance_km(0, i)).collect();
+        assert_eq!(before, after);
+        assert_eq!(idx.ref_lat(), mean_lat(&pts));
+    }
+
+    #[test]
+    fn retired_points_are_excluded_everywhere() {
+        let pts = cluster(80);
+        let mut idx = GridIndex::build(&pts, 1.15);
+        let extra = idx.insert(Location::new(116.35, 39.95));
+        idx.retire(7);
+        idx.retire(extra);
+        assert!(!idx.is_live(7) && !idx.is_live(extra));
+        for q in [0, 20, 50] {
+            for list in [
+                idx.within_radius(q, 50.0),
+                idx.within_radius_unsorted(q, 50.0),
+            ] {
+                assert!(list.iter().all(|&(i, _)| i != 7 && i != extra), "query {q}");
+            }
+        }
+        // Queries from a retired point return nothing.
+        assert!(idx.within_radius(7, 50.0).is_empty());
+        assert!(idx.distance_km(7, 0).is_nan());
+    }
+
+    #[test]
+    fn rebuilt_preserves_query_results_and_projection() {
+        let pts = cluster(100);
+        let mut idx = GridIndex::build(&pts, 1.15);
+        let a = idx.insert(Location::new(116.1, 39.8)); // outside bbox
+        let b = idx.insert(Location::new(116.36, 39.93));
+        idx.retire(3);
+        idx.retire(b);
+        let rebuilt = idx.rebuilt();
+        assert_eq!(rebuilt.extras_len(), 0);
+        assert_eq!(rebuilt.len(), idx.len());
+        assert_eq!(rebuilt.ref_lat(), idx.ref_lat());
+        for q in [0usize, 10, 99, a] {
+            for r in [1.15, 6.0, 40.0] {
+                assert_eq!(
+                    idx.within_radius(q, r),
+                    rebuilt.within_radius(q, r),
+                    "query {q} r {r}"
+                );
+            }
+        }
+        // Distances are bitwise identical — the projection did not move.
+        for i in 0..idx.len() {
+            let (d0, d1) = (idx.distance_km(a, i), rebuilt.distance_km(a, i));
+            assert!(d0 == d1 || (d0.is_nan() && d1.is_nan()), "point {i}");
+        }
+        // Estimates still bound the candidates after rebuild.
+        for q in [0, 50, a] {
+            assert!(rebuilt.count_in_cells_around(q, 2.0) >= rebuilt.within_radius(q, 2.0).len());
+        }
     }
 }

@@ -14,5 +14,5 @@
 pub mod grid;
 pub mod location;
 
-pub use grid::GridIndex;
+pub use grid::{mean_lat, GridIndex};
 pub use location::{rbf_kernel, sector_of, DistanceBins, Location, EARTH_RADIUS_KM};

@@ -96,6 +96,34 @@ impl HeteroGraph {
         }
     }
 
+    /// Appends a POI and returns its id. Used by the online-ingest pipeline;
+    /// existing POI ids are never renumbered.
+    pub fn add_poi(&mut self, poi: Poi) -> PoiId {
+        assert!(
+            self.pois.len() < u32::MAX as usize,
+            "POI id space exhausted"
+        );
+        let id = PoiId(self.pois.len() as u32);
+        self.pois.push(poi);
+        id
+    }
+
+    /// Removes every edge incident to `id` and returns them in their stored
+    /// order (a retired POI keeps its id and row but stops participating in
+    /// message passing).
+    pub fn remove_edges_of(&mut self, id: PoiId) -> Vec<Edge> {
+        let mut removed = Vec::new();
+        self.edges.retain(|e| {
+            if e.src == id || e.dst == id {
+                removed.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
     /// Number of POIs.
     pub fn num_pois(&self) -> usize {
         self.pois.len()

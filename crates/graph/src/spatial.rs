@@ -35,13 +35,41 @@ impl SpatialNeighbors {
     pub fn build(graph: &HeteroGraph, radius_km: f64, theta: f64, max_neighbors: usize) -> Self {
         let locations: Vec<prim_geo::Location> = graph.pois().iter().map(|p| p.location).collect();
         let index = GridIndex::build(&locations, radius_km.max(1e-6));
+        Self::build_with_grid(&index, radius_km, theta, max_neighbors)
+    }
 
+    /// Builds neighbour lists over a prebuilt grid index (one candidate
+    /// target segment per indexed point). The online-ingest pipeline passes
+    /// a *frozen-projection* grid here so a from-scratch rebuild over a
+    /// mutated point set reproduces every distance — and therefore every
+    /// RBF weight — bitwise.
+    pub fn build_with_grid(
+        index: &GridIndex,
+        radius_km: f64,
+        theta: f64,
+        max_neighbors: usize,
+    ) -> Self {
+        Self::build_for_targets(index, 0..index.len(), radius_km, theta, max_neighbors)
+    }
+
+    /// Builds neighbour lists for a subset of target POIs only (global ids,
+    /// strictly ascending), querying the full grid for each. Restricting
+    /// [`Self::build_with_grid`]'s output to the same targets yields exactly
+    /// this structure, which is what makes delta re-embedding of an affected
+    /// neighbourhood equivalent to the full rebuild.
+    pub fn build_for_targets(
+        index: &GridIndex,
+        targets: impl IntoIterator<Item = usize>,
+        radius_km: f64,
+        theta: f64,
+        max_neighbors: usize,
+    ) -> Self {
         let mut src = Vec::new();
         let mut dst = Vec::new();
         let mut rbf = Vec::new();
         let mut segment = Vec::new();
         let mut segment_dst = Vec::new();
-        for i in 0..graph.num_pois() {
+        for i in targets {
             let neighbors = index.k_nearest_within(i, radius_km, max_neighbors);
             if neighbors.is_empty() {
                 continue;
@@ -62,6 +90,20 @@ impl SpatialNeighbors {
             segment,
             segment_dst,
             radius_km,
+        }
+    }
+
+    /// Returns a copy with every POI id rewritten through `map` (a dense
+    /// global→local table). The map must be strictly monotone over the ids
+    /// present so segment grouping and edge order are preserved.
+    pub fn relabeled(&self, map: &[u32]) -> SpatialNeighbors {
+        SpatialNeighbors {
+            src: self.src.iter().map(|&s| map[s as usize]).collect(),
+            dst: self.dst.iter().map(|&d| map[d as usize]).collect(),
+            rbf: self.rbf.clone(),
+            segment: self.segment.clone(),
+            segment_dst: self.segment_dst.iter().map(|&d| map[d as usize]).collect(),
+            radius_km: self.radius_km,
         }
     }
 

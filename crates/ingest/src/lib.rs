@@ -1,0 +1,788 @@
+//! Streaming POI onboarding for a running PRIM serving process.
+//!
+//! A trained checkpoint freezes a city; real cities do not hold still.
+//! This crate accepts a stream of mutations — new POIs, new relationship
+//! edges, retirements — while the serving layer keeps answering queries,
+//! and folds them into the published embeddings with three guarantees:
+//!
+//! 1. **Durability before acknowledgement.** Every mutation is appended
+//!    to a per-city write-ahead log ([`wal::MutationWal`]) and fsynced
+//!    before the client sees `ok`. The log is built on
+//!    [`prim_serve::FileIo`], so the chaos harness can kill or tear any
+//!    write; on reopen the torn tail is truncated and the clean prefix
+//!    replayed, converging bitwise to a process that staged exactly those
+//!    mutations.
+//! 2. **Incremental, bitwise-exact re-embedding.** A batch of mutations
+//!    changes the final embeddings of a bounded *affected set*: the
+//!    mutated POIs and edge endpoints, everything within the spatial
+//!    radius of an inserted or retired point (their attention lists
+//!    changed), everything within `n_layers` graph hops of those (their
+//!    post-layer rows changed), and everything within the spatial radius
+//!    of *that* set (their attention sources changed). The batch embeds
+//!    only this set via [`prim_core::ModelInputs::build_subset`] — whose
+//!    ring-set construction reproduces the full forward pass bit for bit
+//!    — and scatters the rows into a copy of the published table. Every
+//!    row the pipeline does not recompute is provably identical to a
+//!    from-scratch re-embed of the mutated city.
+//! 3. **Lock-free publish.** Each applied batch builds a fresh
+//!    [`EmbeddingStore`] (shared scalar tables, updated grid, quant rows
+//!    restaged / appended next to the still-sealed HNSW graph) and swaps
+//!    it through the tenant's [`EngineSlot`]. Readers resolve an engine
+//!    `Arc` per request and never observe a half-updated store; in-flight
+//!    queries finish against the snapshot they started with.
+//!
+//! The spatial geometry uses the city's *frozen-projection* grid: the
+//! equirectangular reference latitude is fixed at checkpoint load, so a
+//! newcomer changes distances only inside its own neighbourhood rather
+//! than perturbing every projected coordinate. The from-scratch oracle
+//! for all parity claims is [`prim_core::ModelInputs::build_with_grid`]
+//! over the same frozen grid.
+
+pub mod wal;
+
+pub use wal::{decode_records, encode_record, Decoded, Mutation, MutationWal, WalError, WAL_MAGIC};
+
+use prim_core::ModelInputs;
+use prim_core::{PrimConfig, PrimModel};
+use prim_geo::GridIndex;
+use prim_geo::Location;
+use prim_graph::{CategoryId, HeteroGraph, Poi, PoiId, RelationId, Taxonomy};
+use prim_obs::json::{self, Value};
+use prim_obs::{Counter, Recorder};
+use prim_serve::{
+    CkptError, EngineOpts, EngineSlot, FileIo, IngestBackend, PrimCheckpoint, ServeEngine,
+};
+use prim_tensor::Matrix;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Tuning knobs for the ingest pipeline.
+#[derive(Clone, Debug)]
+pub struct IngestOpts {
+    /// Auto-apply threshold: staging the `batch_max`-th mutation applies
+    /// the batch inline (clients can force an earlier apply with the
+    /// `ingest_flush` op). Smaller batches shrink the staleness window;
+    /// larger ones amortise the subset embed.
+    pub batch_max: usize,
+    /// Delta-segment floor before a publish re-seals the HNSW graph.
+    pub reseal_min: usize,
+    /// Re-seal when the delta segment exceeds `sealed_len / reseal_frac`
+    /// (whichever of the two bounds is larger). Values below 1 are
+    /// treated as 1.
+    pub reseal_frac: usize,
+}
+
+impl Default for IngestOpts {
+    fn default() -> Self {
+        IngestOpts {
+            batch_max: 32,
+            reseal_min: 256,
+            reseal_frac: 4,
+        }
+    }
+}
+
+/// Failure opening the ingest pipeline.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The checkpoint would not rebuild.
+    Ckpt(CkptError),
+    /// The WAL would not open or decode.
+    Wal(WalError),
+    /// A durable WAL record failed revalidation against the state it is
+    /// replayed onto — the log belongs to a different checkpoint.
+    Replay(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Ckpt(e) => write!(f, "ingest open: {e}"),
+            IngestError::Wal(e) => write!(f, "ingest open: {e}"),
+            IngestError::Replay(msg) => write!(f, "ingest replay: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Why a staged mutation was refused.
+#[derive(Debug)]
+pub enum StageError {
+    /// The mutation fails validation against the current (applied +
+    /// staged) city state; nothing was written.
+    Invalid(String),
+    /// The WAL append failed; the mutation is *not* durable and must be
+    /// treated as rejected (a torn partial record, if any, is truncated
+    /// on the next open).
+    Wal(WalError),
+}
+
+impl std::fmt::Display for StageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageError::Invalid(msg) => write!(f, "{msg}"),
+            StageError::Wal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StageError {}
+
+/// Acknowledgement for one staged mutation.
+#[derive(Debug, Clone, Copy)]
+pub struct StageReceipt {
+    /// The mutation's WAL sequence number (durable before return).
+    pub seq: u64,
+    /// For `add_poi`: the id assigned to the new POI.
+    pub poi: Option<u32>,
+    /// Mutations applied (made query-visible) by this call — non-zero
+    /// when the stage tripped the `batch_max` auto-apply.
+    pub applied: usize,
+    /// Mutations staged-but-not-yet-visible after this call.
+    pub backlog: usize,
+}
+
+/// A point-in-time summary of the pipeline (the `ingest_status` op).
+#[derive(Debug, Clone, Copy)]
+pub struct IngestStatus {
+    /// Staged, durable, not yet query-visible.
+    pub staged: usize,
+    /// Mutations applied since the checkpoint (replay included).
+    pub applied: u64,
+    /// POIs in the mutated city (retired ids included).
+    pub n_pois: usize,
+    /// Sequence number the next append will use.
+    pub next_seq: u64,
+    /// Rows the published ANN serves from the linear-scanned delta
+    /// segment (0 for exact-only stores and right after a re-seal).
+    pub delta_rows: usize,
+}
+
+/// Mutable city state behind the pipeline's single writer lock. Readers
+/// never touch this — they go through the [`EngineSlot`].
+struct Inner {
+    graph: HeteroGraph,
+    taxonomy: Taxonomy,
+    attrs: Matrix,
+    cfg: PrimConfig,
+    model: PrimModel,
+    /// Frozen-projection grid the *model's* spatial attention reads
+    /// (cell size `spatial_radius_km`, reference latitude fixed at open).
+    spatial_grid: GridIndex,
+    /// The serving store's candidate grid (coarser cell floor), mutated
+    /// in lockstep and cloned into every published store.
+    serve_grid: GridIndex,
+    locations: Vec<Location>,
+    /// Per-POI spatial in-degree plus its total, maintained across
+    /// batches so `spatial_active` (does the *full* graph have any
+    /// spatial edge?) never needs a full spatial rebuild.
+    spatial_deg: Vec<u32>,
+    spatial_total: u64,
+    retired: Vec<bool>,
+    wal: MutationWal,
+    staged: Vec<Mutation>,
+    /// `add_poi` mutations currently staged (fixes id assignment).
+    staged_new: usize,
+    /// `retire_poi` targets currently staged (validation sees them).
+    staged_retired: Vec<u32>,
+    applied: u64,
+}
+
+impl Inner {
+    fn is_retired(&self, poi: u32) -> bool {
+        (poi as usize) < self.retired.len() && self.retired[poi as usize]
+            || self.staged_retired.contains(&poi)
+    }
+
+    /// Validates a mutation against the *effective* city: applied state
+    /// plus everything staged ahead of it. All failure modes here are
+    /// client errors; internal mutation application never panics on
+    /// anything this admits.
+    fn validate(&self, m: &Mutation) -> Result<(), String> {
+        let n_eff = self.graph.num_pois() + self.staged_new;
+        match m {
+            Mutation::AddPoi {
+                location,
+                category,
+                attrs,
+            } => {
+                if !location.lon.is_finite() || !(-180.0..=180.0).contains(&location.lon) {
+                    return Err(format!("lon {} out of range", location.lon));
+                }
+                if !location.lat.is_finite() || !(-90.0..=90.0).contains(&location.lat) {
+                    return Err(format!("lat {} out of range", location.lat));
+                }
+                if *category as usize >= self.taxonomy.num_categories() {
+                    return Err(format!(
+                        "category {category} out of range (city has {})",
+                        self.taxonomy.num_categories()
+                    ));
+                }
+                if attrs.len() != self.attrs.cols() {
+                    return Err(format!(
+                        "expected {} attrs, got {}",
+                        self.attrs.cols(),
+                        attrs.len()
+                    ));
+                }
+                if attrs.iter().any(|a| !a.is_finite()) {
+                    return Err("attrs must be finite".to_string());
+                }
+            }
+            Mutation::AddEdge { src, dst, relation } => {
+                if src == dst {
+                    return Err("self-loop edges are not allowed".to_string());
+                }
+                for &end in [src, dst].iter() {
+                    if *end as usize >= n_eff {
+                        return Err(format!("poi {end} does not exist"));
+                    }
+                    if self.is_retired(*end) {
+                        return Err(format!("poi {end} is retired"));
+                    }
+                }
+                if *relation as usize >= self.graph.num_relations() {
+                    return Err(format!(
+                        "relation {relation} out of range (city has {})",
+                        self.graph.num_relations()
+                    ));
+                }
+            }
+            Mutation::RetirePoi { poi } => {
+                if *poi as usize >= n_eff {
+                    return Err(format!("poi {poi} does not exist"));
+                }
+                if self.is_retired(*poi) {
+                    return Err(format!("poi {poi} is already retired"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-validation staging bookkeeping.
+    fn note_staged(&mut self, m: &Mutation) {
+        match m {
+            Mutation::AddPoi { .. } => self.staged_new += 1,
+            Mutation::RetirePoi { poi } => self.staged_retired.push(*poi),
+            Mutation::AddEdge { .. } => {}
+        }
+    }
+}
+
+/// The streaming ingest pipeline of one city (one tenant).
+///
+/// Writer side: [`CityIngest::stage`] / [`CityIngest::flush`], single
+/// writer behind a mutex. Reader side: untouched — queries keep
+/// resolving engines through the shared [`EngineSlot`] this pipeline
+/// publishes into. Wire it into the serving protocol with
+/// [`prim_serve::TenantSpec::with_ingest`] (it implements
+/// [`IngestBackend`]).
+pub struct CityIngest {
+    inner: Mutex<Inner>,
+    slot: Arc<EngineSlot>,
+    engine_opts: EngineOpts,
+    recorder: Recorder,
+    relation_names: Vec<String>,
+    opts: IngestOpts,
+}
+
+impl CityIngest {
+    /// Opens the pipeline over a rebuilt checkpoint and its mutation WAL,
+    /// replaying (in `batch_max` batches) whatever the log holds. `slot`
+    /// must already serve the checkpoint's store; after `open` returns it
+    /// serves the replayed state — bitwise the store of a process that
+    /// staged and applied exactly the WAL's mutations.
+    pub fn open(
+        ckpt: PrimCheckpoint,
+        wal_path: impl Into<PathBuf>,
+        io: Arc<dyn FileIo>,
+        slot: Arc<EngineSlot>,
+        engine_opts: EngineOpts,
+        opts: IngestOpts,
+    ) -> Result<Arc<Self>, IngestError> {
+        let (model, inputs) = ckpt.rebuild().map_err(IngestError::Ckpt)?;
+        let locations = inputs.locations().to_vec();
+        let cfg = ckpt.config.clone();
+        // Same construction (and therefore the same frozen reference
+        // latitude) as the full-build oracle's internal grid.
+        let spatial_grid = GridIndex::build(&locations, cfg.spatial_radius_km.max(1e-6));
+        let serve_grid = GridIndex::build(&locations, cfg.spatial_radius_km.max(0.1));
+        let mut spatial_deg = vec![0u32; locations.len()];
+        for &d in inputs.spatial.dst() {
+            spatial_deg[d as usize] += 1;
+        }
+        let spatial_total = inputs.spatial.num_edges() as u64;
+        let (wal, replay) = MutationWal::open(io, wal_path).map_err(IngestError::Wal)?;
+        let recorder = slot.get().recorder().clone();
+        let n = locations.len();
+        let inner = Inner {
+            graph: ckpt.graph,
+            taxonomy: ckpt.taxonomy,
+            attrs: ckpt.attrs,
+            cfg,
+            model,
+            spatial_grid,
+            serve_grid,
+            locations,
+            spatial_deg,
+            spatial_total,
+            retired: vec![false; n],
+            wal,
+            staged: Vec::new(),
+            staged_new: 0,
+            staged_retired: Vec::new(),
+            applied: 0,
+        };
+        let ingest = Arc::new(CityIngest {
+            inner: Mutex::new(inner),
+            slot,
+            engine_opts,
+            recorder,
+            relation_names: ckpt.relation_names,
+            opts,
+        });
+        if !replay.is_empty() {
+            let mut guard = ingest.inner.lock().unwrap();
+            let mut replayed = 0u64;
+            for m in replay {
+                guard.validate(&m).map_err(IngestError::Replay)?;
+                guard.note_staged(&m);
+                guard.staged.push(m);
+                replayed += 1;
+                if guard.staged.len() >= ingest.opts.batch_max {
+                    ingest.apply_locked(&mut guard);
+                }
+            }
+            ingest.apply_locked(&mut guard);
+            ingest.recorder.add(Counter::IngestReplayed, replayed);
+        }
+        Ok(ingest)
+    }
+
+    /// Stages one mutation: validate, append durably to the WAL, and —
+    /// when the backlog reaches `batch_max` — apply the batch inline.
+    /// On `Ok` the mutation is durable; `receipt.applied > 0` means it
+    /// is already query-visible.
+    pub fn stage(&self, m: Mutation) -> Result<StageReceipt, StageError> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Err(msg) = inner.validate(&m) {
+            self.recorder.add(Counter::IngestRejected, 1);
+            return Err(StageError::Invalid(msg));
+        }
+        let poi = match &m {
+            Mutation::AddPoi { .. } => Some((inner.graph.num_pois() + inner.staged_new) as u32),
+            _ => None,
+        };
+        let seq = match inner.wal.append(&m) {
+            Ok(seq) => seq,
+            Err(e) => {
+                self.recorder.add(Counter::IngestRejected, 1);
+                return Err(StageError::Wal(e));
+            }
+        };
+        inner.note_staged(&m);
+        inner.staged.push(m);
+        self.recorder.add(Counter::IngestStaged, 1);
+        let applied = if inner.staged.len() >= self.opts.batch_max {
+            self.apply_locked(&mut inner)
+        } else {
+            0
+        };
+        let backlog = inner.staged.len();
+        self.recorder
+            .record_scalar("ingest/staged_backlog", backlog as f64);
+        Ok(StageReceipt {
+            seq,
+            poi,
+            applied,
+            backlog,
+        })
+    }
+
+    /// Applies every staged mutation now, returning how many became
+    /// query-visible.
+    pub fn flush(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        self.apply_locked(&mut inner)
+    }
+
+    /// Current pipeline counters.
+    pub fn status(&self) -> IngestStatus {
+        let inner = self.inner.lock().unwrap();
+        let store_n = self.slot.get().store().n_pois();
+        let sealed = self
+            .slot
+            .get()
+            .store()
+            .ann
+            .as_ref()
+            .map(|a| a.len())
+            .unwrap_or(store_n);
+        IngestStatus {
+            staged: inner.staged.len(),
+            applied: inner.applied,
+            n_pois: inner.graph.num_pois(),
+            next_seq: inner.wal.next_seq(),
+            delta_rows: store_n - sealed,
+        }
+    }
+
+    /// The slot this pipeline publishes into.
+    pub fn slot(&self) -> &Arc<EngineSlot> {
+        &self.slot
+    }
+
+    /// Applies the staged batch under the writer lock: mutate the city
+    /// state, embed the affected set, scatter, publish. Returns the
+    /// number of mutations applied.
+    fn apply_locked(&self, inner: &mut Inner) -> usize {
+        let batch = std::mem::take(&mut inner.staged);
+        inner.staged_new = 0;
+        inner.staged_retired.clear();
+        if batch.is_empty() {
+            return 0;
+        }
+        let t0 = Instant::now();
+        let radius = inner.cfg.spatial_radius_km;
+
+        // Phase 1 — mutate the city, collecting the *changed* set: the
+        // mutated POIs and edge endpoints, plus every POI whose spatial
+        // attention list changed (the ball of each inserted point, and
+        // the pre-tombstone ball of each retired one — under the
+        // neighbour cap, eviction and admission both happen only inside
+        // those balls).
+        let mut changed: BTreeSet<u32> = BTreeSet::new();
+        let mut new_attr_rows: Vec<Vec<f32>> = Vec::new();
+        for m in &batch {
+            match m {
+                Mutation::AddPoi {
+                    location,
+                    category,
+                    attrs,
+                } => {
+                    let id = inner.graph.add_poi(Poi {
+                        location: *location,
+                        category: CategoryId(*category),
+                    });
+                    new_attr_rows.push(attrs.clone());
+                    inner.locations.push(*location);
+                    let gi = inner.spatial_grid.insert(*location);
+                    debug_assert_eq!(gi, id.0 as usize);
+                    inner.serve_grid.insert(*location);
+                    inner.spatial_deg.push(0);
+                    inner.retired.push(false);
+                    changed.insert(id.0);
+                    for (nb, _) in inner.spatial_grid.within_radius(id.0 as usize, radius) {
+                        changed.insert(nb as u32);
+                    }
+                }
+                Mutation::AddEdge { src, dst, relation } => {
+                    inner
+                        .graph
+                        .add_edge(PoiId(*src), PoiId(*dst), RelationId(*relation));
+                    changed.insert(*src);
+                    changed.insert(*dst);
+                }
+                Mutation::RetirePoi { poi } => {
+                    let p = *poi as usize;
+                    for (nb, _) in inner.spatial_grid.within_radius(p, radius) {
+                        changed.insert(nb as u32);
+                    }
+                    for e in inner.graph.remove_edges_of(PoiId(*poi)) {
+                        changed.insert(e.src.0);
+                        changed.insert(e.dst.0);
+                    }
+                    inner.spatial_grid.retire(p);
+                    inner.serve_grid.retire(p);
+                    inner.retired[p] = true;
+                    changed.insert(*poi);
+                }
+            }
+        }
+        if !new_attr_rows.is_empty() {
+            let cols = inner.attrs.cols();
+            let rows: Vec<Matrix> = new_attr_rows
+                .iter()
+                .map(|r| Matrix::from_vec(1, cols, r.clone()))
+                .collect();
+            let mut stack: Vec<&Matrix> = vec![&inner.attrs];
+            stack.extend(rows.iter());
+            inner.attrs = Matrix::vstack(&stack);
+        }
+
+        // Phase 2 — grow `changed` to the full affected set F: `n_layers`
+        // graph hops (post-layer rows change within that distance of any
+        // structural change), then the spatial ball of every hop-reached
+        // POI (their attention *sources'* post-layer rows changed).
+        let n = inner.graph.num_pois();
+        let mut in_b = vec![false; n];
+        let mut frontier: Vec<u32> = Vec::new();
+        for &c in &changed {
+            in_b[c as usize] = true;
+            frontier.push(c);
+        }
+        if inner.cfg.n_layers > 0 {
+            let mut nbrs: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for e in inner.graph.edges() {
+                nbrs[e.src.0 as usize].push(e.dst.0);
+                nbrs[e.dst.0 as usize].push(e.src.0);
+            }
+            for _ in 0..inner.cfg.n_layers {
+                let mut next = Vec::new();
+                for &v in &frontier {
+                    for &u in &nbrs[v as usize] {
+                        if !in_b[u as usize] {
+                            in_b[u as usize] = true;
+                            next.push(u);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+        }
+        let mut targets: BTreeSet<u32> = BTreeSet::new();
+        for (i, &hit) in in_b.iter().enumerate().take(n) {
+            if hit {
+                targets.insert(i as u32);
+                for (nb, _) in inner.spatial_grid.within_radius(i, radius) {
+                    targets.insert(nb as u32);
+                }
+            }
+        }
+        let tvec: Vec<u32> = targets.into_iter().collect();
+
+        // Phase 3 — embed the affected set. `spatial_active` is exact:
+        // every spatial list that changed has its dst inside `tvec`, so
+        // edges with dst outside are carried over unchanged from the
+        // running total.
+        let outside: u64 = inner.spatial_total
+            - tvec
+                .iter()
+                .map(|&f| inner.spatial_deg[f as usize] as u64)
+                .sum::<u64>();
+        let extra = n - inner.model.n_poi_rows();
+        if extra > 0 {
+            inner.model.extend_pois(extra);
+        }
+        let sub = ModelInputs::build_subset(
+            &inner.graph,
+            &inner.taxonomy,
+            &inner.attrs,
+            &inner.spatial_grid,
+            &tvec,
+            outside > 0,
+            &inner.cfg,
+        );
+        let table = inner.model.embed(&sub.inputs);
+        inner.spatial_total = outside
+            + sub
+                .spatial_target_deg
+                .iter()
+                .map(|&d| d as u64)
+                .sum::<u64>();
+        for (i, &f) in sub.targets.iter().enumerate() {
+            inner.spatial_deg[f as usize] = sub.spatial_target_deg[i];
+        }
+
+        // Phase 4 — scatter into a copy of the published table and swap
+        // in a fresh engine. Readers keep the old Arc until they finish.
+        let old_engine = self.slot.get();
+        let old_store = old_engine.store();
+        let dim = old_store.dim();
+        let old_n = old_store.n_pois();
+        let mut data = old_store.pois.data().to_vec();
+        data.resize(n * dim, 0.0);
+        for (i, &row) in sub.target_rows.iter().enumerate() {
+            let g = sub.targets[i] as usize;
+            data[g * dim..(g + 1) * dim].copy_from_slice(table.pois.row(row));
+        }
+        let pois = Matrix::from_vec(n, dim, data);
+        let touched: Vec<usize> = sub
+            .targets
+            .iter()
+            .map(|&g| g as usize)
+            .filter(|&g| g < old_n)
+            .collect();
+        let mut store = old_store.published(
+            pois,
+            inner.locations.clone(),
+            inner.serve_grid.clone(),
+            &touched,
+        );
+        let reseal = match &store.ann {
+            Some(ann) => {
+                let sealed = ann.len();
+                let floor = self
+                    .opts
+                    .reseal_min
+                    .max(sealed / self.opts.reseal_frac.max(1));
+                (store.n_pois() - sealed > floor).then_some(ann.graph.params)
+            }
+            None => None,
+        };
+        if let Some(params) = reseal {
+            store.build_ann(params);
+            self.recorder.record_scalar("ingest/reseals", 1.0);
+        }
+        let engine = Arc::new(ServeEngine::new(
+            store,
+            &self.engine_opts,
+            self.recorder.clone(),
+        ));
+        self.slot.swap(engine);
+
+        inner.applied += batch.len() as u64;
+        self.recorder
+            .add(Counter::IngestApplied, batch.len() as u64);
+        self.recorder.add(Counter::IngestBatches, 1);
+        self.recorder
+            .record_scalar("ingest/apply_ms", t0.elapsed().as_secs_f64() * 1e3);
+        self.recorder
+            .record_scalar("ingest/apply_targets", sub.targets.len() as f64);
+        self.recorder
+            .record_scalar("ingest/apply_support", sub.support.len() as f64);
+        self.recorder.record_scalar("ingest/staged_backlog", 0.0);
+        batch.len()
+    }
+
+    fn resolve_relation(&self, v: &Value) -> Result<u8, String> {
+        let field = v
+            .get("relation")
+            .ok_or_else(|| "missing field \"relation\"".to_string())?;
+        if let Some(name) = field.as_str() {
+            return match self.relation_names.iter().position(|n| n == name) {
+                Some(i) => Ok(i as u8),
+                None => Err(format!("unknown relation {name:?}")),
+            };
+        }
+        match field.as_f64() {
+            Some(x) if x.fract() == 0.0 && (0.0..256.0).contains(&x) => Ok(x as u8),
+            _ => Err("field \"relation\" must be a relation name or id".to_string()),
+        }
+    }
+
+    fn receipt_fields(&self, r: StageReceipt) -> Vec<(&'static str, String)> {
+        let mut fields = Vec::new();
+        if let Some(p) = r.poi {
+            fields.push(("poi", json::int(p as u64)));
+        }
+        fields.push(("seq", json::int(r.seq)));
+        fields.push(("staged", json::int(r.backlog as u64)));
+        fields.push(("applied", json::int(r.applied as u64)));
+        fields
+    }
+
+    fn stage_op(&self, m: Mutation) -> Result<Vec<(&'static str, String)>, (String, String)> {
+        match self.stage(m) {
+            Ok(r) => Ok(self.receipt_fields(r)),
+            Err(StageError::Invalid(msg)) => Err(("bad_request".to_string(), msg)),
+            Err(StageError::Wal(e)) => Err(("wal_error".to_string(), e.to_string())),
+        }
+    }
+}
+
+fn need_f64(v: &Value, key: &str) -> Result<f64, (String, String)> {
+    v.get(key).and_then(Value::as_f64).ok_or_else(|| {
+        (
+            "bad_request".to_string(),
+            format!("missing numeric field {key:?}"),
+        )
+    })
+}
+
+fn need_index(v: &Value, key: &str) -> Result<u32, (String, String)> {
+    match need_f64(v, key)? {
+        x if x.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&x) => Ok(x as u32),
+        _ => Err((
+            "bad_request".to_string(),
+            format!("field {key:?} must be a non-negative integer"),
+        )),
+    }
+}
+
+impl IngestBackend for CityIngest {
+    fn accepts(&self, op: &str) -> bool {
+        matches!(
+            op,
+            "add_poi" | "add_edge" | "retire_poi" | "ingest_flush" | "ingest_status"
+        )
+    }
+
+    fn handle(&self, op: &str, v: &Value) -> Result<Vec<(&'static str, String)>, (String, String)> {
+        match op {
+            "add_poi" => {
+                let lon = need_f64(v, "lon")?;
+                let lat = need_f64(v, "lat")?;
+                let category = need_index(v, "category")?;
+                let attrs: Vec<f32> = match v.get("attrs").and_then(Value::as_arr) {
+                    Some(items) => {
+                        let mut out = Vec::with_capacity(items.len());
+                        for it in items {
+                            match it.as_f64() {
+                                Some(x) => out.push(x as f32),
+                                None => {
+                                    return Err((
+                                        "bad_request".to_string(),
+                                        "field \"attrs\" must be an array of numbers".to_string(),
+                                    ))
+                                }
+                            }
+                        }
+                        out
+                    }
+                    None => {
+                        return Err((
+                            "bad_request".to_string(),
+                            "missing array field \"attrs\"".to_string(),
+                        ))
+                    }
+                };
+                self.stage_op(Mutation::AddPoi {
+                    location: Location { lon, lat },
+                    category,
+                    attrs,
+                })
+            }
+            "add_edge" => {
+                let src = need_index(v, "src")?;
+                let dst = need_index(v, "dst")?;
+                let relation = self
+                    .resolve_relation(v)
+                    .map_err(|msg| ("bad_request".to_string(), msg))?;
+                self.stage_op(Mutation::AddEdge { src, dst, relation })
+            }
+            "retire_poi" => {
+                let poi = need_index(v, "poi")?;
+                self.stage_op(Mutation::RetirePoi { poi })
+            }
+            "ingest_flush" => {
+                let applied = self.flush();
+                let status = self.status();
+                Ok(vec![
+                    ("applied", json::int(applied as u64)),
+                    ("staged", json::int(status.staged as u64)),
+                    ("n_pois", json::int(status.n_pois as u64)),
+                ])
+            }
+            "ingest_status" => {
+                let status = self.status();
+                Ok(vec![
+                    ("staged", json::int(status.staged as u64)),
+                    ("applied", json::int(status.applied)),
+                    ("n_pois", json::int(status.n_pois as u64)),
+                    ("next_seq", json::int(status.next_seq)),
+                    ("delta_rows", json::int(status.delta_rows as u64)),
+                    ("reloads", json::int(self.slot.reloads())),
+                ])
+            }
+            other => Err((
+                "unknown_op".to_string(),
+                format!("ingest does not handle {other:?}"),
+            )),
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! The durable mutation log behind streaming ingest.
+//!
+//! Every accepted mutation is appended to a single write-ahead file
+//! *before* it is acknowledged, so a crash at any instant loses at most
+//! the one mutation whose append was in flight — and that mutation was
+//! never acknowledged. The format is a flat sequence of self-delimiting
+//! records:
+//!
+//! ```text
+//! [magic u32][payload_len u32][seq u64][payload][crc u32]      (all LE)
+//! ```
+//!
+//! `seq` numbers records `1, 2, 3, …` with no gaps; the CRC covers
+//! everything before it (magic included). The payload is a one-byte tag
+//! followed by the mutation's fields in fixed little-endian layout
+//! (see [`Mutation`]).
+//!
+//! Decoding distinguishes two failure classes:
+//!
+//! - **Torn tail** — the file ends before a record completes. This is the
+//!   expected shape after a crash mid-append ([`FileIo::append`] may
+//!   persist any prefix of the record), so [`MutationWal::open`] silently
+//!   drops the tail, truncates the file back to the clean prefix
+//!   (atomically: temp sibling + rename), and replays the rest.
+//! - **Corruption** — bad magic, oversized length, CRC mismatch, unknown
+//!   tag, short payload, or duplicate / out-of-order sequence numbers
+//!   anywhere before the tail. These are never self-inflicted, so they
+//!   surface as structured [`WalError`]s rather than being dropped; the
+//!   decoder never panics on arbitrary bytes.
+
+use prim_geo::Location;
+use prim_serve::chaos::atomic_write_io;
+use prim_serve::FileIo;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Record sentinel: `"PWAL"` little-endian.
+pub const WAL_MAGIC: u32 = 0x4c41_5750;
+
+/// Fixed bytes before the payload: magic + payload_len + seq.
+const HEADER_LEN: usize = 4 + 4 + 8;
+
+/// Payload sanity cap. A real payload is a handful of scalars plus one
+/// attribute vector, so anything near this is a corrupt length field —
+/// rejecting it keeps the decoder from "finding" a plausible record
+/// gigabytes past a flipped bit.
+const MAX_PAYLOAD: u32 = 1 << 24;
+
+const TAG_ADD_POI: u8 = 1;
+const TAG_ADD_EDGE: u8 = 2;
+const TAG_RETIRE_POI: u8 = 3;
+
+/// One client-visible mutation of a city.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Mutation {
+    /// Onboard a new POI. Its id is assigned at stage time (`n_pois` plus
+    /// the number of adds already staged) and never reused.
+    AddPoi {
+        /// Position of the new POI.
+        location: Location,
+        /// Leaf category (index into the taxonomy's categories).
+        category: u32,
+        /// Attribute features, exactly `attr_dim` wide.
+        attrs: Vec<f32>,
+    },
+    /// Add a relationship edge between two existing POIs.
+    AddEdge {
+        /// One endpoint (order is irrelevant; edges are canonicalised).
+        src: u32,
+        /// The other endpoint.
+        dst: u32,
+        /// Relation id.
+        relation: u8,
+    },
+    /// Tombstone a POI: its edges are removed, it leaves every spatial
+    /// neighbourhood, and it stops appearing in query results. Its id and
+    /// embedding row remain (the row is re-embedded as an isolated node).
+    RetirePoi {
+        /// The POI to retire.
+        poi: u32,
+    },
+}
+
+impl Mutation {
+    /// Short op name, matching the wire-protocol op strings.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Mutation::AddPoi { .. } => "add_poi",
+            Mutation::AddEdge { .. } => "add_edge",
+            Mutation::RetirePoi { .. } => "retire_poi",
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Mutation::AddPoi {
+                location,
+                category,
+                attrs,
+            } => {
+                out.push(TAG_ADD_POI);
+                out.extend_from_slice(&location.lon.to_le_bytes());
+                out.extend_from_slice(&location.lat.to_le_bytes());
+                out.extend_from_slice(&category.to_le_bytes());
+                out.extend_from_slice(&(attrs.len() as u32).to_le_bytes());
+                for a in attrs {
+                    out.extend_from_slice(&a.to_le_bytes());
+                }
+            }
+            Mutation::AddEdge { src, dst, relation } => {
+                out.push(TAG_ADD_EDGE);
+                out.extend_from_slice(&src.to_le_bytes());
+                out.extend_from_slice(&dst.to_le_bytes());
+                out.push(*relation);
+            }
+            Mutation::RetirePoi { poi } => {
+                out.push(TAG_RETIRE_POI);
+                out.extend_from_slice(&poi.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode_payload(bytes: &[u8]) -> Result<Mutation, String> {
+        let mut r = Reader { bytes, at: 0 };
+        let tag = r.u8()?;
+        let m = match tag {
+            TAG_ADD_POI => {
+                let lon = r.f64()?;
+                let lat = r.f64()?;
+                let category = r.u32()?;
+                let n = r.u32()? as usize;
+                // Bound before allocating: a corrupt count must not OOM.
+                if n > bytes.len() {
+                    return Err(format!("attr count {n} exceeds payload"));
+                }
+                let mut attrs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    attrs.push(r.f32()?);
+                }
+                Mutation::AddPoi {
+                    location: Location { lon, lat },
+                    category,
+                    attrs,
+                }
+            }
+            TAG_ADD_EDGE => Mutation::AddEdge {
+                src: r.u32()?,
+                dst: r.u32()?,
+                relation: r.u8()?,
+            },
+            TAG_RETIRE_POI => Mutation::RetirePoi { poi: r.u32()? },
+            other => return Err(format!("unknown mutation tag {other}")),
+        };
+        if r.at != bytes.len() {
+            return Err(format!("{} trailing payload bytes", bytes.len() - r.at));
+        }
+        Ok(m)
+    }
+}
+
+/// Bounds-checked little-endian payload reader; errors instead of
+/// panicking when the payload is shorter than its fields claim.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        if self.bytes.len() - self.at < n {
+            return Err("payload too short".to_string());
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// A structured WAL failure. Offsets are byte positions into the file,
+/// so operators can locate the damage with a hex dump.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// A complete record's sentinel is not [`WAL_MAGIC`].
+    BadMagic {
+        /// Byte offset of the record.
+        offset: usize,
+    },
+    /// A complete record is internally inconsistent (CRC mismatch,
+    /// oversized length, unknown tag, short or over-long payload).
+    Corrupt {
+        /// Byte offset of the record.
+        offset: usize,
+        /// What failed to decode.
+        what: String,
+    },
+    /// A record's sequence number is not the predecessor's plus one —
+    /// a duplicated, dropped or reordered append.
+    OutOfOrder {
+        /// Byte offset of the record.
+        offset: usize,
+        /// The sequence number the stream required here.
+        expected: u64,
+        /// The sequence number found.
+        found: u64,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io: {e}"),
+            WalError::BadMagic { offset } => {
+                write!(f, "wal: bad record magic at byte {offset}")
+            }
+            WalError::Corrupt { offset, what } => {
+                write!(f, "wal: corrupt record at byte {offset}: {what}")
+            }
+            WalError::OutOfOrder {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "wal: out-of-order record at byte {offset}: expected seq {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// FNV-1a 64 folded to 32 bits — the same hash family the checkpoint
+/// format uses, xor-folded so the record overhead stays at four bytes.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Serialises one record (framing + payload + CRC) for sequence `seq`.
+pub fn encode_record(seq: u64, m: &Mutation) -> Vec<u8> {
+    let mut payload = Vec::new();
+    m.encode_payload(&mut payload);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Result of decoding a WAL image: the records of the clean prefix, the
+/// prefix's byte length, and whether a torn tail was dropped after it.
+#[derive(Debug)]
+pub struct Decoded {
+    /// `(seq, mutation)` in stream order, seqs `first..first+len` with no
+    /// gaps.
+    pub records: Vec<(u64, Mutation)>,
+    /// Byte length of the clean prefix (the file should be truncated to
+    /// this when `torn`).
+    pub clean_len: usize,
+    /// Whether bytes after the clean prefix were dropped as a torn tail.
+    pub torn: bool,
+}
+
+/// Decodes a whole WAL image. `first_seq` is the sequence number the
+/// stream must start with (1 for a fresh log). Never panics: torn tails
+/// are reported via [`Decoded::torn`], everything else as a [`WalError`].
+pub fn decode_records(bytes: &[u8], first_seq: u64) -> Result<Decoded, WalError> {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let mut expected = first_seq;
+    while at < bytes.len() {
+        let rest = &bytes[at..];
+        if rest.len() < HEADER_LEN {
+            return Ok(Decoded {
+                records,
+                clean_len: at,
+                torn: true,
+            });
+        }
+        let magic = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+        if magic != WAL_MAGIC {
+            return Err(WalError::BadMagic { offset: at });
+        }
+        let payload_len = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if payload_len > MAX_PAYLOAD {
+            return Err(WalError::Corrupt {
+                offset: at,
+                what: format!("payload length {payload_len} exceeds cap"),
+            });
+        }
+        let total = HEADER_LEN + payload_len as usize + 4;
+        if rest.len() < total {
+            return Ok(Decoded {
+                records,
+                clean_len: at,
+                torn: true,
+            });
+        }
+        let stored = u32::from_le_bytes(rest[total - 4..total].try_into().unwrap());
+        if stored != crc32(&rest[..total - 4]) {
+            return Err(WalError::Corrupt {
+                offset: at,
+                what: "crc mismatch".to_string(),
+            });
+        }
+        let seq = u64::from_le_bytes(rest[8..16].try_into().unwrap());
+        if seq != expected {
+            return Err(WalError::OutOfOrder {
+                offset: at,
+                expected,
+                found: seq,
+            });
+        }
+        let m = Mutation::decode_payload(&rest[HEADER_LEN..total - 4])
+            .map_err(|what| WalError::Corrupt { offset: at, what })?;
+        records.push((seq, m));
+        expected += 1;
+        at += total;
+    }
+    Ok(Decoded {
+        records,
+        clean_len: at,
+        torn: false,
+    })
+}
+
+/// The append-only mutation log of one city, bound to a [`FileIo`] so
+/// chaos tests can tear, corrupt or kill any operation.
+pub struct MutationWal {
+    io: Arc<dyn FileIo>,
+    path: PathBuf,
+    next_seq: u64,
+}
+
+impl MutationWal {
+    /// Opens (or creates) the log at `path`, returning the replayable
+    /// mutations of its clean prefix in stream order. A torn tail is
+    /// truncated away atomically before returning, so a later append
+    /// never lands after garbage.
+    pub fn open(
+        io: Arc<dyn FileIo>,
+        path: impl Into<PathBuf>,
+    ) -> Result<(Self, Vec<Mutation>), WalError> {
+        let path = path.into();
+        let bytes = match io.read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(WalError::Io(e)),
+        };
+        let decoded = decode_records(&bytes, 1)?;
+        if decoded.torn {
+            atomic_write_io(&*io, &path, &bytes[..decoded.clean_len])?;
+        }
+        let next_seq = decoded.records.len() as u64 + 1;
+        let mutations = decoded.records.into_iter().map(|(_, m)| m).collect();
+        Ok((MutationWal { io, path, next_seq }, mutations))
+    }
+
+    /// Appends one mutation durably (fsync before return) and returns its
+    /// sequence number. On error the mutation must be treated as *not
+    /// staged*: a torn append may have left a partial record, which the
+    /// next [`MutationWal::open`] truncates away — consistent with the
+    /// caller reporting the mutation rejected.
+    pub fn append(&mut self, m: &Mutation) -> Result<u64, WalError> {
+        let seq = self.next_seq;
+        let record = encode_record(seq, m);
+        self.io.append(&self.path, &record)?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// The sequence number the next append will use (= 1 + records
+    /// durable so far).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prim_serve::RealIo;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("prim-wal-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample() -> Vec<Mutation> {
+        vec![
+            Mutation::AddPoi {
+                location: Location {
+                    lon: 116.40,
+                    lat: 39.91,
+                },
+                category: 3,
+                attrs: vec![0.5, -1.25, 2.0],
+            },
+            Mutation::AddEdge {
+                src: 7,
+                dst: 2,
+                relation: 1,
+            },
+            Mutation::RetirePoi { poi: 4 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_and_replay() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let io: Arc<dyn FileIo> = Arc::new(RealIo);
+        let (mut wal, replay) = MutationWal::open(Arc::clone(&io), &path).unwrap();
+        assert!(replay.is_empty());
+        for m in sample() {
+            wal.append(&m).unwrap();
+        }
+        let (wal2, replay2) = MutationWal::open(io, &path).unwrap();
+        assert_eq!(replay2, sample());
+        assert_eq!(wal2.next_seq(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_truncated_every_prefix() {
+        let muts = sample();
+        let mut stream = Vec::new();
+        let mut boundaries = vec![0usize];
+        for (i, m) in muts.iter().enumerate() {
+            stream.extend_from_slice(&encode_record(i as u64 + 1, m));
+            boundaries.push(stream.len());
+        }
+        for cut in 0..=stream.len() {
+            let d = decode_records(&stream[..cut], 1).unwrap();
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(d.records.len(), whole, "cut {cut}");
+            assert_eq!(d.clean_len, boundaries[whole], "cut {cut}");
+            assert_eq!(d.torn, cut != boundaries[whole], "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bitflip_is_structured_corruption() {
+        let record = encode_record(1, &sample()[0]);
+        for at in 0..record.len() {
+            let mut bytes = record.clone();
+            bytes[at] ^= 0x40;
+            // Never a panic; always a structured error or (for flips in
+            // the length field that enlarge the record) a torn tail.
+            match decode_records(&bytes, 1) {
+                Ok(d) => assert!(d.torn || d.records != vec![(1, sample()[0].clone())]),
+                Err(
+                    WalError::BadMagic { .. }
+                    | WalError::Corrupt { .. }
+                    | WalError::OutOfOrder { .. },
+                ) => {}
+                Err(e) => panic!("unexpected error class: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_seqs_error() {
+        let m = sample()[1].clone();
+        let mut dup = encode_record(1, &m);
+        dup.extend_from_slice(&encode_record(1, &m));
+        match decode_records(&dup, 1) {
+            Err(WalError::OutOfOrder {
+                expected: 2,
+                found: 1,
+                ..
+            }) => {}
+            other => panic!("expected out-of-order, got {other:?}"),
+        }
+        let skipped = encode_record(3, &m);
+        assert!(matches!(
+            decode_records(&skipped, 1),
+            Err(WalError::OutOfOrder {
+                expected: 1,
+                found: 3,
+                ..
+            })
+        ));
+    }
+}

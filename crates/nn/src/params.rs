@@ -89,6 +89,20 @@ impl ParamStore {
         &mut self.params[id.0].value
     }
 
+    /// Appends `extra` zero-initialised rows to a parameter (and resets its
+    /// gradient buffer to the new shape). The online-ingest path uses this
+    /// to grow per-POI embedding tables when new POIs are onboarded: zero
+    /// rows are deterministic, and like unseen POIs in the paper's
+    /// inductive setting, the feature pathway carries the load until the
+    /// next retrain.
+    pub fn extend_rows(&mut self, id: ParamId, extra: usize) {
+        let p = &mut self.params[id.0];
+        let cols = p.value.cols();
+        let zeros = Matrix::zeros(extra, cols);
+        p.value = Matrix::vstack(&[&p.value, &zeros]);
+        p.grad = Matrix::zeros(p.value.rows(), cols);
+    }
+
     /// Accumulated gradient of a parameter.
     pub fn grad(&self, id: ParamId) -> &Matrix {
         &self.params[id.0].grad

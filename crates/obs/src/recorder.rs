@@ -128,11 +128,22 @@ pub enum Counter {
     AnnRadiusPruned,
     /// ANN candidates re-scored through the exact f32 kernel.
     AnnRescored,
+    /// Mutations accepted into the ingest WAL (staged, durable, not yet
+    /// visible to queries).
+    IngestStaged,
+    /// Mutations applied to a published store (visible to queries).
+    IngestApplied,
+    /// Ingest apply batches published through the engine slot.
+    IngestBatches,
+    /// Mutations replayed from the WAL at ingest pipeline open.
+    IngestReplayed,
+    /// Mutations rejected with a structured error before staging.
+    IngestRejected,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 32] = [
         Counter::Steps,
         Counter::Epochs,
         Counter::TriplesSeen,
@@ -160,6 +171,11 @@ impl Counter {
         Counter::AnnCandidates,
         Counter::AnnRadiusPruned,
         Counter::AnnRescored,
+        Counter::IngestStaged,
+        Counter::IngestApplied,
+        Counter::IngestBatches,
+        Counter::IngestReplayed,
+        Counter::IngestRejected,
     ];
 
     /// Stable snake-case name used in JSON reports.
@@ -192,6 +208,11 @@ impl Counter {
             Counter::AnnCandidates => "ann_candidates",
             Counter::AnnRadiusPruned => "ann_radius_pruned",
             Counter::AnnRescored => "ann_rescored",
+            Counter::IngestStaged => "ingest_staged",
+            Counter::IngestApplied => "ingest_applied",
+            Counter::IngestBatches => "ingest_batches",
+            Counter::IngestReplayed => "ingest_replayed",
+            Counter::IngestRejected => "ingest_rejected",
         }
     }
 }

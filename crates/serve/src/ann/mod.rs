@@ -97,7 +97,30 @@ impl AnnIndex {
         }
     }
 
-    /// Number of indexed POIs.
+    /// Incremental update for an ingest publish: the sealed HNSW graph is
+    /// kept frozen (rows past [`AnnIndex::len`] form the *delta segment*
+    /// the engine linear-scans), while the quantized tier is brought up to
+    /// date against the mutated table `phis` — rows in `touched` (must be
+    /// `< self.quant.len()`) are re-encoded and rows past the old tier
+    /// length are appended. Because rows encode independently, the result
+    /// is bitwise identical to rebuilding the tier from `phis`.
+    pub fn extended(&self, phis: &Matrix, touched: &[usize]) -> AnnIndex {
+        let mut quant = self.quant.clone();
+        assert!(phis.rows() >= quant.len(), "table must not shrink");
+        for &r in touched {
+            quant.restage_row(r, phis.row(r));
+        }
+        for r in quant.len()..phis.rows() {
+            quant.append_row(phis.row(r));
+        }
+        AnnIndex {
+            graph: self.graph.clone(),
+            quant,
+        }
+    }
+
+    /// Number of POIs the sealed HNSW graph covers (rows past this are
+    /// delta-segment rows the engine scans linearly).
     pub fn len(&self) -> usize {
         self.graph.hnsw.len()
     }
@@ -125,5 +148,22 @@ mod tests {
         assert_eq!(built.quant, loaded.quant);
         assert_eq!(built.len(), 64);
         assert!(!built.is_empty());
+    }
+
+    #[test]
+    fn extended_quant_matches_rebuild_and_keeps_graph_sealed() {
+        let before = Matrix::from_fn(48, 8, |r, c| ((r * 13 + c * 7) as f32).sin());
+        let after = Matrix::from_fn(50, 8, |r, c| {
+            if r == 2 || r == 40 || r >= 48 {
+                ((r * 3 + c * 17) as f32).cos()
+            } else {
+                before.row(r)[c]
+            }
+        });
+        let base = AnnIndex::build(&before, AnnParams::default());
+        let ext = base.extended(&after, &[2, 40]);
+        assert_eq!(ext.graph, base.graph, "graph stays sealed");
+        assert_eq!(ext.len(), 48, "delta rows are not in the graph");
+        assert_eq!(ext.quant, QuantStore::build(&after));
     }
 }

@@ -78,6 +78,41 @@ impl QuantStore {
         self.dim
     }
 
+    /// Re-encodes an existing row in place. Rows encode independently (one
+    /// scale per row), so restaging the rows an ingest batch touched and
+    /// appending the new ones yields a store bitwise identical to
+    /// [`QuantStore::build`] over the whole mutated table.
+    pub fn restage_row(&mut self, row: usize, values: &[f32]) {
+        assert_eq!(values.len(), self.dim, "row width mismatch");
+        assert!(row < self.len(), "row {row} out of bounds");
+        let (scale, inv) = Self::row_scale(values);
+        self.scales[row] = scale;
+        let at = row * self.dim;
+        for (k, &v) in values.iter().enumerate() {
+            self.codes_i8[at + k] = (v * inv).round().clamp(-127.0, 127.0) as i8;
+            self.codes_f16[at + k] = f32_to_f16(v);
+        }
+    }
+
+    /// Appends one newly-onboarded row to both tiers.
+    pub fn append_row(&mut self, values: &[f32]) {
+        assert_eq!(values.len(), self.dim, "row width mismatch");
+        let (scale, inv) = Self::row_scale(values);
+        self.scales.push(scale);
+        for &v in values {
+            self.codes_i8
+                .push((v * inv).round().clamp(-127.0, 127.0) as i8);
+            self.codes_f16.push(f32_to_f16(v));
+        }
+    }
+
+    fn row_scale(values: &[f32]) -> (f32, f32) {
+        let max_abs = values.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = max_abs / 127.0;
+        let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+        (scale, inv)
+    }
+
     /// Number of encoded rows.
     pub fn len(&self) -> usize {
         self.scales.len()
@@ -443,6 +478,26 @@ mod tests {
                 "f16 d={d}"
             );
         }
+    }
+
+    #[test]
+    fn restage_and_append_match_full_rebuild_bitwise() {
+        let before = Matrix::from_fn(5, 7, |r, c| ((r * 13 + c * 5) as f32).sin() * 1.7);
+        // Mutate rows 1 and 3, append two new rows.
+        let after = Matrix::from_fn(7, 7, |r, c| {
+            if r == 1 || r == 3 || r >= 5 {
+                ((r * 29 + c * 11) as f32).cos() * 0.9 - 0.2
+            } else {
+                before.row(r)[c]
+            }
+        });
+        let mut incremental = QuantStore::build(&before);
+        incremental.restage_row(1, after.row(1));
+        incremental.restage_row(3, after.row(3));
+        incremental.append_row(after.row(5));
+        incremental.append_row(after.row(6));
+        assert_eq!(incremental, QuantStore::build(&after));
+        assert_eq!(incremental.len(), 7);
     }
 
     #[test]

@@ -95,6 +95,10 @@ pub trait FileIo: Send + Sync {
     fn remove(&self, path: &Path) -> std::io::Result<()>;
     /// Reads a whole file.
     fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+    /// Appends `bytes` to `path` (creating it if absent), fsynced. The
+    /// mutation WAL is built on this: a torn append may persist any prefix
+    /// of `bytes`, which is exactly the tail state replay must tolerate.
+    fn append(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
 }
 
 /// The production [`FileIo`]: std::fs with fsync on writes and a parent
@@ -135,6 +139,15 @@ impl FileIo for RealIo {
 
     fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
         std::fs::read(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
     }
 }
 
@@ -250,6 +263,29 @@ impl FileIo for ChaosIo {
                 Ok(data)
             }
             Decision::Fault(_) => Err(chaos_err("failed read")),
+        }
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        match self.decide() {
+            Decision::Clean => RealIo.append(path, bytes),
+            Decision::Dead => Err(chaos_err("dead after fault")),
+            Decision::Fault(Fault::TornWrite { keep }) => {
+                // The prefix lands at the *end* of the file — a torn tail.
+                let keep = keep.min(bytes.len());
+                let _ = RealIo.append(path, &bytes[..keep]);
+                Err(chaos_err("torn append"))
+            }
+            Decision::Fault(Fault::FailOp) => Err(chaos_err("failed append")),
+            Decision::Fault(Fault::BitFlip { offset }) => {
+                let mut corrupt = bytes.to_vec();
+                if !corrupt.is_empty() {
+                    let at = offset % corrupt.len();
+                    corrupt[at] ^= 0x40;
+                }
+                RealIo.append(path, &corrupt)
+            }
+            Decision::Fault(Fault::ShortRead { .. }) => Err(chaos_err("failed append")),
         }
     }
 }

@@ -487,7 +487,7 @@ impl ServeEngine {
         } else {
             // Broad radius: HNSW beam with the radius as the keep-filter.
             let budget = ef.saturating_mul(opts.budget_mult);
-            let (kept, stats) = index.graph.hnsw.search(
+            let (mut kept, stats) = index.graph.hnsw.search(
                 |id| {
                     let dist = self.store.grid.distance_km(src as usize, id as usize);
                     index.quant.dot(tier, id as usize, query_row(dist))
@@ -499,9 +499,34 @@ impl ServeEngine {
                 budget,
             );
             self.recorder.add(Counter::AnnNodesVisited, stats.visited);
+            self.recorder.add(Counter::AnnRadiusPruned, stats.pruned);
+            // Delta segment: POIs onboarded since the HNSW graph was
+            // sealed (rows `index.len()..n_pois`) are not in the graph, so
+            // the beam can never surface them. They are scanned linearly
+            // under the same radius filter and quantized similarity, then
+            // merged into the beam's kept set before the exact rescore.
+            // The ingest pipeline re-seals the graph once this segment
+            // grows past a fixed share of the sealed size, so the scan
+            // stays O(recent onboards). Retired POIs sit at NaN in the
+            // grid, which fails `< radius_km` and drops them here too.
+            let delta = index.len() as u32..self.store.n_pois() as u32;
+            let delta_len = delta.len() as u64;
+            self.recorder.add(Counter::AnnNodesVisited, delta_len);
+            for id in delta {
+                if id == src {
+                    continue;
+                }
+                let dist = self.store.grid.distance_km(src as usize, id as usize);
+                if dist < radius_km {
+                    kept.push((index.quant.dot(tier, id as usize, query_row(dist)), id));
+                }
+            }
+            if delta_len > 0 {
+                kept.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                kept.truncate(ef);
+            }
             self.recorder
                 .add(Counter::AnnCandidates, kept.len() as u64 + stats.pruned);
-            self.recorder.add(Counter::AnnRadiusPruned, stats.pruned);
             kept
         };
         if kept.is_empty() {

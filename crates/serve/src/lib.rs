@@ -52,8 +52,8 @@ pub use engine::{
 pub use poll::{Event, Interest, Poller};
 pub use proto::{
     handle_line, handle_request, handle_request_gated, oversized_line_error, AdmissionGate,
-    AdmissionPermit, GatePermit, GatedHandled, Handled, ServeCtx, ServeLimits, Tenant, TenantSpec,
-    DEFAULT_TENANT,
+    AdmissionPermit, GatePermit, GatedHandled, Handled, IngestBackend, ServeCtx, ServeLimits,
+    Tenant, TenantSpec, DEFAULT_TENANT,
 };
 pub use resume::{fit_resumable, fit_resumable_hooked, ResilienceOpts, ResumableRun, ResumeError};
 pub use rotate::{CkptRotator, LATEST};

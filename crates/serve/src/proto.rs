@@ -185,13 +185,34 @@ impl AdmissionGate {
     }
 }
 
+/// A tenant's streaming-mutation backend (implemented by `prim-ingest`'s
+/// city pipeline; the trait lives here so `prim-serve` carries no
+/// dependency on the ingest crate). Ops the backend [`accepts`] are
+/// dispatched to [`handle`] after routing and admission, before the
+/// `unknown_op` fallback — so ingest ops ride the existing protocol,
+/// limits and tenancy for free.
+///
+/// [`accepts`]: IngestBackend::accepts
+/// [`handle`]: IngestBackend::handle
+pub trait IngestBackend: Send + Sync {
+    /// Whether this backend handles `op`.
+    fn accepts(&self, op: &str) -> bool;
+    /// Handles an accepted op against the parsed request object. `Ok`
+    /// yields extra response fields (appended after `ok`/`op`/`city`);
+    /// `Err` yields a `(code, message)` structured error. Must never
+    /// panic on client input.
+    fn handle(&self, op: &str, v: &Value) -> Result<Vec<(&'static str, String)>, (String, String)>;
+}
+
 /// One named city engine inside a serving process: hot-reloadable slot,
-/// optional micro-batcher, and the checkpoint path `reload` last applied
-/// (engines carry their own score cache and recorder).
+/// optional micro-batcher, optional ingest backend, and the checkpoint
+/// path `reload` last applied (engines carry their own score cache and
+/// recorder).
 pub struct Tenant {
     name: String,
     slot: Arc<EngineSlot>,
     batcher: Option<Arc<Batcher>>,
+    ingest: Option<Arc<dyn IngestBackend>>,
     ckpt_path: Mutex<Option<String>>,
 }
 
@@ -200,12 +221,14 @@ impl Tenant {
         name: impl Into<String>,
         slot: Arc<EngineSlot>,
         batcher: Option<Arc<Batcher>>,
+        ingest: Option<Arc<dyn IngestBackend>>,
         ckpt_path: Option<String>,
     ) -> Self {
         Tenant {
             name: name.into(),
             slot,
             batcher,
+            ingest,
             ckpt_path: Mutex::new(ckpt_path),
         }
     }
@@ -225,6 +248,11 @@ impl Tenant {
         self.slot.get()
     }
 
+    /// This tenant's streaming-mutation backend, if it hosts one.
+    pub fn ingest(&self) -> Option<&Arc<dyn IngestBackend>> {
+        self.ingest.as_ref()
+    }
+
     /// The checkpoint path most recently loaded for this tenant (at
     /// construction or by `reload`).
     pub fn ckpt_path(&self) -> Option<String> {
@@ -238,10 +266,19 @@ pub struct TenantSpec {
     pub city: String,
     /// The engine serving this city.
     pub engine: Arc<ServeEngine>,
+    /// Optional pre-existing hot-reload slot to serve from. Pass this
+    /// when another component (a [`Batcher`], an ingest pipeline)
+    /// publishes engines into a slot it already owns — the tenant must
+    /// resolve through *that* slot, not a private one. When set,
+    /// `engine` is ignored (the slot is authoritative).
+    pub slot: Option<Arc<EngineSlot>>,
     /// Optional micro-batcher for this city's single-pair `score` ops.
     /// Must share the tenant's slot to survive hot reloads; build it with
     /// [`Batcher::over_slot`].
     pub batcher: Option<Arc<Batcher>>,
+    /// Optional streaming-mutation backend handling this city's ingest
+    /// ops (`add_poi` / `add_edge` / `retire_poi` / …).
+    pub ingest: Option<Arc<dyn IngestBackend>>,
     /// Checkpoint path the engine was loaded from (reported by the
     /// aggregate `health` op).
     pub ckpt_path: Option<String>,
@@ -253,9 +290,18 @@ impl TenantSpec {
         TenantSpec {
             city: city.into(),
             engine,
+            slot: None,
             batcher: None,
+            ingest: None,
             ckpt_path: None,
         }
+    }
+
+    /// Serves this tenant from an existing [`EngineSlot`] (shared with
+    /// whatever publishes into it) instead of a private one.
+    pub fn with_slot(mut self, slot: Arc<EngineSlot>) -> Self {
+        self.slot = Some(slot);
+        self
     }
 
     /// Records the checkpoint path this tenant was loaded from.
@@ -269,6 +315,14 @@ impl TenantSpec {
     /// retarget direct and batched paths together.
     pub fn with_batcher(mut self, batcher: Arc<Batcher>) -> Self {
         self.batcher = Some(batcher);
+        self
+    }
+
+    /// Attaches a streaming-mutation backend; its ops join this tenant's
+    /// protocol dispatch. The backend must publish through the same
+    /// [`EngineSlot`] this tenant resolves (share it at construction).
+    pub fn with_ingest(mut self, ingest: Arc<dyn IngestBackend>) -> Self {
+        self.ingest = Some(ingest);
         self
     }
 }
@@ -306,6 +360,7 @@ impl ServeCtx {
             EngineSlot::new(engine),
             None,
             None,
+            None,
         ))
     }
 
@@ -318,6 +373,7 @@ impl ServeCtx {
             DEFAULT_TENANT,
             batcher.slot(),
             Some(batcher),
+            None,
             None,
         ))
     }
@@ -338,11 +394,26 @@ impl ServeCtx {
                 "duplicate tenant {:?}",
                 spec.city
             );
-            let slot = match &spec.batcher {
-                Some(b) => b.slot(),
-                None => EngineSlot::new(spec.engine),
+            let slot = match (spec.slot, &spec.batcher) {
+                (Some(slot), Some(b)) => {
+                    assert!(
+                        Arc::ptr_eq(&slot, &b.slot()),
+                        "tenant {:?}: explicit slot and batcher slot must be the same",
+                        spec.city
+                    );
+                    slot
+                }
+                (Some(slot), None) => slot,
+                (None, Some(b)) => b.slot(),
+                (None, None) => EngineSlot::new(spec.engine),
             };
-            tenants.push(Tenant::new(spec.city, slot, spec.batcher, spec.ckpt_path));
+            tenants.push(Tenant::new(
+                spec.city,
+                slot,
+                spec.batcher,
+                spec.ingest,
+                spec.ckpt_path,
+            ));
         }
         ServeCtx {
             tenants: Arc::new(tenants),
@@ -858,7 +929,27 @@ fn handle_admitted(
                 shutdown: false,
             }
         }
-        other => err_code("unknown_op", format!("unknown op {other:?}")),
+        other => {
+            if let Some(ingest) = &tenant.ingest {
+                if ingest.accepts(other) {
+                    if expired(deadline) {
+                        engine.recorder().add(Counter::ServeDeadlines, 1);
+                        return err_code(
+                            "deadline_exceeded",
+                            "request deadline passed before ingest",
+                        );
+                    }
+                    return match ingest.handle(other, v) {
+                        Ok(fields) => Handled {
+                            response: ok_obj(other, city, &fields),
+                            shutdown: false,
+                        },
+                        Err((code, msg)) => err_code(&code, msg),
+                    };
+                }
+            }
+            err_code("unknown_op", format!("unknown op {other:?}"))
+        }
     }
 }
 

@@ -124,6 +124,39 @@ impl EmbeddingStore {
         self.ann = Some(AnnIndex::build(&self.pois, params));
     }
 
+    /// A fresh store for an ingest publish: scalar tables (relations, bin
+    /// normals, names, bins) are shared with `self` bitwise, while the POI
+    /// tables are replaced by the mutated `pois`/`locations`/`grid` and the
+    /// ANN tier is brought up to date incrementally ([`AnnIndex::extended`]
+    /// — sealed graph kept, quant rows in `touched` restaged, new rows
+    /// appended). `touched` must not include appended rows.
+    pub fn published(
+        &self,
+        pois: Matrix,
+        locations: Vec<Location>,
+        grid: GridIndex,
+        touched: &[usize],
+    ) -> EmbeddingStore {
+        assert_eq!(pois.rows(), locations.len(), "one location per POI row");
+        assert_eq!(grid.len(), locations.len(), "grid must cover every POI");
+        assert_eq!(pois.cols(), self.dim(), "embedding width is fixed");
+        let ann = self
+            .ann
+            .as_ref()
+            .map(|index| index.extended(&pois, touched));
+        EmbeddingStore {
+            pois,
+            relations: self.relations.clone(),
+            bin_normals: self.bin_normals.clone(),
+            relation_names: self.relation_names.clone(),
+            locations,
+            bins: self.bins.clone(),
+            use_distance_scoring: self.use_distance_scoring,
+            grid,
+            ann,
+        }
+    }
+
     /// Number of POIs.
     pub fn n_pois(&self) -> usize {
         self.pois.rows()

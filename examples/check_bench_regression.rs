@@ -44,6 +44,13 @@
 //! `loadtest_smoke` (CI's low-rate end-to-end probe): lenient — some
 //! requests completed, none errored.
 //!
+//! `ingest` (from the streaming-ingest bench, `BENCH_ingest.json`):
+//!
+//! * time-to-visibility of one onboarded POI through the incremental
+//!   k-hop apply must be at least 5× faster than a full checkpoint
+//!   reload (load + full re-embed + ANN build);
+//! * fsynced WAL staging throughput must stay above a coarse floor.
+//!
 //! Exits 0 on pass, 1 on regression, 2 on usage/parse errors.
 
 use prim::obs::json;
@@ -208,6 +215,31 @@ fn check_loadtest(root: &json::Value, failures: &mut Vec<String>) -> String {
     summary
 }
 
+fn check_ingest(root: &json::Value, failures: &mut Vec<String>) -> String {
+    let speedup = num(root, &["ingest", "speedup_visibility"]);
+    let vis = num(root, &["ingest", "visibility_ms_mean"]);
+    let reload = num(root, &["ingest", "full_reload_ms"]);
+    let staged_per_sec = num(root, &["ingest", "staged_per_sec"]);
+    let n_pois = num(root, &["ingest", "n_pois"]);
+    if speedup < 5.0 {
+        failures.push(format!(
+            "ingest speedup_visibility {speedup:.2}x < 5.0x: incremental apply \
+             ({vis:.1}ms) no longer clearly beats a full checkpoint reload \
+             ({reload:.1}ms) at {n_pois} POIs"
+        ));
+    }
+    if staged_per_sec < 100.0 {
+        failures.push(format!(
+            "ingest staged_per_sec {staged_per_sec:.0} < 100: fsynced WAL staging \
+             throughput collapsed"
+        ));
+    }
+    format!(
+        "ingest: visibility {vis:.1}ms vs reload {reload:.1}ms ({speedup:.1}x), \
+         staging {staged_per_sec:.0}/s at {n_pois} POIs"
+    )
+}
+
 fn check_loadtest_smoke(root: &json::Value, failures: &mut Vec<String>) -> String {
     let ok = num(root, &["loadtest_smoke", "point", "ok"]);
     let errors = num(root, &["loadtest_smoke", "point", "errors"]);
@@ -249,6 +281,8 @@ fn main() {
             s
         } else if fetch(&root, &["loadtest_smoke"]).is_some() {
             check_loadtest_smoke(&root, &mut failures)
+        } else if fetch(&root, &["ingest"]).is_some() {
+            check_ingest(&root, &mut failures)
         } else {
             check_kernels(&root, &mut failures)
         };

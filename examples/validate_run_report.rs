@@ -14,8 +14,11 @@
 //! `--require-tenant <name>` (repeatable) demands a run named for that
 //! tenant (`<name>` or `...:<name>`, as a multi-tenant server emits) with
 //! at least one counted serving request — CI's load-smoke job uses it to
-//! prove per-tenant telemetry survived the run. Exits non-zero on any
-//! violation.
+//! prove per-tenant telemetry survived the run. `--require-ingest`
+//! demands at least one applied streaming mutation
+//! (`counters.ingest_applied`) — CI's ingest-smoke job uses it to prove
+//! the onboarding pipeline's telemetry survived the serve/kill/replay
+//! cycle. Exits non-zero on any violation.
 
 use prim::obs::{json, validate_report, RUN_REPORT_ENV};
 
@@ -24,11 +27,13 @@ fn main() {
     let mut path: Option<String> = None;
     let mut require_epochs = false;
     let mut require_serve = false;
+    let mut require_ingest = false;
     let mut require_tenants: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--require-epochs" => require_epochs = true,
             "--require-serve" => require_serve = true,
+            "--require-ingest" => require_ingest = true,
             "--require-tenant" => {
                 let name = args.next().unwrap_or_else(|| {
                     eprintln!("validate_run_report: --require-tenant wants a name");
@@ -80,6 +85,26 @@ fn main() {
             std::process::exit(1);
         }
         println!("{path}: {serve_requests} serving requests recorded");
+    }
+    if require_ingest {
+        let count = |key: &str| -> f64 {
+            text.lines()
+                .filter(|l| !l.trim().is_empty())
+                .filter_map(|l| json::parse(l).ok())
+                .filter_map(|v| {
+                    v.get("counters")
+                        .and_then(|c| c.get(key))
+                        .and_then(|n| n.as_f64())
+                })
+                .sum()
+        };
+        let applied = count("ingest_applied");
+        let replayed = count("ingest_replayed");
+        if applied < 1.0 {
+            eprintln!("validate_run_report: {path} recorded no applied ingest mutations");
+            std::process::exit(1);
+        }
+        println!("{path}: {applied} ingest mutations applied ({replayed} via WAL replay)");
     }
     for tenant in &require_tenants {
         let suffix = format!(":{tenant}");
