@@ -130,7 +130,7 @@ fn main() {
 
     // -- Ingest pipeline over the same slot.
     let wal = dir.join("bench.wal");
-    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_dir_all(&wal);
     let ingest = CityIngest::open(
         load_checkpoint(&ckpt_path).unwrap(),
         &wal,

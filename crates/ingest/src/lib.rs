@@ -37,10 +37,36 @@
 //! than perturbing every projected coordinate. The from-scratch oracle
 //! for all parity claims is [`prim_core::ModelInputs::build_with_grid`]
 //! over the same frozen grid.
+//!
+//! On top of durability the crate layers *availability*:
+//!
+//! 4. **Bounded recovery.** The WAL is segmented; every `ingest_flush`
+//!    publish writes a snapshot checkpoint (carrying the WAL high-water
+//!    seq and the frozen-grid provenance as `ingest.*` tensors) through a
+//!    [`prim_serve::CkptRotator`] and prunes the segments it covers.
+//!    Recovery is "load newest valid snapshot + replay the WAL tail",
+//!    one segment in memory at a time, regardless of how many mutations
+//!    the city has ever accepted.
+//! 5. **Warm-standby replication.** A follower ([`repl::ReplFollower`])
+//!    pulls acknowledged records over the ordinary JSONL protocol
+//!    (`repl_sync`), applies them through the same incremental re-embed
+//!    path, publishes through its own [`EngineSlot`], and serves reads
+//!    the whole time; `promote` flips it to accepting writes. Records
+//!    travel as the WAL's own wire bytes, so a promoted follower's state
+//!    is bitwise the primary's at the acknowledged seq — never a
+//!    re-parsed approximation.
 
+pub mod repl;
 pub mod wal;
 
-pub use wal::{decode_records, encode_record, Decoded, Mutation, MutationWal, WalError, WAL_MAGIC};
+pub use repl::{
+    hex_decode, hex_encode, parse_sync_frame, ReplError, ReplFollower, ReplLink, SyncFrame,
+    SyncProgress,
+};
+pub use wal::{
+    decode_records, encode_record, Decoded, Mutation, MutationWal, ReplayError, WalError, WalTail,
+    DEFAULT_SEGMENT_BYTES, WAL_MAGIC,
+};
 
 use prim_core::ModelInputs;
 use prim_core::{PrimConfig, PrimModel};
@@ -50,7 +76,8 @@ use prim_graph::{CategoryId, HeteroGraph, Poi, PoiId, RelationId, Taxonomy};
 use prim_obs::json::{self, Value};
 use prim_obs::{Counter, Recorder};
 use prim_serve::{
-    CkptError, EngineOpts, EngineSlot, FileIo, IngestBackend, PrimCheckpoint, ServeEngine,
+    encode_checkpoint_ingest, AnnParams, CkptError, CkptRotator, EmbeddingStore, EngineOpts,
+    EngineSlot, FileIo, IngestBackend, IngestSnapshotState, PrimCheckpoint, ServeEngine,
 };
 use prim_tensor::Matrix;
 use std::collections::BTreeSet;
@@ -72,6 +99,13 @@ pub struct IngestOpts {
     /// (whichever of the two bounds is larger). Values below 1 are
     /// treated as 1.
     pub reseal_frac: usize,
+    /// Active-WAL-segment byte budget: appends roll to a fresh segment
+    /// file past this, and compaction prunes whole segments — smaller
+    /// segments compact sooner, at the cost of more files.
+    pub wal_segment_bytes: usize,
+    /// Snapshot checkpoints retained by the rotator (replicated pipelines
+    /// only). Clamped to at least 1.
+    pub snapshot_retain: usize,
 }
 
 impl Default for IngestOpts {
@@ -80,6 +114,8 @@ impl Default for IngestOpts {
             batch_max: 32,
             reseal_min: 256,
             reseal_frac: 4,
+            wal_segment_bytes: wal::DEFAULT_SEGMENT_BYTES,
+            snapshot_retain: 2,
         }
     }
 }
@@ -94,6 +130,9 @@ pub enum IngestError {
     /// A durable WAL record failed revalidation against the state it is
     /// replayed onto — the log belongs to a different checkpoint.
     Replay(String),
+    /// The snapshot rotation directory is unusable, or a replicated open
+    /// found neither a valid snapshot nor a base checkpoint to start from.
+    Snapshot(String),
 }
 
 impl std::fmt::Display for IngestError {
@@ -102,6 +141,7 @@ impl std::fmt::Display for IngestError {
             IngestError::Ckpt(e) => write!(f, "ingest open: {e}"),
             IngestError::Wal(e) => write!(f, "ingest open: {e}"),
             IngestError::Replay(msg) => write!(f, "ingest replay: {msg}"),
+            IngestError::Snapshot(msg) => write!(f, "ingest snapshot: {msg}"),
         }
     }
 }
@@ -159,6 +199,13 @@ pub struct IngestStatus {
     /// Rows the published ANN serves from the linear-scanned delta
     /// segment (0 for exact-only stores and right after a re-seal).
     pub delta_rows: usize,
+    /// Durable bytes across all WAL segments.
+    pub wal_bytes: u64,
+    /// Number of WAL segment files.
+    pub wal_segments: usize,
+    /// High-water seq of the newest snapshot checkpoint (0 = none yet;
+    /// always 0 for pipelines opened without a rotation directory).
+    pub snapshot_seq: u64,
 }
 
 /// Mutable city state behind the pipeline's single writer lock. Readers
@@ -189,6 +236,13 @@ struct Inner {
     /// `retire_poi` targets currently staged (validation sees them).
     staged_retired: Vec<u32>,
     applied: u64,
+    /// POI count of the original training population — the frozen grid's
+    /// build set, persisted into every snapshot.
+    base_pois: usize,
+    /// High-water seq of the newest snapshot checkpoint (0 = none).
+    snapshot_seq: u64,
+    /// Path of that snapshot, served to bootstrapping followers.
+    snapshot_path: Option<PathBuf>,
 }
 
 impl Inner {
@@ -288,37 +342,159 @@ pub struct CityIngest {
     recorder: Recorder,
     relation_names: Vec<String>,
     opts: IngestOpts,
+    io: Arc<dyn FileIo>,
+    /// Snapshot rotation (replicated pipelines); `None` = WAL-only
+    /// durability, exactly the pre-replication behaviour.
+    rotator: Option<CkptRotator>,
+    /// Run label stamped into snapshot checkpoints.
+    run: String,
 }
 
 impl CityIngest {
-    /// Opens the pipeline over a rebuilt checkpoint and its mutation WAL,
-    /// replaying (in `batch_max` batches) whatever the log holds. `slot`
+    /// Opens the pipeline over a rebuilt checkpoint and its mutation WAL
+    /// (a *directory* of segments), replaying (in `batch_max` batches,
+    /// one segment in memory at a time) whatever the log holds. `slot`
     /// must already serve the checkpoint's store; after `open` returns it
     /// serves the replayed state — bitwise the store of a process that
     /// staged and applied exactly the WAL's mutations.
     pub fn open(
         ckpt: PrimCheckpoint,
-        wal_path: impl Into<PathBuf>,
+        wal_dir: impl Into<PathBuf>,
         io: Arc<dyn FileIo>,
         slot: Arc<EngineSlot>,
         engine_opts: EngineOpts,
         opts: IngestOpts,
     ) -> Result<Arc<Self>, IngestError> {
+        Self::open_inner(
+            ckpt,
+            wal_dir.into(),
+            io,
+            slot,
+            engine_opts,
+            opts,
+            None,
+            None,
+        )
+    }
+
+    /// [`CityIngest::open`] with snapshot-coupled compaction: every
+    /// `ingest_flush` publish writes a snapshot checkpoint (ingest state
+    /// included) into `snapshot_dir` through a [`CkptRotator`] and prunes
+    /// the WAL segments it covers. Recovery prefers the newest valid
+    /// snapshot (publishing its store into `slot` before replaying the
+    /// remaining WAL tail); `base` is the cold-start fallback and may be
+    /// `None` when a snapshot is known to exist (follower bootstrap).
+    pub fn open_replicated(
+        base: Option<PrimCheckpoint>,
+        wal_dir: impl Into<PathBuf>,
+        snapshot_dir: impl Into<PathBuf>,
+        io: Arc<dyn FileIo>,
+        slot: Arc<EngineSlot>,
+        engine_opts: EngineOpts,
+        opts: IngestOpts,
+    ) -> Result<Arc<Self>, IngestError> {
+        let rotator = CkptRotator::new(snapshot_dir.into(), opts.snapshot_retain)
+            .map_err(|e| IngestError::Snapshot(e.to_string()))?;
+        let recovered = rotator
+            .latest_valid()
+            .filter(|(_, c)| c.ingest_state.is_some());
+        let (ckpt, snapshot_path) = match recovered {
+            Some((path, ckpt)) => (ckpt, Some(path)),
+            None => (
+                base.ok_or_else(|| {
+                    IngestError::Snapshot(
+                        "no valid ingest snapshot and no base checkpoint".to_string(),
+                    )
+                })?,
+                None,
+            ),
+        };
+        Self::open_inner(
+            ckpt,
+            wal_dir.into(),
+            io,
+            slot,
+            engine_opts,
+            opts,
+            Some(rotator),
+            snapshot_path,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)] // one internal assembly point
+    fn open_inner(
+        ckpt: PrimCheckpoint,
+        wal_dir: PathBuf,
+        io: Arc<dyn FileIo>,
+        slot: Arc<EngineSlot>,
+        engine_opts: EngineOpts,
+        opts: IngestOpts,
+        rotator: Option<CkptRotator>,
+        snapshot_path: Option<PathBuf>,
+    ) -> Result<Arc<Self>, IngestError> {
         let (model, inputs) = ckpt.rebuild().map_err(IngestError::Ckpt)?;
         let locations = inputs.locations().to_vec();
         let cfg = ckpt.config.clone();
+        let ing_state = ckpt.ingest_state.clone();
+        let base_pois = ing_state
+            .as_ref()
+            .map_or(locations.len(), |s| s.base_pois as usize);
+        let snapshot_seq = ing_state.as_ref().map_or(0, |s| s.snapshot_seq);
         // Same construction (and therefore the same frozen reference
-        // latitude) as the full-build oracle's internal grid.
-        let spatial_grid = GridIndex::build(&locations, cfg.spatial_radius_km.max(1e-6));
-        let serve_grid = GridIndex::build(&locations, cfg.spatial_radius_km.max(0.1));
+        // latitude) as the full-build oracle's internal grid: built over
+        // the base population, grown insert-by-insert for snapshots.
+        let (spatial_grid, serve_grid) = match &ing_state {
+            Some(st) => (
+                st.frozen_grid(&locations, cfg.spatial_radius_km.max(1e-6)),
+                st.frozen_grid(&locations, cfg.spatial_radius_km.max(0.1)),
+            ),
+            None => (
+                GridIndex::build(&locations, cfg.spatial_radius_km.max(1e-6)),
+                GridIndex::build(&locations, cfg.spatial_radius_km.max(0.1)),
+            ),
+        };
+        let mut retired = vec![false; locations.len()];
+        if let Some(st) = &ing_state {
+            for &p in &st.retired {
+                retired[p as usize] = true;
+            }
+        }
         let mut spatial_deg = vec![0u32; locations.len()];
         for &d in inputs.spatial.dst() {
             spatial_deg[d as usize] += 1;
         }
         let spatial_total = inputs.spatial.num_edges() as u64;
-        let (wal, replay) = MutationWal::open(io, wal_path).map_err(IngestError::Wal)?;
+        let mut wal = MutationWal::open(io.clone(), wal_dir).map_err(IngestError::Wal)?;
+        wal.set_segment_bytes(opts.wal_segment_bytes);
+        // Finish any compaction a crash interrupted (and drop segments a
+        // bootstrap snapshot has made wholly redundant), then anchor a
+        // fully-compacted log at the snapshot's numbering.
+        wal.compact(snapshot_seq).map_err(IngestError::Wal)?;
+        wal.ensure_seq(snapshot_seq + 1);
         let recorder = slot.get().recorder().clone();
-        let n = locations.len();
+        let relation_names = ckpt.relation_names.clone();
+        // When recovering from a snapshot, publish its store *before*
+        // tail replay: `apply_locked` scatters into the currently
+        // published table, which must be the snapshot's — not whatever
+        // stale base the slot was loaded with.
+        if ing_state.is_some() {
+            let mut store =
+                EmbeddingStore::from_model_unindexed(&model, &inputs, relation_names.clone());
+            store.grid = serve_grid.clone();
+            store.build_ann(AnnParams {
+                seed: cfg.seed,
+                ..AnnParams::default()
+            });
+            slot.swap(Arc::new(ServeEngine::new(
+                store,
+                &engine_opts,
+                recorder.clone(),
+            )));
+        }
+        // Detached tail reader before `wal` moves into the inner state;
+        // errors loudly if acknowledged seqs past the snapshot were
+        // pruned out from under us.
+        let tail = wal.tail(snapshot_seq).map_err(IngestError::Wal)?;
         let inner = Inner {
             graph: ckpt.graph,
             taxonomy: ckpt.taxonomy,
@@ -330,35 +506,49 @@ impl CityIngest {
             locations,
             spatial_deg,
             spatial_total,
-            retired: vec![false; n],
+            retired,
             wal,
             staged: Vec::new(),
             staged_new: 0,
             staged_retired: Vec::new(),
             applied: 0,
+            base_pois,
+            snapshot_seq,
+            snapshot_path,
         };
         let ingest = Arc::new(CityIngest {
             inner: Mutex::new(inner),
             slot,
             engine_opts,
             recorder,
-            relation_names: ckpt.relation_names,
+            relation_names,
             opts,
+            io,
+            rotator,
+            run: ckpt.run,
         });
-        if !replay.is_empty() {
+        {
             let mut guard = ingest.inner.lock().unwrap();
             let mut replayed = 0u64;
-            for m in replay {
-                guard.validate(&m).map_err(IngestError::Replay)?;
+            let batch_max = ingest.opts.batch_max;
+            tail.for_each(&mut |_, m| {
+                guard.validate(&m)?;
                 guard.note_staged(&m);
                 guard.staged.push(m);
                 replayed += 1;
-                if guard.staged.len() >= ingest.opts.batch_max {
+                if guard.staged.len() >= batch_max {
                     ingest.apply_locked(&mut guard);
                 }
-            }
+                Ok(())
+            })
+            .map_err(|e| match e {
+                ReplayError::Wal(w) => IngestError::Wal(w),
+                ReplayError::Sink(msg) => IngestError::Replay(msg),
+            })?;
             ingest.apply_locked(&mut guard);
-            ingest.recorder.add(Counter::IngestReplayed, replayed);
+            if replayed > 0 {
+                ingest.recorder.add(Counter::IngestReplayed, replayed);
+            }
         }
         Ok(ingest)
     }
@@ -404,10 +594,84 @@ impl CityIngest {
     }
 
     /// Applies every staged mutation now, returning how many became
-    /// query-visible.
+    /// query-visible. On replicated pipelines the publish is followed by
+    /// a snapshot checkpoint + WAL compaction ([`Self::open_replicated`]).
     pub fn flush(&self) -> usize {
         let mut inner = self.inner.lock().unwrap();
-        self.apply_locked(&mut inner)
+        let applied = self.apply_locked(&mut inner);
+        self.maybe_snapshot(&mut inner);
+        applied
+    }
+
+    /// Writes a snapshot checkpoint covering every applied mutation and
+    /// prunes the WAL segments it covers. Failures are swallowed after
+    /// recording `ingest/snapshot_errors` — the previous snapshot plus
+    /// the uncompacted WAL still recover everything acknowledged, and the
+    /// next flush retries.
+    fn maybe_snapshot(&self, inner: &mut Inner) {
+        if let Some(rot) = &self.rotator {
+            let high = inner.wal.next_seq() - 1;
+            if high > inner.snapshot_seq && inner.staged.is_empty() {
+                let retired: Vec<u32> = inner
+                    .retired
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &r)| r)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                let state = IngestSnapshotState {
+                    snapshot_seq: high,
+                    base_pois: inner.base_pois as u64,
+                    retired,
+                };
+                let bytes = encode_checkpoint_ingest(
+                    &self.run,
+                    &inner.model,
+                    &inner.graph,
+                    &inner.taxonomy,
+                    &inner.attrs,
+                    &self.relation_names,
+                    None,
+                    None,
+                    Some(&state),
+                );
+                // Compact to the *previous* snapshot, not the one just
+                // published: the log always retains the newest interval
+                // `(prev_snapshot, high]`, so a warm standby that is at
+                // most one flush behind can tail it instead of falling
+                // below the floor and re-downloading a full snapshot
+                // every round. The rotator keeps two snapshots for the
+                // same reason — floor and recovery points stay aligned.
+                let prev_snapshot = inner.snapshot_seq;
+                let result = rot.save(&*self.io, high as usize, &bytes).and_then(|path| {
+                    inner
+                        .wal
+                        .compact(prev_snapshot)
+                        .map(|pruned| (path, pruned))
+                        .map_err(|e| match e {
+                            WalError::Io(io) => io,
+                            other => std::io::Error::other(other.to_string()),
+                        })
+                });
+                match result {
+                    Ok((path, pruned)) => {
+                        inner.snapshot_seq = high;
+                        inner.snapshot_path = Some(path);
+                        self.recorder.add(Counter::IngestSnapshots, 1);
+                        self.recorder.add(Counter::WalSegmentsPruned, pruned as u64);
+                    }
+                    Err(_) => {
+                        self.recorder.record_scalar("ingest/snapshot_errors", 1.0);
+                    }
+                }
+            }
+        }
+        self.recorder
+            .record_scalar("ingest/wal_bytes", inner.wal.bytes() as f64);
+        self.recorder
+            .record_scalar("ingest/wal_segments", inner.wal.segments() as f64);
+        self.recorder
+            .record_scalar("ingest/snapshot_seq", inner.snapshot_seq as f64);
     }
 
     /// Current pipeline counters.
@@ -428,6 +692,9 @@ impl CityIngest {
             n_pois: inner.graph.num_pois(),
             next_seq: inner.wal.next_seq(),
             delta_rows: store_n - sealed,
+            wal_bytes: inner.wal.bytes(),
+            wal_segments: inner.wal.segments(),
+            snapshot_seq: inner.snapshot_seq,
         }
     }
 
@@ -704,11 +971,36 @@ fn need_index(v: &Value, key: &str) -> Result<u32, (String, String)> {
     }
 }
 
+/// A sequence number / byte offset field: a non-negative integer exactly
+/// representable in an f64 (seqs stay far below 2^53).
+fn need_seq(v: &Value, key: &str) -> Result<u64, (String, String)> {
+    match need_f64(v, key)? {
+        x if x.fract() == 0.0 && (0.0..=9.007_199_254_740_992e15).contains(&x) => Ok(x as u64),
+        _ => Err((
+            "bad_request".to_string(),
+            format!("field {key:?} must be a non-negative integer"),
+        )),
+    }
+}
+
+fn opt_seq(v: &Value, key: &str, default: u64) -> Result<u64, (String, String)> {
+    if v.get(key).is_none() {
+        return Ok(default);
+    }
+    need_seq(v, key)
+}
+
 impl IngestBackend for CityIngest {
     fn accepts(&self, op: &str) -> bool {
         matches!(
             op,
-            "add_poi" | "add_edge" | "retire_poi" | "ingest_flush" | "ingest_status"
+            "add_poi"
+                | "add_edge"
+                | "retire_poi"
+                | "ingest_flush"
+                | "ingest_status"
+                | "repl_sync"
+                | "repl_status"
         )
     }
 
@@ -777,6 +1069,89 @@ impl IngestBackend for CityIngest {
                     ("next_seq", json::int(status.next_seq)),
                     ("delta_rows", json::int(status.delta_rows as u64)),
                     ("reloads", json::int(self.slot.reloads())),
+                    ("wal_bytes", json::int(status.wal_bytes)),
+                    ("wal_segments", json::int(status.wal_segments as u64)),
+                    ("snapshot_seq", json::int(status.snapshot_seq)),
+                ])
+            }
+            "repl_sync" => {
+                let from_seq = need_seq(v, "from_seq")?;
+                let max_bytes = opt_seq(v, "max_bytes", 64 * 1024)?.clamp(1024, 1 << 22) as usize;
+                let inner = self.inner.lock().unwrap();
+                let floor = inner.wal.first_seq().saturating_sub(1);
+                if from_seq >= floor {
+                    // Tail mode: re-encode acknowledged records after
+                    // `from_seq` as raw WAL record bytes — bitwise what
+                    // the log holds, so the follower's CRC + seq checks
+                    // apply unchanged to the wire.
+                    let tail = inner
+                        .wal
+                        .tail(from_seq)
+                        .map_err(|e| ("wal_error".to_string(), e.to_string()))?;
+                    let (data, last) = tail
+                        .collect_bytes(max_bytes)
+                        .map_err(|e| ("wal_error".to_string(), e.to_string()))?;
+                    let high = inner.wal.next_seq() - 1;
+                    drop(inner);
+                    self.recorder.add(Counter::ReplSyncs, 1);
+                    Ok(vec![
+                        ("mode", json::str("tail")),
+                        ("from_seq", json::int(from_seq)),
+                        ("last_seq", json::int(last)),
+                        ("high_seq", json::int(high)),
+                        ("data", json::str(&repl::hex_encode(&data))),
+                    ])
+                } else {
+                    // The follower is behind the compaction floor: stream
+                    // the snapshot that covers the pruned records.
+                    let snap = inner
+                        .snapshot_path
+                        .clone()
+                        .or_else(|| self.rotator.as_ref().and_then(|r| r.latest_path()));
+                    let Some(path) = snap else {
+                        return Err((
+                            "repl_gap".to_string(),
+                            format!(
+                                "seq {from_seq} is below the wal floor {floor} and no snapshot exists"
+                            ),
+                        ));
+                    };
+                    let snapshot_seq = inner.snapshot_seq;
+                    drop(inner);
+                    let offset = opt_seq(v, "offset", 0)? as usize;
+                    let bytes = self
+                        .io
+                        .read(&path)
+                        .map_err(|e| ("io_error".to_string(), e.to_string()))?;
+                    if offset > bytes.len() {
+                        return Err((
+                            "bad_request".to_string(),
+                            format!("offset {offset} beyond snapshot ({} bytes)", bytes.len()),
+                        ));
+                    }
+                    let end = (offset + max_bytes).min(bytes.len());
+                    self.recorder.add(Counter::ReplSyncs, 1);
+                    Ok(vec![
+                        ("mode", json::str("snapshot")),
+                        ("snapshot_seq", json::int(snapshot_seq)),
+                        ("offset", json::int(offset as u64)),
+                        ("total", json::int(bytes.len() as u64)),
+                        ("data", json::str(&repl::hex_encode(&bytes[offset..end]))),
+                    ])
+                }
+            }
+            "repl_status" => {
+                let status = self.status();
+                let inner = self.inner.lock().unwrap();
+                let floor = inner.wal.first_seq().saturating_sub(1);
+                drop(inner);
+                Ok(vec![
+                    ("role", json::str("primary")),
+                    ("next_seq", json::int(status.next_seq)),
+                    ("snapshot_seq", json::int(status.snapshot_seq)),
+                    ("wal_floor", json::int(floor)),
+                    ("wal_segments", json::int(status.wal_segments as u64)),
+                    ("wal_bytes", json::int(status.wal_bytes)),
                 ])
             }
             other => Err((

@@ -149,7 +149,7 @@ fn run_pipeline(wal_name: &str, engine_opts: &EngineOpts) -> Pipeline {
         Recorder::disabled(),
     )));
     let wal = tmp(wal_name);
-    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_dir_all(&wal);
     let ingest = CityIngest::open(
         ckpt,
         &wal,
@@ -453,7 +453,7 @@ fn invalid_mutations_are_rejected_without_staging() {
         Recorder::disabled(),
     )));
     let wal = tmp("reject.wal");
-    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_dir_all(&wal);
     let ingest = CityIngest::open(
         ckpt,
         &wal,

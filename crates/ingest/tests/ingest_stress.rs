@@ -106,7 +106,7 @@ fn ingest_and_serve_survive_concurrent_hammering() {
     // Wire beijing's ingest pipeline to the slot the tenant serves from.
     let slot = EngineSlot::new(Arc::clone(&beijing.engine));
     let wal = tmp("stress.wal");
-    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_dir_all(&wal);
     let ingest = CityIngest::open(
         load_checkpoint(&beijing.ckpt).unwrap(),
         &wal,

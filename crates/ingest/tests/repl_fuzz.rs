@@ -1,0 +1,184 @@
+//! Property fuzz over the replication wire boundary: `repl_sync`
+//! response frames arrive from a network peer and must decode *totally*
+//! — a typed [`ReplError`] for every input, never a panic — and the hex
+//! codec under the `data` field must round-trip exactly.
+
+use prim_ingest::{hex_decode, hex_encode, parse_sync_frame, ReplError, SyncFrame};
+use proptest::prelude::*;
+
+fn tail_frame(from_seq: u64, last_seq: u64, high_seq: u64, data: &[u8]) -> String {
+    format!(
+        r#"{{"ok": true, "op": "repl_sync", "city": "beijing", "mode": "tail", "from_seq": {from_seq}, "last_seq": {last_seq}, "high_seq": {high_seq}, "data": "{}"}}"#,
+        hex_encode(data)
+    )
+}
+
+fn snapshot_frame(snapshot_seq: u64, offset: u64, total: u64, data: &[u8]) -> String {
+    format!(
+        r#"{{"ok": true, "op": "repl_sync", "city": "beijing", "mode": "snapshot", "snapshot_seq": {snapshot_seq}, "offset": {offset}, "total": {total}, "data": "{}"}}"#,
+        hex_encode(data)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes as a frame line: decoding never panics.
+    #[test]
+    fn frame_decoder_is_total_on_byte_soup(
+        data in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        let line = String::from_utf8_lossy(&data);
+        let _ = parse_sync_frame(&line);
+    }
+
+    /// JSON-ish soup (mostly structural characters, so more inputs parse
+    /// deep into the JSON layer than raw bytes would) never panics either.
+    #[test]
+    fn frame_decoder_is_total_on_json_soup(
+        picks in prop::collection::vec(0usize..24, 0..128),
+    ) {
+        const ATOMS: &[&str] = &[
+            "{", "}", "[", "]", ":", ",", "\"", "true", "false", "null",
+            "0", "-1", "1e308", "ok", "mode", "tail", "snapshot", "data",
+            "from_seq", "ff", "zz", " ", "\\", "\u{1F30D}",
+        ];
+        let line: String = picks.iter().map(|&i| ATOMS[i]).collect();
+        let _ = parse_sync_frame(&line);
+    }
+
+    /// Every strict prefix of a valid frame is rejected with a typed
+    /// error — a torn line can never smuggle records in.
+    #[test]
+    fn truncated_frames_are_typed_errors(
+        from in 0u64..1000,
+        extra_last in 0u64..50,
+        extra_high in 0u64..50,
+        data in prop::collection::vec(0u8..=255, 0..64),
+        raw_cut in 0usize..1_000_000,
+    ) {
+        let full = tail_frame(from, from + extra_last, from + extra_last + extra_high, &data);
+        let cut = raw_cut % full.len(); // strict prefix
+        match parse_sync_frame(&full[..cut]) {
+            Err(ReplError::Frame(_)) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error class: {e}"))),
+            Ok(f) => return Err(TestCaseError::fail(format!("torn frame decoded: {f:?}"))),
+        }
+    }
+
+    /// Flipping any single byte of a valid frame never panics, and if it
+    /// still decodes as a tail frame the payload length is unchanged
+    /// (hex is strict: the flipped byte either lands in the data as a
+    /// different value or kills the parse — it never shifts framing).
+    #[test]
+    fn mangled_frames_never_panic(
+        from in 0u64..1000,
+        data in prop::collection::vec(0u8..=255, 1..64),
+        at in 0usize..1_000_000,
+        flip in 1u8..=255,
+    ) {
+        let full = tail_frame(from, from + 1, from + 2, &data);
+        let mut bytes = full.into_bytes();
+        let at = at % bytes.len();
+        bytes[at] ^= flip;
+        let line = String::from_utf8_lossy(&bytes);
+        if let Ok(SyncFrame::Tail { data: got, .. }) = parse_sync_frame(&line) {
+            prop_assert_eq!(got.len(), data.len());
+        }
+    }
+
+    /// Well-formed tail frames decode to exactly their fields.
+    #[test]
+    fn tail_frames_roundtrip(
+        from in 0u64..1_000_000,
+        extra_last in 0u64..100,
+        extra_high in 0u64..100,
+        data in prop::collection::vec(0u8..=255, 0..128),
+    ) {
+        let last = from + extra_last;
+        let high = last + extra_high;
+        let f = parse_sync_frame(&tail_frame(from, last, high, &data)).unwrap();
+        prop_assert_eq!(f, SyncFrame::Tail { from_seq: from, last_seq: last, high_seq: high, data });
+    }
+
+    /// Well-formed snapshot frames decode to exactly their fields.
+    #[test]
+    fn snapshot_frames_roundtrip(
+        seq in 0u64..1_000_000,
+        offset in 0u64..10_000,
+        data in prop::collection::vec(0u8..=255, 0..128),
+        slack in 0u64..1000,
+    ) {
+        let total = offset + data.len() as u64 + slack;
+        let f = parse_sync_frame(&snapshot_frame(seq, offset, total, &data)).unwrap();
+        prop_assert_eq!(f, SyncFrame::Snapshot { snapshot_seq: seq, offset, total, data });
+    }
+
+    /// Inconsistent seqs / overrunning chunks are rejected, not clamped.
+    #[test]
+    fn inconsistent_frames_are_rejected(
+        a in 0u64..1000,
+        b in 0u64..1000,
+        data in prop::collection::vec(0u8..=255, 1..32),
+    ) {
+        let (lo, hi) = (a.min(b), a.max(b) + 1);
+        // last_seq below from_seq
+        prop_assert!(matches!(
+            parse_sync_frame(&tail_frame(hi, lo, hi, &data)),
+            Err(ReplError::Frame(_))
+        ));
+        // high_seq below last_seq
+        prop_assert!(matches!(
+            parse_sync_frame(&tail_frame(lo, hi, lo, &data)),
+            Err(ReplError::Frame(_))
+        ));
+        // chunk overruns the declared total
+        prop_assert!(matches!(
+            parse_sync_frame(&snapshot_frame(a, hi, hi + data.len() as u64 - 1, &data)),
+            Err(ReplError::Frame(_))
+        ));
+    }
+
+    /// Hex codec: exact round-trip, strict rejection of odd lengths and
+    /// non-hex bytes.
+    #[test]
+    fn hex_roundtrip_is_exact(data in prop::collection::vec(0u8..=255, 0..256)) {
+        let enc = hex_encode(&data);
+        prop_assert_eq!(enc.len(), data.len() * 2);
+        prop_assert_eq!(hex_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_decode_is_total(data in prop::collection::vec(0u8..=255, 0..128)) {
+        let s = String::from_utf8_lossy(&data);
+        if let Ok(bytes) = hex_decode(&s) {
+            prop_assert_eq!(s.len() % 2, 0);
+            prop_assert_eq!(hex_encode(&bytes), s.to_lowercase());
+        }
+    }
+}
+
+/// Structured primary errors pass through as `SyncFrame::Error` with
+/// their code intact — the follower turns them into `ReplError::Primary`.
+#[test]
+fn error_frames_carry_their_code() {
+    let f = parse_sync_frame(
+        r#"{"ok": false, "code": "repl_gap", "error": "no snapshot covers seq 3"}"#,
+    )
+    .unwrap();
+    assert_eq!(
+        f,
+        SyncFrame::Error {
+            code: "repl_gap".to_string(),
+            msg: "no snapshot covers seq 3".to_string(),
+        }
+    );
+    // Missing code/detail degrade gracefully, still an Error frame.
+    match parse_sync_frame(r#"{"ok": false}"#).unwrap() {
+        SyncFrame::Error { code, msg } => {
+            assert_eq!(code, "unknown");
+            assert_eq!(msg, "");
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+}

@@ -145,7 +145,7 @@ fn expected_bits(j: usize) -> Vec<u32> {
         return b.clone();
     }
     let wal = tmp(&format!("expected-{j}.wal"));
-    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_dir_all(&wal);
     let (ingest, slot) = open_pipeline(Arc::new(RealIo), &wal, 1000).unwrap();
     let muts = script(&load());
     for m in muts.into_iter().take(j) {
@@ -160,7 +160,7 @@ fn expected_bits(j: usize) -> Vec<u32> {
         .iter()
         .map(|v| v.to_bits())
         .collect();
-    let _ = std::fs::remove_file(&wal);
+    let _ = std::fs::remove_dir_all(&wal);
     cache.lock().unwrap().insert(j, bits.clone());
     bits
 }
@@ -173,7 +173,7 @@ fn store_bits(store: &EmbeddingStore) -> Vec<u32> {
 /// (process death). Returns the number of acknowledged mutations, or
 /// `None` if the pipeline never opened.
 fn run_until_death(plan: FaultPlan, wal: &PathBuf) -> Option<usize> {
-    let _ = std::fs::remove_file(wal);
+    let _ = std::fs::remove_dir_all(wal);
     let io = Arc::new(ChaosIo::with_plan(plan));
     let (ingest, _slot) = match open_pipeline(io, wal, 2) {
         Ok(p) => p,
@@ -219,7 +219,7 @@ fn assert_converges(wal: &PathBuf, acked: usize, label: &str) {
 fn kill_at_every_op_replays_to_acknowledged_prefix() {
     // Clean run measures the op budget the sweep must cover.
     let probe = tmp("probe.wal");
-    let _ = std::fs::remove_file(&probe);
+    let _ = std::fs::remove_dir_all(&probe);
     let io = Arc::new(ChaosIo::counting());
     {
         let (ingest, _slot) = open_pipeline(io.clone() as Arc<dyn FileIo>, &probe, 2).unwrap();
@@ -228,18 +228,20 @@ fn kill_at_every_op_replays_to_acknowledged_prefix() {
         }
     }
     let total_ops = io.ops();
-    assert!(total_ops >= 7, "scenario too small: {total_ops} ops");
+    assert!(total_ops >= 6, "scenario too small: {total_ops} ops");
 
     for at in 0..total_ops {
         let wal = tmp(&format!("kill-{at}.wal"));
         let acked = run_until_death(FaultPlan::kill_at(at), &wal);
         match acked {
             // Killed before the WAL even opened: nothing acknowledged,
-            // nothing on disk to converge from.
+            // nothing on disk to converge from. (A fresh segmented log
+            // performs no file operations at open, so in practice every
+            // kill index lands on an append.)
             None => assert_eq!(at, 0, "only the open read may abort the pipeline"),
             Some(acked) => assert_converges(&wal, acked, &format!("kill@{at}")),
         }
-        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_dir_all(&wal);
     }
 }
 
@@ -254,7 +256,7 @@ fn torn_append_at_every_op_truncates_and_converges() {
             let acked = run_until_death(FaultPlan::torn_at(at, keep), &wal)
                 .expect("torn plans only fail appends");
             assert_converges(&wal, acked, &format!("torn@{at} keep {keep}"));
-            let _ = std::fs::remove_file(&wal);
+            let _ = std::fs::remove_dir_all(&wal);
         }
     }
 }
@@ -268,7 +270,7 @@ fn bitflip_in_acknowledged_record_is_loud() {
     let muts = script(&load());
     for at in 1..6 {
         let wal = tmp(&format!("flip-{at}.wal"));
-        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_dir_all(&wal);
         let io = Arc::new(ChaosIo::with_plan(FaultPlan {
             at_op: at,
             fault: Fault::BitFlip { offset: 9 },
@@ -288,9 +290,17 @@ fn bitflip_in_acknowledged_record_is_loud() {
             Err(WalError::BadMagic { .. })
             | Err(WalError::Corrupt { .. })
             | Err(WalError::OutOfOrder { .. }) => {}
-            Ok((w, replay)) => {
+            Ok(w) => {
                 // The flip enlarged a length field at the tail: the
                 // decoder may only shorten the stream, never alter it.
+                let mut replay = Vec::new();
+                w.tail(0)
+                    .unwrap()
+                    .for_each(&mut |_seq, m| {
+                        replay.push(m);
+                        Ok(())
+                    })
+                    .unwrap();
                 assert!(
                     replay.len() < muts.len(),
                     "flip@{at}: corrupt stream replayed fully"
@@ -300,7 +310,7 @@ fn bitflip_in_acknowledged_record_is_loud() {
             }
             Err(WalError::Io(e)) => panic!("flip@{at}: unexpected io error {e}"),
         }
-        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_dir_all(&wal);
     }
 }
 
@@ -313,7 +323,7 @@ fn replay_convergence_is_batch_size_independent() {
     let mut all = Vec::new();
     for batch_max in [1usize, 2, 1000] {
         let wal = tmp(&format!("batch-{batch_max}.wal"));
-        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_dir_all(&wal);
         let (ingest, slot) = open_pipeline(Arc::new(RealIo), &wal, batch_max).unwrap();
         for m in muts.iter().cloned() {
             ingest.stage(m).unwrap();
@@ -323,7 +333,7 @@ fn replay_convergence_is_batch_size_independent() {
         // And a replay of the same WAL converges to the same bits again.
         let (_ingest2, slot2) = open_pipeline(Arc::new(RealIo), &wal, 3).unwrap();
         all.push(store_bits(slot2.get().store()));
-        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_dir_all(&wal);
     }
     let first = all[0].clone();
     for (i, b) in all.iter().enumerate() {

@@ -64,7 +64,7 @@ fn ctx() -> &'static ServeCtx {
         ));
         let slot = EngineSlot::new(Arc::clone(&engine));
         let wal = tmp("fuzz.wal");
-        let _ = std::fs::remove_file(&wal);
+        let _ = std::fs::remove_dir_all(&wal);
         let ingest = CityIngest::open(
             ckpt,
             &wal,

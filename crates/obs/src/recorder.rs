@@ -139,11 +139,21 @@ pub enum Counter {
     IngestReplayed,
     /// Mutations rejected with a structured error before staging.
     IngestRejected,
+    /// Ingest snapshot checkpoints written (one per compacting flush).
+    IngestSnapshots,
+    /// WAL segment files pruned by snapshot-coupled compaction.
+    WalSegmentsPruned,
+    /// `repl_sync` requests answered (tail and snapshot frames alike).
+    ReplSyncs,
+    /// Mutations a follower applied from replication tail frames.
+    ReplApplied,
+    /// Followers promoted to accepting writes.
+    Promotions,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 37] = [
         Counter::Steps,
         Counter::Epochs,
         Counter::TriplesSeen,
@@ -176,6 +186,11 @@ impl Counter {
         Counter::IngestBatches,
         Counter::IngestReplayed,
         Counter::IngestRejected,
+        Counter::IngestSnapshots,
+        Counter::WalSegmentsPruned,
+        Counter::ReplSyncs,
+        Counter::ReplApplied,
+        Counter::Promotions,
     ];
 
     /// Stable snake-case name used in JSON reports.
@@ -213,6 +228,11 @@ impl Counter {
             Counter::IngestBatches => "ingest_batches",
             Counter::IngestReplayed => "ingest_replayed",
             Counter::IngestRejected => "ingest_rejected",
+            Counter::IngestSnapshots => "ingest_snapshots",
+            Counter::WalSegmentsPruned => "wal_segments_pruned",
+            Counter::ReplSyncs => "repl_syncs",
+            Counter::ReplApplied => "repl_applied",
+            Counter::Promotions => "promotions",
         }
     }
 }
@@ -338,7 +358,6 @@ struct Series {
     max: f64,
 }
 
-#[derive(Default)]
 struct State {
     phase_acc: [u64; N_PHASES],
     phase_total: [u64; N_PHASES],
@@ -349,6 +368,21 @@ struct State {
     scalars: Vec<(&'static str, Series)>,
     // Extra `key → raw JSON` metadata for the run line.
     meta: Vec<(String, String)>,
+}
+
+// Manual: `Default` is not derivable past 32-element arrays.
+impl Default for State {
+    fn default() -> Self {
+        State {
+            phase_acc: [0; N_PHASES],
+            phase_total: [0; N_PHASES],
+            counters: [0; N_COUNTERS],
+            epochs: Vec::new(),
+            evals: Vec::new(),
+            scalars: Vec::new(),
+            meta: Vec::new(),
+        }
+    }
 }
 
 struct Inner {

@@ -36,7 +36,7 @@ use crate::ann::{hnsw::Layer, AnnGraph, AnnParams, Hnsw, QuantTier};
 use crate::chaos::atomic_write;
 use prim_core::config::{GammaOp, PrimConfig, TaxonomyMode};
 use prim_core::{ModelInputs, PrimModel, ResumeState};
-use prim_geo::{DistanceBins, Location};
+use prim_geo::{DistanceBins, GridIndex, Location};
 use prim_graph::{Edge, HeteroGraph, Poi, PoiId, RelationId, Taxonomy, TaxonomyNodeId};
 use prim_nn::{AdamState, ParamStore};
 use prim_obs::json;
@@ -836,6 +836,124 @@ fn decode_train_state(raw: &RawCheckpoint) -> Result<Option<ResumeState>, CkptEr
 }
 
 // ---------------------------------------------------------------------------
+// Ingest snapshot state (the `ingest.*` section)
+// ---------------------------------------------------------------------------
+
+/// `[seq_hi, seq_lo, base_hi, base_lo, n_retired]`.
+const INGEST_META_SLOTS: usize = 5;
+
+/// Ingest continuation state carried by snapshot checkpoints: the WAL
+/// high-water sequence number the snapshot covers (every mutation with
+/// seq ≤ `snapshot_seq` is baked into the stored graph), plus the
+/// provenance needed to reconstruct the *frozen-projection* spatial grid
+/// bitwise — the grid's equirectangular reference latitude is anchored at
+/// the original `base_pois` training population, later POIs were
+/// [`GridIndex::insert`]ed under that frozen projection, and `retired`
+/// ids were tombstoned.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IngestSnapshotState {
+    /// Highest WAL seq whose effect is baked into this checkpoint.
+    pub snapshot_seq: u64,
+    /// POI count of the original training population (grid build set).
+    pub base_pois: u64,
+    /// Retired POI ids, ascending.
+    pub retired: Vec<u32>,
+}
+
+impl IngestSnapshotState {
+    /// Reconstructs the frozen-projection grid over `locations`: build
+    /// over the first `base_pois` coordinates (fixing the reference
+    /// latitude exactly as the live pipeline did), insert the rest in id
+    /// order, then tombstone the retired ids. Insert and retire commute,
+    /// so this is bitwise the grid the saving process was serving from.
+    pub fn frozen_grid(&self, locations: &[Location], cell_km: f64) -> GridIndex {
+        let base = (self.base_pois as usize).min(locations.len());
+        let mut grid = GridIndex::build(&locations[..base], cell_km);
+        for loc in &locations[base..] {
+            grid.insert(*loc);
+        }
+        for &p in &self.retired {
+            grid.retire(p as usize);
+        }
+        grid
+    }
+}
+
+fn count_ingest_tensors(state: &IngestSnapshotState) -> usize {
+    1 + usize::from(!state.retired.is_empty())
+}
+
+fn push_ingest_state(w: &mut Writer, state: &IngestSnapshotState) {
+    let [seq_hi, seq_lo] = split_u64(state.snapshot_seq);
+    let [base_hi, base_lo] = split_u64(state.base_pois);
+    let meta = [seq_hi, seq_lo, base_hi, base_lo, state.retired.len() as f64];
+    w.tensor("ingest.meta", 0, 1, INGEST_META_SLOTS, &meta);
+    if !state.retired.is_empty() {
+        let ids: Vec<f64> = state.retired.iter().map(|&p| p as f64).collect();
+        w.tensor("ingest.retired", 0, 1, ids.len(), &ids);
+    }
+}
+
+fn decode_ingest_state(
+    raw: &RawCheckpoint,
+    n_pois: usize,
+) -> Result<Option<IngestSnapshotState>, CkptError> {
+    let Ok(meta) = raw.tensor("ingest.meta") else {
+        return Ok(None);
+    };
+    if meta.values.len() != INGEST_META_SLOTS {
+        return Err(CkptError::Malformed(format!(
+            "ingest.meta has {} slots, expected {INGEST_META_SLOTS}",
+            meta.values.len()
+        )));
+    }
+    let snapshot_seq = join_u64(meta.values[0], meta.values[1]);
+    let base_pois = join_u64(meta.values[2], meta.values[3]);
+    let n_retired = meta.values[4];
+    if n_retired < 0.0 || n_retired.fract() != 0.0 || n_retired as usize > n_pois {
+        return Err(CkptError::Malformed(format!(
+            "ingest.meta retired count {n_retired} is not a valid POI count"
+        )));
+    }
+    if base_pois as usize > n_pois {
+        return Err(CkptError::Malformed(format!(
+            "ingest.meta base_pois {base_pois} exceeds n_pois {n_pois}"
+        )));
+    }
+    let n_retired = n_retired as usize;
+    let mut retired = Vec::with_capacity(n_retired);
+    if n_retired > 0 {
+        let t = raw.tensor("ingest.retired")?;
+        if t.values.len() != n_retired {
+            return Err(CkptError::Malformed(format!(
+                "ingest.retired holds {} ids, ingest.meta promised {n_retired}",
+                t.values.len()
+            )));
+        }
+        let mut prev: i64 = -1;
+        for &v in &t.values {
+            if v < 0.0 || v.fract() != 0.0 || v as usize >= n_pois {
+                return Err(CkptError::Malformed(format!(
+                    "ingest.retired id {v} out of range for {n_pois} POIs"
+                )));
+            }
+            if (v as i64) <= prev {
+                return Err(CkptError::Malformed(
+                    "ingest.retired ids must be strictly ascending".into(),
+                ));
+            }
+            prev = v as i64;
+            retired.push(v as u32);
+        }
+    }
+    Ok(Some(IngestSnapshotState {
+        snapshot_seq,
+        base_pois,
+        retired,
+    }))
+}
+
+// ---------------------------------------------------------------------------
 // PRIM checkpoints
 // ---------------------------------------------------------------------------
 
@@ -865,6 +983,11 @@ pub struct PrimCheckpoint {
     /// was written by [`save_checkpoint_indexed`] — serving loads it
     /// instead of rebuilding the index.
     pub ann_graph: Option<AnnGraph>,
+    /// Ingest continuation state (`ingest.*` tensors), present when the
+    /// checkpoint is a streaming-ingest snapshot: the WAL high-water seq
+    /// it covers plus the frozen-projection grid provenance. Loaders that
+    /// predate streaming ingest ignore the extra tensors.
+    pub ingest_state: Option<IngestSnapshotState>,
 }
 
 impl PrimCheckpoint {
@@ -873,15 +996,36 @@ impl PrimCheckpoint {
     /// the checkpointed values. With the same binary on the same hardware,
     /// `rebuild` followed by `embed` is bitwise identical to the saving
     /// process's embeddings.
+    ///
+    /// For ingest snapshots the spatial structure is rebuilt over the
+    /// snapshot's *frozen* grid — projection anchored at the original
+    /// (train-time) POI population, retirements tombstoned — instead of
+    /// re-deriving a projection from the mutated coordinates, so the
+    /// bitwise guarantee extends to stores that grew after training.
     pub fn rebuild(&self) -> Result<(PrimModel, ModelInputs), CkptError> {
-        let inputs = ModelInputs::build(
-            &self.graph,
-            &self.taxonomy,
-            &self.attrs,
-            self.graph.edges(),
-            None,
-            &self.config,
-        );
+        let inputs = match &self.ingest_state {
+            Some(st) => {
+                let locations: Vec<Location> =
+                    self.graph.pois().iter().map(|p| p.location).collect();
+                let grid = st.frozen_grid(&locations, self.config.spatial_radius_km.max(1e-6));
+                ModelInputs::build_with_grid(
+                    &self.graph,
+                    &self.taxonomy,
+                    &self.attrs,
+                    self.graph.edges(),
+                    &grid,
+                    &self.config,
+                )
+            }
+            None => ModelInputs::build(
+                &self.graph,
+                &self.taxonomy,
+                &self.attrs,
+                self.graph.edges(),
+                None,
+                &self.config,
+            ),
+        };
         let mut model = PrimModel::new(self.config.clone(), &inputs);
         model
             .params_mut()
@@ -993,6 +1137,34 @@ pub fn encode_checkpoint(
     train_state: Option<&ResumeState>,
     ann: Option<&AnnGraph>,
 ) -> Vec<u8> {
+    encode_checkpoint_ingest(
+        run,
+        model,
+        graph,
+        taxonomy,
+        attrs,
+        relation_names,
+        train_state,
+        ann,
+        None,
+    )
+}
+
+/// [`encode_checkpoint`] additionally carrying ingest continuation state
+/// as `ingest.*` tensors — the snapshot format streaming ingest persists
+/// on every flush and replication bootstraps followers from.
+#[allow(clippy::too_many_arguments)] // full model + persistence context
+pub fn encode_checkpoint_ingest(
+    run: &str,
+    model: &PrimModel,
+    graph: &HeteroGraph,
+    taxonomy: &Taxonomy,
+    attrs: &Matrix,
+    relation_names: &[String],
+    train_state: Option<&ResumeState>,
+    ann: Option<&AnnGraph>,
+    ingest: Option<&IngestSnapshotState>,
+) -> Vec<u8> {
     let cfg = model.config();
     let names: Vec<String> = relation_names.iter().map(|n| json::str(n)).collect();
     let tax_names: Vec<String> = (0..taxonomy.num_nodes())
@@ -1013,7 +1185,8 @@ pub fn encode_checkpoint(
     let mut w = Writer::new(&header);
     let train_tensors = train_state.map_or(0, count_train_tensors);
     let ann_tensors = ann.map_or(0, count_ann_tensors);
-    w.tensor_count(8 + model.params().len() + train_tensors + ann_tensors);
+    let ingest_tensors = ingest.map_or(0, count_ingest_tensors);
+    w.tensor_count(8 + model.params().len() + train_tensors + ann_tensors + ingest_tensors);
     w.tensor("meta.config", 0, 1, CFG_SLOTS, &encode_config(cfg));
     w.tensor(
         "meta.bin_edges",
@@ -1064,6 +1237,9 @@ pub fn encode_checkpoint(
     }
     if let Some(graph) = ann {
         push_ann_graph(&mut w, graph);
+    }
+    if let Some(state) = ingest {
+        push_ingest_state(&mut w, state);
     }
     w.seal()
 }
@@ -1189,6 +1365,7 @@ pub fn decode_checkpoint(raw: RawCheckpoint) -> Result<PrimCheckpoint, CkptError
 
     let train_state = decode_train_state(&raw)?;
     let ann_graph = decode_ann_graph(&raw)?;
+    let ingest_state = decode_ingest_state(&raw, n_pois)?;
 
     Ok(PrimCheckpoint {
         run,
@@ -1200,6 +1377,7 @@ pub fn decode_checkpoint(raw: RawCheckpoint) -> Result<PrimCheckpoint, CkptError
         params,
         train_state,
         ann_graph,
+        ingest_state,
     })
 }
 

@@ -122,6 +122,15 @@ impl CkptRotator {
         }
     }
 
+    /// Path the `LATEST` pointer currently names, if that slot exists on
+    /// disk — the cheap handle (no decode) replication uses to stream
+    /// snapshot bytes to a follower.
+    pub fn latest_path(&self) -> Option<PathBuf> {
+        let name = self.pointer_target()?;
+        let path = self.dir.join(name);
+        path.exists().then_some(path)
+    }
+
     /// Resolves the newest valid checkpoint: the `LATEST` target if it
     /// decodes, otherwise the newest slot that does (a corrupted or
     /// missing slot falls back to its predecessor). `Ok(None)` means no

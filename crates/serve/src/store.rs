@@ -108,7 +108,7 @@ impl EmbeddingStore {
     /// swapped in with.
     pub fn from_checkpoint(ckpt: &PrimCheckpoint) -> Result<Self, CkptError> {
         let (model, inputs) = ckpt.rebuild()?;
-        Ok(match &ckpt.ann_graph {
+        let mut store = match &ckpt.ann_graph {
             Some(graph) => Self::from_model_with_graph(
                 &model,
                 &inputs,
@@ -116,7 +116,17 @@ impl EmbeddingStore {
                 graph.clone(),
             ),
             None => Self::from_model(&model, &inputs, ckpt.relation_names.clone()),
-        })
+        };
+        // Ingest snapshots: the serving grid must be the *frozen*
+        // projection with retirements tombstoned, not a fresh build over
+        // the mutated coordinates — otherwise a recovered or promoted
+        // store would resurrect retired POIs as spatial candidates (and
+        // shift every within-radius distance via a recomputed ref_lat).
+        if let Some(st) = &ckpt.ingest_state {
+            store.grid =
+                st.frozen_grid(&store.locations, model.config().spatial_radius_km.max(0.1));
+        }
+        Ok(store)
     }
 
     /// (Re)builds the ANN index over the current embedding table.

@@ -51,6 +51,18 @@
 //!   reload (load + full re-embed + ANN build);
 //! * fsynced WAL staging throughput must stay above a coarse floor.
 //!
+//! `failover` (from the warm-standby bench, `BENCH_failover.json`):
+//!
+//! * crash recovery of a 10×-longer mutation history must be at least
+//!   1.25× faster with snapshot-coupled compaction than from the raw
+//!   WAL — compaction must keep recovery time coupled to the flush
+//!   interval, not to total history length;
+//! * follower catch-up p99 must stay within 2.5× of the primary's
+//!   flush interval — the standby keeps pace with the flush cadence,
+//!   so steady-state lag stays bounded by roughly one interval;
+//! * promotion must complete in under a second — flipping the standby
+//!   to writable is a pointer swap, not a rebuild.
+//!
 //! Exits 0 on pass, 1 on regression, 2 on usage/parse errors.
 
 use prim::obs::json;
@@ -240,6 +252,42 @@ fn check_ingest(root: &json::Value, failures: &mut Vec<String>) -> String {
     )
 }
 
+fn check_failover(root: &json::Value, failures: &mut Vec<String>) -> String {
+    let speedup = num(root, &["failover", "compaction_speedup_10x"]);
+    let compact_10x = num(root, &["failover", "recover_compact_10x_ms"]);
+    let nocompact_10x = num(root, &["failover", "recover_nocompact_10x_ms"]);
+    let flush_ms = num(root, &["failover", "flush_interval_ms"]);
+    let lag_p99 = num(root, &["failover", "lag_ms_p99"]);
+    let lag_p50 = num(root, &["failover", "lag_ms_p50"]);
+    let promote_ms = num(root, &["failover", "promote_ms"]);
+    if speedup < 1.25 {
+        failures.push(format!(
+            "failover compaction_speedup_10x {speedup:.2}x < 1.25x: recovery of the \
+             compacted 10x history ({compact_10x:.1}ms) no longer clearly beats raw \
+             WAL replay ({nocompact_10x:.1}ms) — compaction stopped decoupling \
+             recovery time from history length"
+        ));
+    }
+    if lag_p99 > flush_ms * 2.5 {
+        failures.push(format!(
+            "failover catch-up p99 {lag_p99:.1}ms > 2.5x the primary's flush \
+             interval ({flush_ms:.1}ms): the standby cannot keep pace with the \
+             flush cadence, so steady-state lag is unbounded"
+        ));
+    }
+    if promote_ms > 1000.0 {
+        failures.push(format!(
+            "failover promote_ms {promote_ms:.1} > 1000: promotion should be a \
+             pointer swap, not a rebuild"
+        ));
+    }
+    format!(
+        "failover: 10x recovery {compact_10x:.0}ms compacted vs {nocompact_10x:.0}ms \
+         raw ({speedup:.1}x), catch-up p50 {lag_p50:.0}ms/p99 {lag_p99:.0}ms vs \
+         flush {flush_ms:.0}ms, promote {promote_ms:.2}ms"
+    )
+}
+
 fn check_loadtest_smoke(root: &json::Value, failures: &mut Vec<String>) -> String {
     let ok = num(root, &["loadtest_smoke", "point", "ok"]);
     let errors = num(root, &["loadtest_smoke", "point", "errors"]);
@@ -283,6 +331,8 @@ fn main() {
             check_loadtest_smoke(&root, &mut failures)
         } else if fetch(&root, &["ingest"]).is_some() {
             check_ingest(&root, &mut failures)
+        } else if fetch(&root, &["failover"]).is_some() {
+            check_failover(&root, &mut failures)
         } else {
             check_kernels(&root, &mut failures)
         };

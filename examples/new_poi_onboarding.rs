@@ -45,16 +45,16 @@ fn main() {
             let ckpt = dir.join("demo.ckpt");
             train(&ckpt);
             let wal = dir.join("demo.wal");
-            let _ = std::fs::remove_file(&wal);
+            let _ = std::fs::remove_dir_all(&wal);
             serve_scenario(&ckpt, &wal, Scenario::Golden);
             std::fs::remove_dir_all(&dir).ok();
         }
         Some("train") => train(Path::new(&args[1])),
         Some("golden") => {
             let wal = std::env::temp_dir().join(format!("prim-onboard-{}.wal", std::process::id()));
-            let _ = std::fs::remove_file(&wal);
+            let _ = std::fs::remove_dir_all(&wal);
             serve_scenario(Path::new(&args[1]), &wal, Scenario::Golden);
-            let _ = std::fs::remove_file(&wal);
+            let _ = std::fs::remove_dir_all(&wal);
         }
         Some("mutate-kill") => serve_scenario(
             Path::new(&args[1]),
